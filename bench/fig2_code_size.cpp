@@ -1,0 +1,51 @@
+// Figure 2: code size (lines, log scale) per label in both suites —
+// including the mpitest.h bias of MPI-CorrBench correct codes before
+// header stripping. Violin plots become five-number summaries plus a
+// terminal sparkline of the distribution.
+#include <map>
+
+#include "bench/common.hpp"
+#include "support/stats.hpp"
+
+using namespace mpidetect;
+
+namespace {
+
+void report(const datasets::Dataset& ds) {
+  std::map<std::string, std::vector<double>> by_label;
+  for (const auto& c : ds.cases) {
+    by_label[c.label_name()].push_back(static_cast<double>(c.source_lines));
+  }
+  Table t({"Label", "n", "min", "q1", "median", "q3", "max", "shape"});
+  for (const auto& [label, sizes] : by_label) {
+    const auto s = five_number_summary(sizes);
+    t.add_row({label, std::to_string(sizes.size()),
+               fmt_double(s.min, 0), fmt_double(s.q1, 0),
+               fmt_double(s.median, 0), fmt_double(s.q3, 0),
+               fmt_double(s.max, 0), sparkline(sizes, 16)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  bench::print_header(
+      "Figure 2(a): code size per label, MPI-CorrBench (header NOT "
+      "stripped)");
+  bench::print_paper_note(
+      "correct codes have >= 103 lines due to mpitest.h; incorrect codes "
+      "are tiny");
+  report(bench::make_corr(args, /*strip_header=*/false));
+
+  bench::print_header(
+      "Figure 2(a'): MPI-CorrBench after the paper's de-bias step");
+  report(bench::make_corr(args, /*strip_header=*/true));
+
+  bench::print_header("Figure 2(b): code size per label, MBI");
+  bench::print_paper_note("no significant outlier in the line count");
+  report(bench::make_mbi(args));
+  return 0;
+}

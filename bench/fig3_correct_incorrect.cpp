@@ -1,0 +1,26 @@
+// Figure 3: number of correct and incorrect codes in MBI and
+// MPI-CorrBench.
+#include "bench/common.hpp"
+
+using namespace mpidetect;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto mbi = bench::make_mbi(args);
+  const auto corr = bench::make_corr(args);
+
+  bench::print_header("Figure 3: correct vs incorrect codes per suite");
+  bench::print_paper_note("MBI: 745 correct / 1116 incorrect; "
+                          "MPI-CorrBench: ~202 correct / ~214 incorrect");
+  Table t({"Suite", "Correct", "Incorrect", "Total"});
+  for (const auto* ds : {&mbi, &corr}) {
+    t.add_row({ds->name, std::to_string(ds->correct_count()),
+               std::to_string(ds->incorrect_count()),
+               std::to_string(ds->size())});
+  }
+  const auto m = datasets::mix(mbi, corr);
+  t.add_row({m.name, std::to_string(m.correct_count()),
+             std::to_string(m.incorrect_count()), std::to_string(m.size())});
+  t.print(std::cout);
+  return 0;
+}

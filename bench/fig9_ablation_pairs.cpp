@@ -1,0 +1,86 @@
+// Figure 9: two-label ablation on MPI-CorrBench — both labels are
+// removed from training, and each bar reports the detection accuracy of
+// one of them. The MBI pair interactions discussed in §V-E (Parameter
+// Matching + Resource Leak, Epoch Lifecycle pairs, ...) are reproduced
+// below the CorrBench table.
+#include "bench/common.hpp"
+
+using namespace mpidetect;
+
+namespace {
+
+void pair_row(Table& t, const core::FeatureSet& fs, const std::string& a,
+              const std::string& b, const core::Ir2vecOptions& opts) {
+  const auto fa = core::ir2vec_ablation(fs, {a, b}, opts);
+  // Detection accuracy per excluded label requires separate counting;
+  // run the ablation once per label-of-interest with the same exclusion
+  // by measuring each label's samples.
+  // (ir2vec_ablation reports combined; split by running per label.)
+  (void)fa;
+  for (const std::string& target : {a, b}) {
+    // Exclude both labels from training, count only `target` samples.
+    const auto fs_copy = fs;
+    // Reuse the combined-exclusion run but count per label: re-run with
+    // single-label accounting.
+    const auto [detected, total] =
+        core::ir2vec_ablation_counted(fs_copy, {a, b}, target, opts);
+    const double acc =
+        total == 0 ? 0.0 : static_cast<double>(detected) / total;
+    t.add_row({a + " + " + b, target, std::to_string(detected),
+               std::to_string(total), fmt_percent(acc, 1)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto opts = bench::ir2vec_options(args, /*use_ga=*/false);
+
+  bench::print_header(
+      "Figure 9: two-label ablation, MPI-CorrBench (detection accuracy "
+      "of each excluded label)");
+  bench::print_paper_note(
+      "MissingCall falls to ~44% when ArgError is also excluded "
+      "(similar embeddings); MissplacedCall improves without ArgError");
+  {
+    const auto corr = bench::make_corr(args);
+    const auto fs = core::extract_features(corr, passes::OptLevel::Os,
+                                           ir2vec::Normalization::Vector);
+    Table t({"Excluded pair", "Measured label", "Detected", "Total",
+             "Accuracy"});
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"ArgError", "MissingCall"},
+        {"ArgError", "MissplacedCall"},
+        {"ArgError", "ArgMismatch"},
+        {"ArgMismatch", "MissingCall"},
+        {"ArgMismatch", "MissplacedCall"},
+        {"MissplacedCall", "MissingCall"},
+    };
+    for (const auto& [a, b] : pairs) pair_row(t, fs, a, b, opts);
+    t.print(std::cout);
+  }
+
+  bench::print_header("Figure 9 (text §V-E): MBI pair interactions");
+  bench::print_paper_note(
+      "Parameter Matching 92%->77% when excluded with Resource Leak; "
+      "Epoch Lifecycle undetectable when paired with Parameter Matching, "
+      "Call Ordering or Message Race");
+  {
+    const auto mbi = bench::make_mbi(args);
+    const auto fs = core::extract_features(mbi, passes::OptLevel::Os,
+                                           ir2vec::Normalization::Vector);
+    Table t({"Excluded pair", "Measured label", "Detected", "Total",
+             "Accuracy"});
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"Parameter Matching", "Resource Leak"},
+        {"Epoch Lifecycle", "Parameter Matching"},
+        {"Epoch Lifecycle", "Call Ordering"},
+        {"Epoch Lifecycle", "Message Race"},
+        {"Message Race", "Parameter Matching"},
+    };
+    for (const auto& [a, b] : pairs) pair_row(t, fs, a, b, opts);
+    t.print(std::cout);
+  }
+  return 0;
+}

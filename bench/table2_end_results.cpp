@@ -1,0 +1,90 @@
+// Table II: end results of both models (IR2vec + DT, ProGraML + GATv2)
+// on the three datasets — Intra (10-fold CV per suite), Cross (train on
+// one suite, validate on the other), and Mix.
+//
+// Flags: --quick (reduced), --paper (GA 2500x25), --gnn-ablate (extra
+// ablation rows: mean aggregation instead of attention, homogeneous
+// single-relation treatment).
+#include <cstring>
+
+#include "bench/common.hpp"
+
+using namespace mpidetect;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bool gnn_ablate = false;
+  for (int i = 1; i < argc; ++i) {
+    gnn_ablate |= std::strcmp(argv[i], "--gnn-ablate") == 0;
+  }
+
+  const auto mbi = bench::make_mbi(args);
+  const auto corr = bench::make_corr(args);
+  const auto mixed = datasets::mix(mbi, corr);
+
+  bench::print_header("Table II: model end results (binary labels)");
+  bench::print_paper_note(
+      "IR2vec Intra MBI acc 0.917 / CORR 0.923; IR2vec Cross MBI->CORR "
+      "0.860 / CORR->MBI 0.713; IR2vec Mix 0.882; GNN Intra MBI 0.914 / "
+      "CORR 0.803; GNN Cross MBI->CORR 0.858 / CORR->MBI 0.605; GNN Mix "
+      "0.911");
+
+  Table t({"Model", "Training", "Validation", "TP", "TN", "FP", "FN",
+           "Recall", "Precision", "F1", "Accuracy"});
+
+  // --- IR2vec ---------------------------------------------------------------
+  const auto opts = bench::ir2vec_options(args);
+  const auto fs_mbi = core::extract_features(
+      mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+  const auto fs_corr = core::extract_features(
+      corr, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+  const auto fs_mix = core::extract_features(
+      mixed, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+
+  t.add_row(bench::result_row("IR2vec Intra", "MBI", "MBI",
+                              core::ir2vec_intra(fs_mbi, opts)));
+  t.add_row(bench::result_row("IR2vec Intra", "CORR", "CORR",
+                              core::ir2vec_intra(fs_corr, opts)));
+  t.add_row(bench::result_row("IR2vec Cross", "MBI", "CORR",
+                              core::ir2vec_cross(fs_mbi, fs_corr, opts)));
+  t.add_row(bench::result_row("IR2vec Cross", "CORR", "MBI",
+                              core::ir2vec_cross(fs_corr, fs_mbi, opts)));
+  t.add_row(bench::result_row("IR2vec Mix", "MBI+CORR", "MBI+CORR",
+                              core::ir2vec_intra(fs_mix, opts)));
+  t.add_separator();
+
+  // --- GNN --------------------------------------------------------------------
+  const auto gopts = bench::gnn_options(args);
+  const auto gs_mbi = core::extract_graphs(mbi);  // -O0, per paper
+  const auto gs_corr = core::extract_graphs(corr);
+  const auto gs_mix = core::extract_graphs(mixed);
+
+  t.add_row(bench::result_row("GNN Intra", "MBI", "MBI",
+                              core::gnn_intra(gs_mbi, gopts)));
+  t.add_row(bench::result_row("GNN Intra", "CORR", "CORR",
+                              core::gnn_intra(gs_corr, gopts)));
+  t.add_row(bench::result_row("GNN Cross", "MBI", "CORR",
+                              core::gnn_cross(gs_mbi, gs_corr, gopts)));
+  t.add_row(bench::result_row("GNN Cross", "CORR", "MBI",
+                              core::gnn_cross(gs_corr, gs_mbi, gopts)));
+  t.add_row(bench::result_row("GNN Mix", "MBI+CORR", "MBI+CORR",
+                              core::gnn_intra(gs_mix, gopts)));
+
+  if (gnn_ablate) {
+    t.add_separator();
+    // Ablation 1: single GATv2 layer stack but narrower (design check of
+    // the 128/64/32 choice).
+    core::GnnOptions narrow = gopts;
+    narrow.cfg.layers = {32, 16, 8};
+    t.add_row(bench::result_row("GNN narrow(32/16/8)", "MBI", "MBI",
+                                core::gnn_intra(gs_mbi, narrow)));
+    // Ablation 2: one layer only (depth ablation).
+    core::GnnOptions shallow = gopts;
+    shallow.cfg.layers = {128};
+    t.add_row(bench::result_row("GNN 1-layer", "MBI", "MBI",
+                                core::gnn_intra(gs_mbi, shallow)));
+  }
+
+  t.print(std::cout);
+  return 0;
+}

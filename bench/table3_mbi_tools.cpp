@@ -1,0 +1,79 @@
+// Table III: detailed evaluation against MBI — expert tools (ITAC,
+// PARCOACH) vs our models vs the ideal tool, with the MBI robustness /
+// usefulness metrics (coverage, conclusiveness, specificity, recall,
+// precision, F1, overall accuracy) and the CE/TO/RE error columns.
+#include "bench/common.hpp"
+#include "verify/tool.hpp"
+
+using namespace mpidetect;
+
+namespace {
+
+std::vector<std::string> tool_row(const std::string& name,
+                                  const ml::Confusion& c) {
+  return {name,
+          std::to_string(c.ce),
+          std::to_string(c.to),
+          std::to_string(c.re),
+          std::to_string(c.tp),
+          std::to_string(c.tn),
+          std::to_string(c.fp),
+          std::to_string(c.fn),
+          fmt_double(c.coverage(), 3),
+          fmt_double(c.conclusiveness(), 3),
+          fmt_double(c.specificity(), 3),
+          fmt_double(c.recall(), 3),
+          fmt_double(c.precision(), 3),
+          fmt_double(c.f1(), 3),
+          fmt_double(c.overall_accuracy(), 3)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto mbi = bench::make_mbi(args);
+  const auto corr = bench::make_corr(args);
+
+  bench::print_header("Table III: detailed evaluation against MBI");
+  bench::print_paper_note(
+      "ITAC: TO=157, best precision/specificity/F1; PARCOACH: "
+      "specificity 0.088, overall 0.452; IR2vec Intra: best recall and "
+      "overall accuracy (0.917)");
+
+  Table t({"Tool", "CE", "TO", "RE", "TP", "TN", "FP", "FN", "Coverage",
+           "Conclusiveness", "Specificity", "Recall", "Precision", "F1",
+           "Overall"});
+
+  for (auto maker : {verify::make_itac_lite, verify::make_parcoach_lite}) {
+    auto tool = maker();
+    t.add_row(tool_row(std::string(tool->name()),
+                       verify::evaluate_tool(*tool, mbi)));
+  }
+  t.add_separator();
+
+  const auto opts = bench::ir2vec_options(args);
+  const auto fs_mbi = core::extract_features(
+      mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+  const auto fs_corr = core::extract_features(
+      corr, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+  t.add_row(tool_row("IR2vec Intra", core::ir2vec_intra(fs_mbi, opts)));
+  t.add_row(tool_row("IR2vec Cross (CORR->MBI)",
+                     core::ir2vec_cross(fs_corr, fs_mbi, opts)));
+
+  const auto gopts = bench::gnn_options(args);
+  const auto gs_mbi = core::extract_graphs(mbi);
+  const auto gs_corr = core::extract_graphs(corr);
+  t.add_row(tool_row("GNN Intra", core::gnn_intra(gs_mbi, gopts)));
+  t.add_row(tool_row("GNN Cross (CORR->MBI)",
+                     core::gnn_cross(gs_corr, gs_mbi, gopts)));
+  t.add_separator();
+
+  ml::Confusion ideal;
+  ideal.tp = mbi.incorrect_count();
+  ideal.tn = mbi.correct_count();
+  t.add_row(tool_row("Ideal tool", ideal));
+
+  t.print(std::cout);
+  return 0;
+}

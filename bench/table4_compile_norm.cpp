@@ -1,0 +1,87 @@
+// Table IV: IR2vec Intra under every compilation option (-O0/-O2/-Os)
+// x normalization (none/vector/index) combination, on both suites.
+// Flag --encodings adds the symbolic-only vs flow-aware-only ablation
+// called out in DESIGN.md.
+#include <cstring>
+
+#include "bench/common.hpp"
+#include "ir2vec/encoder.hpp"
+#include "progmodel/lower.hpp"
+
+using namespace mpidetect;
+
+namespace {
+
+/// Feature extraction restricted to one encoding half (ablation).
+core::FeatureSet half_features(const core::FeatureSet& fs, bool symbolic) {
+  core::FeatureSet out = fs;
+  const std::size_t half = ir2vec::kDim;
+  for (auto& row : out.X) {
+    if (symbolic) {
+      row.resize(half);
+    } else {
+      row.erase(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(half));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bool encodings = false;
+  for (int i = 1; i < argc; ++i) {
+    encodings |= std::strcmp(argv[i], "--encodings") == 0;
+  }
+
+  const auto mbi = bench::make_mbi(args);
+  const auto corr = bench::make_corr(args);
+  const auto opts = bench::ir2vec_options(args, /*use_ga=*/false);
+
+  bench::print_header(
+      "Table IV: IR2vec Intra x compilation option x normalization");
+  bench::print_paper_note(
+      "accuracies 0.907-0.926 (MBI) and 0.909-0.952 (CORR); "
+      "optimization level moves accuracy by <= ~5%, normalization by <= 3%");
+
+  Table t({"Option", "Normalization", "Dataset", "TP", "TN", "FP", "FN",
+           "Recall", "Precision", "F1", "Accuracy"});
+  for (const auto norm : ir2vec::kAllNormalizations) {
+    for (const auto lvl : passes::kAllOptLevels) {
+      for (const auto* ds : {&mbi, &corr}) {
+        const auto fs = core::extract_features(*ds, lvl, norm);
+        const auto c = core::ir2vec_intra(fs, opts);
+        t.add_row({std::string(passes::opt_level_name(lvl)),
+                   std::string(ir2vec::normalization_name(norm)),
+                   ds->name == "MBI" ? "MBI" : "CORR",
+                   std::to_string(c.tp), std::to_string(c.tn),
+                   std::to_string(c.fp), std::to_string(c.fn),
+                   fmt_double(c.recall(), 3), fmt_double(c.precision(), 3),
+                   fmt_double(c.f1(), 3), fmt_double(c.accuracy(), 3)});
+      }
+    }
+    t.add_separator();
+  }
+  t.print(std::cout);
+
+  if (encodings) {
+    bench::print_header(
+        "Ablation: symbolic-only vs flow-aware-only vs concatenated "
+        "(-Os, vector, MBI)");
+    const auto fs = core::extract_features(mbi, passes::OptLevel::Os,
+                                           ir2vec::Normalization::Vector);
+    Table a({"Encoding", "Accuracy", "F1"});
+    const auto both = core::ir2vec_intra(fs, opts);
+    const auto sym = core::ir2vec_intra(half_features(fs, true), opts);
+    const auto flow = core::ir2vec_intra(half_features(fs, false), opts);
+    a.add_row({"symbolic only", fmt_double(sym.accuracy(), 3),
+               fmt_double(sym.f1(), 3)});
+    a.add_row({"flow-aware only", fmt_double(flow.accuracy(), 3),
+               fmt_double(flow.f1(), 3)});
+    a.add_row({"concatenated (paper)", fmt_double(both.accuracy(), 3),
+               fmt_double(both.f1(), 3)});
+    a.print(std::cout);
+  }
+  return 0;
+}

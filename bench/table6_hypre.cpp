@@ -1,0 +1,39 @@
+// Table VI: predictions on the Hypre tag-reuse pair (commit bc3158e) —
+// ok/ko versions compiled at -O0/-O2/-Os, models trained on either
+// suite, with all features or the GA-selected subset.
+#include "bench/common.hpp"
+#include "core/hypre_study.hpp"
+
+using namespace mpidetect;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto mbi = bench::make_mbi(args);
+  const auto corr = bench::make_corr(args);
+
+  bench::print_header("Table VI: predictions on Hypre (ok = correct "
+                      "version, ko = tag-reuse bug)");
+  bench::print_paper_note(
+      "without feature selection the models miss the error; with GA the "
+      "ko versions are labelled correctly, but no feature combination "
+      "labels every cell (O0-ok stays hard)");
+
+  const auto opts = bench::ir2vec_options(args);
+  const auto res = core::hypre_study(mbi, corr, opts);
+
+  Table t({"Training", "Features", "O0-ok", "O2-ok", "Os-ok", "O0-ko",
+           "O2-ko", "Os-ko", "Correct cells"});
+  for (const auto& row : res.rows) {
+    std::vector<std::string> cells{row.training, row.features};
+    for (std::size_t i = 0; i < row.predicted_incorrect.size(); ++i) {
+      const bool pred_ko = row.predicted_incorrect[i];
+      const bool truth_ko = core::HypreStudyRow::kTruth[i];
+      cells.push_back(std::string(pred_ko ? "ko" : "ok") +
+                      (pred_ko == truth_ko ? " (Y)" : " (N)"));
+    }
+    cells.push_back(std::to_string(row.correct_cells()) + "/6");
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// ci_gatekeeper: the integration scenario the paper motivates in §V-D —
+// "our method can easily be integrated into an automatic toolchain
+// where, at compilation, a light ML-based verification step checks the
+// code". This example plays the role of that CI step: it trains the
+// IR2vec detector once, then screens a batch of "incoming commits"
+// (freshly generated programs the model has never seen) and prints a
+// gate decision per commit, comparing against what a dynamic tool run
+// (ITAC-lite) would have cost.
+//
+//   $ ./examples/ci_gatekeeper
+#include <chrono>
+#include <iostream>
+
+#include "core/ir2vec_detector.hpp"
+#include "datasets/mbi.hpp"
+#include "ir2vec/encoder.hpp"
+#include "progmodel/lower.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "verify/tool.hpp"
+
+using namespace mpidetect;
+
+int main() {
+  using Clock = std::chrono::steady_clock;
+
+  // Train the gate on the MBI corpus.
+  datasets::MbiConfig train_cfg;
+  train_cfg.scale = 0.3;
+  const auto train_ds = datasets::generate_mbi(train_cfg);
+  const auto features = core::extract_features(
+      train_ds, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+  core::Ir2vecOptions opts;
+  opts.use_ga = false;
+  const auto t0 = Clock::now();
+  const auto model = core::train_ir2vec(features.X, features.y_binary, opts);
+  const auto train_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - t0);
+  std::cout << "trained gate on " << features.size() << " codes in "
+            << train_ms.count() << " ms\n\n";
+
+  // A batch of unseen "commits": different seed, mixed correctness.
+  datasets::MbiConfig commit_cfg;
+  commit_cfg.scale = 0.012;
+  commit_cfg.seed = 0xC0117;
+  const auto commits = datasets::generate_mbi(commit_cfg);
+
+  auto itac = verify::make_itac_lite();
+  ir2vec::Vocabulary vocab;
+
+  Table t({"Commit", "Truth", "ML gate", "ITAC-lite", "Agree"});
+  std::size_t ml_correct = 0, itac_correct = 0, both_agree = 0;
+  std::chrono::microseconds ml_time{0}, itac_time{0};
+  for (const auto& c : commits.cases) {
+    const auto e0 = Clock::now();
+    auto m = progmodel::lower(c.program);
+    passes::run_pipeline(*m, passes::OptLevel::Os);
+    auto row = ir2vec::encode_concat(*m, vocab);
+    ir2vec::normalize_vector(row, ir2vec::Normalization::Vector);
+    const bool ml_flag = model.predict(row) == 1;
+    ml_time += std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - e0);
+
+    const auto d0 = Clock::now();
+    const auto diag = itac->check(c);
+    itac_time += std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - d0);
+    const bool itac_flag = diag == verify::Diagnostic::Incorrect;
+
+    ml_correct += (ml_flag == c.incorrect);
+    itac_correct += (itac_flag == c.incorrect);
+    both_agree += (ml_flag == itac_flag);
+    t.add_row({c.name.substr(0, 40), c.incorrect ? "bug" : "clean",
+               ml_flag ? "BLOCK" : "pass",
+               std::string(verify::diagnostic_name(diag)),
+               ml_flag == itac_flag ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  const double n = static_cast<double>(commits.size());
+  std::cout << "\nML gate accuracy:   " << ml_correct << "/" << commits.size()
+            << " (" << fmt_percent(ml_correct / n) << ", "
+            << ml_time.count() / commits.size() << " us/commit, static)\n"
+            << "ITAC-lite accuracy: " << itac_correct << "/"
+            << commits.size() << " (" << fmt_percent(itac_correct / n)
+            << ", " << itac_time.count() / commits.size()
+            << " us/commit, requires executing the code)\n"
+            << "agreement:          " << fmt_percent(both_agree / n) << "\n";
+  return 0;
+}

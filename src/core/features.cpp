@@ -1,0 +1,117 @@
+#include "core/features.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "ir2vec/encoder.hpp"
+#include "progmodel/lower.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::core {
+
+namespace {
+
+unsigned resolve_threads(unsigned threads) {
+  return threads != 0 ? threads
+                      : std::max(1u, std::thread::hardware_concurrency());
+}
+
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
+  const unsigned n_threads = resolve_threads(threads);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) break;
+        fn(i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+
+std::size_t FeatureSet::label_index(const std::string& name) const {
+  for (std::size_t i = 0; i < label_names.size(); ++i) {
+    if (label_names[i] == name) return i;
+  }
+  throw ContractViolation("unknown label: " + name);
+}
+
+FeatureSet extract_features(const datasets::Dataset& ds,
+                            passes::OptLevel opt, ir2vec::Normalization norm,
+                            std::uint64_t vocab_seed, unsigned threads) {
+  FeatureSet fs;
+  const std::size_t n = ds.size();
+  fs.X.resize(n);
+  fs.y_binary.resize(n);
+  fs.y_label.resize(n);
+  fs.incorrect.resize(n);
+  fs.case_names.resize(n);
+
+  // Unified label table (stable order: first occurrence).
+  for (const auto& c : ds.cases) {
+    const std::string name = c.label_name();
+    bool found = false;
+    for (const auto& l : fs.label_names) found |= (l == name);
+    if (!found) fs.label_names.push_back(name);
+  }
+
+  // Vocabulary caches are populated lazily and are not thread-safe, so
+  // each worker owns a replica; seed vectors are hash-derived and thus
+  // identical across replicas.
+  parallel_for(n, threads, [&](std::size_t i) {
+    thread_local std::unique_ptr<ir2vec::Vocabulary> vocab;
+    thread_local std::uint64_t vocab_for = 0;
+    if (!vocab || vocab_for != vocab_seed) {
+      vocab = std::make_unique<ir2vec::Vocabulary>(vocab_seed);
+      vocab_for = vocab_seed;
+    }
+    const datasets::Case& c = ds.cases[i];
+    auto m = progmodel::lower(c.program);
+    passes::run_pipeline(*m, opt);
+    fs.X[i] = ir2vec::encode_concat(*m, *vocab);
+    ir2vec::normalize_vector(fs.X[i], norm == ir2vec::Normalization::Vector
+                                          ? norm
+                                          : ir2vec::Normalization::None);
+    fs.incorrect[i] = c.incorrect;
+    fs.y_binary[i] = c.incorrect ? 1 : 0;
+    fs.case_names[i] = c.name;
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    fs.y_label[i] = fs.label_index(ds.cases[i].label_name());
+  }
+
+  if (norm == ir2vec::Normalization::Index) {
+    ir2vec::normalize_dataset(fs.X, norm);
+  }
+  return fs;
+}
+
+GraphSet extract_graphs(const datasets::Dataset& ds, passes::OptLevel opt,
+                        unsigned threads) {
+  GraphSet gs;
+  const std::size_t n = ds.size();
+  gs.graphs.resize(n);
+  gs.y_binary.resize(n);
+  gs.incorrect.resize(n);
+  gs.case_names.resize(n);
+  parallel_for(n, threads, [&](std::size_t i) {
+    const datasets::Case& c = ds.cases[i];
+    auto m = progmodel::lower(c.program);
+    passes::run_pipeline(*m, opt);
+    gs.graphs[i] = programl::build_graph(*m);
+    gs.incorrect[i] = c.incorrect;
+    gs.y_binary[i] = c.incorrect ? 1 : 0;
+    gs.case_names[i] = c.name;
+  });
+  return gs;
+}
+
+}  // namespace mpidetect::core

@@ -1,0 +1,55 @@
+// Feature extraction: dataset -> IR2vec feature matrix / ProGraML graph
+// set, at a chosen optimization level. This is the "compile + embed"
+// front half of both detector pipelines (Figures 4 and 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+#include "ir2vec/normalize.hpp"
+#include "ir2vec/vocabulary.hpp"
+#include "passes/pipelines.hpp"
+#include "programl/graph.hpp"
+
+namespace mpidetect::core {
+
+/// Embedded dataset for the IR2vec + decision-tree pipeline.
+struct FeatureSet {
+  std::vector<std::vector<double>> X;     // one row per case (512 dims)
+  std::vector<std::size_t> y_binary;      // 0 = correct, 1 = incorrect
+  std::vector<std::size_t> y_label;       // index into label_names
+  std::vector<std::string> label_names;   // unified across suites
+  std::vector<bool> incorrect;
+  std::vector<std::string> case_names;
+
+  std::size_t size() const { return X.size(); }
+  std::size_t label_index(const std::string& name) const;
+};
+
+/// Lowers every case, runs the optimization pipeline, embeds with
+/// IR2vec (symbolic ++ flow-aware), then applies the normalization.
+/// Thread-parallel; deterministic for fixed inputs.
+FeatureSet extract_features(const datasets::Dataset& ds,
+                            passes::OptLevel opt,
+                            ir2vec::Normalization norm,
+                            std::uint64_t vocab_seed = 0x12c0ffee,
+                            unsigned threads = 0);
+
+/// Graph dataset for the GNN pipeline (paper uses -O0 here).
+struct GraphSet {
+  std::vector<programl::ProgramGraph> graphs;
+  std::vector<std::size_t> y_binary;
+  std::vector<bool> incorrect;
+  std::vector<std::string> case_names;
+
+  std::size_t size() const { return graphs.size(); }
+};
+
+GraphSet extract_graphs(const datasets::Dataset& ds,
+                        passes::OptLevel opt = passes::OptLevel::O0,
+                        unsigned threads = 0);
+
+}  // namespace mpidetect::core

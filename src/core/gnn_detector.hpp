@@ -1,0 +1,25 @@
+// The GNN detector (Figure 5) under the paper's evaluation protocols:
+// Intra / Mix 10-fold cross-validation and Cross suite-transfer, all on
+// binary correct/incorrect labels. Folds train in parallel (each fold
+// owns an independent model).
+#pragma once
+
+#include "core/features.hpp"
+#include "ml/gnn.hpp"
+#include "ml/metrics.hpp"
+
+namespace mpidetect::core {
+
+struct GnnOptions {
+  ml::GnnConfig cfg;       // classes is overwritten per protocol
+  int folds = 10;
+  std::uint64_t seed = 2;
+  unsigned threads = 0;    // folds in parallel
+};
+
+ml::Confusion gnn_intra(const GraphSet& gs, const GnnOptions& opts);
+
+ml::Confusion gnn_cross(const GraphSet& train, const GraphSet& valid,
+                        const GnnOptions& opts);
+
+}  // namespace mpidetect::core

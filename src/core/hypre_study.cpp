@@ -1,0 +1,62 @@
+#include "core/hypre_study.hpp"
+
+#include "datasets/hypre.hpp"
+#include "ir2vec/encoder.hpp"
+#include "progmodel/lower.hpp"
+
+namespace mpidetect::core {
+
+std::size_t HypreStudyRow::correct_cells() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kTruth.size(); ++i) {
+    n += (predicted_incorrect[i] == kTruth[i]);
+  }
+  return n;
+}
+
+HypreStudyResult hypre_study(const datasets::Dataset& mbi,
+                             const datasets::Dataset& corr,
+                             const Ir2vecOptions& opts,
+                             std::uint64_t vocab_seed) {
+  // Hypre feature vectors: both versions at each optimization level,
+  // embedded and normalized exactly like the training features.
+  const datasets::HyprePair pair = datasets::make_hypre();
+  ir2vec::Vocabulary vocab(vocab_seed);
+  std::array<std::vector<double>, 6> hypre_rows;
+  const progmodel::Program* variants[2] = {&pair.ok, &pair.ko};
+  std::size_t col = 0;
+  for (const progmodel::Program* variant : variants) {
+    for (const auto lvl : passes::kAllOptLevels) {
+      auto m = progmodel::lower(*variant);
+      passes::run_pipeline(*m, lvl);
+      hypre_rows[col] = ir2vec::encode_concat(*m, vocab);
+      ir2vec::normalize_vector(hypre_rows[col],
+                               ir2vec::Normalization::Vector);
+      ++col;
+    }
+  }
+
+  HypreStudyResult result;
+  const datasets::Dataset* suites[2] = {&mbi, &corr};
+  for (const datasets::Dataset* suite : suites) {
+    const FeatureSet fs =
+        extract_features(*suite, passes::OptLevel::Os,
+                         ir2vec::Normalization::Vector, vocab_seed,
+                         opts.threads);
+    for (const bool with_ga : {false, true}) {
+      Ir2vecOptions o = opts;
+      o.use_ga = with_ga;
+      const TrainedIr2vec model = train_ir2vec(fs.X, fs.y_binary, o);
+      HypreStudyRow row;
+      row.training = suite->name;
+      row.features = with_ga ? "GA" : "all";
+      for (std::size_t i = 0; i < hypre_rows.size(); ++i) {
+        row.predicted_incorrect[i] = model.predict(hypre_rows[i]) == 1;
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace mpidetect::core

@@ -1,0 +1,40 @@
+// The real-case study of §V-F / Table VI: classify the pre-fix ("ko")
+// and post-fix ("ok") versions of the Hypre tag-reuse bug, compiled at
+// -O0 / -O2 / -Os, with models trained on either MBI or MPI-CorrBench,
+// with and without GA feature selection.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/ir2vec_detector.hpp"
+#include "datasets/dataset.hpp"
+
+namespace mpidetect::core {
+
+struct HypreStudyRow {
+  std::string training;        // "MBI" / "MPI-CorrBench"
+  std::string features;        // "all" / "GA"
+  /// Predictions for the six columns of Table VI, in order:
+  /// O0-ok, O2-ok, Os-ok, O0-ko, O2-ko, Os-ko. true = predicted ko.
+  std::array<bool, 6> predicted_incorrect{};
+  /// Ground truth per column (first three ok, last three ko).
+  static constexpr std::array<bool, 6> kTruth = {false, false, false,
+                                                 true,  true,  true};
+  std::size_t correct_cells() const;
+};
+
+struct HypreStudyResult {
+  std::vector<HypreStudyRow> rows;
+};
+
+/// Trains on both suites (vector normalization, -Os features, per the
+/// IR2vec Cross protocol), embeds the two Hypre versions at each
+/// compilation level, and fills Table VI.
+HypreStudyResult hypre_study(const datasets::Dataset& mbi,
+                             const datasets::Dataset& corr,
+                             const Ir2vecOptions& opts,
+                             std::uint64_t vocab_seed = 0x12c0ffee);
+
+}  // namespace mpidetect::core

@@ -1,0 +1,222 @@
+#include "core/ir2vec_detector.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "ml/kfold.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::core {
+
+namespace {
+
+std::vector<std::vector<double>> select_rows(
+    const std::vector<std::vector<double>>& X,
+    const std::vector<std::size_t>& idx) {
+  std::vector<std::vector<double>> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.push_back(X[i]);
+  return out;
+}
+
+std::vector<std::size_t> select_labels(const std::vector<std::size_t>& y,
+                                       const std::vector<std::size_t>& idx) {
+  std::vector<std::size_t> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.push_back(y[i]);
+  return out;
+}
+
+/// GA fitness: hold out 20% of the training rows (stratified) and score
+/// a DT trained on the candidate feature subset.
+ml::GaConfig fitness_ga_config(const Ir2vecOptions& opts) {
+  ml::GaConfig ga = opts.ga;
+  ga.seed = opts.seed * 1000003 + 17;
+  if (ga.threads == 0) ga.threads = opts.threads;
+  return ga;
+}
+
+std::vector<std::size_t> run_ga(const std::vector<std::vector<double>>& X,
+                                const std::vector<std::size_t>& y,
+                                const Ir2vecOptions& opts) {
+  MPIDETECT_EXPECTS(!X.empty());
+  const std::size_t dim = X.front().size();
+  // 5-fold-ish split of the training set for fitness evaluation.
+  const auto folds = ml::stratified_kfold(y, 5, opts.seed ^ 0xfeedu);
+  const auto& val_idx = folds.front();
+  const auto train_idx = ml::fold_complement(val_idx, y.size());
+  const auto Xt = select_rows(X, train_idx);
+  const auto yt = select_labels(y, train_idx);
+  const auto Xv = select_rows(X, val_idx);
+  const auto yv = select_labels(y, val_idx);
+
+  const auto fitness = [&](const std::vector<std::size_t>& features) {
+    ml::DecisionTreeConfig cfg;
+    cfg.feature_subset = features;
+    ml::DecisionTree dt(cfg);
+    dt.fit(Xt, yt);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < Xv.size(); ++i) {
+      correct += (dt.predict(Xv[i]) == yv[i]);
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(std::max<std::size_t>(Xv.size(), 1));
+  };
+  return ml::select_features(dim, fitness, fitness_ga_config(opts))
+      .best_features;
+}
+
+}  // namespace
+
+std::size_t TrainedIr2vec::predict(const std::vector<double>& row) const {
+  return tree.predict(row);
+}
+
+TrainedIr2vec train_ir2vec(const std::vector<std::vector<double>>& X,
+                           const std::vector<std::size_t>& y,
+                           const Ir2vecOptions& opts) {
+  TrainedIr2vec model;
+  ml::DecisionTreeConfig cfg;
+  if (opts.use_ga) {
+    model.selected_features = run_ga(X, y, opts);
+    cfg.feature_subset = model.selected_features;
+  }
+  model.tree = ml::DecisionTree(cfg);
+  model.tree.fit(X, y);
+  return model;
+}
+
+ml::Confusion ir2vec_intra(const FeatureSet& fs, const Ir2vecOptions& opts) {
+  const auto folds = ml::stratified_kfold(
+      fs.y_binary, static_cast<std::size_t>(opts.folds), opts.seed);
+  std::vector<ml::Confusion> per_fold(folds.size());
+
+  // Folds are independent: train them in parallel. GA threads are kept
+  // at 1 inside each fold to avoid oversubscription.
+  std::atomic<std::size_t> next{0};
+  const unsigned n_threads =
+      opts.threads != 0 ? opts.threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+  Ir2vecOptions fold_opts = opts;
+  fold_opts.ga.threads = 1;
+  fold_opts.threads = 1;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < n_threads; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t f = next.fetch_add(1);
+        if (f >= folds.size()) break;
+        const auto& val_idx = folds[f];
+        const auto train_idx =
+            ml::fold_complement(val_idx, fs.size());
+        Ir2vecOptions o = fold_opts;
+        o.seed = opts.seed + f;  // per-fold GA stream
+        const TrainedIr2vec model = train_ir2vec(
+            select_rows(fs.X, train_idx), select_labels(fs.y_binary, train_idx),
+            o);
+        for (const std::size_t i : val_idx) {
+          per_fold[f].add(fs.incorrect[i], model.predict(fs.X[i]) == 1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  ml::Confusion total;
+  for (const auto& c : per_fold) total += c;
+  return total;
+}
+
+ml::Confusion ir2vec_cross(const FeatureSet& train, const FeatureSet& valid,
+                           const Ir2vecOptions& opts) {
+  const TrainedIr2vec model = train_ir2vec(train.X, train.y_binary, opts);
+  ml::Confusion c;
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    c.add(valid.incorrect[i], model.predict(valid.X[i]) == 1);
+  }
+  return c;
+}
+
+std::map<std::string, std::pair<std::size_t, std::size_t>> ir2vec_per_label(
+    const FeatureSet& fs, const Ir2vecOptions& opts) {
+  const auto folds = ml::stratified_kfold(
+      fs.y_label, static_cast<std::size_t>(opts.folds), opts.seed);
+  std::map<std::string, std::pair<std::size_t, std::size_t>> out;
+  for (const auto& name : fs.label_names) out[name] = {0, 0};
+
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    const auto& val_idx = folds[f];
+    const auto train_idx = ml::fold_complement(val_idx, fs.size());
+    Ir2vecOptions o = opts;
+    o.seed = opts.seed + f;
+    const TrainedIr2vec model = train_ir2vec(
+        select_rows(fs.X, train_idx), select_labels(fs.y_label, train_idx), o);
+    for (const std::size_t i : val_idx) {
+      auto& [correct, total] = out[fs.label_names[fs.y_label[i]]];
+      ++total;
+      correct += (model.predict(fs.X[i]) == fs.y_label[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::pair<std::size_t, std::size_t> ablation_impl(
+    const FeatureSet& fs, const std::vector<std::string>& excluded,
+    const std::optional<std::string>& measured, const Ir2vecOptions& opts) {
+  std::vector<bool> is_excluded(fs.size(), false);
+  std::vector<bool> is_measured(fs.size(), false);
+  for (const auto& name : excluded) {
+    const std::size_t label = fs.label_index(name);
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      if (fs.y_label[i] == label) {
+        is_excluded[i] = true;
+        if (!measured.has_value() || name == *measured) {
+          is_measured[i] = true;
+        }
+      }
+    }
+  }
+
+  const auto folds = ml::stratified_kfold(
+      fs.y_binary, static_cast<std::size_t>(opts.folds), opts.seed);
+  std::size_t detected = 0, total = 0;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    const auto& val_idx = folds[f];
+    std::vector<std::size_t> train_idx;
+    for (const std::size_t i : ml::fold_complement(val_idx, fs.size())) {
+      if (!is_excluded[i]) train_idx.push_back(i);  // never train on them
+    }
+    Ir2vecOptions o = opts;
+    o.seed = opts.seed + f;
+    const TrainedIr2vec model = train_ir2vec(
+        select_rows(fs.X, train_idx), select_labels(fs.y_binary, train_idx),
+        o);
+    for (const std::size_t i : val_idx) {
+      if (!is_measured[i]) continue;
+      ++total;
+      detected += (model.predict(fs.X[i]) == 1);
+    }
+  }
+  return {detected, total};
+}
+
+}  // namespace
+
+std::pair<std::size_t, std::size_t> ir2vec_ablation(
+    const FeatureSet& fs, const std::vector<std::string>& excluded,
+    const Ir2vecOptions& opts) {
+  return ablation_impl(fs, excluded, std::nullopt, opts);
+}
+
+std::pair<std::size_t, std::size_t> ir2vec_ablation_counted(
+    const FeatureSet& fs, const std::vector<std::string>& excluded,
+    const std::string& measured, const Ir2vecOptions& opts) {
+  MPIDETECT_EXPECTS(std::find(excluded.begin(), excluded.end(), measured) !=
+                    excluded.end());
+  return ablation_impl(fs, excluded, measured, opts);
+}
+
+}  // namespace mpidetect::core

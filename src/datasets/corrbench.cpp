@@ -1,0 +1,103 @@
+#include "datasets/corrbench.hpp"
+
+#include <algorithm>
+
+#include "datasets/templates.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::datasets {
+
+namespace {
+
+using progmodel::Expr;
+using progmodel::Program;
+using progmodel::Stmt;
+
+std::size_t scaled(std::size_t n, double scale) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(n) * scale);
+  return std::max<std::size_t>(s, 1);
+}
+
+/// Models the mpitest.h harness that MPI-CorrBench's correct codes pull
+/// in: an extra result buffer, checksum loops, and reporting hooks. The
+/// paper removed this include because it made "long code" a proxy for
+/// "correct code".
+void add_mpitest_harness(Program& p) {
+  std::vector<Stmt> harness;
+  harness.push_back(
+      Stmt::decl_buf("mpitest_results", ir::Type::F64, Expr::lit(32)));
+  harness.push_back(Stmt::call_extern("mpitest_init"));
+  harness.push_back(Stmt::compute("mpitest_results", 16));
+  harness.push_back(Stmt::compute("mpitest_results", 24));
+  harness.push_back(Stmt::compute("mpitest_results", 8));
+  harness.push_back(Stmt::call_extern("mpitest_report"));
+  // Prepend so the harness precedes the test body, like the include.
+  p.main_body.insert(p.main_body.begin(),
+                     std::make_move_iterator(harness.begin()),
+                     std::make_move_iterator(harness.end()));
+}
+
+}  // namespace
+
+Dataset generate_corrbench(const CorrConfig& cfg) {
+  Dataset ds;
+  ds.name = "MPI-CorrBench";
+  Rng master(cfg.seed);
+
+  const auto& tpls = all_templates();
+  const std::size_t n_correct = scaled(cfg.correct, cfg.scale);
+  for (std::size_t i = 0; i < n_correct; ++i) {
+    Rng rng = master.fork();
+    const Template& tpl = tpls[i % tpls.size()];
+    BuildContext ctx;
+    ctx.rng = &rng;
+    ctx.inject = Inject::None;
+    ctx.size_class = 0;  // level-zero codes are tiny
+    Case c;
+    c.suite = Suite::CorrBench;
+    c.corr_label = mpi::CorrLabel::Correct;
+    c.incorrect = false;
+    c.program = tpl.fn(ctx);
+    c.name = "correct-" + std::string(tpl.id) + "-" + std::to_string(i);
+    if (!cfg.strip_header) {
+      add_mpitest_harness(c.program);
+      c.source_lines = c.program.line_count() + kMpitestHeaderLines;
+    } else {
+      c.source_lines = c.program.line_count();
+    }
+    ds.cases.push_back(std::move(c));
+  }
+
+  for (const mpi::CorrLabel label : mpi::corr_error_labels()) {
+    const auto it = cfg.counts.find(label);
+    if (it == cfg.counts.end() || it->second == 0) continue;
+    const std::size_t n = scaled(it->second, cfg.scale);
+    const auto& injections = injections_for(label);
+    for (std::size_t i = 0; i < n; ++i) {
+      Rng rng = master.fork();
+      const Inject inj = injections[i % injections.size()];
+      const auto compatible = templates_for(inj);
+      MPIDETECT_CHECK(!compatible.empty());
+      const Template& tpl = *compatible[i % compatible.size()];
+      BuildContext ctx;
+      ctx.rng = &rng;
+      ctx.inject = inj;
+      ctx.size_class = 0;
+      Case c;
+      c.suite = Suite::CorrBench;
+      c.corr_label = label;
+      c.incorrect = true;
+      c.program = tpl.fn(ctx);
+      // MPI-CorrBench has no error headers: the label is only encoded in
+      // the file name (paper §III), which we reproduce.
+      c.name = std::string(mpi::corr_label_name(label)) + "-" +
+               std::string(tpl.id) + "-" + std::string(inject_name(inj)) +
+               "-" + std::to_string(i) + ".c";
+      c.source_lines = c.program.line_count();
+      ds.cases.push_back(std::move(c));
+    }
+  }
+  return ds;
+}
+
+}  // namespace mpidetect::datasets

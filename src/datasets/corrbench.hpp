@@ -1,0 +1,38 @@
+// Generator for the synthetic MPI-CorrBench corpus: 202 correct + 214
+// incorrect level-zero codes over four error classes, with the
+// "mpitest.h" size bias the paper identified in Figure 2(a) — correct
+// codes carry a ~103-line test-harness preamble unless header stripping
+// (the paper's de-bias step) is enabled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "datasets/dataset.hpp"
+
+namespace mpidetect::datasets {
+
+struct CorrConfig {
+  std::uint64_t seed = 121;  // MPI-CorrBench v1.2.1
+  std::size_t correct = 202;
+  std::map<mpi::CorrLabel, std::size_t> counts = {
+      {mpi::CorrLabel::ArgError, 150},
+      {mpi::CorrLabel::ArgMismatch, 26},
+      {mpi::CorrLabel::MissplacedCall, 22},
+      {mpi::CorrLabel::MissingCall, 16},
+  };
+  /// The paper's de-bias step: remove the mpitest.h include from correct
+  /// codes so code size stops predicting correctness. When false, correct
+  /// codes gain the header's lines (Fig. 2a) *and* harness boilerplate in
+  /// their IR, reproducing the bias.
+  bool strip_header = true;
+  double scale = 1.0;
+};
+
+/// Extra source lines the mpitest.h preamble contributes before the
+/// C pre-processor strip (paper: correct codes have >= 103 lines).
+inline constexpr std::size_t kMpitestHeaderLines = 103;
+
+Dataset generate_corrbench(const CorrConfig& cfg = {});
+
+}  // namespace mpidetect::datasets

@@ -1,0 +1,55 @@
+#include "datasets/dataset.hpp"
+
+#include "support/check.hpp"
+
+namespace mpidetect::datasets {
+
+std::string_view suite_name(Suite s) {
+  switch (s) {
+    case Suite::Mbi: return "MBI";
+    case Suite::CorrBench: return "MPI-CorrBench";
+  }
+  MPIDETECT_UNREACHABLE("bad Suite");
+}
+
+std::string Case::label_name() const {
+  if (suite == Suite::Mbi) return std::string(mpi::mbi_label_name(mbi_label));
+  return std::string(mpi::corr_label_name(corr_label));
+}
+
+std::size_t Dataset::correct_count() const {
+  std::size_t n = 0;
+  for (const Case& c : cases) n += !c.incorrect;
+  return n;
+}
+
+std::size_t Dataset::incorrect_count() const {
+  return cases.size() - correct_count();
+}
+
+std::size_t Dataset::count_mbi_label(mpi::MbiLabel l) const {
+  std::size_t n = 0;
+  for (const Case& c : cases) {
+    n += (c.suite == Suite::Mbi && c.mbi_label == l);
+  }
+  return n;
+}
+
+std::size_t Dataset::count_corr_label(mpi::CorrLabel l) const {
+  std::size_t n = 0;
+  for (const Case& c : cases) {
+    n += (c.suite == Suite::CorrBench && c.corr_label == l);
+  }
+  return n;
+}
+
+Dataset mix(const Dataset& a, const Dataset& b) {
+  Dataset m;
+  m.name = "Mix";
+  m.cases.reserve(a.cases.size() + b.cases.size());
+  for (const Case& c : a.cases) m.cases.push_back(c);
+  for (const Case& c : b.cases) m.cases.push_back(c);
+  return m;
+}
+
+}  // namespace mpidetect::datasets

@@ -1,0 +1,49 @@
+// Labeled program corpora reproducing the two benchmark suites the
+// paper evaluates on (§III): the MPI Bugs Initiative (MBI) and
+// MPI-CorrBench. Each case carries the suite-specific error label, the
+// generated program, and a source-line model for the Figure 2 study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/errors.hpp"
+#include "progmodel/ast.hpp"
+
+namespace mpidetect::datasets {
+
+enum class Suite : std::uint8_t { Mbi, CorrBench };
+
+std::string_view suite_name(Suite s);
+
+struct Case {
+  std::string name;  // e.g. "CallOrdering-bcast_barrier-017"
+  Suite suite = Suite::Mbi;
+  mpi::MbiLabel mbi_label = mpi::MbiLabel::Correct;      // when suite==Mbi
+  mpi::CorrLabel corr_label = mpi::CorrLabel::Correct;   // when CorrBench
+  bool incorrect = false;
+  progmodel::Program program;
+  /// Modeled C source lines (Fig. 2); includes the mpitest.h preamble for
+  /// unstripped CorrBench correct codes.
+  std::size_t source_lines = 0;
+
+  /// Unified label string ("Correct", "Call Ordering", "ArgError", ...).
+  std::string label_name() const;
+};
+
+struct Dataset {
+  std::string name;  // "MBI", "MPI-CorrBench", "Mix"
+  std::vector<Case> cases;
+
+  std::size_t size() const { return cases.size(); }
+  std::size_t correct_count() const;
+  std::size_t incorrect_count() const;
+  std::size_t count_mbi_label(mpi::MbiLabel l) const;
+  std::size_t count_corr_label(mpi::CorrLabel l) const;
+};
+
+/// The Mix dataset of §III: both suites concatenated.
+Dataset mix(const Dataset& a, const Dataset& b);
+
+}  // namespace mpidetect::datasets

@@ -1,0 +1,177 @@
+#include "datasets/hypre.hpp"
+
+#include "mpi/api.hpp"
+#include "support/rng.hpp"
+
+namespace mpidetect::datasets {
+
+namespace {
+
+using mpi::Func;
+using progmodel::Arg;
+using progmodel::Expr;
+using progmodel::HandleKind;
+using progmodel::Program;
+using progmodel::Stmt;
+using progmodel::UserFunc;
+using E = Expr;
+using S = Stmt;
+using A = Arg;
+
+constexpr std::int32_t kW = mpi::kCommWorld;
+constexpr std::int32_t kDouble =
+    static_cast<std::int32_t>(mpi::Datatype::Double);
+constexpr std::int32_t kInt = static_cast<std::int32_t>(mpi::Datatype::Int);
+constexpr std::int32_t kSum = static_cast<std::int32_t>(mpi::ReduceOp::Sum);
+
+/// The buggy routine: two independent neighbour exchanges. In the ko
+/// version both use tag 17 (the Hypre bug); in the ok version the second
+/// exchange uses tag 18.
+UserFunc make_exchange(bool fixed) {
+  const int tag1 = 17;
+  const int tag2 = fixed ? 18 : 17;
+  UserFunc f;
+  f.name = "hypre_ExchangeBufs";
+  f.body.push_back(S::decl_int("rank"));
+  f.body.push_back(S::decl_int("size"));
+  f.body.push_back(S::mpi(Func::CommRank, {A::val(kW), A::addr("rank")}));
+  f.body.push_back(S::mpi(Func::CommSize, {A::val(kW), A::addr("size")}));
+  f.body.push_back(S::decl_buf("ghost_lo", ir::Type::F64, E::lit(32)));
+  f.body.push_back(S::decl_buf("ghost_hi", ir::Type::F64, E::lit(32)));
+  f.body.push_back(S::decl_handle("r1", HandleKind::Request));
+  f.body.push_back(S::decl_handle("r2", HandleKind::Request));
+  std::vector<Stmt> r0;
+  r0.push_back(S::mpi(Func::Isend,
+                      {A::buf("ghost_lo"), A::val(32), A::val(kDouble),
+                       A::val(1), A::val(tag1), A::val(kW), A::addr("r1")}));
+  r0.push_back(S::mpi(Func::Isend,
+                      {A::buf("ghost_hi"), A::val(32), A::val(kDouble),
+                       A::val(1), A::val(tag2), A::val(kW), A::addr("r2")}));
+  r0.push_back(S::mpi(Func::Wait, {A::addr("r1"), A::null()}));
+  r0.push_back(S::mpi(Func::Wait, {A::addr("r2"), A::null()}));
+  std::vector<Stmt> r1;
+  // Receiver posts the *second* exchange first — harmless with distinct
+  // tags, a silent buffer swap when the tags collide.
+  r1.push_back(S::mpi(Func::Irecv,
+                      {A::buf("ghost_hi"), A::val(32), A::val(kDouble),
+                       A::val(0), A::val(tag2), A::val(kW), A::addr("r2")}));
+  r1.push_back(S::mpi(Func::Irecv,
+                      {A::buf("ghost_lo"), A::val(32), A::val(kDouble),
+                       A::val(0), A::val(tag1), A::val(kW), A::addr("r1")}));
+  r1.push_back(S::mpi(Func::Wait, {A::addr("r1"), A::null()}));
+  r1.push_back(S::mpi(Func::Wait, {A::addr("r2"), A::null()}));
+  f.body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)), std::move(r0),
+                          std::move(r1)));
+  return f;
+}
+
+Program make_variant(bool fixed, std::uint64_t seed) {
+  Rng rng(seed);
+  Program p;
+  p.name = fixed ? "hypre_ok" : "hypre_ko";
+  p.nprocs = 2;
+
+  // --- solver phases (identical in both versions) --------------------------
+  UserFunc setup;
+  setup.name = "hypre_StructGridAssemble";
+  setup.body.push_back(S::decl_buf("boxes", ir::Type::I32, E::lit(64)));
+  setup.body.push_back(S::compute("boxes", 48));
+  setup.body.push_back(S::mpi(Func::Bcast,
+                              {A::buf("boxes"), A::val(64), A::val(kInt),
+                               A::val(0), A::val(kW)}));
+  setup.body.push_back(S::compute("boxes", 32));
+  p.functions.push_back(std::move(setup));
+
+  UserFunc relax;
+  relax.name = "hypre_SMGRelax";
+  relax.body.push_back(S::decl_buf("u", ir::Type::F64, E::lit(128)));
+  relax.body.push_back(S::decl_int("sweep"));
+  relax.body.push_back(
+      S::for_("sweep", E::lit(0), E::lit(3), {S::compute("u", 40)}));
+  p.functions.push_back(std::move(relax));
+
+  p.functions.push_back(make_exchange(fixed));
+
+  UserFunc residual;
+  residual.name = "hypre_SMGResidual";
+  residual.body.push_back(S::decl_buf("r", ir::Type::F64, E::lit(128)));
+  residual.body.push_back(S::decl_buf("norm", ir::Type::F64, E::lit(1)));
+  residual.body.push_back(S::decl_buf("gnorm", ir::Type::F64, E::lit(1)));
+  residual.body.push_back(S::compute("r", 64));
+  residual.body.push_back(S::mpi(Func::Allreduce,
+                                 {A::buf("norm"), A::buf("gnorm"), A::val(1),
+                                  A::val(kDouble), A::val(kSum),
+                                  A::val(kW)}));
+  p.functions.push_back(std::move(residual));
+
+  UserFunc coarsen;
+  coarsen.name = "hypre_SMGCoarsen";
+  coarsen.body.push_back(S::decl_buf("rc", ir::Type::F64, E::lit(64)));
+  coarsen.body.push_back(S::compute("rc", static_cast<int>(rng.uniform_int(24, 48))));
+  coarsen.body.push_back(S::mpi(Func::Barrier, {A::val(kW)}));
+  p.functions.push_back(std::move(coarsen));
+
+  UserFunc interp;
+  interp.name = "hypre_SMGInterp";
+  interp.body.push_back(S::decl_buf("fine", ir::Type::F64, E::lit(128)));
+  interp.body.push_back(S::decl_buf("coarse", ir::Type::F64, E::lit(64)));
+  interp.body.push_back(S::decl_int("level"));
+  interp.body.push_back(S::for_("level", E::lit(0), E::lit(2),
+                                {S::compute("fine", 32),
+                                 S::compute("coarse", 16)}));
+  p.functions.push_back(std::move(interp));
+
+  UserFunc pcg;
+  pcg.name = "hypre_PCGSolve";
+  pcg.body.push_back(S::decl_buf("x", ir::Type::F64, E::lit(128)));
+  pcg.body.push_back(S::decl_buf("pdot", ir::Type::F64, E::lit(1)));
+  pcg.body.push_back(S::decl_buf("gdot", ir::Type::F64, E::lit(1)));
+  pcg.body.push_back(S::decl_int("k"));
+  std::vector<Stmt> pcg_loop;
+  pcg_loop.push_back(S::compute("x", 48));
+  pcg_loop.push_back(S::mpi(Func::Allreduce,
+                            {A::buf("pdot"), A::buf("gdot"), A::val(1),
+                             A::val(kDouble), A::val(kSum), A::val(kW)}));
+  pcg_loop.push_back(S::compute("x", 24));
+  pcg.body.push_back(S::for_("k", E::lit(0), E::lit(3), std::move(pcg_loop)));
+  p.functions.push_back(std::move(pcg));
+
+  UserFunc scale_vec;
+  scale_vec.name = "hypre_StructVectorScale";
+  scale_vec.body.push_back(S::decl_buf("v", ir::Type::F64, E::lit(128)));
+  scale_vec.body.push_back(S::decl_int("j"));
+  scale_vec.body.push_back(S::for_(
+      "j", E::lit(0), E::lit(128),
+      {S::buf_store("v", E::ref("j"),
+                    E::mul(E::flit(0.5), E::add(E::ref("j"), E::lit(1))))}));
+  p.functions.push_back(std::move(scale_vec));
+
+  // --- main ------------------------------------------------------------------
+  p.main_body.push_back(S::decl_int("rank"));
+  p.main_body.push_back(S::decl_int("size"));
+  p.main_body.push_back(S::decl_int("iter"));
+  p.main_body.push_back(S::mpi(Func::Init, {}));
+  p.main_body.push_back(S::mpi(Func::CommRank, {A::val(kW), A::addr("rank")}));
+  p.main_body.push_back(S::mpi(Func::CommSize, {A::val(kW), A::addr("size")}));
+  p.main_body.push_back(S::call_user("hypre_StructGridAssemble"));
+  std::vector<Stmt> loop;
+  loop.push_back(S::call_user("hypre_SMGRelax"));
+  loop.push_back(S::call_user("hypre_ExchangeBufs"));
+  loop.push_back(S::call_user("hypre_SMGResidual"));
+  loop.push_back(S::call_user("hypre_SMGCoarsen"));
+  loop.push_back(S::call_user("hypre_SMGInterp"));
+  loop.push_back(S::call_user("hypre_StructVectorScale"));
+  p.main_body.push_back(S::for_("iter", E::lit(0), E::lit(4), std::move(loop)));
+  p.main_body.push_back(S::call_user("hypre_PCGSolve"));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  return p;
+}
+
+}  // namespace
+
+HyprePair make_hypre(std::uint64_t seed) {
+  return HyprePair{make_variant(true, seed), make_variant(false, seed)};
+}
+
+}  // namespace mpidetect::datasets

@@ -1,0 +1,21 @@
+// The paper's real-case study (§V-F, Table VI): Hypre 2.10.1 had a bug —
+// two different MPI exchanges sharing the same tag — fixed in commit
+// bc3158e. We model a multi-function, multigrid-flavoured solver
+// compilation unit and produce the pre-fix (ko, tag reuse) and post-fix
+// (ok, distinct tags) versions.
+#pragma once
+
+#include <cstdint>
+
+#include "progmodel/ast.hpp"
+
+namespace mpidetect::datasets {
+
+struct HyprePair {
+  progmodel::Program ok;  // after commit bc3158e: distinct tags
+  progmodel::Program ko;  // before the fix: same tag in two exchanges
+};
+
+HyprePair make_hypre(std::uint64_t seed = 2101);
+
+}  // namespace mpidetect::datasets

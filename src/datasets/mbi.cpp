@@ -1,0 +1,76 @@
+#include "datasets/mbi.hpp"
+
+#include <algorithm>
+
+#include "datasets/templates.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::datasets {
+
+namespace {
+
+std::size_t scaled(std::size_t n, double scale) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(n) * scale);
+  return std::max<std::size_t>(s, 1);
+}
+
+}  // namespace
+
+Dataset generate_mbi(const MbiConfig& cfg) {
+  Dataset ds;
+  ds.name = "MBI";
+  Rng master(cfg.seed);
+
+  // Correct codes: cycle through every template for feature coverage.
+  const auto& tpls = all_templates();
+  const std::size_t n_correct = scaled(cfg.correct, cfg.scale);
+  for (std::size_t i = 0; i < n_correct; ++i) {
+    Rng rng = master.fork();
+    const Template& tpl = tpls[i % tpls.size()];
+    BuildContext ctx;
+    ctx.rng = &rng;
+    ctx.inject = Inject::None;
+    ctx.size_class = master.chance(0.15) ? 2 : 1;
+    Case c;
+    c.suite = Suite::Mbi;
+    c.mbi_label = mpi::MbiLabel::Correct;
+    c.incorrect = false;
+    c.program = tpl.fn(ctx);
+    c.name = "Correct-" + std::string(tpl.id) + "-" + std::to_string(i);
+    c.source_lines = c.program.line_count();
+    ds.cases.push_back(std::move(c));
+  }
+
+  // Incorrect codes per label, cycling through that label's injections
+  // and each injection's compatible templates.
+  for (const mpi::MbiLabel label : mpi::mbi_error_labels()) {
+    const auto it = cfg.counts.find(label);
+    if (it == cfg.counts.end() || it->second == 0) continue;
+    const std::size_t n = scaled(it->second, cfg.scale);
+    const auto& injections = injections_for(label);
+    for (std::size_t i = 0; i < n; ++i) {
+      Rng rng = master.fork();
+      const Inject inj = injections[i % injections.size()];
+      const auto compatible = templates_for(inj);
+      MPIDETECT_CHECK(!compatible.empty());
+      const Template& tpl = *compatible[i % compatible.size()];
+      BuildContext ctx;
+      ctx.rng = &rng;
+      ctx.inject = inj;
+      ctx.size_class = master.chance(0.15) ? 2 : 1;
+      Case c;
+      c.suite = Suite::Mbi;
+      c.mbi_label = label;
+      c.incorrect = true;
+      c.program = tpl.fn(ctx);
+      c.name = std::string(mpi::mbi_label_name(label)) + "-" +
+               std::string(inject_name(inj)) + "-" + std::string(tpl.id) +
+               "-" + std::to_string(i);
+      c.source_lines = c.program.line_count();
+      ds.cases.push_back(std::move(c));
+    }
+  }
+  return ds;
+}
+
+}  // namespace mpidetect::datasets

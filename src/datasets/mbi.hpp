@@ -1,0 +1,33 @@
+// Generator for the synthetic MBI corpus: 745 correct + 1,116 incorrect
+// codes across the nine MBI error classes with the per-class imbalance
+// of Figure 1(b) (Call Ordering dominant, Resource Leak nearly absent).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "datasets/dataset.hpp"
+
+namespace mpidetect::datasets {
+
+struct MbiConfig {
+  std::uint64_t seed = 20240304;  // paper submission date, arbitrary
+  std::size_t correct = 745;
+  std::map<mpi::MbiLabel, std::size_t> counts = {
+      {mpi::MbiLabel::CallOrdering, 494},
+      {mpi::MbiLabel::InvalidParameter, 180},
+      {mpi::MbiLabel::ParameterMatching, 180},
+      {mpi::MbiLabel::LocalConcurrency, 80},
+      {mpi::MbiLabel::RequestLifecycle, 60},
+      {mpi::MbiLabel::EpochLifecycle, 40},
+      {mpi::MbiLabel::MessageRace, 38},
+      {mpi::MbiLabel::GlobalConcurrency, 30},
+      {mpi::MbiLabel::ResourceLeak, 14},
+  };
+  /// Scales every count (down) for quick smoke runs; minimum 1 per class.
+  double scale = 1.0;
+};
+
+Dataset generate_mbi(const MbiConfig& cfg = {});
+
+}  // namespace mpidetect::datasets

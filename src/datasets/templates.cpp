@@ -1,0 +1,846 @@
+#include "datasets/templates.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace mpidetect::datasets {
+
+namespace {
+
+using mpi::Func;
+using progmodel::Arg;
+using progmodel::Expr;
+using progmodel::HandleKind;
+using progmodel::Program;
+using progmodel::Stmt;
+using E = Expr;
+using S = Stmt;
+using A = Arg;
+
+constexpr std::int32_t kW = mpi::kCommWorld;
+constexpr std::int32_t kInt = static_cast<std::int32_t>(mpi::Datatype::Int);
+constexpr std::int32_t kDouble =
+    static_cast<std::int32_t>(mpi::Datatype::Double);
+constexpr std::int32_t kFloat =
+    static_cast<std::int32_t>(mpi::Datatype::Float);
+constexpr std::int32_t kChar = static_cast<std::int32_t>(mpi::Datatype::Char);
+constexpr std::int32_t kSum = static_cast<std::int32_t>(mpi::ReduceOp::Sum);
+constexpr std::int32_t kMax = static_cast<std::int32_t>(mpi::ReduceOp::Max);
+
+bool is(const BuildContext& ctx, Inject i) { return ctx.inject == i; }
+
+/// rank/size declarations + MPI_Init + queries (every benchmark code has
+/// this prologue).
+std::vector<Stmt> preamble() {
+  std::vector<Stmt> v;
+  v.push_back(S::decl_int("rank"));
+  v.push_back(S::decl_int("size"));
+  v.push_back(S::mpi(Func::Init, {}));
+  v.push_back(S::mpi(Func::CommRank, {A::val(kW), A::addr("rank")}));
+  v.push_back(S::mpi(Func::CommSize, {A::val(kW), A::addr("size")}));
+  return v;
+}
+
+/// Optional compute filler scaled by size class (structural diversity +
+/// the Figure 2 size spread).
+void add_filler(Program& p, const BuildContext& ctx, const std::string& buf) {
+  const int n = ctx.size_class == 0 ? 0 : ctx.size_class == 1
+                    ? static_cast<int>(ctx.rng->uniform_int(0, 2))
+                    : static_cast<int>(ctx.rng->uniform_int(3, 6));
+  for (int i = 0; i < n; ++i) {
+    p.main_body.push_back(
+        S::compute(buf, ctx.rng->uniform_int(8, 32)));
+  }
+}
+
+void add_finalize(Program& p, const BuildContext& ctx) {
+  if (!is(ctx, Inject::MissingFinalizeCall)) {
+    p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  }
+  p.main_body.push_back(S::ret(E::lit(0)));
+}
+
+Stmt send(Func f, std::string buf, Expr count, std::int32_t dtype, Expr dest,
+          Expr tag) {
+  return S::mpi(f, {A::buf(std::move(buf)), A::val(std::move(count)),
+                    A::val(dtype), A::val(std::move(dest)),
+                    A::val(std::move(tag)), A::val(kW)});
+}
+
+Stmt recv(std::string buf, Expr count, std::int32_t dtype, Expr src,
+          Expr tag) {
+  return S::mpi(Func::Recv, {A::buf(std::move(buf)), A::val(std::move(count)),
+                             A::val(dtype), A::val(std::move(src)),
+                             A::val(std::move(tag)), A::val(kW), A::null()});
+}
+
+// ===========================================================================
+// 1. pingpong — blocking point-to-point between ranks 0 and 1
+// ===========================================================================
+
+Program tpl_pingpong(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "pingpong";
+  p.nprocs = 2;
+  const int count = static_cast<int>(rng.uniform_int(1, 64));
+  const std::int32_t dtype = rng.chance(0.5) ? kInt : kDouble;
+  const ir::Type elem = dtype == kInt ? ir::Type::I32 : ir::Type::F64;
+  const int tag = static_cast<int>(rng.uniform_int(0, 9));
+  const Func send_fn = rng.chance(0.3) ? Func::Ssend : Func::Send;
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", elem, E::lit(count)));
+  p.main_body.push_back(S::buf_store("buf", E::lit(0), E::lit(1)));
+  add_filler(p, ctx, "buf");
+
+  // Injection-dependent parameters on rank 0's send.
+  Expr s_count = E::lit(is(ctx, Inject::BadCount) ? -count : count);
+  Expr s_dest = E::lit(is(ctx, Inject::BadRank) ? 5 : 1);
+  Expr s_tag = E::lit(is(ctx, Inject::BadTag) ? -3 : tag);
+  std::int32_t s_dtype = dtype;
+  if (is(ctx, Inject::BadDatatype)) s_dtype = 0;  // MPI_DATATYPE_NULL
+  if (is(ctx, Inject::MismatchDatatype)) s_dtype = dtype == kInt ? kFloat : kInt;
+  Expr r_count = E::lit(is(ctx, Inject::MismatchCount) ? count * 2 : count);
+  Expr r_tag = E::lit(is(ctx, Inject::MismatchTag) ? tag + 1 : tag);
+
+  std::vector<Stmt> r0, r1;
+  if (is(ctx, Inject::RecvRecvCycle)) {
+    // Both sides receive first: head-to-head deadlock.
+    r0.push_back(recv("buf", E::lit(count), dtype, E::lit(1), E::lit(tag)));
+    r0.push_back(send(send_fn, "buf", E::lit(count), dtype, E::lit(1),
+                      E::lit(tag)));
+    r1.push_back(recv("buf", E::lit(count), dtype, E::lit(0), E::lit(tag)));
+    r1.push_back(send(send_fn, "buf", E::lit(count), dtype, E::lit(0),
+                      E::lit(tag)));
+  } else if (is(ctx, Inject::SsendCycle)) {
+    // Synchronous sends on both sides before any receive.
+    r0.push_back(send(Func::Ssend, "buf", E::lit(count), dtype, E::lit(1),
+                      E::lit(tag)));
+    r0.push_back(recv("buf", E::lit(count), dtype, E::lit(1), E::lit(tag)));
+    r1.push_back(send(Func::Ssend, "buf", E::lit(count), dtype, E::lit(0),
+                      E::lit(tag)));
+    r1.push_back(recv("buf", E::lit(count), dtype, E::lit(0), E::lit(tag)));
+  } else {
+    if (is(ctx, Inject::NullBuf)) {
+      r0.push_back(S::mpi(send_fn,
+                          {A::null(), A::val(E::lit(count)), A::val(dtype),
+                           A::val(1), A::val(tag), A::val(kW)}));
+    } else {
+      r0.push_back(send(send_fn, "buf", std::move(s_count), s_dtype,
+                        std::move(s_dest), std::move(s_tag)));
+    }
+    r0.push_back(recv("buf", E::lit(count), dtype, E::lit(1),
+                      E::lit(tag + 1)));
+    if (!is(ctx, Inject::MissingRecv)) {
+      r1.push_back(recv("buf", std::move(r_count), dtype, E::lit(0),
+                        std::move(r_tag)));
+    }
+    r1.push_back(send(Func::Send, "buf", E::lit(count), dtype, E::lit(0),
+                      E::lit(tag + 1)));
+  }
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 2. ring — each rank sends right, receives from left
+// ===========================================================================
+
+Program tpl_ring(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "ring";
+  p.nprocs = static_cast<int>(rng.uniform_int(3, 4));
+  const int count = static_cast<int>(rng.uniform_int(1, 32));
+  const int tag = static_cast<int>(rng.uniform_int(0, 5));
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(count)));
+  p.main_body.push_back(S::decl_int("right"));
+  p.main_body.push_back(S::decl_int("left"));
+  p.main_body.push_back(S::assign(
+      "right", E::mod(E::add(E::ref("rank"), E::lit(1)), E::ref("size"))));
+  p.main_body.push_back(S::assign(
+      "left",
+      E::mod(E::add(E::ref("rank"), E::sub(E::ref("size"), E::lit(1))),
+             E::ref("size"))));
+  add_filler(p, ctx, "buf");
+
+  Expr dest = is(ctx, Inject::BadRank) ? E::add(E::ref("size"), E::lit(2))
+                                       : E::ref("right");
+  const Expr cnt =
+      is(ctx, Inject::MismatchCount)
+          ? E::add(E::lit(count), E::mul(E::ref("rank"), E::lit(2)))
+          : E::lit(count);
+  if (is(ctx, Inject::RecvRecvCycle)) {
+    p.main_body.push_back(
+        recv("buf", E::lit(count), kInt, E::ref("left"), E::lit(tag)));
+    p.main_body.push_back(send(Func::Send, "buf", E::lit(count), kInt,
+                               std::move(dest), E::lit(tag)));
+  } else {
+    p.main_body.push_back(send(Func::Send, "buf", cnt, kInt,
+                               std::move(dest), E::lit(tag)));
+    p.main_body.push_back(
+        recv("buf", E::lit(count), kInt, E::ref("left"), E::lit(tag)));
+  }
+  p.main_body.push_back(S::mpi(Func::Barrier, {A::val(kW)}));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 3. coll_seq — a sequence of collectives with compute in between
+// ===========================================================================
+
+Program tpl_coll_seq(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "coll_seq";
+  p.nprocs = static_cast<int>(rng.uniform_int(2, 4));
+  const int count = static_cast<int>(rng.uniform_int(1, 32));
+  const std::int32_t dtype = rng.chance(0.5) ? kInt : kDouble;
+  const ir::Type elem = dtype == kInt ? ir::Type::I32 : ir::Type::F64;
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("sbuf", elem, E::lit(count)));
+  p.main_body.push_back(
+      S::decl_buf("rbuf", elem, E::lit(count * p.nprocs)));
+  p.main_body.push_back(S::buf_store("sbuf", E::lit(0), E::lit(3)));
+  add_filler(p, ctx, "sbuf");
+
+  // Injection-dependent collective arguments.
+  Expr root = E::lit(is(ctx, Inject::BadRoot) ? 9 : 0);
+  if (is(ctx, Inject::MismatchRoot)) {
+    // root differs across ranks (0 on rank 0, 1 elsewhere).
+    p.main_body.push_back(S::decl_int("root", E::lit(1)));
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                                 {S::assign("root", E::lit(0))}));
+    root = E::ref("root");
+  }
+  std::int32_t bcast_dtype = dtype;
+  if (is(ctx, Inject::BadDatatype)) bcast_dtype = 0;
+  Expr bcast_count = E::lit(is(ctx, Inject::BadCount) ? -1 : count);
+  if (is(ctx, Inject::MismatchCount)) {
+    p.main_body.push_back(S::decl_int("n", E::lit(count)));
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                                 {S::assign("n", E::lit(count * 2))}));
+    bcast_count = E::ref("n");
+  }
+  std::int32_t dt2 = dtype;
+  if (is(ctx, Inject::MismatchDatatype)) {
+    p.main_body.push_back(S::decl_int("dt", E::lit(dtype)));
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                                 {S::assign("dt", E::lit(kChar))}));
+    // datatype handle is rank-dependent: classic matching error.
+  }
+  Expr op = E::lit(is(ctx, Inject::BadOp) ? 0 : kSum);
+  if (is(ctx, Inject::MismatchOp)) {
+    p.main_body.push_back(S::decl_int("op", E::lit(kSum)));
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                                 {S::assign("op", E::lit(kMax))}));
+    op = E::ref("op");
+  }
+
+  const Stmt bcast =
+      is(ctx, Inject::NullBuf)
+          ? S::mpi(Func::Bcast, {A::null(), A::val(E::lit(count)),
+                                 A::val(dtype), A::val(0), A::val(kW)})
+          : S::mpi(Func::Bcast,
+                   {A::buf("sbuf"), A::val(bcast_count),
+                    is(ctx, Inject::MismatchDatatype) ? A::val(E::ref("dt"))
+                                                      : A::val(bcast_dtype),
+                    A::val(std::move(root)), A::val(kW)});
+  const Stmt barrier = S::mpi(Func::Barrier, {A::val(kW)});
+  const Stmt reduce = S::mpi(
+      Func::Reduce, {A::buf("sbuf"), A::buf("rbuf"), A::val(E::lit(count)),
+                     A::val(dtype), A::val(std::move(op)), A::val(0),
+                     A::val(kW)});
+  (void)dt2;
+
+  if (is(ctx, Inject::SwapCollectives)) {
+    // rank 0 runs Barrier;Bcast, everyone else Bcast;Barrier.
+    std::vector<Stmt> r0{barrier, bcast};
+    std::vector<Stmt> rx{bcast, barrier};
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                                 std::move(r0), std::move(rx)));
+  } else if (is(ctx, Inject::MissingCollOnOneRank)) {
+    // rank 0 skips the barrier entirely.
+    std::vector<Stmt> rx{barrier};
+    p.main_body.push_back(S::if_(E::ne(E::ref("rank"), E::lit(0)),
+                                 std::move(rx)));
+    p.main_body.push_back(bcast);
+  } else if (is(ctx, Inject::FinalizeEarly)) {
+    // rank 0 finalizes before the collective everyone else enters.
+    std::vector<Stmt> r0{S::mpi(Func::Finalize, {}), S::ret(E::lit(0))};
+    p.main_body.push_back(
+        S::if_(E::eq(E::ref("rank"), E::lit(0)), std::move(r0)));
+    p.main_body.push_back(barrier);
+  } else {
+    p.main_body.push_back(bcast);
+    if (ctx.size_class >= 1) p.main_body.push_back(barrier);
+    p.main_body.push_back(reduce);
+  }
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 4. gatherscatter — Gather / Scatter / Allgather round
+// ===========================================================================
+
+Program tpl_gatherscatter(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "gatherscatter";
+  p.nprocs = static_cast<int>(rng.uniform_int(2, 4));
+  const int count = static_cast<int>(rng.uniform_int(1, 16));
+
+  p.main_body = preamble();
+  // Send buffers sized for the scatter case (root reads count*nprocs).
+  p.main_body.push_back(
+      S::decl_buf("sbuf", ir::Type::I32, E::lit(count * p.nprocs)));
+  p.main_body.push_back(
+      S::decl_buf("rbuf", ir::Type::I32, E::lit(count * p.nprocs)));
+  add_filler(p, ctx, "sbuf");
+
+  const Expr root = E::lit(is(ctx, Inject::BadRoot) ? -4 : 0);
+  const Expr scount = E::lit(is(ctx, Inject::BadCount) ? -2 : count);
+  std::int32_t rdtype = kInt;
+  if (is(ctx, Inject::MismatchDatatype)) rdtype = kChar;
+  const Func which = rng.chance(0.5) ? Func::Gather : Func::Scatter;
+  p.main_body.push_back(S::mpi(
+      which, {A::buf("sbuf"), A::val(scount), A::val(kInt), A::buf("rbuf"),
+              A::val(E::lit(count)), A::val(rdtype), A::val(root),
+              A::val(kW)}));
+  if (ctx.size_class >= 1) {
+    p.main_body.push_back(S::mpi(
+        Func::Allgather,
+        {A::buf("sbuf"), A::val(E::lit(count)), A::val(kInt), A::buf("rbuf"),
+         A::val(E::lit(count)), A::val(kInt), A::val(kW)}));
+  }
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 5. nonblocking — Isend/Irecv + Wait(all)
+// ===========================================================================
+
+Program tpl_nonblocking(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "nonblocking";
+  p.nprocs = 2;
+  // Above the eager threshold so requests genuinely stay in flight.
+  const int count = static_cast<int>(rng.uniform_int(1200, 4000));
+  const int tag = static_cast<int>(rng.uniform_int(0, 5));
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(count)));
+  p.main_body.push_back(S::decl_handle("req", HandleKind::Request));
+  add_filler(p, ctx, "buf");
+
+  const Expr cnt = E::lit(is(ctx, Inject::BadCount) ? -count : count);
+  const Expr dest = E::lit(is(ctx, Inject::BadRank) ? 7 : 1);
+
+  std::vector<Stmt> r0;
+  const Stmt isend = S::mpi(
+      Func::Isend, {A::buf("buf"), A::val(cnt), A::val(kInt), A::val(dest),
+                    A::val(tag), A::val(kW), A::addr("req")});
+  const Stmt wait = S::mpi(Func::Wait, {A::addr("req"), A::null()});
+  if (is(ctx, Inject::WaitBeforeIsend)) {
+    r0.push_back(wait);
+    r0.push_back(isend);
+    r0.push_back(wait);
+  } else {
+    r0.push_back(isend);
+    if (is(ctx, Inject::WriteBeforeWait)) {
+      r0.push_back(S::buf_store("buf", E::lit(0), E::lit(13)));
+    }
+    if (!is(ctx, Inject::MissingWait)) r0.push_back(wait);
+  }
+
+  std::vector<Stmt> r1;
+  const Stmt irecv = S::mpi(
+      Func::Irecv, {A::buf("buf"), A::val(E::lit(count)), A::val(kInt),
+                    A::val(0), A::val(tag), A::val(kW), A::addr("req")});
+  r1.push_back(irecv);
+  if (is(ctx, Inject::ReadBeforeWait)) {
+    // Read the in-flight receive buffer into a scalar before waiting.
+    r1.push_back(S::decl_int("x"));
+    r1.push_back(S::buf_store("buf", E::lit(1), E::lit(2)));
+  }
+  r1.push_back(S::mpi(Func::Wait, {A::addr("req"), A::null()}));
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 6. persistent — Send_init/Recv_init + Start/Wait loops
+// ===========================================================================
+
+Program tpl_persistent(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "persistent";
+  p.nprocs = 2;
+  const int count = static_cast<int>(rng.uniform_int(4, 64));
+  const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(count)));
+  p.main_body.push_back(S::decl_handle("req", HandleKind::Request));
+  p.main_body.push_back(S::decl_int("it"));
+  add_filler(p, ctx, "buf");
+
+  std::vector<Stmt> r0, r1;
+  r0.push_back(S::mpi(Func::SendInit,
+                      {A::buf("buf"), A::val(count), A::val(kInt), A::val(1),
+                       A::val(0), A::val(kW), A::addr("req")}));
+  r1.push_back(S::mpi(Func::RecvInit,
+                      {A::buf("buf"), A::val(count), A::val(kInt), A::val(0),
+                       A::val(0), A::val(kW), A::addr("req")}));
+  const Stmt start = S::mpi(Func::Start, {A::addr("req")});
+  const Stmt wait = S::mpi(Func::Wait, {A::addr("req"), A::null()});
+
+  std::vector<Stmt> loop_body;
+  if (is(ctx, Inject::WaitInactive)) {
+    loop_body.push_back(wait);  // wait before any start
+    loop_body.push_back(start);
+    loop_body.push_back(wait);
+  } else if (is(ctx, Inject::DoubleStartPersistent) ||
+             is(ctx, Inject::StartOnActive)) {
+    loop_body.push_back(start);
+    loop_body.push_back(start);  // start while active
+    loop_body.push_back(wait);
+  } else if (is(ctx, Inject::MissingWait)) {
+    loop_body.push_back(start);
+  } else {
+    loop_body.push_back(start);
+    loop_body.push_back(wait);
+  }
+  for (auto* side : {&r0, &r1}) {
+    side->push_back(S::for_("it", E::lit(0), E::lit(rounds),
+                            std::vector<Stmt>(loop_body)));
+    if (!is(ctx, Inject::LeakRequestPersistent)) {
+      side->push_back(S::mpi(Func::RequestFree, {A::addr("req")}));
+    }
+  }
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 7. master_worker — workers send results to rank 0
+// ===========================================================================
+
+Program tpl_master_worker(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "master_worker";
+  const bool race = is(ctx, Inject::WildcardRace);
+  // The correct wildcard variant keeps a single worker, so the wildcard
+  // receive is deterministic; the race variant has two racing workers.
+  const bool wildcard = race || rng.chance(0.4);
+  p.nprocs = race ? 3 : (wildcard ? 2 : static_cast<int>(rng.uniform_int(2, 4)));
+  const int count = static_cast<int>(rng.uniform_int(1, 32));
+  const int tag = static_cast<int>(rng.uniform_int(0, 5));
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(count)));
+  p.main_body.push_back(S::decl_int("w"));
+  add_filler(p, ctx, "buf");
+
+  std::vector<Stmt> master;
+  const Expr src = wildcard ? E::lit(mpi::kAnySource) : E::ref("w");
+  master.push_back(S::for_(
+      "w", E::lit(1), E::ref("size"),
+      {recv("buf", E::lit(count), kInt, src, E::lit(tag))}));
+
+  std::vector<Stmt> worker;
+  const Expr wtag = is(ctx, Inject::BadTag)
+                        ? E::lit(mpi::kTagUb + 100)
+                        : E::lit(tag);
+  worker.push_back(S::buf_store("buf", E::lit(0), E::ref("rank")));
+  if (!is(ctx, Inject::MissingRecv)) {
+    // (MissingRecv here = master missing one message: worker skips send)
+    worker.push_back(send(Func::Send, "buf", E::lit(count), kInt, E::lit(0),
+                          wtag));
+  }
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(master), std::move(worker)));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 8. rma_fence — Put/Get inside fence epochs
+// ===========================================================================
+
+Program tpl_rma_fence(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "rma_fence";
+  p.nprocs = is(ctx, Inject::ConflictingPuts) ||
+                     is(ctx, Inject::PutLoadConflict)
+                 ? 3
+                 : 2;
+  const int count = static_cast<int>(rng.uniform_int(1, 8));
+  const int wsize = 64;
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("wbuf", ir::Type::I32, E::lit(16)));
+  p.main_body.push_back(S::decl_buf("obuf", ir::Type::I32, E::lit(16)));
+  p.main_body.push_back(S::decl_handle("win", HandleKind::Win));
+  p.main_body.push_back(S::mpi(Func::WinCreate,
+                               {A::buf("wbuf"), A::val(E::lit(wsize)),
+                                A::val(4), A::val(kW), A::addr("win")}));
+  add_filler(p, ctx, "obuf");
+
+  const Stmt fence = S::mpi(Func::WinFence, {A::val(0), A::val(E::ref("win"))});
+  const Stmt put = S::mpi(
+      Func::Put, {A::buf("obuf"), A::val(count), A::val(kInt), A::val(1),
+                  A::val(E::lit(0)), A::val(count), A::val(kInt),
+                  A::val(E::ref("win"))});
+  const Stmt get = S::mpi(
+      Func::Get, {A::buf("obuf"), A::val(count), A::val(kInt), A::val(1),
+                  A::val(E::lit(0)), A::val(count), A::val(kInt),
+                  A::val(E::ref("win"))});
+
+  if (is(ctx, Inject::MissingFence) || is(ctx, Inject::PutOutsideEpoch)) {
+    // No opening fence: access outside an epoch.
+    p.main_body.push_back(
+        S::if_(E::eq(E::ref("rank"), E::lit(0)), {put}));
+    p.main_body.push_back(S::mpi(Func::Barrier, {A::val(kW)}));
+  } else if (is(ctx, Inject::FenceAfterPut)) {
+    p.main_body.push_back(
+        S::if_(E::eq(E::ref("rank"), E::lit(0)), {put}));
+    p.main_body.push_back(fence);
+    p.main_body.push_back(fence);
+  } else if (is(ctx, Inject::ConflictingPuts)) {
+    p.main_body.push_back(fence);
+    p.main_body.push_back(
+        S::if_(E::ne(E::ref("rank"), E::lit(1)), {put}));
+    p.main_body.push_back(fence);
+  } else if (is(ctx, Inject::PutLoadConflict)) {
+    // rank 0 puts while rank 2 gets the same range in the same epoch.
+    p.main_body.push_back(fence);
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)), {put}));
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(2)), {get}));
+    p.main_body.push_back(fence);
+  } else {
+    p.main_body.push_back(fence);
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)), {put}));
+    p.main_body.push_back(fence);
+    if (ctx.size_class >= 1) {
+      p.main_body.push_back(fence);
+      p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)), {get}));
+      p.main_body.push_back(fence);
+    }
+  }
+  if (!is(ctx, Inject::LeakWin)) {
+    p.main_body.push_back(S::mpi(Func::WinFree, {A::addr("win")}));
+  }
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 9. rma_lock — passive-target lock/unlock epochs
+// ===========================================================================
+
+Program tpl_rma_lock(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "rma_lock";
+  p.nprocs = 2;
+  const int count = static_cast<int>(rng.uniform_int(1, 8));
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("wbuf", ir::Type::I32, E::lit(16)));
+  p.main_body.push_back(S::decl_buf("obuf", ir::Type::I32, E::lit(16)));
+  p.main_body.push_back(S::decl_handle("win", HandleKind::Win));
+  p.main_body.push_back(S::mpi(Func::WinCreate,
+                               {A::buf("wbuf"), A::val(E::lit(64)),
+                                A::val(4), A::val(kW), A::addr("win")}));
+  add_filler(p, ctx, "obuf");
+
+  const Stmt lock = S::mpi(Func::WinLock,
+                           {A::val(mpi::kLockExclusive), A::val(1), A::val(0),
+                            A::val(E::ref("win"))});
+  const Stmt unlock =
+      S::mpi(Func::WinUnlock, {A::val(1), A::val(E::ref("win"))});
+  const Stmt put = S::mpi(
+      Func::Put, {A::buf("obuf"), A::val(count), A::val(kInt), A::val(1),
+                  A::val(E::lit(0)), A::val(count), A::val(kInt),
+                  A::val(E::ref("win"))});
+
+  std::vector<Stmt> r0;
+  if (is(ctx, Inject::ExtraUnlock)) {
+    r0 = {lock, put, unlock, unlock};
+  } else if (is(ctx, Inject::MissingUnlock)) {
+    r0 = {lock, put};
+  } else if (is(ctx, Inject::PutOutsideEpoch)) {
+    r0 = {put};
+  } else {
+    r0 = {lock, put, unlock};
+  }
+  p.main_body.push_back(
+      S::if_(E::eq(E::ref("rank"), E::lit(0)), std::move(r0)));
+  p.main_body.push_back(S::mpi(Func::Barrier, {A::val(kW)}));
+  p.main_body.push_back(S::mpi(Func::WinFree, {A::addr("win")}));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 10. comm_mgmt — dup/split + collective on the derived communicator
+// ===========================================================================
+
+Program tpl_comm_mgmt(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "comm_mgmt";
+  p.nprocs = static_cast<int>(rng.uniform_int(2, 4));
+  const bool use_split = rng.chance(0.5);
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_handle("sub", HandleKind::Comm));
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(8)));
+  add_filler(p, ctx, "buf");
+
+  if (use_split) {
+    p.main_body.push_back(S::decl_int("color"));
+    p.main_body.push_back(
+        S::assign("color", E::mod(E::ref("rank"), E::lit(2))));
+    p.main_body.push_back(S::mpi(Func::CommSplit,
+                                 {A::val(kW), A::val(E::ref("color")),
+                                  A::val(E::ref("rank")), A::addr("sub")}));
+  } else {
+    p.main_body.push_back(
+        S::mpi(Func::CommDup, {A::val(kW), A::addr("sub")}));
+  }
+  p.main_body.push_back(S::mpi(Func::Barrier, {A::val(E::ref("sub"))}));
+  if (is(ctx, Inject::SwapCollectives)) {
+    // Collective order differs across the sub-communicator.
+    std::vector<Stmt> r0{
+        S::mpi(Func::Barrier, {A::val(E::ref("sub"))}),
+        S::mpi(Func::Bcast, {A::buf("buf"), A::val(8), A::val(kInt),
+                             A::val(0), A::val(E::ref("sub"))})};
+    std::vector<Stmt> rx{
+        S::mpi(Func::Bcast, {A::buf("buf"), A::val(8), A::val(kInt),
+                             A::val(0), A::val(E::ref("sub"))}),
+        S::mpi(Func::Barrier, {A::val(E::ref("sub"))})};
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                                 std::move(r0), std::move(rx)));
+  }
+  if (!is(ctx, Inject::LeakComm)) {
+    p.main_body.push_back(S::mpi(Func::CommFree, {A::addr("sub")}));
+  }
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 11. dtype_usage — derived datatype lifecycle
+// ===========================================================================
+
+Program tpl_dtype(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "dtype_usage";
+  p.nprocs = 2;
+  const int blocks = static_cast<int>(rng.uniform_int(2, 6));
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_handle("dt", HandleKind::Datatype));
+  p.main_body.push_back(
+      S::decl_buf("buf", ir::Type::I32, E::lit(blocks * 8)));
+  add_filler(p, ctx, "buf");
+
+  const Expr tc_count = E::lit(is(ctx, Inject::BadCount) ? -blocks : blocks);
+  const std::int32_t base = is(ctx, Inject::BadDatatype) ? 0 : kInt;
+  p.main_body.push_back(S::mpi(
+      Func::TypeContiguous, {A::val(tc_count), A::val(base), A::addr("dt")}));
+  if (!is(ctx, Inject::MissingCommit)) {
+    p.main_body.push_back(S::mpi(Func::TypeCommit, {A::addr("dt")}));
+  }
+  std::vector<Stmt> r0{S::mpi(Func::Send,
+                              {A::buf("buf"), A::val(1),
+                               A::val(E::ref("dt")), A::val(1), A::val(0),
+                               A::val(kW)})};
+  std::vector<Stmt> r1{S::mpi(Func::Recv,
+                              {A::buf("buf"), A::val(1),
+                               A::val(E::ref("dt")), A::val(0), A::val(0),
+                               A::val(kW), A::null()})};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  if (!is(ctx, Inject::LeakType)) {
+    p.main_body.push_back(S::mpi(Func::TypeFree, {A::addr("dt")}));
+  }
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// Registry
+// ===========================================================================
+
+std::vector<Template> build_registry() {
+  using I = Inject;
+  return {
+      {"pingpong", &tpl_pingpong,
+       {I::BadCount, I::BadTag, I::BadRank, I::NullBuf, I::BadDatatype,
+        I::MismatchDatatype, I::MismatchCount, I::MismatchTag,
+        I::RecvRecvCycle, I::SsendCycle, I::MissingRecv}},
+      {"ring", &tpl_ring,
+       {I::BadRank, I::MismatchCount, I::RecvRecvCycle}},
+      {"coll_seq", &tpl_coll_seq,
+       {I::BadRoot, I::BadCount, I::NullBuf, I::BadDatatype, I::BadOp,
+        I::MismatchRoot, I::MismatchOp, I::MismatchCount,
+        I::MismatchDatatype, I::SwapCollectives, I::MissingCollOnOneRank,
+        I::FinalizeEarly, I::MissingFinalizeCall}},
+      {"gatherscatter", &tpl_gatherscatter,
+       {I::BadRoot, I::BadCount, I::MismatchDatatype}},
+      {"nonblocking", &tpl_nonblocking,
+       {I::BadCount, I::BadRank, I::WriteBeforeWait, I::ReadBeforeWait,
+        I::MissingWait, I::WaitBeforeIsend}},
+      {"persistent", &tpl_persistent,
+       {I::WaitInactive, I::DoubleStartPersistent, I::StartOnActive,
+        I::MissingWait, I::LeakRequestPersistent}},
+      {"master_worker", &tpl_master_worker,
+       {I::WildcardRace, I::BadTag, I::MissingRecv}},
+      {"rma_fence", &tpl_rma_fence,
+       {I::MissingFence, I::PutOutsideEpoch, I::FenceAfterPut,
+        I::ConflictingPuts, I::PutLoadConflict, I::LeakWin}},
+      {"rma_lock", &tpl_rma_lock,
+       {I::ExtraUnlock, I::MissingUnlock, I::PutOutsideEpoch}},
+      {"comm_mgmt", &tpl_comm_mgmt, {I::LeakComm, I::SwapCollectives}},
+      {"dtype_usage", &tpl_dtype,
+       {I::MissingCommit, I::LeakType, I::BadDatatype, I::BadCount}},
+  };
+}
+
+}  // namespace
+
+std::string_view inject_name(Inject i) {
+  switch (i) {
+    case Inject::None: return "none";
+    case Inject::BadCount: return "BadCount";
+    case Inject::BadTag: return "BadTag";
+    case Inject::BadRank: return "BadRank";
+    case Inject::NullBuf: return "NullBuf";
+    case Inject::BadDatatype: return "BadDatatype";
+    case Inject::BadRoot: return "BadRoot";
+    case Inject::BadOp: return "BadOp";
+    case Inject::MismatchDatatype: return "MismatchDatatype";
+    case Inject::MismatchCount: return "MismatchCount";
+    case Inject::MismatchRoot: return "MismatchRoot";
+    case Inject::MismatchOp: return "MismatchOp";
+    case Inject::MismatchTag: return "MismatchTag";
+    case Inject::SwapCollectives: return "SwapCollectives";
+    case Inject::RecvRecvCycle: return "RecvRecvCycle";
+    case Inject::SsendCycle: return "SsendCycle";
+    case Inject::MissingCollOnOneRank: return "MissingCollOnOneRank";
+    case Inject::WaitBeforeIsend: return "WaitBeforeIsend";
+    case Inject::FenceAfterPut: return "FenceAfterPut";
+    case Inject::FinalizeEarly: return "FinalizeEarly";
+    case Inject::WriteBeforeWait: return "WriteBeforeWait";
+    case Inject::ReadBeforeWait: return "ReadBeforeWait";
+    case Inject::MissingWait: return "MissingWait";
+    case Inject::DoubleStartPersistent: return "DoubleStartPersistent";
+    case Inject::StartOnActive: return "StartOnActive";
+    case Inject::WaitInactive: return "WaitInactive";
+    case Inject::MissingFence: return "MissingFence";
+    case Inject::PutOutsideEpoch: return "PutOutsideEpoch";
+    case Inject::ExtraUnlock: return "ExtraUnlock";
+    case Inject::MissingUnlock: return "MissingUnlock";
+    case Inject::WildcardRace: return "WildcardRace";
+    case Inject::ConflictingPuts: return "ConflictingPuts";
+    case Inject::PutLoadConflict: return "PutLoadConflict";
+    case Inject::LeakComm: return "LeakComm";
+    case Inject::LeakType: return "LeakType";
+    case Inject::LeakWin: return "LeakWin";
+    case Inject::LeakRequestPersistent: return "LeakRequestPersistent";
+    case Inject::MissingRecv: return "MissingRecv";
+    case Inject::MissingCommit: return "MissingCommit";
+    case Inject::MissingFinalizeCall: return "MissingFinalizeCall";
+  }
+  MPIDETECT_UNREACHABLE("bad Inject");
+}
+
+const std::vector<Template>& all_templates() {
+  static const std::vector<Template> registry = build_registry();
+  return registry;
+}
+
+std::vector<const Template*> templates_for(Inject inj) {
+  std::vector<const Template*> out;
+  for (const Template& t : all_templates()) {
+    if (inj == Inject::None ||
+        std::find(t.supported.begin(), t.supported.end(), inj) !=
+            t.supported.end()) {
+      out.push_back(&t);
+    }
+  }
+  return out;
+}
+
+const std::vector<Inject>& injections_for(mpi::MbiLabel l) {
+  using I = Inject;
+  static const std::map<mpi::MbiLabel, std::vector<Inject>> table = {
+      {mpi::MbiLabel::InvalidParameter,
+       {I::BadCount, I::BadTag, I::BadRank, I::NullBuf, I::BadDatatype,
+        I::BadRoot, I::BadOp}},
+      {mpi::MbiLabel::ParameterMatching,
+       {I::MismatchDatatype, I::MismatchCount, I::MismatchRoot,
+        I::MismatchOp, I::MismatchTag}},
+      {mpi::MbiLabel::CallOrdering,
+       {I::SwapCollectives, I::RecvRecvCycle, I::SsendCycle,
+        I::MissingCollOnOneRank, I::FinalizeEarly}},
+      {mpi::MbiLabel::LocalConcurrency,
+       {I::WriteBeforeWait, I::ReadBeforeWait}},
+      {mpi::MbiLabel::RequestLifecycle,
+       {I::MissingWait, I::DoubleStartPersistent, I::StartOnActive,
+        I::WaitInactive}},
+      {mpi::MbiLabel::EpochLifecycle,
+       {I::MissingFence, I::PutOutsideEpoch, I::ExtraUnlock,
+        I::MissingUnlock}},
+      {mpi::MbiLabel::MessageRace, {I::WildcardRace}},
+      {mpi::MbiLabel::GlobalConcurrency,
+       {I::ConflictingPuts, I::PutLoadConflict}},
+      {mpi::MbiLabel::ResourceLeak,
+       {I::LeakComm, I::LeakType, I::LeakWin, I::LeakRequestPersistent}},
+  };
+  return table.at(l);
+}
+
+const std::vector<Inject>& injections_for(mpi::CorrLabel l) {
+  using I = Inject;
+  static const std::map<mpi::CorrLabel, std::vector<Inject>> table = {
+      {mpi::CorrLabel::ArgError,
+       {I::BadCount, I::BadTag, I::BadRank, I::NullBuf, I::BadDatatype,
+        I::BadRoot, I::BadOp}},
+      {mpi::CorrLabel::ArgMismatch,
+       {I::MismatchDatatype, I::MismatchCount, I::MismatchRoot,
+        I::MismatchTag}},
+      {mpi::CorrLabel::MissplacedCall,
+       {I::SwapCollectives, I::WaitBeforeIsend, I::FenceAfterPut,
+        I::FinalizeEarly, I::RecvRecvCycle}},
+      {mpi::CorrLabel::MissingCall,
+       {I::MissingRecv, I::MissingWait, I::MissingFence, I::MissingCommit,
+        I::MissingFinalizeCall, I::MissingCollOnOneRank}},
+  };
+  return table.at(l);
+}
+
+}  // namespace mpidetect::datasets

@@ -1,0 +1,104 @@
+// Program templates shared by the MBI and MPI-CorrBench generators.
+//
+// Each template builds a *correct* MPI program exercising one feature
+// family (blocking p2p, collectives, nonblocking, persistent, RMA, comm
+// management, derived datatypes) and knows how to inject the concrete
+// faults it can express. The suite generators pick (label -> injection
+// -> compatible template) so every benchmark error class maps to real,
+// distinct code patterns — mirroring how MBI's own generator derives its
+// ~2,000 codes from feature x error templates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "progmodel/ast.hpp"
+#include "mpi/errors.hpp"
+#include "support/rng.hpp"
+
+namespace mpidetect::datasets {
+
+/// Concrete fault to inject; the suite label is derived from it.
+enum class Inject : std::uint8_t {
+  None,
+  // single-call argument errors (MBI Invalid Parameter / Corr ArgError)
+  BadCount,
+  BadTag,
+  BadRank,
+  NullBuf,
+  BadDatatype,
+  BadRoot,
+  BadOp,
+  // cross-rank argument mismatches (Parameter Matching / ArgMismatch)
+  MismatchDatatype,
+  MismatchCount,
+  MismatchRoot,
+  MismatchOp,
+  MismatchTag,
+  // ordering (Call Ordering / MissplacedCall)
+  SwapCollectives,
+  RecvRecvCycle,
+  SsendCycle,
+  MissingCollOnOneRank,
+  WaitBeforeIsend,
+  FenceAfterPut,
+  FinalizeEarly,
+  // local concurrency
+  WriteBeforeWait,
+  ReadBeforeWait,
+  // request lifecycle
+  MissingWait,
+  DoubleStartPersistent,
+  StartOnActive,
+  WaitInactive,
+  // epoch lifecycle
+  MissingFence,
+  PutOutsideEpoch,
+  ExtraUnlock,
+  MissingUnlock,
+  // message race
+  WildcardRace,
+  // global concurrency
+  ConflictingPuts,
+  PutLoadConflict,
+  // resource leaks
+  LeakComm,
+  LeakType,
+  LeakWin,
+  LeakRequestPersistent,
+  // missing calls (Corr MissingCall)
+  MissingRecv,
+  MissingCommit,
+  MissingFinalizeCall,
+};
+
+std::string_view inject_name(Inject i);
+
+/// Size class knob: 0 = tiny (CorrBench level-zero), 1 = typical MBI
+/// code, 2 = large (extra phases + compute filler).
+struct BuildContext {
+  Rng* rng = nullptr;
+  Inject inject = Inject::None;
+  int size_class = 1;
+};
+
+using TemplateFn = progmodel::Program (*)(const BuildContext&);
+
+struct Template {
+  std::string_view id;
+  TemplateFn fn;
+  std::vector<Inject> supported;  // besides Inject::None
+};
+
+/// Full template registry.
+const std::vector<Template>& all_templates();
+
+/// Templates that can express a given injection.
+std::vector<const Template*> templates_for(Inject inj);
+
+/// Injection menus per suite label (error labels only).
+const std::vector<Inject>& injections_for(mpi::MbiLabel l);
+const std::vector<Inject>& injections_for(mpi::CorrLabel l);
+
+}  // namespace mpidetect::datasets

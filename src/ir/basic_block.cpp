@@ -1,0 +1,65 @@
+#include "ir/basic_block.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mpidetect::ir {
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+  MPIDETECT_EXPECTS(inst != nullptr);
+  inst->set_parent(this);
+  insts_.push_back(std::move(inst));
+  return insts_.back().get();
+}
+
+Instruction* BasicBlock::insert(std::size_t pos,
+                                std::unique_ptr<Instruction> inst) {
+  MPIDETECT_EXPECTS(pos <= insts_.size());
+  inst->set_parent(this);
+  auto it = insts_.insert(insts_.begin() + static_cast<std::ptrdiff_t>(pos),
+                          std::move(inst));
+  return it->get();
+}
+
+void BasicBlock::erase(std::size_t pos) {
+  MPIDETECT_EXPECTS(pos < insts_.size());
+  insts_.erase(insts_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+void BasicBlock::erase(const Instruction* inst) {
+  auto it = std::find_if(insts_.begin(), insts_.end(),
+                         [&](const auto& p) { return p.get() == inst; });
+  MPIDETECT_EXPECTS(it != insts_.end());
+  insts_.erase(it);
+}
+
+std::unique_ptr<Instruction> BasicBlock::take_front() {
+  MPIDETECT_EXPECTS(!insts_.empty());
+  std::unique_ptr<Instruction> inst = std::move(insts_.front());
+  insts_.erase(insts_.begin());
+  inst->set_parent(nullptr);
+  return inst;
+}
+
+std::unique_ptr<Instruction> BasicBlock::take_back() {
+  MPIDETECT_EXPECTS(!insts_.empty());
+  std::unique_ptr<Instruction> inst = std::move(insts_.back());
+  insts_.pop_back();
+  inst->set_parent(nullptr);
+  return inst;
+}
+
+Instruction* BasicBlock::terminator() const {
+  if (insts_.empty()) return nullptr;
+  Instruction* last = insts_.back().get();
+  return last->is_term() ? last : nullptr;
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  const Instruction* term = terminator();
+  if (term == nullptr) return {};
+  return term->block_operands();
+}
+
+}  // namespace mpidetect::ir

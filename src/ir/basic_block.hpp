@@ -1,0 +1,67 @@
+// Basic blocks own their instructions in program order; the terminator,
+// when present, is the last instruction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace mpidetect::ir {
+
+class Function;
+
+class BasicBlock final {
+ public:
+  BasicBlock(Function* parent, std::string name)
+      : parent_(parent), name_(std::move(name)) {}
+
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  Function* parent() const { return parent_; }
+  const std::string& name() const { return name_; }
+
+  /// Position within the parent function's block list (set by Function).
+  std::size_t index() const { return index_; }
+  void set_index(std::size_t i) { index_ = i; }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return insts_;
+  }
+  bool empty() const { return insts_.empty(); }
+  std::size_t size() const { return insts_.size(); }
+
+  /// Appends and takes ownership; returns the raw observer pointer.
+  Instruction* append(std::unique_ptr<Instruction> inst);
+
+  /// Inserts before position `pos` (0 = front).
+  Instruction* insert(std::size_t pos, std::unique_ptr<Instruction> inst);
+
+  /// Removes (and destroys) the instruction at position `pos`.
+  void erase(std::size_t pos);
+
+  /// Removes (and destroys) a specific instruction; it must be in this block.
+  void erase(const Instruction* inst);
+
+  /// Detaches and returns the first instruction (block-merge splicing).
+  std::unique_ptr<Instruction> take_front();
+
+  /// Detaches and returns the last instruction (block splitting).
+  std::unique_ptr<Instruction> take_back();
+
+  /// Last instruction if it is a terminator, else nullptr.
+  Instruction* terminator() const;
+
+  /// Successor blocks derived from the terminator (empty for Ret / none).
+  std::vector<BasicBlock*> successors() const;
+
+ private:
+  Function* parent_;
+  std::string name_;
+  std::size_t index_ = 0;
+  std::vector<std::unique_ptr<Instruction>> insts_;
+};
+
+}  // namespace mpidetect::ir

@@ -1,0 +1,189 @@
+#include "ir/builder.hpp"
+
+#include "support/check.hpp"
+
+namespace mpidetect::ir {
+
+Instruction* IRBuilder::emit(Opcode op, Type type, std::string name) {
+  MPIDETECT_EXPECTS(bb_ != nullptr);
+  auto inst = std::make_unique<Instruction>(op, type, std::move(name));
+  inst->set_id(module_.next_value_id());
+  return bb_->append(std::move(inst));
+}
+
+Instruction* IRBuilder::alloca_(Type elem, Value* count, std::string name) {
+  MPIDETECT_EXPECTS(count != nullptr && is_integer(count->type()));
+  Instruction* inst = emit(Opcode::Alloca, Type::Ptr, std::move(name));
+  inst->set_alloc_type(elem);
+  inst->add_operand(count);
+  return inst;
+}
+
+Instruction* IRBuilder::alloca_(Type elem, std::int64_t count,
+                                std::string name) {
+  return alloca_(elem, module_.get_i64(count), std::move(name));
+}
+
+Instruction* IRBuilder::load(Type type, Value* ptr, std::string name) {
+  MPIDETECT_EXPECTS(ptr != nullptr && ptr->type() == Type::Ptr);
+  MPIDETECT_EXPECTS(is_first_class(type));
+  Instruction* inst = emit(Opcode::Load, type, std::move(name));
+  inst->set_access_type(type);
+  inst->add_operand(ptr);
+  return inst;
+}
+
+Instruction* IRBuilder::store(Value* value, Value* ptr) {
+  MPIDETECT_EXPECTS(value != nullptr && is_first_class(value->type()));
+  MPIDETECT_EXPECTS(ptr != nullptr && ptr->type() == Type::Ptr);
+  Instruction* inst = emit(Opcode::Store, Type::Void, "");
+  inst->set_access_type(value->type());
+  inst->add_operand(value);
+  inst->add_operand(ptr);
+  return inst;
+}
+
+Instruction* IRBuilder::gep(Type elem, Value* ptr, Value* index,
+                            std::string name) {
+  MPIDETECT_EXPECTS(ptr != nullptr && ptr->type() == Type::Ptr);
+  MPIDETECT_EXPECTS(index != nullptr && is_integer(index->type()));
+  Instruction* inst = emit(Opcode::Gep, Type::Ptr, std::move(name));
+  inst->set_access_type(elem);
+  inst->add_operand(ptr);
+  inst->add_operand(index);
+  return inst;
+}
+
+Instruction* IRBuilder::binop(Opcode op, Value* lhs, Value* rhs,
+                              std::string name) {
+  MPIDETECT_EXPECTS(lhs != nullptr && rhs != nullptr);
+  MPIDETECT_EXPECTS(lhs->type() == rhs->type());
+  if (is_binary_int(op)) {
+    MPIDETECT_EXPECTS(is_integer(lhs->type()));
+  } else {
+    MPIDETECT_EXPECTS(is_binary_float(op) && is_float(lhs->type()));
+  }
+  Instruction* inst = emit(op, lhs->type(), std::move(name));
+  inst->add_operand(lhs);
+  inst->add_operand(rhs);
+  return inst;
+}
+
+Instruction* IRBuilder::icmp(CmpPred pred, Value* lhs, Value* rhs,
+                             std::string name) {
+  MPIDETECT_EXPECTS(lhs != nullptr && rhs != nullptr);
+  MPIDETECT_EXPECTS(lhs->type() == rhs->type() && is_integer(lhs->type()));
+  Instruction* inst = emit(Opcode::ICmp, Type::I1, std::move(name));
+  inst->set_cmp_pred(pred);
+  inst->add_operand(lhs);
+  inst->add_operand(rhs);
+  return inst;
+}
+
+Instruction* IRBuilder::fcmp(CmpPred pred, Value* lhs, Value* rhs,
+                             std::string name) {
+  MPIDETECT_EXPECTS(lhs != nullptr && rhs != nullptr);
+  MPIDETECT_EXPECTS(lhs->type() == rhs->type() && is_float(lhs->type()));
+  Instruction* inst = emit(Opcode::FCmp, Type::I1, std::move(name));
+  inst->set_cmp_pred(pred);
+  inst->add_operand(lhs);
+  inst->add_operand(rhs);
+  return inst;
+}
+
+Instruction* IRBuilder::select(Value* cond, Value* tv, Value* fv,
+                               std::string name) {
+  MPIDETECT_EXPECTS(cond != nullptr && cond->type() == Type::I1);
+  MPIDETECT_EXPECTS(tv != nullptr && fv != nullptr &&
+                    tv->type() == fv->type());
+  Instruction* inst = emit(Opcode::Select, tv->type(), std::move(name));
+  inst->add_operand(cond);
+  inst->add_operand(tv);
+  inst->add_operand(fv);
+  return inst;
+}
+
+Instruction* IRBuilder::cast(Opcode op, Value* v, Type to, std::string name) {
+  MPIDETECT_EXPECTS(v != nullptr);
+  switch (op) {
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc:
+      MPIDETECT_EXPECTS(is_integer(v->type()) && is_integer(to));
+      break;
+    case Opcode::SIToFP:
+      MPIDETECT_EXPECTS(is_integer(v->type()) && is_float(to));
+      break;
+    case Opcode::FPToSI:
+      MPIDETECT_EXPECTS(is_float(v->type()) && is_integer(to));
+      break;
+    default:
+      MPIDETECT_UNREACHABLE("not a cast opcode");
+  }
+  Instruction* inst = emit(op, to, std::move(name));
+  inst->add_operand(v);
+  return inst;
+}
+
+Instruction* IRBuilder::phi(Type type, std::string name) {
+  MPIDETECT_EXPECTS(is_first_class(type));
+  return emit(Opcode::Phi, type, std::move(name));
+}
+
+void IRBuilder::add_incoming(Instruction* phi, Value* v, BasicBlock* pred) {
+  MPIDETECT_EXPECTS(phi != nullptr && phi->opcode() == Opcode::Phi);
+  MPIDETECT_EXPECTS(v != nullptr && v->type() == phi->type());
+  MPIDETECT_EXPECTS(pred != nullptr);
+  phi->add_operand(v);
+  phi->add_block_operand(pred);
+}
+
+Instruction* IRBuilder::call(Function* callee, std::vector<Value*> args,
+                             std::string name) {
+  MPIDETECT_EXPECTS(callee != nullptr);
+  if (callee->is_varargs()) {
+    MPIDETECT_EXPECTS(args.size() >= callee->num_args());
+  } else {
+    MPIDETECT_EXPECTS(args.size() == callee->num_args());
+  }
+  for (std::size_t i = 0; i < callee->num_args(); ++i) {
+    MPIDETECT_EXPECTS(args[i] != nullptr &&
+                      args[i]->type() == callee->arg(i)->type());
+  }
+  Instruction* inst = emit(Opcode::Call, callee->return_type(),
+                           callee->return_type() == Type::Void
+                               ? std::string{}
+                               : std::move(name));
+  inst->set_callee(callee);
+  for (Value* a : args) inst->add_operand(a);
+  return inst;
+}
+
+Instruction* IRBuilder::br(BasicBlock* dest) {
+  MPIDETECT_EXPECTS(dest != nullptr);
+  Instruction* inst = emit(Opcode::Br, Type::Void, "");
+  inst->add_block_operand(dest);
+  return inst;
+}
+
+Instruction* IRBuilder::cond_br(Value* cond, BasicBlock* then_bb,
+                                BasicBlock* else_bb) {
+  MPIDETECT_EXPECTS(cond != nullptr && cond->type() == Type::I1);
+  MPIDETECT_EXPECTS(then_bb != nullptr && else_bb != nullptr);
+  Instruction* inst = emit(Opcode::CondBr, Type::Void, "");
+  inst->add_operand(cond);
+  inst->add_block_operand(then_bb);
+  inst->add_block_operand(else_bb);
+  return inst;
+}
+
+Instruction* IRBuilder::ret(Value* v) {
+  MPIDETECT_EXPECTS(v != nullptr && is_first_class(v->type()));
+  Instruction* inst = emit(Opcode::Ret, Type::Void, "");
+  inst->add_operand(v);
+  return inst;
+}
+
+Instruction* IRBuilder::ret_void() { return emit(Opcode::Ret, Type::Void, ""); }
+
+}  // namespace mpidetect::ir

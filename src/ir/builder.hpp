@@ -1,0 +1,90 @@
+// IRBuilder: the only sanctioned way to create instructions. It assigns
+// value ids, type-checks operands eagerly (so malformed IR fails at the
+// construction site, not deep inside a model), and appends at the
+// current insertion point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace mpidetect::ir {
+
+class IRBuilder final {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  Module& module() const { return module_; }
+
+  void set_insert_point(BasicBlock* bb) { bb_ = bb; }
+  BasicBlock* insert_block() const { return bb_; }
+
+  // --- memory ---------------------------------------------------------------
+  /// Stack allocation of `count` elements of `elem` type; returns ptr.
+  Instruction* alloca_(Type elem, Value* count, std::string name = "");
+  Instruction* alloca_(Type elem, std::int64_t count = 1,
+                       std::string name = "");
+  Instruction* load(Type type, Value* ptr, std::string name = "");
+  Instruction* store(Value* value, Value* ptr);
+  /// ptr + index * type_size(elem)
+  Instruction* gep(Type elem, Value* ptr, Value* index, std::string name = "");
+
+  // --- arithmetic -------------------------------------------------------------
+  Instruction* binop(Opcode op, Value* lhs, Value* rhs, std::string name = "");
+  Instruction* add(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::Add, l, r, std::move(n));
+  }
+  Instruction* sub(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::Sub, l, r, std::move(n));
+  }
+  Instruction* mul(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::Mul, l, r, std::move(n));
+  }
+  Instruction* sdiv(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::SDiv, l, r, std::move(n));
+  }
+  Instruction* srem(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::SRem, l, r, std::move(n));
+  }
+  Instruction* fadd(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::FAdd, l, r, std::move(n));
+  }
+  Instruction* fsub(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::FSub, l, r, std::move(n));
+  }
+  Instruction* fmul(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::FMul, l, r, std::move(n));
+  }
+  Instruction* fdiv(Value* l, Value* r, std::string n = "") {
+    return binop(Opcode::FDiv, l, r, std::move(n));
+  }
+
+  // --- compare / convert / select --------------------------------------------
+  Instruction* icmp(CmpPred pred, Value* lhs, Value* rhs,
+                    std::string name = "");
+  Instruction* fcmp(CmpPred pred, Value* lhs, Value* rhs,
+                    std::string name = "");
+  Instruction* select(Value* cond, Value* tv, Value* fv, std::string name = "");
+  Instruction* cast(Opcode op, Value* v, Type to, std::string name = "");
+
+  // --- SSA / control ----------------------------------------------------------
+  /// Phi starts empty; use add_incoming() per predecessor.
+  Instruction* phi(Type type, std::string name = "");
+  static void add_incoming(Instruction* phi, Value* v, BasicBlock* pred);
+
+  Instruction* call(Function* callee, std::vector<Value*> args,
+                    std::string name = "");
+  Instruction* br(BasicBlock* dest);
+  Instruction* cond_br(Value* cond, BasicBlock* then_bb, BasicBlock* else_bb);
+  Instruction* ret(Value* v);
+  Instruction* ret_void();
+
+ private:
+  Instruction* emit(Opcode op, Type type, std::string name);
+
+  Module& module_;
+  BasicBlock* bb_ = nullptr;
+};
+
+}  // namespace mpidetect::ir

@@ -1,0 +1,50 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mpidetect::ir {
+
+std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>>
+predecessor_map(const Function& f) {
+  std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> preds;
+  for (const auto& bb : f.blocks()) preds[bb.get()];  // ensure entry exists
+  for (const auto& bb : f.blocks()) {
+    for (BasicBlock* succ : bb->successors()) {
+      preds[succ].push_back(bb.get());
+    }
+  }
+  return preds;
+}
+
+namespace {
+void post_order_visit(BasicBlock* bb,
+                      std::unordered_set<const BasicBlock*>& seen,
+                      std::vector<BasicBlock*>& out) {
+  if (!seen.insert(bb).second) return;
+  for (BasicBlock* succ : bb->successors()) post_order_visit(succ, seen, out);
+  out.push_back(bb);
+}
+}  // namespace
+
+std::vector<BasicBlock*> reverse_post_order(const Function& f) {
+  if (f.is_declaration()) return {};
+  std::unordered_set<const BasicBlock*> seen;
+  std::vector<BasicBlock*> post;
+  post_order_visit(f.entry(), seen, post);
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+std::vector<const BasicBlock*> reachable_blocks(const Function& f) {
+  std::vector<const BasicBlock*> out;
+  for (BasicBlock* bb : reverse_post_order(f)) out.push_back(bb);
+  return out;
+}
+
+bool is_reachable(const Function& f, const BasicBlock* bb) {
+  const auto blocks = reachable_blocks(f);
+  return std::find(blocks.begin(), blocks.end(), bb) != blocks.end();
+}
+
+}  // namespace mpidetect::ir

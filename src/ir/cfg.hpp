@@ -1,0 +1,27 @@
+// CFG utilities: predecessor maps, reverse post-order, reachability.
+// These feed the flow-aware IR2vec encoding, the ProGraML builder, the
+// optimizer, and PARCOACH-lite's divergence analysis.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace mpidetect::ir {
+
+/// Predecessors of every block (unreachable blocks included with empty
+/// entries). Pointers observe blocks owned by the function.
+std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>>
+predecessor_map(const Function& f);
+
+/// Reverse post-order over blocks reachable from entry.
+std::vector<BasicBlock*> reverse_post_order(const Function& f);
+
+/// Blocks reachable from entry (set semantics via sorted vector).
+std::vector<const BasicBlock*> reachable_blocks(const Function& f);
+
+/// True if `bb` is reachable from the entry block.
+bool is_reachable(const Function& f, const BasicBlock* bb);
+
+}  // namespace mpidetect::ir

@@ -1,0 +1,47 @@
+#include "ir/function.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mpidetect::ir {
+
+Function::Function(Module* parent, std::string name, Type return_type,
+                   std::vector<Type> param_types, bool varargs)
+    : Value(ValueKind::Function, Type::Ptr, std::move(name)),
+      parent_(parent),
+      return_type_(return_type),
+      varargs_(varargs) {
+  args_.reserve(param_types.size());
+  for (std::size_t i = 0; i < param_types.size(); ++i) {
+    args_.push_back(std::make_unique<Argument>(
+        param_types[i], "arg" + std::to_string(i), static_cast<unsigned>(i)));
+  }
+}
+
+BasicBlock* Function::entry() const {
+  MPIDETECT_EXPECTS(!blocks_.empty());
+  return blocks_.front().get();
+}
+
+BasicBlock* Function::create_block(std::string name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(this, std::move(name)));
+  blocks_.back()->set_index(blocks_.size() - 1);
+  return blocks_.back().get();
+}
+
+void Function::erase_block(const BasicBlock* bb) {
+  auto it = std::find_if(blocks_.begin(), blocks_.end(),
+                         [&](const auto& p) { return p.get() == bb; });
+  MPIDETECT_EXPECTS(it != blocks_.end());
+  blocks_.erase(it);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) blocks_[i]->set_index(i);
+}
+
+std::size_t Function::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& bb : blocks_) n += bb->size();
+  return n;
+}
+
+}  // namespace mpidetect::ir

@@ -1,0 +1,57 @@
+// Functions own their arguments and basic blocks. A function with no
+// blocks is a declaration — that is how the MPI API surface appears in a
+// module (mirroring how clang-emitted LLVM IR declares MPI_* externs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+#include "ir/value.hpp"
+
+namespace mpidetect::ir {
+
+class Module;
+
+class Function final : public Value {
+ public:
+  Function(Module* parent, std::string name, Type return_type,
+           std::vector<Type> param_types, bool varargs = false);
+
+  Module* parent() const { return parent_; }
+  Type return_type() const { return return_type_; }
+  bool is_varargs() const { return varargs_; }
+
+  bool is_declaration() const { return blocks_.empty(); }
+
+  const std::vector<std::unique_ptr<Argument>>& args() const { return args_; }
+  Argument* arg(std::size_t i) const { return args_.at(i).get(); }
+  std::size_t num_args() const { return args_.size(); }
+
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  BasicBlock* entry() const;
+
+  /// Creates, owns, and returns a new block appended at the end.
+  BasicBlock* create_block(std::string name);
+
+  /// Removes (and destroys) a block; callers must have already rewritten
+  /// branches/phis that referenced it. Re-indexes remaining blocks.
+  void erase_block(const BasicBlock* bb);
+
+  /// Total instruction count across all blocks (the "LoC" proxy reported
+  /// by the dataset size study, Figure 2).
+  std::size_t instruction_count() const;
+
+ private:
+  Module* parent_;
+  Type return_type_;
+  bool varargs_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+}  // namespace mpidetect::ir

@@ -1,0 +1,56 @@
+#include "ir/instruction.hpp"
+
+#include "support/check.hpp"
+
+namespace mpidetect::ir {
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "getelementptr";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Select: return "select";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::Phi: return "phi";
+    case Opcode::Call: return "call";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Ret: return "ret";
+  }
+  MPIDETECT_UNREACHABLE("bad Opcode");
+}
+
+std::string_view cmp_pred_name(CmpPred p) {
+  switch (p) {
+    case CmpPred::EQ: return "eq";
+    case CmpPred::NE: return "ne";
+    case CmpPred::SLT: return "slt";
+    case CmpPred::SLE: return "sle";
+    case CmpPred::SGT: return "sgt";
+    case CmpPred::SGE: return "sge";
+  }
+  MPIDETECT_UNREACHABLE("bad CmpPred");
+}
+
+}  // namespace mpidetect::ir

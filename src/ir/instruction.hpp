@@ -1,0 +1,138 @@
+// Instructions of the mini-IR. The opcode set covers what the MPI
+// benchmark programs lower to: stack allocation, memory access, integer
+// and floating arithmetic, comparisons, control flow, and calls.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ir/value.hpp"
+
+namespace mpidetect::ir {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode : std::uint8_t {
+  // Memory
+  Alloca,
+  Load,
+  Store,
+  Gep,  // pointer + byte-scaled element index
+  // Integer arithmetic / bitwise
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  AShr,
+  // Floating arithmetic
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Comparisons / conversions / selection
+  ICmp,
+  FCmp,
+  Select,
+  ZExt,
+  SExt,
+  Trunc,
+  SIToFP,
+  FPToSI,
+  // Control / calls / SSA
+  Phi,
+  Call,
+  Br,      // unconditional
+  CondBr,  // conditional, two successors
+  Ret,
+};
+
+std::string_view opcode_name(Opcode op);
+
+/// Number of distinct opcodes (vocabulary size for embeddings / graphs).
+constexpr std::size_t kNumOpcodes = static_cast<std::size_t>(Opcode::Ret) + 1;
+
+enum class CmpPred : std::uint8_t { EQ, NE, SLT, SLE, SGT, SGE };
+
+std::string_view cmp_pred_name(CmpPred p);
+
+constexpr bool is_terminator(Opcode op) {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+constexpr bool is_binary_int(Opcode op) {
+  return op >= Opcode::Add && op <= Opcode::AShr;
+}
+
+constexpr bool is_binary_float(Opcode op) {
+  return op >= Opcode::FAdd && op <= Opcode::FDiv;
+}
+
+/// A single SSA instruction. Operands are non-owning Value*.
+/// Successor blocks (for Br/CondBr) and phi incoming blocks are kept in a
+/// separate block-operand list so that all value operands stay uniform.
+class Instruction final : public Value {
+ public:
+  Instruction(Opcode op, Type type, std::string name)
+      : Value(ValueKind::Instruction, type, std::move(name)), op_(op) {}
+
+  Opcode opcode() const { return op_; }
+
+  BasicBlock* parent() const { return parent_; }
+  void set_parent(BasicBlock* bb) { parent_ = bb; }
+
+  // --- value operands -----------------------------------------------------
+  const std::vector<Value*>& operands() const { return operands_; }
+  Value* operand(std::size_t i) const { return operands_.at(i); }
+  std::size_t num_operands() const { return operands_.size(); }
+  void add_operand(Value* v) { operands_.push_back(v); }
+  void set_operand(std::size_t i, Value* v) { operands_.at(i) = v; }
+  void clear_operands() { operands_.clear(); }
+
+  // --- block operands (successors for Br/CondBr, incoming for Phi) --------
+  const std::vector<BasicBlock*>& block_operands() const { return blocks_; }
+  BasicBlock* block_operand(std::size_t i) const { return blocks_.at(i); }
+  void add_block_operand(BasicBlock* bb) { blocks_.push_back(bb); }
+  void set_block_operand(std::size_t i, BasicBlock* bb) { blocks_.at(i) = bb; }
+  /// Truncates the block-operand list (phi incoming maintenance).
+  void shrink_block_operands(std::size_t n) {
+    if (n < blocks_.size()) blocks_.resize(n);
+  }
+
+  // --- call ----------------------------------------------------------------
+  Function* callee() const { return callee_; }
+  void set_callee(Function* f) { callee_ = f; }
+
+  // --- comparison predicate ------------------------------------------------
+  CmpPred cmp_pred() const { return pred_; }
+  void set_cmp_pred(CmpPred p) { pred_ = p; }
+
+  // --- alloca --------------------------------------------------------------
+  /// Element type of an Alloca; the allocation size in bytes is
+  /// type_size(alloc_type()) * constant-or-dynamic count operand(0).
+  Type alloc_type() const { return alloc_type_; }
+  void set_alloc_type(Type t) { alloc_type_ = t; }
+
+  /// Element type of a Gep / Load / Store access (byte scaling factor).
+  Type access_type() const { return alloc_type_; }
+  void set_access_type(Type t) { alloc_type_ = t; }
+
+  bool is_term() const { return is_terminator(op_); }
+
+ private:
+  Opcode op_;
+  BasicBlock* parent_ = nullptr;
+  std::vector<Value*> operands_;
+  std::vector<BasicBlock*> blocks_;
+  Function* callee_ = nullptr;
+  CmpPred pred_ = CmpPred::EQ;
+  Type alloc_type_ = Type::I32;
+};
+
+}  // namespace mpidetect::ir

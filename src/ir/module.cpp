@@ -1,0 +1,75 @@
+#include "ir/module.hpp"
+
+#include "support/check.hpp"
+
+namespace mpidetect::ir {
+
+Function* Module::create_function(std::string name, Type return_type,
+                                  std::vector<Type> param_types,
+                                  bool varargs) {
+  MPIDETECT_EXPECTS(find_function(name) == nullptr);
+  functions_.push_back(std::make_unique<Function>(
+      this, std::move(name), return_type, std::move(param_types), varargs));
+  Function* f = functions_.back().get();
+  f->set_id(next_value_id());
+  for (const auto& a : f->args()) a->set_id(next_value_id());
+  return f;
+}
+
+Function* Module::get_or_declare(const std::string& name, Type return_type,
+                                 std::vector<Type> param_types, bool varargs) {
+  if (Function* f = find_function(name)) {
+    MPIDETECT_CHECK(f->return_type() == return_type);
+    MPIDETECT_CHECK(f->is_varargs() == varargs);
+    MPIDETECT_CHECK(f->num_args() == param_types.size());
+    return f;
+  }
+  return create_function(name, return_type, std::move(param_types), varargs);
+}
+
+Function* Module::find_function(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+ConstantInt* Module::get_int(Type type, std::int64_t v) {
+  MPIDETECT_EXPECTS(is_integer(type));
+  const auto key = std::make_pair(type, v);
+  if (auto it = int_pool_.find(key); it != int_pool_.end()) return it->second;
+  auto owned = std::make_unique<ConstantInt>(type, v);
+  owned->set_id(next_value_id());
+  ConstantInt* raw = owned.get();
+  constants_.push_back(std::move(owned));
+  int_pool_.emplace(key, raw);
+  return raw;
+}
+
+ConstantFP* Module::get_f64(double v) {
+  if (auto it = fp_pool_.find(v); it != fp_pool_.end()) return it->second;
+  auto owned = std::make_unique<ConstantFP>(v);
+  owned->set_id(next_value_id());
+  ConstantFP* raw = owned.get();
+  constants_.push_back(std::move(owned));
+  fp_pool_.emplace(v, raw);
+  return raw;
+}
+
+ConstantInt* Module::get_nullptr() {
+  if (nullptr_ == nullptr) {
+    auto owned = std::make_unique<ConstantInt>(Type::Ptr, 0);
+    owned->set_id(next_value_id());
+    nullptr_ = owned.get();
+    constants_.push_back(std::move(owned));
+  }
+  return nullptr_;
+}
+
+std::size_t Module::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& f : functions_) n += f->instruction_count();
+  return n;
+}
+
+}  // namespace mpidetect::ir

@@ -1,0 +1,74 @@
+// A Module is one "compilation unit": the unit of embedding (IR2vec
+// emits one vector per module) and of graph construction (ProGraML emits
+// one graph per module). It owns all functions and interns constants.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/value.hpp"
+
+namespace mpidetect::ir {
+
+class Module final {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- functions -----------------------------------------------------------
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+
+  /// Creates a function with a body to be filled in by the builder.
+  Function* create_function(std::string name, Type return_type,
+                            std::vector<Type> param_types,
+                            bool varargs = false);
+
+  /// Returns the function with that name, declaring it if absent.
+  /// If it exists, the signature must match (contract-checked).
+  Function* get_or_declare(const std::string& name, Type return_type,
+                           std::vector<Type> param_types,
+                           bool varargs = false);
+
+  /// Function lookup by name; nullptr when absent.
+  Function* find_function(const std::string& name) const;
+
+  // --- constants (interned) -------------------------------------------------
+  ConstantInt* get_int(Type type, std::int64_t v);
+  ConstantInt* get_i32(std::int64_t v) { return get_int(Type::I32, v); }
+  ConstantInt* get_i64(std::int64_t v) { return get_int(Type::I64, v); }
+  ConstantInt* get_bool(bool v) { return get_int(Type::I1, v ? 1 : 0); }
+  ConstantFP* get_f64(double v);
+
+  /// The null pointer constant (an interned zero of pointer type).
+  ConstantInt* get_nullptr();
+
+  const std::vector<std::unique_ptr<Value>>& constants() const {
+    return constants_;
+  }
+
+  /// Assigns a fresh module-unique value id; used by the builder.
+  std::uint32_t next_value_id() { return next_id_++; }
+
+  /// Total instruction count across defined functions.
+  std::size_t instruction_count() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<Value>> constants_;
+  std::map<std::pair<Type, std::int64_t>, ConstantInt*> int_pool_;
+  std::map<double, ConstantFP*> fp_pool_;
+  ConstantInt* nullptr_ = nullptr;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace mpidetect::ir

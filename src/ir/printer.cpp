@@ -1,0 +1,145 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace mpidetect::ir {
+
+std::string operand_name(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::ConstantInt: {
+      const auto& c = static_cast<const ConstantInt&>(v);
+      return std::string(type_name(c.type())) + " " +
+             std::to_string(c.value());
+    }
+    case ValueKind::ConstantFP: {
+      const auto& c = static_cast<const ConstantFP&>(v);
+      return "double " + fmt_double(c.value(), 6);
+    }
+    case ValueKind::Argument:
+    case ValueKind::Instruction: {
+      std::string base = v.name().empty() ? "v" : v.name();
+      return "%" + base + "." + std::to_string(v.id());
+    }
+    case ValueKind::Function:
+      return "@" + v.name();
+  }
+  MPIDETECT_UNREACHABLE("bad ValueKind");
+}
+
+std::string to_string(const Instruction& inst) {
+  std::ostringstream os;
+  if (inst.type() != Type::Void) {
+    os << operand_name(inst) << " = ";
+  }
+  os << opcode_name(inst.opcode());
+  switch (inst.opcode()) {
+    case Opcode::Alloca:
+      os << " " << type_name(inst.alloc_type()) << ", count "
+         << operand_name(*inst.operand(0));
+      break;
+    case Opcode::Load:
+      os << " " << type_name(inst.type()) << ", "
+         << operand_name(*inst.operand(0));
+      break;
+    case Opcode::Store:
+      os << " " << operand_name(*inst.operand(0)) << ", "
+         << operand_name(*inst.operand(1));
+      break;
+    case Opcode::Gep:
+      os << " " << type_name(inst.access_type()) << ", "
+         << operand_name(*inst.operand(0)) << ", idx "
+         << operand_name(*inst.operand(1));
+      break;
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+      os << " " << cmp_pred_name(inst.cmp_pred()) << " "
+         << operand_name(*inst.operand(0)) << ", "
+         << operand_name(*inst.operand(1));
+      break;
+    case Opcode::Phi: {
+      os << " " << type_name(inst.type());
+      for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+        os << (i == 0 ? " " : ", ") << "[" << operand_name(*inst.operand(i))
+           << ", " << inst.block_operand(i)->name() << "]";
+      }
+      break;
+    }
+    case Opcode::Call: {
+      os << " " << type_name(inst.callee()->return_type()) << " @"
+         << inst.callee()->name() << "(";
+      for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+        if (i != 0) os << ", ";
+        os << operand_name(*inst.operand(i));
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::Br:
+      os << " label " << inst.block_operand(0)->name();
+      break;
+    case Opcode::CondBr:
+      os << " " << operand_name(*inst.operand(0)) << ", label "
+         << inst.block_operand(0)->name() << ", label "
+         << inst.block_operand(1)->name();
+      break;
+    case Opcode::Ret:
+      if (inst.num_operands() == 0) {
+        os << " void";
+      } else {
+        os << " " << operand_name(*inst.operand(0));
+      }
+      break;
+    default: {
+      // Uniform binary / cast spelling.
+      for (std::size_t i = 0; i < inst.num_operands(); ++i) {
+        os << (i == 0 ? " " : ", ") << operand_name(*inst.operand(i));
+      }
+      if (inst.opcode() == Opcode::ZExt || inst.opcode() == Opcode::SExt ||
+          inst.opcode() == Opcode::Trunc || inst.opcode() == Opcode::SIToFP ||
+          inst.opcode() == Opcode::FPToSI) {
+        os << " to " << type_name(inst.type());
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string to_string(const Function& f) {
+  std::ostringstream os;
+  os << (f.is_declaration() ? "declare " : "define ")
+     << type_name(f.return_type()) << " @" << f.name() << "(";
+  for (std::size_t i = 0; i < f.num_args(); ++i) {
+    if (i != 0) os << ", ";
+    os << type_name(f.arg(i)->type()) << " " << operand_name(*f.arg(i));
+  }
+  if (f.is_varargs()) os << (f.num_args() ? ", ..." : "...");
+  os << ")";
+  if (f.is_declaration()) {
+    os << "\n";
+    return os.str();
+  }
+  os << " {\n";
+  for (const auto& bb : f.blocks()) {
+    os << bb->name() << ":\n";
+    for (const auto& inst : bb->instructions()) {
+      os << "  " << to_string(*inst) << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_string(const Module& m) {
+  std::ostringstream os;
+  os << "; module " << m.name() << "\n";
+  for (const auto& f : m.functions()) {
+    os << to_string(*f) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpidetect::ir

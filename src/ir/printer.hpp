@@ -1,0 +1,21 @@
+// Textual dump of the mini-IR in an LLVM-flavoured syntax. Used by
+// tests (golden comparisons), by examples, and for debugging dataset
+// generators. Parsing back is intentionally unsupported: modules are
+// always built programmatically.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace mpidetect::ir {
+
+std::string to_string(const Module& m);
+std::string to_string(const Function& f);
+std::string to_string(const Instruction& inst);
+
+/// Operand spelling: "%name.id" for instructions/arguments, literal for
+/// constants, "@name" for functions.
+std::string operand_name(const Value& v);
+
+}  // namespace mpidetect::ir

@@ -1,0 +1,31 @@
+#include "ir/type.hpp"
+
+#include "support/check.hpp"
+
+namespace mpidetect::ir {
+
+std::string_view type_name(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::I1: return "i1";
+    case Type::I32: return "i32";
+    case Type::I64: return "i64";
+    case Type::F64: return "double";
+    case Type::Ptr: return "ptr";
+  }
+  MPIDETECT_UNREACHABLE("bad Type");
+}
+
+std::size_t type_size(Type t) {
+  switch (t) {
+    case Type::I1: return 1;
+    case Type::I32: return 4;
+    case Type::I64: return 8;
+    case Type::F64: return 8;
+    case Type::Ptr: return 8;
+    case Type::Void: break;
+  }
+  MPIDETECT_UNREACHABLE("type_size(Void)");
+}
+
+}  // namespace mpidetect::ir

@@ -1,0 +1,36 @@
+// Type system of the mini-IR. Deliberately small: the paper's models only
+// observe type *identity* (an instruction's result type becomes part of
+// its embedding / graph node label), so a handful of scalar types plus an
+// opaque pointer — mirroring modern LLVM's opaque-pointer IR — suffices.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mpidetect::ir {
+
+enum class Type : std::uint8_t {
+  Void,
+  I1,   // booleans / icmp results
+  I32,  // default integer (MPI counts, ranks, tags)
+  I64,  // pointers-as-integers, sizes
+  F64,  // doubles (message payloads in science codes)
+  Ptr,  // opaque pointer
+};
+
+/// "void", "i1", "i32", "i64", "double", "ptr" — the printer spelling.
+std::string_view type_name(Type t);
+
+/// Size in bytes as laid out by the simulator's memory arena.
+/// Void has no size; asking for it is a contract violation.
+std::size_t type_size(Type t);
+
+constexpr bool is_integer(Type t) {
+  return t == Type::I1 || t == Type::I32 || t == Type::I64;
+}
+
+constexpr bool is_float(Type t) { return t == Type::F64; }
+
+constexpr bool is_first_class(Type t) { return t != Type::Void; }
+
+}  // namespace mpidetect::ir

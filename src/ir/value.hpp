@@ -1,0 +1,86 @@
+// Value hierarchy of the mini-IR. Ownership follows the Core Guidelines:
+// the Module owns functions and interned constants via unique_ptr;
+// Functions own arguments and blocks; BasicBlocks own instructions.
+// Every other Value* in the system is a non-owning observer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.hpp"
+
+namespace mpidetect::ir {
+
+enum class ValueKind : std::uint8_t {
+  ConstantInt,
+  ConstantFP,
+  Argument,
+  Instruction,
+  Function,
+};
+
+/// Base of everything that can appear as an instruction operand.
+class Value {
+ public:
+  Value(ValueKind kind, Type type, std::string name)
+      : kind_(kind), type_(type), name_(std::move(name)) {}
+  virtual ~Value() = default;
+
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueKind kind() const { return kind_; }
+  Type type() const { return type_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Module-unique id assigned at creation; stable across printing and
+  /// graph construction (ProGraML node identity).
+  std::uint32_t id() const { return id_; }
+  void set_id(std::uint32_t id) { id_ = id; }
+
+  bool is_constant() const {
+    return kind_ == ValueKind::ConstantInt || kind_ == ValueKind::ConstantFP;
+  }
+
+ private:
+  ValueKind kind_;
+  Type type_;
+  std::string name_;
+  std::uint32_t id_ = 0;
+};
+
+/// Integer constant (covers i1/i32/i64). Interned per Module.
+class ConstantInt final : public Value {
+ public:
+  ConstantInt(Type type, std::int64_t v)
+      : Value(ValueKind::ConstantInt, type, ""), value_(v) {}
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Floating-point constant. Interned per Module.
+class ConstantFP final : public Value {
+ public:
+  explicit ConstantFP(double v)
+      : Value(ValueKind::ConstantFP, Type::F64, ""), value_(v) {}
+  double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Formal parameter of a Function.
+class Argument final : public Value {
+ public:
+  Argument(Type type, std::string name, unsigned index)
+      : Value(ValueKind::Argument, type, std::move(name)), index_(index) {}
+  unsigned index() const { return index_; }
+
+ private:
+  unsigned index_;
+};
+
+}  // namespace mpidetect::ir

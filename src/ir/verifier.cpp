@@ -1,0 +1,127 @@
+#include "ir/verifier.hpp"
+
+#include <unordered_set>
+
+#include "ir/cfg.hpp"
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace mpidetect::ir {
+
+namespace {
+
+void verify_function(const Function& f, std::vector<std::string>& out) {
+  const auto fail = [&](const std::string& msg) {
+    out.push_back("@" + f.name() + ": " + msg);
+  };
+
+  if (f.is_declaration()) return;
+
+  // Collect all values defined in this function so operand references can
+  // be checked for locality.
+  std::unordered_set<const Value*> defined;
+  for (const auto& a : f.args()) defined.insert(a.get());
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) defined.insert(inst.get());
+  }
+
+  const auto preds = predecessor_map(f);
+
+  for (const auto& bb : f.blocks()) {
+    if (bb->empty()) {
+      fail("block " + bb->name() + " is empty");
+      continue;
+    }
+    const Instruction* term = bb->terminator();
+    if (term == nullptr) {
+      fail("block " + bb->name() + " lacks a terminator");
+    }
+    for (std::size_t i = 0; i < bb->size(); ++i) {
+      const Instruction& inst = *bb->instructions()[i];
+      if (inst.is_term() && i + 1 != bb->size()) {
+        fail("terminator mid-block in " + bb->name());
+      }
+      if (inst.opcode() == Opcode::Phi && i > 0 &&
+          bb->instructions()[i - 1]->opcode() != Opcode::Phi) {
+        fail("phi after non-phi in " + bb->name());
+      }
+      if (inst.parent() != bb.get()) {
+        fail("instruction parent link broken in " + bb->name());
+      }
+      for (const Value* op : inst.operands()) {
+        if (op == nullptr) {
+          fail("null operand in " + bb->name());
+          continue;
+        }
+        if (op->kind() == ValueKind::Instruction ||
+            op->kind() == ValueKind::Argument) {
+          if (defined.find(op) == defined.end()) {
+            fail("operand defined outside function in " + bb->name());
+          }
+        }
+      }
+      switch (inst.opcode()) {
+        case Opcode::Call:
+          if (inst.callee() == nullptr) fail("call without callee");
+          break;
+        case Opcode::Br:
+          if (inst.block_operands().size() != 1) fail("br successor count");
+          break;
+        case Opcode::CondBr:
+          if (inst.block_operands().size() != 2) {
+            fail("condbr successor count");
+          }
+          if (inst.num_operands() != 1 ||
+              inst.operand(0)->type() != Type::I1) {
+            fail("condbr condition type");
+          }
+          break;
+        case Opcode::Ret:
+          if (f.return_type() == Type::Void) {
+            if (inst.num_operands() != 0) fail("ret value in void function");
+          } else if (inst.num_operands() != 1 ||
+                     inst.operand(0)->type() != f.return_type()) {
+            fail("ret type mismatch");
+          }
+          break;
+        case Opcode::Phi: {
+          const auto it = preds.find(bb.get());
+          const std::size_t n_preds =
+              it == preds.end() ? 0 : it->second.size();
+          if (inst.num_operands() != inst.block_operands().size()) {
+            fail("phi operand/block arity mismatch");
+          } else if (inst.num_operands() != n_preds &&
+                     !it->second.empty()) {
+            fail("phi incoming count != predecessor count in " + bb->name());
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> verify(const Function& f) {
+  std::vector<std::string> out;
+  verify_function(f, out);
+  return out;
+}
+
+std::vector<std::string> verify(const Module& m) {
+  std::vector<std::string> out;
+  for (const auto& f : m.functions()) verify_function(*f, out);
+  return out;
+}
+
+void verify_or_throw(const Module& m) {
+  const auto diags = verify(m);
+  if (!diags.empty()) {
+    throw ContractViolation("IR verification failed: " + join(diags, "; "));
+  }
+}
+
+}  // namespace mpidetect::ir

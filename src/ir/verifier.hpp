@@ -1,0 +1,20 @@
+// Structural well-formedness checks run after construction and after
+// every optimization pass in tests. Returns a list of human-readable
+// diagnostics; empty means the module verifies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace mpidetect::ir {
+
+std::vector<std::string> verify(const Module& m);
+std::vector<std::string> verify(const Function& f);
+
+/// Convenience used by tests: throws ContractViolation with the joined
+/// diagnostics when verification fails.
+void verify_or_throw(const Module& m);
+
+}  // namespace mpidetect::ir

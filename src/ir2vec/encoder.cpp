@@ -1,0 +1,105 @@
+#include "ir2vec/encoder.hpp"
+
+#include <unordered_map>
+
+#include "ir/cfg.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::ir2vec {
+
+namespace {
+
+using Vec = std::vector<double>;
+
+void axpy(Vec& y, double a, const Vec& x) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+/// Entity contribution of one operand (shared by both encodings).
+void add_operand_entity(Vec& acc, const ir::Value& op,
+                        const Vocabulary& vocab) {
+  axpy(acc, kWarg, vocab.arg_kind(op.kind()));
+  if (op.kind() == ir::ValueKind::ConstantInt) {
+    axpy(acc, kWarg,
+         vocab.constant_bucket(static_cast<const ir::ConstantInt&>(op).value()));
+  } else if (op.kind() == ir::ValueKind::ConstantFP) {
+    axpy(acc, kWarg, vocab.entity("const:fp"));
+  } else {
+    axpy(acc, kWarg, vocab.type(op.type()));
+  }
+}
+
+/// Instruction base vector: opcode + result type + callee identity.
+Vec instruction_base(const ir::Instruction& inst, const Vocabulary& vocab) {
+  Vec v(kDim, 0.0);
+  axpy(v, kWopc, vocab.opcode(inst.opcode()));
+  axpy(v, kWtype, vocab.type(inst.type()));
+  if (inst.opcode() == ir::Opcode::Call && inst.callee() != nullptr) {
+    // The callee is the strongest signal an MPI call site carries.
+    axpy(v, kWopc, vocab.callee(inst.callee()->name()));
+  }
+  if (inst.opcode() == ir::Opcode::ICmp || inst.opcode() == ir::Opcode::FCmp) {
+    axpy(v, kWtype,
+         vocab.entity("pred:" + std::string(ir::cmp_pred_name(inst.cmp_pred()))));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> encode_symbolic(const ir::Module& m,
+                                    const Vocabulary& vocab) {
+  Vec unit(kDim, 0.0);
+  for (const auto& f : m.functions()) {
+    if (f->is_declaration()) continue;
+    for (const auto& bb : f->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        Vec v = instruction_base(*inst, vocab);
+        for (const ir::Value* op : inst->operands()) {
+          add_operand_entity(v, *op, vocab);
+        }
+        axpy(unit, 1.0, v);
+      }
+    }
+  }
+  return unit;
+}
+
+std::vector<double> encode_flow_aware(const ir::Module& m,
+                                      const Vocabulary& vocab) {
+  Vec unit(kDim, 0.0);
+  for (const auto& f : m.functions()) {
+    if (f->is_declaration()) continue;
+    // Computed vectors of already-visited instructions (RPO order means
+    // most defs are seen before uses; loop back-edges fall back to the
+    // symbolic operand entity, as IR2vec's fixpoint cutoff does).
+    std::unordered_map<const ir::Value*, Vec> computed;
+    for (ir::BasicBlock* bb : ir::reverse_post_order(*f)) {
+      for (const auto& inst : bb->instructions()) {
+        Vec v = instruction_base(*inst, vocab);
+        for (const ir::Value* op : inst->operands()) {
+          const auto it = computed.find(op);
+          if (it != computed.end()) {
+            axpy(v, kFlowDamping * kWarg, it->second);
+          } else {
+            add_operand_entity(v, *op, vocab);
+          }
+        }
+        axpy(unit, 1.0, v);
+        computed.emplace(inst.get(), std::move(v));
+      }
+    }
+  }
+  return unit;
+}
+
+std::vector<double> encode_concat(const ir::Module& m,
+                                  const Vocabulary& vocab) {
+  Vec sym = encode_symbolic(m, vocab);
+  const Vec flow = encode_flow_aware(m, vocab);
+  sym.insert(sym.end(), flow.begin(), flow.end());
+  MPIDETECT_ENSURES(sym.size() == 2 * kDim);
+  return sym;
+}
+
+}  // namespace mpidetect::ir2vec

@@ -1,0 +1,42 @@
+// The two IR2vec encodings the paper concatenates (§IV-A):
+//
+//   * Symbolic: every instruction contributes
+//       Wo * opcode + Wt * type + Wa * sum(argument entities)
+//     where argument entities are seed vectors of the operand's kind
+//     (constants carry their magnitude bucket, calls carry the callee
+//     identity).
+//   * Flow-aware: like symbolic, but an operand defined by another
+//     instruction contributes that instruction's *computed* vector
+//     (damped), propagating use-def flow through the program in reverse
+//     post-order.
+//
+// One module = one compilation unit = one embedding (function vectors
+// summed), matching the paper's "one vector of 256 per IR compilation
+// unit"; the detector concatenates both encodings into 512 features.
+#pragma once
+
+#include <vector>
+
+#include "ir/module.hpp"
+#include "ir2vec/vocabulary.hpp"
+
+namespace mpidetect::ir2vec {
+
+/// IR2vec's published entity weights.
+inline constexpr double kWopc = 1.0;
+inline constexpr double kWtype = 0.5;
+inline constexpr double kWarg = 0.2;
+/// Damping on propagated instruction vectors in the flow-aware encoding.
+inline constexpr double kFlowDamping = 0.6;
+
+std::vector<double> encode_symbolic(const ir::Module& m,
+                                    const Vocabulary& vocab);
+std::vector<double> encode_flow_aware(const ir::Module& m,
+                                      const Vocabulary& vocab);
+
+/// concat(symbolic, flow-aware): the 512-dim feature vector the decision
+/// tree consumes.
+std::vector<double> encode_concat(const ir::Module& m,
+                                  const Vocabulary& vocab);
+
+}  // namespace mpidetect::ir2vec

@@ -1,0 +1,51 @@
+#include "ir2vec/normalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mpidetect::ir2vec {
+
+std::string_view normalization_name(Normalization n) {
+  switch (n) {
+    case Normalization::None: return "none";
+    case Normalization::Vector: return "vector";
+    case Normalization::Index: return "index";
+  }
+  MPIDETECT_UNREACHABLE("bad Normalization");
+}
+
+void normalize_vector(std::vector<double>& v, Normalization n) {
+  if (n != Normalization::Vector) return;
+  double mx = 0.0;
+  for (const double x : v) mx = std::max(mx, std::fabs(x));
+  if (mx <= 0.0) return;
+  for (double& x : v) x /= mx;
+}
+
+void normalize_dataset(std::vector<std::vector<double>>& rows,
+                       Normalization n) {
+  if (rows.empty()) return;
+  if (n == Normalization::None) return;
+  if (n == Normalization::Vector) {
+    for (auto& r : rows) normalize_vector(r, n);
+    return;
+  }
+  // Index: standardize each coordinate across rows.
+  const std::size_t dim = rows.front().size();
+  for (const auto& r : rows) MPIDETECT_EXPECTS(r.size() == dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    double mean = 0.0;
+    for (const auto& r : rows) mean += r[j];
+    mean /= static_cast<double>(rows.size());
+    double var = 0.0;
+    for (const auto& r : rows) var += (r[j] - mean) * (r[j] - mean);
+    var /= static_cast<double>(rows.size());
+    const double sd = std::sqrt(var);
+    if (sd <= 1e-12) continue;
+    for (auto& r : rows) r[j] = (r[j] - mean) / sd;
+  }
+}
+
+}  // namespace mpidetect::ir2vec

@@ -1,0 +1,29 @@
+// The three normalization strategies of Table IV:
+//   none   — raw embedding (long codes produce large vectors: the code-
+//            size bias the paper warns about),
+//   vector — each vector scaled into [-1, 1] by its own max |coordinate|
+//            (the paper's choice: size-independent per code),
+//   index  — each coordinate standardized across the whole dataset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace mpidetect::ir2vec {
+
+enum class Normalization { None, Vector, Index };
+
+std::string_view normalization_name(Normalization n);
+
+/// In-place per-vector normalization (None / Vector only).
+void normalize_vector(std::vector<double>& v, Normalization n);
+
+/// Dataset-level normalization; handles Index (needs all rows) and
+/// delegates to normalize_vector otherwise. Rows must be equal length.
+void normalize_dataset(std::vector<std::vector<double>>& rows,
+                       Normalization n);
+
+inline constexpr Normalization kAllNormalizations[] = {
+    Normalization::None, Normalization::Vector, Normalization::Index};
+
+}  // namespace mpidetect::ir2vec

@@ -1,0 +1,70 @@
+#include "ir2vec/vocabulary.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace mpidetect::ir2vec {
+
+Vocabulary::Vocabulary(std::uint64_t seed) : seed_(seed) {}
+
+const std::vector<double>& Vocabulary::entity(const std::string& name) const {
+  const auto it = cache_.find(name);
+  if (it != cache_.end()) return it->second;
+  Rng rng(mix64(fnv1a64(name) ^ seed_));
+  // Sparse distributed codes: each entity activates a handful of
+  // coordinates. Program vectors are then near-count statistics over
+  // entity subsets, which keeps coordinates axis-aligned enough for the
+  // downstream decision tree to split on (the dense-code alternative
+  // mixes every entity into every coordinate and measurably hurts the
+  // tree — see bench/table2_end_results --dense-vocab).
+  std::vector<double> v(kDim, 0.0);
+  constexpr std::size_t kActive = 12;
+  const double magnitude = 1.0 / std::sqrt(static_cast<double>(kActive));
+  for (std::size_t k = 0; k < kActive; ++k) {
+    const std::size_t pos = rng.index(kDim);
+    v[pos] += (rng.chance(0.5) ? magnitude : -magnitude) *
+              (0.75 + 0.5 * rng.uniform());
+  }
+  return cache_.emplace(name, std::move(v)).first->second;
+}
+
+const std::vector<double>& Vocabulary::opcode(ir::Opcode op) const {
+  return entity("opcode:" + std::string(ir::opcode_name(op)));
+}
+
+const std::vector<double>& Vocabulary::type(ir::Type t) const {
+  return entity("type:" + std::string(ir::type_name(t)));
+}
+
+const std::vector<double>& Vocabulary::callee(
+    const std::string& fn_name) const {
+  return entity("callee:" + fn_name);
+}
+
+std::string constant_bucket_name(std::int64_t value) {
+  if (value < 0) return "neg";        // wildcards / invalid literals
+  if (value == 0) return "zero";
+  if (value == 1) return "one";
+  if (value <= 16) return "small";
+  if (value <= 4096) return "medium";
+  return "large";
+}
+
+const std::vector<double>& Vocabulary::constant_bucket(
+    std::int64_t value) const {
+  return entity("const:" + constant_bucket_name(value));
+}
+
+const std::vector<double>& Vocabulary::arg_kind(ir::ValueKind k) const {
+  switch (k) {
+    case ir::ValueKind::ConstantInt: return entity("arg:const-int");
+    case ir::ValueKind::ConstantFP: return entity("arg:const-fp");
+    case ir::ValueKind::Argument: return entity("arg:argument");
+    case ir::ValueKind::Instruction: return entity("arg:instruction");
+    case ir::ValueKind::Function: return entity("arg:function");
+  }
+  return entity("arg:unknown");
+}
+
+}  // namespace mpidetect::ir2vec

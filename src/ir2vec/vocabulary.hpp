@@ -1,0 +1,50 @@
+// Seed-embedding vocabulary in the spirit of IR2vec (VenkataKeerthy et
+// al., TACO 2020). IR2vec learns seed vectors for IR entities (opcodes,
+// types, argument kinds) with a TransE relational model; here the seed
+// vectors are generated deterministically from a hash of the entity name
+// and a vocabulary seed. This preserves the property the downstream
+// model depends on — a fixed distributed code for every entity, so
+// similar instruction mixes produce nearby program vectors — while
+// keeping the repository self-contained. The paper's own seed-
+// sensitivity study (§V-A "Seeds") is reproduced by re-generating the
+// vocabulary under a different seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace mpidetect::ir2vec {
+
+inline constexpr std::size_t kDim = 256;  // per-encoding width (paper)
+
+struct Vocabulary {
+  explicit Vocabulary(std::uint64_t seed = 0x12c0ffee);
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Seed vector for an arbitrary entity name ("opcode:add",
+  /// "callee:MPI_Send", ...). Deterministic; cached.
+  const std::vector<double>& entity(const std::string& name) const;
+
+  // Convenience entities used by the encoder.
+  const std::vector<double>& opcode(ir::Opcode op) const;
+  const std::vector<double>& type(ir::Type t) const;
+  const std::vector<double>& callee(const std::string& fn_name) const;
+  const std::vector<double>& constant_bucket(std::int64_t value) const;
+  const std::vector<double>& arg_kind(ir::ValueKind k) const;
+
+ private:
+  std::uint64_t seed_;
+  mutable std::unordered_map<std::string, std::vector<double>> cache_;
+};
+
+/// Magnitude bucket for constants: benchmark bugs frequently show up as
+/// out-of-domain literals (negative counts, wildcard sentinels, huge
+/// tags), so the bucket identity is part of the entity space.
+std::string constant_bucket_name(std::int64_t value);
+
+}  // namespace mpidetect::ir2vec

@@ -1,0 +1,49 @@
+#include "ml/adam.hpp"
+
+#include <cmath>
+
+namespace mpidetect::ml {
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    VarNode& p = *params_[i];
+    Matrix& g = p.ensure_grad();
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      const double grad = g.data()[k];
+      double& m = m_[i].data()[k];
+      double& v = v_[i].data()[k];
+      m = beta1_ * m + (1.0 - beta1_) * grad;
+      v = beta2_ * v + (1.0 - beta2_) * grad * grad;
+      const double mhat = m / bc1;
+      const double vhat = v / bc2;
+      p.value.data()[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (const Var& p : params_) {
+    p->ensure_grad().fill(0.0);
+  }
+}
+
+}  // namespace mpidetect::ml

@@ -1,0 +1,317 @@
+#include "ml/autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace mpidetect::ml {
+
+Matrix& VarNode::ensure_grad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Matrix(value.rows(), value.cols());
+  }
+  return grad;
+}
+
+Var make_param(Matrix value) {
+  auto v = std::make_shared<VarNode>(std::move(value));
+  v->requires_grad = true;
+  return v;
+}
+
+Var make_input(Matrix value) {
+  return std::make_shared<VarNode>(std::move(value));
+}
+
+namespace {
+
+/// A result node inherits requires_grad from any parent that has it.
+Var make_result(Matrix value, std::vector<Var> parents,
+                std::function<void(VarNode&)> backward_fn) {
+  auto v = std::make_shared<VarNode>(std::move(value));
+  for (const Var& p : parents) v->requires_grad |= p->requires_grad;
+  if (v->requires_grad) {
+    v->parents = std::move(parents);
+    v->backward_fn = std::move(backward_fn);
+  }
+  return v;
+}
+
+void topo_visit(VarNode* node, std::unordered_set<VarNode*>& seen,
+                std::vector<VarNode*>& order) {
+  if (!node->requires_grad) return;
+  if (!seen.insert(node).second) return;
+  for (const Var& p : node->parents) topo_visit(p.get(), seen, order);
+  order.push_back(node);
+}
+
+}  // namespace
+
+void backward(const Var& root) {
+  MPIDETECT_EXPECTS(root->value.rows() == 1 && root->value.cols() == 1);
+  std::unordered_set<VarNode*> seen;
+  std::vector<VarNode*> order;
+  topo_visit(root.get(), seen, order);
+  root->ensure_grad().at(0, 0) = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn(**it);
+  }
+}
+
+Var matmul(const Var& a, const Var& b) {
+  Matrix out = a->value.matmul(b->value);
+  return make_result(std::move(out), {a, b}, [a, b](VarNode& self) {
+    if (a->requires_grad) {
+      a->ensure_grad().add_in_place(self.grad.matmul(b->value.transpose()));
+    }
+    if (b->requires_grad) {
+      b->ensure_grad().add_in_place(a->value.transpose().matmul(self.grad));
+    }
+  });
+}
+
+Var transpose(const Var& a) {
+  return make_result(a->value.transpose(), {a}, [a](VarNode& self) {
+    if (a->requires_grad) {
+      a->ensure_grad().add_in_place(self.grad.transpose());
+    }
+  });
+}
+
+Var add(const Var& a, const Var& b) {
+  MPIDETECT_EXPECTS(a->value.same_shape(b->value));
+  Matrix out = a->value;
+  out.add_in_place(b->value);
+  return make_result(std::move(out), {a, b}, [a, b](VarNode& self) {
+    if (a->requires_grad) a->ensure_grad().add_in_place(self.grad);
+    if (b->requires_grad) b->ensure_grad().add_in_place(self.grad);
+  });
+}
+
+Var add_row_broadcast(const Var& a, const Var& bias) {
+  MPIDETECT_EXPECTS(bias->value.rows() == 1);
+  MPIDETECT_EXPECTS(bias->value.cols() == a->value.cols());
+  Matrix out = a->value;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      out.at(i, j) += bias->value.at(0, j);
+    }
+  }
+  return make_result(std::move(out), {a, bias}, [a, bias](VarNode& self) {
+    if (a->requires_grad) a->ensure_grad().add_in_place(self.grad);
+    if (bias->requires_grad) {
+      Matrix& g = bias->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.rows(); ++i) {
+        for (std::size_t j = 0; j < self.grad.cols(); ++j) {
+          g.at(0, j) += self.grad.at(i, j);
+        }
+      }
+    }
+  });
+}
+
+Var scale(const Var& a, double s) {
+  Matrix out = a->value;
+  for (double& x : out.data()) x *= s;
+  return make_result(std::move(out), {a}, [a, s](VarNode& self) {
+    if (a->requires_grad) a->ensure_grad().axpy_in_place(s, self.grad);
+  });
+}
+
+Var leaky_relu(const Var& a, double slope) {
+  Matrix out = a->value;
+  for (double& x : out.data()) x = x > 0 ? x : slope * x;
+  return make_result(std::move(out), {a}, [a, slope](VarNode& self) {
+    if (!a->requires_grad) return;
+    Matrix& g = a->ensure_grad();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      g.data()[i] +=
+          self.grad.data()[i] * (a->value.data()[i] > 0 ? 1.0 : slope);
+    }
+  });
+}
+
+Var elu(const Var& a) {
+  Matrix out = a->value;
+  for (double& x : out.data()) x = x > 0 ? x : std::expm1(x);
+  return make_result(std::move(out), {a}, [a](VarNode& self) {
+    if (!a->requires_grad) return;
+    Matrix& g = a->ensure_grad();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double x = a->value.data()[i];
+      g.data()[i] += self.grad.data()[i] * (x > 0 ? 1.0 : std::exp(x));
+    }
+  });
+}
+
+Var relu(const Var& a) { return leaky_relu(a, 0.0); }
+
+Var gather_rows(const Var& a, std::vector<std::uint32_t> idx) {
+  Matrix out(idx.size(), a->value.cols());
+  for (std::size_t e = 0; e < idx.size(); ++e) {
+    MPIDETECT_EXPECTS(idx[e] < a->value.rows());
+    std::copy(a->value.row(idx[e]), a->value.row(idx[e]) + a->value.cols(),
+              out.row(e));
+  }
+  return make_result(
+      std::move(out), {a}, [a, idx = std::move(idx)](VarNode& self) {
+        if (!a->requires_grad) return;
+        Matrix& g = a->ensure_grad();
+        for (std::size_t e = 0; e < idx.size(); ++e) {
+          double* dst = g.row(idx[e]);
+          const double* src = self.grad.row(e);
+          for (std::size_t j = 0; j < g.cols(); ++j) dst[j] += src[j];
+        }
+      });
+}
+
+Var scatter_add_rows(const Var& a, std::vector<std::uint32_t> idx,
+                     std::size_t n_rows) {
+  MPIDETECT_EXPECTS(idx.size() == a->value.rows());
+  Matrix out(n_rows, a->value.cols());
+  for (std::size_t e = 0; e < idx.size(); ++e) {
+    MPIDETECT_EXPECTS(idx[e] < n_rows);
+    double* dst = out.row(idx[e]);
+    const double* src = a->value.row(e);
+    for (std::size_t j = 0; j < out.cols(); ++j) dst[j] += src[j];
+  }
+  return make_result(
+      std::move(out), {a}, [a, idx = std::move(idx)](VarNode& self) {
+        if (!a->requires_grad) return;
+        Matrix& g = a->ensure_grad();
+        for (std::size_t e = 0; e < idx.size(); ++e) {
+          const double* src = self.grad.row(idx[e]);
+          double* dst = g.row(e);
+          for (std::size_t j = 0; j < g.cols(); ++j) dst[j] += src[j];
+        }
+      });
+}
+
+Var segment_softmax(const Var& scores, std::vector<std::uint32_t> seg,
+                    std::size_t n_segments) {
+  MPIDETECT_EXPECTS(scores->value.cols() == 1);
+  MPIDETECT_EXPECTS(seg.size() == scores->value.rows());
+  const std::size_t n = seg.size();
+  // Numerically stable per-segment softmax.
+  std::vector<double> seg_max(n_segments,
+                              -std::numeric_limits<double>::infinity());
+  for (std::size_t e = 0; e < n; ++e) {
+    seg_max[seg[e]] = std::max(seg_max[seg[e]], scores->value.at(e, 0));
+  }
+  Matrix out(n, 1);
+  std::vector<double> seg_sum(n_segments, 0.0);
+  for (std::size_t e = 0; e < n; ++e) {
+    out.at(e, 0) = std::exp(scores->value.at(e, 0) - seg_max[seg[e]]);
+    seg_sum[seg[e]] += out.at(e, 0);
+  }
+  for (std::size_t e = 0; e < n; ++e) out.at(e, 0) /= seg_sum[seg[e]];
+  return make_result(
+      std::move(out), {scores},
+      [scores, seg = std::move(seg), n_segments](VarNode& self) {
+        if (!scores->requires_grad) return;
+        // ds_e = y_e * (g_e - sum_{e' in seg(e)} g_e' y_e')
+        std::vector<double> seg_dot(n_segments, 0.0);
+        const std::size_t n = seg.size();
+        for (std::size_t e = 0; e < n; ++e) {
+          seg_dot[seg[e]] += self.grad.at(e, 0) * self.value.at(e, 0);
+        }
+        Matrix& g = scores->ensure_grad();
+        for (std::size_t e = 0; e < n; ++e) {
+          g.at(e, 0) += self.value.at(e, 0) *
+                        (self.grad.at(e, 0) - seg_dot[seg[e]]);
+        }
+      });
+}
+
+Var mul_rowwise(const Var& alpha, const Var& h) {
+  MPIDETECT_EXPECTS(alpha->value.cols() == 1);
+  MPIDETECT_EXPECTS(alpha->value.rows() == h->value.rows());
+  Matrix out = h->value;
+  for (std::size_t e = 0; e < out.rows(); ++e) {
+    const double a = alpha->value.at(e, 0);
+    double* row = out.row(e);
+    for (std::size_t j = 0; j < out.cols(); ++j) row[j] *= a;
+  }
+  return make_result(std::move(out), {alpha, h}, [alpha, h](VarNode& self) {
+    const std::size_t rows = self.value.rows();
+    const std::size_t cols = self.value.cols();
+    if (alpha->requires_grad) {
+      Matrix& g = alpha->ensure_grad();
+      for (std::size_t e = 0; e < rows; ++e) {
+        double dot = 0.0;
+        const double* gr = self.grad.row(e);
+        const double* hr = h->value.row(e);
+        for (std::size_t j = 0; j < cols; ++j) dot += gr[j] * hr[j];
+        g.at(e, 0) += dot;
+      }
+    }
+    if (h->requires_grad) {
+      Matrix& g = h->ensure_grad();
+      for (std::size_t e = 0; e < rows; ++e) {
+        const double a = alpha->value.at(e, 0);
+        const double* gr = self.grad.row(e);
+        double* dst = g.row(e);
+        for (std::size_t j = 0; j < cols; ++j) dst[j] += a * gr[j];
+      }
+    }
+  });
+}
+
+Var max_pool_rows(const Var& a) {
+  MPIDETECT_EXPECTS(a->value.rows() >= 1);
+  const std::size_t cols = a->value.cols();
+  Matrix out(1, cols);
+  auto argmax = std::make_shared<std::vector<std::size_t>>(cols, 0);
+  for (std::size_t j = 0; j < cols; ++j) {
+    double best = a->value.at(0, j);
+    for (std::size_t i = 1; i < a->value.rows(); ++i) {
+      if (a->value.at(i, j) > best) {
+        best = a->value.at(i, j);
+        (*argmax)[j] = i;
+      }
+    }
+    out.at(0, j) = best;
+  }
+  return make_result(std::move(out), {a}, [a, argmax](VarNode& self) {
+    if (!a->requires_grad) return;
+    Matrix& g = a->ensure_grad();
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      g.at((*argmax)[j], j) += self.grad.at(0, j);
+    }
+  });
+}
+
+std::vector<double> softmax_row(const Matrix& logits) {
+  MPIDETECT_EXPECTS(logits.rows() == 1);
+  std::vector<double> p(logits.cols());
+  double mx = logits.at(0, 0);
+  for (std::size_t j = 1; j < logits.cols(); ++j) {
+    mx = std::max(mx, logits.at(0, j));
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < logits.cols(); ++j) {
+    p[j] = std::exp(logits.at(0, j) - mx);
+    sum += p[j];
+  }
+  for (double& x : p) x /= sum;
+  return p;
+}
+
+Var cross_entropy(const Var& logits, std::size_t label) {
+  MPIDETECT_EXPECTS(logits->value.rows() == 1);
+  MPIDETECT_EXPECTS(label < logits->value.cols());
+  const std::vector<double> p = softmax_row(logits->value);
+  Matrix out(1, 1);
+  out.at(0, 0) = -std::log(std::max(p[label], 1e-300));
+  return make_result(std::move(out), {logits}, [logits, p,
+                                                label](VarNode& self) {
+    if (!logits->requires_grad) return;
+    Matrix& g = logits->ensure_grad();
+    const double d = self.grad.at(0, 0);
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      g.at(0, j) += d * (p[j] - (j == label ? 1.0 : 0.0));
+    }
+  });
+}
+
+}  // namespace mpidetect::ml

@@ -1,0 +1,70 @@
+// Reverse-mode automatic differentiation over dense matrices with the
+// gather/scatter/segment operations graph neural networks need. The op
+// set is exactly what the GATv2 pipeline uses; every op's backward is
+// validated by finite differences in tests/autograd_test.cpp.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace mpidetect::ml {
+
+struct VarNode;
+using Var = std::shared_ptr<VarNode>;
+
+/// A node of the dynamically built computation graph.
+struct VarNode {
+  Matrix value;
+  Matrix grad;                     // same shape as value, lazily allocated
+  bool requires_grad = false;
+  std::vector<Var> parents;        // kept alive for the backward pass
+  std::function<void(VarNode&)> backward_fn;  // accumulates into parents
+
+  explicit VarNode(Matrix v) : value(std::move(v)) {}
+
+  Matrix& ensure_grad();
+  void zero_grad() { grad = Matrix(); }
+};
+
+/// Leaf with gradients (a trainable parameter).
+Var make_param(Matrix value);
+/// Leaf without gradients (an input).
+Var make_input(Matrix value);
+
+/// Runs reverse-mode accumulation from a scalar (1x1) root.
+void backward(const Var& root);
+
+// --- ops -------------------------------------------------------------------
+
+Var matmul(const Var& a, const Var& b);
+Var transpose(const Var& a);
+Var add(const Var& a, const Var& b);                 // same shape
+Var add_row_broadcast(const Var& a, const Var& bias); // (N,d)+(1,d)
+Var scale(const Var& a, double s);
+Var leaky_relu(const Var& a, double negative_slope = 0.2);
+Var elu(const Var& a);
+Var relu(const Var& a);
+
+/// out[e] = a[idx[e]]  (rows).
+Var gather_rows(const Var& a, std::vector<std::uint32_t> idx);
+/// out[idx[e]] += a[e]; result has n_rows rows.
+Var scatter_add_rows(const Var& a, std::vector<std::uint32_t> idx,
+                     std::size_t n_rows);
+/// Softmax over the entries of each segment: scores is (E,1), seg[e]
+/// names the segment of entry e (e.g. the edge's target node).
+Var segment_softmax(const Var& scores, std::vector<std::uint32_t> seg,
+                    std::size_t n_segments);
+/// Row-wise scaling: out[e] = alpha[e,0] * h[e,:].
+Var mul_rowwise(const Var& alpha, const Var& h);
+/// Column-wise max over rows -> (1,d); the GNN's adaptive max pooling.
+Var max_pool_rows(const Var& a);
+/// Cross-entropy of a (1,C) logits row against an integer label; (1,1).
+Var cross_entropy(const Var& logits, std::size_t label);
+
+/// Softmax probabilities of a (1,C) logits row (inference only).
+std::vector<double> softmax_row(const Matrix& logits);
+
+}  // namespace mpidetect::ml

@@ -1,0 +1,152 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace mpidetect::ml {
+
+double gini(std::span<const std::size_t> class_counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t c : class_counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& X,
+                       const std::vector<std::size_t>& y) {
+  MPIDETECT_EXPECTS(!X.empty() && X.size() == y.size());
+  nodes_.clear();
+  n_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  std::vector<std::size_t> indices(X.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(X, y, std::move(indices), 0);
+}
+
+std::size_t DecisionTree::build(const std::vector<std::vector<double>>& X,
+                                const std::vector<std::size_t>& y,
+                                std::vector<std::size_t> indices,
+                                std::size_t depth) {
+  const std::size_t me = nodes_.size();
+  nodes_.push_back(Node{});
+  nodes_[me].depth = depth;
+
+  std::vector<std::size_t> counts(n_classes_, 0);
+  for (const std::size_t i : indices) ++counts[y[i]];
+  nodes_[me].label = static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+
+  const double impurity = gini(counts, indices.size());
+  const bool depth_ok = cfg_.max_depth == 0 || depth < cfg_.max_depth;
+  if (impurity <= 0.0 || indices.size() < cfg_.min_samples_split ||
+      !depth_ok) {
+    return me;
+  }
+
+  // Candidate features.
+  std::vector<std::size_t> features;
+  if (cfg_.feature_subset.has_value()) {
+    features = *cfg_.feature_subset;
+  } else {
+    features.resize(X.front().size());
+    std::iota(features.begin(), features.end(), 0);
+  }
+
+  // Best split by weighted Gini.
+  double best_score = impurity;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  std::vector<std::pair<double, std::size_t>> col(indices.size());
+  std::vector<std::size_t> left_counts(n_classes_);
+  for (const std::size_t f : features) {
+    if (f >= X.front().size()) continue;
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      col[k] = {X[indices[k]][f], y[indices[k]]};
+    }
+    std::sort(col.begin(), col.end());
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::size_t n_left = 0;
+    const std::size_t n = col.size();
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      ++left_counts[col[k].second];
+      ++n_left;
+      if (col[k].first == col[k + 1].first) continue;  // no boundary
+      // Right counts = total - left.
+      double right_gini;
+      {
+        double sum_sq = 0.0;
+        const std::size_t n_right = n - n_left;
+        for (std::size_t c = 0; c < n_classes_; ++c) {
+          const double p = static_cast<double>(counts[c] - left_counts[c]) /
+                           static_cast<double>(n_right);
+          sum_sq += p * p;
+        }
+        right_gini = 1.0 - sum_sq;
+      }
+      const double left_gini = gini(left_counts, n_left);
+      const double score =
+          (static_cast<double>(n_left) * left_gini +
+           static_cast<double>(n - n_left) * right_gini) /
+          static_cast<double>(n);
+      if (score + 1e-12 < best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = (col[k].first + col[k + 1].first) / 2.0;
+        found = true;
+      }
+    }
+  }
+  if (!found) return me;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (const std::size_t i : indices) {
+    if (X[i][best_feature] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return me;
+
+  nodes_[me].leaf = false;
+  nodes_[me].feature = best_feature;
+  nodes_[me].threshold = best_threshold;
+  const std::size_t l = build(X, y, std::move(left_idx), depth + 1);
+  nodes_[me].left = static_cast<std::int32_t>(l);
+  const std::size_t r = build(X, y, std::move(right_idx), depth + 1);
+  nodes_[me].right = static_cast<std::int32_t>(r);
+  return me;
+}
+
+std::size_t DecisionTree::predict(std::span<const double> row) const {
+  MPIDETECT_EXPECTS(trained());
+  std::size_t cur = 0;
+  while (!nodes_[cur].leaf) {
+    const Node& n = nodes_[cur];
+    cur = static_cast<std::size_t>(
+        row[n.feature] <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[cur].label;
+}
+
+std::vector<std::size_t> DecisionTree::predict(
+    const std::vector<std::vector<double>>& X) const {
+  std::vector<std::size_t> out;
+  out.reserve(X.size());
+  for (const auto& row : X) out.push_back(predict(row));
+  return out;
+}
+
+std::size_t DecisionTree::depth() const {
+  std::size_t d = 0;
+  for (const Node& n : nodes_) d = std::max(d, n.depth);
+  return d;
+}
+
+}  // namespace mpidetect::ml

@@ -1,0 +1,59 @@
+// CART decision tree with Gini impurity and best-first splits, matching
+// scikit-learn 1.0's DecisionTreeClassifier defaults the paper uses:
+// unlimited depth, min_samples_split=2, grown to purity. Supports
+// restricting splits to a feature subset (the GA selection of §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mpidetect::ml {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 0;          // 0 = unlimited (sklearn default)
+  std::size_t min_samples_split = 2;  // sklearn default
+  /// When set, only these feature indices are candidates for splits.
+  std::optional<std::vector<std::size_t>> feature_subset;
+};
+
+class DecisionTree final {
+ public:
+  explicit DecisionTree(DecisionTreeConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+  /// X: one row per sample; y: class labels (0-based, small ints).
+  void fit(const std::vector<std::vector<double>>& X,
+           const std::vector<std::size_t>& y);
+
+  std::size_t predict(std::span<const double> row) const;
+  std::vector<std::size_t> predict(
+      const std::vector<std::vector<double>>& X) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::size_t label = 0;      // majority class at this node
+    std::size_t feature = 0;    // split feature (internal nodes)
+    double threshold = 0.0;     // go left when x[feature] <= threshold
+    std::int32_t left = -1, right = -1;
+    std::size_t depth = 0;
+  };
+
+  std::size_t build(const std::vector<std::vector<double>>& X,
+                    const std::vector<std::size_t>& y,
+                    std::vector<std::size_t> indices, std::size_t depth);
+
+  DecisionTreeConfig cfg_;
+  std::vector<Node> nodes_;
+  std::size_t n_classes_ = 0;
+};
+
+/// Gini impurity of a label multiset given class counts.
+double gini(std::span<const std::size_t> class_counts, std::size_t total);
+
+}  // namespace mpidetect::ml

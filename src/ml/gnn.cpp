@@ -1,0 +1,133 @@
+#include "ml/gnn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace mpidetect::ml {
+
+GnnModel::GnnModel(const GnnConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed), optimizer_({}, cfg.lr) {
+  MPIDETECT_EXPECTS(!cfg.layers.empty());
+  MPIDETECT_EXPECTS(cfg.classes >= 2);
+
+  embedding_ = make_param(Matrix::glorot(cfg.vocab, cfg.embed_dim, rng_));
+  params_.push_back(embedding_);
+
+  std::size_t d_in = cfg.embed_dim;
+  for (const std::size_t d_out : cfg.layers) {
+    Layer layer;
+    for (std::size_t r = 0; r < programl::kNumEdgeTypes; ++r) {
+      RelationWeights w;
+      w.w_left = make_param(Matrix::glorot(d_in, d_out, rng_));
+      w.w_right = make_param(Matrix::glorot(d_in, d_out, rng_));
+      w.attn = make_param(Matrix::glorot(d_out, 1, rng_));
+      params_.push_back(w.w_left);
+      params_.push_back(w.w_right);
+      params_.push_back(w.attn);
+      layer.rel.push_back(std::move(w));
+    }
+    layer.w_self = make_param(Matrix::glorot(d_in, d_out, rng_));
+    layer.bias = make_param(Matrix(1, d_out));
+    params_.push_back(layer.w_self);
+    params_.push_back(layer.bias);
+    layers_.push_back(std::move(layer));
+    d_in = d_out;
+  }
+
+  fc1_w_ = make_param(Matrix::glorot(d_in, cfg.fc_hidden, rng_));
+  fc1_b_ = make_param(Matrix(1, cfg.fc_hidden));
+  fc2_w_ = make_param(Matrix::glorot(cfg.fc_hidden, cfg.classes, rng_));
+  fc2_b_ = make_param(Matrix(1, cfg.classes));
+  params_.push_back(fc1_w_);
+  params_.push_back(fc1_b_);
+  params_.push_back(fc2_w_);
+  params_.push_back(fc2_b_);
+
+  optimizer_ = Adam(params_, cfg.lr);
+}
+
+std::size_t GnnModel::parameter_count() const {
+  std::size_t n = 0;
+  for (const Var& p : params_) n += p->value.size();
+  return n;
+}
+
+Var GnnModel::forward(const programl::ProgramGraph& g) {
+  MPIDETECT_EXPECTS(g.num_nodes() > 0);
+  const std::size_t n = g.num_nodes();
+
+  // Token embedding lookup.
+  std::vector<std::uint32_t> tokens(n);
+  for (std::size_t i = 0; i < n; ++i) tokens[i] = g.nodes[i].token;
+  Var x = gather_rows(embedding_, tokens);
+
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    // Self path (plays the role of GATv2's self loops).
+    Var out = matmul(x, layer.w_self);
+    // One GATv2 message-passing pass per relation, summed (HeteroConv).
+    for (std::size_t r = 0; r < programl::kNumEdgeTypes; ++r) {
+      const auto& edges = g.edges[r];
+      if (edges.empty()) continue;
+      std::vector<std::uint32_t> src(edges.size());
+      std::vector<std::uint32_t> dst(edges.size());
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        src[e] = edges[e].src;
+        dst[e] = edges[e].dst;
+      }
+      const RelationWeights& w = layer.rel[r];
+      Var h_left = matmul(x, w.w_left);    // (N, d_out)
+      Var h_right = matmul(x, w.w_right);  // (N, d_out)
+      Var hl_t = gather_rows(h_left, dst);   // (E, d_out)
+      Var hr_s = gather_rows(h_right, src);  // (E, d_out)
+      // GATv2 scoring: a^T LeakyReLU(W_l h_t + W_r h_s)
+      Var scores = matmul(leaky_relu(add(hl_t, hr_s)), w.attn);  // (E,1)
+      Var alpha = segment_softmax(scores, dst, n);
+      Var messages = mul_rowwise(alpha, hr_s);
+      out = add(out, scatter_add_rows(messages, dst, n));
+    }
+    out = add_row_broadcast(out, layer.bias);
+    x = elu(out);
+  }
+
+  Var pooled = max_pool_rows(x);  // adaptive max pooling -> (1, d)
+  Var hidden = relu(add_row_broadcast(matmul(pooled, fc1_w_), fc1_b_));
+  return add_row_broadcast(matmul(hidden, fc2_w_), fc2_b_);
+}
+
+double GnnModel::train_step(const programl::ProgramGraph& g,
+                            std::size_t label) {
+  Var loss = cross_entropy(forward(g), label);
+  backward(loss);
+  const double value = loss->value.at(0, 0);
+  optimizer_.step();
+  return value;
+}
+
+void GnnModel::fit(std::span<const programl::ProgramGraph> graphs,
+                   std::span<const std::size_t> labels) {
+  MPIDETECT_EXPECTS(graphs.size() == labels.size());
+  std::vector<std::size_t> order(graphs.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (const std::size_t i : order) {
+      train_step(graphs[i], labels[i]);
+    }
+  }
+}
+
+std::size_t GnnModel::predict(const programl::ProgramGraph& g) {
+  const auto p = predict_proba(g);
+  return static_cast<std::size_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+std::vector<double> GnnModel::predict_proba(const programl::ProgramGraph& g) {
+  Var logits = forward(g);
+  return softmax_row(logits->value);
+}
+
+}  // namespace mpidetect::ml

@@ -1,0 +1,52 @@
+#include "ml/kfold.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace mpidetect::ml {
+
+std::vector<std::vector<std::size_t>> stratified_kfold(
+    const std::vector<std::size_t>& labels, std::size_t k,
+    std::uint64_t seed) {
+  MPIDETECT_EXPECTS(k >= 2);
+  MPIDETECT_EXPECTS(labels.size() >= k);
+  Rng rng(seed);
+
+  std::map<std::size_t, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(i);
+  }
+
+  std::vector<std::vector<std::size_t>> folds(k);
+  std::size_t deal = 0;
+  for (auto& [label, members] : by_class) {
+    (void)label;
+    rng.shuffle(members);
+    for (const std::size_t idx : members) {
+      folds[deal % k].push_back(idx);
+      ++deal;
+    }
+  }
+  for (auto& f : folds) std::sort(f.begin(), f.end());
+  return folds;
+}
+
+std::vector<std::size_t> fold_complement(const std::vector<std::size_t>& fold,
+                                         std::size_t n) {
+  std::vector<bool> in_fold(n, false);
+  for (const std::size_t i : fold) {
+    MPIDETECT_EXPECTS(i < n);
+    in_fold[i] = true;
+  }
+  std::vector<std::size_t> out;
+  out.reserve(n - fold.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_fold[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace mpidetect::ml

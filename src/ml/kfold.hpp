@@ -1,0 +1,22 @@
+// Stratified k-fold cross-validation — the paper's 10-fold protocol for
+// the Intra and Mix scenarios (§V): each fold preserves the class
+// proportions so even the 14-sample Resource Leak class appears in most
+// validation folds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpidetect::ml {
+
+/// Returns `k` disjoint validation-index sets covering [0, labels.size()).
+/// Samples of each class are shuffled and dealt round-robin.
+std::vector<std::vector<std::size_t>> stratified_kfold(
+    const std::vector<std::size_t>& labels, std::size_t k,
+    std::uint64_t seed);
+
+/// The complement of a fold: all indices not in `fold`.
+std::vector<std::size_t> fold_complement(
+    const std::vector<std::size_t>& fold, std::size_t n);
+
+}  // namespace mpidetect::ml

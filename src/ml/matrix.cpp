@@ -1,0 +1,47 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+
+namespace mpidetect::ml {
+
+Matrix Matrix::glorot(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  const double bound = std::sqrt(6.0 / static_cast<double>(r + c));
+  for (double& x : m.data_) x = rng.uniform(-bound, bound);
+  return m;
+}
+
+void Matrix::add_in_place(const Matrix& o) {
+  MPIDETECT_EXPECTS(same_shape(o));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+}
+
+void Matrix::axpy_in_place(double s, const Matrix& o) {
+  MPIDETECT_EXPECTS(same_shape(o));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * o.data_[i];
+}
+
+Matrix Matrix::matmul(const Matrix& o) const {
+  MPIDETECT_EXPECTS(cols_ == o.rows_);
+  Matrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      const double* brow = o.row(k);
+      double* orow = out.row(i);
+      for (std::size_t j = 0; j < o.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  }
+  return out;
+}
+
+}  // namespace mpidetect::ml

@@ -1,0 +1,61 @@
+// Minimal dense row-major matrix — the numeric substrate of the GNN.
+// Double precision throughout so finite-difference gradient checks in
+// the test suite are meaningful.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace mpidetect::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t r, std::size_t c) { return Matrix(r, c); }
+
+  /// Glorot/Xavier-uniform initialisation (PyTorch Geometric's default
+  /// for GATv2 weights).
+  static Matrix glorot(std::size_t r, std::size_t c, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// this += other (same shape).
+  void add_in_place(const Matrix& o);
+  /// this += s * other.
+  void axpy_in_place(double s, const Matrix& o);
+
+  Matrix matmul(const Matrix& o) const;
+  Matrix transpose() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mpidetect::ml

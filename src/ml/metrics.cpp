@@ -1,0 +1,70 @@
+#include "ml/metrics.hpp"
+
+#include <sstream>
+
+namespace mpidetect::ml {
+
+namespace {
+double ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double Confusion::recall() const { return ratio(tp, tp + fn); }
+double Confusion::precision() const { return ratio(tp, tp + fp); }
+
+double Confusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Confusion::accuracy() const { return ratio(tp + tn, total()); }
+double Confusion::coverage() const {
+  return population() == 0 ? 0.0 : 1.0 - ratio(ce, population());
+}
+double Confusion::conclusiveness() const {
+  return population() == 0 ? 0.0 : 1.0 - ratio(errors(), population());
+}
+double Confusion::specificity() const { return ratio(tn, tn + fp); }
+double Confusion::overall_accuracy() const {
+  return ratio(tp + tn, population());
+}
+
+void Confusion::add(bool actually_incorrect, bool predicted_incorrect) {
+  if (actually_incorrect) {
+    if (predicted_incorrect) {
+      ++tp;
+    } else {
+      ++fn;
+    }
+  } else {
+    if (predicted_incorrect) {
+      ++fp;
+    } else {
+      ++tn;
+    }
+  }
+}
+
+Confusion& Confusion::operator+=(const Confusion& o) {
+  tp += o.tp;
+  tn += o.tn;
+  fp += o.fp;
+  fn += o.fn;
+  ce += o.ce;
+  to += o.to;
+  re += o.re;
+  return *this;
+}
+
+std::string Confusion::to_string() const {
+  std::ostringstream os;
+  os << "TP=" << tp << " TN=" << tn << " FP=" << fp << " FN=" << fn;
+  if (errors() > 0) {
+    os << " CE=" << ce << " TO=" << to << " RE=" << re;
+  }
+  return os.str();
+}
+
+}  // namespace mpidetect::ml

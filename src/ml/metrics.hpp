@@ -1,0 +1,51 @@
+// The evaluation metrics of Table I. "Errors" groups the outcomes on
+// which a tool could not produce a diagnostic (compilation error,
+// timeout, runtime error); Total counts classified codes only, and
+// Total + Errors is the full test population — matching MBI's
+// definitions, which the paper adopts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mpidetect::ml {
+
+struct Confusion {
+  std::size_t tp = 0;  // error correctly detected
+  std::size_t tn = 0;  // correct code reported correct
+  std::size_t fp = 0;  // correct code reported faulty
+  std::size_t fn = 0;  // error missed
+  std::size_t ce = 0;  // compilation errors (tool could not ingest)
+  std::size_t to = 0;  // timeouts
+  std::size_t re = 0;  // runtime errors of the tool
+
+  std::size_t total() const { return tp + tn + fp + fn; }
+  std::size_t errors() const { return ce + to + re; }
+  std::size_t population() const { return total() + errors(); }
+
+  /// Ability to find existing errors: TP / (TP + FN).
+  double recall() const;
+  /// Confidence of error reports: TP / (TP + FP).
+  double precision() const;
+  /// Harmonic mean of precision and recall.
+  double f1() const;
+  /// (TP + TN) / Total — over classified codes only.
+  double accuracy() const;
+  /// 1 - CE / (Total + Errors): ability to ingest codes.
+  double coverage() const;
+  /// 1 - Errors / (Total + Errors): ability to reach a diagnostic.
+  double conclusiveness() const;
+  /// TN / (TN + FP): ability to keep quiet on correct codes.
+  double specificity() const;
+  /// (TP + TN) / (Total + Errors): accuracy over the full population.
+  double overall_accuracy() const;
+
+  /// Adds an outcome for one classified code.
+  void add(bool actually_incorrect, bool predicted_incorrect);
+
+  Confusion& operator+=(const Confusion& o);
+
+  std::string to_string() const;
+};
+
+}  // namespace mpidetect::ml

@@ -1,0 +1,249 @@
+#include "mpi/api.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace mpidetect::mpi {
+
+std::optional<std::size_t> builtin_datatype_size(std::int32_t handle) {
+  switch (static_cast<Datatype>(handle)) {
+    case Datatype::Int: return 4;
+    case Datatype::Double: return 8;
+    case Datatype::Float: return 4;
+    case Datatype::Char: return 1;
+    case Datatype::Byte: return 1;
+    case Datatype::Long: return 8;
+    case Datatype::Null: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string_view datatype_name(Datatype dt) {
+  switch (dt) {
+    case Datatype::Null: return "MPI_DATATYPE_NULL";
+    case Datatype::Int: return "MPI_INT";
+    case Datatype::Double: return "MPI_DOUBLE";
+    case Datatype::Float: return "MPI_FLOAT";
+    case Datatype::Char: return "MPI_CHAR";
+    case Datatype::Byte: return "MPI_BYTE";
+    case Datatype::Long: return "MPI_LONG";
+  }
+  MPIDETECT_UNREACHABLE("bad Datatype");
+}
+
+bool is_valid_reduce_op(std::int32_t handle) {
+  return handle >= static_cast<std::int32_t>(ReduceOp::Sum) &&
+         handle <= static_cast<std::int32_t>(ReduceOp::Prod);
+}
+
+namespace {
+
+using R = ArgRole;
+
+std::vector<Signature> build_registry() {
+  std::vector<Signature> regs;
+  regs.resize(kNumFuncs);
+  const auto set = [&](Func f, std::string_view name,
+                       std::vector<Param> params) {
+    regs[static_cast<std::size_t>(f)] =
+        Signature{f, name, std::move(params)};
+  };
+
+  set(Func::Init, "MPI_Init", {});
+  set(Func::Finalize, "MPI_Finalize", {});
+  set(Func::CommRank, "MPI_Comm_rank", {{R::Comm}, {R::IntOut}});
+  set(Func::CommSize, "MPI_Comm_size", {{R::Comm}, {R::IntOut}});
+
+  set(Func::Barrier, "MPI_Barrier", {{R::Comm}});
+  set(Func::Bcast, "MPI_Bcast",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::Root}, {R::Comm}});
+  set(Func::Reduce, "MPI_Reduce",
+      {{R::Buffer}, {R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::Op},
+       {R::Root}, {R::Comm}});
+  set(Func::Allreduce, "MPI_Allreduce",
+      {{R::Buffer}, {R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::Op},
+       {R::Comm}});
+  set(Func::Gather, "MPI_Gather",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::RecvBuffer}, {R::Count},
+       {R::Datatype}, {R::Root}, {R::Comm}});
+  set(Func::Scatter, "MPI_Scatter",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::RecvBuffer}, {R::Count},
+       {R::Datatype}, {R::Root}, {R::Comm}});
+  set(Func::Allgather, "MPI_Allgather",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::RecvBuffer}, {R::Count},
+       {R::Datatype}, {R::Comm}});
+  set(Func::Alltoall, "MPI_Alltoall",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::RecvBuffer}, {R::Count},
+       {R::Datatype}, {R::Comm}});
+
+  set(Func::Send, "MPI_Send",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::DestRank}, {R::Tag},
+       {R::Comm}});
+  set(Func::Ssend, "MPI_Ssend",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::DestRank}, {R::Tag},
+       {R::Comm}});
+  set(Func::Recv, "MPI_Recv",
+      {{R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::SrcRank}, {R::Tag},
+       {R::Comm}, {R::StatusOut}});
+
+  set(Func::Isend, "MPI_Isend",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::DestRank}, {R::Tag},
+       {R::Comm}, {R::RequestOut}});
+  set(Func::Irecv, "MPI_Irecv",
+      {{R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::SrcRank}, {R::Tag},
+       {R::Comm}, {R::RequestOut}});
+  set(Func::Wait, "MPI_Wait", {{R::RequestInOut}, {R::StatusOut}});
+  set(Func::Waitall, "MPI_Waitall",
+      {{R::Count}, {R::RequestArray}, {R::StatusOut}});
+  set(Func::Test, "MPI_Test",
+      {{R::RequestInOut}, {R::IntOut}, {R::StatusOut}});
+  set(Func::RequestFree, "MPI_Request_free", {{R::RequestInOut}});
+
+  set(Func::SendInit, "MPI_Send_init",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::DestRank}, {R::Tag},
+       {R::Comm}, {R::RequestOut}});
+  set(Func::RecvInit, "MPI_Recv_init",
+      {{R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::SrcRank}, {R::Tag},
+       {R::Comm}, {R::RequestOut}});
+  set(Func::Start, "MPI_Start", {{R::RequestInOut}});
+
+  set(Func::CommDup, "MPI_Comm_dup", {{R::Comm}, {R::CommOut}});
+  set(Func::CommSplit, "MPI_Comm_split",
+      {{R::Comm}, {R::Color}, {R::Key}, {R::CommOut}});
+  set(Func::CommFree, "MPI_Comm_free", {{R::CommInOut}});
+
+  set(Func::TypeContiguous, "MPI_Type_contiguous",
+      {{R::Count}, {R::Datatype}, {R::DatatypeOut}});
+  set(Func::TypeCommit, "MPI_Type_commit", {{R::DatatypeInOut}});
+  set(Func::TypeFree, "MPI_Type_free", {{R::DatatypeInOut}});
+
+  set(Func::WinCreate, "MPI_Win_create",
+      {{R::WinBase}, {R::WinSize}, {R::DispUnit}, {R::Comm}, {R::WinOut}});
+  set(Func::WinFree, "MPI_Win_free", {{R::WinInOut}});
+  set(Func::WinFence, "MPI_Win_fence", {{R::Assert}, {R::Win}});
+  set(Func::WinLock, "MPI_Win_lock",
+      {{R::LockType}, {R::TargetRank}, {R::Assert}, {R::Win}});
+  set(Func::WinUnlock, "MPI_Win_unlock", {{R::TargetRank}, {R::Win}});
+  set(Func::Put, "MPI_Put",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::TargetRank},
+       {R::TargetDisp}, {R::TargetCount}, {R::TargetDatatype}, {R::Win}});
+  set(Func::Get, "MPI_Get",
+      {{R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::TargetRank},
+       {R::TargetDisp}, {R::TargetCount}, {R::TargetDatatype}, {R::Win}});
+  set(Func::Accumulate, "MPI_Accumulate",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::TargetRank},
+       {R::TargetDisp}, {R::TargetCount}, {R::TargetDatatype}, {R::Op},
+       {R::Win}});
+  return regs;
+}
+
+const std::vector<Signature>& registry() {
+  static const std::vector<Signature> regs = build_registry();
+  return regs;
+}
+
+const std::unordered_map<std::string_view, Func>& name_index() {
+  static const auto index = [] {
+    std::unordered_map<std::string_view, Func> idx;
+    for (const Signature& s : registry()) idx.emplace(s.name, s.func);
+    return idx;
+  }();
+  return index;
+}
+
+}  // namespace
+
+std::string_view func_name(Func f) {
+  return registry()[static_cast<std::size_t>(f)].name;
+}
+
+std::optional<Func> func_from_name(std::string_view name) {
+  const auto it = name_index().find(name);
+  if (it == name_index().end()) return std::nullopt;
+  return it->second;
+}
+
+ir::Type arg_role_type(ArgRole role) {
+  switch (role) {
+    case ArgRole::Buffer:
+    case ArgRole::RecvBuffer:
+    case ArgRole::StatusOut:
+    case ArgRole::RequestOut:
+    case ArgRole::RequestInOut:
+    case ArgRole::RequestArray:
+    case ArgRole::IntOut:
+    case ArgRole::CommOut:
+    case ArgRole::CommInOut:
+    case ArgRole::DatatypeOut:
+    case ArgRole::DatatypeInOut:
+    case ArgRole::WinBase:
+    case ArgRole::WinOut:
+    case ArgRole::WinInOut:
+      return ir::Type::Ptr;
+    case ArgRole::WinSize:
+    case ArgRole::TargetDisp:
+      return ir::Type::I64;
+    default:
+      return ir::Type::I32;
+  }
+}
+
+const Signature& signature(Func f) {
+  return registry()[static_cast<std::size_t>(f)];
+}
+
+bool is_collective(Func f) {
+  switch (f) {
+    case Func::Barrier:
+    case Func::Bcast:
+    case Func::Reduce:
+    case Func::Allreduce:
+    case Func::Gather:
+    case Func::Scatter:
+    case Func::Allgather:
+    case Func::Alltoall:
+    case Func::WinCreate:
+    case Func::WinFree:
+    case Func::WinFence:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_blocking_p2p(Func f) {
+  return f == Func::Send || f == Func::Ssend || f == Func::Recv;
+}
+
+bool starts_request(Func f) {
+  switch (f) {
+    case Func::Isend:
+    case Func::Irecv:
+    case Func::SendInit:
+    case Func::RecvInit:
+    case Func::Start:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ir::Function* declare(ir::Module& m, Func f) {
+  const Signature& sig = signature(f);
+  std::vector<ir::Type> params;
+  params.reserve(sig.params.size());
+  for (const Param& p : sig.params) params.push_back(arg_role_type(p.role));
+  return m.get_or_declare(std::string(sig.name), ir::Type::I32,
+                          std::move(params));
+}
+
+std::optional<Func> classify_call(const ir::Instruction& inst) {
+  if (inst.opcode() != ir::Opcode::Call || inst.callee() == nullptr) {
+    return std::nullopt;
+  }
+  return func_from_name(inst.callee()->name());
+}
+
+}  // namespace mpidetect::mpi

@@ -1,0 +1,190 @@
+// Model of the MPI API surface used by the benchmark suites: function
+// identities, argument schemas (the *role* of every parameter), datatype
+// and reduction-op handles, and the module-level declaration helper that
+// mirrors how clang-emitted LLVM IR declares MPI externs.
+//
+// The schemas drive three consumers:
+//   * the program lowering (progmodel) builds calls from them,
+//   * the simulator (mpisim) interprets call operands by role,
+//   * static checkers (verify, programl) classify call sites by role.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace mpidetect::mpi {
+
+// ---------------------------------------------------------------------------
+// Handles and sentinel values (numeric values are arbitrary but stable).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::int32_t kCommWorld = 91;
+inline constexpr std::int32_t kCommNull = 0;
+inline constexpr std::int32_t kAnySource = -2;
+inline constexpr std::int32_t kAnyTag = -1;
+inline constexpr std::int32_t kProcNull = -3;
+inline constexpr std::int32_t kTagUb = 32767;
+inline constexpr std::int32_t kSuccess = 0;
+inline constexpr std::int32_t kRequestNull = 0;
+
+/// Built-in datatype handles; derived datatypes are assigned handles
+/// >= kFirstDerivedDatatype by MPI_Type_contiguous.
+enum class Datatype : std::int32_t {
+  Null = 0,
+  Int = 1,
+  Double = 2,
+  Float = 3,
+  Char = 4,
+  Byte = 5,
+  Long = 6,
+};
+inline constexpr std::int32_t kFirstDerivedDatatype = 100;
+
+/// Payload size of a built-in datatype in bytes; nullopt for unknown
+/// handles (derived types are resolved by the simulator's type table).
+std::optional<std::size_t> builtin_datatype_size(std::int32_t handle);
+std::string_view datatype_name(Datatype dt);
+
+/// Reduction operation handles.
+enum class ReduceOp : std::int32_t { Sum = 1, Max = 2, Min = 3, Prod = 4 };
+bool is_valid_reduce_op(std::int32_t handle);
+
+/// Lock types for MPI_Win_lock.
+inline constexpr std::int32_t kLockExclusive = 1;
+inline constexpr std::int32_t kLockShared = 2;
+
+// ---------------------------------------------------------------------------
+// Function registry
+// ---------------------------------------------------------------------------
+
+enum class Func : std::uint8_t {
+  Init,
+  Finalize,
+  CommRank,
+  CommSize,
+  // collectives
+  Barrier,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Gather,
+  Scatter,
+  Allgather,
+  Alltoall,
+  // point-to-point, blocking
+  Send,
+  Ssend,
+  Recv,
+  // point-to-point, nonblocking
+  Isend,
+  Irecv,
+  Wait,
+  Waitall,
+  Test,
+  RequestFree,
+  // persistent
+  SendInit,
+  RecvInit,
+  Start,
+  // communicator management
+  CommDup,
+  CommSplit,
+  CommFree,
+  // derived datatypes
+  TypeContiguous,
+  TypeCommit,
+  TypeFree,
+  // one-sided (RMA)
+  WinCreate,
+  WinFree,
+  WinFence,
+  WinLock,
+  WinUnlock,
+  Put,
+  Get,
+  Accumulate,
+};
+
+inline constexpr std::size_t kNumFuncs =
+    static_cast<std::size_t>(Func::Accumulate) + 1;
+
+/// "MPI_Send", "MPI_Comm_rank", ... the exact extern name.
+std::string_view func_name(Func f);
+
+/// Reverse lookup; nullopt for non-MPI names.
+std::optional<Func> func_from_name(std::string_view name);
+
+/// The semantic role of one call argument.
+enum class ArgRole : std::uint8_t {
+  Buffer,        // ptr: message payload
+  RecvBuffer,    // ptr: payload written by the call
+  Count,         // i32: element count
+  Datatype,      // i32: datatype handle
+  DestRank,      // i32
+  SrcRank,       // i32 (wildcard allowed)
+  Tag,           // i32 (wildcard allowed on receive)
+  Comm,          // i32: communicator handle
+  Root,          // i32
+  Op,            // i32: reduction op handle
+  StatusOut,     // ptr: MPI_Status* (may be "ignore")
+  RequestOut,    // ptr: MPI_Request* written by the call
+  RequestInOut,  // ptr: MPI_Request* consumed/updated by the call
+  RequestArray,  // ptr: MPI_Request[count]
+  IntOut,        // ptr: plain int result (rank/size/flag)
+  CommOut,       // ptr: new communicator handle
+  CommInOut,     // ptr: communicator handle consumed (MPI_Comm_free)
+  Color,         // i32 (MPI_Comm_split)
+  Key,           // i32 (MPI_Comm_split)
+  DatatypeOut,   // ptr: new datatype handle
+  DatatypeInOut, // ptr: datatype handle consumed (commit/free)
+  WinBase,       // ptr: window backing memory
+  WinSize,       // i64: window size in bytes
+  DispUnit,      // i32
+  WinOut,        // ptr: new window handle
+  WinInOut,      // ptr: window handle consumed (MPI_Win_free)
+  Win,           // i32: window handle
+  TargetRank,    // i32 (RMA)
+  TargetDisp,    // i64 (RMA)
+  TargetCount,   // i32 (RMA)
+  TargetDatatype,// i32 (RMA)
+  Assert,        // i32 (fence/lock assertion)
+  LockType,      // i32
+};
+
+/// IR type naturally carried by each role.
+ir::Type arg_role_type(ArgRole role);
+
+struct Param {
+  ArgRole role;
+};
+
+struct Signature {
+  Func func;
+  std::string_view name;
+  std::vector<Param> params;
+};
+
+/// Full registry indexed by Func.
+const Signature& signature(Func f);
+
+/// True for the collective operations (all ranks of the comm must call).
+bool is_collective(Func f);
+
+/// True for blocking point-to-point operations.
+bool is_blocking_p2p(Func f);
+
+/// True for calls that start a nonblocking or persistent operation.
+bool starts_request(Func f);
+
+/// Declares (or returns the existing declaration of) the extern for `f`
+/// in the module, with the registry signature.
+ir::Function* declare(ir::Module& m, Func f);
+
+/// Identifies a call instruction's MPI function, if the callee is one.
+std::optional<Func> classify_call(const ir::Instruction& inst);
+
+}  // namespace mpidetect::mpi

@@ -1,0 +1,47 @@
+#include "mpi/errors.hpp"
+
+#include "support/check.hpp"
+
+namespace mpidetect::mpi {
+
+std::string_view mbi_label_name(MbiLabel l) {
+  switch (l) {
+    case MbiLabel::Correct: return "Correct";
+    case MbiLabel::InvalidParameter: return "Invalid Parameter";
+    case MbiLabel::ParameterMatching: return "Parameter Matching";
+    case MbiLabel::CallOrdering: return "Call Ordering";
+    case MbiLabel::LocalConcurrency: return "Local Concurrency";
+    case MbiLabel::RequestLifecycle: return "Request Lifecycle";
+    case MbiLabel::EpochLifecycle: return "Epoch Lifecycle";
+    case MbiLabel::MessageRace: return "Message Race";
+    case MbiLabel::GlobalConcurrency: return "Global Concurrency";
+    case MbiLabel::ResourceLeak: return "Resource Leak";
+  }
+  MPIDETECT_UNREACHABLE("bad MbiLabel");
+}
+
+std::string_view corr_label_name(CorrLabel l) {
+  switch (l) {
+    case CorrLabel::Correct: return "correct";
+    case CorrLabel::ArgError: return "ArgError";
+    case CorrLabel::ArgMismatch: return "ArgMismatch";
+    case CorrLabel::MissplacedCall: return "MissplacedCall";
+    case CorrLabel::MissingCall: return "MissingCall";
+  }
+  MPIDETECT_UNREACHABLE("bad CorrLabel");
+}
+
+std::vector<MbiLabel> mbi_error_labels() {
+  return {MbiLabel::InvalidParameter, MbiLabel::ParameterMatching,
+          MbiLabel::CallOrdering,     MbiLabel::LocalConcurrency,
+          MbiLabel::RequestLifecycle, MbiLabel::EpochLifecycle,
+          MbiLabel::MessageRace,      MbiLabel::GlobalConcurrency,
+          MbiLabel::ResourceLeak};
+}
+
+std::vector<CorrLabel> corr_error_labels() {
+  return {CorrLabel::ArgError, CorrLabel::ArgMismatch,
+          CorrLabel::MissplacedCall, CorrLabel::MissingCall};
+}
+
+}  // namespace mpidetect::mpi

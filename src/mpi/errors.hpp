@@ -1,0 +1,52 @@
+// Error taxonomies of the two benchmark suites (paper §III) and the
+// unified binary labelling the Cross scenario uses (paper §V).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mpidetect::mpi {
+
+/// MBI's nine error classes plus Correct, grouped by manifestation
+/// context exactly as the paper lists them:
+///   single call:    InvalidParameter
+///   single process: ResourceLeak, RequestLifecycle, EpochLifecycle,
+///                   LocalConcurrency
+///   multi-process:  ParameterMatching, MessageRace, CallOrdering,
+///                   GlobalConcurrency
+enum class MbiLabel : std::uint8_t {
+  Correct,
+  InvalidParameter,
+  ParameterMatching,
+  CallOrdering,
+  LocalConcurrency,
+  RequestLifecycle,
+  EpochLifecycle,
+  MessageRace,
+  GlobalConcurrency,
+  ResourceLeak,
+};
+inline constexpr std::size_t kNumMbiLabels = 10;
+
+/// MPI-CorrBench's four error classes plus Correct.
+enum class CorrLabel : std::uint8_t {
+  Correct,
+  ArgError,
+  ArgMismatch,
+  MissplacedCall,  // (sic) — spelling follows the benchmark suite
+  MissingCall,
+};
+inline constexpr std::size_t kNumCorrLabels = 5;
+
+std::string_view mbi_label_name(MbiLabel l);
+std::string_view corr_label_name(CorrLabel l);
+
+/// All labels in Figure 1/6/8 order (error classes only, no Correct).
+std::vector<MbiLabel> mbi_error_labels();
+std::vector<CorrLabel> corr_error_labels();
+
+constexpr bool is_incorrect(MbiLabel l) { return l != MbiLabel::Correct; }
+constexpr bool is_incorrect(CorrLabel l) { return l != CorrLabel::Correct; }
+
+}  // namespace mpidetect::mpi

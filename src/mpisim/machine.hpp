@@ -1,0 +1,35 @@
+// Deterministic multi-rank interpreter of the mini-IR with an MPI
+// runtime: point-to-point matching (wildcards, non-overtaking order),
+// synchronizing collectives with cross-rank argument checks, nonblocking
+// and persistent requests with buffer-ownership tracking, RMA windows
+// with fence/lock epochs, and resource accounting at MPI_Finalize.
+//
+// This is the substitute for "run the benchmark under a real MPI" that
+// the paper's dynamic comparison tools (ITAC, MUST) rely on: every
+// injected bug class manifests as an observable finding or as a
+// deadlock/timeout outcome.
+#pragma once
+
+#include "ir/module.hpp"
+#include "mpisim/report.hpp"
+
+namespace mpidetect::mpisim {
+
+struct MachineConfig {
+  int nprocs = 2;
+  /// Total instruction budget across ranks; exceeding it -> Timeout.
+  std::uint64_t max_steps = 2'000'000;
+  /// MPI_Send buffers messages of at most this many bytes (eager
+  /// protocol); larger sends rendezvous (block until matched).
+  std::size_t eager_threshold = 4096;
+  /// Per-rank heap arena size in bytes.
+  std::size_t arena_bytes = 1 << 20;
+  /// Instructions a rank executes per scheduling slice.
+  int slice = 64;
+};
+
+/// Runs `main` of the module on every rank and reports what happened.
+/// The module is not modified. Deterministic for a fixed config.
+RunReport run(const ir::Module& m, const MachineConfig& config = {});
+
+}  // namespace mpidetect::mpisim

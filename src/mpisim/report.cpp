@@ -1,0 +1,65 @@
+#include "mpisim/report.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace mpidetect::mpisim {
+
+std::string_view finding_kind_name(FindingKind k) {
+  switch (k) {
+    case FindingKind::InvalidParam: return "invalid-param";
+    case FindingKind::TypeMismatch: return "type-mismatch";
+    case FindingKind::ParamMismatch: return "param-mismatch";
+    case FindingKind::CollectiveMismatch: return "collective-mismatch";
+    case FindingKind::MessageRace: return "message-race";
+    case FindingKind::LocalConcurrency: return "local-concurrency";
+    case FindingKind::GlobalConcurrency: return "global-concurrency";
+    case FindingKind::EpochError: return "epoch-error";
+    case FindingKind::RequestError: return "request-error";
+    case FindingKind::ResourceLeak: return "resource-leak";
+    case FindingKind::MemoryFault: return "memory-fault";
+    case FindingKind::DoubleInit: return "double-init";
+    case FindingKind::MissingFinalize: return "missing-finalize";
+  }
+  MPIDETECT_UNREACHABLE("bad FindingKind");
+}
+
+std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Completed: return "completed";
+    case Outcome::Deadlock: return "deadlock";
+    case Outcome::Timeout: return "timeout";
+    case Outcome::Crashed: return "crashed";
+  }
+  MPIDETECT_UNREACHABLE("bad Outcome");
+}
+
+bool RunReport::has(FindingKind k) const {
+  for (const Finding& f : findings) {
+    if (f.kind == k) return true;
+  }
+  return false;
+}
+
+std::size_t RunReport::count(FindingKind k) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) n += (f.kind == k);
+  return n;
+}
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  os << outcome_name(outcome) << " (" << steps << " steps";
+  if (!findings.empty()) {
+    os << ", " << findings.size() << " findings:";
+    for (const Finding& f : findings) {
+      os << " " << finding_kind_name(f.kind);
+      if (f.rank >= 0) os << "@r" << f.rank;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mpidetect::mpisim

@@ -1,0 +1,60 @@
+// Execution verdicts produced by the simulator. Dynamic baseline tools
+// (ITAC-lite, MUST-lite) are thin policies over these findings; the MBI
+// metric computation (coverage / conclusiveness, Table I) consumes the
+// outcome classification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpidetect::mpisim {
+
+enum class FindingKind : std::uint8_t {
+  InvalidParam,       // negative count, bad rank/tag/datatype/op/comm, ...
+  TypeMismatch,       // send/recv datatype disagreement
+  ParamMismatch,      // collective root/op/count disagreement across ranks
+  CollectiveMismatch, // different collectives called at the same point
+  MessageRace,        // wildcard receive with multiple racing senders
+  LocalConcurrency,   // buffer touched while owned by an active request
+  GlobalConcurrency,  // conflicting RMA accesses in one epoch
+  EpochError,         // RMA access outside an access epoch
+  RequestError,       // wait/start/free on an invalid or inactive request
+  ResourceLeak,       // comm/datatype/window/request alive at finalize
+  MemoryFault,        // out-of-bounds or null access in program memory
+  DoubleInit,         // MPI_Init called twice / missing init
+  MissingFinalize,    // rank returned from main without MPI_Finalize
+};
+
+std::string_view finding_kind_name(FindingKind k);
+
+struct Finding {
+  FindingKind kind;
+  int rank;             // -1 when global (e.g. deadlock)
+  std::string message;  // human-readable details
+};
+
+/// How the run ended.
+enum class Outcome : std::uint8_t {
+  Completed,  // every rank returned from main
+  Deadlock,   // no runnable rank and no possible matching progress
+  Timeout,    // step budget exhausted (livelock / unbounded loop)
+  Crashed,    // at least one rank hit a fatal memory fault
+};
+
+std::string_view outcome_name(Outcome o);
+
+struct RunReport {
+  Outcome outcome = Outcome::Completed;
+  std::vector<Finding> findings;
+  std::uint64_t steps = 0;  // total instructions executed across ranks
+
+  bool has(FindingKind k) const;
+  std::size_t count(FindingKind k) const;
+  /// True when the run completed with no findings at all.
+  bool clean() const { return outcome == Outcome::Completed && findings.empty(); }
+  std::string summary() const;
+};
+
+}  // namespace mpidetect::mpisim

@@ -1,0 +1,168 @@
+#include "passes/constant_fold.hpp"
+
+#include <cmath>
+
+namespace mpidetect::passes {
+
+namespace {
+
+using ir::ConstantFP;
+using ir::ConstantInt;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::ValueKind;
+
+const ConstantInt* as_int(const ir::Value* v) {
+  return v->kind() == ValueKind::ConstantInt
+             ? static_cast<const ConstantInt*>(v)
+             : nullptr;
+}
+
+const ConstantFP* as_fp(const ir::Value* v) {
+  return v->kind() == ValueKind::ConstantFP
+             ? static_cast<const ConstantFP*>(v)
+             : nullptr;
+}
+
+std::int64_t truncate_to(Type t, std::int64_t v) {
+  switch (t) {
+    case Type::I1: return v & 1;
+    case Type::I32: return static_cast<std::int32_t>(v);
+    default: return v;
+  }
+}
+
+bool eval_cmp(ir::CmpPred p, std::int64_t a, std::int64_t b) {
+  switch (p) {
+    case ir::CmpPred::EQ: return a == b;
+    case ir::CmpPred::NE: return a != b;
+    case ir::CmpPred::SLT: return a < b;
+    case ir::CmpPred::SLE: return a <= b;
+    case ir::CmpPred::SGT: return a > b;
+    case ir::CmpPred::SGE: return a >= b;
+  }
+  return false;
+}
+
+bool eval_fcmp(ir::CmpPred p, double a, double b) {
+  switch (p) {
+    case ir::CmpPred::EQ: return a == b;
+    case ir::CmpPred::NE: return a != b;
+    case ir::CmpPred::SLT: return a < b;
+    case ir::CmpPred::SLE: return a <= b;
+    case ir::CmpPred::SGT: return a > b;
+    case ir::CmpPred::SGE: return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+ir::Value* try_fold(ir::Module& m, const Instruction& inst) {
+  const Opcode op = inst.opcode();
+
+  if (ir::is_binary_int(op)) {
+    const ConstantInt* a = as_int(inst.operand(0));
+    const ConstantInt* b = as_int(inst.operand(1));
+    if (a == nullptr || b == nullptr) return nullptr;
+    const std::int64_t x = a->value();
+    const std::int64_t y = b->value();
+    std::int64_t r = 0;
+    switch (op) {
+      case Opcode::Add: r = x + y; break;
+      case Opcode::Sub: r = x - y; break;
+      case Opcode::Mul: r = x * y; break;
+      case Opcode::SDiv:
+        if (y == 0) return nullptr;  // preserve the trap
+        r = x / y;
+        break;
+      case Opcode::SRem:
+        if (y == 0) return nullptr;
+        r = x % y;
+        break;
+      case Opcode::And: r = x & y; break;
+      case Opcode::Or: r = x | y; break;
+      case Opcode::Xor: r = x ^ y; break;
+      case Opcode::Shl: r = (y >= 0 && y < 64) ? (x << y) : 0; break;
+      case Opcode::AShr: r = (y >= 0 && y < 64) ? (x >> y) : 0; break;
+      default: return nullptr;
+    }
+    return m.get_int(inst.type(), truncate_to(inst.type(), r));
+  }
+
+  if (ir::is_binary_float(op)) {
+    const ConstantFP* a = as_fp(inst.operand(0));
+    const ConstantFP* b = as_fp(inst.operand(1));
+    if (a == nullptr || b == nullptr) return nullptr;
+    const double x = a->value();
+    const double y = b->value();
+    double r = 0;
+    switch (op) {
+      case Opcode::FAdd: r = x + y; break;
+      case Opcode::FSub: r = x - y; break;
+      case Opcode::FMul: r = x * y; break;
+      case Opcode::FDiv: r = x / y; break;
+      default: return nullptr;
+    }
+    if (!std::isfinite(r)) return nullptr;
+    return m.get_f64(r);
+  }
+
+  switch (op) {
+    case Opcode::ICmp: {
+      const ConstantInt* a = as_int(inst.operand(0));
+      const ConstantInt* b = as_int(inst.operand(1));
+      if (a == nullptr || b == nullptr) return nullptr;
+      return m.get_bool(eval_cmp(inst.cmp_pred(), a->value(), b->value()));
+    }
+    case Opcode::FCmp: {
+      const ConstantFP* a = as_fp(inst.operand(0));
+      const ConstantFP* b = as_fp(inst.operand(1));
+      if (a == nullptr || b == nullptr) return nullptr;
+      return m.get_bool(eval_fcmp(inst.cmp_pred(), a->value(), b->value()));
+    }
+    case Opcode::Select: {
+      const ConstantInt* c = as_int(inst.operand(0));
+      if (c == nullptr) return nullptr;
+      return c->value() != 0 ? inst.operand(1) : inst.operand(2);
+    }
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc: {
+      const ConstantInt* a = as_int(inst.operand(0));
+      if (a == nullptr) return nullptr;
+      return m.get_int(inst.type(), truncate_to(inst.type(), a->value()));
+    }
+    case Opcode::SIToFP: {
+      const ConstantInt* a = as_int(inst.operand(0));
+      if (a == nullptr) return nullptr;
+      return m.get_f64(static_cast<double>(a->value()));
+    }
+    case Opcode::FPToSI: {
+      const ConstantFP* a = as_fp(inst.operand(0));
+      if (a == nullptr) return nullptr;
+      return m.get_int(inst.type(),
+                       truncate_to(inst.type(),
+                                   static_cast<std::int64_t>(a->value())));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+bool ConstantFold::run(ir::Function& f) {
+  ir::Module& m = *f.parent();
+  bool changed = false;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (ir::Value* folded = try_fold(m, *inst)) {
+        replace_all_uses(f, inst.get(), folded);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace mpidetect::passes

@@ -1,0 +1,20 @@
+// Constant folding: evaluates integer/float arithmetic, comparisons,
+// casts, and selects whose operands are all constants, replacing their
+// uses with interned constants. Dead originals are left for DCE.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace mpidetect::passes {
+
+class ConstantFold final : public FunctionPass {
+ public:
+  std::string_view name() const override { return "constant-fold"; }
+  bool run(ir::Function& f) override;
+};
+
+/// Folds a single instruction; returns the replacement constant or
+/// nullptr when not foldable. Exposed for instcombine and tests.
+ir::Value* try_fold(ir::Module& m, const ir::Instruction& inst);
+
+}  // namespace mpidetect::passes

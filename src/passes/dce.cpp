@@ -1,0 +1,30 @@
+#include "passes/dce.hpp"
+
+#include <vector>
+
+namespace mpidetect::passes {
+
+bool DeadCodeElim::run(ir::Function& f) {
+  bool changed_any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto uses = use_counts(f);
+    for (const auto& bb : f.blocks()) {
+      std::vector<const ir::Instruction*> dead;
+      for (const auto& inst : bb->instructions()) {
+        if (has_side_effects(*inst)) continue;
+        const auto it = uses.find(inst.get());
+        if (it == uses.end() || it->second == 0) dead.push_back(inst.get());
+      }
+      for (const ir::Instruction* inst : dead) {
+        bb->erase(inst);
+        changed = true;
+        changed_any = true;
+      }
+    }
+  }
+  return changed_any;
+}
+
+}  // namespace mpidetect::passes

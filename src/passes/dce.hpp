@@ -1,0 +1,15 @@
+// Dead code elimination: iteratively removes side-effect-free
+// instructions with no remaining uses.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace mpidetect::passes {
+
+class DeadCodeElim final : public FunctionPass {
+ public:
+  std::string_view name() const override { return "dce"; }
+  bool run(ir::Function& f) override;
+};
+
+}  // namespace mpidetect::passes

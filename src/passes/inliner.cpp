@@ -1,0 +1,177 @@
+#include "passes/inliner.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/cfg.hpp"
+#include "passes/simplify_cfg.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+/// A callee is inlinable if it is defined, small, does not call itself,
+/// and does not contain allocas (keeps the clone's memory behaviour
+/// identical without frame merging).
+bool inlinable(const Function& callee, std::size_t max_size) {
+  if (callee.is_declaration()) return false;
+  if (callee.instruction_count() > max_size) return false;
+  for (const auto& bb : callee.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::Alloca) return false;
+      if (inst->opcode() == Opcode::Call && inst->callee() == &callee) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Inliner::inline_one(Function& caller) {
+  ir::Module& m = *caller.parent();
+
+  // Find the first inlinable call site.
+  BasicBlock* site_bb = nullptr;
+  std::size_t site_pos = 0;
+  Instruction* call = nullptr;
+  for (const auto& bb : caller.blocks()) {
+    for (std::size_t i = 0; i < bb->size(); ++i) {
+      Instruction* inst = bb->instructions()[i].get();
+      if (inst->opcode() == Opcode::Call && inst->callee() != &caller &&
+          inlinable(*inst->callee(), max_callee_size_)) {
+        site_bb = bb.get();
+        site_pos = i;
+        call = inst;
+        break;
+      }
+    }
+    if (call != nullptr) break;
+  }
+  if (call == nullptr) return false;
+
+  Function& callee = *call->callee();
+
+  // Split the call block: everything after the call moves to `cont`.
+  BasicBlock* cont = caller.create_block(site_bb->name() + ".inl.cont");
+  {
+    // Detach the tail from the back into a stack, then re-append in order.
+    std::vector<std::unique_ptr<Instruction>> stack;
+    while (site_bb->size() > site_pos + 1) {
+      stack.push_back(site_bb->take_back());
+    }
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      cont->append(std::move(*it));
+    }
+  }
+  // Successor phis that referenced site_bb now flow from cont.
+  for (BasicBlock* succ : cont->successors()) {
+    replace_phi_incoming_block(*succ, site_bb, cont);
+  }
+
+  // Clone callee blocks.
+  std::unordered_map<const BasicBlock*, BasicBlock*> block_map;
+  for (const auto& bb : callee.blocks()) {
+    block_map[bb.get()] =
+        caller.create_block(callee.name() + "." + bb->name() + ".inl");
+  }
+  // Value map: callee args -> call operands.
+  std::unordered_map<const Value*, Value*> vmap;
+  for (std::size_t i = 0; i < callee.num_args(); ++i) {
+    vmap[callee.arg(i)] = call->operand(i);
+  }
+
+  const auto mapped = [&](Value* v) -> Value* {
+    const auto it = vmap.find(v);
+    return it != vmap.end() ? it->second : v;
+  };
+
+  // Return handling: collect (value, block) pairs for a merge phi.
+  std::vector<std::pair<Value*, BasicBlock*>> returns;
+
+  for (const auto& bb : callee.blocks()) {
+    BasicBlock* nbb = block_map.at(bb.get());
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::Ret) {
+        if (inst->num_operands() == 1) {
+          returns.emplace_back(mapped(inst->operand(0)), nbb);
+        } else {
+          returns.emplace_back(nullptr, nbb);
+        }
+        auto br = std::make_unique<Instruction>(Opcode::Br, ir::Type::Void, "");
+        br->set_id(m.next_value_id());
+        br->add_block_operand(cont);
+        nbb->append(std::move(br));
+        continue;
+      }
+      auto clone = std::make_unique<Instruction>(
+          inst->opcode(), inst->type(), inst->name());
+      clone->set_id(m.next_value_id());
+      clone->set_cmp_pred(inst->cmp_pred());
+      clone->set_callee(inst->callee());
+      clone->set_access_type(inst->access_type());
+      for (Value* op : inst->operands()) clone->add_operand(mapped(op));
+      for (BasicBlock* bop : inst->block_operands()) {
+        clone->add_block_operand(block_map.at(bop));
+      }
+      Instruction* placed = nbb->append(std::move(clone));
+      vmap[inst.get()] = placed;
+    }
+  }
+  // Second pass: phi operands may reference values cloned later; remap.
+  for (const auto& bb : callee.blocks()) {
+    BasicBlock* nbb = block_map.at(bb.get());
+    for (const auto& inst : nbb->instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        inst->set_operand(i, mapped(inst->operand(i)));
+      }
+    }
+  }
+
+  // Wire the call result.
+  if (call->type() != ir::Type::Void && !returns.empty()) {
+    if (returns.size() == 1) {
+      replace_all_uses(caller, call, returns.front().first);
+    } else {
+      auto phi = std::make_unique<Instruction>(Opcode::Phi, call->type(),
+                                               callee.name() + ".retval");
+      phi->set_id(m.next_value_id());
+      for (const auto& [v, from] : returns) {
+        phi->add_operand(v);
+        phi->add_block_operand(from);
+      }
+      Instruction* placed = cont->insert(0, std::move(phi));
+      replace_all_uses(caller, call, placed);
+    }
+  }
+
+  // Replace the call with a branch into the cloned entry.
+  site_bb->erase(call);
+  auto br = std::make_unique<Instruction>(Opcode::Br, ir::Type::Void, "");
+  br->set_id(m.next_value_id());
+  br->add_block_operand(block_map.at(callee.entry()));
+  site_bb->append(std::move(br));
+
+  return true;
+}
+
+bool Inliner::run(Function& f) {
+  bool changed = false;
+  // Bounded: each iteration inlines one site; growth is limited by the
+  // callee-size threshold and by the pipeline's fixpoint budget.
+  for (int i = 0; i < 16; ++i) {
+    if (!inline_one(f)) break;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace mpidetect::passes

@@ -1,0 +1,24 @@
+// Function inlining for calls to small, non-recursive, defined
+// functions. Used by the -O2 pipeline; -Os skips it (inlining grows
+// code, and the paper picked -Os specifically to shrink the IR).
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace mpidetect::passes {
+
+class Inliner final : public FunctionPass {
+ public:
+  /// Callees with more instructions than `max_callee_size` stay out-of-line.
+  explicit Inliner(std::size_t max_callee_size = 64)
+      : max_callee_size_(max_callee_size) {}
+
+  std::string_view name() const override { return "inliner"; }
+  bool run(ir::Function& f) override;
+
+ private:
+  bool inline_one(ir::Function& caller);
+  std::size_t max_callee_size_;
+};
+
+}  // namespace mpidetect::passes

@@ -1,0 +1,109 @@
+#include "passes/instcombine.hpp"
+
+namespace mpidetect::passes {
+
+namespace {
+
+using ir::ConstantInt;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+using ir::ValueKind;
+
+bool is_const_int(const Value* v, std::int64_t c) {
+  if (v->kind() != ValueKind::ConstantInt) return false;
+  return static_cast<const ConstantInt*>(v)->value() == c;
+}
+
+/// Simplification result: the value the instruction reduces to, or null.
+Value* simplify(ir::Module& m, const Instruction& inst) {
+  const Opcode op = inst.opcode();
+  if (inst.num_operands() == 2) {
+    Value* a = inst.operand(0);
+    Value* b = inst.operand(1);
+    switch (op) {
+      case Opcode::Add:
+        if (is_const_int(a, 0)) return b;
+        if (is_const_int(b, 0)) return a;
+        break;
+      case Opcode::Sub:
+        if (is_const_int(b, 0)) return a;
+        if (a == b) return m.get_int(inst.type(), 0);
+        break;
+      case Opcode::Mul:
+        if (is_const_int(a, 1)) return b;
+        if (is_const_int(b, 1)) return a;
+        if (is_const_int(a, 0) || is_const_int(b, 0)) {
+          return m.get_int(inst.type(), 0);
+        }
+        break;
+      case Opcode::SDiv:
+        if (is_const_int(b, 1)) return a;
+        break;
+      case Opcode::And:
+        if (a == b) return a;
+        if (is_const_int(a, 0) || is_const_int(b, 0)) {
+          return m.get_int(inst.type(), 0);
+        }
+        break;
+      case Opcode::Or:
+        if (a == b) return a;
+        if (is_const_int(a, 0)) return b;
+        if (is_const_int(b, 0)) return a;
+        break;
+      case Opcode::Xor:
+        if (a == b) return m.get_int(inst.type(), 0);
+        if (is_const_int(a, 0)) return b;
+        if (is_const_int(b, 0)) return a;
+        break;
+      case Opcode::Shl:
+      case Opcode::AShr:
+        if (is_const_int(b, 0)) return a;
+        break;
+      case Opcode::ICmp:
+        if (a == b) {
+          switch (inst.cmp_pred()) {
+            case ir::CmpPred::EQ:
+            case ir::CmpPred::SLE:
+            case ir::CmpPred::SGE:
+              return m.get_bool(true);
+            default:
+              return m.get_bool(false);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (op == Opcode::Select && inst.operand(1) == inst.operand(2)) {
+    return inst.operand(1);
+  }
+  // Phi with a single distinct incoming value collapses to that value.
+  if (op == Opcode::Phi && inst.num_operands() > 0) {
+    Value* first = inst.operand(0);
+    for (std::size_t i = 1; i < inst.num_operands(); ++i) {
+      if (inst.operand(i) != first && inst.operand(i) != &inst) return nullptr;
+    }
+    if (first != &inst) return first;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool InstCombine::run(ir::Function& f) {
+  ir::Module& m = *f.parent();
+  bool changed = false;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (Value* v = simplify(m, *inst)) {
+        replace_all_uses(f, inst.get(), v);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace mpidetect::passes

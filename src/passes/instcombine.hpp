@@ -1,0 +1,17 @@
+// Peephole algebraic simplifications: identities (x+0, x*1, x&x, ...),
+// self-cancellation (x-x, x^x), comparisons of a value with itself, and
+// select with identical arms. Complements ConstantFold, which only
+// handles all-constant operands.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace mpidetect::passes {
+
+class InstCombine final : public FunctionPass {
+ public:
+  std::string_view name() const override { return "instcombine"; }
+  bool run(ir::Function& f) override;
+};
+
+}  // namespace mpidetect::passes

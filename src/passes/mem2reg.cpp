@@ -1,0 +1,160 @@
+#include "passes/mem2reg.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/cfg.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::passes {
+
+namespace {
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+using ir::ValueKind;
+}  // namespace
+
+bool is_promotable(const Function& f, const Instruction& alloca) {
+  if (alloca.opcode() != Opcode::Alloca) return false;
+  const Value* count = alloca.operand(0);
+  if (count->kind() != ValueKind::ConstantInt ||
+      static_cast<const ir::ConstantInt*>(count)->value() != 1) {
+    return false;
+  }
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        if (inst->operand(i) != &alloca) continue;
+        const bool ok =
+            (inst->opcode() == Opcode::Load && i == 0) ||
+            (inst->opcode() == Opcode::Store && i == 1);
+        if (!ok) return false;
+        // A load must read the variable with the allocated type.
+        if (inst->opcode() == Opcode::Load &&
+            inst->type() != alloca.alloc_type()) {
+          return false;
+        }
+        if (inst->opcode() == Opcode::Store &&
+            inst->operand(0)->type() != alloca.alloc_type()) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool Mem2Reg::run(Function& f) {
+  ir::Module& m = *f.parent();
+
+  std::vector<Instruction*> vars;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (is_promotable(f, *inst)) vars.push_back(inst.get());
+    }
+  }
+  if (vars.empty()) return false;
+
+  const auto rpo = ir::reverse_post_order(f);
+  const auto preds = ir::predecessor_map(f);
+
+  // Pessimistic phi placement: one phi per (join block, variable).
+  std::unordered_map<const BasicBlock*,
+                     std::unordered_map<const Instruction*, Instruction*>>
+      join_phis;
+  for (BasicBlock* bb : rpo) {
+    const auto& ps = preds.at(bb);
+    if (ps.size() < 2) continue;
+    for (Instruction* var : vars) {
+      auto phi = std::make_unique<Instruction>(Opcode::Phi, var->alloc_type(),
+                                               var->name() + ".m2r");
+      phi->set_id(m.next_value_id());
+      join_phis[bb][var] = bb->insert(0, std::move(phi));
+    }
+  }
+
+  // Forward walk in RPO, tracking the current SSA value of each variable
+  // at block exit. Entry value of a block: its phi, its unique
+  // predecessor's exit value, or (entry block / uninitialised) zero.
+  std::unordered_map<const BasicBlock*,
+                     std::unordered_map<const Instruction*, Value*>>
+      exit_val;
+  const auto zero_of = [&](const Instruction* var) -> Value* {
+    return ir::is_float(var->alloc_type())
+               ? static_cast<Value*>(m.get_f64(0.0))
+               : static_cast<Value*>(m.get_int(var->alloc_type(), 0));
+  };
+
+  for (BasicBlock* bb : rpo) {
+    std::unordered_map<const Instruction*, Value*> cur;
+    const auto& ps = preds.at(bb);
+    for (Instruction* var : vars) {
+      if (const auto jt = join_phis.find(bb);
+          jt != join_phis.end() && jt->second.count(var) != 0) {
+        cur[var] = jt->second.at(var);
+      } else if (ps.size() == 1) {
+        const auto& pred_exit = exit_val[ps.front()];
+        const auto it = pred_exit.find(var);
+        cur[var] = it != pred_exit.end() ? it->second : zero_of(var);
+      } else {
+        cur[var] = zero_of(var);
+      }
+    }
+    // Rewrite loads / drop stores.
+    std::vector<const Instruction*> dead;
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::Load) {
+        const auto it = cur.find(
+            static_cast<const Instruction*>(inst->operand(0)));
+        if (it != cur.end() &&
+            inst->operand(0)->kind() == ValueKind::Instruction) {
+          // Only rewrite when the pointer is one of our variables.
+          bool is_var = false;
+          for (Instruction* var : vars) {
+            if (var == inst->operand(0)) is_var = true;
+          }
+          if (is_var) {
+            replace_all_uses(f, inst.get(), it->second);
+            dead.push_back(inst.get());
+          }
+        }
+      } else if (inst->opcode() == Opcode::Store) {
+        for (Instruction* var : vars) {
+          if (inst->operand(1) == var) {
+            cur[var] = inst->operand(0);
+            dead.push_back(inst.get());
+            break;
+          }
+        }
+      }
+    }
+    for (const Instruction* d : dead) bb->erase(d);
+    exit_val[bb] = std::move(cur);
+  }
+
+  // Fill phi incomings from predecessor exit values.
+  for (BasicBlock* bb : rpo) {
+    const auto jt = join_phis.find(bb);
+    if (jt == join_phis.end()) continue;
+    for (auto& [var, phi] : jt->second) {
+      for (BasicBlock* p : preds.at(bb)) {
+        const auto& pe = exit_val[p];
+        const auto it = pe.find(var);
+        Value* v = it != pe.end() ? it->second : zero_of(var);
+        phi->add_operand(v);
+        phi->add_block_operand(p);
+      }
+    }
+  }
+
+  // The allocas themselves are now dead (only DCE-able uses remain).
+  for (Instruction* var : vars) {
+    var->parent()->erase(var);
+  }
+  return true;
+}
+
+}  // namespace mpidetect::passes

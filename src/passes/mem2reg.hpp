@@ -1,0 +1,24 @@
+// Promotes single-element, non-escaping allocas to SSA values.
+// Strategy: pessimistic phi placement — a phi is created for every
+// promoted variable in every reachable block with two or more
+// predecessors, then trivial phis are cleaned by InstCombine/DCE. This
+// is exact on the reducible CFGs our frontend emits and avoids the
+// dominance-frontier machinery of full mem2reg.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace mpidetect::passes {
+
+class Mem2Reg final : public FunctionPass {
+ public:
+  std::string_view name() const override { return "mem2reg"; }
+  bool run(ir::Function& f) override;
+};
+
+/// True if the alloca allocates exactly one element and is only ever used
+/// as the pointer operand of loads and stores (never stored itself,
+/// never passed to a call, never GEP'd) — the promotion precondition.
+bool is_promotable(const ir::Function& f, const ir::Instruction& alloca);
+
+}  // namespace mpidetect::passes

@@ -1,0 +1,69 @@
+#include "passes/pass.hpp"
+
+#include "support/check.hpp"
+
+namespace mpidetect::passes {
+
+void PassManager::add(std::unique_ptr<FunctionPass> pass) {
+  MPIDETECT_EXPECTS(pass != nullptr);
+  passes_.push_back(std::move(pass));
+}
+
+bool PassManager::run_once(ir::Module& m) {
+  bool changed = false;
+  for (const auto& f : m.functions()) {
+    if (f->is_declaration()) continue;
+    for (const auto& pass : passes_) {
+      changed |= pass->run(*f);
+    }
+  }
+  return changed;
+}
+
+void PassManager::run(ir::Module& m, int max_iters) {
+  for (int i = 0; i < max_iters; ++i) {
+    if (!run_once(m)) return;
+  }
+}
+
+void replace_all_uses(ir::Function& f, const ir::Value* from, ir::Value* to) {
+  MPIDETECT_EXPECTS(from != nullptr && to != nullptr);
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+        if (inst->operand(i) == from) inst->set_operand(i, to);
+      }
+    }
+  }
+}
+
+std::unordered_map<const ir::Value*, std::size_t> use_counts(
+    const ir::Function& f) {
+  std::unordered_map<const ir::Value*, std::size_t> counts;
+  for (const auto& bb : f.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (const ir::Value* op : inst->operands()) {
+        if (op->kind() == ir::ValueKind::Instruction ||
+            op->kind() == ir::ValueKind::Argument) {
+          ++counts[op];
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+bool has_side_effects(const ir::Instruction& inst) {
+  switch (inst.opcode()) {
+    case ir::Opcode::Store:
+    case ir::Opcode::Call:
+    case ir::Opcode::Br:
+    case ir::Opcode::CondBr:
+    case ir::Opcode::Ret:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace mpidetect::passes

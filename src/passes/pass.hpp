@@ -1,0 +1,56 @@
+// Pass framework: FunctionPass interface, a PassManager that iterates
+// pipelines to a fixpoint, and the def-use utilities every transform
+// needs (the IR stores no use-lists; uses are recomputed on demand,
+// which is cheap at benchmark-program scale and removes a whole class
+// of dangling-use invariant bugs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace mpidetect::passes {
+
+class FunctionPass {
+ public:
+  virtual ~FunctionPass() = default;
+  virtual std::string_view name() const = 0;
+  /// Returns true if the function was modified.
+  virtual bool run(ir::Function& f) = 0;
+};
+
+/// Runs each pass over every defined function; optionally repeats the
+/// whole pipeline until no pass reports a change (bounded by max_iters).
+class PassManager final {
+ public:
+  void add(std::unique_ptr<FunctionPass> pass);
+
+  /// One sweep; returns true if anything changed.
+  bool run_once(ir::Module& m);
+
+  /// Iterate to fixpoint (or max_iters sweeps).
+  void run(ir::Module& m, int max_iters = 8);
+
+  std::size_t pass_count() const { return passes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<FunctionPass>> passes_;
+};
+
+// --- def-use utilities -------------------------------------------------------
+
+/// Rewrites every operand in `f` that is `from` to `to`.
+void replace_all_uses(ir::Function& f, const ir::Value* from, ir::Value* to);
+
+/// Number of operand slots in `f` referencing each instruction/argument.
+std::unordered_map<const ir::Value*, std::size_t> use_counts(
+    const ir::Function& f);
+
+/// True if the instruction has observable effects beyond its result
+/// (stores, calls, terminators) and therefore must not be removed by DCE.
+bool has_side_effects(const ir::Instruction& inst);
+
+}  // namespace mpidetect::passes

@@ -1,0 +1,47 @@
+#include "passes/pipelines.hpp"
+
+#include "passes/constant_fold.hpp"
+#include "passes/dce.hpp"
+#include "passes/inliner.hpp"
+#include "passes/instcombine.hpp"
+#include "passes/mem2reg.hpp"
+#include "passes/simplify_cfg.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::passes {
+
+std::string_view opt_level_name(OptLevel lvl) {
+  switch (lvl) {
+    case OptLevel::O0: return "-O0";
+    case OptLevel::O2: return "-O2";
+    case OptLevel::Os: return "-Os";
+  }
+  MPIDETECT_UNREACHABLE("bad OptLevel");
+}
+
+void run_pipeline(ir::Module& m, OptLevel lvl) {
+  if (lvl == OptLevel::O0) return;
+
+  PassManager pm;
+  pm.add(std::make_unique<Mem2Reg>());
+  pm.add(std::make_unique<ConstantFold>());
+  pm.add(std::make_unique<InstCombine>());
+  pm.add(std::make_unique<SimplifyCFG>());
+  pm.add(std::make_unique<DeadCodeElim>());
+  if (lvl == OptLevel::O2) {
+    pm.add(std::make_unique<Inliner>());
+  }
+  pm.run(m);
+
+  if (lvl == OptLevel::Os) {
+    // Extra size-oriented sweep: folding opportunities exposed by the
+    // fixpoint above, then a final cleanup to drop leftover scaffolding.
+    PassManager shrink;
+    shrink.add(std::make_unique<InstCombine>());
+    shrink.add(std::make_unique<SimplifyCFG>());
+    shrink.add(std::make_unique<DeadCodeElim>());
+    shrink.run(m);
+  }
+}
+
+}  // namespace mpidetect::passes

@@ -1,0 +1,26 @@
+// The three compilation regimes the paper evaluates (Table IV):
+//   -O0  leaves the lowered IR untouched ("easy to analyze"),
+//   -O2  optimizes for speed (mem2reg, folding, CFG cleanup, inlining),
+//   -Os  optimizes for size (like -O2 but without inlining, plus an
+//        extra merge/DCE sweep) — the paper picked -Os for IR2vec to
+//        reduce code-size bias between programs.
+#pragma once
+
+#include <string_view>
+
+#include "ir/module.hpp"
+
+namespace mpidetect::passes {
+
+enum class OptLevel { O0, O2, Os };
+
+std::string_view opt_level_name(OptLevel lvl);
+
+/// Runs the pipeline for `lvl` over the module in place.
+void run_pipeline(ir::Module& m, OptLevel lvl);
+
+/// All levels, in Table IV's order.
+inline constexpr OptLevel kAllOptLevels[] = {OptLevel::O0, OptLevel::O2,
+                                             OptLevel::Os};
+
+}  // namespace mpidetect::passes

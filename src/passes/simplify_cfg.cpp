@@ -1,0 +1,136 @@
+#include "passes/simplify_cfg.hpp"
+
+#include <unordered_set>
+
+#include "ir/cfg.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::ConstantInt;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::ValueKind;
+
+/// condbr on a constant condition -> unconditional br; the abandoned
+/// successor loses this block as a phi predecessor.
+bool fold_constant_branches(Function& f) {
+  bool changed = false;
+  for (const auto& bb : f.blocks()) {
+    Instruction* term = bb->terminator();
+    if (term == nullptr || term->opcode() != Opcode::CondBr) continue;
+    const ir::Value* cond = term->operand(0);
+    if (cond->kind() != ValueKind::ConstantInt) continue;
+    const bool taken = static_cast<const ConstantInt*>(cond)->value() != 0;
+    BasicBlock* kept = term->block_operand(taken ? 0 : 1);
+    BasicBlock* dropped = term->block_operand(taken ? 1 : 0);
+    if (kept != dropped) remove_phi_incoming(*dropped, bb.get());
+    // Rewrite the terminator in place into an unconditional branch.
+    term->clear_operands();
+    bb->erase(term);
+    auto br = std::make_unique<Instruction>(Opcode::Br, ir::Type::Void, "");
+    br->set_id(f.parent()->next_value_id());
+    br->add_block_operand(kept);
+    bb->append(std::move(br));
+    changed = true;
+  }
+  return changed;
+}
+
+bool remove_unreachable_blocks(Function& f) {
+  const auto rpo = ir::reverse_post_order(f);
+  std::unordered_set<const BasicBlock*> live(rpo.begin(), rpo.end());
+  std::vector<const BasicBlock*> dead;
+  for (const auto& bb : f.blocks()) {
+    if (live.find(bb.get()) == live.end()) dead.push_back(bb.get());
+  }
+  if (dead.empty()) return false;
+  // Remove phi incomings that referenced dead predecessors.
+  for (const auto& bb : f.blocks()) {
+    if (live.find(bb.get()) == live.end()) continue;
+    for (const BasicBlock* d : dead) remove_phi_incoming(*bb, d);
+  }
+  for (const BasicBlock* d : dead) f.erase_block(d);
+  return true;
+}
+
+/// Merge B into P when P->B is the only edge out of P and into B.
+bool merge_straight_line(Function& f) {
+  const auto preds = ir::predecessor_map(f);
+  for (const auto& bb : f.blocks()) {
+    BasicBlock* p = bb.get();
+    Instruction* term = p->terminator();
+    if (term == nullptr || term->opcode() != Opcode::Br) continue;
+    BasicBlock* b = term->block_operand(0);
+    if (b == p) continue;
+    const auto it = preds.find(b);
+    if (it == preds.end() || it->second.size() != 1) continue;
+    if (b == f.entry()) continue;
+    // Collapse B's phis: with one predecessor each phi has one incoming.
+    std::vector<Instruction*> phis;
+    for (const auto& inst : b->instructions()) {
+      if (inst->opcode() == Opcode::Phi) phis.push_back(inst.get());
+    }
+    for (Instruction* phi : phis) {
+      MPIDETECT_CHECK(phi->num_operands() == 1);
+      replace_all_uses(f, phi, phi->operand(0));
+      b->erase(phi);
+    }
+    // Splice B's instructions into P (dropping P's terminator first).
+    p->erase(term);
+    while (!b->empty()) p->append(b->take_front());
+    // B's successors now see P as the predecessor.
+    for (BasicBlock* succ : p->successors()) {
+      replace_phi_incoming_block(*succ, b, p);
+    }
+    f.erase_block(b);
+    return true;  // block list invalidated; caller loops
+  }
+  return false;
+}
+
+}  // namespace
+
+void remove_phi_incoming(BasicBlock& bb, const BasicBlock* pred) {
+  for (const auto& inst : bb.instructions()) {
+    if (inst->opcode() != Opcode::Phi) break;
+    std::vector<ir::Value*> vals;
+    std::vector<BasicBlock*> blocks;
+    for (std::size_t i = 0; i < inst->num_operands(); ++i) {
+      if (inst->block_operand(i) == pred) continue;
+      vals.push_back(inst->operand(i));
+      blocks.push_back(inst->block_operand(i));
+    }
+    if (vals.size() == inst->num_operands()) continue;
+    inst->clear_operands();
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      inst->set_block_operand(i, blocks[i]);
+    }
+    inst->shrink_block_operands(blocks.size());
+    for (ir::Value* v : vals) inst->add_operand(v);
+  }
+}
+
+void replace_phi_incoming_block(BasicBlock& bb, const BasicBlock* from,
+                                BasicBlock* to) {
+  for (const auto& inst : bb.instructions()) {
+    if (inst->opcode() != Opcode::Phi) break;
+    for (std::size_t i = 0; i < inst->block_operands().size(); ++i) {
+      if (inst->block_operand(i) == from) inst->set_block_operand(i, to);
+    }
+  }
+}
+
+bool SimplifyCFG::run(Function& f) {
+  bool changed = false;
+  changed |= fold_constant_branches(f);
+  changed |= remove_unreachable_blocks(f);
+  while (merge_straight_line(f)) changed = true;
+  return changed;
+}
+
+}  // namespace mpidetect::passes

@@ -1,0 +1,24 @@
+// CFG cleanups: fold conditional branches on constants, delete
+// unreachable blocks, and merge straight-line block pairs. Keeps phi
+// nodes consistent throughout.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace mpidetect::passes {
+
+class SimplifyCFG final : public FunctionPass {
+ public:
+  std::string_view name() const override { return "simplify-cfg"; }
+  bool run(ir::Function& f) override;
+};
+
+/// Drops the incoming phi entries of `bb` that came from `pred`.
+/// Exposed for the inliner and tests.
+void remove_phi_incoming(ir::BasicBlock& bb, const ir::BasicBlock* pred);
+
+/// Rewrites phi incoming-block references in `bb` from `from` to `to`.
+void replace_phi_incoming_block(ir::BasicBlock& bb, const ir::BasicBlock* from,
+                                ir::BasicBlock* to);
+
+}  // namespace mpidetect::passes

@@ -1,0 +1,234 @@
+#include "progmodel/ast.hpp"
+
+namespace mpidetect::progmodel {
+
+Expr Expr::lit(std::int64_t v) {
+  Expr e;
+  e.kind = Kind::IntLit;
+  e.ival = v;
+  return e;
+}
+
+Expr Expr::flit(double v) {
+  Expr e;
+  e.kind = Kind::FloatLit;
+  e.fval = v;
+  return e;
+}
+
+Expr Expr::ref(std::string name) {
+  Expr e;
+  e.kind = Kind::Var;
+  e.var = std::move(name);
+  return e;
+}
+
+Expr Expr::bin(char op, Expr l, Expr r) {
+  Expr e;
+  e.kind = Kind::Bin;
+  e.op = op;
+  e.kids.push_back(std::move(l));
+  e.kids.push_back(std::move(r));
+  return e;
+}
+
+Expr Expr::cmp(ir::CmpPred p, Expr l, Expr r) {
+  Expr e;
+  e.kind = Kind::Cmp;
+  e.pred = p;
+  e.kids.push_back(std::move(l));
+  e.kids.push_back(std::move(r));
+  return e;
+}
+
+Arg Arg::val(Expr e) {
+  Arg a;
+  a.kind = Kind::Value;
+  a.value = std::move(e);
+  return a;
+}
+
+Arg Arg::addr(std::string name) {
+  Arg a;
+  a.kind = Kind::AddrOf;
+  a.name = std::move(name);
+  return a;
+}
+
+Arg Arg::buf(std::string name) {
+  Arg a;
+  a.kind = Kind::Buf;
+  a.name = std::move(name);
+  return a;
+}
+
+Arg Arg::buf_at(std::string name, Expr offset) {
+  Arg a;
+  a.kind = Kind::Buf;
+  a.name = std::move(name);
+  a.offset = std::move(offset);
+  a.has_offset = true;
+  return a;
+}
+
+Arg Arg::null() {
+  Arg a;
+  a.kind = Kind::NullPtr;
+  return a;
+}
+
+Stmt Stmt::decl_int(std::string name) {
+  Stmt s;
+  s.kind = Kind::DeclScalar;
+  s.name = std::move(name);
+  s.handle = HandleKind::Int;
+  return s;
+}
+
+Stmt Stmt::decl_int(std::string name, Expr init) {
+  Stmt s = decl_int(std::move(name));
+  s.a = std::move(init);
+  s.has_init = true;
+  return s;
+}
+
+Stmt Stmt::decl_double(std::string name, Expr init) {
+  Stmt s;
+  s.kind = Kind::DeclScalar;
+  s.name = std::move(name);
+  s.handle = HandleKind::Double;
+  s.a = std::move(init);
+  s.has_init = true;
+  return s;
+}
+
+Stmt Stmt::decl_handle(std::string name, HandleKind h) {
+  Stmt s;
+  s.kind = Kind::DeclScalar;
+  s.name = std::move(name);
+  s.handle = h;
+  return s;
+}
+
+Stmt Stmt::decl_buf(std::string name, ir::Type elem, Expr count) {
+  Stmt s;
+  s.kind = Kind::DeclBuf;
+  s.name = std::move(name);
+  s.elem = elem;
+  s.a = std::move(count);
+  return s;
+}
+
+Stmt Stmt::decl_req_array(std::string name, std::int64_t count) {
+  Stmt s;
+  s.kind = Kind::DeclReqArray;
+  s.name = std::move(name);
+  s.a = Expr::lit(count);
+  return s;
+}
+
+Stmt Stmt::assign(std::string name, Expr v) {
+  Stmt s;
+  s.kind = Kind::Assign;
+  s.name = std::move(name);
+  s.a = std::move(v);
+  return s;
+}
+
+Stmt Stmt::buf_store(std::string buf, Expr idx, Expr v) {
+  Stmt s;
+  s.kind = Kind::BufStore;
+  s.name = std::move(buf);
+  s.a = std::move(idx);
+  s.b = std::move(v);
+  return s;
+}
+
+Stmt Stmt::mpi(mpi::Func f, std::vector<Arg> args) {
+  Stmt s;
+  s.kind = Kind::MpiCall;
+  s.func = f;
+  s.args = std::move(args);
+  return s;
+}
+
+Stmt Stmt::call_user(std::string fn) {
+  Stmt s;
+  s.kind = Kind::CallUser;
+  s.name = std::move(fn);
+  return s;
+}
+
+Stmt Stmt::call_extern(std::string fn) {
+  Stmt s;
+  s.kind = Kind::CallExtern;
+  s.name = std::move(fn);
+  return s;
+}
+
+Stmt Stmt::if_(Expr cond, std::vector<Stmt> then_body,
+               std::vector<Stmt> else_body) {
+  Stmt s;
+  s.kind = Kind::If;
+  s.a = std::move(cond);
+  s.body = std::move(then_body);
+  s.otherwise = std::move(else_body);
+  return s;
+}
+
+Stmt Stmt::for_(std::string var, Expr lo, Expr hi, std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = Kind::For;
+  s.name = std::move(var);
+  s.a = std::move(lo);
+  s.b = std::move(hi);
+  s.body = std::move(body);
+  return s;
+}
+
+Stmt Stmt::compute(std::string buf, std::int64_t iters) {
+  Stmt s;
+  s.kind = Kind::Compute;
+  s.name = std::move(buf);
+  s.iters = iters;
+  return s;
+}
+
+Stmt Stmt::ret(Expr v) {
+  Stmt s;
+  s.kind = Kind::Return;
+  s.a = std::move(v);
+  return s;
+}
+
+std::size_t count_lines(const std::vector<Stmt>& stmts) {
+  std::size_t n = 0;
+  for (const Stmt& s : stmts) {
+    switch (s.kind) {
+      case Stmt::Kind::If:
+        n += 2 + count_lines(s.body);  // "if (...) {" + "}"
+        if (!s.otherwise.empty()) n += 2 + count_lines(s.otherwise);
+        break;
+      case Stmt::Kind::For:
+        n += 2 + count_lines(s.body);
+        break;
+      case Stmt::Kind::Compute:
+        n += 3;  // loop head + body + close
+        break;
+      default:
+        n += 1;
+        break;
+    }
+  }
+  return n;
+}
+
+std::size_t Program::line_count() const {
+  // Boilerplate every benchmark code carries: includes, main signature,
+  // MPI error macro, closing braces (MBI headers document ~14 lines).
+  std::size_t n = 14 + count_lines(main_body);
+  for (const UserFunc& f : functions) n += 3 + count_lines(f.body);
+  return n;
+}
+
+}  // namespace mpidetect::progmodel

@@ -1,0 +1,156 @@
+// A structured model of the small C MPI programs the benchmark suites
+// contain: scalar/buffer declarations, assignments, arithmetic, if/for
+// control flow, MPI calls with role-typed arguments, and opaque compute
+// kernels. Dataset generators build these ASTs from error templates; the
+// lowering in lower.hpp turns them into IR exactly like a tiny clang.
+//
+// This module is the substitution for "compile the MBI / MPI-CorrBench C
+// sources with clang" (see DESIGN.md §1): MBI itself generates its codes
+// from feature templates, so generating ASTs reproduces the same level.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+#include "mpi/api.hpp"
+
+namespace mpidetect::progmodel {
+
+// --------------------------------------------------------------------------
+// Expressions (integer-valued unless FloatLit; variables resolve to the
+// current value of a declared scalar).
+// --------------------------------------------------------------------------
+
+struct Expr {
+  enum class Kind : std::uint8_t { IntLit, FloatLit, Var, Bin, Cmp };
+
+  Kind kind = Kind::IntLit;
+  std::int64_t ival = 0;
+  double fval = 0.0;
+  std::string var;
+  char op = '+';  // + - * / %
+  ir::CmpPred pred = ir::CmpPred::EQ;
+  std::vector<Expr> kids;  // two for Bin / Cmp
+
+  static Expr lit(std::int64_t v);
+  static Expr flit(double v);
+  static Expr ref(std::string name);
+  static Expr bin(char op, Expr l, Expr r);
+  static Expr add(Expr l, Expr r) { return bin('+', std::move(l), std::move(r)); }
+  static Expr sub(Expr l, Expr r) { return bin('-', std::move(l), std::move(r)); }
+  static Expr mul(Expr l, Expr r) { return bin('*', std::move(l), std::move(r)); }
+  static Expr mod(Expr l, Expr r) { return bin('%', std::move(l), std::move(r)); }
+  static Expr cmp(ir::CmpPred p, Expr l, Expr r);
+  static Expr eq(Expr l, Expr r) { return cmp(ir::CmpPred::EQ, std::move(l), std::move(r)); }
+  static Expr ne(Expr l, Expr r) { return cmp(ir::CmpPred::NE, std::move(l), std::move(r)); }
+  static Expr lt(Expr l, Expr r) { return cmp(ir::CmpPred::SLT, std::move(l), std::move(r)); }
+};
+
+// --------------------------------------------------------------------------
+// MPI call arguments: by-value expression, address of a declared scalar
+// handle, or a buffer (optionally offset in elements).
+// --------------------------------------------------------------------------
+
+struct Arg {
+  enum class Kind : std::uint8_t { Value, AddrOf, Buf, NullPtr };
+  Kind kind = Kind::Value;
+  Expr value;        // Value
+  std::string name;  // AddrOf / Buf
+  Expr offset;       // Buf (element offset); defaults to 0
+  bool has_offset = false;
+
+  static Arg val(Expr e);
+  static Arg val(std::int64_t v) { return val(Expr::lit(v)); }
+  static Arg addr(std::string name);
+  static Arg buf(std::string name);
+  static Arg buf_at(std::string name, Expr offset);
+  static Arg null();
+};
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+/// Scalar handle categories (each lowers to an alloca of the right size).
+enum class HandleKind : std::uint8_t {
+  Int,       // plain int (rank, size, flags, colors)
+  Double,    // double scalar
+  Request,   // MPI_Request (8 bytes)
+  Status,    // MPI_Status (12 bytes)
+  Comm,      // MPI_Comm handle (4 bytes)
+  Datatype,  // MPI_Datatype handle (4 bytes)
+  Win,       // MPI_Win handle (4 bytes)
+};
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    DeclScalar,   // HandleKind + optional init (Int/Double only)
+    DeclBuf,      // elem type + count expr
+    DeclReqArray, // array of `count` requests
+    Assign,       // var = expr
+    BufStore,     // buf[idx] = expr
+    MpiCall,      // func + args
+    CallUser,     // call a user-defined void function
+    CallExtern,   // call an opaque extern (e.g. "compute_kernel")
+    If,           // cond / then / otherwise
+    For,          // var from lo to hi (exclusive), body
+    Compute,      // arithmetic loop over a buffer (code-size filler)
+    Return,       // return expr from main
+  };
+
+  Kind kind = Kind::MpiCall;
+  // DeclScalar / Assign / For / DeclBuf / BufStore / Compute targets
+  std::string name;
+  HandleKind handle = HandleKind::Int;
+  ir::Type elem = ir::Type::I32;
+  Expr a, b, c;  // init / cond / lo / hi / idx / value (by kind)
+  bool has_init = false;
+  mpi::Func func = mpi::Func::Init;
+  std::vector<Arg> args;
+  std::vector<Stmt> body, otherwise;
+  std::int64_t iters = 0;  // Compute
+
+  // ---- factories -----------------------------------------------------------
+  static Stmt decl_int(std::string name);
+  static Stmt decl_int(std::string name, Expr init);
+  static Stmt decl_double(std::string name, Expr init);
+  static Stmt decl_handle(std::string name, HandleKind h);
+  static Stmt decl_buf(std::string name, ir::Type elem, Expr count);
+  static Stmt decl_req_array(std::string name, std::int64_t count);
+  static Stmt assign(std::string name, Expr v);
+  static Stmt buf_store(std::string buf, Expr idx, Expr v);
+  static Stmt mpi(mpi::Func f, std::vector<Arg> args);
+  static Stmt call_user(std::string fn);
+  static Stmt call_extern(std::string fn);
+  static Stmt if_(Expr cond, std::vector<Stmt> then_body,
+                  std::vector<Stmt> else_body = {});
+  static Stmt for_(std::string var, Expr lo, Expr hi, std::vector<Stmt> body);
+  static Stmt compute(std::string buf, std::int64_t iters);
+  static Stmt ret(Expr v);
+};
+
+/// A user-defined helper function (void, no parameters) — used by the
+/// Hypre-scale case study to model multi-function compilation units.
+struct UserFunc {
+  std::string name;
+  std::vector<Stmt> body;
+};
+
+struct Program {
+  std::string name;
+  int nprocs = 2;
+  std::vector<UserFunc> functions;
+  std::vector<Stmt> main_body;
+
+  /// Source-line model for the Figure 2 study: statements count one line
+  /// each (blocks add braces), plus the C boilerplate every benchmark
+  /// program carries.
+  std::size_t line_count() const;
+};
+
+std::size_t count_lines(const std::vector<Stmt>& stmts);
+
+}  // namespace mpidetect::progmodel

@@ -1,0 +1,355 @@
+#include "progmodel/lower.hpp"
+
+#include <unordered_map>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::progmodel {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+struct Sym {
+  Instruction* slot = nullptr;  // the alloca
+  Type elem = Type::I32;        // element / scalar type
+  bool is_buf = false;
+};
+
+class Lowerer {
+ public:
+  explicit Lowerer(const Program& p)
+      : prog_(p), module_(std::make_unique<ir::Module>(p.name)), b_(*module_) {}
+
+  std::unique_ptr<ir::Module> run() {
+    // User functions first so CallUser sites can resolve them.
+    for (const UserFunc& f : prog_.functions) {
+      ir::Function* fn = module_->create_function(f.name, Type::Void, {});
+      lower_function_body(fn, f.body, /*is_main=*/false);
+    }
+    ir::Function* main_fn = module_->create_function("main", Type::I32, {});
+    lower_function_body(main_fn, prog_.main_body, /*is_main=*/true);
+    ir::verify_or_throw(*module_);
+    return std::move(module_);
+  }
+
+ private:
+  void lower_function_body(ir::Function* fn, const std::vector<Stmt>& body,
+                           bool is_main) {
+    syms_.clear();
+    block_counter_ = 0;
+    b_.set_insert_point(fn->create_block("entry"));
+    for (const Stmt& s : body) lower_stmt(s);
+    // Fall-through return.
+    if (b_.insert_block()->terminator() == nullptr) {
+      if (is_main) {
+        b_.ret(module_->get_i32(0));
+      } else {
+        b_.ret_void();
+      }
+    }
+  }
+
+  BasicBlock* new_block(const std::string& hint) {
+    return b_.insert_block()->parent()->create_block(
+        hint + std::to_string(block_counter_++));
+  }
+
+  const Sym& sym(const std::string& name) const {
+    const auto it = syms_.find(name);
+    if (it == syms_.end()) {
+      throw ContractViolation("unknown variable: " + name);
+    }
+    return it->second;
+  }
+
+  // ---- expressions --------------------------------------------------------
+
+  Value* lower_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return module_->get_i32(e.ival);
+      case Expr::Kind::FloatLit:
+        return module_->get_f64(e.fval);
+      case Expr::Kind::Var: {
+        const Sym& s = sym(e.var);
+        MPIDETECT_CHECK(!s.is_buf);
+        return b_.load(s.elem, s.slot, e.var);
+      }
+      case Expr::Kind::Bin: {
+        Value* l = lower_expr(e.kids[0]);
+        Value* r = lower_expr(e.kids[1]);
+        const bool fp = l->type() == Type::F64 || r->type() == Type::F64;
+        if (fp) {
+          l = to_f64(l);
+          r = to_f64(r);
+          switch (e.op) {
+            case '+': return b_.fadd(l, r);
+            case '-': return b_.fsub(l, r);
+            case '*': return b_.fmul(l, r);
+            case '/': return b_.fdiv(l, r);
+            default: throw ContractViolation("bad float op");
+          }
+        }
+        switch (e.op) {
+          case '+': return b_.add(l, r);
+          case '-': return b_.sub(l, r);
+          case '*': return b_.mul(l, r);
+          case '/': return b_.sdiv(l, r);
+          case '%': return b_.srem(l, r);
+          default: throw ContractViolation("bad int op");
+        }
+      }
+      case Expr::Kind::Cmp: {
+        Value* l = lower_expr(e.kids[0]);
+        Value* r = lower_expr(e.kids[1]);
+        if (l->type() == Type::F64 || r->type() == Type::F64) {
+          return b_.fcmp(e.pred, to_f64(l), to_f64(r));
+        }
+        return b_.icmp(e.pred, l, r);
+      }
+    }
+    MPIDETECT_UNREACHABLE("bad Expr kind");
+  }
+
+  Value* to_f64(Value* v) {
+    if (v->type() == Type::F64) return v;
+    return b_.cast(Opcode::SIToFP, v, Type::F64);
+  }
+
+  Value* to_i32(Value* v) {
+    if (v->type() == Type::I32) return v;
+    if (v->type() == Type::I64) return b_.cast(Opcode::Trunc, v, Type::I32);
+    if (v->type() == Type::I1) return b_.cast(Opcode::ZExt, v, Type::I32);
+    if (v->type() == Type::F64) return b_.cast(Opcode::FPToSI, v, Type::I32);
+    throw ContractViolation("cannot coerce to i32");
+  }
+
+  Value* to_i64(Value* v) {
+    if (v->type() == Type::I64) return v;
+    if (v->type() == Type::I32 || v->type() == Type::I1) {
+      return b_.cast(Opcode::SExt, v, Type::I64);
+    }
+    if (v->type() == Type::F64) return b_.cast(Opcode::FPToSI, v, Type::I64);
+    throw ContractViolation("cannot coerce to i64");
+  }
+
+  /// Boolean condition from an arbitrary expression (C truthiness).
+  Value* lower_cond(const Expr& e) {
+    Value* v = lower_expr(e);
+    if (v->type() == Type::I1) return v;
+    if (v->type() == Type::F64) {
+      return b_.fcmp(ir::CmpPred::NE, v, module_->get_f64(0.0));
+    }
+    return b_.icmp(ir::CmpPred::NE, v, module_->get_int(v->type(), 0));
+  }
+
+  // ---- statements -----------------------------------------------------------
+
+  void lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::DeclScalar: {
+        Type t = Type::I32;
+        std::int64_t count = 1;
+        switch (s.handle) {
+          case HandleKind::Int: t = Type::I32; break;
+          case HandleKind::Double: t = Type::F64; break;
+          case HandleKind::Request: t = Type::I64; break;
+          case HandleKind::Status: t = Type::I32; count = 3; break;
+          case HandleKind::Comm:
+          case HandleKind::Datatype:
+          case HandleKind::Win: t = Type::I32; break;
+        }
+        Instruction* slot = b_.alloca_(t, count, s.name);
+        syms_[s.name] = Sym{slot, t, count != 1};
+        if (s.has_init) {
+          Value* v = lower_expr(s.a);
+          b_.store(t == Type::F64 ? to_f64(v) : to_i32(v), slot);
+        }
+        return;
+      }
+      case Stmt::Kind::DeclBuf: {
+        Value* count = to_i64(lower_expr(s.a));
+        Instruction* slot = b_.alloca_(s.elem, count, s.name);
+        syms_[s.name] = Sym{slot, s.elem, true};
+        return;
+      }
+      case Stmt::Kind::DeclReqArray: {
+        Instruction* slot = b_.alloca_(Type::I64, s.a.ival, s.name);
+        syms_[s.name] = Sym{slot, Type::I64, true};
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        const Sym& dst = sym(s.name);
+        MPIDETECT_CHECK(!dst.is_buf);
+        Value* v = lower_expr(s.a);
+        b_.store(dst.elem == Type::F64 ? to_f64(v) : to_i32(v), dst.slot);
+        return;
+      }
+      case Stmt::Kind::BufStore: {
+        const Sym& dst = sym(s.name);
+        Value* idx = to_i64(lower_expr(s.a));
+        Instruction* p = b_.gep(dst.elem, dst.slot, idx);
+        Value* v = lower_expr(s.b);
+        b_.store(dst.elem == Type::F64 ? to_f64(v) : to_i32(v), p);
+        return;
+      }
+      case Stmt::Kind::MpiCall:
+        lower_mpi_call(s);
+        return;
+      case Stmt::Kind::CallUser: {
+        ir::Function* callee = module_->find_function(s.name);
+        if (callee == nullptr) {
+          throw ContractViolation("unknown user function: " + s.name);
+        }
+        b_.call(callee, {});
+        return;
+      }
+      case Stmt::Kind::CallExtern: {
+        ir::Function* callee =
+            module_->get_or_declare(s.name, Type::Void, {});
+        b_.call(callee, {});
+        return;
+      }
+      case Stmt::Kind::If: {
+        Value* cond = lower_cond(s.a);
+        BasicBlock* then_bb = new_block("if.then");
+        BasicBlock* else_bb =
+            s.otherwise.empty() ? nullptr : new_block("if.else");
+        BasicBlock* cont = new_block("if.end");
+        b_.cond_br(cond, then_bb, else_bb != nullptr ? else_bb : cont);
+        b_.set_insert_point(then_bb);
+        for (const Stmt& t : s.body) lower_stmt(t);
+        if (b_.insert_block()->terminator() == nullptr) b_.br(cont);
+        if (else_bb != nullptr) {
+          b_.set_insert_point(else_bb);
+          for (const Stmt& t : s.otherwise) lower_stmt(t);
+          if (b_.insert_block()->terminator() == nullptr) b_.br(cont);
+        }
+        b_.set_insert_point(cont);
+        return;
+      }
+      case Stmt::Kind::For: {
+        const Sym& var = sym(s.name);
+        MPIDETECT_CHECK(!var.is_buf && var.elem == Type::I32);
+        b_.store(to_i32(lower_expr(s.a)), var.slot);
+        BasicBlock* header = new_block("for.cond");
+        BasicBlock* body = new_block("for.body");
+        BasicBlock* exit = new_block("for.end");
+        b_.br(header);
+        b_.set_insert_point(header);
+        Value* iv = b_.load(Type::I32, var.slot, s.name);
+        Value* hi = to_i32(lower_expr(s.b));
+        b_.cond_br(b_.icmp(ir::CmpPred::SLT, iv, hi), body, exit);
+        b_.set_insert_point(body);
+        for (const Stmt& t : s.body) lower_stmt(t);
+        if (b_.insert_block()->terminator() == nullptr) {
+          Value* cur = b_.load(Type::I32, var.slot, s.name);
+          b_.store(b_.add(cur, module_->get_i32(1)), var.slot);
+          b_.br(header);
+        }
+        b_.set_insert_point(exit);
+        return;
+      }
+      case Stmt::Kind::Compute: {
+        // for (k = 0; k < iters; ++k) buf[k % 8] = buf[k % 8] * 3 + k;
+        const Sym& buffer = sym(s.name);
+        MPIDETECT_CHECK(buffer.is_buf);
+        Instruction* counter = b_.alloca_(Type::I32, 1, "k");
+        b_.store(module_->get_i32(0), counter);
+        BasicBlock* header = new_block("compute.cond");
+        BasicBlock* body = new_block("compute.body");
+        BasicBlock* exit = new_block("compute.end");
+        b_.br(header);
+        b_.set_insert_point(header);
+        Value* k = b_.load(Type::I32, counter, "k");
+        b_.cond_br(
+            b_.icmp(ir::CmpPred::SLT, k, module_->get_i32(s.iters)), body,
+            exit);
+        b_.set_insert_point(body);
+        Value* k2 = b_.load(Type::I32, counter, "k");
+        Value* idx = to_i64(b_.srem(k2, module_->get_i32(8)));
+        Instruction* p = b_.gep(buffer.elem, buffer.slot, idx);
+        Value* old = b_.load(buffer.elem, p);
+        Value* updated;
+        if (buffer.elem == Type::F64) {
+          updated = b_.fadd(b_.fmul(old, module_->get_f64(3.0)), to_f64(k2));
+        } else {
+          updated = b_.add(b_.mul(old, module_->get_i32(3)), k2);
+        }
+        b_.store(updated, p);
+        b_.store(b_.add(k2, module_->get_i32(1)), counter);
+        b_.br(header);
+        b_.set_insert_point(exit);
+        return;
+      }
+      case Stmt::Kind::Return:
+        b_.ret(to_i32(lower_expr(s.a)));
+        // Dead code after return lands in a fresh (unreachable) block so
+        // the function stays structurally valid.
+        b_.set_insert_point(new_block("post.ret"));
+        return;
+    }
+    MPIDETECT_UNREACHABLE("bad Stmt kind");
+  }
+
+  void lower_mpi_call(const Stmt& s) {
+    const mpi::Signature& sig = mpi::signature(s.func);
+    MPIDETECT_CHECK(s.args.size() == sig.params.size());
+    ir::Function* callee = mpi::declare(*module_, s.func);
+    std::vector<Value*> args;
+    args.reserve(s.args.size());
+    for (std::size_t i = 0; i < s.args.size(); ++i) {
+      const Arg& a = s.args[i];
+      const Type want = mpi::arg_role_type(sig.params[i].role);
+      switch (a.kind) {
+        case Arg::Kind::Value: {
+          Value* v = lower_expr(a.value);
+          args.push_back(want == Type::I64 ? to_i64(v) : to_i32(v));
+          break;
+        }
+        case Arg::Kind::AddrOf: {
+          const Sym& sm = sym(a.name);
+          args.push_back(sm.slot);
+          break;
+        }
+        case Arg::Kind::Buf: {
+          const Sym& sm = sym(a.name);
+          if (a.has_offset) {
+            Value* off = to_i64(lower_expr(a.offset));
+            args.push_back(b_.gep(sm.elem, sm.slot, off));
+          } else {
+            args.push_back(sm.slot);
+          }
+          break;
+        }
+        case Arg::Kind::NullPtr:
+          args.push_back(module_->get_nullptr());
+          break;
+      }
+      MPIDETECT_CHECK(args.back()->type() == want);
+    }
+    b_.call(callee, std::move(args));
+  }
+
+  const Program& prog_;
+  std::unique_ptr<ir::Module> module_;
+  IRBuilder b_;
+  std::unordered_map<std::string, Sym> syms_;
+  int block_counter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Module> lower(const Program& p) {
+  return Lowerer(p).run();
+}
+
+}  // namespace mpidetect::progmodel

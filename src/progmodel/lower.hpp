@@ -1,0 +1,19 @@
+// Lowers a progmodel::Program to an IR module, the way a small C
+// frontend would: scalars and buffers become allocas (promoted to SSA
+// only by the -O2/-Os pipelines, mirroring clang -O0 output), control
+// flow becomes explicit CFG, MPI calls become calls to the declared
+// MPI externs from mpi::declare.
+#pragma once
+
+#include <memory>
+
+#include "ir/module.hpp"
+#include "progmodel/ast.hpp"
+
+namespace mpidetect::progmodel {
+
+/// Lowers and verifies; throws ContractViolation on malformed programs
+/// (unknown variable, argument/signature arity mismatch, ...).
+std::unique_ptr<ir::Module> lower(const Program& p);
+
+}  // namespace mpidetect::progmodel

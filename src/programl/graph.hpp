@@ -1,0 +1,66 @@
+// ProGraML-style heterogeneous program graph (Cummins et al., ICML'21)
+// built from the mini-IR, exactly the representation the paper's GNN
+// consumes (§IV-B): three node types — control (instructions), variable
+// (SSA values / arguments), constant — and three edge relations —
+// control flow, data flow, and call.
+//
+// Node features are token ids over a fixed hashed vocabulary; call
+// instructions carry the callee identity in their token (the MPI
+// function name is the dominant signal at a call site).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace mpidetect::programl {
+
+/// Hashed token vocabulary size for node features.
+inline constexpr std::size_t kVocabSize = 256;
+
+enum class NodeType : std::uint8_t { Control, Variable, Constant };
+inline constexpr std::size_t kNumNodeTypes = 3;
+
+enum class EdgeType : std::uint8_t { Control, Data, Call };
+inline constexpr std::size_t kNumEdgeTypes = 3;
+
+std::string_view node_type_name(NodeType t);
+std::string_view edge_type_name(EdgeType t);
+
+struct Node {
+  NodeType type = NodeType::Control;
+  std::uint32_t token = 0;  // index into the hashed vocabulary
+  std::string text;         // human-readable ("call:MPI_Send", "var:i32")
+};
+
+struct Edge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+struct ProgramGraph {
+  std::vector<Node> nodes;
+  std::array<std::vector<Edge>, kNumEdgeTypes> edges;
+
+  std::size_t num_nodes() const { return nodes.size(); }
+  std::size_t num_edges() const {
+    return edges[0].size() + edges[1].size() + edges[2].size();
+  }
+  const std::vector<Edge>& edges_of(EdgeType t) const {
+    return edges[static_cast<std::size_t>(t)];
+  }
+};
+
+/// Token id of a node text (stable hashed vocabulary).
+std::uint32_t token_of(const std::string& text);
+
+/// Builds the unified control/data/call graph of a module.
+ProgramGraph build_graph(const ir::Module& m);
+
+/// GraphViz dump for debugging / documentation.
+std::string to_dot(const ProgramGraph& g);
+
+}  // namespace mpidetect::programl

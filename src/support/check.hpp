@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking in the spirit of the
+// C++ Core Guidelines Expects()/Ensures() macros (GSL). Violations throw
+// so tests can assert on them; they are never compiled out because the
+// library is used for verification research where silent corruption is
+// worse than the branch cost.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpidetect {
+
+/// Thrown when an MPIDETECT_CHECK / Expects-style contract is violated.
+class ContractViolation final : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace mpidetect
+
+#define MPIDETECT_CHECK(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) ::mpidetect::contract_fail("check", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+#define MPIDETECT_EXPECTS(expr)                                            \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::mpidetect::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+#define MPIDETECT_ENSURES(expr)                                            \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::mpidetect::contract_fail("postcondition", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+#define MPIDETECT_UNREACHABLE(msg) \
+  ::mpidetect::contract_fail("unreachable", msg, __FILE__, __LINE__)

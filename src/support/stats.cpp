@@ -1,0 +1,80 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mpidetect {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  MPIDETECT_EXPECTS(!xs.empty());
+  MPIDETECT_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+FiveNumberSummary five_number_summary(std::span<const double> xs) {
+  MPIDETECT_EXPECTS(!xs.empty());
+  std::vector<double> copy(xs.begin(), xs.end());
+  FiveNumberSummary s;
+  s.min = percentile(copy, 0);
+  s.q1 = percentile(copy, 25);
+  s.median = percentile(copy, 50);
+  s.q3 = percentile(copy, 75);
+  s.max = percentile(copy, 100);
+  return s;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs,
+                                   std::size_t bins) {
+  MPIDETECT_EXPECTS(bins > 0);
+  std::vector<std::size_t> counts(bins, 0);
+  if (xs.empty()) return counts;
+  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  const double width = (mx > mn) ? (mx - mn) : 1.0;
+  for (const double x : xs) {
+    auto b = static_cast<std::size_t>((x - mn) / width *
+                                      static_cast<double>(bins));
+    if (b >= bins) b = bins - 1;
+    ++counts[b];
+  }
+  return counts;
+}
+
+std::string sparkline(std::span<const double> xs, std::size_t bins) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  const auto counts = histogram(xs, bins);
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+  std::string out;
+  for (const std::size_t c : counts) {
+    const std::size_t level =
+        (peak == 0) ? 0 : (c * 7 + peak / 2) / peak;  // round to 0..7
+    out += kLevels[std::min<std::size_t>(level, 7)];
+  }
+  return out;
+}
+
+}  // namespace mpidetect

@@ -1,0 +1,31 @@
+// Descriptive statistics used to report dataset shape (Figure 2's code
+// size violins become five-number summaries + a terminal sparkline).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpidetect {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);  // sample stddev (n-1)
+
+/// Linear-interpolated percentile; p in [0, 100]. Requires non-empty xs.
+double percentile(std::vector<double> xs, double p);
+
+/// min / q1 / median / q3 / max — the violin/boxplot skeleton of Fig. 2.
+struct FiveNumberSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+FiveNumberSummary five_number_summary(std::span<const double> xs);
+
+/// Histogram with `bins` equal-width buckets over [min, max].
+std::vector<std::size_t> histogram(std::span<const double> xs,
+                                   std::size_t bins);
+
+/// Unicode block-character sparkline of a histogram — the terminal stand-in
+/// for the paper's violin plots.
+std::string sparkline(std::span<const double> xs, std::size_t bins = 24);
+
+}  // namespace mpidetect

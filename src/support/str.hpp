@@ -1,0 +1,37 @@
+// Small string utilities shared across the project (no dependency on
+// any third-party library; keeps the IR printer and table writers tidy).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpidetect {
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Fixed-precision formatting (printf "%.*f") without locale surprises.
+std::string fmt_double(double v, int precision = 3);
+
+/// Percent formatting: 0.917 -> "91.7%".
+std::string fmt_percent(double fraction, int precision = 1);
+
+/// Left/right pad to a width with spaces (no truncation).
+std::string pad_left(std::string s, std::size_t width);
+std::string pad_right(std::string s, std::size_t width);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+}  // namespace mpidetect

@@ -1,0 +1,65 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/str.hpp"
+
+namespace mpidetect {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MPIDETECT_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MPIDETECT_EXPECTS(row.size() <= header_.size());
+  row.resize(header_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+  }
+
+  const auto print_rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << pad_right(cells[c], widths[c]) << " |";
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      print_rule();
+    } else {
+      print_cells(r.cells);
+    }
+  }
+  print_rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  os << join(header_, ",") << '\n';
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    os << join(r.cells, ",") << '\n';
+  }
+}
+
+}  // namespace mpidetect

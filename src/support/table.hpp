@@ -1,0 +1,43 @@
+// ASCII table writer used by every bench binary to print paper tables
+// with aligned columns, plus a CSV escape hatch for post-processing.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpidetect {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t({"Model", "Recall", "Precision"});
+///   t.add_row({"IR2vec Intra", "0.935", "0.928"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it may have fewer cells than the header (padded empty)
+  /// but never more.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (no quoting of separators inside cells — cells
+  /// in this project never contain commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mpidetect

@@ -1,0 +1,59 @@
+// ItacLite: trace-and-check in the style of Intel Trace Analyzer and
+// Collector. Runs the program under the simulator with a tight step
+// budget (tracing overhead), detects deadlocks with the timeout
+// approach, validates message/collective arguments at runtime, and
+// checks handle leaks at finalize. Concurrency classes (races, RMA
+// access conflicts) are outside its scope — these become the false
+// negatives that dominate ITAC's FN column in the paper.
+#include "mpisim/machine.hpp"
+#include "progmodel/lower.hpp"
+#include "support/check.hpp"
+#include "verify/tool.hpp"
+
+namespace mpidetect::verify {
+
+namespace {
+
+class ItacLite final : public VerificationTool {
+ public:
+  std::string_view name() const override { return "ITAC"; }
+
+  Diagnostic check(const datasets::Case& c) override {
+    std::unique_ptr<ir::Module> m;
+    try {
+      m = progmodel::lower(c.program);
+    } catch (const ContractViolation&) {
+      return Diagnostic::CompileErr;
+    }
+    mpisim::MachineConfig cfg;
+    cfg.nprocs = c.program.nprocs;
+    // Tracing slows execution heavily: compute-dense codes blow the
+    // budget and come back inconclusive (the TO column of Table III).
+    cfg.max_steps = 3000;
+    const mpisim::RunReport rep = mpisim::run(*m, cfg);
+
+    if (rep.outcome == mpisim::Outcome::Timeout) return Diagnostic::Timeout;
+    if (rep.outcome == mpisim::Outcome::Crashed) {
+      return Diagnostic::RuntimeErr;
+    }
+    if (rep.outcome == mpisim::Outcome::Deadlock) {
+      return Diagnostic::Incorrect;  // deadlock found via timeout approach
+    }
+    using K = mpisim::FindingKind;
+    for (const auto k :
+         {K::InvalidParam, K::TypeMismatch, K::ParamMismatch,
+          K::CollectiveMismatch, K::RequestError, K::ResourceLeak,
+          K::DoubleInit, K::MissingFinalize}) {
+      if (rep.has(k)) return Diagnostic::Incorrect;
+    }
+    return Diagnostic::Correct;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<VerificationTool> make_itac_lite() {
+  return std::make_unique<ItacLite>();
+}
+
+}  // namespace mpidetect::verify

@@ -1,0 +1,208 @@
+// MpiCheckerLite: AST-level static checks in the style of MPI-Checker
+// (Droste et al., LLVM-HPC'15) — literal argument validation ("correct
+// type usage" checks) plus path-insensitive request hygiene (double
+// nonblocking without wait, missing wait, missing finalize). Everything
+// that needs cross-rank or dynamic reasoning is out of scope, giving the
+// modest-recall / decent-precision profile of Figure 7(a).
+#include <unordered_map>
+
+#include "mpi/api.hpp"
+#include "progmodel/lower.hpp"
+#include "support/check.hpp"
+#include "verify/tool.hpp"
+
+namespace mpidetect::verify {
+
+namespace {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+using ir::ValueKind;
+
+std::optional<std::int64_t> const_int(const Value* v) {
+  if (v->kind() != ValueKind::ConstantInt) return std::nullopt;
+  return static_cast<const ir::ConstantInt*>(v)->value();
+}
+
+/// Element IR type implied by a built-in datatype literal.
+std::optional<ir::Type> datatype_elem_type(std::int64_t handle) {
+  switch (static_cast<mpi::Datatype>(handle)) {
+    case mpi::Datatype::Int: return ir::Type::I32;
+    case mpi::Datatype::Double: return ir::Type::F64;
+    case mpi::Datatype::Float: return ir::Type::F64;  // float buffers are f64 here
+    default: return std::nullopt;
+  }
+}
+
+class MpiCheckerLite final : public VerificationTool {
+ public:
+  std::string_view name() const override { return "MPI-Checker"; }
+
+  Diagnostic check(const datasets::Case& c) override {
+    std::unique_ptr<ir::Module> m;
+    try {
+      m = progmodel::lower(c.program);
+    } catch (const ContractViolation&) {
+      return Diagnostic::CompileErr;
+    }
+    for (const auto& f : m->functions()) {
+      if (f->is_declaration()) continue;
+      if (check_function(*f)) return Diagnostic::Incorrect;
+    }
+    // Whole-program: main must call MPI_Init and MPI_Finalize.
+    const ir::Function* main_fn = m->find_function("main");
+    if (main_fn != nullptr && !main_fn->is_declaration()) {
+      bool has_init = false, has_finalize = false;
+      for (const auto& bb : main_fn->blocks()) {
+        for (const auto& inst : bb->instructions()) {
+          const auto fn = mpi::classify_call(*inst);
+          has_init |= fn == mpi::Func::Init;
+          has_finalize |= fn == mpi::Func::Finalize;
+        }
+      }
+      if (has_init != has_finalize) return Diagnostic::Incorrect;
+    }
+    return Diagnostic::Correct;
+  }
+
+ private:
+  bool check_function(const ir::Function& f) {
+    // Request slot state for the double-nonblocking / missing-wait
+    // checks, scanned in layout order (path-insensitive, like the
+    // AST-based checks of the original).
+    std::unordered_map<const Value*, bool> request_active;
+
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        const auto fn = mpi::classify_call(*inst);
+        if (!fn.has_value()) continue;
+        const auto& sig = mpi::signature(*fn);
+        for (std::size_t i = 0; i < sig.params.size(); ++i) {
+          if (check_literal_arg(sig.params[i].role, *inst, i)) return true;
+        }
+        if (check_type_usage(*fn, *inst)) return true;
+
+        // Request hygiene.
+        for (std::size_t i = 0; i < sig.params.size(); ++i) {
+          const Value* slot = inst->operand(i);
+          switch (sig.params[i].role) {
+            case mpi::ArgRole::RequestOut:
+              if (*fn == mpi::Func::Isend || *fn == mpi::Func::Irecv) {
+                if (request_active[slot]) return true;  // overwrite
+                request_active[slot] = true;
+              }
+              break;
+            case mpi::ArgRole::RequestInOut:
+              request_active[slot] = false;
+              break;
+            default:
+              break;
+          }
+        }
+        if (*fn == mpi::Func::Waitall) {
+          request_active.clear();  // conservative: waitall covers arrays
+        }
+      }
+    }
+    for (const auto& [slot, active] : request_active) {
+      (void)slot;
+      if (active) return true;  // nonblocking op without completion
+    }
+    return false;
+  }
+
+  bool check_literal_arg(mpi::ArgRole role, const Instruction& inst,
+                         std::size_t i) {
+    const auto v = const_int(inst.operand(i));
+    switch (role) {
+      case mpi::ArgRole::Count:
+      case mpi::ArgRole::TargetCount:
+        return v.has_value() && *v < 0;
+      case mpi::ArgRole::Tag:
+        if (!v.has_value()) return false;
+        // ANY_TAG only on the receive side.
+        if (*v == mpi::kAnyTag) {
+          return mpi::classify_call(inst) == mpi::Func::Send ||
+                 mpi::classify_call(inst) == mpi::Func::Ssend ||
+                 mpi::classify_call(inst) == mpi::Func::Isend;
+        }
+        return *v < 0 || *v > mpi::kTagUb;
+      case mpi::ArgRole::DestRank:
+      case mpi::ArgRole::Root:
+      case mpi::ArgRole::TargetRank:
+        return v.has_value() && *v < 0 && *v != mpi::kProcNull;
+      case mpi::ArgRole::SrcRank:
+        return v.has_value() && *v < 0 && *v != mpi::kAnySource &&
+               *v != mpi::kProcNull;
+      case mpi::ArgRole::Datatype:
+      case mpi::ArgRole::TargetDatatype: {
+        // Literal datatype must be a known built-in; handles flowing in
+        // from MPI_Type_* are non-constant and skipped.
+        return v.has_value() &&
+               !mpi::builtin_datatype_size(static_cast<std::int32_t>(*v))
+                    .has_value();
+      }
+      case mpi::ArgRole::Op:
+        return v.has_value() &&
+               !mpi::is_valid_reduce_op(static_cast<std::int32_t>(*v));
+      case mpi::ArgRole::Buffer:
+      case mpi::ArgRole::RecvBuffer: {
+        // Null payload buffer literal.
+        const Value* buf = inst.operand(i);
+        if (buf->kind() == ValueKind::ConstantInt &&
+            buf->type() == ir::Type::Ptr) {
+          return static_cast<const ir::ConstantInt*>(buf)->value() == 0;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  /// "Correct type usage": buffer allocation element type vs datatype
+  /// literal (MPI-Checker's flagship AST check).
+  bool check_type_usage(mpi::Func fn, const Instruction& inst) {
+    const auto& sig = mpi::signature(fn);
+    std::optional<ir::Type> want;
+    for (std::size_t i = 0; i < sig.params.size(); ++i) {
+      if (sig.params[i].role == mpi::ArgRole::Datatype) {
+        if (const auto v = const_int(inst.operand(i))) {
+          want = datatype_elem_type(*v);
+        }
+      }
+    }
+    if (!want.has_value()) return false;
+    for (std::size_t i = 0; i < sig.params.size(); ++i) {
+      const auto role = sig.params[i].role;
+      if (role != mpi::ArgRole::Buffer && role != mpi::ArgRole::RecvBuffer) {
+        continue;
+      }
+      const Value* buf = inst.operand(i);
+      const auto* alloca =
+          buf->kind() == ValueKind::Instruction
+              ? static_cast<const Instruction*>(buf)
+              : nullptr;
+      if (alloca == nullptr) continue;
+      const Instruction* base = alloca;
+      if (base->opcode() == Opcode::Gep) {
+        if (base->operand(0)->kind() != ValueKind::Instruction) continue;
+        base = static_cast<const Instruction*>(base->operand(0));
+      }
+      if (base->opcode() != Opcode::Alloca) continue;
+      const ir::Type elem = base->alloc_type();
+      if (elem == ir::Type::I32 && *want == ir::Type::F64) return true;
+      if (elem == ir::Type::F64 && *want == ir::Type::I32) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<VerificationTool> make_mpichecker_lite() {
+  return std::make_unique<MpiCheckerLite>();
+}
+
+}  // namespace mpidetect::verify

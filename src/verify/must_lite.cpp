@@ -1,0 +1,50 @@
+// MustLite: online runtime checking in the style of MUST/GTI. Broadest
+// dynamic coverage of the four tools: everything ItacLite sees plus
+// wildcard receive races, buffer-ownership violations, and RMA epoch /
+// access-conflict errors. Runs with a generous budget (MUST piggybacks
+// on the application run instead of serializing a trace).
+#include "mpisim/machine.hpp"
+#include "progmodel/lower.hpp"
+#include "support/check.hpp"
+#include "verify/tool.hpp"
+
+namespace mpidetect::verify {
+
+namespace {
+
+class MustLite final : public VerificationTool {
+ public:
+  std::string_view name() const override { return "MUST"; }
+
+  Diagnostic check(const datasets::Case& c) override {
+    std::unique_ptr<ir::Module> m;
+    try {
+      m = progmodel::lower(c.program);
+    } catch (const ContractViolation&) {
+      return Diagnostic::CompileErr;
+    }
+    mpisim::MachineConfig cfg;
+    cfg.nprocs = c.program.nprocs;
+    cfg.max_steps = 100'000;
+    const mpisim::RunReport rep = mpisim::run(*m, cfg);
+
+    if (rep.outcome == mpisim::Outcome::Timeout) return Diagnostic::Timeout;
+    if (rep.outcome == mpisim::Outcome::Crashed) {
+      return Diagnostic::RuntimeErr;
+    }
+    if (rep.outcome == mpisim::Outcome::Deadlock) {
+      return Diagnostic::Incorrect;
+    }
+    // Any finding the online checker observed counts as a report.
+    if (!rep.findings.empty()) return Diagnostic::Incorrect;
+    return Diagnostic::Correct;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<VerificationTool> make_must_lite() {
+  return std::make_unique<MustLite>();
+}
+
+}  // namespace mpidetect::verify

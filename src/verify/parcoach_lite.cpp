@@ -1,0 +1,224 @@
+// ParcoachLite: static collective-divergence analysis in the style of
+// PARCOACH's interprocedural data/control-flow checks.
+//
+// The analysis (per defined function, over the -O0 IR):
+//   1. find rank sources — allocas written by MPI_Comm_rank;
+//   2. taint values derived from rank loads (data flow) and allocas
+//      stored under rank-dependent branches (control flow);
+//   3. for every conditional branch on a tainted value, compare the
+//      *sequences* of communication calls exclusive to each side: a
+//      difference means ranks may not issue the same synchronization,
+//      so the code is flagged;
+//   4. flag collectives whose root/op/count/datatype operand is tainted
+//      (rank-dependent collective arguments).
+//
+// Like the real tool this is sound-leaning and wildly over-approximate:
+// a correct master/worker split is indistinguishable from a divergence
+// bug at this level, which is exactly the low-specificity profile the
+// paper reports (S = 0.088 on MBI).
+#include <algorithm>
+#include <unordered_set>
+
+#include "ir/cfg.hpp"
+#include "mpi/api.hpp"
+#include "progmodel/lower.hpp"
+#include "support/check.hpp"
+#include "verify/tool.hpp"
+
+namespace mpidetect::verify {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+/// Calls PARCOACH reasons about: collectives, blocking p2p, nonblocking
+/// starts and completions, and RMA synchronization.
+bool is_comm_call(const Instruction& inst, std::string* name_out) {
+  const auto f = mpi::classify_call(inst);
+  if (!f.has_value()) return false;
+  switch (*f) {
+    case mpi::Func::Init:
+    case mpi::Func::Finalize:
+    case mpi::Func::CommRank:
+    case mpi::Func::CommSize:
+      return false;
+    default:
+      *name_out = std::string(mpi::func_name(*f));
+      return true;
+  }
+}
+
+std::unordered_set<const BasicBlock*> reachable_from(BasicBlock* start) {
+  std::unordered_set<const BasicBlock*> seen;
+  std::vector<BasicBlock*> stack{start};
+  while (!stack.empty()) {
+    BasicBlock* bb = stack.back();
+    stack.pop_back();
+    if (!seen.insert(bb).second) continue;
+    for (BasicBlock* s : bb->successors()) stack.push_back(s);
+  }
+  return seen;
+}
+
+class FunctionAnalysis {
+ public:
+  explicit FunctionAnalysis(const Function& f) : f_(f) {}
+
+  bool flagged() {
+    compute_taint();
+    return divergent_communication() || tainted_collective_args();
+  }
+
+ private:
+  void compute_taint() {
+    // Seed: allocas written by MPI_Comm_rank / MPI_Comm_size out-params.
+    for (const auto& bb : f_.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        const auto fn = mpi::classify_call(*inst);
+        if (fn == mpi::Func::CommRank) {
+          tainted_.insert(inst->operand(1));
+        }
+      }
+    }
+    // Fixpoint: loads of tainted allocas, arithmetic over tainted
+    // values, and allocas stored under tainted control.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      const auto tainted_blocks = control_tainted_blocks();
+      for (const auto& bb : f_.blocks()) {
+        const bool block_tainted =
+            tainted_blocks.find(bb.get()) != tainted_blocks.end();
+        for (const auto& inst : bb->instructions()) {
+          if (tainted_.count(inst.get()) != 0) continue;
+          bool t = false;
+          if (inst->opcode() == Opcode::Load) {
+            t = tainted_.count(inst->operand(0)) != 0;
+          } else if (inst->opcode() == Opcode::Store) {
+            // Data: tainted value stored -> pointer tainted.
+            // Control: any store under tainted control taints the slot.
+            if (tainted_.count(inst->operand(0)) != 0 || block_tainted) {
+              if (tainted_.insert(inst->operand(1)).second) changed = true;
+            }
+            continue;
+          } else {
+            for (const Value* op : inst->operands()) {
+              t |= tainted_.count(op) != 0;
+            }
+          }
+          if (t && tainted_.insert(inst.get()).second) changed = true;
+        }
+      }
+    }
+  }
+
+  /// Blocks exclusive to one side of a tainted conditional branch.
+  std::unordered_set<const BasicBlock*> control_tainted_blocks() const {
+    std::unordered_set<const BasicBlock*> out;
+    for (const auto& bb : f_.blocks()) {
+      const Instruction* term = bb->terminator();
+      if (term == nullptr || term->opcode() != Opcode::CondBr) continue;
+      if (tainted_.count(term->operand(0)) == 0) continue;
+      const auto then_reach = reachable_from(term->block_operand(0));
+      const auto else_reach = reachable_from(term->block_operand(1));
+      for (const BasicBlock* b : then_reach) {
+        if (else_reach.find(b) == else_reach.end()) out.insert(b);
+      }
+      for (const BasicBlock* b : else_reach) {
+        if (then_reach.find(b) == then_reach.end()) out.insert(b);
+      }
+    }
+    return out;
+  }
+
+  /// Communication-call name sequence over a block set, in layout order.
+  std::vector<std::string> comm_sequence(
+      const std::unordered_set<const BasicBlock*>& blocks) const {
+    std::vector<std::string> seq;
+    for (const auto& bb : f_.blocks()) {  // layout order = program order
+      if (blocks.find(bb.get()) == blocks.end()) continue;
+      for (const auto& inst : bb->instructions()) {
+        std::string name;
+        if (is_comm_call(*inst, &name)) seq.push_back(std::move(name));
+      }
+    }
+    return seq;
+  }
+
+  bool divergent_communication() const {
+    for (const auto& bb : f_.blocks()) {
+      const Instruction* term = bb->terminator();
+      if (term == nullptr || term->opcode() != Opcode::CondBr) continue;
+      if (tainted_.count(term->operand(0)) == 0) continue;
+      const auto then_reach = reachable_from(term->block_operand(0));
+      const auto else_reach = reachable_from(term->block_operand(1));
+      std::unordered_set<const BasicBlock*> then_only, else_only;
+      for (const BasicBlock* b : then_reach) {
+        if (else_reach.find(b) == else_reach.end()) then_only.insert(b);
+      }
+      for (const BasicBlock* b : else_reach) {
+        if (then_reach.find(b) == then_reach.end()) else_only.insert(b);
+      }
+      if (comm_sequence(then_only) != comm_sequence(else_only)) return true;
+    }
+    return false;
+  }
+
+  bool tainted_collective_args() const {
+    for (const auto& bb : f_.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        const auto fn = mpi::classify_call(*inst);
+        if (!fn.has_value() || !mpi::is_collective(*fn)) continue;
+        const auto& sig = mpi::signature(*fn);
+        for (std::size_t i = 0; i < sig.params.size(); ++i) {
+          switch (sig.params[i].role) {
+            case mpi::ArgRole::Root:
+            case mpi::ArgRole::Op:
+            case mpi::ArgRole::Count:
+            case mpi::ArgRole::Datatype:
+              if (tainted_.count(inst->operand(i)) != 0) return true;
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  const Function& f_;
+  std::unordered_set<const Value*> tainted_;
+};
+
+class ParcoachLite final : public VerificationTool {
+ public:
+  std::string_view name() const override { return "PARCOACH"; }
+
+  Diagnostic check(const datasets::Case& c) override {
+    std::unique_ptr<ir::Module> m;
+    try {
+      m = progmodel::lower(c.program);
+    } catch (const ContractViolation&) {
+      return Diagnostic::CompileErr;
+    }
+    for (const auto& f : m->functions()) {
+      if (f->is_declaration()) continue;
+      FunctionAnalysis analysis(*f);
+      if (analysis.flagged()) return Diagnostic::Incorrect;
+    }
+    return Diagnostic::Correct;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<VerificationTool> make_parcoach_lite() {
+  return std::make_unique<ParcoachLite>();
+}
+
+}  // namespace mpidetect::verify

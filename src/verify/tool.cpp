@@ -1,0 +1,58 @@
+#include "verify/tool.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace mpidetect::verify {
+
+std::string_view diagnostic_name(Diagnostic d) {
+  switch (d) {
+    case Diagnostic::Correct: return "correct";
+    case Diagnostic::Incorrect: return "incorrect";
+    case Diagnostic::Timeout: return "timeout";
+    case Diagnostic::RuntimeErr: return "runtime-error";
+    case Diagnostic::CompileErr: return "compile-error";
+  }
+  MPIDETECT_UNREACHABLE("bad Diagnostic");
+}
+
+ml::Confusion evaluate_tool(VerificationTool& tool,
+                            const datasets::Dataset& ds, unsigned threads) {
+  const unsigned n_threads =
+      threads != 0 ? threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  std::vector<Diagnostic> diags(ds.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= ds.size()) break;
+        diags[i] = tool.check(ds.cases[i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  ml::Confusion c;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    switch (diags[i]) {
+      case Diagnostic::Correct:
+        c.add(ds.cases[i].incorrect, false);
+        break;
+      case Diagnostic::Incorrect:
+        c.add(ds.cases[i].incorrect, true);
+        break;
+      case Diagnostic::Timeout: ++c.to; break;
+      case Diagnostic::RuntimeErr: ++c.re; break;
+      case Diagnostic::CompileErr: ++c.ce; break;
+    }
+  }
+  return c;
+}
+
+}  // namespace mpidetect::verify

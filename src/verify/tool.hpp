@@ -1,0 +1,54 @@
+// Simplified re-implementations of the expert verification tools the
+// paper compares against (Table III, Figure 7). Each tool reproduces
+// the *detection profile* of its namesake from first principles:
+//
+//   ItacLite      — dynamic tracing with a step budget (Intel ITAC):
+//                   high precision, deadlock detection via timeouts,
+//                   inconclusive on long-running codes.
+//   MustLite      — dynamic online checking (MUST): broadest dynamic
+//                   coverage including races and RMA epochs.
+//   ParcoachLite  — static collective-divergence analysis (PARCOACH):
+//                   flags rank-dependent communication divergence, which
+//                   catches ordering errors but floods correct codes
+//                   with false positives (specificity ~0.09 in MBI).
+//   MpiCheckerLite— AST-based static call checks (MPI-Checker): literal
+//                   argument errors and request-usage hygiene only.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "datasets/dataset.hpp"
+#include "ml/metrics.hpp"
+
+namespace mpidetect::verify {
+
+enum class Diagnostic : std::uint8_t {
+  Correct,     // tool reports the code clean
+  Incorrect,   // tool reports an error
+  Timeout,     // tool could not conclude in its budget (TO)
+  RuntimeErr,  // tool crashed while analysing (RE)
+  CompileErr,  // tool could not ingest the code (CE)
+};
+
+std::string_view diagnostic_name(Diagnostic d);
+
+class VerificationTool {
+ public:
+  virtual ~VerificationTool() = default;
+  virtual std::string_view name() const = 0;
+  virtual Diagnostic check(const datasets::Case& c) = 0;
+};
+
+std::unique_ptr<VerificationTool> make_itac_lite();
+std::unique_ptr<VerificationTool> make_must_lite();
+std::unique_ptr<VerificationTool> make_parcoach_lite();
+std::unique_ptr<VerificationTool> make_mpichecker_lite();
+
+/// Runs a tool over a dataset and accumulates the MBI-style confusion
+/// (TO/RE/CE feed the Errors column of Table III). Thread-parallel.
+ml::Confusion evaluate_tool(VerificationTool& tool,
+                            const datasets::Dataset& ds,
+                            unsigned threads = 0);
+
+}  // namespace mpidetect::verify

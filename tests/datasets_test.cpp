@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/corrbench.hpp"
+#include "datasets/hypre.hpp"
+#include "datasets/mbi.hpp"
+#include "datasets/templates.hpp"
+#include "ir/verifier.hpp"
+#include "mpisim/machine.hpp"
+#include "passes/pipelines.hpp"
+#include "progmodel/lower.hpp"
+
+namespace mpidetect::datasets {
+namespace {
+
+MbiConfig quick_mbi() {
+  MbiConfig cfg;
+  cfg.scale = 0.05;
+  return cfg;
+}
+
+CorrConfig quick_corr() {
+  CorrConfig cfg;
+  cfg.scale = 0.2;
+  return cfg;
+}
+
+mpisim::RunReport simulate(const Case& c) {
+  const auto m = progmodel::lower(c.program);
+  mpisim::MachineConfig cfg;
+  cfg.nprocs = c.program.nprocs;
+  cfg.max_steps = 200'000;
+  return mpisim::run(*m, cfg);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Templates, EveryInjectionHasATemplate) {
+  for (int i = 0; i <= static_cast<int>(Inject::MissingFinalizeCall); ++i) {
+    const auto inj = static_cast<Inject>(i);
+    EXPECT_FALSE(templates_for(inj).empty()) << inject_name(inj);
+  }
+}
+
+TEST(Templates, EveryMbiLabelHasInjections) {
+  for (const auto l : mpi::mbi_error_labels()) {
+    EXPECT_FALSE(injections_for(l).empty());
+  }
+}
+
+TEST(Templates, EveryCorrLabelHasInjections) {
+  for (const auto l : mpi::corr_error_labels()) {
+    EXPECT_FALSE(injections_for(l).empty());
+  }
+}
+
+TEST(Templates, RegistryAdvertisesOnlySupportedInjections) {
+  for (const Template& t : all_templates()) {
+    for (const Inject inj : t.supported) {
+      const auto compat = templates_for(inj);
+      bool found = false;
+      for (const Template* c : compat) found |= (c == &t);
+      EXPECT_TRUE(found) << t.id;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ shapes
+
+TEST(Mbi, PaperScaleCounts) {
+  const MbiConfig cfg;  // paper defaults
+  std::size_t total_incorrect = 0;
+  for (const auto& [l, n] : cfg.counts) {
+    (void)l;
+    total_incorrect += n;
+  }
+  EXPECT_EQ(total_incorrect, 1116u);
+  EXPECT_EQ(cfg.correct, 745u);
+}
+
+TEST(Corr, PaperScaleCounts) {
+  const CorrConfig cfg;
+  std::size_t total_incorrect = 0;
+  for (const auto& [l, n] : cfg.counts) {
+    (void)l;
+    total_incorrect += n;
+  }
+  EXPECT_EQ(total_incorrect, 214u);
+  EXPECT_EQ(cfg.correct, 202u);
+}
+
+TEST(Mbi, GeneratedCountsMatchConfig) {
+  const auto ds = generate_mbi(quick_mbi());
+  EXPECT_EQ(ds.correct_count(),
+            ds.count_mbi_label(mpi::MbiLabel::Correct));
+  // Call Ordering remains the dominant class after scaling.
+  EXPECT_GT(ds.count_mbi_label(mpi::MbiLabel::CallOrdering),
+            ds.count_mbi_label(mpi::MbiLabel::ResourceLeak));
+  EXPECT_EQ(ds.size(), ds.correct_count() + ds.incorrect_count());
+}
+
+TEST(Mbi, DeterministicForSameSeed) {
+  const auto a = generate_mbi(quick_mbi());
+  const auto b = generate_mbi(quick_mbi());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.cases[i].name, b.cases[i].name);
+    EXPECT_EQ(a.cases[i].source_lines, b.cases[i].source_lines);
+  }
+}
+
+TEST(Mbi, CaseNamesAreUnique) {
+  const auto ds = generate_mbi(quick_mbi());
+  std::set<std::string> names;
+  for (const Case& c : ds.cases) names.insert(c.name);
+  EXPECT_EQ(names.size(), ds.size());
+}
+
+TEST(Mbi, AllProgramsLowerAndVerify) {
+  const auto ds = generate_mbi(quick_mbi());
+  for (const Case& c : ds.cases) {
+    const auto m = progmodel::lower(c.program);
+    EXPECT_TRUE(ir::verify(*m).empty()) << c.name;
+  }
+}
+
+TEST(Mbi, AllProgramsSurviveEveryOptLevel) {
+  MbiConfig cfg = quick_mbi();
+  cfg.scale = 0.02;
+  const auto ds = generate_mbi(cfg);
+  for (const Case& c : ds.cases) {
+    for (const auto lvl : passes::kAllOptLevels) {
+      auto m = progmodel::lower(c.program);
+      passes::run_pipeline(*m, lvl);
+      EXPECT_TRUE(ir::verify(*m).empty())
+          << c.name << " at " << passes::opt_level_name(lvl);
+    }
+  }
+}
+
+TEST(Corr, GeneratedCountsAndBias) {
+  CorrConfig biased = quick_corr();
+  biased.strip_header = false;
+  const auto with_header = generate_corrbench(biased);
+  const auto stripped = generate_corrbench(quick_corr());
+  ASSERT_EQ(with_header.size(), stripped.size());
+  // Correct codes shrink when the header is stripped; incorrect don't.
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (!stripped.cases[i].incorrect) {
+      EXPECT_GT(with_header.cases[i].source_lines,
+                stripped.cases[i].source_lines + kMpitestHeaderLines - 1);
+    } else {
+      EXPECT_EQ(with_header.cases[i].source_lines,
+                stripped.cases[i].source_lines);
+    }
+  }
+}
+
+TEST(Corr, UnstrippedCorrectCodesExceed103Lines) {
+  CorrConfig biased = quick_corr();
+  biased.strip_header = false;
+  const auto ds = generate_corrbench(biased);
+  for (const Case& c : ds.cases) {
+    if (!c.incorrect) EXPECT_GE(c.source_lines, 103u) << c.name;
+  }
+}
+
+TEST(Corr, IncorrectNamesEncodeLabelLikeTheRealSuite) {
+  const auto ds = generate_corrbench(quick_corr());
+  for (const Case& c : ds.cases) {
+    if (c.incorrect) {
+      EXPECT_NE(c.name.find(c.label_name()), std::string::npos) << c.name;
+      EXPECT_NE(c.name.find(".c"), std::string::npos);
+    }
+  }
+}
+
+TEST(Corr, AllProgramsLowerAndVerify) {
+  const auto ds = generate_corrbench(quick_corr());
+  for (const Case& c : ds.cases) {
+    const auto m = progmodel::lower(c.program);
+    EXPECT_TRUE(ir::verify(*m).empty()) << c.name;
+  }
+}
+
+TEST(Mix, ConcatenatesBothSuites) {
+  const auto a = generate_mbi(quick_mbi());
+  const auto b = generate_corrbench(quick_corr());
+  const auto m = mix(a, b);
+  EXPECT_EQ(m.size(), a.size() + b.size());
+  EXPECT_EQ(m.name, "Mix");
+  EXPECT_EQ(m.correct_count(), a.correct_count() + b.correct_count());
+}
+
+// --------------------------------------------------------- dynamic behaviour
+
+TEST(Mbi, CorrectCodesRunCleanInSimulator) {
+  const auto ds = generate_mbi(quick_mbi());
+  for (const Case& c : ds.cases) {
+    if (c.incorrect) continue;
+    const auto rep = simulate(c);
+    EXPECT_EQ(rep.outcome, mpisim::Outcome::Completed)
+        << c.name << ": " << rep.summary();
+    EXPECT_TRUE(rep.findings.empty()) << c.name << ": " << rep.summary();
+  }
+}
+
+TEST(Corr, CorrectCodesRunCleanInSimulator) {
+  const auto ds = generate_corrbench(quick_corr());
+  for (const Case& c : ds.cases) {
+    if (c.incorrect) continue;
+    const auto rep = simulate(c);
+    EXPECT_EQ(rep.outcome, mpisim::Outcome::Completed)
+        << c.name << ": " << rep.summary();
+    EXPECT_TRUE(rep.findings.empty()) << c.name << ": " << rep.summary();
+  }
+}
+
+TEST(Mbi, MostIncorrectCodesManifestDynamically) {
+  // Not every injected bug manifests on a deterministic run (races and
+  // some orderings are silent) — exactly why dynamic tools have false
+  // negatives in the paper. But the bulk must misbehave.
+  const auto ds = generate_mbi(quick_mbi());
+  std::size_t incorrect = 0, manifested = 0;
+  for (const Case& c : ds.cases) {
+    if (!c.incorrect) continue;
+    ++incorrect;
+    const auto rep = simulate(c);
+    manifested +=
+        (rep.outcome != mpisim::Outcome::Completed || !rep.findings.empty());
+  }
+  ASSERT_GT(incorrect, 0u);
+  EXPECT_GT(static_cast<double>(manifested) / incorrect, 0.7);
+}
+
+TEST(Hypre, PairLowersAndOkRunsClean) {
+  const auto pair = make_hypre();
+  const auto ok = progmodel::lower(pair.ok);
+  const auto ko = progmodel::lower(pair.ko);
+  EXPECT_TRUE(ir::verify(*ok).empty());
+  EXPECT_TRUE(ir::verify(*ko).empty());
+  mpisim::MachineConfig cfg;
+  cfg.nprocs = 2;
+  const auto rep = mpisim::run(*ok, cfg);
+  EXPECT_EQ(rep.outcome, mpisim::Outcome::Completed) << rep.summary();
+  EXPECT_TRUE(rep.findings.empty()) << rep.summary();
+}
+
+TEST(Hypre, VersionsDifferOnlyInTags) {
+  const auto pair = make_hypre();
+  // Same structure (function count, sizes); different tag constants.
+  ASSERT_EQ(pair.ok.functions.size(), pair.ko.functions.size());
+  EXPECT_EQ(pair.ok.line_count(), pair.ko.line_count());
+  const auto ok_ir = progmodel::lower(pair.ok);
+  const auto ko_ir = progmodel::lower(pair.ko);
+  EXPECT_EQ(ok_ir->instruction_count(), ko_ir->instruction_count());
+}
+
+TEST(Hypre, RealScaleProgram) {
+  const auto pair = make_hypre();
+  // A "real application" compilation unit: hundreds of IR instructions,
+  // multiple functions — far larger than benchmark codes.
+  const auto m = progmodel::lower(pair.ok);
+  EXPECT_GT(m->instruction_count(), 200u);
+  EXPECT_GE(pair.ok.functions.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mpidetect::datasets

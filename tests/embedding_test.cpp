@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/hypre.hpp"
+#include "datasets/mbi.hpp"
+#include "ir2vec/encoder.hpp"
+#include "ir2vec/normalize.hpp"
+#include "programl/graph.hpp"
+#include "progmodel/lower.hpp"
+
+namespace mpidetect {
+namespace {
+
+using datasets::generate_mbi;
+using datasets::MbiConfig;
+
+MbiConfig tiny() {
+  MbiConfig cfg;
+  cfg.scale = 0.01;
+  return cfg;
+}
+
+double l2(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+// ----------------------------------------------------------------- ir2vec
+
+TEST(Ir2vecVocab, DeterministicPerEntityAndSeed) {
+  ir2vec::Vocabulary v1(7), v2(7), v3(8);
+  EXPECT_EQ(v1.entity("opcode:add"), v2.entity("opcode:add"));
+  EXPECT_NE(v1.entity("opcode:add"), v3.entity("opcode:add"));
+  EXPECT_NE(v1.entity("opcode:add"), v1.entity("opcode:sub"));
+}
+
+TEST(Ir2vecVocab, DimensionsMatchPaper) {
+  ir2vec::Vocabulary v;
+  EXPECT_EQ(v.entity("anything").size(), ir2vec::kDim);
+  EXPECT_EQ(ir2vec::kDim, 256u);
+}
+
+TEST(Ir2vecVocab, ConstantBuckets) {
+  EXPECT_EQ(ir2vec::constant_bucket_name(-1), "neg");
+  EXPECT_EQ(ir2vec::constant_bucket_name(0), "zero");
+  EXPECT_EQ(ir2vec::constant_bucket_name(1), "one");
+  EXPECT_EQ(ir2vec::constant_bucket_name(8), "small");
+  EXPECT_EQ(ir2vec::constant_bucket_name(100), "medium");
+  EXPECT_EQ(ir2vec::constant_bucket_name(100000), "large");
+}
+
+TEST(Ir2vecEncoder, ConcatIs512AndDeterministic) {
+  const auto ds = generate_mbi(tiny());
+  ir2vec::Vocabulary vocab;
+  const auto m = progmodel::lower(ds.cases.front().program);
+  const auto v1 = ir2vec::encode_concat(*m, vocab);
+  const auto v2 = ir2vec::encode_concat(*m, vocab);
+  EXPECT_EQ(v1.size(), 512u);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Ir2vecEncoder, SymbolicAndFlowAwareDiffer) {
+  const auto ds = generate_mbi(tiny());
+  ir2vec::Vocabulary vocab;
+  const auto m = progmodel::lower(ds.cases.front().program);
+  const auto sym = ir2vec::encode_symbolic(*m, vocab);
+  const auto flow = ir2vec::encode_flow_aware(*m, vocab);
+  EXPECT_GT(l2(sym, flow), 1e-6);
+}
+
+TEST(Ir2vecEncoder, DifferentProgramsDifferentVectors) {
+  const auto ds = generate_mbi(tiny());
+  ir2vec::Vocabulary vocab;
+  ASSERT_GE(ds.size(), 2u);
+  const auto m1 = progmodel::lower(ds.cases[0].program);
+  const auto m2 = progmodel::lower(ds.cases[1].program);
+  EXPECT_GT(l2(ir2vec::encode_concat(*m1, vocab),
+               ir2vec::encode_concat(*m2, vocab)),
+            1e-6);
+}
+
+TEST(Ir2vecEncoder, VectorGrowsWithProgramSize) {
+  // Without normalization, longer code => larger vector norm — the bias
+  // the paper's normalization study addresses.
+  using progmodel::Expr;
+  using progmodel::Program;
+  using progmodel::Stmt;
+  Program small;
+  small.main_body.push_back(Stmt::decl_int("x", Expr::lit(1)));
+  small.main_body.push_back(Stmt::ret(Expr::ref("x")));
+  Program big = small;
+  for (int i = 0; i < 50; ++i) {
+    big.main_body.insert(big.main_body.begin() + 1,
+                         Stmt::assign("x", Expr::add(Expr::ref("x"),
+                                                     Expr::lit(i))));
+  }
+  ir2vec::Vocabulary vocab;
+  const auto vs = ir2vec::encode_concat(*progmodel::lower(small), vocab);
+  const auto vb = ir2vec::encode_concat(*progmodel::lower(big), vocab);
+  double ns = 0, nb = 0;
+  for (const double x : vs) ns += x * x;
+  for (const double x : vb) nb += x * x;
+  EXPECT_GT(nb, ns * 4);
+}
+
+TEST(Ir2vecNormalize, VectorBoundsToUnitRange) {
+  std::vector<double> v{-4.0, 2.0, 1.0};
+  ir2vec::normalize_vector(v, ir2vec::Normalization::Vector);
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 0.25);
+}
+
+TEST(Ir2vecNormalize, NoneIsIdentity) {
+  std::vector<double> v{-4.0, 2.0};
+  const auto copy = v;
+  ir2vec::normalize_vector(v, ir2vec::Normalization::None);
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Ir2vecNormalize, IndexStandardizesEachCoordinate) {
+  std::vector<std::vector<double>> rows{{1.0, 10.0}, {3.0, 30.0}};
+  ir2vec::normalize_dataset(rows, ir2vec::Normalization::Index);
+  // Each column has mean 0 after standardization.
+  EXPECT_NEAR(rows[0][0] + rows[1][0], 0.0, 1e-12);
+  EXPECT_NEAR(rows[0][1] + rows[1][1], 0.0, 1e-12);
+}
+
+TEST(Ir2vecNormalize, ZeroVarianceColumnSurvives) {
+  std::vector<std::vector<double>> rows{{5.0}, {5.0}};
+  EXPECT_NO_THROW(
+      ir2vec::normalize_dataset(rows, ir2vec::Normalization::Index));
+  EXPECT_DOUBLE_EQ(rows[0][0], 5.0);
+}
+
+// ---------------------------------------------------------------- programl
+
+TEST(Programl, GraphHasThreeNodeAndEdgeTypes) {
+  EXPECT_EQ(programl::kNumNodeTypes, 3u);
+  EXPECT_EQ(programl::kNumEdgeTypes, 3u);
+  EXPECT_EQ(programl::node_type_name(programl::NodeType::Variable),
+            "variable");
+  EXPECT_EQ(programl::edge_type_name(programl::EdgeType::Call), "call");
+}
+
+TEST(Programl, BuildsNonEmptyGraphWithAllRelations) {
+  const auto pair = datasets::make_hypre();
+  const auto m = progmodel::lower(pair.ok);
+  const auto g = programl::build_graph(*m);
+  EXPECT_GT(g.num_nodes(), 50u);
+  EXPECT_FALSE(g.edges_of(programl::EdgeType::Control).empty());
+  EXPECT_FALSE(g.edges_of(programl::EdgeType::Data).empty());
+  // Hypre has user-defined callees: call edges exist.
+  EXPECT_FALSE(g.edges_of(programl::EdgeType::Call).empty());
+}
+
+TEST(Programl, CallNodesCarryCalleeIdentity) {
+  const auto ds = generate_mbi(tiny());
+  const auto m = progmodel::lower(ds.cases.front().program);
+  const auto g = programl::build_graph(*m);
+  bool has_mpi_call = false;
+  for (const auto& n : g.nodes) {
+    if (n.text.rfind("call:MPI_", 0) == 0) has_mpi_call = true;
+  }
+  EXPECT_TRUE(has_mpi_call);
+}
+
+TEST(Programl, TokensWithinVocab) {
+  const auto ds = generate_mbi(tiny());
+  const auto m = progmodel::lower(ds.cases.front().program);
+  const auto g = programl::build_graph(*m);
+  for (const auto& n : g.nodes) EXPECT_LT(n.token, programl::kVocabSize);
+}
+
+TEST(Programl, EdgeEndpointsValid) {
+  const auto ds = generate_mbi(tiny());
+  for (const auto& c : ds.cases) {
+    const auto m = progmodel::lower(c.program);
+    const auto g = programl::build_graph(*m);
+    for (std::size_t t = 0; t < programl::kNumEdgeTypes; ++t) {
+      for (const auto& e : g.edges[t]) {
+        EXPECT_LT(e.src, g.num_nodes());
+        EXPECT_LT(e.dst, g.num_nodes());
+      }
+    }
+  }
+}
+
+TEST(Programl, ConstantsAreSharedNodes) {
+  // Interned constants map to one node each: fewer constant nodes than
+  // constant uses.
+  const auto ds = generate_mbi(tiny());
+  const auto m = progmodel::lower(ds.cases.front().program);
+  const auto g = programl::build_graph(*m);
+  std::size_t const_nodes = 0;
+  for (const auto& n : g.nodes) {
+    const_nodes += (n.type == programl::NodeType::Constant);
+  }
+  EXPECT_GT(const_nodes, 0u);
+  EXPECT_LT(const_nodes, g.edges_of(programl::EdgeType::Data).size());
+}
+
+TEST(Programl, DotExportMentionsNodes) {
+  const auto ds = generate_mbi(tiny());
+  const auto m = progmodel::lower(ds.cases.front().program);
+  const auto g = programl::build_graph(*m);
+  const std::string dot = programl::to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("call:MPI_Init"), std::string::npos);
+}
+
+TEST(Programl, DeterministicForSameModule) {
+  const auto ds = generate_mbi(tiny());
+  const auto m = progmodel::lower(ds.cases.front().program);
+  const auto g1 = programl::build_graph(*m);
+  const auto g2 = programl::build_graph(*m);
+  ASSERT_EQ(g1.num_nodes(), g2.num_nodes());
+  for (std::size_t i = 0; i < g1.num_nodes(); ++i) {
+    EXPECT_EQ(g1.nodes[i].token, g2.nodes[i].token);
+  }
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+}
+
+}  // namespace
+}  // namespace mpidetect

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/cfg.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::ir {
+namespace {
+
+// Builds: define i32 @f(i32 a, i32 b) { return a + b; }
+std::unique_ptr<Module> make_add_module() {
+  auto m = std::make_unique<Module>("add");
+  Function* f = m->create_function("f", Type::I32, {Type::I32, Type::I32});
+  IRBuilder b(*m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* sum = b.add(f->arg(0), f->arg(1), "sum");
+  b.ret(sum);
+  return m;
+}
+
+// -------------------------------------------------------------- types
+TEST(Type, NamesMatchLlvmSpelling) {
+  EXPECT_EQ(type_name(Type::I32), "i32");
+  EXPECT_EQ(type_name(Type::F64), "double");
+  EXPECT_EQ(type_name(Type::Ptr), "ptr");
+  EXPECT_EQ(type_name(Type::Void), "void");
+}
+
+TEST(Type, Sizes) {
+  EXPECT_EQ(type_size(Type::I1), 1u);
+  EXPECT_EQ(type_size(Type::I32), 4u);
+  EXPECT_EQ(type_size(Type::I64), 8u);
+  EXPECT_EQ(type_size(Type::F64), 8u);
+  EXPECT_EQ(type_size(Type::Ptr), 8u);
+}
+
+TEST(Type, VoidHasNoSize) {
+  EXPECT_THROW(type_size(Type::Void), ContractViolation);
+}
+
+TEST(Type, Predicates) {
+  EXPECT_TRUE(is_integer(Type::I1));
+  EXPECT_TRUE(is_integer(Type::I64));
+  EXPECT_FALSE(is_integer(Type::F64));
+  EXPECT_TRUE(is_float(Type::F64));
+  EXPECT_FALSE(is_first_class(Type::Void));
+}
+
+// ------------------------------------------------------------- module
+TEST(Module, ConstantsAreInterned) {
+  Module m("t");
+  EXPECT_EQ(m.get_i32(5), m.get_i32(5));
+  EXPECT_NE(m.get_i32(5), m.get_i32(6));
+  EXPECT_NE(m.get_i32(5), static_cast<Value*>(m.get_i64(5)));
+  EXPECT_EQ(m.get_f64(1.5), m.get_f64(1.5));
+}
+
+TEST(Module, ValueIdsAreUnique) {
+  auto m = make_add_module();
+  const Function* f = m->find_function("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->arg(0)->id(), f->arg(1)->id());
+}
+
+TEST(Module, GetOrDeclareIsIdempotent) {
+  Module m("t");
+  Function* a = m.get_or_declare("MPI_Barrier", Type::I32, {Type::I32});
+  Function* b = m.get_or_declare("MPI_Barrier", Type::I32, {Type::I32});
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a->is_declaration());
+}
+
+TEST(Module, GetOrDeclareSignatureMismatchThrows) {
+  Module m("t");
+  m.get_or_declare("g", Type::I32, {Type::I32});
+  EXPECT_THROW(m.get_or_declare("g", Type::Void, {Type::I32}),
+               ContractViolation);
+}
+
+TEST(Module, DuplicateDefinitionRejected) {
+  Module m("t");
+  m.create_function("f", Type::Void, {});
+  EXPECT_THROW(m.create_function("f", Type::Void, {}), ContractViolation);
+}
+
+TEST(Module, InstructionCountSums) {
+  auto m = make_add_module();
+  EXPECT_EQ(m->instruction_count(), 2u);  // add + ret
+}
+
+// ------------------------------------------------------------- builder
+TEST(Builder, BinopTypeMismatchRejected) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I32, Type::I64});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  EXPECT_THROW(b.add(f->arg(0), f->arg(1)), ContractViolation);
+}
+
+TEST(Builder, FloatOpOnIntRejected) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I32, Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  EXPECT_THROW(b.fadd(f->arg(0), f->arg(1)), ContractViolation);
+}
+
+TEST(Builder, CallArityChecked) {
+  Module m("t");
+  Function* callee = m.get_or_declare("MPI_Send", Type::I32,
+                                      {Type::Ptr, Type::I32});
+  Function* f = m.create_function("f", Type::Void, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  EXPECT_THROW(b.call(callee, {m.get_i32(0)}), ContractViolation);
+}
+
+TEST(Builder, CallArgTypeChecked) {
+  Module m("t");
+  Function* callee = m.get_or_declare("g", Type::Void, {Type::I32});
+  Function* f = m.create_function("f", Type::Void, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  EXPECT_THROW(b.call(callee, {m.get_i64(0)}), ContractViolation);
+}
+
+TEST(Builder, VarargsAllowsExtraArguments) {
+  Module m("t");
+  Function* callee = m.get_or_declare("printf", Type::I32, {Type::Ptr}, true);
+  Function* f = m.create_function("f", Type::Void, {Type::Ptr});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  EXPECT_NO_THROW(b.call(callee, {f->arg(0), m.get_i32(1), m.get_i32(2)}));
+}
+
+TEST(Builder, AllocaLoadStoreRoundTripTypes) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* slot = b.alloca_(Type::F64, 4, "buf");
+  EXPECT_EQ(slot->type(), Type::Ptr);
+  EXPECT_EQ(slot->alloc_type(), Type::F64);
+  Instruction* ld = b.load(Type::F64, slot);
+  EXPECT_EQ(ld->type(), Type::F64);
+  EXPECT_NO_THROW(b.store(ld, slot));
+  EXPECT_THROW(b.load(Type::Void, slot), ContractViolation);
+}
+
+TEST(Builder, CondBrRequiresBoolCondition) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I32});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* t = f->create_block("t");
+  b.set_insert_point(e);
+  EXPECT_THROW(b.cond_br(f->arg(0), t, t), ContractViolation);
+}
+
+TEST(Builder, PhiIncomingTypeChecked) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  b.set_insert_point(e);
+  Instruction* p = b.phi(Type::I32);
+  EXPECT_THROW(IRBuilder::add_incoming(p, m.get_i64(0), e),
+               ContractViolation);
+  EXPECT_NO_THROW(IRBuilder::add_incoming(p, m.get_i32(0), e));
+}
+
+// -------------------------------------------------------------- blocks
+TEST(BasicBlock, TerminatorDetection) {
+  auto m = make_add_module();
+  const Function* f = m->find_function("f");
+  const BasicBlock* e = f->entry();
+  ASSERT_NE(e->terminator(), nullptr);
+  EXPECT_EQ(e->terminator()->opcode(), Opcode::Ret);
+}
+
+TEST(BasicBlock, SuccessorsOfCondBr) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I1});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* t = f->create_block("then");
+  BasicBlock* x = f->create_block("exit");
+  b.set_insert_point(e);
+  b.cond_br(f->arg(0), t, x);
+  b.set_insert_point(t);
+  b.br(x);
+  b.set_insert_point(x);
+  b.ret_void();
+  const auto succs = e->successors();
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_EQ(succs[0], t);
+  EXPECT_EQ(succs[1], x);
+  EXPECT_TRUE(x->successors().empty());
+}
+
+TEST(BasicBlock, TakeFrontBackPreserveOrder) {
+  auto m = make_add_module();
+  Function* f = m->find_function("f");
+  BasicBlock* e = f->entry();
+  auto front = e->take_front();
+  EXPECT_EQ(front->opcode(), Opcode::Add);
+  auto back = e->take_back();
+  EXPECT_EQ(back->opcode(), Opcode::Ret);
+  EXPECT_TRUE(e->empty());
+}
+
+// ----------------------------------------------------------------- cfg
+TEST(Cfg, RpoStartsAtEntryAndCoversReachable) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I1});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* t = f->create_block("then");
+  BasicBlock* x = f->create_block("exit");
+  BasicBlock* dead = f->create_block("dead");
+  b.set_insert_point(e);
+  b.cond_br(f->arg(0), t, x);
+  b.set_insert_point(t);
+  b.br(x);
+  b.set_insert_point(x);
+  b.ret_void();
+  b.set_insert_point(dead);
+  b.ret_void();
+
+  const auto rpo = reverse_post_order(*f);
+  ASSERT_EQ(rpo.size(), 3u);
+  EXPECT_EQ(rpo.front(), e);
+  EXPECT_FALSE(is_reachable(*f, dead));
+  EXPECT_TRUE(is_reachable(*f, x));
+}
+
+TEST(Cfg, PredecessorMap) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I1});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* t = f->create_block("then");
+  BasicBlock* x = f->create_block("exit");
+  b.set_insert_point(e);
+  b.cond_br(f->arg(0), t, x);
+  b.set_insert_point(t);
+  b.br(x);
+  b.set_insert_point(x);
+  b.ret_void();
+
+  const auto preds = predecessor_map(*f);
+  EXPECT_TRUE(preds.at(e).empty());
+  ASSERT_EQ(preds.at(x).size(), 2u);
+}
+
+// -------------------------------------------------------------- printer
+TEST(Printer, ContainsSignatureAndBody) {
+  auto m = make_add_module();
+  const std::string text = to_string(*m);
+  EXPECT_NE(text.find("define i32 @f(i32"), std::string::npos);
+  EXPECT_NE(text.find("add"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(Printer, DeclarationPrintedAsDeclare) {
+  Module m("t");
+  m.get_or_declare("MPI_Finalize", Type::I32, {});
+  EXPECT_NE(to_string(m).find("declare i32 @MPI_Finalize()"),
+            std::string::npos);
+}
+
+TEST(Printer, ConstantOperandSpelling) {
+  Module m("t");
+  EXPECT_EQ(operand_name(*m.get_i32(7)), "i32 7");
+  EXPECT_EQ(operand_name(*m.get_bool(true)), "i1 1");
+}
+
+// ------------------------------------------------------------- verifier
+TEST(Verifier, AcceptsWellFormedModule) {
+  auto m = make_add_module();
+  EXPECT_TRUE(verify(*m).empty());
+  EXPECT_NO_THROW(verify_or_throw(*m));
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I32, Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  b.add(f->arg(0), f->arg(1));
+  const auto diags = verify(m);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_NE(diags.front().find("terminator"), std::string::npos);
+  EXPECT_THROW(verify_or_throw(m), ContractViolation);
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  b.ret_void();
+  f->create_block("empty");
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsCrossFunctionOperand) {
+  Module m("t");
+  Function* g = m.create_function("g", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(g->create_block("entry"));
+  Instruction* v = b.add(g->arg(0), m.get_i32(1));
+  b.ret(v);
+
+  Function* f = m.create_function("f", Type::I32, {});
+  b.set_insert_point(f->create_block("entry"));
+  // Manually smuggle g's instruction in as an operand of f's ret.
+  Instruction* r = b.ret(m.get_i32(0));
+  r->set_operand(0, v);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsRetTypeMismatch) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* r = b.ret(m.get_i32(0));
+  r->set_operand(0, m.get_i64(0));
+  EXPECT_FALSE(verify(m).empty());
+}
+
+}  // namespace
+}  // namespace mpidetect::ir

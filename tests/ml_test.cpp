@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/mbi.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/genetic.hpp"
+#include "ml/gnn.hpp"
+#include "ml/kfold.hpp"
+#include "ml/metrics.hpp"
+#include "programl/graph.hpp"
+#include "progmodel/lower.hpp"
+
+namespace mpidetect::ml {
+namespace {
+
+// ------------------------------------------------------------ decision tree
+
+TEST(DecisionTree, GiniValues) {
+  const std::size_t pure[] = {4, 0};
+  const std::size_t even[] = {2, 2};
+  EXPECT_DOUBLE_EQ(gini(pure, 4), 0.0);
+  EXPECT_DOUBLE_EQ(gini(even, 4), 0.5);
+}
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> X;
+  std::vector<std::size_t> y;
+  for (int i = 0; i < 40; ++i) {
+    X.push_back({static_cast<double>(i), 0.0});
+    y.push_back(i < 20 ? 0 : 1);
+  }
+  DecisionTree dt;
+  dt.fit(X, y);
+  EXPECT_EQ(dt.predict(std::vector<double>{5.0, 0.0}), 0u);
+  EXPECT_EQ(dt.predict(std::vector<double>{35.0, 0.0}), 1u);
+  EXPECT_LE(dt.depth(), 2u);
+}
+
+TEST(DecisionTree, FitsTrainingSetPerfectlyAtFullDepth) {
+  Rng rng(3);
+  std::vector<std::vector<double>> X;
+  std::vector<std::size_t> y;
+  for (int i = 0; i < 100; ++i) {
+    X.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    y.push_back(rng.index(3));
+  }
+  DecisionTree dt;
+  dt.fit(X, y);
+  const auto pred = dt.predict(X);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) correct += (pred[i] == y[i]);
+  // Random continuous features: full-depth CART memorizes the data.
+  EXPECT_EQ(correct, y.size());
+}
+
+TEST(DecisionTree, MaxDepthLimitsTree) {
+  Rng rng(4);
+  std::vector<std::vector<double>> X;
+  std::vector<std::size_t> y;
+  for (int i = 0; i < 200; ++i) {
+    X.push_back({rng.uniform()});
+    y.push_back(rng.index(2));
+  }
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTree dt(cfg);
+  dt.fit(X, y);
+  EXPECT_LE(dt.depth(), 3u);
+}
+
+TEST(DecisionTree, FeatureSubsetRestrictsSplits) {
+  // Feature 0 perfectly separates; feature 1 is noise. Restricting to
+  // feature 1 must hurt training accuracy.
+  Rng rng(5);
+  std::vector<std::vector<double>> X;
+  std::vector<std::size_t> y;
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t label = rng.index(2);
+    X.push_back({static_cast<double>(label), 0.0});
+    y.push_back(label);
+  }
+  DecisionTreeConfig cfg;
+  cfg.feature_subset = std::vector<std::size_t>{1};
+  DecisionTree dt(cfg);
+  dt.fit(X, y);
+  // Only constant feature available: tree is a single leaf.
+  EXPECT_EQ(dt.node_count(), 1u);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree dt;
+  EXPECT_THROW(dt.predict(std::vector<double>{1.0}), ContractViolation);
+}
+
+// ---------------------------------------------------------------------- GA
+
+TEST(Ga, FindsInformativeFeatures) {
+  // Fitness rewards subsets containing feature 7.
+  GaConfig cfg;
+  cfg.population = 60;
+  cfg.generations = 10;
+  cfg.seed = 9;
+  cfg.threads = 2;
+  const auto res = select_features(
+      32,
+      [](const std::vector<std::size_t>& f) {
+        for (const auto x : f) {
+          if (x == 7) return 1.0;
+        }
+        return 0.1;
+      },
+      cfg);
+  EXPECT_DOUBLE_EQ(res.best_fitness, 1.0);
+  EXPECT_NE(std::find(res.best_features.begin(), res.best_features.end(), 7u),
+            res.best_features.end());
+}
+
+TEST(Ga, ConvergenceCurveIsMonotoneWithElitism) {
+  GaConfig cfg;
+  cfg.population = 40;
+  cfg.generations = 8;
+  cfg.seed = 11;
+  cfg.threads = 2;
+  const auto res = select_features(
+      16,
+      [](const std::vector<std::size_t>& f) {
+        double s = 0;
+        for (const auto x : f) s += static_cast<double>(x);
+        return s;  // maximize sum of indices
+      },
+      cfg);
+  for (std::size_t g = 1; g < res.best_per_generation.size(); ++g) {
+    EXPECT_GE(res.best_per_generation[g] + 1e-12,
+              res.best_per_generation[g - 1]);
+  }
+}
+
+TEST(Ga, DeterministicForSeed) {
+  GaConfig cfg;
+  cfg.population = 30;
+  cfg.generations = 5;
+  cfg.seed = 13;
+  cfg.threads = 2;
+  const auto fitness = [](const std::vector<std::size_t>& f) {
+    return static_cast<double>(f.front() % 5);
+  };
+  const auto a = select_features(64, fitness, cfg);
+  const auto b = select_features(64, fitness, cfg);
+  EXPECT_EQ(a.best_features, b.best_features);
+  EXPECT_EQ(a.best_fitness, b.best_fitness);
+}
+
+TEST(Ga, IndividualsHaveConfiguredGeneCount) {
+  GaConfig cfg;
+  cfg.population = 20;
+  cfg.generations = 2;
+  cfg.genes = 5;
+  cfg.threads = 1;
+  const auto res = select_features(
+      512, [](const std::vector<std::size_t>&) { return 0.5; }, cfg);
+  EXPECT_LE(res.best_features.size(), 5u);  // duplicates collapse
+  EXPECT_GE(res.best_features.size(), 1u);
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Metrics, MatchesPaperItacRow) {
+  // Table III, ITAC: TP=859 TN=738 FP=4 FN=102 TO=157 RE=1.
+  Confusion c;
+  c.tp = 859;
+  c.tn = 738;
+  c.fp = 4;
+  c.fn = 102;
+  c.to = 157;
+  c.re = 1;
+  EXPECT_NEAR(c.recall(), 0.894, 1e-3);
+  EXPECT_NEAR(c.precision(), 0.995, 1e-3);
+  EXPECT_NEAR(c.f1(), 0.942, 1e-3);
+  EXPECT_NEAR(c.coverage(), 1.0, 1e-12);
+  EXPECT_NEAR(c.conclusiveness(), 0.915, 1e-3);
+  EXPECT_NEAR(c.specificity(), 0.995, 1e-3);
+  EXPECT_NEAR(c.overall_accuracy(), 0.858, 1e-3);
+}
+
+TEST(Metrics, MatchesPaperParcoachRow) {
+  // Table III, PARCOACH: TP=775 TN=66 FP=679 FN=341.
+  Confusion c;
+  c.tp = 775;
+  c.tn = 66;
+  c.fp = 679;
+  c.fn = 341;
+  EXPECT_NEAR(c.recall(), 0.694, 1e-3);
+  EXPECT_NEAR(c.precision(), 0.533, 1e-3);
+  EXPECT_NEAR(c.f1(), 0.603, 1e-3);
+  EXPECT_NEAR(c.specificity(), 0.088, 1e-2);
+  EXPECT_NEAR(c.overall_accuracy(), 0.452, 1e-3);
+  EXPECT_NEAR(c.conclusiveness(), 1.0, 1e-12);
+}
+
+TEST(Metrics, IdealTool) {
+  Confusion c;
+  c.tp = 1116;
+  c.tn = 745;
+  EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(c.overall_accuracy(), 1.0);
+}
+
+TEST(Metrics, AddRoutesToRightCell) {
+  Confusion c;
+  c.add(true, true);    // tp
+  c.add(true, false);   // fn
+  c.add(false, true);   // fp
+  c.add(false, false);  // tn
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+}
+
+TEST(Metrics, AccumulateAcrossFolds) {
+  Confusion a, b;
+  a.tp = 10;
+  b.tp = 5;
+  b.to = 2;
+  a += b;
+  EXPECT_EQ(a.tp, 15u);
+  EXPECT_EQ(a.to, 2u);
+}
+
+TEST(Metrics, EmptyConfusionIsSafe) {
+  const Confusion c;
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+// -------------------------------------------------------------------- kfold
+
+TEST(Kfold, FoldsPartitionAllIndices) {
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 103; ++i) labels.push_back(i % 3);
+  const auto folds = stratified_kfold(labels, 10, 1);
+  ASSERT_EQ(folds.size(), 10u);
+  std::set<std::size_t> seen;
+  for (const auto& f : folds) {
+    for (const auto i : f) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), labels.size());
+}
+
+TEST(Kfold, StratificationPreservesClassBalance) {
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 200; ++i) labels.push_back(i < 180 ? 0 : 1);
+  const auto folds = stratified_kfold(labels, 10, 2);
+  for (const auto& f : folds) {
+    std::size_t minority = 0;
+    for (const auto i : f) minority += (labels[i] == 1);
+    // 20 minority samples over 10 folds -> exactly 2 each.
+    EXPECT_EQ(minority, 2u);
+  }
+}
+
+TEST(Kfold, ComplementCoversRest) {
+  std::vector<std::size_t> labels(20, 0);
+  const auto folds = stratified_kfold(labels, 4, 3);
+  const auto train = fold_complement(folds[0], labels.size());
+  EXPECT_EQ(train.size(), labels.size() - folds[0].size());
+}
+
+TEST(Kfold, DeterministicForSeed) {
+  std::vector<std::size_t> labels(50, 0);
+  for (std::size_t i = 0; i < 50; i += 3) labels[i] = 1;
+  EXPECT_EQ(stratified_kfold(labels, 5, 7), stratified_kfold(labels, 5, 7));
+  EXPECT_NE(stratified_kfold(labels, 5, 7), stratified_kfold(labels, 5, 8));
+}
+
+// ---------------------------------------------------------------------- GNN
+
+programl::ProgramGraph tiny_graph(std::uint32_t token_a,
+                                  std::uint32_t token_b) {
+  programl::ProgramGraph g;
+  g.nodes.push_back({programl::NodeType::Control, token_a, "a"});
+  g.nodes.push_back({programl::NodeType::Control, token_b, "b"});
+  g.nodes.push_back({programl::NodeType::Variable, 3, "v"});
+  g.edges[0].push_back({0, 1});
+  g.edges[1].push_back({2, 0});
+  g.edges[1].push_back({2, 1});
+  return g;
+}
+
+GnnConfig tiny_gnn_config() {
+  GnnConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.layers = {16, 8};
+  cfg.fc_hidden = 8;
+  cfg.classes = 2;
+  cfg.epochs = 30;
+  cfg.lr = 0.01;
+  return cfg;
+}
+
+TEST(Gnn, ForwardShapeAndDeterminism) {
+  GnnModel model(tiny_gnn_config());
+  const auto g = tiny_graph(1, 2);
+  const auto l1 = model.forward(g);
+  const auto l2 = model.forward(g);
+  EXPECT_EQ(l1->value.rows(), 1u);
+  EXPECT_EQ(l1->value.cols(), 2u);
+  EXPECT_EQ(l1->value.data(), l2->value.data());
+}
+
+TEST(Gnn, PaperArchitectureDimensions) {
+  GnnConfig cfg;
+  cfg.classes = 10;
+  GnnModel model(cfg);
+  EXPECT_EQ(cfg.layers, (std::vector<std::size_t>{128, 64, 32}));
+  EXPECT_DOUBLE_EQ(cfg.lr, 4e-4);
+  EXPECT_EQ(cfg.epochs, 10);
+  EXPECT_GT(model.parameter_count(), 10000u);
+}
+
+TEST(Gnn, LossDecreasesOnSingleExample) {
+  GnnModel model(tiny_gnn_config());
+  const auto g = tiny_graph(1, 2);
+  const double first = model.train_step(g, 0);
+  double last = first;
+  for (int i = 0; i < 40; ++i) last = model.train_step(g, 0);
+  EXPECT_LT(last, first);
+}
+
+TEST(Gnn, LearnsToSeparateTokenPatterns) {
+  // Two synthetic "program families" distinguished by node tokens.
+  GnnModel model(tiny_gnn_config());
+  std::vector<programl::ProgramGraph> graphs;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 8; ++i) {
+    graphs.push_back(tiny_graph(10, 11));
+    labels.push_back(0);
+    graphs.push_back(tiny_graph(20, 21));
+    labels.push_back(1);
+  }
+  model.fit(graphs, labels);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    correct += (model.predict(graphs[i]) == labels[i]);
+  }
+  EXPECT_EQ(correct, graphs.size());
+}
+
+TEST(Gnn, ProbabilitiesSumToOne) {
+  GnnModel model(tiny_gnn_config());
+  const auto p = model.predict_proba(tiny_graph(1, 2));
+  double sum = 0;
+  for (const double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Gnn, HandlesGraphWithNoEdgesOfSomeRelation) {
+  GnnModel model(tiny_gnn_config());
+  programl::ProgramGraph g;
+  g.nodes.push_back({programl::NodeType::Control, 1, "only"});
+  // No edges at all: self path must still produce logits.
+  EXPECT_NO_THROW(model.forward(g));
+}
+
+TEST(Gnn, TrainsOnRealProgramGraphs) {
+  datasets::MbiConfig cfg;
+  cfg.scale = 0.01;
+  const auto ds = datasets::generate_mbi(cfg);
+  std::vector<programl::ProgramGraph> graphs;
+  std::vector<std::size_t> labels;
+  for (const auto& c : ds.cases) {
+    graphs.push_back(programl::build_graph(*progmodel::lower(c.program)));
+    labels.push_back(c.incorrect ? 1 : 0);
+  }
+  GnnConfig gcfg = tiny_gnn_config();
+  gcfg.epochs = 3;
+  GnnModel model(gcfg);
+  EXPECT_NO_THROW(model.fit(graphs, labels));
+  // Predictions are valid class ids.
+  for (const auto& g : graphs) EXPECT_LT(model.predict(g), 2u);
+}
+
+}  // namespace
+}  // namespace mpidetect::ml

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "mpi/api.hpp"
+#include "mpi/errors.hpp"
+
+namespace mpidetect::mpi {
+namespace {
+
+TEST(Api, NamesMatchMpiSpelling) {
+  EXPECT_EQ(func_name(Func::Send), "MPI_Send");
+  EXPECT_EQ(func_name(Func::CommRank), "MPI_Comm_rank");
+  EXPECT_EQ(func_name(Func::TypeContiguous), "MPI_Type_contiguous");
+  EXPECT_EQ(func_name(Func::WinFence), "MPI_Win_fence");
+}
+
+TEST(Api, NameRoundTrip) {
+  for (std::size_t i = 0; i < kNumFuncs; ++i) {
+    const Func f = static_cast<Func>(i);
+    const auto back = func_from_name(func_name(f));
+    ASSERT_TRUE(back.has_value()) << func_name(f);
+    EXPECT_EQ(*back, f);
+  }
+}
+
+TEST(Api, NonMpiNamesRejected) {
+  EXPECT_FALSE(func_from_name("printf").has_value());
+  EXPECT_FALSE(func_from_name("MPI_NoSuchThing").has_value());
+}
+
+TEST(Api, BuiltinDatatypeSizes) {
+  EXPECT_EQ(builtin_datatype_size(static_cast<std::int32_t>(Datatype::Int)),
+            4u);
+  EXPECT_EQ(
+      builtin_datatype_size(static_cast<std::int32_t>(Datatype::Double)), 8u);
+  EXPECT_EQ(builtin_datatype_size(static_cast<std::int32_t>(Datatype::Char)),
+            1u);
+  EXPECT_FALSE(builtin_datatype_size(0).has_value());
+  EXPECT_FALSE(builtin_datatype_size(999).has_value());
+}
+
+TEST(Api, ReduceOpValidity) {
+  EXPECT_TRUE(is_valid_reduce_op(static_cast<std::int32_t>(ReduceOp::Sum)));
+  EXPECT_TRUE(is_valid_reduce_op(static_cast<std::int32_t>(ReduceOp::Prod)));
+  EXPECT_FALSE(is_valid_reduce_op(0));
+  EXPECT_FALSE(is_valid_reduce_op(77));
+}
+
+TEST(Api, SignatureShapes) {
+  EXPECT_EQ(signature(Func::Send).params.size(), 6u);
+  EXPECT_EQ(signature(Func::Recv).params.size(), 7u);
+  EXPECT_EQ(signature(Func::Isend).params.size(), 7u);
+  EXPECT_EQ(signature(Func::Barrier).params.size(), 1u);
+  EXPECT_EQ(signature(Func::Init).params.size(), 0u);
+  EXPECT_EQ(signature(Func::Accumulate).params.size(), 9u);
+}
+
+TEST(Api, SignatureRoles) {
+  const auto& send = signature(Func::Send);
+  EXPECT_EQ(send.params[0].role, ArgRole::Buffer);
+  EXPECT_EQ(send.params[3].role, ArgRole::DestRank);
+  EXPECT_EQ(send.params[5].role, ArgRole::Comm);
+  const auto& recv = signature(Func::Recv);
+  EXPECT_EQ(recv.params[0].role, ArgRole::RecvBuffer);
+  EXPECT_EQ(recv.params[3].role, ArgRole::SrcRank);
+  EXPECT_EQ(recv.params[6].role, ArgRole::StatusOut);
+}
+
+TEST(Api, ArgRoleTypes) {
+  EXPECT_EQ(arg_role_type(ArgRole::Buffer), ir::Type::Ptr);
+  EXPECT_EQ(arg_role_type(ArgRole::Count), ir::Type::I32);
+  EXPECT_EQ(arg_role_type(ArgRole::TargetDisp), ir::Type::I64);
+  EXPECT_EQ(arg_role_type(ArgRole::RequestOut), ir::Type::Ptr);
+}
+
+TEST(Api, CollectiveClassification) {
+  EXPECT_TRUE(is_collective(Func::Barrier));
+  EXPECT_TRUE(is_collective(Func::Allreduce));
+  EXPECT_TRUE(is_collective(Func::WinFence));
+  EXPECT_FALSE(is_collective(Func::Send));
+  EXPECT_FALSE(is_collective(Func::Wait));
+}
+
+TEST(Api, BlockingAndRequestClassification) {
+  EXPECT_TRUE(is_blocking_p2p(Func::Recv));
+  EXPECT_FALSE(is_blocking_p2p(Func::Irecv));
+  EXPECT_TRUE(starts_request(Func::Isend));
+  EXPECT_TRUE(starts_request(Func::Start));
+  EXPECT_FALSE(starts_request(Func::Wait));
+}
+
+TEST(Api, DeclareCreatesMatchingExtern) {
+  ir::Module m("t");
+  ir::Function* f = declare(m, Func::Send);
+  EXPECT_TRUE(f->is_declaration());
+  EXPECT_EQ(f->name(), "MPI_Send");
+  EXPECT_EQ(f->num_args(), 6u);
+  EXPECT_EQ(f->arg(0)->type(), ir::Type::Ptr);
+  EXPECT_EQ(f->arg(1)->type(), ir::Type::I32);
+  // Idempotent.
+  EXPECT_EQ(declare(m, Func::Send), f);
+}
+
+TEST(Api, ClassifyCall) {
+  ir::Module m("t");
+  ir::Function* send = declare(m, Func::Send);
+  ir::Function* other = m.get_or_declare("helper", ir::Type::Void, {});
+  ir::Function* fn = m.create_function("main", ir::Type::I32, {});
+  ir::IRBuilder b(m);
+  b.set_insert_point(fn->create_block("entry"));
+  ir::Instruction* buf = b.alloca_(ir::Type::I32, 4);
+  ir::Instruction* call = b.call(
+      send, {buf, m.get_i32(4), m.get_i32(1), m.get_i32(0), m.get_i32(0),
+             m.get_i32(kCommWorld)});
+  ir::Instruction* call2 = b.call(other, {});
+  b.ret(m.get_i32(0));
+  EXPECT_EQ(classify_call(*call), Func::Send);
+  EXPECT_FALSE(classify_call(*call2).has_value());
+  EXPECT_FALSE(classify_call(*buf).has_value());
+}
+
+TEST(Errors, MbiLabelNames) {
+  EXPECT_EQ(mbi_label_name(MbiLabel::CallOrdering), "Call Ordering");
+  EXPECT_EQ(mbi_label_name(MbiLabel::ResourceLeak), "Resource Leak");
+  EXPECT_EQ(mbi_label_name(MbiLabel::Correct), "Correct");
+}
+
+TEST(Errors, CorrLabelNames) {
+  EXPECT_EQ(corr_label_name(CorrLabel::ArgError), "ArgError");
+  EXPECT_EQ(corr_label_name(CorrLabel::MissplacedCall), "MissplacedCall");
+}
+
+TEST(Errors, ErrorLabelListsExcludeCorrect) {
+  EXPECT_EQ(mbi_error_labels().size(), kNumMbiLabels - 1);
+  EXPECT_EQ(corr_error_labels().size(), kNumCorrLabels - 1);
+  for (const auto l : mbi_error_labels()) EXPECT_TRUE(is_incorrect(l));
+  for (const auto l : corr_error_labels()) EXPECT_TRUE(is_incorrect(l));
+  EXPECT_FALSE(is_incorrect(MbiLabel::Correct));
+  EXPECT_FALSE(is_incorrect(CorrLabel::Correct));
+}
+
+}  // namespace
+}  // namespace mpidetect::mpi

@@ -1,0 +1,524 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/cfg.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "passes/constant_fold.hpp"
+#include "passes/dce.hpp"
+#include "passes/inliner.hpp"
+#include "passes/instcombine.hpp"
+#include "passes/mem2reg.hpp"
+#include "passes/pipelines.hpp"
+#include "passes/simplify_cfg.hpp"
+
+namespace mpidetect::passes {
+namespace {
+
+using namespace mpidetect::ir;
+
+// ------------------------------------------------------------ utilities
+TEST(PassUtils, UseCountsSeeEveryOperandSlot) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* doubled = b.add(f->arg(0), f->arg(0));
+  b.ret(doubled);
+  const auto uses = use_counts(*f);
+  EXPECT_EQ(uses.at(f->arg(0)), 2u);
+  EXPECT_EQ(uses.at(doubled), 1u);
+}
+
+TEST(PassUtils, ReplaceAllUsesRewritesOperands) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* v = b.add(f->arg(0), m.get_i32(0));
+  Instruction* r = b.ret(v);
+  replace_all_uses(*f, v, f->arg(0));
+  EXPECT_EQ(r->operand(0), f->arg(0));
+}
+
+TEST(PassUtils, SideEffectClassification) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* slot = b.alloca_(Type::I32, 1);
+  Instruction* st = b.store(f->arg(0), slot);
+  Instruction* add = b.add(f->arg(0), f->arg(0));
+  Instruction* r = b.ret_void();
+  EXPECT_FALSE(has_side_effects(*slot));
+  EXPECT_TRUE(has_side_effects(*st));
+  EXPECT_FALSE(has_side_effects(*add));
+  EXPECT_TRUE(has_side_effects(*r));
+}
+
+// --------------------------------------------------------- constant fold
+TEST(ConstantFold, FoldsIntegerArithmetic) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* v = b.add(m.get_i32(2), m.get_i32(3));
+  Instruction* r = b.ret(v);
+  ConstantFold pass;
+  EXPECT_TRUE(pass.run(*f));
+  ASSERT_EQ(r->operand(0)->kind(), ValueKind::ConstantInt);
+  EXPECT_EQ(static_cast<const ConstantInt*>(r->operand(0))->value(), 5);
+}
+
+TEST(ConstantFold, PreservesDivisionByZero) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* v = b.sdiv(m.get_i32(2), m.get_i32(0));
+  b.ret(v);
+  ConstantFold pass;
+  EXPECT_FALSE(pass.run(*f));
+}
+
+TEST(ConstantFold, FoldsComparisonsAndSelect) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32, Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* c = b.icmp(CmpPred::SLT, m.get_i32(1), m.get_i32(2));
+  Instruction* s = b.select(c, f->arg(0), f->arg(1));
+  Instruction* r = b.ret(s);
+  ConstantFold pass;
+  pass.run(*f);
+  pass.run(*f);  // second sweep folds select once the cond is a constant
+  EXPECT_EQ(r->operand(0), f->arg(0));
+}
+
+TEST(ConstantFold, FoldsCasts) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I64, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* v = b.cast(Opcode::SExt, m.get_i32(-7), Type::I64);
+  Instruction* r = b.ret(v);
+  ConstantFold pass;
+  EXPECT_TRUE(pass.run(*f));
+  EXPECT_EQ(static_cast<const ConstantInt*>(r->operand(0))->value(), -7);
+}
+
+TEST(ConstantFold, TruncWrapsToI32) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* v =
+      b.cast(Opcode::Trunc, m.get_i64((1LL << 32) + 5), Type::I32);
+  Instruction* r = b.ret(v);
+  ConstantFold().run(*f);
+  EXPECT_EQ(static_cast<const ConstantInt*>(r->operand(0))->value(), 5);
+}
+
+TEST(ConstantFold, FoldsFloatArithmetic) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::F64, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* v = b.fmul(m.get_f64(2.0), m.get_f64(0.5));
+  Instruction* r = b.ret(v);
+  ConstantFold().run(*f);
+  ASSERT_EQ(r->operand(0)->kind(), ValueKind::ConstantFP);
+  EXPECT_DOUBLE_EQ(static_cast<const ConstantFP*>(r->operand(0))->value(),
+                   1.0);
+}
+
+// ------------------------------------------------------------------ dce
+TEST(Dce, RemovesUnusedPureInstructions) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  b.add(f->arg(0), m.get_i32(1));           // dead
+  Instruction* chain = b.mul(f->arg(0), m.get_i32(2));  // dead via chain
+  b.add(chain, m.get_i32(3));               // dead, uses chain
+  b.ret_void();
+  DeadCodeElim pass;
+  EXPECT_TRUE(pass.run(*f));
+  EXPECT_EQ(f->instruction_count(), 1u);  // only ret remains
+}
+
+TEST(Dce, KeepsSideEffectsAndLiveValues) {
+  Module m("t");
+  Function* callee = m.get_or_declare("MPI_Barrier", Type::I32, {Type::I32});
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  b.call(callee, {m.get_i32(0)});
+  Instruction* live = b.add(f->arg(0), m.get_i32(1));
+  b.ret(live);
+  DeadCodeElim pass;
+  EXPECT_FALSE(pass.run(*f));
+  EXPECT_EQ(f->instruction_count(), 3u);
+}
+
+// ---------------------------------------------------------- instcombine
+TEST(InstCombine, AddZeroIdentity) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* v = b.add(f->arg(0), m.get_i32(0));
+  Instruction* r = b.ret(v);
+  InstCombine pass;
+  EXPECT_TRUE(pass.run(*f));
+  EXPECT_EQ(r->operand(0), f->arg(0));
+}
+
+TEST(InstCombine, SubSelfIsZero) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* v = b.sub(f->arg(0), f->arg(0));
+  Instruction* r = b.ret(v);
+  InstCombine().run(*f);
+  ASSERT_EQ(r->operand(0)->kind(), ValueKind::ConstantInt);
+  EXPECT_EQ(static_cast<const ConstantInt*>(r->operand(0))->value(), 0);
+}
+
+TEST(InstCombine, MulByZeroAndOne) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* one = b.mul(f->arg(0), m.get_i32(1));
+  Instruction* zero = b.mul(f->arg(0), m.get_i32(0));
+  Instruction* v = b.add(one, zero);
+  Instruction* r = b.ret(v);
+  InstCombine pass;
+  pass.run(*f);
+  pass.run(*f);
+  EXPECT_EQ(r->operand(0), f->arg(0));
+}
+
+TEST(InstCombine, IcmpSelfByPredicate) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I1, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* eq = b.icmp(CmpPred::EQ, f->arg(0), f->arg(0));
+  Instruction* r = b.ret(eq);
+  InstCombine().run(*f);
+  ASSERT_EQ(r->operand(0)->kind(), ValueKind::ConstantInt);
+  EXPECT_EQ(static_cast<const ConstantInt*>(r->operand(0))->value(), 1);
+}
+
+TEST(InstCombine, SingleValuePhiCollapses) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I1, Type::I32});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* t = f->create_block("t");
+  BasicBlock* j = f->create_block("j");
+  b.set_insert_point(e);
+  b.cond_br(f->arg(0), t, j);
+  b.set_insert_point(t);
+  b.br(j);
+  b.set_insert_point(j);
+  Instruction* p = b.phi(Type::I32);
+  IRBuilder::add_incoming(p, f->arg(1), e);
+  IRBuilder::add_incoming(p, f->arg(1), t);
+  Instruction* r = b.ret(p);
+  InstCombine().run(*f);
+  EXPECT_EQ(r->operand(0), f->arg(1));
+}
+
+// ----------------------------------------------------------- simplifycfg
+TEST(SimplifyCfg, FoldsConstantCondBr) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* t = f->create_block("t");
+  BasicBlock* x = f->create_block("x");
+  b.set_insert_point(e);
+  b.cond_br(m.get_bool(true), t, x);
+  b.set_insert_point(t);
+  b.ret(m.get_i32(1));
+  b.set_insert_point(x);
+  b.ret(m.get_i32(2));
+  SimplifyCFG pass;
+  EXPECT_TRUE(pass.run(*f));
+  EXPECT_TRUE(verify(*f).empty());
+  // After folding + unreachable removal + merging, one block remains.
+  EXPECT_EQ(f->num_blocks(), 1u);
+  EXPECT_EQ(f->entry()->terminator()->opcode(), Opcode::Ret);
+}
+
+TEST(SimplifyCfg, RemovesUnreachableBlockAndFixesPhis) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I1, Type::I32});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* dead = f->create_block("dead");
+  BasicBlock* j = f->create_block("join");
+  b.set_insert_point(e);
+  b.br(j);
+  b.set_insert_point(dead);
+  b.br(j);
+  b.set_insert_point(j);
+  Instruction* p = b.phi(Type::I32);
+  IRBuilder::add_incoming(p, f->arg(1), e);
+  IRBuilder::add_incoming(p, m.get_i32(99), dead);
+  b.ret(p);
+  SimplifyCFG().run(*f);
+  EXPECT_TRUE(verify(*f).empty());
+  for (const auto& bb : f->blocks()) EXPECT_NE(bb->name(), "dead");
+}
+
+TEST(SimplifyCfg, MergesStraightLineBlocks) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* nxt = f->create_block("next");
+  b.set_insert_point(e);
+  b.br(nxt);
+  b.set_insert_point(nxt);
+  Instruction* v = b.add(f->arg(0), m.get_i32(1));
+  b.ret(v);
+  SimplifyCFG().run(*f);
+  EXPECT_EQ(f->num_blocks(), 1u);
+  EXPECT_TRUE(verify(*f).empty());
+}
+
+// --------------------------------------------------------------- mem2reg
+TEST(Mem2Reg, PromotableDetection) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::Void, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* scalar = b.alloca_(Type::I32, 1);
+  Instruction* array = b.alloca_(Type::I32, 8);
+  Instruction* escaping = b.alloca_(Type::I32, 1);
+  b.store(f->arg(0), scalar);
+  b.store(f->arg(0), array);
+  Function* sink = m.get_or_declare("sink", Type::Void, {Type::Ptr});
+  b.call(sink, {escaping});
+  b.ret_void();
+  EXPECT_TRUE(is_promotable(*f, *scalar));
+  EXPECT_FALSE(is_promotable(*f, *array));
+  EXPECT_FALSE(is_promotable(*f, *escaping));
+}
+
+TEST(Mem2Reg, StraightLineStoreLoadForwarding) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* slot = b.alloca_(Type::I32, 1, "x");
+  b.store(f->arg(0), slot);
+  Instruction* ld = b.load(Type::I32, slot);
+  Instruction* r = b.ret(ld);
+  Mem2Reg().run(*f);
+  EXPECT_TRUE(verify(*f).empty());
+  EXPECT_EQ(r->operand(0), f->arg(0));
+  for (const auto& inst : f->entry()->instructions()) {
+    EXPECT_NE(inst->opcode(), Opcode::Alloca);
+    EXPECT_NE(inst->opcode(), Opcode::Store);
+  }
+}
+
+TEST(Mem2Reg, DiamondGetsPhi) {
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I1});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* t = f->create_block("then");
+  BasicBlock* el = f->create_block("else");
+  BasicBlock* j = f->create_block("join");
+  b.set_insert_point(e);
+  Instruction* slot = b.alloca_(Type::I32, 1, "x");
+  b.cond_br(f->arg(0), t, el);
+  b.set_insert_point(t);
+  b.store(m.get_i32(10), slot);
+  b.br(j);
+  b.set_insert_point(el);
+  b.store(m.get_i32(20), slot);
+  b.br(j);
+  b.set_insert_point(j);
+  Instruction* ld = b.load(Type::I32, slot);
+  b.ret(ld);
+  Mem2Reg().run(*f);
+  EXPECT_TRUE(verify(*f).empty());
+  // join block must now begin with a phi over 10/20.
+  const Instruction* first = f->blocks().back()->instructions().front().get();
+  ASSERT_EQ(first->opcode(), Opcode::Phi);
+  EXPECT_EQ(first->num_operands(), 2u);
+}
+
+TEST(Mem2Reg, LoopCarriedVariable) {
+  // i = 0; while (i < n) i = i + 1; return i;
+  Module m("t");
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* hdr = f->create_block("header");
+  BasicBlock* body = f->create_block("body");
+  BasicBlock* exit = f->create_block("exit");
+  b.set_insert_point(e);
+  Instruction* slot = b.alloca_(Type::I32, 1, "i");
+  b.store(m.get_i32(0), slot);
+  b.br(hdr);
+  b.set_insert_point(hdr);
+  Instruction* i1 = b.load(Type::I32, slot);
+  Instruction* cmp = b.icmp(CmpPred::SLT, i1, f->arg(0));
+  b.cond_br(cmp, body, exit);
+  b.set_insert_point(body);
+  Instruction* i2 = b.load(Type::I32, slot);
+  Instruction* inc = b.add(i2, m.get_i32(1));
+  b.store(inc, slot);
+  b.br(hdr);
+  b.set_insert_point(exit);
+  Instruction* i3 = b.load(Type::I32, slot);
+  b.ret(i3);
+
+  Mem2Reg().run(*f);
+  EXPECT_TRUE(verify(*f).empty());
+  // No loads/stores/allocas remain.
+  for (const auto& bb : f->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      EXPECT_NE(inst->opcode(), Opcode::Load);
+      EXPECT_NE(inst->opcode(), Opcode::Store);
+      EXPECT_NE(inst->opcode(), Opcode::Alloca);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- inliner
+TEST(Inliner, InlinesSmallCallee) {
+  Module m("t");
+  Function* g = m.create_function("g", Type::I32, {Type::I32});
+  IRBuilder b(m);
+  b.set_insert_point(g->create_block("entry"));
+  Instruction* doubled = b.add(g->arg(0), g->arg(0));
+  b.ret(doubled);
+
+  Function* f = m.create_function("f", Type::I32, {Type::I32});
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* c = b.call(g, {f->arg(0)}, "r");
+  b.ret(c);
+
+  Inliner().run(*f);
+  EXPECT_TRUE(verify(*f).empty());
+  for (const auto& bb : f->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      EXPECT_NE(inst->opcode(), Opcode::Call);
+    }
+  }
+}
+
+TEST(Inliner, SkipsDeclarationsAndBigCallees) {
+  Module m("t");
+  Function* decl = m.get_or_declare("MPI_Barrier", Type::I32, {Type::I32});
+  Function* f = m.create_function("f", Type::Void, {});
+  IRBuilder b(m);
+  b.set_insert_point(f->create_block("entry"));
+  b.call(decl, {m.get_i32(0)});
+  b.ret_void();
+  EXPECT_FALSE(Inliner().run(*f));
+}
+
+TEST(Inliner, MultiReturnCalleeGetsMergePhi) {
+  Module m("t");
+  Function* g = m.create_function("g", Type::I32, {Type::I1});
+  IRBuilder b(m);
+  BasicBlock* ge = g->create_block("entry");
+  BasicBlock* gt = g->create_block("t");
+  BasicBlock* gf = g->create_block("f");
+  b.set_insert_point(ge);
+  b.cond_br(g->arg(0), gt, gf);
+  b.set_insert_point(gt);
+  b.ret(m.get_i32(1));
+  b.set_insert_point(gf);
+  b.ret(m.get_i32(2));
+
+  Function* f = m.create_function("f", Type::I32, {Type::I1});
+  b.set_insert_point(f->create_block("entry"));
+  Instruction* c = b.call(g, {f->arg(0)}, "r");
+  b.ret(c);
+
+  Inliner().run(*f);
+  EXPECT_TRUE(verify(*f).empty());
+  bool has_phi = false;
+  for (const auto& bb : f->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::Phi) has_phi = true;
+    }
+  }
+  EXPECT_TRUE(has_phi);
+}
+
+// --------------------------------------------------------------- pipelines
+TEST(Pipelines, NamesMatchPaperSpelling) {
+  EXPECT_EQ(opt_level_name(OptLevel::O0), "-O0");
+  EXPECT_EQ(opt_level_name(OptLevel::O2), "-O2");
+  EXPECT_EQ(opt_level_name(OptLevel::Os), "-Os");
+}
+
+std::unique_ptr<Module> make_pipeline_input() {
+  auto m = std::make_unique<Module>("p");
+  Function* f = m->create_function("f", Type::I32, {Type::I32});
+  IRBuilder b(*m);
+  BasicBlock* e = f->create_block("entry");
+  BasicBlock* t = f->create_block("t");
+  BasicBlock* x = f->create_block("x");
+  b.set_insert_point(e);
+  Instruction* slot = b.alloca_(Type::I32, 1, "acc");
+  b.store(m->get_i32(0), slot);
+  Instruction* cmp = b.icmp(CmpPred::SLT, m->get_i32(1), m->get_i32(2));
+  b.cond_br(cmp, t, x);
+  b.set_insert_point(t);
+  Instruction* v = b.add(f->arg(0), m->get_i32(0));
+  b.store(v, slot);
+  b.br(x);
+  b.set_insert_point(x);
+  Instruction* ld = b.load(Type::I32, slot);
+  b.ret(ld);
+  return m;
+}
+
+TEST(Pipelines, O0LeavesModuleIntact) {
+  auto m = make_pipeline_input();
+  const std::size_t before = m->instruction_count();
+  run_pipeline(*m, OptLevel::O0);
+  EXPECT_EQ(m->instruction_count(), before);
+}
+
+TEST(Pipelines, O2ShrinksAndStaysValid) {
+  auto m = make_pipeline_input();
+  const std::size_t before = m->instruction_count();
+  run_pipeline(*m, OptLevel::O2);
+  EXPECT_TRUE(verify(*m).empty());
+  EXPECT_LT(m->instruction_count(), before);
+}
+
+TEST(Pipelines, OsNeverLargerThanO2OnThisInput) {
+  auto m2 = make_pipeline_input();
+  auto ms = make_pipeline_input();
+  run_pipeline(*m2, OptLevel::O2);
+  run_pipeline(*ms, OptLevel::Os);
+  EXPECT_TRUE(verify(*ms).empty());
+  EXPECT_LE(ms->instruction_count(), m2->instruction_count());
+}
+
+TEST(Pipelines, FullyConstantFunctionReducesToReturn) {
+  auto m = make_pipeline_input();
+  run_pipeline(*m, OptLevel::O2);
+  const Function* f = m->find_function("f");
+  // The branch condition (1 < 2) is constant: one block remains.
+  EXPECT_EQ(f->num_blocks(), 1u);
+}
+
+}  // namespace
+}  // namespace mpidetect::passes

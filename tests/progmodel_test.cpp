@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "mpi/api.hpp"
+#include "passes/pipelines.hpp"
+#include "progmodel/ast.hpp"
+#include "progmodel/lower.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::progmodel {
+namespace {
+
+using mpi::Func;
+using E = Expr;
+using S = Stmt;
+using A = Arg;
+
+std::vector<Stmt> preamble() {
+  std::vector<Stmt> v;
+  v.push_back(S::decl_int("rank"));
+  v.push_back(S::decl_int("size"));
+  v.push_back(S::mpi(Func::Init, {}));
+  v.push_back(S::mpi(Func::CommRank,
+                     {A::val(mpi::kCommWorld), A::addr("rank")}));
+  v.push_back(S::mpi(Func::CommSize,
+                     {A::val(mpi::kCommWorld), A::addr("size")}));
+  return v;
+}
+
+TEST(Ast, ExprFactories) {
+  const Expr e = E::add(E::lit(1), E::mul(E::ref("x"), E::lit(2)));
+  EXPECT_EQ(e.kind, Expr::Kind::Bin);
+  EXPECT_EQ(e.op, '+');
+  ASSERT_EQ(e.kids.size(), 2u);
+  EXPECT_EQ(e.kids[1].op, '*');
+  EXPECT_EQ(e.kids[1].kids[0].var, "x");
+}
+
+TEST(Ast, LineCountModelsBlocks) {
+  Program p;
+  p.main_body = preamble();  // 5 statements
+  EXPECT_EQ(p.line_count(), 14u + 5u);
+  p.main_body.push_back(
+      S::if_(E::eq(E::ref("rank"), E::lit(0)), {S::assign("rank", E::lit(1))}));
+  EXPECT_EQ(p.line_count(), 14u + 5u + 3u);
+  p.functions.push_back(UserFunc{"phase", {S::call_extern("compute")}});
+  EXPECT_EQ(p.line_count(), 14u + 8u + 4u);
+}
+
+TEST(Lower, MinimalProgramVerifies) {
+  Program p;
+  p.name = "minimal";
+  p.main_body = preamble();
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto m = lower(p);
+  EXPECT_TRUE(ir::verify(*m).empty());
+  const ir::Function* main_fn = m->find_function("main");
+  ASSERT_NE(main_fn, nullptr);
+  EXPECT_FALSE(main_fn->is_declaration());
+  EXPECT_NE(m->find_function("MPI_Init"), nullptr);
+  EXPECT_TRUE(m->find_function("MPI_Init")->is_declaration());
+}
+
+TEST(Lower, UnknownVariableThrows) {
+  Program p;
+  p.main_body.push_back(S::assign("ghost", E::lit(1)));
+  EXPECT_THROW(lower(p), ContractViolation);
+}
+
+TEST(Lower, ArgArityMismatchThrows) {
+  Program p;
+  p.main_body.push_back(S::mpi(Func::Barrier, {}));  // needs 1 arg
+  EXPECT_THROW(lower(p), ContractViolation);
+}
+
+TEST(Lower, IfCreatesDiamond) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               {S::assign("rank", E::lit(7))},
+                               {S::assign("rank", E::lit(9))}));
+  p.main_body.push_back(S::ret(E::ref("rank")));
+  const auto m = lower(p);
+  EXPECT_TRUE(ir::verify(*m).empty());
+  EXPECT_GE(m->find_function("main")->num_blocks(), 4u);
+}
+
+TEST(Lower, ForCreatesLoop) {
+  Program p;
+  p.main_body.push_back(S::decl_int("i"));
+  p.main_body.push_back(S::decl_int("acc", E::lit(0)));
+  p.main_body.push_back(S::for_(
+      "i", E::lit(0), E::lit(10),
+      {S::assign("acc", E::add(E::ref("acc"), E::ref("i")))}));
+  p.main_body.push_back(S::ret(E::ref("acc")));
+  const auto m = lower(p);
+  EXPECT_TRUE(ir::verify(*m).empty());
+  // Loop structure: entry + cond + body + end at least.
+  EXPECT_GE(m->find_function("main")->num_blocks(), 4u);
+}
+
+TEST(Lower, BufferArgsBecomePointers) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(16)));
+  p.main_body.push_back(S::mpi(
+      Func::Send,
+      {A::buf("buf"), A::val(16),
+       A::val(static_cast<std::int32_t>(mpi::Datatype::Int)), A::val(1),
+       A::val(0), A::val(mpi::kCommWorld)}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto m = lower(p);
+  EXPECT_TRUE(ir::verify(*m).empty());
+  const std::string text = ir::to_string(*m);
+  EXPECT_NE(text.find("call i32 @MPI_Send(%buf"), std::string::npos)
+      << text;
+}
+
+TEST(Lower, BufOffsetUsesGep) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::F64, E::lit(8)));
+  p.main_body.push_back(S::mpi(
+      Func::Send,
+      {A::buf_at("buf", E::lit(4)), A::val(4),
+       A::val(static_cast<std::int32_t>(mpi::Datatype::Double)), A::val(1),
+       A::val(0), A::val(mpi::kCommWorld)}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto m = lower(p);
+  const std::string text = ir::to_string(*m);
+  EXPECT_NE(text.find("getelementptr"), std::string::npos);
+}
+
+TEST(Lower, NullPtrArgLowersToNull) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::mpi(
+      Func::Recv,
+      {A::null(), A::val(0),
+       A::val(static_cast<std::int32_t>(mpi::Datatype::Int)), A::val(0),
+       A::val(0), A::val(mpi::kCommWorld), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  EXPECT_NO_THROW(lower(p));
+}
+
+TEST(Lower, UserFunctionsAreDefinedAndCallable) {
+  Program p;
+  UserFunc f;
+  f.name = "exchange_phase";
+  f.body.push_back(S::mpi(Func::Barrier, {A::val(mpi::kCommWorld)}));
+  p.functions.push_back(std::move(f));
+  p.main_body = preamble();
+  p.main_body.push_back(S::call_user("exchange_phase"));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto m = lower(p);
+  EXPECT_TRUE(ir::verify(*m).empty());
+  const ir::Function* fn = m->find_function("exchange_phase");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_FALSE(fn->is_declaration());
+}
+
+TEST(Lower, ComputeEmitsArithmeticLoop) {
+  Program p;
+  p.main_body.push_back(S::decl_buf("data", ir::Type::F64, E::lit(8)));
+  p.main_body.push_back(S::compute("data", 32));
+  const auto m = lower(p);
+  EXPECT_TRUE(ir::verify(*m).empty());
+  const std::string text = ir::to_string(*m.get());
+  EXPECT_NE(text.find("fmul"), std::string::npos);
+}
+
+TEST(Lower, ReturnMidBodyKeepsFunctionValid) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               {S::ret(E::lit(1))}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto m = lower(p);
+  EXPECT_TRUE(ir::verify(*m).empty());
+}
+
+TEST(Lower, OptimizationPipelinesAcceptLoweredModules) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_int("i"));
+  p.main_body.push_back(
+      S::for_("i", E::lit(0), E::lit(8),
+              {S::buf_store("buf", E::ref("i"), E::mul(E::ref("i"), E::lit(2)))}));
+  p.main_body.push_back(S::mpi(
+      Func::Bcast, {A::buf("buf"), A::val(8),
+                    A::val(static_cast<std::int32_t>(mpi::Datatype::Int)),
+                    A::val(0), A::val(mpi::kCommWorld)}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+
+  for (const auto lvl : passes::kAllOptLevels) {
+    auto m = lower(p);
+    passes::run_pipeline(*m, lvl);
+    EXPECT_TRUE(ir::verify(*m).empty())
+        << "pipeline " << passes::opt_level_name(lvl);
+  }
+}
+
+TEST(Lower, OptLevelsChangeInstructionCount) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_int("x", E::lit(5)));
+  p.main_body.push_back(S::assign("x", E::add(E::ref("x"), E::lit(0))));
+  p.main_body.push_back(S::ret(E::ref("x")));
+  auto o0 = lower(p);
+  auto os = lower(p);
+  passes::run_pipeline(*os, passes::OptLevel::Os);
+  EXPECT_LT(os->instruction_count(), o0->instruction_count());
+}
+
+}  // namespace
+}  // namespace mpidetect::progmodel

@@ -1,0 +1,306 @@
+// Property-based sweeps (parameterized gtest) over the cross-module
+// invariants of the system:
+//   * every (injection x size-class) template builds a program that
+//     lowers, verifies, optimizes and embeds cleanly;
+//   * optimization preserves runtime semantics: correct programs stay
+//     clean at every -O level, deadlocking programs keep deadlocking;
+//   * embeddings and graphs are deterministic and well-formed for every
+//     generated case;
+//   * matmul/gather/scatter gradients check out across shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/corrbench.hpp"
+#include "datasets/mbi.hpp"
+#include "datasets/templates.hpp"
+#include "ir/verifier.hpp"
+#include "ir2vec/encoder.hpp"
+#include "ir2vec/normalize.hpp"
+#include "ml/autograd.hpp"
+#include "mpisim/machine.hpp"
+#include "passes/pipelines.hpp"
+#include "programl/graph.hpp"
+#include "progmodel/lower.hpp"
+
+namespace mpidetect {
+namespace {
+
+// ===========================================================================
+// Sweep 1: every injection, every size class -> valid pipeline artifacts
+// ===========================================================================
+
+using InjectSizeParam = std::tuple<int /*inject*/, int /*size_class*/>;
+
+class InjectionSweep : public ::testing::TestWithParam<InjectSizeParam> {};
+
+TEST_P(InjectionSweep, TemplateBuildsLowersOptimizesAndEmbeds) {
+  const auto inject = static_cast<datasets::Inject>(std::get<0>(GetParam()));
+  const int size_class = std::get<1>(GetParam());
+  const auto templates = datasets::templates_for(inject);
+  ASSERT_FALSE(templates.empty());
+  for (const datasets::Template* tpl : templates) {
+    Rng rng(static_cast<std::uint64_t>(std::get<0>(GetParam())) * 31 +
+            static_cast<std::uint64_t>(size_class));
+    datasets::BuildContext ctx;
+    ctx.rng = &rng;
+    ctx.inject = inject;
+    ctx.size_class = size_class;
+    const auto program = tpl->fn(ctx);
+    const auto module = progmodel::lower(program);
+    EXPECT_TRUE(ir::verify(*module).empty())
+        << tpl->id << "/" << datasets::inject_name(inject);
+
+    for (const auto lvl : passes::kAllOptLevels) {
+      auto opt = progmodel::lower(program);
+      passes::run_pipeline(*opt, lvl);
+      EXPECT_TRUE(ir::verify(*opt).empty())
+          << tpl->id << " at " << passes::opt_level_name(lvl);
+      // Embedding and graph stay well-formed on optimized IR.
+      ir2vec::Vocabulary vocab;
+      const auto v = ir2vec::encode_concat(*opt, vocab);
+      ASSERT_EQ(v.size(), 512u);
+      for (const double x : v) EXPECT_TRUE(std::isfinite(x));
+      const auto g = programl::build_graph(*opt);
+      EXPECT_GT(g.num_nodes(), 0u);
+      for (std::size_t et = 0; et < programl::kNumEdgeTypes; ++et) {
+        for (const auto& e : g.edges[et]) {
+          EXPECT_LT(e.src, g.num_nodes());
+          EXPECT_LT(e.dst, g.num_nodes());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInjectionsAllSizes, InjectionSweep,
+    ::testing::Combine(
+        ::testing::Range(
+            0, static_cast<int>(datasets::Inject::MissingFinalizeCall) + 1),
+        ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<InjectSizeParam>& info) {
+      return std::string(datasets::inject_name(
+                 static_cast<datasets::Inject>(std::get<0>(info.param)))) +
+             "_size" + std::to_string(std::get<1>(info.param));
+    });
+
+// ===========================================================================
+// Sweep 2: optimization preserves runtime semantics of correct programs
+// ===========================================================================
+
+class OptSemanticsSweep : public ::testing::TestWithParam<int /*tpl idx*/> {};
+
+TEST_P(OptSemanticsSweep, CorrectTemplateRunsCleanAtEveryOptLevel) {
+  const auto& tpl = datasets::all_templates()[static_cast<std::size_t>(
+      GetParam())];
+  for (const std::uint64_t seed : {11u, 22u}) {
+    Rng rng(seed);
+    datasets::BuildContext ctx;
+    ctx.rng = &rng;
+    ctx.inject = datasets::Inject::None;
+    ctx.size_class = 1;
+    const auto program = tpl.fn(ctx);
+    for (const auto lvl : passes::kAllOptLevels) {
+      auto m = progmodel::lower(program);
+      passes::run_pipeline(*m, lvl);
+      mpisim::MachineConfig cfg;
+      cfg.nprocs = program.nprocs;
+      const auto rep = mpisim::run(*m, cfg);
+      EXPECT_EQ(rep.outcome, mpisim::Outcome::Completed)
+          << tpl.id << " at " << passes::opt_level_name(lvl) << ": "
+          << rep.summary();
+      EXPECT_TRUE(rep.findings.empty())
+          << tpl.id << " at " << passes::opt_level_name(lvl) << ": "
+          << rep.summary();
+    }
+  }
+}
+
+TEST_P(OptSemanticsSweep, DeadlockInjectionDeadlocksAtEveryOptLevel) {
+  const auto& tpl = datasets::all_templates()[static_cast<std::size_t>(
+      GetParam())];
+  // Only templates supporting the recv-recv cycle participate.
+  const auto supported = tpl.supported;
+  if (std::find(supported.begin(), supported.end(),
+                datasets::Inject::RecvRecvCycle) == supported.end()) {
+    GTEST_SKIP() << tpl.id << " has no RecvRecvCycle variant";
+  }
+  Rng rng(5);
+  datasets::BuildContext ctx;
+  ctx.rng = &rng;
+  ctx.inject = datasets::Inject::RecvRecvCycle;
+  ctx.size_class = 0;
+  const auto program = tpl.fn(ctx);
+  for (const auto lvl : passes::kAllOptLevels) {
+    auto m = progmodel::lower(program);
+    passes::run_pipeline(*m, lvl);
+    mpisim::MachineConfig cfg;
+    cfg.nprocs = program.nprocs;
+    const auto rep = mpisim::run(*m, cfg);
+    EXPECT_EQ(rep.outcome, mpisim::Outcome::Deadlock)
+        << tpl.id << " at " << passes::opt_level_name(lvl) << ": "
+        << rep.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, OptSemanticsSweep,
+    ::testing::Range(0, static_cast<int>(datasets::all_templates().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return std::string(
+          datasets::all_templates()[static_cast<std::size_t>(info.param)].id);
+    });
+
+// ===========================================================================
+// Sweep 3: embeddings are deterministic and size-monotone per seed
+// ===========================================================================
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, EmbeddingDeterministicPerVocabularySeed) {
+  datasets::MbiConfig cfg;
+  cfg.scale = 0.01;
+  const auto ds = datasets::generate_mbi(cfg);
+  const auto m = progmodel::lower(ds.cases.front().program);
+  ir2vec::Vocabulary v1(GetParam());
+  ir2vec::Vocabulary v2(GetParam());
+  EXPECT_EQ(ir2vec::encode_concat(*m, v1), ir2vec::encode_concat(*m, v2));
+}
+
+TEST_P(SeedSweep, DifferentVocabularySeedsChangeEmbedding) {
+  datasets::MbiConfig cfg;
+  cfg.scale = 0.01;
+  const auto ds = datasets::generate_mbi(cfg);
+  const auto m = progmodel::lower(ds.cases.front().program);
+  ir2vec::Vocabulary v1(GetParam());
+  ir2vec::Vocabulary v2(GetParam() + 1);
+  EXPECT_NE(ir2vec::encode_concat(*m, v1), ir2vec::encode_concat(*m, v2));
+}
+
+INSTANTIATE_TEST_SUITE_P(VocabSeeds, SeedSweep,
+                         ::testing::Values(1u, 42u, 0x12c0ffeeu, 999u));
+
+// ===========================================================================
+// Sweep 4: simulator scales across rank counts
+// ===========================================================================
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, BarrierAndAllreduceCompleteAtAnyScale) {
+  using E = progmodel::Expr;
+  using S = progmodel::Stmt;
+  using A = progmodel::Arg;
+  using mpi::Func;
+  progmodel::Program p;
+  p.main_body.push_back(S::decl_int("rank"));
+  p.main_body.push_back(S::mpi(Func::Init, {}));
+  p.main_body.push_back(
+      S::mpi(Func::CommRank, {A::val(mpi::kCommWorld), A::addr("rank")}));
+  p.main_body.push_back(S::decl_buf("s", ir::Type::I32, E::lit(1)));
+  p.main_body.push_back(S::decl_buf("r", ir::Type::I32, E::lit(1)));
+  p.main_body.push_back(S::buf_store("s", E::lit(0), E::ref("rank")));
+  p.main_body.push_back(S::mpi(Func::Barrier, {A::val(mpi::kCommWorld)}));
+  p.main_body.push_back(S::mpi(
+      Func::Allreduce,
+      {A::buf("s"), A::buf("r"), A::val(1),
+       A::val(static_cast<std::int32_t>(mpi::Datatype::Int)),
+       A::val(static_cast<std::int32_t>(mpi::ReduceOp::Sum)),
+       A::val(mpi::kCommWorld)}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+
+  const auto m = progmodel::lower(p);
+  mpisim::MachineConfig cfg;
+  cfg.nprocs = GetParam();
+  const auto rep = mpisim::run(*m, cfg);
+  EXPECT_EQ(rep.outcome, mpisim::Outcome::Completed) << rep.summary();
+  EXPECT_TRUE(rep.findings.empty()) << rep.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12));
+
+// ===========================================================================
+// Sweep 5: autograd matmul/gather/scatter gradients across shapes
+// ===========================================================================
+
+using ShapeParam = std::tuple<int, int, int>;  // (n, k, m)
+
+class MatmulShapeSweep : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(MatmulShapeSweep, GradientMatchesFiniteDifferences) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 100 + k * 10 + m));
+  ml::Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(k));
+  ml::Matrix b(static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+  for (double& x : a.data()) x = rng.normal();
+  for (double& x : b.data()) x = rng.normal();
+  ml::Var va = ml::make_param(a);
+  ml::Var vb = ml::make_param(std::move(b));
+
+  const auto loss = [&] {
+    ml::Var ones_l = ml::make_input(ml::Matrix(1, static_cast<std::size_t>(n), 1.0));
+    ml::Var ones_r = ml::make_input(ml::Matrix(static_cast<std::size_t>(m), 1, 1.0));
+    return ml::matmul(ml::matmul(ones_l, ml::matmul(va, vb)), ones_r);
+  };
+  ml::backward(loss());
+  const ml::Matrix analytic = va->grad;
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < va->value.size(); ++i) {
+    const double keep = va->value.data()[i];
+    va->value.data()[i] = keep + eps;
+    const double up = loss()->value.at(0, 0);
+    va->value.data()[i] = keep - eps;
+    const double down = loss()->value.at(0, 0);
+    va->value.data()[i] = keep;
+    EXPECT_NEAR(analytic.data()[i], (up - down) / (2 * eps), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulShapeSweep,
+    ::testing::Values(ShapeParam{1, 1, 1}, ShapeParam{2, 3, 4},
+                      ShapeParam{5, 1, 5}, ShapeParam{4, 8, 2},
+                      ShapeParam{7, 7, 7}));
+
+// ===========================================================================
+// Sweep 6: normalization invariants over random vectors
+// ===========================================================================
+
+class NormalizationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NormalizationSweep, VectorNormalizationIsIdempotentAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> v(64);
+  for (double& x : v) x = rng.normal(0, 50);
+  ir2vec::normalize_vector(v, ir2vec::Normalization::Vector);
+  double mx = 0;
+  for (const double x : v) mx = std::max(mx, std::fabs(x));
+  EXPECT_LE(mx, 1.0 + 1e-12);
+  EXPECT_NEAR(mx, 1.0, 1e-9);  // the max attains 1 by construction
+  const auto once = v;
+  ir2vec::normalize_vector(v, ir2vec::Normalization::Vector);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], once[i], 1e-12);
+  }
+}
+
+TEST_P(NormalizationSweep, IndexNormalizationCentersEveryColumn) {
+  Rng rng(GetParam());
+  std::vector<std::vector<double>> rows(20, std::vector<double>(8));
+  for (auto& r : rows) {
+    for (double& x : r) x = rng.normal(5, 3);
+  }
+  ir2vec::normalize_dataset(rows, ir2vec::Normalization::Index);
+  for (std::size_t j = 0; j < 8; ++j) {
+    double mean = 0;
+    for (const auto& r : rows) mean += r[j];
+    EXPECT_NEAR(mean / rows.size(), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, NormalizationSweep,
+                         ::testing::Values(3u, 17u, 99u, 123456u));
+
+}  // namespace
+}  // namespace mpidetect
