@@ -7,15 +7,20 @@
 //   * accepts --quick for a reduced smoke run (CI) and --paper for
 //     full-fidelity hyper-parameters where the defaults are reduced
 //     (GA population, noted per bench).
+//
+// All detectors are constructed through core::DetectorRegistry and all
+// evaluation runs through one core::EvalEngine per binary (the Harness
+// below), so each corpus is encoded once no matter how many detectors
+// and protocols consume it.
 #pragma once
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
-#include "core/features.hpp"
-#include "core/gnn_detector.hpp"
-#include "core/ir2vec_detector.hpp"
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
 #include "datasets/corrbench.hpp"
 #include "datasets/mbi.hpp"
 #include "ml/metrics.hpp"
@@ -59,42 +64,73 @@ inline datasets::Dataset make_corr(const BenchArgs& args,
   return datasets::generate_corrbench(cfg);
 }
 
-/// GA configuration: the paper's 2500x25 under --paper, a reduced
-/// 300x12 otherwise (documented divergence; same representation).
-inline core::Ir2vecOptions ir2vec_options(const BenchArgs& args,
-                                          bool use_ga = true) {
-  core::Ir2vecOptions o;
-  o.use_ga = use_ga;
+/// Scaled detector configuration. GA: the paper's 2500x25 under
+/// --paper, a reduced 300x12 otherwise (documented divergence; same
+/// representation). GNN: the paper's 128/64/32 GATv2 stack under
+/// --paper, a 64/32/16 stack otherwise (4.6x faster per step, same
+/// shape of results — the width ablation is in table2 --gnn-ablate).
+inline core::DetectorConfig detector_config(const BenchArgs& args,
+                                            bool use_ga = true) {
+  core::DetectorConfig cfg;
+  cfg.ir2vec.use_ga = use_ga;
   if (!args.paper) {
-    o.ga.population = 300;
-    o.ga.generations = 12;
+    cfg.ir2vec.ga.population = 300;
+    cfg.ir2vec.ga.generations = 12;
+    cfg.gnn.cfg.embed_dim = 16;
+    cfg.gnn.cfg.layers = {64, 32, 16};
+    cfg.gnn.cfg.fc_hidden = 16;
+    cfg.gnn.cfg.epochs = 6;
   }
   if (args.quick) {
-    o.folds = 4;
-    o.ga.population = 60;
-    o.ga.generations = 4;
+    cfg.ir2vec.folds = 4;
+    cfg.ir2vec.ga.population = 60;
+    cfg.ir2vec.ga.generations = 4;
+    cfg.gnn.folds = 3;
+    cfg.gnn.cfg.epochs = 3;
+    cfg.gnn.cfg.layers = {32, 16};
   }
-  return o;
+  return cfg;
 }
 
-/// GNN configuration: the paper's 128/64/32 GATv2 stack under --paper;
-/// by default a 64/32/16 stack (4.6x faster per step, same shape of
-/// results — the width ablation is in table2 --gnn-ablate).
-inline core::GnnOptions gnn_options(const BenchArgs& args) {
-  core::GnnOptions o;
-  if (!args.paper) {
-    o.cfg.embed_dim = 16;
-    o.cfg.layers = {64, 32, 16};
-    o.cfg.fc_hidden = 16;
-    o.cfg.epochs = 6;
+/// One evaluation engine plus one shared encoding cache per bench
+/// binary: every detector created through the harness reuses the same
+/// dataset encodings.
+class Harness {
+ public:
+  explicit Harness(const BenchArgs& args)
+      : args_(args),
+        cache_(std::make_shared<core::EncodingCache>()),
+        engine_(0, cache_) {}
+
+  core::EvalEngine& engine() { return engine_; }
+  const std::shared_ptr<core::EncodingCache>& cache() const { return cache_; }
+
+  /// The scaled configuration, wired to the shared cache.
+  core::DetectorConfig config(bool use_ga = true) const {
+    core::DetectorConfig cfg = detector_config(args_, use_ga);
+    cfg.cache = cache_;
+    return cfg;
   }
-  if (args.quick) {
-    o.folds = 3;
-    o.cfg.epochs = 3;
-    o.cfg.layers = {32, 16};
+
+  std::unique_ptr<core::Detector> detector(std::string_view name,
+                                           bool use_ga = true) const {
+    return core::DetectorRegistry::global().create(name, config(use_ga));
   }
-  return o;
-}
+
+  /// Registry construction with a caller-tweaked configuration (the
+  /// shared cache is injected).
+  std::unique_ptr<core::Detector> detector(
+      std::string_view name, const core::DetectorConfig& cfg) const {
+    core::DetectorConfig wired = cfg;
+    wired.cache = cache_;
+    return core::DetectorRegistry::global().create(name, wired);
+  }
+
+ private:
+  BenchArgs args_;
+  std::shared_ptr<core::EncodingCache> cache_;
+  core::EvalEngine engine_;
+};
 
 /// Standard Table II-style result row.
 inline std::vector<std::string> result_row(const std::string& model,

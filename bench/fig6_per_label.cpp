@@ -1,5 +1,8 @@
 // Figure 6: per-label prediction accuracy of IR2vec over MBI — a DT
-// trained to predict the error type directly (multi-class), 10-fold CV.
+// trained to predict the error type directly (multi-class), 10-fold CV
+// through EvalEngine's multiclass k-fold protocol.
+#include <algorithm>
+
 #include "bench/common.hpp"
 
 using namespace mpidetect;
@@ -7,9 +10,9 @@ using namespace mpidetect;
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto mbi = bench::make_mbi(args);
-  const auto fs = core::extract_features(mbi, passes::OptLevel::Os,
-                                         ir2vec::Normalization::Vector);
-  const auto opts = bench::ir2vec_options(args, /*use_ga=*/false);
+
+  bench::Harness h(args);
+  auto det = h.detector("ir2vec", /*use_ga=*/false);
 
   bench::print_header("Figure 6: IR2vec per-label accuracy on MBI");
   bench::print_paper_note(
@@ -17,7 +20,10 @@ int main(int argc, char** argv) {
       "Parameter, Parameter Matching; near zero: Message Race, Resource "
       "Leak (only 14 samples)");
 
-  const auto per_label = core::ir2vec_per_label(fs, opts);
+  core::EvalOptions eval = det->eval_defaults();
+  eval.multiclass = true;
+  const auto per_label = h.engine().kfold(*det, mbi, eval).per_label;
+
   Table t({"Label", "Correctly predicted", "Total", "Accuracy"});
   // Figure order: worst to best helps eyeballing the three regimes.
   std::vector<std::pair<double, std::string>> order;

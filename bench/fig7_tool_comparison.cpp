@@ -1,9 +1,9 @@
 // Figure 7: recall / precision / F1 / accuracy of expert tools vs our
 // models on MPI-CorrBench (a) and MBI (b). Tool results come from our
 // simplified tool implementations run on the synthetic suites; the
-// paper's reported values (from [2], [3]) are printed alongside.
+// paper's reported values (from [2], [3]) are printed alongside. Every
+// detector is registry-built and evaluated by the shared EvalEngine.
 #include "bench/common.hpp"
-#include "verify/tool.hpp"
 
 using namespace mpidetect;
 
@@ -21,18 +21,16 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto mbi = bench::make_mbi(args);
   const auto corr = bench::make_corr(args);
-  const auto opts = bench::ir2vec_options(args);
+
+  bench::Harness h(args);
+  auto& engine = h.engine();
+
+  auto ir2vec = h.detector("ir2vec");
   // Table II is the GNN authority; this figure only needs the metric
   // bars, so the GNN runs at reduced epochs here.
-  auto gopts = bench::gnn_options(args);
-  if (!args.paper) gopts.cfg.epochs = 4;
-
-  const auto fs_mbi = core::extract_features(
-      mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  const auto fs_corr = core::extract_features(
-      corr, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  const auto gs_mbi = core::extract_graphs(mbi);
-  const auto gs_corr = core::extract_graphs(corr);
+  core::DetectorConfig gnn_cfg = h.config();
+  if (!args.paper) gnn_cfg.gnn.cfg.epochs = 4;
+  auto gnn = h.detector("gnn", gnn_cfg);
 
   // ----- (a) MPI-CorrBench ---------------------------------------------------
   bench::print_header("Figure 7(a): metrics on MPI-CorrBench");
@@ -41,20 +39,18 @@ int main(int argc, char** argv) {
       "closest to the ideal tool; all our methods >= 0.75");
   {
     Table t({"Tool", "Recall", "Precision", "F1", "Accuracy"});
-    for (auto maker : {verify::make_must_lite, verify::make_itac_lite,
-                       verify::make_parcoach_lite,
-                       verify::make_mpichecker_lite}) {
-      auto tool = maker();
+    for (const char* name : {"must", "itac", "parcoach", "mpi-checker"}) {
+      auto tool = h.detector(name);
       t.add_row(metric_row(std::string(tool->name()),
-                           verify::evaluate_tool(*tool, corr)));
+                           engine.sweep(*tool, corr).confusion));
     }
     t.add_separator();
-    t.add_row(metric_row("IR2vec Intra", core::ir2vec_intra(fs_corr, opts)));
+    t.add_row(metric_row("IR2vec Intra", engine.kfold(*ir2vec, corr).confusion));
     t.add_row(metric_row("IR2vec Cross (MBI->CORR)",
-                         core::ir2vec_cross(fs_mbi, fs_corr, opts)));
-    t.add_row(metric_row("GNN Intra", core::gnn_intra(gs_corr, gopts)));
+                         engine.cross(*ir2vec, mbi, corr).confusion));
+    t.add_row(metric_row("GNN Intra", engine.kfold(*gnn, corr).confusion));
     t.add_row(metric_row("GNN Cross (MBI->CORR)",
-                         core::gnn_cross(gs_mbi, gs_corr, gopts)));
+                         engine.cross(*gnn, mbi, corr).confusion));
     t.add_separator();
     ml::Confusion ideal;
     ideal.tp = corr.incorrect_count();
@@ -70,18 +66,18 @@ int main(int argc, char** argv) {
       "executing the application");
   {
     Table t({"Tool", "Recall", "Precision", "F1", "Accuracy"});
-    for (auto maker : {verify::make_itac_lite, verify::make_parcoach_lite}) {
-      auto tool = maker();
+    for (const char* name : {"itac", "parcoach"}) {
+      auto tool = h.detector(name);
       t.add_row(metric_row(std::string(tool->name()),
-                           verify::evaluate_tool(*tool, mbi)));
+                           engine.sweep(*tool, mbi).confusion));
     }
     t.add_separator();
-    t.add_row(metric_row("IR2vec Intra", core::ir2vec_intra(fs_mbi, opts)));
+    t.add_row(metric_row("IR2vec Intra", engine.kfold(*ir2vec, mbi).confusion));
     t.add_row(metric_row("IR2vec Cross (CORR->MBI)",
-                         core::ir2vec_cross(fs_corr, fs_mbi, opts)));
-    t.add_row(metric_row("GNN Intra", core::gnn_intra(gs_mbi, gopts)));
+                         engine.cross(*ir2vec, corr, mbi).confusion));
+    t.add_row(metric_row("GNN Intra", engine.kfold(*gnn, mbi).confusion));
     t.add_row(metric_row("GNN Cross (CORR->MBI)",
-                         core::gnn_cross(gs_corr, gs_mbi, gopts)));
+                         engine.cross(*gnn, corr, mbi).confusion));
     t.add_separator();
     ml::Confusion ideal;
     ideal.tp = mbi.incorrect_count();

@@ -1,24 +1,21 @@
 // Figure 8: single-label ablation — each error label is removed from
 // every training fold and we measure how often the binary model still
-// flags those samples as incorrect at validation.
+// flags those samples as incorrect at validation (EvalEngine::ablation).
 #include "bench/common.hpp"
 
 using namespace mpidetect;
 
 namespace {
 
-void run_suite(const datasets::Dataset& ds,
-               const std::vector<std::string>& labels,
-               const core::Ir2vecOptions& opts, passes::OptLevel lvl) {
-  const auto fs = core::extract_features(ds, lvl,
-                                         ir2vec::Normalization::Vector);
+void run_suite(bench::Harness& h, const datasets::Dataset& ds,
+               const std::vector<std::string>& labels) {
+  auto det = h.detector("ir2vec", /*use_ga=*/false);
   Table t({"Excluded label", "Detected as incorrect", "Total", "Accuracy"});
   for (const auto& label : labels) {
-    const auto [detected, total] = core::ir2vec_ablation(fs, {label}, opts);
-    const double acc =
-        total == 0 ? 0.0 : static_cast<double>(detected) / total;
-    t.add_row({label, std::to_string(detected), std::to_string(total),
-               fmt_percent(acc, 1)});
+    const auto r = h.engine().ablation(*det, ds, {label}, std::nullopt,
+                                       det->eval_defaults());
+    t.add_row({label, std::to_string(r.detected), std::to_string(r.total),
+               fmt_percent(r.rate(), 1)});
   }
   t.print(std::cout);
 }
@@ -27,7 +24,7 @@ void run_suite(const datasets::Dataset& ds,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const auto opts = bench::ir2vec_options(args, /*use_ga=*/false);
+  bench::Harness h(args);
 
   bench::print_header("Figure 8(a): ablation study, MPI-CorrBench");
   bench::print_paper_note(
@@ -38,7 +35,7 @@ int main(int argc, char** argv) {
     for (const auto l : mpi::corr_error_labels()) {
       labels.emplace_back(mpi::corr_label_name(l));
     }
-    run_suite(bench::make_corr(args), labels, opts, passes::OptLevel::Os);
+    run_suite(h, bench::make_corr(args), labels);
   }
 
   bench::print_header("Figure 8(b): ablation study, MBI");
@@ -50,7 +47,7 @@ int main(int argc, char** argv) {
     for (const auto l : mpi::mbi_error_labels()) {
       labels.emplace_back(mpi::mbi_label_name(l));
     }
-    run_suite(bench::make_mbi(args), labels, opts, passes::OptLevel::Os);
+    run_suite(h, bench::make_mbi(args), labels);
   }
   return 0;
 }

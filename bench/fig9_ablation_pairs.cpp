@@ -1,33 +1,25 @@
 // Figure 9: two-label ablation on MPI-CorrBench — both labels are
 // removed from training, and each bar reports the detection accuracy of
-// one of them. The MBI pair interactions discussed in §V-E (Parameter
-// Matching + Resource Leak, Epoch Lifecycle pairs, ...) are reproduced
-// below the CorrBench table.
+// one of them (EvalEngine::ablation with a measured label). The MBI
+// pair interactions discussed in §V-E (Parameter Matching + Resource
+// Leak, Epoch Lifecycle pairs, ...) are reproduced below the CorrBench
+// table.
 #include "bench/common.hpp"
 
 using namespace mpidetect;
 
 namespace {
 
-void pair_row(Table& t, const core::FeatureSet& fs, const std::string& a,
-              const std::string& b, const core::Ir2vecOptions& opts) {
-  const auto fa = core::ir2vec_ablation(fs, {a, b}, opts);
-  // Detection accuracy per excluded label requires separate counting;
-  // run the ablation once per label-of-interest with the same exclusion
-  // by measuring each label's samples.
-  // (ir2vec_ablation reports combined; split by running per label.)
-  (void)fa;
+void pair_rows(Table& t, bench::Harness& h, core::Detector& det,
+               const datasets::Dataset& ds, const std::string& a,
+               const std::string& b) {
+  // Exclude both labels from training; count detection over each
+  // label's samples separately.
   for (const std::string& target : {a, b}) {
-    // Exclude both labels from training, count only `target` samples.
-    const auto fs_copy = fs;
-    // Reuse the combined-exclusion run but count per label: re-run with
-    // single-label accounting.
-    const auto [detected, total] =
-        core::ir2vec_ablation_counted(fs_copy, {a, b}, target, opts);
-    const double acc =
-        total == 0 ? 0.0 : static_cast<double>(detected) / total;
-    t.add_row({a + " + " + b, target, std::to_string(detected),
-               std::to_string(total), fmt_percent(acc, 1)});
+    const auto r =
+        h.engine().ablation(det, ds, {a, b}, target, det.eval_defaults());
+    t.add_row({a + " + " + b, target, std::to_string(r.detected),
+               std::to_string(r.total), fmt_percent(r.rate(), 1)});
   }
 }
 
@@ -35,7 +27,8 @@ void pair_row(Table& t, const core::FeatureSet& fs, const std::string& a,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const auto opts = bench::ir2vec_options(args, /*use_ga=*/false);
+  bench::Harness h(args);
+  auto det = h.detector("ir2vec", /*use_ga=*/false);
 
   bench::print_header(
       "Figure 9: two-label ablation, MPI-CorrBench (detection accuracy "
@@ -45,8 +38,6 @@ int main(int argc, char** argv) {
       "(similar embeddings); MissplacedCall improves without ArgError");
   {
     const auto corr = bench::make_corr(args);
-    const auto fs = core::extract_features(corr, passes::OptLevel::Os,
-                                           ir2vec::Normalization::Vector);
     Table t({"Excluded pair", "Measured label", "Detected", "Total",
              "Accuracy"});
     const std::vector<std::pair<std::string, std::string>> pairs = {
@@ -57,7 +48,7 @@ int main(int argc, char** argv) {
         {"ArgMismatch", "MissplacedCall"},
         {"MissplacedCall", "MissingCall"},
     };
-    for (const auto& [a, b] : pairs) pair_row(t, fs, a, b, opts);
+    for (const auto& [a, b] : pairs) pair_rows(t, h, *det, corr, a, b);
     t.print(std::cout);
   }
 
@@ -68,8 +59,6 @@ int main(int argc, char** argv) {
       "Call Ordering or Message Race");
   {
     const auto mbi = bench::make_mbi(args);
-    const auto fs = core::extract_features(mbi, passes::OptLevel::Os,
-                                           ir2vec::Normalization::Vector);
     Table t({"Excluded pair", "Measured label", "Detected", "Total",
              "Accuracy"});
     const std::vector<std::pair<std::string, std::string>> pairs = {
@@ -79,7 +68,7 @@ int main(int argc, char** argv) {
         {"Epoch Lifecycle", "Message Race"},
         {"Message Race", "Parameter Matching"},
     };
-    for (const auto& [a, b] : pairs) pair_row(t, fs, a, b, opts);
+    for (const auto& [a, b] : pairs) pair_rows(t, h, *det, mbi, a, b);
     t.print(std::cout);
   }
   return 0;

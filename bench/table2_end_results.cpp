@@ -1,10 +1,11 @@
 // Table II: end results of both models (IR2vec + DT, ProGraML + GATv2)
 // on the three datasets — Intra (10-fold CV per suite), Cross (train on
-// one suite, validate on the other), and Mix.
+// one suite, validate on the other), and Mix. Both detectors come out
+// of the DetectorRegistry and every protocol runs through EvalEngine,
+// so each corpus is embedded exactly once.
 //
 // Flags: --quick (reduced), --paper (GA 2500x25), --gnn-ablate (extra
-// ablation rows: mean aggregation instead of attention, homogeneous
-// single-relation treatment).
+// ablation rows: narrower GATv2 stack, single-layer depth check).
 #include <cstring>
 
 #include "bench/common.hpp"
@@ -32,57 +33,51 @@ int main(int argc, char** argv) {
   Table t({"Model", "Training", "Validation", "TP", "TN", "FP", "FN",
            "Recall", "Precision", "F1", "Accuracy"});
 
-  // --- IR2vec ---------------------------------------------------------------
-  const auto opts = bench::ir2vec_options(args);
-  const auto fs_mbi = core::extract_features(
-      mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  const auto fs_corr = core::extract_features(
-      corr, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  const auto fs_mix = core::extract_features(
-      mixed, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+  bench::Harness h(args);
+  auto& engine = h.engine();
 
+  // --- IR2vec ---------------------------------------------------------------
+  auto ir2vec = h.detector("ir2vec");
   t.add_row(bench::result_row("IR2vec Intra", "MBI", "MBI",
-                              core::ir2vec_intra(fs_mbi, opts)));
+                              engine.kfold(*ir2vec, mbi).confusion));
   t.add_row(bench::result_row("IR2vec Intra", "CORR", "CORR",
-                              core::ir2vec_intra(fs_corr, opts)));
+                              engine.kfold(*ir2vec, corr).confusion));
   t.add_row(bench::result_row("IR2vec Cross", "MBI", "CORR",
-                              core::ir2vec_cross(fs_mbi, fs_corr, opts)));
+                              engine.cross(*ir2vec, mbi, corr).confusion));
   t.add_row(bench::result_row("IR2vec Cross", "CORR", "MBI",
-                              core::ir2vec_cross(fs_corr, fs_mbi, opts)));
+                              engine.cross(*ir2vec, corr, mbi).confusion));
   t.add_row(bench::result_row("IR2vec Mix", "MBI+CORR", "MBI+CORR",
-                              core::ir2vec_intra(fs_mix, opts)));
+                              engine.kfold(*ir2vec, mixed).confusion));
   t.add_separator();
 
   // --- GNN --------------------------------------------------------------------
-  const auto gopts = bench::gnn_options(args);
-  const auto gs_mbi = core::extract_graphs(mbi);  // -O0, per paper
-  const auto gs_corr = core::extract_graphs(corr);
-  const auto gs_mix = core::extract_graphs(mixed);
-
+  auto gnn = h.detector("gnn");
   t.add_row(bench::result_row("GNN Intra", "MBI", "MBI",
-                              core::gnn_intra(gs_mbi, gopts)));
+                              engine.kfold(*gnn, mbi).confusion));
   t.add_row(bench::result_row("GNN Intra", "CORR", "CORR",
-                              core::gnn_intra(gs_corr, gopts)));
+                              engine.kfold(*gnn, corr).confusion));
   t.add_row(bench::result_row("GNN Cross", "MBI", "CORR",
-                              core::gnn_cross(gs_mbi, gs_corr, gopts)));
+                              engine.cross(*gnn, mbi, corr).confusion));
   t.add_row(bench::result_row("GNN Cross", "CORR", "MBI",
-                              core::gnn_cross(gs_corr, gs_mbi, gopts)));
+                              engine.cross(*gnn, corr, mbi).confusion));
   t.add_row(bench::result_row("GNN Mix", "MBI+CORR", "MBI+CORR",
-                              core::gnn_intra(gs_mix, gopts)));
+                              engine.kfold(*gnn, mixed).confusion));
 
   if (gnn_ablate) {
     t.add_separator();
-    // Ablation 1: single GATv2 layer stack but narrower (design check of
+    // Ablation 1: same depth but narrower GATv2 stack (design check of
     // the 128/64/32 choice).
-    core::GnnOptions narrow = gopts;
-    narrow.cfg.layers = {32, 16, 8};
+    core::DetectorConfig narrow_cfg = h.config();
+    narrow_cfg.gnn.cfg.layers = {32, 16, 8};
+    auto narrow = h.detector("gnn", narrow_cfg);
     t.add_row(bench::result_row("GNN narrow(32/16/8)", "MBI", "MBI",
-                                core::gnn_intra(gs_mbi, narrow)));
+                                engine.kfold(*narrow, mbi).confusion));
     // Ablation 2: one layer only (depth ablation).
-    core::GnnOptions shallow = gopts;
-    shallow.cfg.layers = {128};
+    core::DetectorConfig shallow_cfg = h.config();
+    shallow_cfg.gnn.cfg.layers = {128};
+    auto shallow = h.detector("gnn", shallow_cfg);
     t.add_row(bench::result_row("GNN 1-layer", "MBI", "MBI",
-                                core::gnn_intra(gs_mbi, shallow)));
+                                engine.kfold(*shallow, mbi).confusion));
   }
 
   t.print(std::cout);

@@ -1,9 +1,9 @@
 // Table III: detailed evaluation against MBI — expert tools (ITAC,
 // PARCOACH) vs our models vs the ideal tool, with the MBI robustness /
 // usefulness metrics (coverage, conclusiveness, specificity, recall,
-// precision, F1, overall accuracy) and the CE/TO/RE error columns.
+// precision, F1, overall accuracy) and the CE/TO/RE error columns. All
+// detectors run through the one EvalEngine of the harness.
 #include "bench/common.hpp"
-#include "verify/tool.hpp"
 
 using namespace mpidetect;
 
@@ -45,28 +45,25 @@ int main(int argc, char** argv) {
            "Conclusiveness", "Specificity", "Recall", "Precision", "F1",
            "Overall"});
 
-  for (auto maker : {verify::make_itac_lite, verify::make_parcoach_lite}) {
-    auto tool = maker();
-    t.add_row(tool_row(std::string(tool->name()),
-                       verify::evaluate_tool(*tool, mbi)));
+  bench::Harness h(args);
+  auto& engine = h.engine();
+
+  for (const char* name : {"itac", "parcoach"}) {
+    auto tool = h.detector(name);
+    const auto report = engine.sweep(*tool, mbi);
+    t.add_row(tool_row(std::string(tool->name()), report.confusion));
   }
   t.add_separator();
 
-  const auto opts = bench::ir2vec_options(args);
-  const auto fs_mbi = core::extract_features(
-      mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  const auto fs_corr = core::extract_features(
-      corr, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  t.add_row(tool_row("IR2vec Intra", core::ir2vec_intra(fs_mbi, opts)));
+  auto ir2vec = h.detector("ir2vec");
+  t.add_row(tool_row("IR2vec Intra", engine.kfold(*ir2vec, mbi).confusion));
   t.add_row(tool_row("IR2vec Cross (CORR->MBI)",
-                     core::ir2vec_cross(fs_corr, fs_mbi, opts)));
+                     engine.cross(*ir2vec, corr, mbi).confusion));
 
-  const auto gopts = bench::gnn_options(args);
-  const auto gs_mbi = core::extract_graphs(mbi);
-  const auto gs_corr = core::extract_graphs(corr);
-  t.add_row(tool_row("GNN Intra", core::gnn_intra(gs_mbi, gopts)));
+  auto gnn = h.detector("gnn");
+  t.add_row(tool_row("GNN Intra", engine.kfold(*gnn, mbi).confusion));
   t.add_row(tool_row("GNN Cross (CORR->MBI)",
-                     core::gnn_cross(gs_corr, gs_mbi, gopts)));
+                     engine.cross(*gnn, corr, mbi).confusion));
   t.add_separator();
 
   ml::Confusion ideal;

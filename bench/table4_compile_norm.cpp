@@ -1,12 +1,13 @@
 // Table IV: IR2vec Intra under every compilation option (-O0/-O2/-Os)
-// x normalization (none/vector/index) combination, on both suites.
-// Flag --encodings adds the symbolic-only vs flow-aware-only ablation
-// called out in DESIGN.md.
+// x normalization (none/vector/index) combination, on both suites. Each
+// combination is a differently configured registry detector; the shared
+// cache keeps every (dataset, option, normalization) encoding around
+// exactly once. Flag --encodings adds the symbolic-only vs
+// flow-aware-only ablation called out in DESIGN.md.
 #include <cstring>
 
 #include "bench/common.hpp"
 #include "ir2vec/encoder.hpp"
-#include "progmodel/lower.hpp"
 
 using namespace mpidetect;
 
@@ -26,6 +27,21 @@ core::FeatureSet half_features(const core::FeatureSet& fs, bool symbolic) {
   return out;
 }
 
+/// Runs the Intra protocol over a synthesised feature matrix by seeding
+/// the harness cache under the detector's encoding key. `tag` keeps the
+/// cache slots of the two half-matrices distinct (they cover identical
+/// cases).
+ml::Confusion intra_on_features(bench::Harness& h, core::Detector& det,
+                                const core::DetectorConfig& cfg,
+                                const core::FeatureSet& fs,
+                                const std::string& tag) {
+  auto skel = core::skeleton_dataset(fs);
+  skel.name = tag;
+  h.cache()->put_features(skel, cfg.feature_opt, cfg.normalization,
+                          cfg.vocab_seed, fs);
+  return h.engine().kfold(det, skel).confusion;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -37,7 +53,7 @@ int main(int argc, char** argv) {
 
   const auto mbi = bench::make_mbi(args);
   const auto corr = bench::make_corr(args);
-  const auto opts = bench::ir2vec_options(args, /*use_ga=*/false);
+  bench::Harness h(args);
 
   bench::print_header(
       "Table IV: IR2vec Intra x compilation option x normalization");
@@ -49,9 +65,12 @@ int main(int argc, char** argv) {
            "Recall", "Precision", "F1", "Accuracy"});
   for (const auto norm : ir2vec::kAllNormalizations) {
     for (const auto lvl : passes::kAllOptLevels) {
+      core::DetectorConfig cfg = h.config(/*use_ga=*/false);
+      cfg.feature_opt = lvl;
+      cfg.normalization = norm;
+      auto det = h.detector("ir2vec", cfg);
       for (const auto* ds : {&mbi, &corr}) {
-        const auto fs = core::extract_features(*ds, lvl, norm);
-        const auto c = core::ir2vec_intra(fs, opts);
+        const auto c = h.engine().kfold(*det, *ds).confusion;
         t.add_row({std::string(passes::opt_level_name(lvl)),
                    std::string(ir2vec::normalization_name(norm)),
                    ds->name == "MBI" ? "MBI" : "CORR",
@@ -69,12 +88,16 @@ int main(int argc, char** argv) {
     bench::print_header(
         "Ablation: symbolic-only vs flow-aware-only vs concatenated "
         "(-Os, vector, MBI)");
-    const auto fs = core::extract_features(mbi, passes::OptLevel::Os,
-                                           ir2vec::Normalization::Vector);
+    const core::DetectorConfig cfg = h.config(/*use_ga=*/false);
+    auto det = h.detector("ir2vec", cfg);
+    const auto& fs = h.cache()->features(mbi, cfg.feature_opt,
+                                         cfg.normalization, cfg.vocab_seed);
     Table a({"Encoding", "Accuracy", "F1"});
-    const auto both = core::ir2vec_intra(fs, opts);
-    const auto sym = core::ir2vec_intra(half_features(fs, true), opts);
-    const auto flow = core::ir2vec_intra(half_features(fs, false), opts);
+    const auto sym =
+        intra_on_features(h, *det, cfg, half_features(fs, true), "symbolic");
+    const auto flow =
+        intra_on_features(h, *det, cfg, half_features(fs, false), "flow");
+    const auto both = h.engine().kfold(*det, mbi).confusion;
     a.add_row({"symbolic only", fmt_double(sym.accuracy(), 3),
                fmt_double(sym.f1(), 3)});
     a.add_row({"flow-aware only", fmt_double(flow.accuracy(), 3),

@@ -1,7 +1,8 @@
 // Table V: IR2vec with and without GA feature selection, Intra and
-// Cross. Also reproduces the seed-sensitivity study of §V-A ("Seeds")
-// under --seed-study: GA features are selected against one embedding
-// vocabulary, then vectors are re-generated under a different seed.
+// Cross, all through EvalEngine. Also reproduces the seed-sensitivity
+// study of §V-A ("Seeds") under --seed-study: GA features are selected
+// against one embedding vocabulary, then vectors are re-generated under
+// a different seed.
 #include <cstring>
 
 #include "bench/common.hpp"
@@ -17,10 +18,8 @@ int main(int argc, char** argv) {
 
   const auto mbi = bench::make_mbi(args);
   const auto corr = bench::make_corr(args);
-  const auto fs_mbi = core::extract_features(
-      mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  const auto fs_corr = core::extract_features(
-      corr, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+  bench::Harness h(args);
+  auto& engine = h.engine();
 
   bench::print_header("Table V: IR2vec with and without GA (-Os, vector)");
   bench::print_paper_note(
@@ -30,16 +29,16 @@ int main(int argc, char** argv) {
   Table t({"GA", "Training", "Validation", "TP", "TN", "FP", "FN", "Recall",
            "Precision", "F1", "Accuracy"});
   for (const bool ga : {false, true}) {
-    const auto opts = bench::ir2vec_options(args, ga);
+    auto det = h.detector("ir2vec", ga);
     const char* tag = ga ? "ON" : "OFF";
-    auto c = core::ir2vec_intra(fs_mbi, opts);
-    t.add_row(bench::result_row(tag, "MBI", "MBI", c));
-    c = core::ir2vec_intra(fs_corr, opts);
-    t.add_row(bench::result_row(tag, "CORR", "CORR", c));
-    c = core::ir2vec_cross(fs_mbi, fs_corr, opts);
-    t.add_row(bench::result_row(tag, "MBI", "CORR", c));
-    c = core::ir2vec_cross(fs_corr, fs_mbi, opts);
-    t.add_row(bench::result_row(tag, "CORR", "MBI", c));
+    t.add_row(bench::result_row(tag, "MBI", "MBI",
+                                engine.kfold(*det, mbi).confusion));
+    t.add_row(bench::result_row(tag, "CORR", "CORR",
+                                engine.kfold(*det, corr).confusion));
+    t.add_row(bench::result_row(tag, "MBI", "CORR",
+                                engine.cross(*det, mbi, corr).confusion));
+    t.add_row(bench::result_row(tag, "CORR", "MBI",
+                                engine.cross(*det, corr, mbi).confusion));
     t.add_separator();
   }
   t.print(std::cout);
@@ -51,27 +50,27 @@ int main(int argc, char** argv) {
     bench::print_paper_note(
         "Intra loses <= 0.6%; Cross MBI->CORR loses ~41% (GA tuned to "
         "the original embedding)");
+    const core::DetectorConfig cfg = h.config(/*use_ga=*/true);
     const std::uint64_t new_seed = 0xabcdef12;
-    const auto fs_mbi2 = core::extract_features(
-        mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector, new_seed);
-    const auto fs_corr2 = core::extract_features(
-        corr, passes::OptLevel::Os, ir2vec::Normalization::Vector, new_seed);
-    const auto opts = bench::ir2vec_options(args, true);
+    const auto& fs_mbi2 = h.cache()->features(mbi, cfg.feature_opt,
+                                              cfg.normalization, new_seed);
+    const auto& fs_corr2 = h.cache()->features(corr, cfg.feature_opt,
+                                               cfg.normalization, new_seed);
 
-    // Select features on the original embedding, then apply that model's
-    // feature subset to a DT trained on re-seeded vectors.
-    const auto original =
-        core::train_ir2vec(fs_mbi.X, fs_mbi.y_binary, opts);
-    core::Ir2vecOptions reuse = opts;
-    reuse.use_ga = false;  // features fixed below
-    ml::DecisionTreeConfig cfg;
-    cfg.feature_subset = original.selected_features;
-    ml::DecisionTree dt(cfg);
+    // Select features on the original embedding (full-set training via
+    // the engine), then apply that feature subset to a DT trained on
+    // re-seeded vectors.
+    auto det = h.detector("ir2vec", cfg);
+    engine.fit_full(*det, mbi);
+    const auto* original = static_cast<core::Ir2vecDetector&>(*det).model();
+    ml::DecisionTreeConfig dt_cfg;
+    dt_cfg.feature_subset = original->selected_features;
+    ml::DecisionTree dt(dt_cfg);
     dt.fit(fs_mbi2.X, fs_mbi2.y_binary);
 
     Table s({"Scenario", "Accuracy (original seed)", "Accuracy (new seed)"});
     // Intra MBI comparison.
-    ml::Confusion before = core::ir2vec_intra(fs_mbi, opts);
+    const ml::Confusion before = engine.kfold(*det, mbi).confusion;
     std::size_t ok = 0;
     for (std::size_t i = 0; i < fs_mbi2.size(); ++i) {
       ok += (dt.predict(fs_mbi2.X[i]) == fs_mbi2.y_binary[i]);
@@ -79,7 +78,7 @@ int main(int argc, char** argv) {
     s.add_row({"Intra MBI", fmt_double(before.accuracy(), 3),
                fmt_double(static_cast<double>(ok) / fs_mbi2.size(), 3)});
     // Cross MBI->CORR comparison.
-    ml::Confusion cross_before = core::ir2vec_cross(fs_mbi, fs_corr, opts);
+    const ml::Confusion cross_before = engine.cross(*det, mbi, corr).confusion;
     std::size_t okc = 0;
     for (std::size_t i = 0; i < fs_corr2.size(); ++i) {
       okc += (dt.predict(fs_corr2.X[i]) == fs_corr2.y_binary[i]);

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
       "ko versions are labelled correctly, but no feature combination "
       "labels every cell (O0-ok stays hard)");
 
-  const auto opts = bench::ir2vec_options(args);
+  const auto opts = bench::detector_config(args).ir2vec;
   const auto res = core::hypre_study(mbi, corr, opts);
 
   Table t({"Training", "Features", "O0-ok", "O2-ok", "Os-ok", "O0-ko",

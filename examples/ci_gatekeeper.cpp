@@ -2,22 +2,22 @@
 // "our method can easily be integrated into an automatic toolchain
 // where, at compilation, a light ML-based verification step checks the
 // code". This example plays the role of that CI step: it trains the
-// IR2vec detector once, then screens a batch of "incoming commits"
-// (freshly generated programs the model has never seen) and prints a
-// gate decision per commit, comparing against what a dynamic tool run
-// (ITAC-lite) would have cost.
+// IR2vec detector once (EvalEngine::fit_full), then screens a batch of
+// "incoming commits" (freshly generated programs the model has never
+// seen) through the batched Detector::run entry point and prints a gate
+// decision per commit, comparing against what a dynamic tool run
+// (the registry's ITAC clone) would have cost.
 //
 //   $ ./examples/ci_gatekeeper
 #include <chrono>
 #include <iostream>
+#include <span>
 
-#include "core/ir2vec_detector.hpp"
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
 #include "datasets/mbi.hpp"
-#include "ir2vec/encoder.hpp"
-#include "progmodel/lower.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
-#include "verify/tool.hpp"
 
 using namespace mpidetect;
 
@@ -28,16 +28,20 @@ int main() {
   datasets::MbiConfig train_cfg;
   train_cfg.scale = 0.3;
   const auto train_ds = datasets::generate_mbi(train_cfg);
-  const auto features = core::extract_features(
-      train_ds, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  core::Ir2vecOptions opts;
-  opts.use_ga = false;
+
+  core::DetectorConfig cfg;
+  cfg.ir2vec.use_ga = false;
+  auto& registry = core::DetectorRegistry::global();
+  auto gate = registry.create("ir2vec", cfg);
+  auto itac = registry.create("itac", cfg);
+
+  core::EvalEngine engine;
   const auto t0 = Clock::now();
-  const auto model = core::train_ir2vec(features.X, features.y_binary, opts);
+  engine.fit_full(*gate, train_ds);
   const auto train_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
       Clock::now() - t0);
-  std::cout << "trained gate on " << features.size() << " codes in "
-            << train_ms.count() << " ms\n\n";
+  std::cout << "trained gate (" << gate->name() << ") on " << train_ds.size()
+            << " codes in " << train_ms.count() << " ms\n\n";
 
   // A batch of unseen "commits": different seed, mixed correctness.
   datasets::MbiConfig commit_cfg;
@@ -45,34 +49,29 @@ int main() {
   commit_cfg.seed = 0xC0117;
   const auto commits = datasets::generate_mbi(commit_cfg);
 
-  auto itac = verify::make_itac_lite();
-  ir2vec::Vocabulary vocab;
-
   Table t({"Commit", "Truth", "ML gate", "ITAC-lite", "Agree"});
   std::size_t ml_correct = 0, itac_correct = 0, both_agree = 0;
   std::chrono::microseconds ml_time{0}, itac_time{0};
   for (const auto& c : commits.cases) {
+    // The gate sees each commit as a fresh single-case batch: encode +
+    // predict, the static path a compiler hook would take.
     const auto e0 = Clock::now();
-    auto m = progmodel::lower(c.program);
-    passes::run_pipeline(*m, passes::OptLevel::Os);
-    auto row = ir2vec::encode_concat(*m, vocab);
-    ir2vec::normalize_vector(row, ir2vec::Normalization::Vector);
-    const bool ml_flag = model.predict(row) == 1;
+    const bool ml_flag = gate->run(std::span(&c, 1)).front().flagged();
     ml_time += std::chrono::duration_cast<std::chrono::microseconds>(
         Clock::now() - e0);
 
     const auto d0 = Clock::now();
-    const auto diag = itac->check(c);
+    const auto diag = itac->run(std::span(&c, 1)).front();
     itac_time += std::chrono::duration_cast<std::chrono::microseconds>(
         Clock::now() - d0);
-    const bool itac_flag = diag == verify::Diagnostic::Incorrect;
+    const bool itac_flag = diag.flagged();
 
     ml_correct += (ml_flag == c.incorrect);
     itac_correct += (itac_flag == c.incorrect);
     both_agree += (ml_flag == itac_flag);
     t.add_row({c.name.substr(0, 40), c.incorrect ? "bug" : "clean",
                ml_flag ? "BLOCK" : "pass",
-               std::string(verify::diagnostic_name(diag)),
+               std::string(core::outcome_name(diag.outcome)),
                ml_flag == itac_flag ? "yes" : "no"});
   }
   t.print(std::cout);

@@ -1,14 +1,15 @@
 // cross_suite_transfer: the generalization question of §V-C — does a
 // model trained on one benchmark suite detect the *different* error
 // vocabulary of the other? Trains on MBI, validates on MPI-CorrBench
-// (and the reverse), with and without GA feature selection, and prints
-// which error classes transfer.
+// (and the reverse) through EvalEngine::cross, with and without GA
+// feature selection, and prints which error classes transfer (the
+// per-label breakdown every EvalReport carries).
 //
 //   $ ./examples/cross_suite_transfer
 #include <iostream>
-#include <map>
 
-#include "core/ir2vec_detector.hpp"
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
 #include "datasets/corrbench.hpp"
 #include "datasets/mbi.hpp"
 #include "support/str.hpp"
@@ -18,23 +19,21 @@ using namespace mpidetect;
 
 namespace {
 
-void per_label_transfer(const core::TrainedIr2vec& model,
-                        const core::FeatureSet& valid) {
-  std::map<std::string, std::pair<std::size_t, std::size_t>> by_label;
-  for (std::size_t i = 0; i < valid.size(); ++i) {
-    auto& [hit, total] = by_label[valid.label_names[valid.y_label[i]]];
-    ++total;
-    const bool flagged = model.predict(valid.X[i]) == 1;
-    hit += (flagged == valid.incorrect[i]);
-  }
+void per_label_table(const core::EvalReport& report) {
   Table t({"Validation label", "Correctly classified", "Total", "Rate"});
-  for (const auto& [label, counts] : by_label) {
+  for (const auto& [label, counts] : report.per_label) {
     t.add_row({label, std::to_string(counts.first),
                std::to_string(counts.second),
                fmt_percent(static_cast<double>(counts.first) /
                            counts.second)});
   }
   t.print(std::cout);
+}
+
+void report_line(const char* tag, const core::EvalReport& r) {
+  std::cout << tag << r.confusion.to_string() << "  accuracy "
+            << fmt_percent(r.confusion.accuracy()) << "  ("
+            << fmt_double(r.wall_seconds, 2) << " s)\n";
 }
 
 }  // namespace
@@ -46,36 +45,30 @@ int main() {
   const auto mbi = datasets::generate_mbi(mcfg);
   const auto corr = datasets::generate_corrbench(ccfg);
 
-  const auto fs_mbi = core::extract_features(
-      mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  const auto fs_corr = core::extract_features(
-      corr, passes::OptLevel::Os, ir2vec::Normalization::Vector);
+  core::DetectorConfig no_ga;
+  no_ga.ir2vec.use_ga = false;
+  core::DetectorConfig with_ga;
+  with_ga.ir2vec.use_ga = true;
+  with_ga.ir2vec.ga.population = 200;
+  with_ga.ir2vec.ga.generations = 10;
 
-  core::Ir2vecOptions no_ga;
-  no_ga.use_ga = false;
-  core::Ir2vecOptions with_ga;
-  with_ga.use_ga = true;
-  with_ga.ga.population = 200;
-  with_ga.ga.generations = 10;
+  // One engine + cache: both detectors reuse the same suite encodings.
+  core::EvalEngine engine;
+  auto& registry = core::DetectorRegistry::global();
+  auto plain = registry.create("ir2vec", no_ga);
+  auto tuned = registry.create("ir2vec", with_ga);
 
   std::cout << "=== MBI -> MPI-CorrBench ===\n";
-  for (const auto* opts : {&no_ga, &with_ga}) {
-    const auto c = core::ir2vec_cross(fs_mbi, fs_corr, *opts);
-    std::cout << (opts->use_ga ? "with GA:    " : "without GA: ")
-              << c.to_string() << "  accuracy " << fmt_percent(c.accuracy())
-              << "\n";
-  }
+  report_line("without GA: ", engine.cross(*plain, mbi, corr));
+  const auto m2c = engine.cross(*tuned, mbi, corr);
+  report_line("with GA:    ", m2c);
   std::cout << "\nper-label transfer (with GA):\n";
-  per_label_transfer(core::train_ir2vec(fs_mbi.X, fs_mbi.y_binary, with_ga),
-                     fs_corr);
+  per_label_table(m2c);
 
   std::cout << "\n=== MPI-CorrBench -> MBI ===\n";
-  for (const auto* opts : {&no_ga, &with_ga}) {
-    const auto c = core::ir2vec_cross(fs_corr, fs_mbi, *opts);
-    std::cout << (opts->use_ga ? "with GA:    " : "without GA: ")
-              << c.to_string() << "  accuracy " << fmt_percent(c.accuracy())
-              << "\n";
-  }
+  report_line("without GA: ", engine.cross(*plain, corr, mbi));
+  report_line("with GA:    ", engine.cross(*tuned, corr, mbi));
+
   std::cout << "\nNote: the suites label different error vocabularies — "
                "the model transfers *code patterns*, not labels (paper "
                "§V-C).\n";

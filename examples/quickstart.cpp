@@ -1,11 +1,13 @@
 // Quickstart: build one MPI program, inspect its IR and ProGraML graph,
 // embed it with IR2vec, run it in the simulator, and classify it with a
-// detector trained on the synthetic MBI corpus.
+// registry-built detector trained on the synthetic MBI corpus through
+// the unified Detector API.
 //
 //   $ ./examples/quickstart
 #include <iostream>
 
-#include "core/ir2vec_detector.hpp"
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
 #include "datasets/mbi.hpp"
 #include "ir/printer.hpp"
 #include "ir2vec/encoder.hpp"
@@ -78,21 +80,32 @@ int main() {
   std::cout << "IR2vec embedding: " << embedding.size()
             << " dims (symbolic ++ flow-aware)\n\n";
 
-  // 4. Train a detector on a reduced MBI corpus and classify the code.
+  // 4. Build the IR2vec detector from the registry, train it on a
+  //    reduced MBI corpus, and classify the program through run().
   datasets::MbiConfig mbi_cfg;
   mbi_cfg.scale = 0.25;
   const auto mbi = datasets::generate_mbi(mbi_cfg);
-  const auto features = core::extract_features(
-      mbi, passes::OptLevel::Os, ir2vec::Normalization::Vector);
-  core::Ir2vecOptions opts;
-  opts.use_ga = false;  // keep the quickstart fast
-  const auto model = core::train_ir2vec(features.X, features.y_binary, opts);
 
-  auto own = ir2vec::encode_concat(*module, vocab);
-  ir2vec::normalize_vector(own, ir2vec::Normalization::Vector);
-  const bool predicted_incorrect = model.predict(own) == 1;
+  core::DetectorConfig det_cfg;
+  det_cfg.ir2vec.use_ga = false;  // keep the quickstart fast
+  auto detector = core::DetectorRegistry::global().create("ir2vec", det_cfg);
+
+  core::EvalEngine engine(0, det_cfg.cache);
+  engine.fit_full(*detector, mbi);
+
+  datasets::Case own;
+  own.name = program.name;
+  own.suite = datasets::Suite::Mbi;
+  own.mbi_label = mpi::MbiLabel::CallOrdering;
+  own.incorrect = true;  // ground truth, not visible to the detector
+  own.program = program;
+
+  const auto verdicts = detector->run(std::span(&own, 1));
+  const bool predicted_incorrect = verdicts.front().flagged();
   std::cout << "--- verdicts ---------------------------------------\n"
-            << "detector trained on " << features.size() << " MBI codes\n"
+            << "detector " << detector->name() << " ("
+            << core::detector_kind_name(detector->kind()) << ") trained on "
+            << mbi.size() << " MBI codes\n"
             << "prediction for buggy_pingpong: "
             << (predicted_incorrect ? "INCORRECT (error detected)"
                                     : "correct")

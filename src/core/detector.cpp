@@ -1,0 +1,332 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/threads.hpp"
+
+namespace mpidetect::core {
+
+std::string_view detector_kind_name(DetectorKind k) {
+  switch (k) {
+    case DetectorKind::Static: return "static";
+    case DetectorKind::Dynamic: return "dynamic";
+    case DetectorKind::Learned: return "learned";
+  }
+  MPIDETECT_UNREACHABLE("bad DetectorKind");
+}
+
+std::string_view outcome_name(Verdict::Outcome o) {
+  switch (o) {
+    case Verdict::Outcome::Correct: return "correct";
+    case Verdict::Outcome::Incorrect: return "incorrect";
+    case Verdict::Outcome::Timeout: return "timeout";
+    case Verdict::Outcome::RuntimeErr: return "runtime-error";
+    case Verdict::Outcome::CompileErr: return "compile-error";
+  }
+  MPIDETECT_UNREACHABLE("bad Verdict::Outcome");
+}
+
+Verdict Verdict::from_diagnostic(verify::Diagnostic d) {
+  Verdict v;
+  switch (d) {
+    case verify::Diagnostic::Correct: v.outcome = Outcome::Correct; break;
+    case verify::Diagnostic::Incorrect: v.outcome = Outcome::Incorrect; break;
+    case verify::Diagnostic::Timeout: v.outcome = Outcome::Timeout; break;
+    case verify::Diagnostic::RuntimeErr: v.outcome = Outcome::RuntimeErr; break;
+    case verify::Diagnostic::CompileErr: v.outcome = Outcome::CompileErr; break;
+  }
+  return v;
+}
+
+verify::Diagnostic Verdict::to_diagnostic() const {
+  switch (outcome) {
+    case Outcome::Correct: return verify::Diagnostic::Correct;
+    case Outcome::Incorrect: return verify::Diagnostic::Incorrect;
+    case Outcome::Timeout: return verify::Diagnostic::Timeout;
+    case Outcome::RuntimeErr: return verify::Diagnostic::RuntimeErr;
+    case Outcome::CompileErr: return verify::Diagnostic::CompileErr;
+  }
+  MPIDETECT_UNREACHABLE("bad Verdict::Outcome");
+}
+
+void Detector::use_cache(const std::shared_ptr<EncodingCache>&) {}
+
+void Detector::prepare(const datasets::Dataset&, unsigned) {}
+
+void Detector::fit(const datasets::Dataset&, std::span<const std::size_t>,
+                   std::span<const std::size_t>, const FitSpec&) {}
+
+void Detector::discard(const datasets::Dataset&) {}
+
+std::vector<Verdict> Detector::run(std::span<const datasets::Case> cases) {
+  datasets::Dataset batch;
+  batch.name = "batch";
+  batch.cases.assign(cases.begin(), cases.end());
+  prepare(batch);
+  std::vector<Verdict> out;
+  out.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out.push_back(evaluate(batch, i));
+  }
+  discard(batch);  // ad-hoc batches must not accumulate in the cache
+  return out;
+}
+
+// ---- ToolDetector -----------------------------------------------------------
+
+ToolDetector::ToolDetector(ToolFactory factory, DetectorKind kind)
+    : factory_(std::move(factory)), tool_(factory_()), kind_(kind) {
+  MPIDETECT_EXPECTS(tool_ != nullptr);
+}
+
+std::unique_ptr<Detector> ToolDetector::clone() const {
+  return std::make_unique<ToolDetector>(factory_, kind_);
+}
+
+Verdict ToolDetector::evaluate(const datasets::Dataset& ds, std::size_t idx) {
+  return Verdict::from_diagnostic(tool_->check(ds.cases[idx]));
+}
+
+// ---- Ir2vecDetector ---------------------------------------------------------
+
+Ir2vecDetector::Ir2vecDetector(DetectorConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.cache) cfg_.cache = std::make_shared<EncodingCache>();
+}
+
+std::unique_ptr<Detector> Ir2vecDetector::clone() const {
+  return std::make_unique<Ir2vecDetector>(cfg_);
+}
+
+EvalOptions Ir2vecDetector::eval_defaults() const {
+  EvalOptions o;
+  o.folds = cfg_.ir2vec.folds;
+  o.seed = cfg_.ir2vec.seed;
+  return o;
+}
+
+void Ir2vecDetector::use_cache(const std::shared_ptr<EncodingCache>& cache) {
+  if (cache && cache != cfg_.cache) {
+    cfg_.cache = cache;
+    bound_ds_ = nullptr;
+    bound_fs_ = nullptr;
+  }
+}
+
+const FeatureSet& Ir2vecDetector::features(const datasets::Dataset& ds,
+                                           unsigned threads) {
+  if (bound_ds_ == &ds) return *bound_fs_;
+  return cfg_.cache->features(ds, cfg_.feature_opt, cfg_.normalization,
+                              cfg_.vocab_seed, threads);
+}
+
+void Ir2vecDetector::prepare(const datasets::Dataset& ds, unsigned threads) {
+  bound_fs_ = &cfg_.cache->features(ds, cfg_.feature_opt, cfg_.normalization,
+                                    cfg_.vocab_seed, threads);
+  bound_ds_ = &ds;
+}
+
+void Ir2vecDetector::discard(const datasets::Dataset& ds) {
+  cfg_.cache->erase(ds);
+  if (bound_ds_ == &ds) {
+    bound_ds_ = nullptr;
+    bound_fs_ = nullptr;
+  }
+}
+
+void Ir2vecDetector::fit(const datasets::Dataset& ds,
+                         std::span<const std::size_t> train_idx,
+                         std::span<const std::size_t> y, const FitSpec& spec) {
+  MPIDETECT_EXPECTS(train_idx.size() == y.size());
+  prepare(ds, spec.threads);
+  const FeatureSet& fs = *bound_fs_;
+  std::vector<std::vector<double>> X;
+  X.reserve(train_idx.size());
+  for (const std::size_t i : train_idx) X.push_back(fs.X[i]);
+
+  Ir2vecOptions o = cfg_.ir2vec;
+  if (spec.fold.has_value()) o.seed = cfg_.ir2vec.seed + *spec.fold;
+  if (spec.threads != 0) {
+    o.threads = spec.threads;
+    o.ga.threads = spec.threads;
+  }
+  model_ = train_ir2vec(X, {y.begin(), y.end()}, o);
+  multiclass_ = spec.multiclass;
+}
+
+Verdict Ir2vecDetector::evaluate(const datasets::Dataset& ds,
+                                 std::size_t idx) {
+  if (!model_.has_value()) {
+    throw ContractViolation("Ir2vecDetector: fit() before evaluate()/run()");
+  }
+  const FeatureSet& fs = features(ds, 0);
+  const std::size_t pred = model_->predict(fs.X[idx]);
+  Verdict v;
+  if (multiclass_) {
+    v.predicted_label = pred;
+    v.outcome = (pred < fs.label_names.size() &&
+                 fs.label_names[pred] == "Correct")
+                    ? Verdict::Outcome::Correct
+                    : Verdict::Outcome::Incorrect;
+  } else {
+    v.outcome = pred == 1 ? Verdict::Outcome::Incorrect
+                          : Verdict::Outcome::Correct;
+  }
+  return v;
+}
+
+const TrainedIr2vec* Ir2vecDetector::model() const {
+  return model_.has_value() ? &*model_ : nullptr;
+}
+
+// ---- GnnDetector ------------------------------------------------------------
+
+GnnDetector::GnnDetector(DetectorConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.cache) cfg_.cache = std::make_shared<EncodingCache>();
+}
+
+GnnDetector::~GnnDetector() = default;
+
+std::unique_ptr<Detector> GnnDetector::clone() const {
+  return std::make_unique<GnnDetector>(cfg_);
+}
+
+EvalOptions GnnDetector::eval_defaults() const {
+  EvalOptions o;
+  o.folds = cfg_.gnn.folds;
+  o.seed = cfg_.gnn.seed;
+  return o;
+}
+
+void GnnDetector::use_cache(const std::shared_ptr<EncodingCache>& cache) {
+  if (cache && cache != cfg_.cache) {
+    cfg_.cache = cache;
+    bound_ds_ = nullptr;
+    bound_gs_ = nullptr;
+  }
+}
+
+const GraphSet& GnnDetector::graphs(const datasets::Dataset& ds,
+                                    unsigned threads) {
+  if (bound_ds_ == &ds) return *bound_gs_;
+  return cfg_.cache->graphs(ds, cfg_.graph_opt, threads);
+}
+
+void GnnDetector::prepare(const datasets::Dataset& ds, unsigned threads) {
+  bound_gs_ = &cfg_.cache->graphs(ds, cfg_.graph_opt, threads);
+  bound_ds_ = &ds;
+}
+
+void GnnDetector::discard(const datasets::Dataset& ds) {
+  cfg_.cache->erase(ds);
+  if (bound_ds_ == &ds) {
+    bound_ds_ = nullptr;
+    bound_gs_ = nullptr;
+  }
+}
+
+void GnnDetector::fit(const datasets::Dataset& ds,
+                      std::span<const std::size_t> train_idx,
+                      std::span<const std::size_t> y, const FitSpec& spec) {
+  MPIDETECT_EXPECTS(train_idx.size() == y.size());
+  if (spec.multiclass) {
+    throw ContractViolation("GnnDetector: multi-class training unsupported");
+  }
+  prepare(ds, spec.threads);
+  const GraphSet& gs = *bound_gs_;
+  std::vector<programl::ProgramGraph> graphs;
+  graphs.reserve(train_idx.size());
+  for (const std::size_t i : train_idx) graphs.push_back(gs.graphs[i]);
+
+  ml::GnnConfig cfg = cfg_.gnn.cfg;
+  cfg.classes = 2;
+  cfg.seed = spec.fold.has_value() ? cfg_.gnn.seed * 97 + *spec.fold
+                                   : cfg_.gnn.seed;
+  model_ = std::make_unique<ml::GnnModel>(cfg);
+  model_->fit(graphs, {y.begin(), y.end()});
+}
+
+Verdict GnnDetector::evaluate(const datasets::Dataset& ds, std::size_t idx) {
+  if (!model_) {
+    throw ContractViolation("GnnDetector: fit() before evaluate()/run()");
+  }
+  const GraphSet& gs = graphs(ds, 0);
+  const auto proba = model_->predict_proba(gs.graphs[idx]);
+  const std::size_t pred = static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  Verdict v;
+  v.outcome =
+      pred == 1 ? Verdict::Outcome::Incorrect : Verdict::Outcome::Correct;
+  v.confidence = proba[pred];
+  return v;
+}
+
+// ---- DetectorRegistry -------------------------------------------------------
+
+DetectorRegistry::DetectorRegistry() {
+  add("itac", [](const DetectorConfig&) {
+    return std::make_unique<ToolDetector>(verify::make_itac_lite,
+                                          DetectorKind::Dynamic);
+  });
+  add("must", [](const DetectorConfig&) {
+    return std::make_unique<ToolDetector>(verify::make_must_lite,
+                                          DetectorKind::Dynamic);
+  });
+  add("parcoach", [](const DetectorConfig&) {
+    return std::make_unique<ToolDetector>(verify::make_parcoach_lite,
+                                          DetectorKind::Static);
+  });
+  add("mpi-checker", [](const DetectorConfig&) {
+    return std::make_unique<ToolDetector>(verify::make_mpichecker_lite,
+                                          DetectorKind::Static);
+  });
+  add("ir2vec", [](const DetectorConfig& cfg) {
+    return std::make_unique<Ir2vecDetector>(cfg);
+  });
+  add("gnn", [](const DetectorConfig& cfg) {
+    return std::make_unique<GnnDetector>(cfg);
+  });
+}
+
+DetectorRegistry& DetectorRegistry::global() {
+  static DetectorRegistry registry;
+  return registry;
+}
+
+void DetectorRegistry::add(std::string name, Factory factory) {
+  MPIDETECT_EXPECTS(!name.empty());
+  MPIDETECT_EXPECTS(factory != nullptr);
+  const auto [it, inserted] =
+      factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    throw ContractViolation("detector already registered: " + it->first);
+  }
+}
+
+bool DetectorRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> DetectorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Detector> DetectorRegistry::create(
+    std::string_view name, const DetectorConfig& cfg) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw ContractViolation("unknown detector: " + std::string(name) +
+                            " (known: " + known + ")");
+  }
+  return it->second(cfg);
+}
+
+}  // namespace mpidetect::core

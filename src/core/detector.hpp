@@ -1,0 +1,260 @@
+// The unified detector surface of the repo: expert verification tools
+// (ITAC/MUST/PARCOACH/MPI-Checker clones) and learned detectors
+// (IR2vec+DT, ProGraML+GATv2) behind one polymorphic interface, plus a
+// string-keyed registry that constructs any of the six by name. The
+// cross-cutting evaluation protocols (k-fold CV, suite transfer,
+// sweeps, ablations) live in EvalEngine (core/eval_engine.hpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/encoding_cache.hpp"
+#include "core/gnn_detector.hpp"
+#include "core/ir2vec_detector.hpp"
+#include "datasets/dataset.hpp"
+#include "verify/tool.hpp"
+
+namespace mpidetect::core {
+
+enum class DetectorKind : std::uint8_t {
+  Static,   // analyses the code without executing it (PARCOACH, MPI-Checker)
+  Dynamic,  // executes / traces the code (ITAC, MUST)
+  Learned,  // trained on a corpus (IR2vec+DT, ProGraML+GATv2)
+};
+
+std::string_view detector_kind_name(DetectorKind k);
+
+/// The outcome of running one detector on one case. Subsumes
+/// verify::Diagnostic (the expert tools' answer vocabulary) and adds the
+/// learned detectors' predicted class and confidence.
+struct Verdict {
+  enum class Outcome : std::uint8_t {
+    Correct,     // code reported clean
+    Incorrect,   // error reported
+    Timeout,     // no conclusion within budget (TO)
+    RuntimeErr,  // detector crashed while analysing (RE)
+    CompileErr,  // detector could not ingest the code (CE)
+  };
+
+  Outcome outcome = Outcome::Correct;
+  /// Predicted class index under multi-class training (Figure 6).
+  std::optional<std::size_t> predicted_label;
+  /// Class probability when the model exposes one (the GNN does).
+  std::optional<double> confidence;
+
+  bool flagged() const { return outcome == Outcome::Incorrect; }
+  bool conclusive() const {
+    return outcome == Outcome::Correct || outcome == Outcome::Incorrect;
+  }
+
+  static Verdict from_diagnostic(verify::Diagnostic d);
+  verify::Diagnostic to_diagnostic() const;
+};
+
+std::string_view outcome_name(Verdict::Outcome o);
+inline constexpr std::size_t kNumOutcomes = 5;
+
+/// Per-training-call knobs EvalEngine passes to trainable detectors.
+struct FitSpec {
+  /// Cross-validation fold index; each detector derives its legacy
+  /// per-fold seed stream from it (nullopt = full-set training).
+  std::optional<std::size_t> fold;
+  /// 0 keeps the detector's own thread option; a non-zero value forces
+  /// it (EvalEngine forces 1 while folds train in parallel).
+  unsigned threads = 0;
+  /// Train on per-label classes instead of binary correct/incorrect.
+  bool multiclass = false;
+};
+
+/// Evaluation-protocol defaults a detector carries with it (fold count
+/// and fold-assignment seed reproducing the paper setup). Protocol
+/// parallelism is the engine's worker-pool width, fixed at
+/// EvalEngine construction.
+struct EvalOptions {
+  int folds = 10;
+  std::uint64_t seed = 1;   // fold assignment (keep equal to the
+                            // detector's own seed for the paper protocol)
+  bool multiclass = false;  // per-label protocol (Figure 6)
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual DetectorKind kind() const = 0;
+  virtual bool trainable() const { return false; }
+  /// Whether evaluate() may be called concurrently on one instance.
+  virtual bool parallel_eval_safe() const { return true; }
+
+  /// A fresh detector with the same configuration (fitted state is not
+  /// copied); EvalEngine clones once per CV fold.
+  virtual std::unique_ptr<Detector> clone() const = 0;
+
+  /// The k-fold / seed defaults reproducing the paper protocol for this
+  /// detector.
+  virtual EvalOptions eval_defaults() const { return {}; }
+
+  /// Shares an encoding cache with the detector (no-op for detectors
+  /// that do not encode). A cache set at construction wins.
+  virtual void use_cache(const std::shared_ptr<EncodingCache>& cache);
+
+  /// Pre-encodes `ds` so later fit / evaluate calls against it are
+  /// cheap. No-op for the expert tools.
+  virtual void prepare(const datasets::Dataset& ds, unsigned threads = 0);
+
+  /// Trains on the `train_idx` rows of `ds` with labels `y` (parallel to
+  /// `train_idx`). No-op for the expert tools.
+  virtual void fit(const datasets::Dataset& ds,
+                   std::span<const std::size_t> train_idx,
+                   std::span<const std::size_t> y, const FitSpec& spec);
+
+  /// Verdict for one case of a prepared dataset.
+  virtual Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) = 0;
+
+  /// Drops any cached state the detector holds for `ds` (no-op for
+  /// detectors that do not encode). run() calls this on its ad-hoc
+  /// batch so repeated batched inference does not grow the cache.
+  virtual void discard(const datasets::Dataset& ds);
+
+  /// Batched entry point: verdicts for an arbitrary batch of cases.
+  /// Learned detectors must have been fitted (or cloned from a fitted
+  /// instance's configuration and refitted) beforehand.
+  std::vector<Verdict> run(std::span<const datasets::Case> cases);
+};
+
+/// Shared construction-time configuration for the registry factories.
+/// One DetectorConfig (with one shared EncodingCache) wires a whole
+/// bench: every detector built from it encodes each dataset once.
+struct DetectorConfig {
+  Ir2vecOptions ir2vec;
+  GnnOptions gnn;
+  passes::OptLevel feature_opt = passes::OptLevel::Os;  // paper: -Os
+  ir2vec::Normalization normalization = ir2vec::Normalization::Vector;
+  passes::OptLevel graph_opt = passes::OptLevel::O0;  // paper: -O0
+  std::uint64_t vocab_seed = 0x12c0ffee;
+  std::shared_ptr<EncodingCache> cache;  // created on demand when null
+};
+
+/// Adapter exposing a verify::VerificationTool as a Detector.
+class ToolDetector final : public Detector {
+ public:
+  using ToolFactory = std::function<std::unique_ptr<verify::VerificationTool>()>;
+
+  ToolDetector(ToolFactory factory, DetectorKind kind);
+
+  std::string_view name() const override { return tool_->name(); }
+  DetectorKind kind() const override { return kind_; }
+  std::unique_ptr<Detector> clone() const override;
+  Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) override;
+
+ private:
+  ToolFactory factory_;
+  std::unique_ptr<verify::VerificationTool> tool_;
+  DetectorKind kind_;
+};
+
+/// The IR2vec + decision-tree detector (Figure 4) as a Detector.
+class Ir2vecDetector final : public Detector {
+ public:
+  explicit Ir2vecDetector(DetectorConfig cfg = {});
+
+  std::string_view name() const override { return "IR2vec+DT"; }
+  DetectorKind kind() const override { return DetectorKind::Learned; }
+  bool trainable() const override { return true; }
+  std::unique_ptr<Detector> clone() const override;
+  EvalOptions eval_defaults() const override;
+  void use_cache(const std::shared_ptr<EncodingCache>& cache) override;
+  void prepare(const datasets::Dataset& ds, unsigned threads = 0) override;
+  void fit(const datasets::Dataset& ds,
+           std::span<const std::size_t> train_idx,
+           std::span<const std::size_t> y, const FitSpec& spec) override;
+  Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) override;
+  void discard(const datasets::Dataset& ds) override;
+
+  /// The trained model (nullptr before fit); exposes the GA-selected
+  /// feature subset for the seed study and Table VI.
+  const TrainedIr2vec* model() const;
+  const DetectorConfig& config() const { return cfg_; }
+
+ private:
+  const FeatureSet& features(const datasets::Dataset& ds, unsigned threads);
+
+  DetectorConfig cfg_;
+  std::optional<TrainedIr2vec> model_;
+  bool multiclass_ = false;
+  /// Memo of the last prepared/fitted dataset's encoding, so evaluate()
+  /// does not re-resolve through the cache per case. Set only from the
+  /// single-threaded prepare()/fit() entry points.
+  const datasets::Dataset* bound_ds_ = nullptr;
+  const FeatureSet* bound_fs_ = nullptr;
+};
+
+/// The ProGraML + GATv2 detector (Figure 5) as a Detector.
+class GnnDetector final : public Detector {
+ public:
+  explicit GnnDetector(DetectorConfig cfg = {});
+  ~GnnDetector() override;
+
+  std::string_view name() const override { return "ProGraML+GATv2"; }
+  DetectorKind kind() const override { return DetectorKind::Learned; }
+  bool trainable() const override { return true; }
+  /// Inference builds an autograd tape; one model is not re-entrant.
+  bool parallel_eval_safe() const override { return false; }
+  std::unique_ptr<Detector> clone() const override;
+  EvalOptions eval_defaults() const override;
+  void use_cache(const std::shared_ptr<EncodingCache>& cache) override;
+  void prepare(const datasets::Dataset& ds, unsigned threads = 0) override;
+  void fit(const datasets::Dataset& ds,
+           std::span<const std::size_t> train_idx,
+           std::span<const std::size_t> y, const FitSpec& spec) override;
+  Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) override;
+  void discard(const datasets::Dataset& ds) override;
+
+  const DetectorConfig& config() const { return cfg_; }
+
+ private:
+  const GraphSet& graphs(const datasets::Dataset& ds, unsigned threads);
+
+  DetectorConfig cfg_;
+  std::unique_ptr<ml::GnnModel> model_;
+  const datasets::Dataset* bound_ds_ = nullptr;
+  const GraphSet* bound_gs_ = nullptr;
+};
+
+/// String-keyed factory registry. The six paper detectors are
+/// pre-registered under "itac", "must", "parcoach", "mpi-checker",
+/// "ir2vec" and "gnn"; additional detectors can be added at runtime.
+class DetectorRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Detector>(const DetectorConfig&)>;
+
+  DetectorRegistry();  // pre-registers the built-ins
+
+  /// The process-wide registry instance.
+  static DetectorRegistry& global();
+
+  /// Registers a factory; throws ContractViolation on a duplicate name.
+  void add(std::string name, Factory factory);
+
+  bool contains(std::string_view name) const;
+  std::vector<std::string> names() const;
+
+  /// Constructs a detector; throws ContractViolation with the list of
+  /// known names when `name` is unknown.
+  std::unique_ptr<Detector> create(std::string_view name,
+                                   const DetectorConfig& cfg = {}) const;
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace mpidetect::core

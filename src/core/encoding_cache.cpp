@@ -1,0 +1,175 @@
+#include "core/encoding_cache.hpp"
+
+#include "support/check.hpp"
+
+namespace mpidetect::core {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t EncodingCache::fingerprint(const datasets::Dataset& ds) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, ds.name.data(), ds.name.size());
+  for (const auto& c : ds.cases) {
+    h = fnv1a(h, c.name.data(), c.name.size());
+    const unsigned char tag =
+        static_cast<unsigned char>(c.incorrect) |
+        static_cast<unsigned char>(static_cast<unsigned>(c.suite) << 1) |
+        static_cast<unsigned char>(static_cast<unsigned>(c.mbi_label) << 2);
+    h = fnv1a(h, &tag, 1);
+    const auto corr = static_cast<unsigned char>(c.corr_label);
+    h = fnv1a(h, &corr, 1);
+  }
+  return h;
+}
+
+EncodingCache::Key EncodingCache::feature_key(const datasets::Dataset& ds,
+                                              passes::OptLevel opt,
+                                              ir2vec::Normalization norm,
+                                              std::uint64_t vocab_seed) {
+  return Key{fingerprint(ds), ds.size(), static_cast<int>(opt),
+             static_cast<int>(norm), vocab_seed};
+}
+
+EncodingCache::Key EncodingCache::graph_key(const datasets::Dataset& ds,
+                                            passes::OptLevel opt) {
+  return Key{fingerprint(ds), ds.size(), static_cast<int>(opt), -1, 0};
+}
+
+const FeatureSet& EncodingCache::features(const datasets::Dataset& ds,
+                                          passes::OptLevel opt,
+                                          ir2vec::Normalization norm,
+                                          std::uint64_t vocab_seed,
+                                          unsigned threads) {
+  const Key key = feature_key(ds, opt, norm, vocab_seed);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = features_.find(key);
+  if (it == features_.end()) {
+    auto fs = std::make_unique<FeatureSet>(
+        extract_features(ds, opt, norm, vocab_seed, threads));
+    it = features_.emplace(key, std::move(fs)).first;
+  }
+  return *it->second;
+}
+
+const GraphSet& EncodingCache::graphs(const datasets::Dataset& ds,
+                                      passes::OptLevel opt, unsigned threads) {
+  const Key key = graph_key(ds, opt);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(key);
+  if (it == graphs_.end()) {
+    auto gs = std::make_unique<GraphSet>(extract_graphs(ds, opt, threads));
+    it = graphs_.emplace(key, std::move(gs)).first;
+  }
+  return *it->second;
+}
+
+void EncodingCache::put_features(const datasets::Dataset& ds,
+                                 passes::OptLevel opt,
+                                 ir2vec::Normalization norm,
+                                 std::uint64_t vocab_seed, FeatureSet fs) {
+  MPIDETECT_EXPECTS(fs.size() == ds.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      features_.emplace(feature_key(ds, opt, norm, vocab_seed),
+                        std::make_unique<FeatureSet>(std::move(fs)));
+  if (!inserted) {
+    throw ContractViolation("EncodingCache::put_features: slot occupied for "
+                            "dataset '" + ds.name + "'");
+  }
+}
+
+void EncodingCache::put_graphs(const datasets::Dataset& ds,
+                               passes::OptLevel opt, GraphSet gs) {
+  MPIDETECT_EXPECTS(gs.size() == ds.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = graphs_.emplace(
+      graph_key(ds, opt), std::make_unique<GraphSet>(std::move(gs)));
+  if (!inserted) {
+    throw ContractViolation("EncodingCache::put_graphs: slot occupied for "
+                            "dataset '" + ds.name + "'");
+  }
+}
+
+void EncodingCache::erase(const datasets::Dataset& ds) {
+  const std::uint64_t fp = fingerprint(ds);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(features_,
+                [&](const auto& e) { return e.first.fingerprint == fp; });
+  std::erase_if(graphs_,
+                [&](const auto& e) { return e.first.fingerprint == fp; });
+}
+
+std::size_t EncodingCache::feature_set_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return features_.size();
+}
+
+std::size_t EncodingCache::graph_set_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+namespace {
+
+/// Reverse-maps a unified label string onto the suite enums so skeleton
+/// cases report the same label_name() as the original dataset.
+void set_case_label(datasets::Case& c, const std::string& label) {
+  for (unsigned i = 0; i < mpi::kNumMbiLabels; ++i) {
+    const auto l = static_cast<mpi::MbiLabel>(i);
+    if (label == mpi::mbi_label_name(l)) {
+      c.suite = datasets::Suite::Mbi;
+      c.mbi_label = l;
+      return;
+    }
+  }
+  for (unsigned i = 0; i < mpi::kNumCorrLabels; ++i) {
+    const auto l = static_cast<mpi::CorrLabel>(i);
+    if (label == mpi::corr_label_name(l)) {
+      c.suite = datasets::Suite::CorrBench;
+      c.corr_label = l;
+      return;
+    }
+  }
+  throw ContractViolation("unknown label: " + label);
+}
+
+}  // namespace
+
+datasets::Dataset skeleton_dataset(const FeatureSet& fs) {
+  datasets::Dataset ds;
+  ds.name = "features";
+  ds.cases.resize(fs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    datasets::Case& c = ds.cases[i];
+    c.name = fs.case_names[i];
+    c.incorrect = fs.incorrect[i];
+    set_case_label(c, fs.label_names[fs.y_label[i]]);
+  }
+  return ds;
+}
+
+datasets::Dataset skeleton_dataset(const GraphSet& gs) {
+  datasets::Dataset ds;
+  ds.name = "graphs";
+  ds.cases.resize(gs.size());
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    // GraphSet carries no per-label taxonomy; binary protocols only read
+    // the correctness flag.
+    ds.cases[i].name = gs.case_names[i];
+    ds.cases[i].incorrect = gs.incorrect[i];
+  }
+  return ds;
+}
+
+}  // namespace mpidetect::core

@@ -1,0 +1,81 @@
+// Memoisation of the "compile + embed" front half of both detector
+// pipelines. EvalEngine and every learned detector share one
+// EncodingCache, so a dataset is lowered/optimised/embedded once per run
+// instead of once per detector or once per protocol.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/features.hpp"
+
+namespace mpidetect::core {
+
+/// Thread-safe memo of extract_features / extract_graphs results, keyed
+/// by dataset content and extraction configuration. Returned references
+/// stay valid until the entry is explicitly erase()d (the compute-on-
+/// miss path never evicts, and put_* refuses to overwrite).
+class EncodingCache {
+ public:
+  /// Returns the IR2vec feature matrix of `ds`, computing it on first
+  /// use. `threads` only affects the (parallel) first computation.
+  const FeatureSet& features(const datasets::Dataset& ds,
+                             passes::OptLevel opt, ir2vec::Normalization norm,
+                             std::uint64_t vocab_seed, unsigned threads = 0);
+
+  /// Returns the ProGraML graph set of `ds`, computing it on first use.
+  const GraphSet& graphs(const datasets::Dataset& ds, passes::OptLevel opt,
+                         unsigned threads = 0);
+
+  /// Pre-seeds the cache with an externally computed encoding. Used by
+  /// the legacy FeatureSet / GraphSet entry points (and by benches that
+  /// synthesise ablated feature matrices) to route pre-encoded data
+  /// through EvalEngine. Throws ContractViolation when the slot is
+  /// already occupied — overwriting would invalidate references handed
+  /// out earlier; give synthesised datasets distinct names instead.
+  void put_features(const datasets::Dataset& ds, passes::OptLevel opt,
+                    ir2vec::Normalization norm, std::uint64_t vocab_seed,
+                    FeatureSet fs);
+  void put_graphs(const datasets::Dataset& ds, passes::OptLevel opt,
+                  GraphSet gs);
+
+  /// Drops every encoding held for `ds` (all options/normalizations).
+  /// References previously returned for `ds` become dangling; callers
+  /// own the discipline (Detector::discard is the only engine-side
+  /// user, on ad-hoc run() batches).
+  void erase(const datasets::Dataset& ds);
+
+  /// Number of distinct encodings held (introspection for tests).
+  std::size_t feature_set_count() const;
+  std::size_t graph_set_count() const;
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint = 0;  // dataset content hash
+    std::size_t size = 0;
+    int opt = 0;
+    int norm = -1;  // -1 for graph encodings
+    std::uint64_t seed = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  static std::uint64_t fingerprint(const datasets::Dataset& ds);
+  static Key feature_key(const datasets::Dataset& ds, passes::OptLevel opt,
+                         ir2vec::Normalization norm, std::uint64_t vocab_seed);
+  static Key graph_key(const datasets::Dataset& ds, passes::OptLevel opt);
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<FeatureSet>> features_;
+  std::map<Key, std::unique_ptr<GraphSet>> graphs_;
+};
+
+/// Builds a label/flag-only skeleton dataset around a pre-encoded set
+/// (case names, suite labels and correctness flags, but no programs) so
+/// the legacy FeatureSet / GraphSet entry points can run through
+/// EvalEngine with the cache pre-seeded via put_features / put_graphs.
+datasets::Dataset skeleton_dataset(const FeatureSet& fs);
+datasets::Dataset skeleton_dataset(const GraphSet& gs);
+
+}  // namespace mpidetect::core

@@ -1,0 +1,120 @@
+// The one evaluation engine behind every bench, example and test: the
+// cross-cutting protocols the paper runs each detector through (straight
+// dataset sweeps, Intra/Mix stratified k-fold CV, Cross suite-transfer,
+// and the label-exclusion ablations of §V-E), thread-parallel over one
+// shared worker pool, with dataset encodings cached so each corpus is
+// embedded once per run no matter how many detectors consume it.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "ml/metrics.hpp"
+#include "support/threads.hpp"
+
+namespace mpidetect::core {
+
+/// Structured result of one protocol run. `confusion` is what legacy
+/// ml::Confusion consumers read; the rest adds the per-label breakdown,
+/// the raw verdicts and the error-outcome tallies of Table III.
+struct EvalReport {
+  std::string detector;
+  std::string protocol;  // "sweep" / "kfold" / "cross"
+  std::string train_dataset;
+  std::string valid_dataset;
+
+  ml::Confusion confusion;
+  /// Tallies indexed by Verdict::Outcome (Correct..CompileErr).
+  std::array<std::size_t, kNumOutcomes> outcome_counts{};
+  /// Label -> (correctly classified, total) over the validation set.
+  /// Under a multiclass protocol "correct" means the exact label was
+  /// predicted; otherwise that the binary flag matched.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> per_label;
+  /// One verdict per validation case, in dataset order.
+  std::vector<Verdict> verdicts;
+
+  std::size_t cases = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Result of a label-exclusion ablation (Figures 8 and 9).
+struct AblationReport {
+  std::size_t detected = 0;  // excluded-label samples still flagged
+  std::size_t total = 0;     // excluded-label samples evaluated
+  double wall_seconds = 0.0;
+
+  double rate() const {
+    return total == 0 ? 0.0 : static_cast<double>(detected) / total;
+  }
+};
+
+class EvalEngine {
+ public:
+  /// `threads` sizes the shared worker pool (0 = hardware concurrency).
+  /// A null cache allocates a fresh one; pass the cache shared with the
+  /// detectors' DetectorConfig so encodings are computed once per run.
+  explicit EvalEngine(unsigned threads = 0,
+                      std::shared_ptr<EncodingCache> cache = nullptr);
+
+  const std::shared_ptr<EncodingCache>& cache() const { return cache_; }
+  unsigned threads() const { return pool_.size(); }
+
+  /// Straight dataset sweep: every case through the detector once (the
+  /// expert-tool protocol; a learned detector must be fitted first).
+  EvalReport sweep(Detector& det, const datasets::Dataset& ds);
+
+  /// Stratified k-fold cross-validation (the Intra and Mix protocols).
+  /// Trainable detectors are cloned per fold and trained on the fold
+  /// complement; untrainable detectors degenerate to a sweep.
+  EvalReport kfold(Detector& det, const datasets::Dataset& ds,
+                   const EvalOptions& opts);
+  EvalReport kfold(Detector& det, const datasets::Dataset& ds);
+
+  /// Suite transfer (the Cross protocol): train on all of `train`,
+  /// validate on all of `valid`. Leaves `det` fitted.
+  EvalReport cross(Detector& det, const datasets::Dataset& train,
+                   const datasets::Dataset& valid, const EvalOptions& opts);
+  EvalReport cross(Detector& det, const datasets::Dataset& train,
+                   const datasets::Dataset& valid);
+
+  /// Trains `det` on the full dataset (the front half of cross()).
+  void fit_full(Detector& det, const datasets::Dataset& ds);
+
+  /// Label-exclusion ablation (Figures 8, 9): k-fold CV never training
+  /// on samples of `excluded` labels, counting how many of the
+  /// `measured`-label samples (all excluded labels when nullopt) the
+  /// binary model still flags at validation. Throws ContractViolation
+  /// for labels absent from the dataset.
+  AblationReport ablation(Detector& det, const datasets::Dataset& ds,
+                          const std::vector<std::string>& excluded,
+                          const std::optional<std::string>& measured,
+                          const EvalOptions& opts);
+
+ private:
+  struct LabelTable {
+    std::vector<std::string> names;           // first-occurrence order
+    std::vector<std::size_t> index_per_case;  // case -> names index
+    std::size_t index_of(const std::string& name) const;
+  };
+  static LabelTable label_table(const datasets::Dataset& ds);
+  static std::vector<std::size_t> binary_labels(const datasets::Dataset& ds);
+
+  /// Evaluates `det` over the index range [0, n) of `ds`, in parallel
+  /// when the detector allows it, into `verdicts` (indexed by case).
+  void evaluate_all(Detector& det, const datasets::Dataset& ds,
+                    std::vector<Verdict>& verdicts);
+
+  EvalReport make_report(Detector& det, std::string protocol,
+                         const datasets::Dataset& train,
+                         const datasets::Dataset& valid,
+                         std::vector<Verdict> verdicts, bool multiclass);
+
+  ThreadPool pool_;
+  std::shared_ptr<EncodingCache> cache_;
+};
+
+}  // namespace mpidetect::core

@@ -1,40 +1,11 @@
 #include "core/features.hpp"
 
-#include <atomic>
-#include <thread>
-
 #include "ir2vec/encoder.hpp"
 #include "progmodel/lower.hpp"
 #include "support/check.hpp"
+#include "support/threads.hpp"
 
 namespace mpidetect::core {
-
-namespace {
-
-unsigned resolve_threads(unsigned threads) {
-  return threads != 0 ? threads
-                      : std::max(1u, std::thread::hardware_concurrency());
-}
-
-template <typename Fn>
-void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
-  const unsigned n_threads = resolve_threads(threads);
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(n_threads);
-  for (unsigned t = 0; t < n_threads; ++t) {
-    workers.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= n) break;
-        fn(i);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-}
-
-}  // namespace
 
 std::size_t FeatureSet::label_index(const std::string& name) const {
   for (std::size_t i = 0; i < label_names.size(); ++i) {

@@ -1,82 +1,53 @@
 #include "core/gnn_detector.hpp"
 
-#include <atomic>
-#include <thread>
-
-#include "ml/kfold.hpp"
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
 
 namespace mpidetect::core {
 
 namespace {
 
-std::vector<programl::ProgramGraph> select_graphs(
-    const std::vector<programl::ProgramGraph>& graphs,
-    const std::vector<std::size_t>& idx) {
-  std::vector<programl::ProgramGraph> out;
-  out.reserve(idx.size());
-  for (const std::size_t i : idx) out.push_back(graphs[i]);
-  return out;
-}
+/// Shared scaffolding for the deprecated GraphSet entry points: wraps
+/// the pre-built graphs in a skeleton dataset, pre-seeds a cache under
+/// the detector's encoding key, and hands everything to EvalEngine.
+struct ShimContext {
+  datasets::Dataset skeleton;
+  GnnDetector detector;
+  EvalEngine engine;
 
-std::vector<std::size_t> select_labels(const std::vector<std::size_t>& y,
-                                       const std::vector<std::size_t>& idx) {
-  std::vector<std::size_t> out;
-  out.reserve(idx.size());
-  for (const std::size_t i : idx) out.push_back(y[i]);
-  return out;
-}
+  ShimContext(const GraphSet& gs, const GnnOptions& opts)
+      : skeleton(skeleton_dataset(gs)),
+        detector(make_config(opts)),
+        engine(opts.threads, detector.config().cache) {
+    const DetectorConfig& cfg = detector.config();
+    cfg.cache->put_graphs(skeleton, cfg.graph_opt, gs);
+  }
+
+  static DetectorConfig make_config(const GnnOptions& opts) {
+    DetectorConfig cfg;
+    cfg.gnn = opts;
+    cfg.cache = std::make_shared<EncodingCache>();
+    return cfg;
+  }
+};
 
 }  // namespace
 
 ml::Confusion gnn_intra(const GraphSet& gs, const GnnOptions& opts) {
-  const auto folds = ml::stratified_kfold(
-      gs.y_binary, static_cast<std::size_t>(opts.folds), opts.seed);
-  std::vector<ml::Confusion> per_fold(folds.size());
-
-  std::atomic<std::size_t> next{0};
-  const unsigned n_threads =
-      opts.threads != 0 ? opts.threads
-                        : std::max(1u, std::thread::hardware_concurrency());
-  std::vector<std::thread> workers;
-  for (unsigned t = 0; t < n_threads; ++t) {
-    workers.emplace_back([&] {
-      while (true) {
-        const std::size_t f = next.fetch_add(1);
-        if (f >= folds.size()) break;
-        const auto& val_idx = folds[f];
-        const auto train_idx = ml::fold_complement(val_idx, gs.size());
-        ml::GnnConfig cfg = opts.cfg;
-        cfg.classes = 2;
-        cfg.seed = opts.seed * 97 + f;
-        ml::GnnModel model(cfg);
-        const auto graphs = select_graphs(gs.graphs, train_idx);
-        const auto labels = select_labels(gs.y_binary, train_idx);
-        model.fit(graphs, labels);
-        for (const std::size_t i : val_idx) {
-          per_fold[f].add(gs.incorrect[i], model.predict(gs.graphs[i]) == 1);
-        }
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-
-  ml::Confusion total;
-  for (const auto& c : per_fold) total += c;
-  return total;
+  ShimContext shim(gs, opts);
+  return shim.engine.kfold(shim.detector, shim.skeleton).confusion;
 }
 
 ml::Confusion gnn_cross(const GraphSet& train, const GraphSet& valid,
                         const GnnOptions& opts) {
-  ml::GnnConfig cfg = opts.cfg;
-  cfg.classes = 2;
-  cfg.seed = opts.seed;
-  ml::GnnModel model(cfg);
-  model.fit(train.graphs, train.y_binary);
-  ml::Confusion c;
-  for (std::size_t i = 0; i < valid.size(); ++i) {
-    c.add(valid.incorrect[i], model.predict(valid.graphs[i]) == 1);
-  }
-  return c;
+  ShimContext shim(train, opts);
+  datasets::Dataset valid_skel = skeleton_dataset(valid);
+  // Distinct name: `valid` may cover the same cases as `train` under a
+  // different extraction; the cache keys include the dataset name.
+  valid_skel.name = "graphs-valid";
+  const DetectorConfig& cfg = shim.detector.config();
+  cfg.cache->put_graphs(valid_skel, cfg.graph_opt, valid);
+  return shim.engine.cross(shim.detector, shim.skeleton, valid_skel).confusion;
 }
 
 }  // namespace mpidetect::core

@@ -17,6 +17,9 @@ struct GnnOptions {
   unsigned threads = 0;    // folds in parallel
 };
 
+/// Deprecated shims over core::EvalEngine (kfold / cross); new code
+/// should construct a GnnDetector via core::DetectorRegistry and use
+/// the engine directly (core/eval_engine.hpp).
 ml::Confusion gnn_intra(const GraphSet& gs, const GnnOptions& opts);
 
 ml::Confusion gnn_cross(const GraphSet& train, const GraphSet& valid,

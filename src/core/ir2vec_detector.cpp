@@ -1,9 +1,9 @@
 #include "core/ir2vec_detector.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
 #include "ml/kfold.hpp"
 #include "support/check.hpp"
 
@@ -67,6 +67,31 @@ std::vector<std::size_t> run_ga(const std::vector<std::vector<double>>& X,
       .best_features;
 }
 
+/// Shared scaffolding for the deprecated FeatureSet entry points: wraps
+/// the pre-encoded rows in a skeleton dataset, pre-seeds a cache under
+/// the detector's encoding key, and hands everything to EvalEngine.
+struct ShimContext {
+  datasets::Dataset skeleton;
+  Ir2vecDetector detector;
+  EvalEngine engine;
+
+  ShimContext(const FeatureSet& fs, const Ir2vecOptions& opts)
+      : skeleton(skeleton_dataset(fs)),
+        detector(make_config(opts)),
+        engine(opts.threads, detector.config().cache) {
+    const DetectorConfig& cfg = detector.config();
+    cfg.cache->put_features(skeleton, cfg.feature_opt, cfg.normalization,
+                            cfg.vocab_seed, fs);
+  }
+
+  static DetectorConfig make_config(const Ir2vecOptions& opts) {
+    DetectorConfig cfg;
+    cfg.ir2vec = opts;
+    cfg.cache = std::make_shared<EncodingCache>();
+    return cfg;
+  }
+};
+
 }  // namespace
 
 std::size_t TrainedIr2vec::predict(const std::vector<double>& row) const {
@@ -88,127 +113,40 @@ TrainedIr2vec train_ir2vec(const std::vector<std::vector<double>>& X,
 }
 
 ml::Confusion ir2vec_intra(const FeatureSet& fs, const Ir2vecOptions& opts) {
-  const auto folds = ml::stratified_kfold(
-      fs.y_binary, static_cast<std::size_t>(opts.folds), opts.seed);
-  std::vector<ml::Confusion> per_fold(folds.size());
-
-  // Folds are independent: train them in parallel. GA threads are kept
-  // at 1 inside each fold to avoid oversubscription.
-  std::atomic<std::size_t> next{0};
-  const unsigned n_threads =
-      opts.threads != 0 ? opts.threads
-                        : std::max(1u, std::thread::hardware_concurrency());
-  Ir2vecOptions fold_opts = opts;
-  fold_opts.ga.threads = 1;
-  fold_opts.threads = 1;
-  std::vector<std::thread> workers;
-  for (unsigned t = 0; t < n_threads; ++t) {
-    workers.emplace_back([&] {
-      while (true) {
-        const std::size_t f = next.fetch_add(1);
-        if (f >= folds.size()) break;
-        const auto& val_idx = folds[f];
-        const auto train_idx =
-            ml::fold_complement(val_idx, fs.size());
-        Ir2vecOptions o = fold_opts;
-        o.seed = opts.seed + f;  // per-fold GA stream
-        const TrainedIr2vec model = train_ir2vec(
-            select_rows(fs.X, train_idx), select_labels(fs.y_binary, train_idx),
-            o);
-        for (const std::size_t i : val_idx) {
-          per_fold[f].add(fs.incorrect[i], model.predict(fs.X[i]) == 1);
-        }
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-
-  ml::Confusion total;
-  for (const auto& c : per_fold) total += c;
-  return total;
+  ShimContext shim(fs, opts);
+  return shim.engine.kfold(shim.detector, shim.skeleton).confusion;
 }
 
 ml::Confusion ir2vec_cross(const FeatureSet& train, const FeatureSet& valid,
                            const Ir2vecOptions& opts) {
-  const TrainedIr2vec model = train_ir2vec(train.X, train.y_binary, opts);
-  ml::Confusion c;
-  for (std::size_t i = 0; i < valid.size(); ++i) {
-    c.add(valid.incorrect[i], model.predict(valid.X[i]) == 1);
-  }
-  return c;
+  ShimContext shim(train, opts);
+  datasets::Dataset valid_skel = skeleton_dataset(valid);
+  // Distinct name: `valid` may cover the same cases as `train` under a
+  // different embedding (the table5 seed study), and the cache keys by
+  // dataset content — which includes the name.
+  valid_skel.name = "features-valid";
+  const DetectorConfig& cfg = shim.detector.config();
+  cfg.cache->put_features(valid_skel, cfg.feature_opt, cfg.normalization,
+                          cfg.vocab_seed, valid);
+  return shim.engine.cross(shim.detector, shim.skeleton, valid_skel).confusion;
 }
 
 std::map<std::string, std::pair<std::size_t, std::size_t>> ir2vec_per_label(
     const FeatureSet& fs, const Ir2vecOptions& opts) {
-  const auto folds = ml::stratified_kfold(
-      fs.y_label, static_cast<std::size_t>(opts.folds), opts.seed);
-  std::map<std::string, std::pair<std::size_t, std::size_t>> out;
-  for (const auto& name : fs.label_names) out[name] = {0, 0};
-
-  for (std::size_t f = 0; f < folds.size(); ++f) {
-    const auto& val_idx = folds[f];
-    const auto train_idx = ml::fold_complement(val_idx, fs.size());
-    Ir2vecOptions o = opts;
-    o.seed = opts.seed + f;
-    const TrainedIr2vec model = train_ir2vec(
-        select_rows(fs.X, train_idx), select_labels(fs.y_label, train_idx), o);
-    for (const std::size_t i : val_idx) {
-      auto& [correct, total] = out[fs.label_names[fs.y_label[i]]];
-      ++total;
-      correct += (model.predict(fs.X[i]) == fs.y_label[i]);
-    }
-  }
-  return out;
+  ShimContext shim(fs, opts);
+  EvalOptions eval = shim.detector.eval_defaults();
+  eval.multiclass = true;
+  return shim.engine.kfold(shim.detector, shim.skeleton, eval).per_label;
 }
-
-namespace {
-
-std::pair<std::size_t, std::size_t> ablation_impl(
-    const FeatureSet& fs, const std::vector<std::string>& excluded,
-    const std::optional<std::string>& measured, const Ir2vecOptions& opts) {
-  std::vector<bool> is_excluded(fs.size(), false);
-  std::vector<bool> is_measured(fs.size(), false);
-  for (const auto& name : excluded) {
-    const std::size_t label = fs.label_index(name);
-    for (std::size_t i = 0; i < fs.size(); ++i) {
-      if (fs.y_label[i] == label) {
-        is_excluded[i] = true;
-        if (!measured.has_value() || name == *measured) {
-          is_measured[i] = true;
-        }
-      }
-    }
-  }
-
-  const auto folds = ml::stratified_kfold(
-      fs.y_binary, static_cast<std::size_t>(opts.folds), opts.seed);
-  std::size_t detected = 0, total = 0;
-  for (std::size_t f = 0; f < folds.size(); ++f) {
-    const auto& val_idx = folds[f];
-    std::vector<std::size_t> train_idx;
-    for (const std::size_t i : ml::fold_complement(val_idx, fs.size())) {
-      if (!is_excluded[i]) train_idx.push_back(i);  // never train on them
-    }
-    Ir2vecOptions o = opts;
-    o.seed = opts.seed + f;
-    const TrainedIr2vec model = train_ir2vec(
-        select_rows(fs.X, train_idx), select_labels(fs.y_binary, train_idx),
-        o);
-    for (const std::size_t i : val_idx) {
-      if (!is_measured[i]) continue;
-      ++total;
-      detected += (model.predict(fs.X[i]) == 1);
-    }
-  }
-  return {detected, total};
-}
-
-}  // namespace
 
 std::pair<std::size_t, std::size_t> ir2vec_ablation(
     const FeatureSet& fs, const std::vector<std::string>& excluded,
     const Ir2vecOptions& opts) {
-  return ablation_impl(fs, excluded, std::nullopt, opts);
+  ShimContext shim(fs, opts);
+  const auto r = shim.engine.ablation(shim.detector, shim.skeleton, excluded,
+                                      std::nullopt,
+                                      shim.detector.eval_defaults());
+  return {r.detected, r.total};
 }
 
 std::pair<std::size_t, std::size_t> ir2vec_ablation_counted(
@@ -216,7 +154,10 @@ std::pair<std::size_t, std::size_t> ir2vec_ablation_counted(
     const std::string& measured, const Ir2vecOptions& opts) {
   MPIDETECT_EXPECTS(std::find(excluded.begin(), excluded.end(), measured) !=
                     excluded.end());
-  return ablation_impl(fs, excluded, measured, opts);
+  ShimContext shim(fs, opts);
+  const auto r = shim.engine.ablation(shim.detector, shim.skeleton, excluded,
+                                      measured, shim.detector.eval_defaults());
+  return {r.detected, r.total};
 }
 
 }  // namespace mpidetect::core

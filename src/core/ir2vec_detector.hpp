@@ -38,8 +38,17 @@ TrainedIr2vec train_ir2vec(const std::vector<std::vector<double>>& X,
                            const std::vector<std::size_t>& y,
                            const Ir2vecOptions& opts);
 
+// ---------------------------------------------------------------------------
+// Deprecated evaluation entry points. Each of the functions below is a
+// thin shim over core::EvalEngine (see core/eval_engine.hpp) kept for
+// source compatibility; new code should construct an Ir2vecDetector via
+// core::DetectorRegistry and run the engine's kfold / cross / ablation
+// protocols directly.
+// ---------------------------------------------------------------------------
+
 /// 10-fold cross-validated binary prediction (Intra and Mix rows of
 /// Table II); the confusion aggregates all validation folds.
+/// Deprecated shim: delegates to EvalEngine::kfold.
 ml::Confusion ir2vec_intra(const FeatureSet& fs, const Ir2vecOptions& opts);
 
 /// Train on one suite, validate on another (Cross rows of Table II).

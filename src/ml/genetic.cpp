@@ -1,13 +1,12 @@
 #include "ml/genetic.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <map>
 #include <mutex>
-#include <thread>
 
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/threads.hpp"
 
 namespace mpidetect::ml {
 
@@ -43,9 +42,7 @@ GaResult select_features(std::size_t dim, const FitnessFn& fitness,
   // Memoised, parallel fitness evaluation.
   std::map<Individual, double> cache;
   std::mutex cache_mutex;
-  const unsigned n_threads = cfg.threads != 0
-                                 ? cfg.threads
-                                 : std::max(1u, std::thread::hardware_concurrency());
+  const unsigned n_threads = resolve_threads(cfg.threads);
 
   const auto evaluate_all =
       [&](const std::vector<Individual>& gen) -> std::vector<double> {
@@ -63,19 +60,10 @@ GaResult select_features(std::size_t dim, const FitnessFn& fitness,
         if (value < 0.0) todo.push_back(&key);
       }
     }
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> workers;
     std::vector<std::pair<const Individual*, double>> results(todo.size());
-    for (unsigned t = 0; t < n_threads; ++t) {
-      workers.emplace_back([&] {
-        while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= todo.size()) break;
-          results[i] = {todo[i], fitness(*todo[i])};
-        }
-      });
-    }
-    for (auto& w : workers) w.join();
+    parallel_for(todo.size(), n_threads, [&](std::size_t i) {
+      results[i] = {todo[i], fitness(*todo[i])};
+    });
     std::vector<double> out(gen.size());
     {
       std::lock_guard<std::mutex> lock(cache_mutex);

@@ -1,0 +1,69 @@
+#include "support/threads.hpp"
+
+namespace mpidetect {
+
+ThreadPool::ThreadPool(unsigned threads) : size_(resolve_threads(threads)) {
+  // The caller participates in every job, so spawn size - 1 workers.
+  workers_.reserve(size_ - 1);
+  for (unsigned t = 1; t < size_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const auto* job = job_;
+    const std::size_t n = job_n_;
+    ++working_;
+    lock.unlock();
+    while (true) {
+      const std::size_t i = next_.fetch_add(1);
+      if (i >= n) break;
+      (*job)(i);
+    }
+    lock.lock();
+    if (--working_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0);
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  // Participate; the index counter is monotonic, so once this loop exits
+  // any late-waking worker immediately sees an exhausted range.
+  while (true) {
+    const std::size_t i = next_.fetch_add(1);
+    if (i >= n) break;
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return working_ == 0; });
+}
+
+}  // namespace mpidetect

@@ -1,9 +1,7 @@
 #include "verify/tool.hpp"
 
-#include <atomic>
-#include <thread>
-
-#include "support/check.hpp"
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
 
 namespace mpidetect::verify {
 
@@ -18,41 +16,39 @@ std::string_view diagnostic_name(Diagnostic d) {
   MPIDETECT_UNREACHABLE("bad Diagnostic");
 }
 
+namespace {
+
+/// Non-owning Detector view of a caller-held tool, so the deprecated
+/// evaluate_tool entry point can delegate to EvalEngine. Tools are
+/// checked concurrently in both the legacy and the engine path, so
+/// clones may share the underlying instance.
+class BorrowedToolDetector final : public core::Detector {
+ public:
+  explicit BorrowedToolDetector(VerificationTool* tool) : tool_(tool) {}
+
+  std::string_view name() const override { return tool_->name(); }
+  core::DetectorKind kind() const override {
+    return core::DetectorKind::Static;
+  }
+  std::unique_ptr<core::Detector> clone() const override {
+    return std::make_unique<BorrowedToolDetector>(tool_);
+  }
+  core::Verdict evaluate(const datasets::Dataset& ds,
+                         std::size_t idx) override {
+    return core::Verdict::from_diagnostic(tool_->check(ds.cases[idx]));
+  }
+
+ private:
+  VerificationTool* tool_;
+};
+
+}  // namespace
+
 ml::Confusion evaluate_tool(VerificationTool& tool,
                             const datasets::Dataset& ds, unsigned threads) {
-  const unsigned n_threads =
-      threads != 0 ? threads
-                   : std::max(1u, std::thread::hardware_concurrency());
-  std::vector<Diagnostic> diags(ds.size());
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(n_threads);
-  for (unsigned t = 0; t < n_threads; ++t) {
-    workers.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= ds.size()) break;
-        diags[i] = tool.check(ds.cases[i]);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-
-  ml::Confusion c;
-  for (std::size_t i = 0; i < ds.size(); ++i) {
-    switch (diags[i]) {
-      case Diagnostic::Correct:
-        c.add(ds.cases[i].incorrect, false);
-        break;
-      case Diagnostic::Incorrect:
-        c.add(ds.cases[i].incorrect, true);
-        break;
-      case Diagnostic::Timeout: ++c.to; break;
-      case Diagnostic::RuntimeErr: ++c.re; break;
-      case Diagnostic::CompileErr: ++c.ce; break;
-    }
-  }
-  return c;
+  BorrowedToolDetector det(&tool);
+  core::EvalEngine engine(threads);
+  return engine.sweep(det, ds).confusion;
 }
 
 }  // namespace mpidetect::verify

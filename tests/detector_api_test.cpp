@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
+#include "datasets/corrbench.hpp"
+#include "datasets/mbi.hpp"
+#include "ml/kfold.hpp"
+
+namespace mpidetect::core {
+namespace {
+
+datasets::Dataset small_mbi() {
+  datasets::MbiConfig cfg;
+  cfg.scale = 0.08;
+  return datasets::generate_mbi(cfg);
+}
+
+datasets::Dataset small_corr() {
+  datasets::CorrConfig cfg;
+  cfg.scale = 0.35;
+  return datasets::generate_corrbench(cfg);
+}
+
+DetectorConfig fast_config() {
+  DetectorConfig cfg;
+  cfg.ir2vec.use_ga = false;
+  cfg.ir2vec.folds = 4;
+  cfg.gnn.folds = 2;
+  cfg.gnn.cfg.epochs = 2;
+  cfg.gnn.cfg.embed_dim = 8;
+  cfg.gnn.cfg.layers = {16, 8};
+  cfg.gnn.cfg.fc_hidden = 8;
+  return cfg;
+}
+
+void expect_equal(const ml::Confusion& a, const ml::Confusion& b) {
+  EXPECT_EQ(a.tp, b.tp);
+  EXPECT_EQ(a.tn, b.tn);
+  EXPECT_EQ(a.fp, b.fp);
+  EXPECT_EQ(a.fn, b.fn);
+  EXPECT_EQ(a.ce, b.ce);
+  EXPECT_EQ(a.to, b.to);
+  EXPECT_EQ(a.re, b.re);
+}
+
+TEST(Registry, ContainsAllSixDetectors) {
+  auto& reg = DetectorRegistry::global();
+  for (const char* name :
+       {"itac", "must", "parcoach", "mpi-checker", "ir2vec", "gnn"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    auto det = reg.create(name);
+    ASSERT_NE(det, nullptr) << name;
+    EXPECT_FALSE(det->name().empty());
+  }
+  EXPECT_EQ(reg.names().size(), 6u);
+}
+
+TEST(Registry, KindsAndTrainability) {
+  auto& reg = DetectorRegistry::global();
+  EXPECT_EQ(reg.create("itac")->kind(), DetectorKind::Dynamic);
+  EXPECT_EQ(reg.create("must")->kind(), DetectorKind::Dynamic);
+  EXPECT_EQ(reg.create("parcoach")->kind(), DetectorKind::Static);
+  EXPECT_EQ(reg.create("mpi-checker")->kind(), DetectorKind::Static);
+  EXPECT_EQ(reg.create("ir2vec")->kind(), DetectorKind::Learned);
+  EXPECT_EQ(reg.create("gnn")->kind(), DetectorKind::Learned);
+  EXPECT_FALSE(reg.create("itac")->trainable());
+  EXPECT_TRUE(reg.create("ir2vec")->trainable());
+  EXPECT_TRUE(reg.create("gnn")->trainable());
+}
+
+TEST(Registry, ToolNamesMatchPaper) {
+  auto& reg = DetectorRegistry::global();
+  EXPECT_EQ(reg.create("itac")->name(), "ITAC");
+  EXPECT_EQ(reg.create("must")->name(), "MUST");
+  EXPECT_EQ(reg.create("parcoach")->name(), "PARCOACH");
+  EXPECT_EQ(reg.create("mpi-checker")->name(), "MPI-Checker");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(DetectorRegistry::global().create("no-such-detector"),
+               ContractViolation);
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  DetectorRegistry reg;  // fresh instance, built-ins pre-registered
+  EXPECT_THROW(reg.add("itac", [](const DetectorConfig&) {
+    return DetectorRegistry::global().create("itac");
+  }),
+               ContractViolation);
+}
+
+TEST(Verdict, DiagnosticRoundTrip) {
+  for (const auto d :
+       {verify::Diagnostic::Correct, verify::Diagnostic::Incorrect,
+        verify::Diagnostic::Timeout, verify::Diagnostic::RuntimeErr,
+        verify::Diagnostic::CompileErr}) {
+    EXPECT_EQ(Verdict::from_diagnostic(d).to_diagnostic(), d);
+  }
+  EXPECT_TRUE(
+      Verdict::from_diagnostic(verify::Diagnostic::Incorrect).flagged());
+  EXPECT_FALSE(
+      Verdict::from_diagnostic(verify::Diagnostic::Timeout).conclusive());
+  EXPECT_TRUE(
+      Verdict::from_diagnostic(verify::Diagnostic::Correct).conclusive());
+}
+
+TEST(Verdict, OutcomeNamesMatchDiagnosticNames) {
+  for (const auto o :
+       {Verdict::Outcome::Correct, Verdict::Outcome::Incorrect,
+        Verdict::Outcome::Timeout, Verdict::Outcome::RuntimeErr,
+        Verdict::Outcome::CompileErr}) {
+    Verdict v;
+    v.outcome = o;
+    EXPECT_EQ(outcome_name(o), diagnostic_name(v.to_diagnostic()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine vs independent reference implementations. The legacy free
+// functions now delegate to the engine, so comparing against them only
+// checks the shim contract; the tests below re-implement the original
+// evaluation loops by hand and prove the engine reproduces their
+// confusions exactly on a fixed-seed dataset.
+// ---------------------------------------------------------------------------
+
+TEST(EvalEngine, SweepMatchesHandRolledToolLoop) {
+  const auto ds = small_mbi();
+  // Reference: a serial loop over check(), accumulating the MBI-style
+  // confusion exactly as the original evaluate_tool did.
+  auto tool = verify::make_parcoach_lite();
+  ml::Confusion ref;
+  for (const auto& c : ds.cases) {
+    switch (tool->check(c)) {
+      case verify::Diagnostic::Correct: ref.add(c.incorrect, false); break;
+      case verify::Diagnostic::Incorrect: ref.add(c.incorrect, true); break;
+      case verify::Diagnostic::Timeout: ++ref.to; break;
+      case verify::Diagnostic::RuntimeErr: ++ref.re; break;
+      case verify::Diagnostic::CompileErr: ++ref.ce; break;
+    }
+  }
+  EvalEngine engine(4);
+  auto det = DetectorRegistry::global().create("parcoach");
+  expect_equal(engine.sweep(*det, ds).confusion, ref);
+}
+
+TEST(EvalEngine, KfoldMatchesHandRolledLegacyIntraLoop) {
+  // Reference: the original ir2vec_intra protocol — stratified folds on
+  // the binary labels, per-fold seed = base + fold, single-threaded
+  // training on the fold complement, validation on the fold.
+  const auto ds = small_mbi();
+  const DetectorConfig cfg = fast_config();
+  const auto fs = extract_features(ds, cfg.feature_opt, cfg.normalization,
+                                   cfg.vocab_seed);
+  const auto folds = ml::stratified_kfold(
+      fs.y_binary, static_cast<std::size_t>(cfg.ir2vec.folds),
+      cfg.ir2vec.seed);
+  ml::Confusion ref;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    const auto& val_idx = folds[f];
+    std::vector<std::vector<double>> X;
+    std::vector<std::size_t> y;
+    for (const std::size_t i : ml::fold_complement(val_idx, fs.size())) {
+      X.push_back(fs.X[i]);
+      y.push_back(fs.y_binary[i]);
+    }
+    Ir2vecOptions o = cfg.ir2vec;
+    o.seed = cfg.ir2vec.seed + f;
+    o.threads = 1;
+    o.ga.threads = 1;
+    const TrainedIr2vec model = train_ir2vec(X, y, o);
+    for (const std::size_t i : val_idx) {
+      ref.add(fs.incorrect[i], model.predict(fs.X[i]) == 1);
+    }
+  }
+
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("ir2vec", cfg);
+  expect_equal(engine.kfold(*det, ds).confusion, ref);
+}
+
+TEST(EvalEngine, CrossMatchesHandRolledLegacyCrossLoop) {
+  // Reference: the original ir2vec_cross — one full-set training run,
+  // then a straight prediction pass over the validation embedding.
+  const auto mbi = small_mbi();
+  const auto corr = small_corr();
+  const DetectorConfig cfg = fast_config();
+  const auto fs_m = extract_features(mbi, cfg.feature_opt, cfg.normalization,
+                                     cfg.vocab_seed);
+  const auto fs_c = extract_features(corr, cfg.feature_opt, cfg.normalization,
+                                     cfg.vocab_seed);
+  const TrainedIr2vec model =
+      train_ir2vec(fs_m.X, fs_m.y_binary, cfg.ir2vec);
+  ml::Confusion ref;
+  for (std::size_t i = 0; i < fs_c.size(); ++i) {
+    ref.add(fs_c.incorrect[i], model.predict(fs_c.X[i]) == 1);
+  }
+
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("ir2vec", cfg);
+  expect_equal(engine.cross(*det, mbi, corr).confusion, ref);
+}
+
+// ---------------------------------------------------------------------------
+// Shim contract: the deprecated free functions delegate to the engine
+// and must agree with it bit-for-bit.
+// ---------------------------------------------------------------------------
+
+TEST(EvalEngine, SweepMatchesLegacyEvaluateTool) {
+  const auto ds = small_mbi();
+  // Legacy path: a hand-held tool through the deprecated entry point.
+  auto tool = verify::make_itac_lite();
+  const auto legacy = verify::evaluate_tool(*tool, ds, 4);
+  // Engine path: the registry detector through a sweep.
+  EvalEngine engine(4);
+  auto det = DetectorRegistry::global().create("itac");
+  const auto report = engine.sweep(*det, ds);
+  expect_equal(report.confusion, legacy);
+  EXPECT_EQ(report.cases, ds.size());
+  EXPECT_EQ(report.verdicts.size(), ds.size());
+  EXPECT_EQ(report.confusion.population(), ds.size());
+  // The outcome tallies agree with the confusion's error columns.
+  EXPECT_EQ(report.outcome_counts[static_cast<std::size_t>(
+                Verdict::Outcome::Timeout)],
+            report.confusion.to);
+}
+
+TEST(EvalEngine, SweepIsSerialParallelInvariant) {
+  const auto ds = small_mbi();
+  auto det = DetectorRegistry::global().create("must");
+  EvalEngine serial(1);
+  EvalEngine parallel(4);
+  expect_equal(serial.sweep(*det, ds).confusion,
+               parallel.sweep(*det, ds).confusion);
+}
+
+TEST(EvalEngine, KfoldMatchesLegacyIr2vecIntra) {
+  const auto ds = small_mbi();
+  const DetectorConfig cfg = fast_config();
+
+  // Legacy path: explicit feature extraction + the deprecated shim.
+  const auto fs = extract_features(ds, cfg.feature_opt, cfg.normalization,
+                                   cfg.vocab_seed);
+  const auto legacy = ir2vec_intra(fs, cfg.ir2vec);
+
+  // Engine path: registry detector + kfold on the raw dataset.
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("ir2vec", cfg);
+  const auto report = engine.kfold(*det, ds);
+  expect_equal(report.confusion, legacy);
+  EXPECT_EQ(report.confusion.population(), ds.size());
+}
+
+TEST(EvalEngine, CrossMatchesLegacyIr2vecCross) {
+  const auto mbi = small_mbi();
+  const auto corr = small_corr();
+  const DetectorConfig cfg = fast_config();
+
+  const auto fs_m = extract_features(mbi, cfg.feature_opt, cfg.normalization,
+                                     cfg.vocab_seed);
+  const auto fs_c = extract_features(corr, cfg.feature_opt, cfg.normalization,
+                                     cfg.vocab_seed);
+  const auto legacy = ir2vec_cross(fs_m, fs_c, cfg.ir2vec);
+
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("ir2vec", cfg);
+  const auto report = engine.cross(*det, mbi, corr);
+  expect_equal(report.confusion, legacy);
+  EXPECT_EQ(report.confusion.population(), corr.size());
+}
+
+TEST(EvalEngine, CrossShimDistinguishesSameCasesDifferentEmbeddings) {
+  // Regression: train and validation feature sets covering the *same*
+  // cases under different embeddings (the table5 seed-study shape) must
+  // not collide in the shim's cache seeding.
+  const auto ds = small_mbi();
+  const DetectorConfig cfg = fast_config();
+  const auto fs_a = extract_features(ds, cfg.feature_opt, cfg.normalization,
+                                     cfg.vocab_seed);
+  const auto fs_b =
+      extract_features(ds, cfg.feature_opt, cfg.normalization, 0x9999);
+  const TrainedIr2vec model =
+      train_ir2vec(fs_a.X, fs_a.y_binary, cfg.ir2vec);
+  ml::Confusion ref;
+  for (std::size_t i = 0; i < fs_b.size(); ++i) {
+    ref.add(fs_b.incorrect[i], model.predict(fs_b.X[i]) == 1);
+  }
+  expect_equal(ir2vec_cross(fs_a, fs_b, cfg.ir2vec), ref);
+}
+
+TEST(Detector, BatchedRunDoesNotGrowCache) {
+  const auto ds = small_mbi();
+  DetectorConfig cfg = fast_config();
+  cfg.cache = std::make_shared<EncodingCache>();
+  auto det = DetectorRegistry::global().create("ir2vec", cfg);
+  EvalEngine engine(0, cfg.cache);
+  engine.fit_full(*det, ds);
+  const auto base = cfg.cache->feature_set_count();
+  for (int r = 0; r < 3; ++r) {
+    det->run(std::span(ds.cases.data(), 2));  // ad-hoc batches, discarded
+  }
+  EXPECT_EQ(cfg.cache->feature_set_count(), base);
+}
+
+TEST(EvalEngine, KfoldMatchesLegacyGnnIntra) {
+  const auto ds = small_mbi();
+  const DetectorConfig cfg = fast_config();
+
+  const auto gs = extract_graphs(ds, cfg.graph_opt);
+  const auto legacy = gnn_intra(gs, cfg.gnn);
+
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("gnn", cfg);
+  const auto report = engine.kfold(*det, ds);
+  expect_equal(report.confusion, legacy);
+}
+
+TEST(EvalEngine, PerLabelMatchesLegacyIr2vecPerLabel) {
+  const auto ds = small_mbi();
+  const DetectorConfig cfg = fast_config();
+
+  const auto fs = extract_features(ds, cfg.feature_opt, cfg.normalization,
+                                   cfg.vocab_seed);
+  const auto legacy = ir2vec_per_label(fs, cfg.ir2vec);
+
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("ir2vec", cfg);
+  EvalOptions eval = det->eval_defaults();
+  eval.multiclass = true;
+  const auto report = engine.kfold(*det, ds, eval);
+  EXPECT_EQ(report.per_label, legacy);
+}
+
+TEST(EvalEngine, AblationMatchesLegacyIr2vecAblation) {
+  const auto ds = small_mbi();
+  const DetectorConfig cfg = fast_config();
+
+  const auto fs = extract_features(ds, cfg.feature_opt, cfg.normalization,
+                                   cfg.vocab_seed);
+  const auto legacy = ir2vec_ablation(fs, {"Call Ordering"}, cfg.ir2vec);
+
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("ir2vec", cfg);
+  const auto r = engine.ablation(*det, ds, {"Call Ordering"}, std::nullopt,
+                                 det->eval_defaults());
+  EXPECT_EQ(r.detected, legacy.first);
+  EXPECT_EQ(r.total, legacy.second);
+}
+
+TEST(EvalEngine, AblationUnknownLabelThrows) {
+  const auto ds = small_mbi();
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("ir2vec", fast_config());
+  EXPECT_THROW(engine.ablation(*det, ds, {"No Such Label"}, std::nullopt,
+                               det->eval_defaults()),
+               ContractViolation);
+}
+
+TEST(EvalEngine, EncodingCacheIsSharedAcrossProtocols) {
+  const auto ds = small_mbi();
+  EvalEngine engine;
+  auto det = DetectorRegistry::global().create("ir2vec", fast_config());
+  det->use_cache(engine.cache());
+  engine.kfold(*det, ds);
+  EXPECT_EQ(engine.cache()->feature_set_count(), 1u);
+  engine.kfold(*det, ds);  // second protocol run: no re-encoding
+  EXPECT_EQ(engine.cache()->feature_set_count(), 1u);
+}
+
+TEST(Detector, RunUnfittedLearnedDetectorThrows) {
+  const auto ds = small_mbi();
+  auto det = DetectorRegistry::global().create("ir2vec", fast_config());
+  EXPECT_THROW(det->run(std::span(ds.cases.data(), 1)), ContractViolation);
+}
+
+TEST(Detector, BatchedRunMatchesSweep) {
+  const auto ds = small_mbi();
+  auto det = DetectorRegistry::global().create("parcoach");
+  EvalEngine engine;
+  const auto report = engine.sweep(*det, ds);
+  const auto verdicts = det->run(std::span(ds.cases));
+  ASSERT_EQ(verdicts.size(), report.verdicts.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i].outcome, report.verdicts[i].outcome) << i;
+  }
+}
+
+TEST(Detector, FittedDetectorClassifiesHeldOutBatch) {
+  const auto ds = small_mbi();
+  auto det = DetectorRegistry::global().create("ir2vec", fast_config());
+  EvalEngine engine;
+  engine.fit_full(*det, ds);
+  const auto verdicts = det->run(std::span(ds.cases.data(), 8));
+  ASSERT_EQ(verdicts.size(), 8u);
+  for (const auto& v : verdicts) EXPECT_TRUE(v.conclusive());
+}
+
+}  // namespace
+}  // namespace mpidetect::core
