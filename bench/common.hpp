@@ -33,6 +33,10 @@ struct BenchArgs {
   bool quick = false;  // reduced scale smoke run
   bool paper = false;  // full paper hyper-parameters (GA 2500x25)
   double scale = 1.0;
+  /// On-disk encoding spill shared across bench invocations: with
+  /// --cache-dir=DIR every driver that encodes the same corpus at the
+  /// same options reuses the embedding instead of recomputing it.
+  std::string cache_dir;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -44,6 +48,8 @@ struct BenchArgs {
         args.paper = true;
       } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
         args.scale = std::stod(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+        args.cache_dir = argv[i] + 12;
       }
     }
     return args;
@@ -94,13 +100,16 @@ inline core::DetectorConfig detector_config(const BenchArgs& args,
 
 /// One evaluation engine plus one shared encoding cache per bench
 /// binary: every detector created through the harness reuses the same
-/// dataset encodings.
+/// dataset encodings. With --cache-dir=DIR the cache also spills to
+/// disk, so encodings survive across bench binaries and reruns.
 class Harness {
  public:
   explicit Harness(const BenchArgs& args)
       : args_(args),
         cache_(std::make_shared<core::EncodingCache>()),
-        engine_(0, cache_) {}
+        engine_(0, cache_) {
+    if (!args.cache_dir.empty()) cache_->set_spill_dir(args.cache_dir);
+  }
 
   core::EvalEngine& engine() { return engine_; }
   const std::shared_ptr<core::EncodingCache>& cache() const { return cache_; }

@@ -6,6 +6,9 @@
 // per-label breakdown every EvalReport carries).
 //
 //   $ ./examples/cross_suite_transfer
+//   $ ./examples/cross_suite_transfer --cache-dir .mpienc   # embed the two
+//     suites once per machine: reruns load the encodings from disk
+#include <cstring>
 #include <iostream>
 
 #include "core/detector.hpp"
@@ -38,7 +41,7 @@ void report_line(const char* tag, const core::EvalReport& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   datasets::MbiConfig mcfg;
   mcfg.scale = 0.3;
   datasets::CorrConfig ccfg;  // CorrBench is small; keep full
@@ -53,7 +56,17 @@ int main() {
   with_ga.ir2vec.ga.generations = 10;
 
   // One engine + cache: both detectors reuse the same suite encodings.
-  core::EvalEngine engine;
+  // With --cache-dir the encodings also persist on disk, so reruns skip
+  // the compile+embed front half entirely.
+  auto cache = std::make_shared<core::EncodingCache>();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      cache->set_spill_dir(argv[i + 1]);
+    }
+  }
+  no_ga.cache = cache;
+  with_ga.cache = cache;
+  core::EvalEngine engine(0, cache);
   auto& registry = core::DetectorRegistry::global();
   auto plain = registry.create("ir2vec", no_ga);
   auto tuned = registry.create("ir2vec", with_ga);
@@ -72,5 +85,10 @@ int main() {
   std::cout << "\nNote: the suites label different error vocabularies — "
                "the model transfers *code patterns*, not labels (paper "
                "§V-C).\n";
+  if (!cache->spill_dir().empty()) {
+    std::cout << "encoding cache: " << cache->disk_hits() << " disk hit(s), "
+              << cache->disk_writes() << " write(s) under "
+              << cache->spill_dir() << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (no external dependencies).
+
+Validates every [text](target) and bare relative link in the given
+markdown files / directories:
+
+  * relative file targets must exist (resolved against the file's dir),
+  * fragment targets (#anchor, file.md#anchor) must match a heading in
+    the target file using GitHub's anchor slug rules,
+  * http(s)/mailto links are NOT fetched (CI must not depend on the
+    network) — they are only checked for empty targets.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link
+is reported as file:line: message).
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor rule: lowercase, drop punctuation,
+    spaces to dashes (good enough for ASCII docs)."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip()
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(1)))
+    return anchors
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    for lineno, target in iter_links(path):
+        if not target:
+            errors.append((path, lineno, "empty link target"))
+            continue
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if base and not dest.exists():
+            errors.append((path, lineno, f"broken link: {target} "
+                           f"(no such file {dest})"))
+            continue
+        if fragment and dest.suffix.lower() in (".md", ".markdown"):
+            if github_slug(fragment) not in anchors_of(dest):
+                errors.append((path, lineno,
+                               f"broken anchor: {target} "
+                               f"(no heading '#{fragment}' in {dest.name})"))
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    files = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"{arg}: no such file or directory", file=sys.stderr)
+            return 1
+
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for path, lineno, msg in errors:
+        print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

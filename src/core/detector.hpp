@@ -21,6 +21,11 @@
 #include "datasets/dataset.hpp"
 #include "verify/tool.hpp"
 
+namespace mpidetect::io {
+class Writer;
+class Reader;
+}  // namespace mpidetect::io
+
 namespace mpidetect::core {
 
 enum class DetectorKind : std::uint8_t {
@@ -84,6 +89,15 @@ struct EvalOptions {
   bool multiclass = false;  // per-label protocol (Figure 6)
 };
 
+/// \brief The unified detector interface: expert verification tools and
+/// learned models behind one polymorphic surface.
+///
+/// Lifecycle: construct via DetectorRegistry::create → prepare()
+/// (encode a dataset through the shared EncodingCache) → fit() for
+/// Learned detectors → evaluate()/run() → optionally
+/// save_state()/DetectorRegistry::save_bundle to persist, and
+/// load_state()/load_bundle to restore with bit-identical verdicts.
+/// See docs/ARCHITECTURE.md ("Detector lifecycle").
 class Detector {
  public:
   virtual ~Detector() = default;
@@ -123,6 +137,23 @@ class Detector {
   /// detectors that do not encode). run() calls this on its ad-hoc
   /// batch so repeated batched inference does not grow the cache.
   virtual void discard(const datasets::Dataset& ds);
+
+  /// \brief Serializes the detector's configuration and trained state.
+  ///
+  /// Learned detectors persist everything inference needs (encoding
+  /// options, model weights); the base implementation writes a
+  /// "stateless" marker (the expert tools re-derive their behaviour
+  /// from construction). DetectorRegistry::save_bundle is the usual
+  /// file-level entry point.
+  ///
+  /// \throws ContractViolation when a trainable detector is saved
+  ///         before fit() — an unfitted model has no state worth a file.
+  virtual void save_state(io::Writer& w) const;
+
+  /// \brief Restores state written by save_state of the same detector.
+  /// \throws io::FormatError on corrupt, truncated or future-version
+  ///         data (the stream is validated, never trusted).
+  virtual void load_state(io::Reader& r);
 
   /// Batched entry point: verdicts for an arbitrary batch of cases.
   /// Learned detectors must have been fitted (or cloned from a fitted
@@ -178,6 +209,8 @@ class Ir2vecDetector final : public Detector {
            std::span<const std::size_t> y, const FitSpec& spec) override;
   Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) override;
   void discard(const datasets::Dataset& ds) override;
+  void save_state(io::Writer& w) const override;
+  void load_state(io::Reader& r) override;
 
   /// The trained model (nullptr before fit); exposes the GA-selected
   /// feature subset for the seed study and Table VI.
@@ -217,6 +250,8 @@ class GnnDetector final : public Detector {
            std::span<const std::size_t> y, const FitSpec& spec) override;
   Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) override;
   void discard(const datasets::Dataset& ds) override;
+  void save_state(io::Writer& w) const override;
+  void load_state(io::Reader& r) override;
 
   const DetectorConfig& config() const { return cfg_; }
 
@@ -252,6 +287,33 @@ class DetectorRegistry {
   /// known names when `name` is unknown.
   std::unique_ptr<Detector> create(std::string_view name,
                                    const DetectorConfig& cfg = {}) const;
+
+  /// \brief Writes `det` — which must have been constructed under
+  /// registry key `name` — plus its trained state to a model bundle
+  /// file ("MPGD" format, written atomically).
+  ///
+  /// The bundle records the registry key so load_bundle can rebuild
+  /// the right detector, then delegates to Detector::save_state.
+  /// \throws ContractViolation when `name` is not registered or the
+  ///         detector is trainable but unfitted; io::FormatError when
+  ///         the file cannot be written.
+  void save_bundle(std::string_view name, const Detector& det,
+                   const std::string& path) const;
+
+  /// \brief Reconstructs a detector from a bundle file: reads the
+  /// registry key, builds the detector through its factory with `cfg`
+  /// (so the caller wires in a shared EncodingCache), and restores the
+  /// trained state via Detector::load_state.
+  ///
+  /// Encoding-relevant options stored in the bundle (opt level,
+  /// normalization, vocabulary seed, model hyper-parameters) override
+  /// the ones in `cfg`: a loaded model must embed exactly as it did
+  /// when trained, or its verdicts would silently change.
+  /// \throws io::FormatError on unreadable/corrupt/future-version
+  ///         files; ContractViolation when the recorded detector is
+  ///         not registered here.
+  std::unique_ptr<Detector> load_bundle(const std::string& path,
+                                        const DetectorConfig& cfg = {}) const;
 
  private:
   std::map<std::string, Factory, std::less<>> factories_;

@@ -17,6 +17,12 @@ namespace mpidetect::core {
 /// by dataset content and extraction configuration. Returned references
 /// stay valid until the entry is explicitly erase()d (the compute-on-
 /// miss path never evicts, and put_* refuses to overwrite).
+///
+/// With a spill directory set (set_spill_dir), in-memory misses first
+/// look for a serialized encoding on disk (io/encoding_io.hpp) and
+/// fresh computations are written back, so a corpus is embedded once
+/// per MACHINE instead of once per process. Unreadable, corrupt or
+/// key-mismatched spill files are treated as misses and overwritten.
 class EncodingCache {
  public:
   /// Returns the IR2vec feature matrix of `ds`, computing it on first
@@ -51,6 +57,18 @@ class EncodingCache {
   std::size_t feature_set_count() const;
   std::size_t graph_set_count() const;
 
+  /// Enables the on-disk spill under `dir` (created if absent; empty
+  /// string disables). Throws ContractViolation when the directory
+  /// cannot be created. Spill write failures (full disk, races) are
+  /// swallowed: the cache degrades to in-memory, never crashes a run.
+  void set_spill_dir(std::string dir);
+  const std::string& spill_dir() const { return spill_dir_; }
+
+  /// Spill traffic counters: encodings served from / written to disk
+  /// since construction (introspection for tests and the mpiguard CLI).
+  std::size_t disk_hits() const;
+  std::size_t disk_writes() const;
+
  private:
   struct Key {
     std::uint64_t fingerprint = 0;  // dataset content hash
@@ -69,6 +87,9 @@ class EncodingCache {
   mutable std::mutex mu_;
   std::map<Key, std::unique_ptr<FeatureSet>> features_;
   std::map<Key, std::unique_ptr<GraphSet>> graphs_;
+  std::string spill_dir_;
+  std::size_t disk_hits_ = 0;
+  std::size_t disk_writes_ = 0;
 };
 
 /// Builds a label/flag-only skeleton dataset around a pre-encoded set

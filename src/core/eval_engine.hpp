@@ -54,41 +54,59 @@ struct AblationReport {
 
 class EvalEngine {
  public:
-  /// `threads` sizes the shared worker pool (0 = hardware concurrency).
-  /// A null cache allocates a fresh one; pass the cache shared with the
-  /// detectors' DetectorConfig so encodings are computed once per run.
+  /// \brief Builds the engine with its shared worker pool and cache.
+  /// \param threads pool width; 0 = hardware concurrency.
+  /// \param cache encoding cache shared with the detectors'
+  ///        DetectorConfig so each corpus is embedded once per run
+  ///        (null allocates a private one). Give the cache a spill
+  ///        directory (EncodingCache::set_spill_dir) to also reuse
+  ///        encodings across processes.
   explicit EvalEngine(unsigned threads = 0,
                       std::shared_ptr<EncodingCache> cache = nullptr);
 
   const std::shared_ptr<EncodingCache>& cache() const { return cache_; }
   unsigned threads() const { return pool_.size(); }
 
-  /// Straight dataset sweep: every case through the detector once (the
-  /// expert-tool protocol; a learned detector must be fitted first).
+  /// \brief Straight dataset sweep: every case through the detector
+  /// once (the expert-tool protocol; also what `mpiguard predict` runs
+  /// against a loaded bundle).
+  /// \pre a Learned detector must be fitted — or restored via
+  ///      DetectorRegistry::load_bundle — first.
+  /// \return per-case verdicts in dataset order plus aggregates.
   EvalReport sweep(Detector& det, const datasets::Dataset& ds);
 
-  /// Stratified k-fold cross-validation (the Intra and Mix protocols).
+  /// \brief Stratified k-fold cross-validation (the Intra and Mix
+  /// protocols of Table II; Figure 6 when `opts.multiclass`).
+  ///
   /// Trainable detectors are cloned per fold and trained on the fold
-  /// complement; untrainable detectors degenerate to a sweep.
+  /// complement (folds run in parallel on the shared pool, each capped
+  /// at one training thread); untrainable detectors degenerate to a
+  /// sweep. The overload without options uses the detector's
+  /// eval_defaults() (the paper's fold count and seed).
   EvalReport kfold(Detector& det, const datasets::Dataset& ds,
                    const EvalOptions& opts);
   EvalReport kfold(Detector& det, const datasets::Dataset& ds);
 
-  /// Suite transfer (the Cross protocol): train on all of `train`,
-  /// validate on all of `valid`. Leaves `det` fitted.
+  /// \brief Suite transfer (the Cross protocol of §V-C): train on all
+  /// of `train`, validate on all of `valid`.
+  /// \post `det` is left fitted — follow with save_bundle to persist
+  ///       the transferred model.
   EvalReport cross(Detector& det, const datasets::Dataset& train,
                    const datasets::Dataset& valid, const EvalOptions& opts);
   EvalReport cross(Detector& det, const datasets::Dataset& train,
                    const datasets::Dataset& valid);
 
-  /// Trains `det` on the full dataset (the front half of cross()).
+  /// \brief Trains `det` on the full dataset with binary labels (the
+  /// front half of cross(); what `mpiguard train` runs before saving).
   void fit_full(Detector& det, const datasets::Dataset& ds);
 
-  /// Label-exclusion ablation (Figures 8, 9): k-fold CV never training
-  /// on samples of `excluded` labels, counting how many of the
-  /// `measured`-label samples (all excluded labels when nullopt) the
-  /// binary model still flags at validation. Throws ContractViolation
-  /// for labels absent from the dataset.
+  /// \brief Label-exclusion ablation (Figures 8, 9): k-fold CV never
+  /// training on samples of `excluded` labels.
+  /// \param measured count detections only over this excluded label
+  ///        (all excluded labels when nullopt).
+  /// \return how many excluded-label samples the binary model still
+  ///         flags at validation, over how many were evaluated.
+  /// \throws ContractViolation for labels absent from the dataset.
   AblationReport ablation(Detector& det, const datasets::Dataset& ds,
                           const std::vector<std::string>& excluded,
                           const std::optional<std::string>& measured,

@@ -1,0 +1,53 @@
+// On-disk spill format for the EncodingCache: serialized FeatureSet /
+// GraphSet artifacts keyed the same way as the in-memory cache (dataset
+// content fingerprint + extraction configuration), so a corpus is
+// compiled and embedded once per MACHINE instead of once per process.
+//
+// Files are self-describing (magic + version + key echo); a loader
+// verifies the embedded key against the one it is resolving and treats
+// any mismatch, truncation or unknown version as a miss — the cache
+// recomputes and overwrites rather than serving wrong encodings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/features.hpp"
+#include "io/serialize.hpp"
+
+namespace mpidetect::io {
+
+/// The cache key a spill file answers for; echoed in the file header
+/// and re-verified on load (the file name alone is not trusted).
+struct EncodingKey {
+  std::uint64_t fingerprint = 0;  // dataset content hash
+  std::uint64_t size = 0;         // case count
+  std::int32_t opt = 0;           // passes::OptLevel
+  std::int32_t norm = -1;         // ir2vec::Normalization; -1 for graphs
+  std::uint64_t vocab_seed = 0;   // 0 for graphs
+
+  bool operator==(const EncodingKey&) const = default;
+};
+
+/// Deterministic spill file names ("feat-<hex key>.mpienc" /
+/// "graph-<hex key>.mpienc") under the cache directory.
+std::string feature_file_name(const EncodingKey& key);
+std::string graph_file_name(const EncodingKey& key);
+
+/// @name FeatureSet spill ("ENCF" section)
+///@{
+void save_feature_set(Writer& w, const EncodingKey& key,
+                      const core::FeatureSet& fs);
+/// Throws FormatError when the stream is corrupt or answers a
+/// different key than `expected`.
+core::FeatureSet load_feature_set(Reader& r, const EncodingKey& expected);
+///@}
+
+/// @name GraphSet spill ("ENCG" section)
+///@{
+void save_graph_set(Writer& w, const EncodingKey& key,
+                    const core::GraphSet& gs);
+core::GraphSet load_graph_set(Reader& r, const EncodingKey& expected);
+///@}
+
+}  // namespace mpidetect::io

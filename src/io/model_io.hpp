@@ -1,0 +1,60 @@
+// Versioned binary (de)serialization of the trained artifacts: CART
+// decision trees, the IR2vec+DT model (tree + GA-selected features),
+// GNN weights, and the IR2vec vocabulary. Each artifact is a
+// self-describing section (magic + version, io/serialize.hpp) so it can
+// be embedded in a detector bundle or stored standalone; loads validate
+// structure and reject corrupt or future-version data with FormatError.
+//
+// Everything is stored bit-exactly (doubles as IEEE-754 bit patterns):
+// a load followed by predict reproduces the saved model's verdicts
+// EXACTLY, which tests/io_test.cpp asserts per detector kind.
+#pragma once
+
+#include <memory>
+
+#include "core/ir2vec_detector.hpp"
+#include "io/serialize.hpp"
+#include "ir2vec/vocabulary.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gnn.hpp"
+
+namespace mpidetect::io {
+
+/// @name CART decision tree ("CART" section)
+/// Stores config (depth/split limits, feature subset) plus the
+/// flattened node list; load rebuilds via DecisionTree::from_nodes,
+/// whose structural validation is surfaced as FormatError.
+///@{
+void save_decision_tree(Writer& w, const ml::DecisionTree& tree);
+ml::DecisionTree load_decision_tree(Reader& r);
+///@}
+
+/// @name IR2vec+DT model ("IRDT" section)
+/// The GA-selected feature indices plus the tree.
+///@{
+void save_trained_ir2vec(Writer& w, const core::TrainedIr2vec& model);
+core::TrainedIr2vec load_trained_ir2vec(Reader& r);
+///@}
+
+/// @name GNN model ("GNNW" section)
+/// Stores the full GnnConfig followed by every parameter tensor in
+/// GnnModel::parameters() order. Load reconstructs the model from the
+/// stored config and overwrites its weights; Adam state is not
+/// persisted (inference is exact, retraining restarts the optimizer).
+///@{
+void save_gnn_model(Writer& w, const ml::GnnModel& model);
+std::unique_ptr<ml::GnnModel> load_gnn_model(Reader& r);
+///@}
+
+/// @name IR2vec vocabulary ("VOCB" section)
+/// The vocabulary is procedurally generated from its seed, so the
+/// serialized form is the seed plus probe vectors for a few canonical
+/// entities. Load regenerates the vocabulary and verifies the probes
+/// bit-for-bit, rejecting files whose embeddings this build would not
+/// reproduce (dimension or hash-function drift across versions).
+///@{
+void save_vocabulary(Writer& w, const ir2vec::Vocabulary& vocab);
+ir2vec::Vocabulary load_vocabulary(Reader& r);
+///@}
+
+}  // namespace mpidetect::io

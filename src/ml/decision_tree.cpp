@@ -22,6 +22,7 @@ void DecisionTree::fit(const std::vector<std::vector<double>>& X,
   MPIDETECT_EXPECTS(!X.empty() && X.size() == y.size());
   nodes_.clear();
   n_classes_ = *std::max_element(y.begin(), y.end()) + 1;
+  n_features_ = X.front().size();
   std::vector<std::size_t> indices(X.size());
   std::iota(indices.begin(), indices.end(), 0);
   build(X, y, std::move(indices), 0);
@@ -147,6 +148,34 @@ std::size_t DecisionTree::depth() const {
   std::size_t d = 0;
   for (const Node& n : nodes_) d = std::max(d, n.depth);
   return d;
+}
+
+DecisionTree DecisionTree::from_nodes(DecisionTreeConfig cfg,
+                                      std::vector<Node> nodes,
+                                      std::size_t n_classes,
+                                      std::size_t n_features) {
+  MPIDETECT_EXPECTS(!nodes.empty());
+  MPIDETECT_EXPECTS(n_classes >= 1);
+  MPIDETECT_EXPECTS(n_features >= 1);
+  const std::int32_t n = static_cast<std::int32_t>(nodes.size());
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Node& node = nodes[static_cast<std::size_t>(i)];
+    MPIDETECT_CHECK(node.label < n_classes);
+    if (!node.leaf) {
+      // Split feature inside the training row width: predict() never
+      // reads past the end of a feature row.
+      MPIDETECT_CHECK(node.feature < n_features);
+      // Children strictly after their parent: predict() is guaranteed to
+      // terminate, whatever bytes the node list came from.
+      MPIDETECT_CHECK(node.left > i && node.left < n);
+      MPIDETECT_CHECK(node.right > i && node.right < n);
+    }
+  }
+  DecisionTree tree(std::move(cfg));
+  tree.nodes_ = std::move(nodes);
+  tree.n_classes_ = n_classes;
+  tree.n_features_ = n_features;
+  return tree;
 }
 
 }  // namespace mpidetect::ml

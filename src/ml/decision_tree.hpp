@@ -20,6 +20,18 @@ struct DecisionTreeConfig {
 
 class DecisionTree final {
  public:
+  /// Flattened tree node. Public because it is the unit of the model
+  /// serialization format (io/model_io.hpp): nodes() / from_nodes()
+  /// round-trip a trained tree exactly.
+  struct Node {
+    bool leaf = true;
+    std::size_t label = 0;      // majority class at this node
+    std::size_t feature = 0;    // split feature (internal nodes)
+    double threshold = 0.0;     // go left when x[feature] <= threshold
+    std::int32_t left = -1, right = -1;
+    std::size_t depth = 0;
+  };
+
   explicit DecisionTree(DecisionTreeConfig cfg = {}) : cfg_(std::move(cfg)) {}
 
   /// X: one row per sample; y: class labels (0-based, small ints).
@@ -34,16 +46,26 @@ class DecisionTree final {
   std::size_t depth() const;
   bool trained() const { return !nodes_.empty(); }
 
- private:
-  struct Node {
-    bool leaf = true;
-    std::size_t label = 0;      // majority class at this node
-    std::size_t feature = 0;    // split feature (internal nodes)
-    double threshold = 0.0;     // go left when x[feature] <= threshold
-    std::int32_t left = -1, right = -1;
-    std::size_t depth = 0;
-  };
+  /// The flattened tree (children always follow their parent), the
+  /// number of classes and the training-time feature-row width —
+  /// everything a deserializer needs.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const DecisionTreeConfig& config() const { return cfg_; }
+  std::size_t num_classes() const { return n_classes_; }
+  std::size_t num_features() const { return n_features_; }
 
+  /// Rebuilds a trained tree from a flattened node list (the inverse of
+  /// nodes()). Validates the structure — labels < n_classes, split
+  /// features < n_features, children in range and strictly after their
+  /// parent (acyclic) — and throws ContractViolation on malformed
+  /// input, so a corrupt model file can never produce a tree whose
+  /// predict() loops or reads past the end of a feature row.
+  static DecisionTree from_nodes(DecisionTreeConfig cfg,
+                                 std::vector<Node> nodes,
+                                 std::size_t n_classes,
+                                 std::size_t n_features);
+
+ private:
   std::size_t build(const std::vector<std::vector<double>>& X,
                     const std::vector<std::size_t>& y,
                     std::vector<std::size_t> indices, std::size_t depth);
@@ -51,6 +73,7 @@ class DecisionTree final {
   DecisionTreeConfig cfg_;
   std::vector<Node> nodes_;
   std::size_t n_classes_ = 0;
+  std::size_t n_features_ = 0;
 };
 
 /// Gini impurity of a label multiset given class counts.

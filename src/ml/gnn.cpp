@@ -54,6 +54,24 @@ std::size_t GnnModel::parameter_count() const {
   return n;
 }
 
+std::vector<const Matrix*> GnnModel::parameters() const {
+  std::vector<const Matrix*> out;
+  out.reserve(params_.size());
+  for (const Var& p : params_) out.push_back(&p->value);
+  return out;
+}
+
+void GnnModel::set_parameters(std::vector<Matrix> values) {
+  MPIDETECT_EXPECTS(values.size() == params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    MPIDETECT_EXPECTS(params_[i]->value.same_shape(values[i]));
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->value = std::move(values[i]);
+    params_[i]->zero_grad();
+  }
+}
+
 Var GnnModel::forward(const programl::ProgramGraph& g) {
   MPIDETECT_EXPECTS(g.num_nodes() > 0);
   const std::size_t n = g.num_nodes();

@@ -52,6 +52,18 @@ class GnnModel final {
   const GnnConfig& config() const { return cfg_; }
   std::size_t parameter_count() const;
 
+  /// The trainable tensors in their fixed construction order (token
+  /// embedding, then per layer the three relations' W_l/W_r/attention
+  /// plus self/bias, then the two FC layers) — the payload of the model
+  /// serialization format (io/model_io.hpp).
+  std::vector<const Matrix*> parameters() const;
+
+  /// Overwrites every parameter from `values` (same order and shapes as
+  /// parameters(); checked), consuming them. Optimizer state is NOT
+  /// restored: a loaded model predicts bit-identically but further
+  /// fit() calls start Adam from fresh moments.
+  void set_parameters(std::vector<Matrix> values);
+
  private:
   struct RelationWeights {
     Var w_left;   // target-side transform

@@ -1,0 +1,437 @@
+// mpiguard — the command-line front end of the detector stack: train a
+// detector on a generated corpus, persist it as a model bundle, reload
+// it anywhere, and run the EvalEngine protocols from the shell. The
+// §V-D CI-gatekeeper story becomes a pipeline:
+//
+//   mpiguard train   --detector ir2vec --dataset mbi:0.3 --out gate.mpib
+//   mpiguard predict --model gate.mpib --dataset mbi:0.05@7
+//
+// and with --cache-dir the encoding spill makes every later run on the
+// same corpus skip the compile+embed front half entirely (once per
+// machine, not once per process).
+//
+// Subcommands: train | predict | eval | bench | list. Run with --help
+// (or see docs/API.md) for the full flag reference.
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
+#include "datasets/corrbench.hpp"
+#include "datasets/mbi.hpp"
+#include "io/serialize.hpp"
+#include "support/check.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace mpidetect;
+
+namespace {
+
+constexpr const char* kUsage = R"(mpiguard — train, persist and evaluate MPI error detectors
+
+usage:
+  mpiguard train   --detector NAME --dataset SPEC --out FILE [options]
+  mpiguard predict --model FILE --dataset SPEC [--limit N] [options]
+  mpiguard eval    (--detector NAME | --model FILE) --dataset SPEC
+                   [--protocol sweep|kfold|cross] [--valid SPEC] [options]
+  mpiguard bench   [--detectors A,B,...] --dataset SPEC [options]
+  mpiguard list
+
+dataset SPEC        mbi | corr | mix, with optional scale and generator
+                    seed: "mbi:0.25@7" = MBI at 25% size, seed 7.
+                    corr also accepts "corr+header" (keep the mpitest.h
+                    preamble, i.e. the Figure 2 size bias).
+
+common options:
+  --cache-dir DIR   on-disk encoding cache shared across runs: each
+                    corpus is compiled+embedded once per machine
+  --threads N       worker pool width (default: hardware concurrency)
+  --ga              enable GA feature selection for ir2vec (off by
+                    default on the CLI; --ga-pop/--ga-gens to size it)
+  --folds N         override k-fold count (eval kfold)
+  --multiclass      train/evaluate on per-label classes (ir2vec kfold)
+  --quiet           summary lines only (no per-case/per-label tables)
+
+exit status: 0 success, 1 usage error, 2 runtime failure.
+)";
+
+struct CliError final : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict numeric parsing: malformed input is a usage error (exit 1
+/// with the flag named), never a stray std::invalid_argument (exit 2).
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw CliError(std::string(what) + ": not a number: '" + s + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size() || s.front() == '-') throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw CliError(std::string(what) + ": not a non-negative integer: '" + s +
+                   "'");
+  }
+}
+
+// ---- argument parsing -------------------------------------------------------
+
+struct Args {
+  std::string subcommand;
+  std::string detector;
+  std::string detectors;  // bench: comma-separated
+  std::string dataset_spec;
+  std::string valid_spec;
+  std::string protocol;
+  std::string model_path;
+  std::string out_path;
+  std::string cache_dir;
+  unsigned threads = 0;
+  bool use_ga = false;
+  std::size_t ga_pop = 300;
+  std::size_t ga_gens = 12;
+  std::optional<int> folds;
+  bool multiclass = false;
+  bool quiet = false;
+  std::size_t limit = 20;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc < 2) throw CliError("missing subcommand");
+  a.subcommand = argv[1];
+
+  const auto need_value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) {
+      throw CliError(std::string(flag) + " requires a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view f = argv[i];
+    if (f == "--detector") a.detector = need_value(i, "--detector");
+    else if (f == "--detectors") a.detectors = need_value(i, "--detectors");
+    else if (f == "--dataset") a.dataset_spec = need_value(i, "--dataset");
+    else if (f == "--valid") a.valid_spec = need_value(i, "--valid");
+    else if (f == "--protocol") a.protocol = need_value(i, "--protocol");
+    else if (f == "--model") a.model_path = need_value(i, "--model");
+    else if (f == "--out") a.out_path = need_value(i, "--out");
+    else if (f == "--cache-dir") a.cache_dir = need_value(i, "--cache-dir");
+    else if (f == "--threads")
+      a.threads = static_cast<unsigned>(
+          parse_u64(need_value(i, "--threads"), "--threads"));
+    else if (f == "--ga") a.use_ga = true;
+    else if (f == "--no-ga") a.use_ga = false;
+    else if (f == "--ga-pop")
+      a.ga_pop = parse_u64(need_value(i, "--ga-pop"), "--ga-pop");
+    else if (f == "--ga-gens")
+      a.ga_gens = parse_u64(need_value(i, "--ga-gens"), "--ga-gens");
+    else if (f == "--folds")
+      a.folds = static_cast<int>(parse_u64(need_value(i, "--folds"),
+                                           "--folds"));
+    else if (f == "--multiclass") a.multiclass = true;
+    else if (f == "--quiet") a.quiet = true;
+    else if (f == "--limit")
+      a.limit = parse_u64(need_value(i, "--limit"), "--limit");
+    else if (f == "--help" || f == "-h") throw CliError("");
+    else throw CliError("unknown flag: " + std::string(f));
+  }
+  return a;
+}
+
+// ---- dataset specs ----------------------------------------------------------
+
+/// "name[:scale][@seed]" -> generated corpus. Examples: "mbi",
+/// "corr:0.5", "mix:0.2@42", "corr+header".
+datasets::Dataset make_dataset(const std::string& spec) {
+  std::string name = spec;
+  double scale = 1.0;
+  std::optional<std::uint64_t> seed;
+
+  if (const auto at = name.find('@'); at != std::string::npos) {
+    seed = parse_u64(name.substr(at + 1), "dataset seed");
+    name.resize(at);
+  }
+  if (const auto colon = name.find(':'); colon != std::string::npos) {
+    scale = parse_double(name.substr(colon + 1), "dataset scale");
+    name.resize(colon);
+  }
+  if (scale <= 0.0) throw CliError("dataset scale must be > 0: " + spec);
+
+  const auto mbi = [&](double s) {
+    datasets::MbiConfig cfg;
+    cfg.scale = s;
+    if (seed) cfg.seed = *seed;
+    return datasets::generate_mbi(cfg);
+  };
+  const auto corr = [&](double s, bool strip) {
+    datasets::CorrConfig cfg;
+    cfg.scale = s;
+    cfg.strip_header = strip;
+    if (seed) cfg.seed = *seed;
+    return datasets::generate_corrbench(cfg);
+  };
+
+  if (name == "mbi") return mbi(scale);
+  if (name == "corr" || name == "corrbench") return corr(scale, true);
+  if (name == "corr+header") return corr(scale, false);
+  if (name == "mix") return datasets::mix(mbi(scale), corr(scale, true));
+  throw CliError("unknown dataset '" + name +
+                 "' (expected mbi, corr, corr+header or mix)");
+}
+
+// ---- shared wiring ----------------------------------------------------------
+
+/// One cache + engine per invocation, mirroring bench::Harness; the
+/// spill dir (when given) is what makes separate invocations share
+/// encodings.
+struct Session {
+  std::shared_ptr<core::EncodingCache> cache;
+  core::EvalEngine engine;
+
+  explicit Session(const Args& a)
+      : cache(std::make_shared<core::EncodingCache>()),
+        engine(a.threads, cache) {
+    if (!a.cache_dir.empty()) cache->set_spill_dir(a.cache_dir);
+  }
+
+  core::DetectorConfig config(const Args& a) const {
+    core::DetectorConfig cfg;
+    cfg.cache = cache;
+    cfg.ir2vec.use_ga = a.use_ga;
+    cfg.ir2vec.ga.population = a.ga_pop;
+    cfg.ir2vec.ga.generations = a.ga_gens;
+    if (a.folds) {
+      cfg.ir2vec.folds = *a.folds;
+      cfg.gnn.folds = *a.folds;
+    }
+    return cfg;
+  }
+
+  void print_cache_stats() const {
+    std::cout << "encoding cache: " << cache->feature_set_count()
+              << " feature set(s), " << cache->graph_set_count()
+              << " graph set(s) in memory";
+    if (!cache->spill_dir().empty()) {
+      std::cout << "; disk hits " << cache->disk_hits() << ", disk writes "
+                << cache->disk_writes() << " (" << cache->spill_dir() << ")";
+    }
+    std::cout << "\n";
+  }
+};
+
+void print_report(const core::EvalReport& r, bool quiet) {
+  std::cout << r.detector << " [" << r.protocol << "] " << r.train_dataset;
+  if (r.valid_dataset != r.train_dataset) std::cout << " -> " << r.valid_dataset;
+  const ml::Confusion& c = r.confusion;
+  std::cout << ": " << c.to_string() << "\n"
+            << "  recall " << fmt_double(c.recall(), 3) << "  precision "
+            << fmt_double(c.precision(), 3) << "  f1 " << fmt_double(c.f1(), 3)
+            << "  accuracy " << fmt_double(c.accuracy(), 3) << "  ("
+            << r.cases << " cases, " << fmt_double(r.wall_seconds, 2)
+            << " s)\n";
+  if (quiet) return;
+  Table t({"Label", "Correct", "Total", "Rate"});
+  for (const auto& [label, counts] : r.per_label) {
+    t.add_row({label, std::to_string(counts.first),
+               std::to_string(counts.second),
+               fmt_percent(static_cast<double>(counts.first) /
+                           static_cast<double>(counts.second))});
+  }
+  t.print(std::cout);
+}
+
+// ---- subcommands ------------------------------------------------------------
+
+int cmd_train(const Args& a) {
+  if (a.detector.empty()) throw CliError("train: --detector is required");
+  if (a.dataset_spec.empty()) throw CliError("train: --dataset is required");
+  if (a.out_path.empty()) throw CliError("train: --out is required");
+
+  Session session(a);
+  const auto ds = make_dataset(a.dataset_spec);
+  auto& registry = core::DetectorRegistry::global();
+  auto det = registry.create(a.detector, session.config(a));
+
+  if (det->trainable()) {
+    std::cout << "training " << det->name() << " on " << ds.name << " ("
+              << ds.size() << " cases)...\n";
+    session.engine.fit_full(*det, ds);
+  } else {
+    std::cout << det->name() << " needs no training (expert tool); bundling "
+              << "its configuration only\n";
+  }
+  registry.save_bundle(a.detector, *det, a.out_path);
+  std::cout << "saved model bundle: " << a.out_path << "\n";
+  session.print_cache_stats();
+  return 0;
+}
+
+int cmd_predict(const Args& a) {
+  if (a.model_path.empty()) throw CliError("predict: --model is required");
+  if (a.dataset_spec.empty()) throw CliError("predict: --dataset is required");
+
+  Session session(a);
+  auto det = core::DetectorRegistry::global().load_bundle(a.model_path,
+                                                          session.config(a));
+  const auto ds = make_dataset(a.dataset_spec);
+  const auto report = session.engine.sweep(*det, ds);
+
+  if (!a.quiet) {
+    Table t({"Case", "Truth", "Verdict", "Hit"});
+    const std::size_t shown = std::min(a.limit, ds.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& v = report.verdicts[i];
+      t.add_row({ds.cases[i].name.substr(0, 44),
+                 ds.cases[i].incorrect ? "bug" : "clean",
+                 std::string(core::outcome_name(v.outcome)),
+                 v.conclusive() && v.flagged() == ds.cases[i].incorrect
+                     ? "yes"
+                     : "NO"});
+    }
+    t.print(std::cout);
+    if (shown < ds.size()) {
+      std::cout << "... " << ds.size() - shown
+                << " more (raise --limit to see them)\n";
+    }
+  }
+  print_report(report, /*quiet=*/true);
+  session.print_cache_stats();
+  return 0;
+}
+
+int cmd_eval(const Args& a) {
+  if (a.dataset_spec.empty()) throw CliError("eval: --dataset is required");
+  if (a.model_path.empty() == a.detector.empty()) {
+    throw CliError("eval: exactly one of --model / --detector is required");
+  }
+
+  Session session(a);
+  auto& registry = core::DetectorRegistry::global();
+  auto det = a.model_path.empty()
+                 ? registry.create(a.detector, session.config(a))
+                 : registry.load_bundle(a.model_path, session.config(a));
+  const auto ds = make_dataset(a.dataset_spec);
+
+  std::string protocol = a.protocol;
+  if (protocol.empty()) {
+    // Sensible default per detector: a loaded/untrainable detector is
+    // swept, a fresh trainable one cross-validates.
+    protocol = (!a.model_path.empty() || !det->trainable()) ? "sweep" : "kfold";
+  }
+
+  core::EvalReport report;
+  if (protocol == "sweep") {
+    if (det->trainable() && a.model_path.empty()) {
+      throw CliError("eval: a fresh " + std::string(det->name()) +
+                     " has no trained state to sweep; pass --model, or use "
+                     "--protocol kfold/cross");
+    }
+    report = session.engine.sweep(*det, ds);
+  } else if (protocol == "kfold") {
+    core::EvalOptions opts = det->eval_defaults();
+    if (a.folds) opts.folds = *a.folds;
+    opts.multiclass = a.multiclass;
+    report = session.engine.kfold(*det, ds, opts);
+  } else if (protocol == "cross") {
+    if (a.valid_spec.empty()) {
+      throw CliError("eval: --protocol cross requires --valid");
+    }
+    const auto valid = make_dataset(a.valid_spec);
+    report = session.engine.cross(*det, ds, valid);
+  } else {
+    throw CliError("eval: unknown protocol '" + protocol +
+                   "' (expected sweep, kfold or cross)");
+  }
+  print_report(report, a.quiet);
+  session.print_cache_stats();
+  return 0;
+}
+
+int cmd_bench(const Args& a) {
+  if (a.dataset_spec.empty()) throw CliError("bench: --dataset is required");
+  const std::string names =
+      a.detectors.empty() ? "itac,must,parcoach,mpi-checker,ir2vec"
+                          : a.detectors;
+
+  Session session(a);
+  const auto ds = make_dataset(a.dataset_spec);
+  auto& registry = core::DetectorRegistry::global();
+
+  Table t({"Detector", "Protocol", "Recall", "Precision", "F1", "Accuracy",
+           "Conclusive", "Seconds"});
+  for (const auto& name : split(names, ',')) {
+    auto det = registry.create(trim(name), session.config(a));
+    const auto report = det->trainable() ? session.engine.kfold(*det, ds)
+                                         : session.engine.sweep(*det, ds);
+    const ml::Confusion& c = report.confusion;
+    t.add_row({std::string(det->name()), report.protocol,
+               fmt_double(c.recall(), 3), fmt_double(c.precision(), 3),
+               fmt_double(c.f1(), 3), fmt_double(c.accuracy(), 3),
+               fmt_percent(c.conclusiveness()),
+               fmt_double(report.wall_seconds, 2)});
+  }
+  std::cout << "=== " << ds.name << " (" << ds.size() << " cases) ===\n";
+  t.print(std::cout);
+  session.print_cache_stats();
+  return 0;
+}
+
+int cmd_list() {
+  Table t({"Registry key", "Display name", "Kind", "Trainable"});
+  const auto& registry = core::DetectorRegistry::global();
+  for (const auto& name : registry.names()) {
+    const auto det = registry.create(name);
+    t.add_row({name, std::string(det->name()),
+               std::string(core::detector_kind_name(det->kind())),
+               det->trainable() ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.subcommand == "train") return cmd_train(args);
+    if (args.subcommand == "predict") return cmd_predict(args);
+    if (args.subcommand == "eval") return cmd_eval(args);
+    if (args.subcommand == "bench") return cmd_bench(args);
+    if (args.subcommand == "list") return cmd_list();
+    if (args.subcommand == "--help" || args.subcommand == "-h" ||
+        args.subcommand == "help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    throw CliError("unknown subcommand: " + args.subcommand);
+  } catch (const CliError& e) {
+    if (e.what()[0] != '\0') std::cerr << "mpiguard: " << e.what() << "\n\n";
+    std::cerr << kUsage;
+    return 1;
+  } catch (const io::FormatError& e) {
+    std::cerr << "mpiguard: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "mpiguard: " << e.what() << "\n";
+    return 2;
+  }
+}
