@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_*.json perf records (see docs/PERFORMANCE.md).
+
+Usage: check_bench_json.py FILE [FILE ...]
+
+Validates structure only — a malformed record fails (exit 1), slow
+numbers do not. CI runs this on the artifact produced by
+`perf_gnn --quick --reps=1` so the perf-smoke job gates on "the harness
+still writes a well-formed record", never on machine speed.
+"""
+import json
+import sys
+
+REQUIRED_PHASES = (
+    "encode",
+    "train_baseline",
+    "train_batched",
+    "infer_baseline",
+    "infer_batched",
+)
+
+
+def fail(path, msg):
+    print(f"{path}: MALFORMED: {msg}")
+    return 1
+
+
+def is_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or not JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("benchmark") != "gnn_perf":
+        return fail(path, f"benchmark != 'gnn_perf': {doc.get('benchmark')!r}")
+    if doc.get("schema_version") != 1:
+        return fail(path, f"unknown schema_version {doc.get('schema_version')!r}")
+
+    dataset = doc.get("dataset")
+    if not isinstance(dataset, dict) or not isinstance(dataset.get("name"), str):
+        return fail(path, "dataset.name missing")
+    if not (is_number(dataset.get("cases")) and dataset["cases"] >= 1):
+        return fail(path, "dataset.cases missing or < 1")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        return fail(path, "config missing")
+    for key in ("warmup", "reps", "train_batch", "infer_batch", "epochs"):
+        if not is_number(config.get(key)):
+            return fail(path, f"config.{key} missing or not a number")
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        return fail(path, "phases missing or empty")
+    seen = {}
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            return fail(path, f"phases[{i}] is not an object")
+        name = phase.get("name")
+        if not isinstance(name, str) or not name:
+            return fail(path, f"phases[{i}].name missing")
+        if phase.get("unit") != "ms":
+            return fail(path, f"phase {name}: unit != 'ms'")
+        samples = phase.get("samples")
+        if not isinstance(samples, list) or not samples:
+            return fail(path, f"phase {name}: samples missing or empty")
+        if not all(is_number(s) and s >= 0 for s in samples):
+            return fail(path, f"phase {name}: non-numeric or negative sample")
+        if len(samples) != config["reps"]:
+            return fail(
+                path,
+                f"phase {name}: {len(samples)} samples != reps {config['reps']}",
+            )
+        for stat in ("median", "p90"):
+            if not (is_number(phase.get(stat)) and phase[stat] >= 0):
+                return fail(path, f"phase {name}: {stat} missing or negative")
+        if phase["p90"] + 1e-9 < phase["median"]:
+            return fail(path, f"phase {name}: p90 < median")
+        if not (min(samples) - 1e-9 <= phase["median"] <= max(samples) + 1e-9):
+            return fail(path, f"phase {name}: median outside sample range")
+        seen[name] = phase
+    for name in REQUIRED_PHASES:
+        if name not in seen:
+            return fail(path, f"required phase '{name}' missing")
+
+    speedup = doc.get("speedup")
+    if not isinstance(speedup, dict):
+        return fail(path, "speedup missing")
+    for key in ("train", "infer"):
+        if not (is_number(speedup.get(key)) and speedup[key] > 0):
+            return fail(path, f"speedup.{key} missing or not positive")
+
+    equivalence = doc.get("equivalence")
+    if not isinstance(equivalence, dict):
+        return fail(path, "equivalence missing")
+    diff = equivalence.get("max_abs_proba_diff")
+    if not is_number(diff):
+        return fail(path, "equivalence.max_abs_proba_diff missing")
+    agreement = equivalence.get("prediction_agreement")
+    if not (is_number(agreement) and 0.0 <= agreement <= 1.0):
+        return fail(path, "equivalence.prediction_agreement outside [0, 1]")
+    # The invariant the record exists to prove: batching and kernel
+    # blocking must not change predictions. This is a correctness gate,
+    # not a speed gate.
+    if agreement < 1.0:
+        return fail(path, f"prediction_agreement {agreement} < 1.0 — "
+                          "batched inference diverged from baseline")
+    if diff > 1e-6:
+        return fail(path, f"max_abs_proba_diff {diff} > 1e-6")
+
+    print(
+        f"{path}: OK ({dataset['name']}, {dataset['cases']} cases, "
+        f"train {speedup['train']:.2f}x, infer {speedup['infer']:.2f}x, "
+        f"agreement {agreement:.3f})"
+    )
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    return max(check_file(p) for p in argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

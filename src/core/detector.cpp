@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ml/kernels.hpp"
 #include "support/check.hpp"
 #include "support/threads.hpp"
 
@@ -181,6 +182,22 @@ const TrainedIr2vec* Ir2vecDetector::model() const {
 
 // ---- GnnDetector ------------------------------------------------------------
 
+namespace {
+
+/// The GNN's probabilities-to-verdict mapping, shared by the per-case
+/// evaluate() and the batched run() so the two can never diverge.
+Verdict gnn_verdict(const std::vector<double>& proba) {
+  const std::size_t pred = static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  Verdict v;
+  v.outcome =
+      pred == 1 ? Verdict::Outcome::Incorrect : Verdict::Outcome::Correct;
+  v.confidence = proba[pred];
+  return v;
+}
+
+}  // namespace
+
 GnnDetector::GnnDetector(DetectorConfig cfg) : cfg_(std::move(cfg)) {
   if (!cfg_.cache) cfg_.cache = std::make_shared<EncodingCache>();
 }
@@ -243,6 +260,10 @@ void GnnDetector::fit(const datasets::Dataset& ds,
   cfg.seed = spec.fold.has_value() ? cfg_.gnn.seed * 97 + *spec.fold
                                    : cfg_.gnn.seed;
   model_ = std::make_unique<ml::GnnModel>(cfg);
+  // A forced thread budget (EvalEngine pins folds that train in
+  // parallel to one thread each) also caps the matmul/scatter kernels.
+  ml::kernels::ScopedKernelThreads kernel_scope(
+      spec.threads != 0 ? spec.threads : ml::kernels::kernel_threads());
   model_->fit(graphs, {y.begin(), y.end()});
 }
 
@@ -251,14 +272,27 @@ Verdict GnnDetector::evaluate(const datasets::Dataset& ds, std::size_t idx) {
     throw ContractViolation("GnnDetector: fit() before evaluate()/run()");
   }
   const GraphSet& gs = graphs(ds, 0);
-  const auto proba = model_->predict_proba(gs.graphs[idx]);
-  const std::size_t pred = static_cast<std::size_t>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
-  Verdict v;
-  v.outcome =
-      pred == 1 ? Verdict::Outcome::Incorrect : Verdict::Outcome::Correct;
-  v.confidence = proba[pred];
-  return v;
+  return gnn_verdict(model_->predict_proba(gs.graphs[idx]));
+}
+
+std::vector<Verdict> GnnDetector::run(std::span<const datasets::Case> cases) {
+  if (!model_) {
+    throw ContractViolation("GnnDetector: fit() before evaluate()/run()");
+  }
+  // Ad-hoc batches are encoded directly, bypassing the shared cache:
+  // nothing to accumulate (in memory or in the spill directory),
+  // nothing to discard, and no bound-dataset state to invalidate on an
+  // exception mid-batch.
+  datasets::Dataset batch;
+  batch.name = "batch";
+  batch.cases.assign(cases.begin(), cases.end());
+  const GraphSet gs = extract_graphs(batch, cfg_.graph_opt);
+  const auto probas = model_->predict_proba(
+      std::span<const programl::ProgramGraph>(gs.graphs));
+  std::vector<Verdict> out;
+  out.reserve(probas.size());
+  for (const auto& proba : probas) out.push_back(gnn_verdict(proba));
+  return out;
 }
 
 // ---- DetectorRegistry -------------------------------------------------------

@@ -157,8 +157,11 @@ class Detector {
 
   /// Batched entry point: verdicts for an arbitrary batch of cases.
   /// Learned detectors must have been fitted (or cloned from a fitted
-  /// instance's configuration and refitted) beforehand.
-  std::vector<Verdict> run(std::span<const datasets::Case> cases);
+  /// instance's configuration and refitted) beforehand. The base
+  /// implementation evaluates case by case; detectors with a real
+  /// batched path (the GNN packs the whole span into graph mini-batches)
+  /// override it.
+  virtual std::vector<Verdict> run(std::span<const datasets::Case> cases);
 };
 
 /// Shared construction-time configuration for the registry factories.
@@ -252,6 +255,14 @@ class GnnDetector final : public Detector {
   void discard(const datasets::Dataset& ds) override;
   void save_state(io::Writer& w) const override;
   void load_state(io::Reader& r) override;
+
+  /// True batched inference: the span is encoded once (directly — an
+  /// ad-hoc batch never touches the shared cache or its spill tier)
+  /// and pushed through the model in graph mini-batches
+  /// (GnnConfig::infer_batch graphs per forward pass) instead of a
+  /// per-case loop. Verdicts are identical to the base
+  /// implementation's.
+  std::vector<Verdict> run(std::span<const datasets::Case> cases) override;
 
   const DetectorConfig& config() const { return cfg_; }
 

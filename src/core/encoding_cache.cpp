@@ -266,6 +266,11 @@ void EncodingCache::put_graphs(const datasets::Dataset& ds,
 void EncodingCache::erase(const datasets::Dataset& ds) {
   const std::uint64_t fp = fingerprint(ds);
   std::lock_guard<std::mutex> lock(mu_);
+  // In-memory tier only: spill files are keyed by content fingerprint
+  // and may be legitimately shared with other Dataset objects holding
+  // the same cases (and with future processes), so dropping one
+  // caller's view must not delete them. Ad-hoc batches avoid polluting
+  // the spill by never going through the cache (GnnDetector::run).
   std::erase_if(features_,
                 [&](const auto& e) { return e.first.fingerprint == fp; });
   std::erase_if(graphs_,

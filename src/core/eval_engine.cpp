@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "ml/kernels.hpp"
 #include "ml/kfold.hpp"
 #include "support/check.hpp"
 
@@ -152,6 +153,12 @@ EvalReport EvalEngine::kfold(Detector& det, const datasets::Dataset& ds,
 
   std::vector<Verdict> verdicts(ds.size());
   const auto run_fold = [&](std::size_t f, const FitSpec& spec) {
+    // A forced per-fold thread budget also caps the dense-math kernels
+    // (ml/kernels.hpp) for the whole fold — training AND validation —
+    // so folds running in parallel on the pool don't oversubscribe
+    // cores with nested kernel parallelism.
+    ml::kernels::ScopedKernelThreads kernel_scope(
+        spec.threads != 0 ? spec.threads : ml::kernels::kernel_threads());
     const auto& val_idx = folds[f];
     const auto train_idx = ml::fold_complement(val_idx, ds.size());
     auto fold_det = det.clone();

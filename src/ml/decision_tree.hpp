@@ -4,6 +4,7 @@
 // restricting splits to a feature subset (the GA selection of §IV-A).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>

@@ -6,6 +6,7 @@
 // memoised (individuals repeat across generations).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>

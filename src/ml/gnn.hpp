@@ -9,8 +9,19 @@
 // its own GATv2 weights — the relation-specific convolution HeteroConv
 // provides. A relation-independent self transform plays the role of
 // PyG's add_self_loops (nodes with no in-edges keep a signal path).
+//
+// Batched compute: every entry point also comes in a mini-batch form
+// over programl::GraphBatch (a disjoint union of graphs with per-graph
+// segment ids). Because batch members are disconnected, message passing
+// over the union computes exactly the per-graph passes, and the
+// segment-aware pooling keeps per-graph read-outs apart — batched
+// inference produces the same logits as graph-at-a-time inference (see
+// tests/batched_gnn_test.cpp), it just amortizes the per-op cost over
+// the whole batch.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -30,6 +41,16 @@ struct GnnConfig {
   double lr = 4e-4;     // paper
   int epochs = 10;      // paper
   std::uint64_t seed = 7;
+  /// Training mini-batch: graphs packed per optimisation step. 1 is the
+  /// paper's per-graph protocol (and bit-identical to the pre-batching
+  /// implementation); larger values take one Adam step per batch on the
+  /// mean cross-entropy — fewer, larger steps over the same epochs.
+  std::size_t batch_size = 1;
+  /// Inference micro-batch for the span entry points (predict /
+  /// predict_proba over many graphs). A pure throughput knob: logits do
+  /// not depend on it (bench/perf_gnn sweeps it; small batches keep the
+  /// per-op working set cache-resident).
+  std::size_t infer_batch = 8;
 };
 
 class GnnModel final {
@@ -39,15 +60,34 @@ class GnnModel final {
   /// Logits (1 x classes) with gradient tracking.
   Var forward(const programl::ProgramGraph& g);
 
+  /// Logits (B x classes) for a graph mini-batch, row b for member b.
+  Var forward(const programl::GraphBatch& batch);
+
   /// One optimisation step on a single graph; returns the loss.
   double train_step(const programl::ProgramGraph& g, std::size_t label);
 
-  /// Full training run: `epochs` shuffled passes over the set.
+  /// One optimisation step on a mini-batch (labels parallel to the
+  /// batch members); returns the mean cross-entropy loss.
+  double train_step(const programl::GraphBatch& batch,
+                    std::span<const std::size_t> labels);
+
+  /// Full training run: `epochs` shuffled passes over the set,
+  /// cfg.batch_size graphs per optimisation step.
   void fit(std::span<const programl::ProgramGraph> graphs,
            std::span<const std::size_t> labels);
 
   std::size_t predict(const programl::ProgramGraph& g);
   std::vector<double> predict_proba(const programl::ProgramGraph& g);
+
+  /// Batched inference over many graphs (chunked by cfg.infer_batch,
+  /// tape-free): element i is softmax probabilities for graphs[i].
+  /// Same values as calling predict_proba per graph.
+  std::vector<std::vector<double>> predict_proba(
+      std::span<const programl::ProgramGraph> graphs);
+
+  /// Batched argmax predictions (see the batched predict_proba).
+  std::vector<std::size_t> predict(
+      std::span<const programl::ProgramGraph> graphs);
 
   const GnnConfig& config() const { return cfg_; }
   std::size_t parameter_count() const;
@@ -75,6 +115,17 @@ class GnnModel final {
     Var w_self;
     Var bias;
   };
+
+  /// Message passing over merged node tokens + edge lists, then
+  /// per-segment max pooling and the FC head: logits
+  /// (n_segments x classes). `segments` maps node -> output row;
+  /// nullptr means one segment covering every node (the single-graph
+  /// case, which keeps the seed's dedicated max_pool_rows read-out).
+  Var forward_impl(
+      std::span<const std::uint32_t> tokens,
+      const std::array<std::vector<programl::Edge>,
+                       programl::kNumEdgeTypes>& edges,
+      const std::vector<std::uint32_t>* segments, std::size_t n_segments);
 
   GnnConfig cfg_;
   Rng rng_;

@@ -1,0 +1,95 @@
+#include "ml/kernels.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "support/threads.hpp"
+
+namespace mpidetect::ml::kernels {
+
+namespace {
+
+thread_local unsigned t_kernel_threads = 0;  // 0 = auto
+thread_local bool t_naive_matmul = false;
+// True while this thread is executing a kernel-pool task: a nested
+// kernel must run inline (the pool is not reentrant).
+thread_local bool t_in_kernel_task = false;
+
+// One pool for all kernel-level parallelism, created on first use and
+// intentionally leaked (kernels may run during static destruction of
+// benchmark fixtures). Guarded by a try-lock: concurrent kernels from
+// other threads (e.g. CV folds training in parallel) fall back to their
+// serial path instead of queueing.
+std::mutex& pool_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+ThreadPool& pool() {
+  static ThreadPool* p = new ThreadPool(0);
+  return *p;
+}
+
+}  // namespace
+
+unsigned kernel_threads() { return t_kernel_threads; }
+
+void set_kernel_threads(unsigned n) { t_kernel_threads = n; }
+
+ScopedKernelThreads::ScopedKernelThreads(unsigned n) : prev_(t_kernel_threads) {
+  t_kernel_threads = n;
+}
+
+ScopedKernelThreads::~ScopedKernelThreads() { t_kernel_threads = prev_; }
+
+bool naive_matmul() { return t_naive_matmul; }
+
+void set_naive_matmul(bool on) { t_naive_matmul = on; }
+
+ScopedNaiveMatmul::ScopedNaiveMatmul(bool on) : prev_(t_naive_matmul) {
+  t_naive_matmul = on;
+}
+
+ScopedNaiveMatmul::~ScopedNaiveMatmul() { t_naive_matmul = prev_; }
+
+namespace {
+
+/// resolve_threads(0) re-reads sysfs on every call in some libcs;
+/// kernels ask often enough that the answer is cached once.
+unsigned resolved_budget() {
+  static const unsigned hw = resolve_threads(0);
+  return t_kernel_threads == 0 ? hw : t_kernel_threads;
+}
+
+}  // namespace
+
+bool parallel_allowed(std::size_t n) {
+  if (n <= 1 || t_in_kernel_task) return false;
+  return resolved_budget() > 1;
+}
+
+void parallel_ranges_impl(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  const unsigned budget = resolved_budget();
+  std::unique_lock<std::mutex> lock(pool_mutex(), std::try_to_lock);
+  if (!lock.owns_lock()) {  // another kernel holds the pool: stay serial
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks =
+      std::min<std::size_t>(std::min<std::size_t>(budget, pool().size()), n);
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  pool().parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    const bool prev = t_in_kernel_task;
+    t_in_kernel_task = true;
+    fn(begin, end);
+    t_in_kernel_task = prev;
+  });
+}
+
+}  // namespace mpidetect::ml::kernels

@@ -1,0 +1,124 @@
+// Kernel execution policy for the dense-math substrate (ml/matrix.hpp)
+// and the autograd gather/scatter ops: tuning constants for the blocked
+// kernels, a thread-local thread-count override so callers (EvalEngine
+// fold training, benchmarks) can pin kernels to one thread, a
+// process-shared worker pool the big kernels parallelize over, and the
+// baseline switch that routes Matrix::matmul through the seed's naive
+// triple loop for before/after measurements (bench/perf_gnn).
+//
+// All parallel kernels split work so that the floating-point
+// accumulation order of every output element is identical to the serial
+// kernel: results are bit-identical regardless of thread count (see
+// tests/batched_gnn_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mpidetect::ml::kernels {
+
+/// Height of the k-panel the blocked matmul keeps hot in cache: one
+/// panel of the right-hand side (kKPanel x cols) is streamed over a
+/// stripe of output rows before moving on.
+inline constexpr std::size_t kKPanel = 64;
+
+/// Micro-kernel unroll factor: how many k-steps (matmul) or independent
+/// accumulator chains (matmul_nt) one pass of the inner loop fuses.
+/// Raising it increases instruction-level parallelism; the accumulation
+/// order per output element stays k-ascending, so results do not change.
+inline constexpr std::size_t kUnroll = 4;
+
+/// Below this many multiply-adds a matmul never tries to parallelize —
+/// the pool handoff costs more than the arithmetic.
+inline constexpr std::size_t kParallelMinFlops = std::size_t{1} << 18;
+
+/// Below this many multiply-adds the blocked kernels dispatch to the
+/// reference implementations: at tiny shapes (the GNN's 1-row FC
+/// matmuls) the simplest loop wins, and naive and blocked kernels are
+/// bit-identical anyway.
+inline constexpr std::size_t kSmallFlops = 2048;
+
+/// Below this many touched elements the gather/scatter kernels stay
+/// serial.
+inline constexpr std::size_t kParallelMinElems = std::size_t{1} << 16;
+
+/// \brief Thread budget the kernels may use on the calling thread.
+/// \return 0 = auto (hardware concurrency); 1 = serial; n = at most n.
+///
+/// The value is thread-local: EvalEngine trains CV folds in parallel
+/// with each fold pinned to one kernel thread, while a full-set fit on
+/// the main thread parallelizes freely.
+unsigned kernel_threads();
+
+/// Sets the calling thread's kernel thread budget (see kernel_threads).
+void set_kernel_threads(unsigned n);
+
+/// RAII override of the calling thread's kernel thread budget.
+class ScopedKernelThreads {
+ public:
+  explicit ScopedKernelThreads(unsigned n);
+  ~ScopedKernelThreads();
+  ScopedKernelThreads(const ScopedKernelThreads&) = delete;
+  ScopedKernelThreads& operator=(const ScopedKernelThreads&) = delete;
+
+ private:
+  unsigned prev_;
+};
+
+/// \brief Whether Matrix::matmul routes through the seed's naive triple
+/// loop (thread-local; default false).
+///
+/// The switch exists so the perf harness can time the pre-optimization
+/// path in the same binary; it is not a correctness knob — naive and
+/// blocked kernels are bit-identical on finite inputs.
+bool naive_matmul();
+
+/// Sets the calling thread's naive-matmul flag (see naive_matmul).
+void set_naive_matmul(bool on);
+
+/// RAII override of the calling thread's naive-matmul flag.
+class ScopedNaiveMatmul {
+ public:
+  explicit ScopedNaiveMatmul(bool on);
+  ~ScopedNaiveMatmul();
+  ScopedNaiveMatmul(const ScopedNaiveMatmul&) = delete;
+  ScopedNaiveMatmul& operator=(const ScopedNaiveMatmul&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Implementation detail of parallel_ranges: the type-erased pool
+/// dispatch, entered only once a kernel has decided to go parallel.
+void parallel_ranges_impl(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// True when a kernel over `n` items is allowed to touch the pool at
+/// all: parallelism enabled for this thread and more than one item.
+/// (The pool may still be busy — parallel_ranges falls back inline.)
+bool parallel_allowed(std::size_t n);
+
+/// \brief Runs fn(begin, end) over a partition of [0, n) on the shared
+/// kernel pool, or inline when parallelism is off, unprofitable, or the
+/// pool is busy (another thread's kernel holds it, or we are already
+/// inside a kernel task — the pool is not reentrant).
+///
+/// The serial path calls `fn` directly — no std::function, no thread
+/// resolution — so wrapping a kernel in parallel_ranges costs nothing
+/// when it stays serial (and the GNN's many tiny matmuls must stay
+/// serial).
+///
+/// Chunks are contiguous and each index lands in exactly one chunk, so
+/// kernels that write disjoint ranges per chunk are race-free and
+/// bit-identical to the serial order.
+template <typename Fn>
+void parallel_ranges(std::size_t n, bool allow_parallel, Fn&& fn) {
+  if (n == 0) return;
+  if (!allow_parallel || !parallel_allowed(n)) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  parallel_ranges_impl(n, fn);
+}
+
+}  // namespace mpidetect::ml::kernels

@@ -4,6 +4,7 @@
 // validation folds.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

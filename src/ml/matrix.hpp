@@ -1,8 +1,16 @@
 // Minimal dense row-major matrix — the numeric substrate of the GNN.
 // Double precision throughout so finite-difference gradient checks in
 // the test suite are meaningful.
+//
+// matmul runs a cache-blocked, k-unrolled kernel that parallelizes over
+// row stripes on the shared kernel pool above a size threshold
+// (ml/kernels.hpp); it is bit-identical to the reference triple loop
+// (matmul_naive), which is kept for tests and the perf-bench baseline.
+// The _nt/_tn variants fuse the transposes the autograd backward needs
+// so no transposed temporary is ever materialized.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -46,10 +54,42 @@ class Matrix {
 
   /// this += other (same shape).
   void add_in_place(const Matrix& o);
-  /// this += s * other.
+  /// this += s * other (fused scale-and-accumulate; same shape).
   void axpy_in_place(double s, const Matrix& o);
+  /// this[i,:] += bias[0,:] for every row (fused bias broadcast);
+  /// `bias` is (1 x cols).
+  void add_row_in_place(const Matrix& bias);
+  /// this[i,:] *= alpha[i,0] for every row (fused row scaling);
+  /// `alpha` is (rows x 1).
+  void scale_rows_in_place(const Matrix& alpha);
 
+  /// \brief this (m x k) times `o` (k x n) -> (m x n).
+  ///
+  /// Cache-blocked (kernels::kKPanel), k-unrolled (kernels::kUnroll) and
+  /// parallelized over row stripes above kernels::kParallelMinFlops.
+  /// Per-element accumulation order is k-ascending exactly like
+  /// matmul_naive, so the result is bit-identical to the reference
+  /// kernel on finite inputs at any thread count.
   Matrix matmul(const Matrix& o) const;
+
+  /// Reference triple-loop kernel (the seed implementation): the
+  /// ground truth matmul is tested against, and the baseline the perf
+  /// harness times (kernels::ScopedNaiveMatmul routes matmul here).
+  Matrix matmul_naive(const Matrix& o) const;
+
+  /// this (m x k) times `o`^T (n x k) -> (m x n). Small right-hand
+  /// sides (the weight matrices of the autograd backward) are packed
+  /// transposed once and streamed through the blocked kernel; large
+  /// ones take a transpose-free dot kernel. Bit-identical to
+  /// matmul_naive(o.transpose()).
+  Matrix matmul_nt(const Matrix& o) const;
+
+  /// this^T (k x m) times `o` (m x n) -> (k x n). Packs the left
+  /// operand transposed (one O(m*k) copy) so the reduction dimension is
+  /// contiguous for the blocked kernel. Bit-identical to
+  /// transpose().matmul_naive(o).
+  Matrix matmul_tn(const Matrix& o) const;
+
   Matrix transpose() const;
 
  private:

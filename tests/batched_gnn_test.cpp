@@ -1,0 +1,529 @@
+// The batched GNN compute engine: blocked-vs-naive kernel
+// bit-compatibility, the segment (per-graph) ops' gradients, graph
+// mini-batching equivalence (batched forward == per-graph forwards),
+// and the batched detector entry points.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <functional>
+
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
+#include "core/features.hpp"
+#include "datasets/mbi.hpp"
+#include "ml/gnn.hpp"
+#include "ml/kernels.hpp"
+#include "progmodel/lower.hpp"
+#include "programl/graph.hpp"
+
+namespace mpidetect::ml {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (double& x : m.data()) x = rng.normal();
+  return m;
+}
+
+// ---- blocked vs naive kernels: exact match ---------------------------------
+
+void expect_bit_identical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+TEST(BlockedKernels, MatmulMatchesNaiveBitForBit) {
+  Rng rng(1);
+  // Random shapes including degenerate rows/cols and sizes around the
+  // unroll (4/8), panel (64) and small-product dispatch boundaries.
+  const std::size_t dims[] = {1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 64, 65, 130};
+  for (const std::size_t m : {std::size_t{1}, std::size_t{9},
+                              std::size_t{70}, std::size_t{301}}) {
+    for (const std::size_t k : dims) {
+      for (const std::size_t n : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{17}, std::size_t{64}}) {
+        Matrix a = random_matrix(m, k, rng);
+        Matrix b = random_matrix(k, n, rng);
+        expect_bit_identical(a.matmul(b), a.matmul_naive(b));
+      }
+    }
+  }
+}
+
+TEST(BlockedKernels, MatmulZeroRowsAndEmptyShapes) {
+  Rng rng(2);
+  // Whole zero rows exercise the skip paths; 0-row operands the loops'
+  // empty bounds.
+  Matrix a = random_matrix(40, 24, rng);
+  for (std::size_t k = 0; k < 24; ++k) a.at(3, k) = 0.0;
+  for (std::size_t k = 0; k < 24; ++k) a.at(17, k) = 0.0;
+  Matrix b = random_matrix(24, 32, rng);
+  expect_bit_identical(a.matmul(b), a.matmul_naive(b));
+
+  Matrix empty_a(0, 8);
+  Matrix b8 = random_matrix(8, 5, rng);
+  const Matrix out = empty_a.matmul(b8);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 5u);
+}
+
+TEST(BlockedKernels, TransposedVariantsMatchNaiveBitForBit) {
+  Rng rng(3);
+  for (const std::size_t m : {std::size_t{1}, std::size_t{33},
+                              std::size_t{260}}) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{7},
+                                std::size_t{64}, std::size_t{129}}) {
+      for (const std::size_t n : {std::size_t{1}, std::size_t{19},
+                                  std::size_t{64}}) {
+        Matrix a = random_matrix(m, k, rng);
+        Matrix b = random_matrix(n, k, rng);   // nt: (m,k) x (n,k)^T
+        expect_bit_identical(a.matmul_nt(b), a.matmul_naive(b.transpose()));
+        Matrix g = random_matrix(m, n, rng);   // tn: (m,k)^T x (m,n)
+        expect_bit_identical(a.matmul_tn(g),
+                             a.transpose().matmul_naive(g));
+      }
+    }
+  }
+}
+
+TEST(BlockedKernels, NaiveModeSwitchRoutesMatmul) {
+  Rng rng(4);
+  Matrix a = random_matrix(50, 40, rng);
+  Matrix b = random_matrix(40, 30, rng);
+  const Matrix blocked = a.matmul(b);
+  kernels::ScopedNaiveMatmul naive(true);
+  expect_bit_identical(a.matmul(b), blocked);  // same bits either way
+}
+
+TEST(BlockedKernels, ParallelMatchesSerialBitForBit) {
+  Rng rng(5);
+  // Big enough to cross kParallelMinFlops; on multi-core hosts this
+  // runs on the kernel pool, and must still be bit-identical.
+  Matrix a = random_matrix(600, 64, rng);
+  Matrix b = random_matrix(64, 48, rng);
+  Matrix expected;
+  {
+    kernels::ScopedKernelThreads serial(1);
+    expected = a.matmul(b);
+  }
+  {
+    kernels::ScopedKernelThreads wide(8);
+    expect_bit_identical(a.matmul(b), expected);
+  }
+  expect_bit_identical(a.matmul_naive(b), expected);
+}
+
+// ---- segment ops: forward + gradients --------------------------------------
+
+/// Finite-difference check (same scheme as autograd_test.cpp).
+void gradcheck(const Var& leaf, const std::function<Var()>& f,
+               double tol = 1e-5) {
+  Var loss = f();
+  backward(loss);
+  const Matrix analytic = leaf->grad;
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < leaf->value.size(); ++i) {
+    const double keep = leaf->value.data()[i];
+    leaf->value.data()[i] = keep + eps;
+    const double up = f()->value.at(0, 0);
+    leaf->value.data()[i] = keep - eps;
+    const double down = f()->value.at(0, 0);
+    leaf->value.data()[i] = keep;
+    EXPECT_NEAR(analytic.data()[i], (up - down) / (2 * eps), tol)
+        << "coordinate " << i;
+  }
+}
+
+Var sum_all(const Var& a) {
+  Var ones_r = make_input(Matrix(1, a->value.rows(), 1.0));
+  Var ones_c = make_input(Matrix(a->value.cols(), 1, 1.0));
+  return matmul(matmul(ones_r, a), ones_c);
+}
+
+TEST(SegmentPool, MaxPoolMatchesPerSegmentMax) {
+  Rng rng(6);
+  Var a = make_input(random_matrix(7, 3, rng));
+  const std::vector<std::uint32_t> seg{0, 0, 1, 1, 1, 2, 2};
+  Var pooled = segment_max_pool_rows(a, seg, 3);
+  ASSERT_EQ(pooled->value.rows(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(pooled->value.at(0, j),
+                     std::max(a->value.at(0, j), a->value.at(1, j)));
+  }
+}
+
+TEST(SegmentPool, SingleSegmentEqualsMaxPoolRows) {
+  Rng rng(7);
+  Matrix m = random_matrix(9, 4, rng);
+  Var a1 = make_input(m);
+  Var a2 = make_input(m);
+  Var whole = max_pool_rows(a1);
+  Var seg = segment_max_pool_rows(a2, std::vector<std::uint32_t>(9, 0), 1);
+  expect_bit_identical(whole->value, seg->value);
+}
+
+TEST(SegmentPool, MaxPoolGradient) {
+  Rng rng(8);
+  Var a = make_param(random_matrix(6, 3, rng));
+  const std::vector<std::uint32_t> seg{0, 1, 1, 0, 2, 2};
+  gradcheck(a, [&] { return sum_all(segment_max_pool_rows(a, seg, 3)); });
+}
+
+TEST(SegmentPool, MeanPoolForwardAndGradient) {
+  Rng rng(9);
+  Var a = make_param(random_matrix(5, 2, rng));
+  const std::vector<std::uint32_t> seg{0, 0, 0, 1, 1};
+  Var pooled = segment_mean_pool_rows(a, seg, 2);
+  EXPECT_NEAR(pooled->value.at(0, 0),
+              (a->value.at(0, 0) + a->value.at(1, 0) + a->value.at(2, 0)) / 3,
+              1e-12);
+  a->zero_grad();
+  gradcheck(a, [&] { return sum_all(segment_mean_pool_rows(a, seg, 2)); });
+}
+
+TEST(BatchedOps, CrossEntropyRowsMatchesSingleRow) {
+  Rng rng(10);
+  Matrix logits = random_matrix(1, 4, rng);
+  Var a1 = make_param(logits);
+  Var a2 = make_param(logits);
+  Var single = cross_entropy(a1, 2);
+  Var batched = cross_entropy_rows(a2, {2});
+  EXPECT_DOUBLE_EQ(single->value.at(0, 0), batched->value.at(0, 0));
+  backward(single);
+  backward(batched);
+  expect_bit_identical(a1->grad, a2->grad);
+}
+
+TEST(BatchedOps, CrossEntropyRowsGradient) {
+  Rng rng(11);
+  Var logits = make_param(random_matrix(3, 4, rng));
+  gradcheck(logits, [&] { return cross_entropy_rows(logits, {1, 3, 0}); });
+}
+
+TEST(BatchedOps, FusedGatv2ScoresMatchesUnfusedChain) {
+  Rng rng(12);
+  Matrix hl = random_matrix(11, 6, rng);
+  Matrix hr = random_matrix(11, 6, rng);
+  Matrix at = random_matrix(6, 1, rng);
+  Var hl1 = make_param(hl), hr1 = make_param(hr), at1 = make_param(at);
+  Var hl2 = make_param(hl), hr2 = make_param(hr), at2 = make_param(at);
+  Var unfused = matmul(leaky_relu(add(hl1, hr1)), at1);
+  Var fused = gatv2_scores(hl2, hr2, at2);
+  expect_bit_identical(unfused->value, fused->value);
+  backward(sum_all(unfused));
+  backward(sum_all(fused));
+  expect_bit_identical(hl1->grad, hl2->grad);
+  expect_bit_identical(hr1->grad, hr2->grad);
+  expect_bit_identical(at1->grad, at2->grad);
+}
+
+TEST(BatchedOps, FusedScatterAddScaledMatchesUnfusedChain) {
+  Rng rng(13);
+  Matrix alpha = random_matrix(7, 1, rng);
+  Matrix h = random_matrix(7, 5, rng);
+  const std::vector<std::uint32_t> idx{0, 2, 2, 1, 3, 0, 3};
+  Var al1 = make_param(alpha), h1 = make_param(h);
+  Var al2 = make_param(alpha), h2 = make_param(h);
+  Var unfused = scatter_add_rows(mul_rowwise(al1, h1), idx, 4);
+  Var fused = scatter_add_scaled(al2, h2, idx, 4);
+  expect_bit_identical(unfused->value, fused->value);
+  backward(sum_all(unfused));
+  backward(sum_all(fused));
+  expect_bit_identical(al1->grad, al2->grad);
+  expect_bit_identical(h1->grad, h2->grad);
+}
+
+TEST(BatchedOps, GatheredGatv2ScoresMatchesGatherThenScore) {
+  Rng rng(16);
+  Matrix hl = random_matrix(6, 5, rng);
+  Matrix hr = random_matrix(6, 5, rng);
+  Matrix at = random_matrix(5, 1, rng);
+  const std::vector<std::uint32_t> dst{0, 1, 5, 5, 2};
+  const std::vector<std::uint32_t> src{3, 3, 0, 4, 1};
+  Var hl1 = make_param(hl), hr1 = make_param(hr), at1 = make_param(at);
+  Var hl2 = make_param(hl), hr2 = make_param(hr), at2 = make_param(at);
+  Var two_step =
+      gatv2_scores(gather_rows(hl1, dst), gather_rows(hr1, src), at1);
+  Var fused = gatv2_scores_gathered(hl2, dst, hr2, src, at2);
+  expect_bit_identical(two_step->value, fused->value);
+  backward(sum_all(two_step));
+  backward(sum_all(fused));
+  expect_bit_identical(hl1->grad, hl2->grad);
+  expect_bit_identical(hr1->grad, hr2->grad);
+  expect_bit_identical(at1->grad, at2->grad);
+}
+
+TEST(BatchedOps, GatheredScatterAddScaledMatchesGatherThenScatter) {
+  Rng rng(17);
+  Matrix alpha = random_matrix(5, 1, rng);
+  Matrix h = random_matrix(6, 4, rng);
+  const std::vector<std::uint32_t> src{3, 3, 0, 4, 1};
+  const std::vector<std::uint32_t> dst{0, 1, 2, 2, 1};
+  Var al1 = make_param(alpha), h1 = make_param(h);
+  Var al2 = make_param(alpha), h2 = make_param(h);
+  Var two_step = scatter_add_scaled(al1, gather_rows(h1, src), dst, 3);
+  Var fused = scatter_add_scaled_gathered(al2, h2, src, dst, 3);
+  expect_bit_identical(two_step->value, fused->value);
+  backward(sum_all(two_step));
+  backward(sum_all(fused));
+  expect_bit_identical(al1->grad, al2->grad);
+  expect_bit_identical(h1->grad, h2->grad);
+}
+
+TEST(BatchedOps, FusedBiasEluMatchesUnfusedChain) {
+  Rng rng(14);
+  Matrix a = random_matrix(9, 4, rng);
+  Matrix bias = random_matrix(1, 4, rng);
+  Var a1 = make_param(a), b1 = make_param(bias);
+  Var a2 = make_param(a), b2 = make_param(bias);
+  Var unfused = elu(add_row_broadcast(a1, b1));
+  Var fused = bias_elu(a2, b2);
+  expect_bit_identical(unfused->value, fused->value);
+  backward(sum_all(unfused));
+  backward(sum_all(fused));
+  // The fused backward derives elu' from the stored expm1 output
+  // instead of recomputing exp — values agree to 1 ulp, not bit-exactly.
+  for (std::size_t i = 0; i < a1->grad.size(); ++i) {
+    EXPECT_NEAR(a1->grad.data()[i], a2->grad.data()[i], 1e-14);
+  }
+  for (std::size_t i = 0; i < b1->grad.size(); ++i) {
+    EXPECT_NEAR(b1->grad.data()[i], b2->grad.data()[i], 1e-14);
+  }
+}
+
+TEST(BatchedOps, AddNMatchesAddChain) {
+  Rng rng(18);
+  Matrix m0 = random_matrix(5, 4, rng);
+  Matrix m1 = random_matrix(5, 4, rng);
+  Matrix m2 = random_matrix(5, 4, rng);
+  Var a0 = make_param(m0), a1 = make_param(m1), a2 = make_param(m2);
+  Var b0 = make_param(m0), b1 = make_param(m1), b2 = make_param(m2);
+  Var chain = add(add(a0, a1), a2);
+  Var fused = add_n({b0, b1, b2});
+  expect_bit_identical(chain->value, fused->value);
+  backward(sum_all(chain));
+  backward(sum_all(fused));
+  expect_bit_identical(a0->grad, b0->grad);
+  expect_bit_identical(a1->grad, b1->grad);
+  expect_bit_identical(a2->grad, b2->grad);
+}
+
+TEST(BatchedOps, NoGradGuardSkipsTape) {
+  Rng rng(15);
+  Var a = make_param(random_matrix(3, 3, rng));
+  Var b = make_param(random_matrix(3, 3, rng));
+  NoGradGuard guard;
+  Var c = matmul(a, b);
+  EXPECT_FALSE(c->requires_grad);
+  EXPECT_TRUE(c->parents.empty());
+}
+
+// ---- graph mini-batching ----------------------------------------------------
+
+programl::ProgramGraph tiny_graph(std::uint32_t t0, std::uint32_t t1,
+                                  bool with_call = false) {
+  programl::ProgramGraph g;
+  g.nodes.push_back({programl::NodeType::Control, t0, "a"});
+  g.nodes.push_back({programl::NodeType::Control, t1, "b"});
+  g.nodes.push_back({programl::NodeType::Variable, 3, "v"});
+  g.edges[0].push_back({0, 1});
+  g.edges[1].push_back({2, 0});
+  g.edges[1].push_back({2, 1});
+  if (with_call) g.edges[2].push_back({0, 1});
+  return g;
+}
+
+GnnConfig tiny_config() {
+  GnnConfig cfg;
+  cfg.embed_dim = 8;
+  cfg.layers = {16, 8};
+  cfg.fc_hidden = 8;
+  cfg.classes = 2;
+  cfg.epochs = 5;
+  cfg.lr = 0.01;
+  return cfg;
+}
+
+TEST(GraphBatch, DisjointUnionLayout) {
+  std::vector<programl::ProgramGraph> graphs{tiny_graph(1, 2),
+                                             tiny_graph(4, 5, true)};
+  const programl::GraphBatch b = programl::make_batch(graphs);
+  ASSERT_EQ(b.size, 2u);
+  ASSERT_EQ(b.num_nodes(), 6u);
+  EXPECT_EQ(b.tokens[0], 1u);
+  EXPECT_EQ(b.tokens[3], 4u);
+  EXPECT_EQ(b.segments, (std::vector<std::uint32_t>{0, 0, 0, 1, 1, 1}));
+  // Second member's edges are offset by the first member's node count.
+  ASSERT_EQ(b.edges[0].size(), 2u);
+  EXPECT_EQ(b.edges[0][1].src, 3u);
+  EXPECT_EQ(b.edges[0][1].dst, 4u);
+  ASSERT_EQ(b.edges[2].size(), 1u);
+  EXPECT_EQ(b.edges[2][0].src, 3u);
+}
+
+TEST(GraphBatch, BatchedForwardMatchesPerGraphForwards) {
+  GnnModel model(tiny_config());
+  std::vector<programl::ProgramGraph> graphs{
+      tiny_graph(1, 2), tiny_graph(9, 10, true), tiny_graph(20, 21)};
+  const programl::GraphBatch batch = programl::make_batch(graphs);
+  Var batched = model.forward(batch);
+  ASSERT_EQ(batched->value.rows(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    Var single = model.forward(graphs[i]);
+    for (std::size_t j = 0; j < single->value.cols(); ++j) {
+      EXPECT_NEAR(single->value.at(0, j), batched->value.at(i, j), 1e-9)
+          << "graph " << i << " logit " << j;
+    }
+  }
+}
+
+TEST(GraphBatch, BatchedPredictProbaMatchesPerGraph) {
+  GnnModel model(tiny_config());
+  std::vector<programl::ProgramGraph> graphs;
+  for (int i = 0; i < 7; ++i) {
+    graphs.push_back(tiny_graph(static_cast<std::uint32_t>(2 * i),
+                                static_cast<std::uint32_t>(2 * i + 1),
+                                i % 2 == 0));
+  }
+  const auto batched = model.predict_proba(
+      std::span<const programl::ProgramGraph>(graphs));
+  ASSERT_EQ(batched.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto single = model.predict_proba(graphs[i]);
+    ASSERT_EQ(single.size(), batched[i].size());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_NEAR(single[j], batched[i][j], 1e-12);
+    }
+  }
+}
+
+TEST(GraphBatch, BatchedTrainingLearns) {
+  GnnConfig cfg = tiny_config();
+  cfg.batch_size = 4;
+  cfg.epochs = 30;
+  GnnModel model(cfg);
+  std::vector<programl::ProgramGraph> graphs;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 8; ++i) {
+    graphs.push_back(tiny_graph(10, 11));
+    labels.push_back(0);
+    graphs.push_back(tiny_graph(20, 21));
+    labels.push_back(1);
+  }
+  model.fit(graphs, labels);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    correct += (model.predict(graphs[i]) == labels[i]);
+  }
+  EXPECT_EQ(correct, graphs.size());
+}
+
+TEST(GraphBatch, MixedRelationPresence) {
+  // One member has call edges, the other does not: the relation runs
+  // over the union, and the edge-less member's logits must still match
+  // its single-graph forward.
+  GnnModel model(tiny_config());
+  std::vector<programl::ProgramGraph> graphs{tiny_graph(1, 2, true),
+                                             tiny_graph(5, 6, false)};
+  const programl::GraphBatch batch = programl::make_batch(graphs);
+  Var batched = model.forward(batch);
+  Var alone = model.forward(graphs[1]);
+  for (std::size_t j = 0; j < alone->value.cols(); ++j) {
+    EXPECT_NEAR(alone->value.at(0, j), batched->value.at(1, j), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mpidetect::ml
+
+// ---- batched detector entry point ------------------------------------------
+
+namespace mpidetect::core {
+namespace {
+
+TEST(GnnDetectorRun, BatchedRunMatchesPerCaseEvaluate) {
+  datasets::MbiConfig mcfg;
+  mcfg.scale = 0.01;
+  const datasets::Dataset ds = datasets::generate_mbi(mcfg);
+
+  DetectorConfig cfg;
+  cfg.gnn.cfg.embed_dim = 8;
+  cfg.gnn.cfg.layers = {16, 8};
+  cfg.gnn.cfg.fc_hidden = 8;
+  cfg.gnn.cfg.epochs = 2;
+  cfg.gnn.cfg.infer_batch = 4;
+  cfg.cache = std::make_shared<EncodingCache>();
+  GnnDetector det(cfg);
+
+  EvalEngine engine(1, cfg.cache);
+  engine.fit_full(det, ds);
+
+  const auto batched = det.run(ds.cases);
+  ASSERT_EQ(batched.size(), ds.size());
+  // The engine's per-case sweep and the batched run must agree verdict
+  // for verdict (same outcome, same confidence).
+  const auto swept = engine.sweep(det, ds);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(batched[i].outcome, swept.verdicts[i].outcome) << "case " << i;
+    ASSERT_TRUE(batched[i].confidence.has_value());
+    ASSERT_TRUE(swept.verdicts[i].confidence.has_value());
+    EXPECT_NEAR(*batched[i].confidence, *swept.verdicts[i].confidence, 1e-12);
+  }
+}
+
+TEST(GnnDetectorRun, AdHocBatchesDoNotAccumulateSpillFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("mpidetect_spill_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  datasets::MbiConfig mcfg;
+  mcfg.scale = 0.01;
+  const datasets::Dataset ds = datasets::generate_mbi(mcfg);
+
+  DetectorConfig cfg;
+  cfg.gnn.cfg.embed_dim = 8;
+  cfg.gnn.cfg.layers = {16, 8};
+  cfg.gnn.cfg.fc_hidden = 8;
+  cfg.gnn.cfg.epochs = 1;
+  cfg.cache = std::make_shared<EncodingCache>();
+  cfg.cache->set_spill_dir(dir.string());
+  GnnDetector det(cfg);
+  EvalEngine engine(1, cfg.cache);
+  engine.fit_full(det, ds);
+
+  const auto count_files = [&] {
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      (void)e;
+      ++n;
+    }
+    return n;
+  };
+  const std::size_t before = count_files();
+  // Ad-hoc subsets have their own content fingerprint; their spill
+  // files must be cleaned up with the in-memory entry when run()
+  // discards the batch.
+  (void)det.run(std::span<const datasets::Case>(ds.cases).subspan(0, 3));
+  (void)det.run(std::span<const datasets::Case>(ds.cases).subspan(2, 4));
+  EXPECT_EQ(count_files(), before);
+  fs::remove_all(dir);
+}
+
+TEST(GnnDetectorRun, UnfittedThrows) {
+  GnnDetector det;
+  datasets::MbiConfig mcfg;
+  mcfg.scale = 0.01;
+  const datasets::Dataset ds = datasets::generate_mbi(mcfg);
+  EXPECT_THROW(det.run(ds.cases), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpidetect::core
