@@ -299,12 +299,30 @@ std::vector<Verdict> GnnDetector::run(std::span<const datasets::Case> cases) {
 
 DetectorRegistry::DetectorRegistry() {
   add("itac", [](const DetectorConfig&) {
-    return std::make_unique<ToolDetector>(verify::make_itac_lite,
-                                          DetectorKind::Dynamic);
+    return std::make_unique<ToolDetector>(
+        [] { return verify::make_itac_lite(); }, DetectorKind::Dynamic);
   });
   add("must", [](const DetectorConfig&) {
-    return std::make_unique<ToolDetector>(verify::make_must_lite,
-                                          DetectorKind::Dynamic);
+    return std::make_unique<ToolDetector>(
+        [] { return verify::make_must_lite(); }, DetectorKind::Dynamic);
+  });
+  // Schedule-sweeping variants of the dynamic tools: every case is run
+  // under cfg.dynamic_schedules seeded interleavings (the round-robin
+  // one plus Random schedules) and an error under any of them is
+  // reported. See mpisim/sweep.hpp and docs/TESTING.md.
+  add("itac-sweep", [](const DetectorConfig& cfg) {
+    const verify::DynamicToolOptions opts{cfg.dynamic_schedules,
+                                          cfg.schedule_seed};
+    return std::make_unique<ToolDetector>(
+        [opts] { return verify::make_itac_lite(opts); },
+        DetectorKind::Dynamic);
+  });
+  add("must-sweep", [](const DetectorConfig& cfg) {
+    const verify::DynamicToolOptions opts{cfg.dynamic_schedules,
+                                          cfg.schedule_seed};
+    return std::make_unique<ToolDetector>(
+        [opts] { return verify::make_must_lite(opts); },
+        DetectorKind::Dynamic);
   });
   add("parcoach", [](const DetectorConfig&) {
     return std::make_unique<ToolDetector>(verify::make_parcoach_lite,

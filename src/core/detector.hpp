@@ -174,6 +174,12 @@ struct DetectorConfig {
   ir2vec::Normalization normalization = ir2vec::Normalization::Vector;
   passes::OptLevel graph_opt = passes::OptLevel::O0;  // paper: -O0
   std::uint64_t vocab_seed = 0x12c0ffee;
+  /// Schedule-sweep width of the "itac-sweep" / "must-sweep" detectors:
+  /// how many seeded interleavings each case is executed under (the
+  /// plain "itac" / "must" keys always run the single deterministic
+  /// schedule).
+  int dynamic_schedules = 8;
+  std::uint64_t schedule_seed = 1;
   std::shared_ptr<EncodingCache> cache;  // created on demand when null
 };
 
@@ -277,7 +283,9 @@ class GnnDetector final : public Detector {
 
 /// String-keyed factory registry. The six paper detectors are
 /// pre-registered under "itac", "must", "parcoach", "mpi-checker",
-/// "ir2vec" and "gnn"; additional detectors can be added at runtime.
+/// "ir2vec" and "gnn", plus the schedule-sweeping dynamic variants
+/// "itac-sweep" and "must-sweep" (DetectorConfig::dynamic_schedules);
+/// additional detectors can be added at runtime.
 class DetectorRegistry {
  public:
   using Factory =

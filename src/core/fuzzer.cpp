@@ -1,0 +1,508 @@
+#include "core/fuzzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "progmodel/lower.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect::core {
+
+namespace {
+
+constexpr int kMaxNprocs = 8;
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::optional<datasets::Inject> inject_by_name(std::string_view name) {
+  for (int i = 0;
+       i <= static_cast<int>(datasets::Inject::MissingFinalizeCall); ++i) {
+    const auto inj = static_cast<datasets::Inject>(i);
+    if (datasets::inject_name(inj) == name) return inj;
+  }
+  return std::nullopt;
+}
+
+std::optional<passes::OptLevel> opt_by_name(std::string_view name) {
+  for (const auto lvl : passes::kAllOptLevels) {
+    if (passes::opt_level_name(lvl) == name) return lvl;
+  }
+  return std::nullopt;
+}
+
+/// True when the report makes a correctness claim (Timeout is budget,
+/// not a claim).
+bool flags(const mpisim::RunReport& rep) {
+  return !rep.findings.empty() ||
+         rep.outcome == mpisim::Outcome::Deadlock ||
+         rep.outcome == mpisim::Outcome::Crashed;
+}
+
+std::string signature_from(const mpisim::ScheduleSweepReport& sweep) {
+  std::set<std::string> parts;
+  for (const mpisim::RunReport& rep : sweep.reports) {
+    if (rep.outcome == mpisim::Outcome::Deadlock ||
+        rep.outcome == mpisim::Outcome::Crashed) {
+      parts.insert(std::string(mpisim::outcome_name(rep.outcome)));
+    }
+    for (const mpisim::Finding& f : rep.findings) {
+      parts.insert(std::string(mpisim::finding_kind_name(f.kind)));
+    }
+  }
+  std::string sig;
+  for (const std::string& p : parts) {
+    if (!sig.empty()) sig += "|";
+    sig += p;
+  }
+  return sig;
+}
+
+}  // namespace
+
+// ---- FuzzTuple --------------------------------------------------------------
+
+std::string FuzzTuple::to_string() const {
+  std::ostringstream os;
+  os << "tpl=" << template_id << ",inject=" << datasets::inject_name(inject)
+     << ",size=" << size_class << ",nprocs=" << nprocs
+     << ",opt=" << passes::opt_level_name(opt) << ",pseed=" << program_seed
+     << ",sseed=" << schedule_seed;
+  if (!dropped.empty()) {
+    os << ",drop=";
+    for (std::size_t i = 0; i < dropped.size(); ++i) {
+      os << (i == 0 ? "" : ".") << dropped[i];
+    }
+  }
+  return os.str();
+}
+
+std::optional<FuzzTuple> FuzzTuple::parse(std::string_view s) {
+  FuzzTuple t;
+  bool saw_tpl = false;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view field = s.substr(0, comma);
+    s = comma == std::string_view::npos ? std::string_view{}
+                                        : s.substr(comma + 1);
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view val = field.substr(eq + 1);
+    const auto as_u64 = [&]() -> std::optional<std::uint64_t> {
+      std::uint64_t v = 0;
+      if (val.empty()) return std::nullopt;
+      for (const char c : val) {
+        if (c < '0' || c > '9') return std::nullopt;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      return v;
+    };
+    if (key == "tpl") {
+      t.template_id = std::string(val);
+      saw_tpl = true;
+    } else if (key == "inject") {
+      const auto inj = inject_by_name(val);
+      if (!inj) return std::nullopt;
+      t.inject = *inj;
+    } else if (key == "size") {
+      const auto v = as_u64();
+      if (!v || *v > 2) return std::nullopt;
+      t.size_class = static_cast<int>(*v);
+    } else if (key == "nprocs") {
+      const auto v = as_u64();
+      if (!v || *v > kMaxNprocs) return std::nullopt;
+      t.nprocs = static_cast<int>(*v);
+    } else if (key == "opt") {
+      const auto lvl = opt_by_name(val);
+      if (!lvl) return std::nullopt;
+      t.opt = *lvl;
+    } else if (key == "pseed") {
+      const auto v = as_u64();
+      if (!v) return std::nullopt;
+      t.program_seed = *v;
+    } else if (key == "sseed") {
+      const auto v = as_u64();
+      if (!v) return std::nullopt;
+      t.schedule_seed = *v;
+    } else if (key == "drop") {
+      std::string_view rest = val;
+      while (!rest.empty()) {
+        const std::size_t dot = rest.find('.');
+        const std::string_view item = rest.substr(0, dot);
+        rest = dot == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(dot + 1);
+        std::uint32_t idx = 0;
+        if (item.empty()) return std::nullopt;
+        for (const char c : item) {
+          if (c < '0' || c > '9') return std::nullopt;
+          idx = idx * 10 + static_cast<std::uint32_t>(c - '0');
+        }
+        if (!t.dropped.empty() && idx <= t.dropped.back()) {
+          return std::nullopt;  // must be strictly increasing
+        }
+        t.dropped.push_back(idx);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_tpl || t.template_id.empty()) return std::nullopt;
+  return t;
+}
+
+io::FuzzRecord FuzzTuple::to_record() const {
+  io::FuzzRecord r;
+  r.template_id = template_id;
+  r.inject = static_cast<std::uint8_t>(inject);
+  r.size_class = static_cast<std::uint8_t>(size_class);
+  r.nprocs = nprocs;
+  r.opt_level = static_cast<std::uint8_t>(opt);
+  r.program_seed = program_seed;
+  r.schedule_seed = schedule_seed;
+  r.dropped = dropped;
+  return r;
+}
+
+FuzzTuple FuzzTuple::from_record(const io::FuzzRecord& r) {
+  FuzzTuple t;
+  t.template_id = r.template_id;
+  t.inject = static_cast<datasets::Inject>(r.inject);
+  t.size_class = r.size_class;
+  t.nprocs = r.nprocs;
+  t.opt = static_cast<passes::OptLevel>(r.opt_level);
+  t.program_seed = r.program_seed;
+  t.schedule_seed = r.schedule_seed;
+  t.dropped = r.dropped;
+  return t;
+}
+
+std::string_view divergence_kind_name(DivergenceKind k) {
+  switch (k) {
+    case DivergenceKind::FalsePositive: return "false-positive";
+    case DivergenceKind::Nondeterminism: return "nondeterminism";
+    case DivergenceKind::ToolError: return "tool-error";
+  }
+  MPIDETECT_UNREACHABLE("bad DivergenceKind");
+}
+
+// ---- DifferentialFuzzer -----------------------------------------------------
+
+DifferentialFuzzer::DifferentialFuzzer(FuzzConfig cfg) : cfg_(std::move(cfg)) {
+  MPIDETECT_EXPECTS(cfg_.runs >= 0);
+  MPIDETECT_EXPECTS(cfg_.schedules >= 1);
+  DetectorConfig dcfg;
+  dcfg.dynamic_schedules = cfg_.schedules;
+  dcfg.schedule_seed = cfg_.seed;
+  for (const std::string& key : cfg_.detectors) {
+    detectors_.emplace_back(key,
+                            DetectorRegistry::global().create(key, dcfg));
+  }
+}
+
+DifferentialFuzzer::~DifferentialFuzzer() = default;
+
+FuzzTuple DifferentialFuzzer::draw(
+    Rng& rng, std::optional<datasets::Inject> forced) const {
+  FuzzTuple t;
+  if (forced.has_value()) {
+    t.inject = *forced;
+  } else if (rng.chance(cfg_.correct_ratio)) {
+    t.inject = datasets::Inject::None;
+  } else {
+    t.inject = static_cast<datasets::Inject>(rng.uniform_int(
+        1, static_cast<int>(datasets::Inject::MissingFinalizeCall)));
+  }
+  const auto compatible = datasets::templates_for(t.inject);
+  MPIDETECT_CHECK(!compatible.empty());
+  t.template_id = std::string(compatible[rng.index(compatible.size())]->id);
+  t.size_class = static_cast<int>(rng.uniform_int(0, 2));
+  t.opt = passes::kAllOptLevels[rng.index(3)];
+  t.program_seed = rng.next();
+  t.schedule_seed = rng.next();
+  // The nprocs axis rides on the template's own seeded choice
+  // (program_seed) and on shrinking, which only *reduces* ranks under a
+  // verified signature. Overriding nprocs upward here is unsound: the
+  // templates' correctness labels encode rank-count invariants (e.g.
+  // the correct wildcard master_worker is only race-free because it has
+  // exactly one worker).
+  return t;
+}
+
+datasets::Case DifferentialFuzzer::build_case(const FuzzTuple& t) const {
+  const datasets::Template* tpl = datasets::find_template(t.template_id);
+  MPIDETECT_CHECK(tpl != nullptr);
+  Rng rng(t.program_seed);
+  datasets::BuildContext ctx;
+  ctx.rng = &rng;
+  ctx.inject = t.inject;
+  ctx.size_class = t.size_class;
+  datasets::Case c;
+  c.suite = datasets::Suite::Mbi;
+  c.incorrect = t.inject != datasets::Inject::None;
+  c.program = tpl->fn(ctx);
+  if (t.nprocs > 0) c.program.nprocs = t.nprocs;
+  // Shrinker drops reference pre-drop positions; erase back to front so
+  // earlier indices stay valid.
+  for (auto it = t.dropped.rbegin(); it != t.dropped.rend(); ++it) {
+    MPIDETECT_CHECK(*it < c.program.main_body.size());
+    c.program.main_body.erase(c.program.main_body.begin() +
+                              static_cast<std::ptrdiff_t>(*it));
+  }
+  c.name = t.to_string();
+  c.source_lines = c.program.line_count();
+  return c;
+}
+
+mpisim::ScheduleSweepReport DifferentialFuzzer::sweep(
+    const FuzzTuple& t) const {
+  const datasets::Case c = build_case(t);
+  auto m = progmodel::lower(c.program);
+  passes::run_pipeline(*m, t.opt);
+  mpisim::MachineConfig cfg;
+  cfg.nprocs = c.program.nprocs;
+  cfg.max_steps = cfg_.max_steps;
+  mpisim::ScheduleSweepOptions opts;
+  opts.schedules = cfg_.schedules;
+  opts.seed = t.schedule_seed;
+  return mpisim::sweep_schedules(*m, cfg, opts);
+}
+
+std::string DifferentialFuzzer::signature_of(const progmodel::Program& p,
+                                             const FuzzTuple& t) const {
+  std::unique_ptr<ir::Module> m;
+  try {
+    m = progmodel::lower(p);
+  } catch (const ContractViolation&) {
+    return "lower-error";
+  }
+  passes::run_pipeline(*m, t.opt);
+  mpisim::MachineConfig cfg;
+  cfg.nprocs = p.nprocs;
+  cfg.max_steps = cfg_.max_steps;
+  mpisim::ScheduleSweepOptions opts;
+  opts.schedules = cfg_.schedules;
+  opts.seed = t.schedule_seed;
+  const auto s1 = mpisim::sweep_schedules(*m, cfg, opts);
+  const auto s2 = mpisim::sweep_schedules(*m, cfg, opts);
+  if (!(s1.reports == s2.reports)) return "nondeterministic";
+  return signature_from(s1);
+}
+
+std::string DifferentialFuzzer::signature(const FuzzTuple& t) const {
+  return signature_of(build_case(t).program, t);
+}
+
+FuzzTuple DifferentialFuzzer::shrink(const FuzzTuple& t,
+                                     const std::string& sig) const {
+  FuzzTuple best = t;
+  if (sig.empty()) return best;
+
+  // Phase 1: smallest size class that still diverges.
+  for (int sc = 0; sc < best.size_class; ++sc) {
+    FuzzTuple cand = best;
+    cand.size_class = sc;
+    if (signature(cand) == sig) {
+      best = cand;
+      break;
+    }
+  }
+
+  // Phase 2: fewest ranks that still diverge.
+  int cur = build_case(best).program.nprocs;
+  while (cur > 2) {
+    FuzzTuple cand = best;
+    cand.nprocs = cur - 1;
+    if (signature(cand) != sig) break;
+    best = cand;
+    --cur;
+  }
+
+  // Phase 3: drop main-body statements, recording each accepted drop in
+  // the tuple so the minimal repro replays from the tuple alone (one
+  // reverse greedy pass; a candidate whose lowering breaks simply
+  // fails the signature check). Pre-drop positions stay valid because
+  // the pass walks back to front.
+  FuzzTuple undropped = best;
+  undropped.dropped.clear();
+  const std::size_t n = build_case(undropped).program.main_body.size();
+  for (std::size_t i = n; i-- > 0;) {
+    if (std::binary_search(best.dropped.begin(), best.dropped.end(),
+                           static_cast<std::uint32_t>(i))) {
+      continue;
+    }
+    FuzzTuple cand = best;
+    cand.dropped.insert(std::lower_bound(cand.dropped.begin(),
+                                         cand.dropped.end(),
+                                         static_cast<std::uint32_t>(i)),
+                        static_cast<std::uint32_t>(i));
+    if (signature(cand) == sig) best = std::move(cand);
+  }
+  return best;
+}
+
+void DifferentialFuzzer::check(const FuzzTuple& t, FuzzReport& report) {
+  const std::string inject_key =
+      std::string(datasets::inject_name(t.inject));
+  InjectStats& stats = report.per_inject[inject_key];
+  ++stats.runs;
+
+  const datasets::Case c = build_case(t);
+  // Two sweeps: one for stats and the signature, the second purely for
+  // the byte-identical-replay check (the campaign's dominant cost, so
+  // no third sweep).
+  const auto swept = sweep(t);
+  const auto replay = sweep(t);
+  if (!swept.reports.empty()) {
+    stats.flagged_single += flags(swept.reports.front());
+  }
+  stats.flagged_swept +=
+      std::any_of(swept.reports.begin(), swept.reports.end(), flags);
+
+  // Simulator oracle: determinism always; clean templates must run
+  // clean under every schedule.
+  const std::string sig = swept.reports == replay.reports
+                              ? signature_from(swept)
+                              : "nondeterministic";
+  const bool clean_label = t.inject == datasets::Inject::None;
+  if (!sig.empty() && (clean_label || sig == "nondeterministic")) {
+    Divergence d;
+    d.kind = sig == "nondeterministic" ? DivergenceKind::Nondeterminism
+                                       : DivergenceKind::FalsePositive;
+    d.detector = "simulator";
+    d.tuple = t;
+    d.detail = sig;
+    d.shrunk = cfg_.shrink ? shrink(t, sig) : t;
+    report.divergences.push_back(std::move(d));
+  }
+
+  // Detector cross-check: agreement feeds the coverage matrix; an
+  // exception is a divergence in its own right.
+  for (auto& [key, det] : detectors_) {
+    try {
+      const auto verdicts = det->run(std::span(&c, 1));
+      MPIDETECT_CHECK(verdicts.size() == 1);
+      const Verdict& v = verdicts.front();
+      if (v.conclusive() && v.flagged() == c.incorrect) {
+        ++stats.detector_hits[key];
+      } else {
+        stats.detector_hits.try_emplace(key, 0);
+      }
+    } catch (const std::exception& e) {
+      Divergence d;
+      d.kind = DivergenceKind::ToolError;
+      d.detector = key;
+      d.tuple = t;
+      d.shrunk = t;
+      d.detail = e.what();
+      report.divergences.push_back(std::move(d));
+    }
+  }
+}
+
+FuzzReport DifferentialFuzzer::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  FuzzReport report;
+  report.config = cfg_;
+  Rng master(cfg_.seed);
+  for (int i = 0; i < cfg_.runs; ++i) {
+    Rng rng = master.fork();
+    const FuzzTuple t = draw(rng);
+    check(t, report);
+    ++report.runs;
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!cfg_.corpus_path.empty() && !report.divergences.empty()) {
+    std::vector<io::FuzzRecord> records;
+    records.reserve(report.divergences.size());
+    for (const Divergence& d : report.divergences) {
+      io::FuzzRecord r = d.shrunk.to_record();
+      r.detector = d.detector;
+      r.divergence_kind = static_cast<std::uint8_t>(d.kind);
+      r.detail = d.detail;
+      records.push_back(std::move(r));
+    }
+    io::save_fuzz_corpus(cfg_.corpus_path, records);
+  }
+  return report;
+}
+
+// ---- FuzzReport -------------------------------------------------------------
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << runs << " run(s), " << divergences.size() << " divergence(s), "
+     << config.schedules << " schedule(s)/run, seed " << config.seed;
+  return os.str();
+}
+
+std::string FuzzReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"mpiguard fuzz\",\n";
+  os << "  \"seed\": " << config.seed << ",\n";
+  os << "  \"runs\": " << runs << ",\n";
+  os << "  \"schedules\": " << config.schedules << ",\n";
+  os << "  \"wall_seconds\": " << wall_seconds << ",\n";
+  os << "  \"divergences\": [";
+  for (std::size_t i = 0; i < divergences.size(); ++i) {
+    const Divergence& d = divergences[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"kind\": \"" << divergence_kind_name(d.kind)
+       << "\", \"detector\": \"" << json_escape(d.detector)
+       << "\", \"tuple\": \"" << json_escape(d.tuple.to_string())
+       << "\", \"shrunk\": \"" << json_escape(d.shrunk.to_string())
+       << "\", \"dropped_stmts\": " << d.shrunk.dropped.size()
+       << ", \"detail\": \"" << json_escape(d.detail) << "\"}";
+  }
+  os << (divergences.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"coverage\": {";
+  bool first = true;
+  for (const auto& [inject, stats] : per_inject) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << json_escape(inject) << "\": {\"runs\": " << stats.runs
+       << ", \"flagged_single\": " << stats.flagged_single
+       << ", \"flagged_swept\": " << stats.flagged_swept
+       << ", \"detectors\": {";
+    bool dfirst = true;
+    for (const auto& [det, hits] : stats.detector_hits) {
+      os << (dfirst ? "" : ", ");
+      dfirst = false;
+      os << "\"" << json_escape(det) << "\": " << hits;
+    }
+    os << "}}";
+  }
+  os << (per_inject.empty() ? "}\n" : "\n  }\n");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mpidetect::core

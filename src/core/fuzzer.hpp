@@ -1,0 +1,182 @@
+// Differential fuzz harness over the whole detector stack (`mpiguard
+// fuzz`). Draws (template × injection × size × nprocs × opt level ×
+// schedule seed) programs from the dataset templates, executes each
+// under a bounded schedule sweep (mpisim/sweep.hpp), and cross-checks:
+//
+//   * the simulator against the injected ground truth — a fault-free
+//     draw that produces findings, a deadlock or a crash under *any*
+//     schedule is a FalsePositive divergence (the templates and the
+//     machine disagree about what "correct" means: a real bug in one
+//     of them);
+//   * the simulator against itself — the same tuple must reproduce a
+//     byte-identical sweep, else Nondeterminism;
+//   * every configured detector against the ground truth — verdict
+//     agreement feeds the per-injection coverage matrix (the MBI
+//     feature × error spirit of the paper); a detector that *throws*
+//     is a ToolError divergence.
+//
+// Divergent tuples are greedily shrunk (size class down, nprocs down,
+// main-body statements dropped) while the divergence signature is
+// preserved, and persisted as a repro corpus via io/fuzz_io.hpp. Every
+// divergence prints its seed tuple; `mpiguard fuzz --repro TUPLE`
+// re-runs exactly that case (see docs/TESTING.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "datasets/templates.hpp"
+#include "io/fuzz_io.hpp"
+#include "mpisim/sweep.hpp"
+#include "passes/pipelines.hpp"
+
+namespace mpidetect::core {
+
+/// One reproducible draw: everything needed to rebuild the program and
+/// its schedule sweep bit-for-bit.
+struct FuzzTuple {
+  std::string template_id;
+  datasets::Inject inject = datasets::Inject::None;
+  int size_class = 1;
+  /// 0 = the template's own nprocs choice; > 0 overrides it.
+  int nprocs = 0;
+  passes::OptLevel opt = passes::OptLevel::O0;
+  std::uint64_t program_seed = 0;
+  /// Base seed of the schedule sweep this tuple is judged under.
+  std::uint64_t schedule_seed = 1;
+  /// Main-body statement indices (into the template-built program,
+  /// pre-drop positions, strictly increasing) removed by the shrinker.
+  /// Part of the tuple so a shrunk repro stays printable, persistable
+  /// and replayable.
+  std::vector<std::uint32_t> dropped;
+
+  bool operator==(const FuzzTuple&) const = default;
+
+  /// Printable repro key, e.g.
+  /// "tpl=master_worker,inject=WildcardRace,size=1,nprocs=3,opt=O0,
+  ///  pseed=123,sseed=456" (no spaces), plus "drop=2.5" when the
+  /// shrinker removed statements 2 and 5. parse() inverts it.
+  std::string to_string() const;
+  static std::optional<FuzzTuple> parse(std::string_view s);
+
+  io::FuzzRecord to_record() const;
+  static FuzzTuple from_record(const io::FuzzRecord& r);
+};
+
+enum class DivergenceKind : std::uint8_t {
+  FalsePositive,   // simulator flagged a fault-free program
+  Nondeterminism,  // same tuple, two different sweep reports
+  ToolError,       // a detector threw while analysing
+};
+
+std::string_view divergence_kind_name(DivergenceKind k);
+
+struct Divergence {
+  DivergenceKind kind = DivergenceKind::FalsePositive;
+  std::string detector;  // registry key, or "simulator" for the oracle
+  FuzzTuple tuple;       // as drawn
+  /// Greedily minimised repro (== tuple when shrink is off): smaller
+  /// size class / rank count and `shrunk.dropped` statement removals.
+  FuzzTuple shrunk;
+  /// Divergence signature: sorted union of bad outcomes and finding
+  /// kinds ("deadlock|message-race"), or "nondeterministic", or the
+  /// detector's exception text.
+  std::string detail;
+};
+
+/// Per-injection tallies: how often the deterministic schedule alone
+/// vs. the schedule sweep manifested the fault, and per-detector
+/// ground-truth agreement.
+struct InjectStats {
+  int runs = 0;
+  int flagged_single = 0;
+  int flagged_swept = 0;
+  std::map<std::string, int> detector_hits;
+};
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  int runs = 100;
+  /// Schedules per sweep (schedule 0 is the deterministic round-robin).
+  int schedules = 4;
+  /// Share of draws with no injection (the FalsePositive oracle).
+  double correct_ratio = 0.25;
+  std::uint64_t max_steps = 150'000;
+  /// Registry keys cross-checked against ground truth. Only stateless
+  /// detectors make sense here (learned ones would need a trained
+  /// model per draw).
+  std::vector<std::string> detectors{"itac", "must", "must-sweep",
+                                     "parcoach", "mpi-checker"};
+  bool shrink = true;
+  /// When nonempty, divergences are persisted here (io/fuzz_io.hpp).
+  std::string corpus_path;
+};
+
+struct FuzzReport {
+  FuzzConfig config;
+  int runs = 0;
+  std::vector<Divergence> divergences;
+  /// inject_name(...) -> stats; "None" rows are the fault-free draws.
+  std::map<std::string, InjectStats> per_inject;
+  double wall_seconds = 0.0;
+
+  bool ok() const { return divergences.empty(); }
+  std::string summary() const;
+  std::string to_json() const;
+};
+
+class DifferentialFuzzer {
+ public:
+  explicit DifferentialFuzzer(FuzzConfig cfg);
+  ~DifferentialFuzzer();
+
+  /// Runs the whole campaign. Deterministic for a fixed config.
+  FuzzReport run();
+
+  // ---- building blocks (used by tests, bench/fuzz_coverage and the
+  // ---- --repro CLI path) --------------------------------------------------
+
+  /// Draws one tuple; `forced` pins the injection (bench coverage
+  /// driver sweeps per class).
+  FuzzTuple draw(Rng& rng,
+                 std::optional<datasets::Inject> forced = std::nullopt) const;
+
+  /// Rebuilds the tuple's program as a labeled dataset case.
+  /// \throws ContractViolation for an unknown template id.
+  datasets::Case build_case(const FuzzTuple& t) const;
+
+  /// Lowers + optimises the tuple's program and runs its schedule
+  /// sweep.
+  mpisim::ScheduleSweepReport sweep(const FuzzTuple& t) const;
+
+  /// The simulator-level divergence signature of the tuple: "" when
+  /// clean and deterministic, "nondeterministic", or the sorted bad
+  /// outcome / finding union. Timeout is budget, not a claim, and is
+  /// excluded.
+  std::string signature(const FuzzTuple& t) const;
+
+  /// Checks one tuple end to end (simulator oracle + detectors +
+  /// stats), appending any divergence to `report`. Exposed so the
+  /// --repro path can re-run a single printed tuple.
+  void check(const FuzzTuple& t, FuzzReport& report);
+
+  /// Greedy shrink preserving `sig`: lowest size class, fewest ranks,
+  /// then single-pass statement drops recorded in the returned tuple's
+  /// `dropped` list (so the minimal repro replays via --repro and the
+  /// corpus).
+  FuzzTuple shrink(const FuzzTuple& t, const std::string& sig) const;
+
+ private:
+  std::string signature_of(const progmodel::Program& p,
+                           const FuzzTuple& t) const;
+
+  FuzzConfig cfg_;
+  std::vector<std::pair<std::string, std::unique_ptr<Detector>>> detectors_;
+};
+
+}  // namespace mpidetect::core

@@ -42,12 +42,14 @@ void add_mpitest_harness(Program& p) {
 Dataset generate_corrbench(const CorrConfig& cfg) {
   Dataset ds;
   ds.name = "MPI-CorrBench";
-  Rng master(cfg.seed);
+  // Keyed per-case streams, as in generate_mbi: bit-reproducible from
+  // (name, scale, seed), cases rebuildable from their ordinal.
+  std::uint64_t ordinal = 0;
 
   const auto& tpls = all_templates();
   const std::size_t n_correct = scaled(cfg.correct, cfg.scale);
   for (std::size_t i = 0; i < n_correct; ++i) {
-    Rng rng = master.fork();
+    Rng rng = case_rng(cfg.seed, ordinal++);
     const Template& tpl = tpls[i % tpls.size()];
     BuildContext ctx;
     ctx.rng = &rng;
@@ -74,7 +76,7 @@ Dataset generate_corrbench(const CorrConfig& cfg) {
     const std::size_t n = scaled(it->second, cfg.scale);
     const auto& injections = injections_for(label);
     for (std::size_t i = 0; i < n; ++i) {
-      Rng rng = master.fork();
+      Rng rng = case_rng(cfg.seed, ordinal++);
       const Inject inj = injections[i % injections.size()];
       const auto compatible = templates_for(inj);
       MPIDETECT_CHECK(!compatible.empty());

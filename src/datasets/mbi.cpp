@@ -19,18 +19,22 @@ std::size_t scaled(std::size_t n, double scale) {
 Dataset generate_mbi(const MbiConfig& cfg) {
   Dataset ds;
   ds.name = "MBI";
-  Rng master(cfg.seed);
+  // Every case draws from its own (seed, ordinal)-keyed stream
+  // (templates.hpp case_rng): the suite is bit-reproducible from
+  // (name, scale, seed) alone and any single case can be rebuilt
+  // standalone from its ordinal.
+  std::uint64_t ordinal = 0;
 
   // Correct codes: cycle through every template for feature coverage.
   const auto& tpls = all_templates();
   const std::size_t n_correct = scaled(cfg.correct, cfg.scale);
   for (std::size_t i = 0; i < n_correct; ++i) {
-    Rng rng = master.fork();
+    Rng rng = case_rng(cfg.seed, ordinal++);
     const Template& tpl = tpls[i % tpls.size()];
     BuildContext ctx;
     ctx.rng = &rng;
     ctx.inject = Inject::None;
-    ctx.size_class = master.chance(0.15) ? 2 : 1;
+    ctx.size_class = rng.chance(0.15) ? 2 : 1;
     Case c;
     c.suite = Suite::Mbi;
     c.mbi_label = mpi::MbiLabel::Correct;
@@ -49,7 +53,7 @@ Dataset generate_mbi(const MbiConfig& cfg) {
     const std::size_t n = scaled(it->second, cfg.scale);
     const auto& injections = injections_for(label);
     for (std::size_t i = 0; i < n; ++i) {
-      Rng rng = master.fork();
+      Rng rng = case_rng(cfg.seed, ordinal++);
       const Inject inj = injections[i % injections.size()];
       const auto compatible = templates_for(inj);
       MPIDETECT_CHECK(!compatible.empty());
@@ -57,7 +61,7 @@ Dataset generate_mbi(const MbiConfig& cfg) {
       BuildContext ctx;
       ctx.rng = &rng;
       ctx.inject = inj;
-      ctx.size_class = master.chance(0.15) ? 2 : 1;
+      ctx.size_class = rng.chance(0.15) ? 2 : 1;
       Case c;
       c.suite = Suite::Mbi;
       c.mbi_label = label;

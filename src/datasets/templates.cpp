@@ -778,9 +778,23 @@ std::string_view inject_name(Inject i) {
   MPIDETECT_UNREACHABLE("bad Inject");
 }
 
+Rng case_rng(std::uint64_t suite_seed, std::uint64_t ordinal) {
+  // Double-mix so neighbouring ordinals land on unrelated streams even
+  // for small (or equal-low-bit) suite seeds.
+  return Rng(mix64(mix64(suite_seed) ^
+                   (ordinal + 1) * 0x9e3779b97f4a7c15ULL));
+}
+
 const std::vector<Template>& all_templates() {
   static const std::vector<Template> registry = build_registry();
   return registry;
+}
+
+const Template* find_template(std::string_view id) {
+  for (const Template& t : all_templates()) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
 }
 
 std::vector<const Template*> templates_for(Inject inj) {

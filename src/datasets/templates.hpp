@@ -91,8 +91,23 @@ struct Template {
   std::vector<Inject> supported;  // besides Inject::None
 };
 
+/// The one per-case RNG stream of the suite generators: case number
+/// `ordinal` of a suite generated with `suite_seed` builds its program
+/// from exactly this stream (template and injection picks are
+/// index-cycled for coverage, so the stream feeds size jitter and the
+/// template's own draws). Keying every case by (seed, ordinal) — rather
+/// than forking a sequentially-consumed master RNG — makes a suite
+/// bit-reproducible from (name, scale, seed) alone *and* lets any
+/// single case be rebuilt standalone (the fuzz harness and the repro
+/// corpora rely on this; asserted in tests/datasets_test.cpp).
+Rng case_rng(std::uint64_t suite_seed, std::uint64_t ordinal);
+
 /// Full template registry.
 const std::vector<Template>& all_templates();
+
+/// Template with the given id, or nullptr (ids are stable; repro
+/// corpora reference templates by id).
+const Template* find_template(std::string_view id);
 
 /// Templates that can express a given injection.
 std::vector<const Template*> templates_for(Inject inj);

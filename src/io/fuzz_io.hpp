@@ -1,0 +1,51 @@
+// Repro-corpus persistence for the differential fuzz harness
+// (core/fuzzer.hpp). A corpus is a list of divergence records; each
+// record carries the full draw tuple — template id, injection, size
+// class, nprocs, opt level, program seed, schedule seed — which is
+// enough to rebuild the failing program and schedule bit-for-bit
+// (datasets cases are pure functions of their seeds), plus what
+// diverged. Stored in the shared versioned little-endian format of
+// io/serialize.hpp ("MPFZ" sections); corrupt or truncated files are
+// rejected with FormatError, never a crash or an unbounded loop.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpidetect::io {
+
+/// One divergence repro record. Enum fields are stored raw and
+/// re-validated on load; the semantic owner of the values is
+/// core/fuzzer.hpp (datasets::Inject, passes::OptLevel,
+/// core::DivergenceKind).
+struct FuzzRecord {
+  std::string template_id;
+  std::uint8_t inject = 0;
+  std::uint8_t size_class = 1;   // 0..2
+  std::int32_t nprocs = 0;       // 0 = template's own choice
+  std::uint8_t opt_level = 0;    // O0 / O2 / Os
+  std::uint64_t program_seed = 0;
+  std::uint64_t schedule_seed = 0;
+  /// Shrinker-removed main-body statement indices (strictly increasing).
+  std::vector<std::uint32_t> dropped;
+  std::string detector;          // registry key, or "simulator"
+  std::uint8_t divergence_kind = 0;
+  std::string detail;
+
+  bool operator==(const FuzzRecord&) const = default;
+};
+
+/// Writes the corpus atomically. Throws FormatError when the file
+/// cannot be written.
+void save_fuzz_corpus(const std::filesystem::path& path,
+                      std::span<const FuzzRecord> records);
+
+/// Loads and validates a corpus. Throws FormatError on wrong magic,
+/// future versions, truncation, out-of-range enum values or absurd
+/// counts (a corrupt file must not turn into a giant allocation).
+std::vector<FuzzRecord> load_fuzz_corpus(const std::filesystem::path& path);
+
+}  // namespace mpidetect::io

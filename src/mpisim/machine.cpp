@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 
 #include "mpi/api.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace mpidetect::mpisim {
 
@@ -173,7 +175,16 @@ struct RankState {
 class Machine {
  public:
   Machine(const ir::Module& m, const MachineConfig& cfg)
-      : module_(m), cfg_(cfg) {
+      : module_(m),
+        cfg_(cfg),
+        random_(cfg.schedule.policy == SchedPolicy::Random),
+        // Seed 0 is reserved for the round-robin schedule; a Random
+        // schedule with seed 0 is remapped so reports stay unambiguous.
+        sched_seed_(random_ ? (cfg.schedule.seed != 0 ? cfg.schedule.seed
+                                                      : 0x5eedULL)
+                            : 0),
+        rng_(sched_seed_) {
+    rep_.schedule_seed = sched_seed_;
     ranks_.resize(static_cast<std::size_t>(cfg.nprocs));
     for (auto& r : ranks_) r.arena.assign(cfg.arena_bytes, 0);
     Communicator world;
@@ -305,8 +316,16 @@ class Machine {
     return eval(rank, inst.operand(idx));
   }
 
+  bool run_setup();
+  bool check_end(bool executed);
+  void run_round_robin();
+  void run_random();
+
   const ir::Module& module_;
   MachineConfig cfg_;
+  bool random_ = false;
+  std::uint64_t sched_seed_ = 0;
+  Rng rng_;
   RunReport rep_;
   std::vector<RankState> ranks_;
 
@@ -848,6 +867,21 @@ void Machine::match_messages() {
       if (rit->src == mpi::kAnySource && candidate_sources > 1) {
         report(FindingKind::MessageRace, rit->rank,
                "wildcard receive has multiple racing senders");
+        // Under a Random schedule the race is also *resolved* randomly:
+        // pick a source uniformly, then that source's earliest
+        // unconsumed send (non-overtaking within the source).
+        if (random_ && cfg_.schedule.randomize_wildcard_match) {
+          const int pick = seen_sources[rng_.index(seen_sources.size())];
+          best = nullptr;
+          for (auto& s : sends_) {
+            if (s.matched || s.comm != rit->comm || s.dest != rit->rank ||
+                s.src != pick) {
+              continue;
+            }
+            if (rit->tag != mpi::kAnyTag && s.tag != rit->tag) continue;
+            if (best == nullptr || s.seq < best->seq) best = &s;
+          }
+        }
       }
 
       // Datatype / size checks at match time. Sizes were captured when
@@ -875,6 +909,8 @@ void Machine::match_messages() {
       }
 
       best->matched = true;
+      rep_.matches.push_back(MatchEvent{rit->rank, best->src, best->tag,
+                                        rit->comm, best->seq, rit->seq});
       // Complete the send side.
       if (best->request != 0) {
         complete_request(best->request);
@@ -2010,13 +2046,13 @@ void Machine::exec_mpi(int rank, Func f, const Instruction& inst) {
 // Scheduler
 // ===========================================================================
 
-RunReport Machine::run() {
+bool Machine::run_setup() {
   const Function* main_fn = module_.find_function("main");
   if (main_fn == nullptr || main_fn->is_declaration()) {
     rep_.outcome = Outcome::Crashed;
     rep_.findings.push_back(
         Finding{FindingKind::MemoryFault, -1, "no main function"});
-    return rep_;
+    return false;
   }
   for (int rk = 0; rk < cfg_.nprocs; ++rk) {
     Frame fr;
@@ -2024,7 +2060,42 @@ RunReport Machine::run() {
     fr.block = main_fn->entry();
     ranks_[static_cast<std::size_t>(rk)].frames.push_back(std::move(fr));
   }
+  return true;
+}
 
+/// Shared end-of-iteration classification (progress engines have already
+/// run). Returns true when the run is over and `rep_.outcome` is set.
+/// Order matters: a rank set that made no progress over a full
+/// iteration is stuck forever regardless of the remaining budget, so
+/// Deadlock is decided *before* the budget check — Timeout is reserved
+/// for budget exhaustion while something was still executing.
+bool Machine::check_end(bool executed) {
+  bool any_runnable = false, any_alive = false, any_crashed = false;
+  for (const RankState& r : ranks_) {
+    if (r.status == RankStatus::Runnable) any_runnable = true;
+    if (r.status != RankStatus::Finished &&
+        r.status != RankStatus::Crashed) {
+      any_alive = true;
+    }
+    if (r.status == RankStatus::Crashed) any_crashed = true;
+  }
+  if (!any_alive) {
+    rep_.outcome = any_crashed ? Outcome::Crashed : Outcome::Completed;
+    return true;
+  }
+  if (!any_runnable && !executed) {
+    // Blocked ranks with no way to make progress: deadlock.
+    rep_.outcome = Outcome::Deadlock;
+    return true;
+  }
+  if (rep_.steps >= cfg_.max_steps) {
+    rep_.outcome = Outcome::Timeout;
+    return true;
+  }
+  return false;
+}
+
+void Machine::run_round_robin() {
   while (true) {
     bool executed = false;
     for (int rk = 0; rk < cfg_.nprocs; ++rk) {
@@ -2045,38 +2116,70 @@ RunReport Machine::run() {
     }
     try_complete_collectives();
 
-    if (rep_.steps >= cfg_.max_steps) {
-      rep_.outcome = Outcome::Timeout;
-      return rep_;
-    }
-
-    bool any_runnable = false, any_alive = false, any_crashed = false;
-    for (const RankState& r : ranks_) {
-      if (r.status == RankStatus::Runnable) any_runnable = true;
-      if (r.status != RankStatus::Finished &&
-          r.status != RankStatus::Crashed) {
-        any_alive = true;
-      }
-      if (r.status == RankStatus::Crashed) any_crashed = true;
-    }
-    if (!any_alive) {
-      rep_.outcome = any_crashed ? Outcome::Crashed : Outcome::Completed;
-      return rep_;
-    }
-    if (!any_runnable && !executed) {
-      // Blocked ranks with no way to make progress: deadlock.
-      rep_.outcome = Outcome::Deadlock;
-      return rep_;
-    }
-    if (!any_runnable && executed) {
-      // Ranks consumed their slice then blocked; loop once more so the
-      // progress engines run before declaring deadlock.
-      continue;
-    }
+    if (check_end(executed)) return;
   }
 }
 
+void Machine::run_random() {
+  const int hi = std::max(cfg_.slice, 1);
+  const int lo = std::min(std::max(cfg_.schedule.min_slice, 1), hi);
+  while (true) {
+    // One decision per iteration: a random runnable rank, a jittered
+    // slice. Progress engines run after every slice, so the points at
+    // which matching happens — not just the rank order — vary by seed.
+    std::vector<int> runnable;
+    runnable.reserve(static_cast<std::size_t>(cfg_.nprocs));
+    for (int rk = 0; rk < cfg_.nprocs; ++rk) {
+      if (ranks_[static_cast<std::size_t>(rk)].status ==
+          RankStatus::Runnable) {
+        runnable.push_back(rk);
+      }
+    }
+    bool executed = false;
+    if (!runnable.empty()) {
+      const int rk = runnable[rng_.index(runnable.size())];
+      const bool burst = rng_.chance(cfg_.schedule.burst_chance);
+      const std::int64_t slice =
+          burst ? std::numeric_limits<std::int64_t>::max()
+                : rng_.uniform_int(lo, hi);
+      RankState& r = ranks_[static_cast<std::size_t>(rk)];
+      for (std::int64_t k = 0;
+           k < slice && r.status == RankStatus::Runnable; ++k) {
+        step(rk);
+        executed = true;
+        if (rep_.steps >= cfg_.max_steps) break;
+      }
+    }
+
+    if (matching_dirty_) {
+      matching_dirty_ = false;
+      match_messages();
+    }
+    try_complete_collectives();
+
+    if (check_end(executed)) return;
+  }
+}
+
+RunReport Machine::run() {
+  if (!run_setup()) return rep_;
+  if (random_) {
+    run_random();
+  } else {
+    run_round_robin();
+  }
+  return rep_;
+}
+
 }  // namespace
+
+std::string_view sched_policy_name(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::RoundRobin: return "round-robin";
+    case SchedPolicy::Random: return "random";
+  }
+  MPIDETECT_UNREACHABLE("bad SchedPolicy");
+}
 
 RunReport run(const ir::Module& m, const MachineConfig& config) {
   MPIDETECT_EXPECTS(config.nprocs >= 1);

@@ -48,6 +48,24 @@ std::size_t RunReport::count(FindingKind k) const {
   return n;
 }
 
+std::uint64_t RunReport::match_digest() const {
+  // FNV-1a over the pairing-relevant fields, in match order.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const MatchEvent& e : matches) {
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.recv_rank)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.src)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.tag)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.comm)));
+  }
+  return h;
+}
+
 std::string RunReport::summary() const {
   std::ostringstream os;
   os << outcome_name(outcome) << " (" << steps << " steps";

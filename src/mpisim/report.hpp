@@ -1,7 +1,10 @@
 // Execution verdicts produced by the simulator. Dynamic baseline tools
 // (ITAC-lite, MUST-lite) are thin policies over these findings; the MBI
 // metric computation (coverage / conclusiveness, Table I) consumes the
-// outcome classification.
+// outcome classification, and the schedule-exploring fuzz harness
+// (core/fuzzer.hpp) compares whole reports across seeded schedules —
+// which is why RunReport is equality-comparable and carries the
+// point-to-point matching trace.
 #pragma once
 
 #include <cstdint>
@@ -27,15 +30,26 @@ enum class FindingKind : std::uint8_t {
   MissingFinalize,    // rank returned from main without MPI_Finalize
 };
 
+inline constexpr std::size_t kNumFindingKinds = 13;
+
 std::string_view finding_kind_name(FindingKind k);
 
 struct Finding {
   FindingKind kind;
   int rank;             // -1 when global (e.g. deadlock)
   std::string message;  // human-readable details
+
+  bool operator==(const Finding&) const = default;
 };
 
 /// How the run ended.
+///
+/// `Deadlock` means the rank set provably cannot make progress again
+/// (every live rank blocked, the matching/collective engines quiescent);
+/// `Timeout` means the *total* instruction budget
+/// (MachineConfig::max_steps, summed across ranks) ran out while at
+/// least one rank was still executing — a livelock or an unbounded
+/// loop, not a proven deadlock.
 enum class Outcome : std::uint8_t {
   Completed,  // every rank returned from main
   Deadlock,   // no runnable rank and no possible matching progress
@@ -43,17 +57,50 @@ enum class Outcome : std::uint8_t {
   Crashed,    // at least one rank hit a fatal memory fault
 };
 
+inline constexpr std::size_t kNumOutcomes = 4;
+
 std::string_view outcome_name(Outcome o);
+
+/// One consummated point-to-point matching, in completion order. The
+/// (recv_rank, src, tag, comm) prefix identifies *which* pairing the
+/// schedule produced — two runs of a wildcard-race program that deliver
+/// the racing sends in a different order yield different traces — while
+/// the seq fields tie the event back to posting order for debugging.
+struct MatchEvent {
+  int recv_rank = 0;
+  int src = 0;
+  int tag = 0;
+  std::int32_t comm = 0;
+  std::uint64_t send_seq = 0;  // posting sequence of the matched send
+  std::uint64_t recv_seq = 0;  // posting sequence of the receive
+
+  bool operator==(const MatchEvent&) const = default;
+};
 
 struct RunReport {
   Outcome outcome = Outcome::Completed;
   std::vector<Finding> findings;
   std::uint64_t steps = 0;  // total instructions executed across ranks
+  /// Seed of the schedule that produced this report; 0 is the
+  /// deterministic round-robin schedule (ScheduleConfig docs).
+  std::uint64_t schedule_seed = 0;
+  /// Point-to-point matching trace, in match-completion order.
+  std::vector<MatchEvent> matches;
+
+  /// Byte-level equality: two runs of the same module under the same
+  /// config and schedule seed must compare equal (asserted in
+  /// tests/schedule_test.cpp).
+  bool operator==(const RunReport&) const = default;
 
   bool has(FindingKind k) const;
   std::size_t count(FindingKind k) const;
   /// True when the run completed with no findings at all.
   bool clean() const { return outcome == Outcome::Completed && findings.empty(); }
+  /// FNV-1a hash of the pairing-relevant part of the matching trace
+  /// (recv_rank, src, tag, comm per event, in order). Two schedules
+  /// that matched messages differently hash differently; posting-order
+  /// noise (seq fields) is excluded on purpose.
+  std::uint64_t match_digest() const;
   std::string summary() const;
 };
 

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include "progmodel/lower.hpp"
 
 #include <unordered_map>
@@ -21,6 +22,11 @@ struct Sym {
   Instruction* slot = nullptr;  // the alloca
   Type elem = Type::I32;        // element / scalar type
   bool is_buf = false;
+  /// Element count when declared with a literal, -1 when dynamic.
+  /// Compute filler loops clamp their stride to it so a small buffer is
+  /// never scribbled past (found by `mpiguard fuzz`: an 8-slot stride
+  /// over a 1-element buffer corrupted the neighbouring allocas).
+  std::int64_t static_count = -1;
 };
 
 class Lowerer {
@@ -178,7 +184,8 @@ class Lowerer {
       case Stmt::Kind::DeclBuf: {
         Value* count = to_i64(lower_expr(s.a));
         Instruction* slot = b_.alloca_(s.elem, count, s.name);
-        syms_[s.name] = Sym{slot, s.elem, true};
+        syms_[s.name] = Sym{slot, s.elem, true,
+                            s.a.kind == Expr::Kind::IntLit ? s.a.ival : -1};
         return;
       }
       case Stmt::Kind::DeclReqArray: {
@@ -259,9 +266,15 @@ class Lowerer {
         return;
       }
       case Stmt::Kind::Compute: {
-        // for (k = 0; k < iters; ++k) buf[k % 8] = buf[k % 8] * 3 + k;
+        // for (k = 0; k < iters; ++k) buf[k % s] = buf[k % s] * 3 + k,
+        // with stride s = min(8, buffer length) so the filler never
+        // writes past a short buffer.
         const Sym& buffer = sym(s.name);
         MPIDETECT_CHECK(buffer.is_buf);
+        const std::int64_t stride =
+            buffer.static_count > 0 ? std::min<std::int64_t>(
+                                          8, buffer.static_count)
+                                    : 8;
         Instruction* counter = b_.alloca_(Type::I32, 1, "k");
         b_.store(module_->get_i32(0), counter);
         BasicBlock* header = new_block("compute.cond");
@@ -275,7 +288,8 @@ class Lowerer {
             exit);
         b_.set_insert_point(body);
         Value* k2 = b_.load(Type::I32, counter, "k");
-        Value* idx = to_i64(b_.srem(k2, module_->get_i32(8)));
+        Value* idx = to_i64(
+            b_.srem(k2, module_->get_i32(static_cast<std::int32_t>(stride))));
         Instruction* p = b_.gep(buffer.elem, buffer.slot, idx);
         Value* old = b_.load(buffer.elem, p);
         Value* updated;

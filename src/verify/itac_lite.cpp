@@ -5,7 +5,12 @@
 // checks handle leaks at finalize. Concurrency classes (races, RMA
 // access conflicts) are outside its scope — these become the false
 // negatives that dominate ITAC's FN column in the paper.
+//
+// With DynamicToolOptions::schedules > 1 each case is additionally run
+// under seeded schedules and the per-schedule diagnoses merged (an
+// error under any interleaving is reported).
 #include "mpisim/machine.hpp"
+#include "mpisim/sweep.hpp"
 #include "progmodel/lower.hpp"
 #include "support/check.hpp"
 #include "verify/tool.hpp"
@@ -16,6 +21,8 @@ namespace {
 
 class ItacLite final : public VerificationTool {
  public:
+  explicit ItacLite(const DynamicToolOptions& opts) : opts_(opts) {}
+
   std::string_view name() const override { return "ITAC"; }
 
   Diagnostic check(const datasets::Case& c) override {
@@ -30,8 +37,23 @@ class ItacLite final : public VerificationTool {
     // Tracing slows execution heavily: compute-dense codes blow the
     // budget and come back inconclusive (the TO column of Table III).
     cfg.max_steps = 3000;
-    const mpisim::RunReport rep = mpisim::run(*m, cfg);
+    if (opts_.schedules <= 1) {
+      return classify(mpisim::run(*m, cfg));
+    }
+    mpisim::ScheduleSweepOptions sweep;
+    sweep.schedules = opts_.schedules;
+    sweep.seed = opts_.seed;
+    const auto swept = mpisim::sweep_schedules(*m, cfg, sweep);
+    std::vector<Diagnostic> per_run;
+    per_run.reserve(swept.reports.size());
+    for (const mpisim::RunReport& rep : swept.reports) {
+      per_run.push_back(classify(rep));
+    }
+    return merge_schedule_diagnostics(per_run);
+  }
 
+ private:
+  static Diagnostic classify(const mpisim::RunReport& rep) {
     if (rep.outcome == mpisim::Outcome::Timeout) return Diagnostic::Timeout;
     if (rep.outcome == mpisim::Outcome::Crashed) {
       return Diagnostic::RuntimeErr;
@@ -48,12 +70,19 @@ class ItacLite final : public VerificationTool {
     }
     return Diagnostic::Correct;
   }
+
+  DynamicToolOptions opts_;
 };
 
 }  // namespace
 
 std::unique_ptr<VerificationTool> make_itac_lite() {
-  return std::make_unique<ItacLite>();
+  return std::make_unique<ItacLite>(DynamicToolOptions{});
+}
+
+std::unique_ptr<VerificationTool> make_itac_lite(
+    const DynamicToolOptions& opts) {
+  return std::make_unique<ItacLite>(opts);
 }
 
 }  // namespace mpidetect::verify

@@ -3,7 +3,12 @@
 // wildcard receive races, buffer-ownership violations, and RMA epoch /
 // access-conflict errors. Runs with a generous budget (MUST piggybacks
 // on the application run instead of serializing a trace).
+//
+// With DynamicToolOptions::schedules > 1 each case is additionally run
+// under seeded schedules and the per-schedule diagnoses merged (an
+// error under any interleaving is reported).
 #include "mpisim/machine.hpp"
+#include "mpisim/sweep.hpp"
 #include "progmodel/lower.hpp"
 #include "support/check.hpp"
 #include "verify/tool.hpp"
@@ -14,6 +19,8 @@ namespace {
 
 class MustLite final : public VerificationTool {
  public:
+  explicit MustLite(const DynamicToolOptions& opts) : opts_(opts) {}
+
   std::string_view name() const override { return "MUST"; }
 
   Diagnostic check(const datasets::Case& c) override {
@@ -26,8 +33,23 @@ class MustLite final : public VerificationTool {
     mpisim::MachineConfig cfg;
     cfg.nprocs = c.program.nprocs;
     cfg.max_steps = 100'000;
-    const mpisim::RunReport rep = mpisim::run(*m, cfg);
+    if (opts_.schedules <= 1) {
+      return classify(mpisim::run(*m, cfg));
+    }
+    mpisim::ScheduleSweepOptions sweep;
+    sweep.schedules = opts_.schedules;
+    sweep.seed = opts_.seed;
+    const auto swept = mpisim::sweep_schedules(*m, cfg, sweep);
+    std::vector<Diagnostic> per_run;
+    per_run.reserve(swept.reports.size());
+    for (const mpisim::RunReport& rep : swept.reports) {
+      per_run.push_back(classify(rep));
+    }
+    return merge_schedule_diagnostics(per_run);
+  }
 
+ private:
+  static Diagnostic classify(const mpisim::RunReport& rep) {
     if (rep.outcome == mpisim::Outcome::Timeout) return Diagnostic::Timeout;
     if (rep.outcome == mpisim::Outcome::Crashed) {
       return Diagnostic::RuntimeErr;
@@ -39,12 +61,19 @@ class MustLite final : public VerificationTool {
     if (!rep.findings.empty()) return Diagnostic::Incorrect;
     return Diagnostic::Correct;
   }
+
+  DynamicToolOptions opts_;
 };
 
 }  // namespace
 
 std::unique_ptr<VerificationTool> make_must_lite() {
-  return std::make_unique<MustLite>();
+  return std::make_unique<MustLite>(DynamicToolOptions{});
+}
+
+std::unique_ptr<VerificationTool> make_must_lite(
+    const DynamicToolOptions& opts) {
+  return std::make_unique<MustLite>(opts);
 }
 
 }  // namespace mpidetect::verify

@@ -16,6 +16,23 @@ std::string_view diagnostic_name(Diagnostic d) {
   MPIDETECT_UNREACHABLE("bad Diagnostic");
 }
 
+Diagnostic merge_schedule_diagnostics(const std::vector<Diagnostic>& per_run) {
+  bool timeout = false, runtime_err = false, compile_err = false;
+  for (const Diagnostic d : per_run) {
+    switch (d) {
+      case Diagnostic::Incorrect: return Diagnostic::Incorrect;
+      case Diagnostic::Timeout: timeout = true; break;
+      case Diagnostic::RuntimeErr: runtime_err = true; break;
+      case Diagnostic::CompileErr: compile_err = true; break;
+      case Diagnostic::Correct: break;
+    }
+  }
+  if (compile_err) return Diagnostic::CompileErr;
+  if (runtime_err) return Diagnostic::RuntimeErr;
+  if (timeout) return Diagnostic::Timeout;
+  return Diagnostic::Correct;
+}
+
 namespace {
 
 /// Non-owning Detector view of a caller-held tool, so the deprecated

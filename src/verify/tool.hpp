@@ -15,8 +15,10 @@
 //                   argument errors and request-usage hygiene only.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "datasets/dataset.hpp"
 #include "ml/metrics.hpp"
@@ -40,8 +42,31 @@ class VerificationTool {
   virtual Diagnostic check(const datasets::Case& c) = 0;
 };
 
+/// Schedule-exploration knobs for the dynamic tools (ITAC/MUST).
+/// With `schedules == 1` the tool executes the single deterministic
+/// round-robin interleaving — the paper's protocol, bit-identical to
+/// the historical behaviour. With `schedules > 1` every case is run
+/// under that many seeded schedules (mpisim/sweep.hpp) and the
+/// per-schedule diagnostics are merged: an error observed under *any*
+/// interleaving is reported, which is what lets the dynamic tools catch
+/// timing-dependent classes (WildcardRace, RecvRecvCycle) the fixed
+/// schedule happens to mask.
+struct DynamicToolOptions {
+  int schedules = 1;
+  std::uint64_t seed = 1;  // base seed for the schedule sweep
+};
+
+/// Merge rule for per-schedule diagnostics: Incorrect dominates (a bug
+/// seen under any schedule is a bug), then RuntimeErr, then Timeout;
+/// Correct only when every schedule concluded Correct.
+Diagnostic merge_schedule_diagnostics(const std::vector<Diagnostic>& per_run);
+
 std::unique_ptr<VerificationTool> make_itac_lite();
+std::unique_ptr<VerificationTool> make_itac_lite(
+    const DynamicToolOptions& opts);
 std::unique_ptr<VerificationTool> make_must_lite();
+std::unique_ptr<VerificationTool> make_must_lite(
+    const DynamicToolOptions& opts);
 std::unique_ptr<VerificationTool> make_parcoach_lite();
 std::unique_ptr<VerificationTool> make_mpichecker_lite();
 

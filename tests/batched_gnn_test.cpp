@@ -439,6 +439,59 @@ TEST(GraphBatch, MixedRelationPresence) {
   }
 }
 
+// ---- batch edge cases -------------------------------------------------------
+
+TEST(GraphBatchEdge, EmptyBatchIsWellFormed) {
+  const programl::GraphBatch b =
+      programl::make_batch(std::span<const programl::ProgramGraph>{});
+  EXPECT_EQ(b.size, 0u);
+  EXPECT_EQ(b.num_nodes(), 0u);
+  EXPECT_TRUE(b.tokens.empty());
+  EXPECT_TRUE(b.segments.empty());
+  for (const auto& edges : b.edges) EXPECT_TRUE(edges.empty());
+}
+
+TEST(GraphBatchEdge, SingleNodeGraphSurvivesBatchAndInference) {
+  programl::ProgramGraph g;
+  g.nodes.push_back({programl::NodeType::Control, 1, "entry"});
+  // No edges at all: the batch and the model must handle an isolated
+  // node (message passing contributes nothing; pooling sees one row).
+  const programl::GraphBatch b =
+      programl::make_batch(std::span(&g, 1));
+  ASSERT_EQ(b.size, 1u);
+  ASSERT_EQ(b.num_nodes(), 1u);
+  EXPECT_EQ(b.segments, (std::vector<std::uint32_t>{0}));
+
+  GnnModel model(tiny_config());
+  const Var batched = model.forward(b);
+  ASSERT_EQ(batched->value.rows(), 1u);
+  const Var single = model.forward(g);
+  for (std::size_t j = 0; j < single->value.cols(); ++j) {
+    EXPECT_NEAR(single->value.at(0, j), batched->value.at(0, j), 1e-12);
+  }
+  const auto proba = model.predict_proba(g);
+  ASSERT_EQ(proba.size(), 2u);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+TEST(GraphBatchEdge, MixedSingleNodeAndRealGraphsAgreeWithPerGraph) {
+  programl::ProgramGraph lone;
+  lone.nodes.push_back({programl::NodeType::Variable, 7, "x"});
+  std::vector<programl::ProgramGraph> graphs{tiny_graph(1, 2), lone,
+                                             tiny_graph(4, 5, true)};
+  GnnModel model(tiny_config());
+  const programl::GraphBatch batch = programl::make_batch(graphs);
+  const Var batched = model.forward(batch);
+  ASSERT_EQ(batched->value.rows(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Var single = model.forward(graphs[i]);
+    for (std::size_t j = 0; j < single->value.cols(); ++j) {
+      EXPECT_NEAR(single->value.at(0, j), batched->value.at(i, j), 1e-9)
+          << "graph " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mpidetect::ml
 

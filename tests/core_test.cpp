@@ -11,7 +11,10 @@ namespace {
 
 datasets::Dataset small_mbi() {
   datasets::MbiConfig cfg;
-  cfg.scale = 0.1;
+  // Large enough that the learned detectors clear their accuracy bars
+  // with margin under any suite seed (k-fold on much smaller samples is
+  // dominated by draw noise).
+  cfg.scale = 0.15;
   return datasets::generate_mbi(cfg);
 }
 

@@ -6,6 +6,7 @@
 #include "datasets/hypre.hpp"
 #include "datasets/mbi.hpp"
 #include "datasets/templates.hpp"
+#include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "mpisim/machine.hpp"
 #include "passes/pipelines.hpp"
@@ -107,6 +108,77 @@ TEST(Mbi, DeterministicForSameSeed) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.cases[i].name, b.cases[i].name);
     EXPECT_EQ(a.cases[i].source_lines, b.cases[i].source_lines);
+  }
+}
+
+// A suite is bit-reproducible from (name, scale, seed) alone: the
+// single per-case RNG stream (templates.hpp case_rng) is the only
+// randomness source, so two generations agree down to the lowered IR
+// of every case — not just names and sizes.
+TEST(Mbi, SuiteBitReproducibleFromSeedAlone) {
+  for (const auto& [a, b] :
+       {std::pair{generate_mbi(quick_mbi()), generate_mbi(quick_mbi())},
+        std::pair{generate_corrbench(quick_corr()),
+                  generate_corrbench(quick_corr())}}) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a.cases[i].name, b.cases[i].name);
+      EXPECT_EQ(ir::to_string(*progmodel::lower(a.cases[i].program)),
+                ir::to_string(*progmodel::lower(b.cases[i].program)))
+          << a.cases[i].name;
+    }
+  }
+}
+
+TEST(Mbi, DifferentSeedsChangeThePrograms) {
+  MbiConfig a = quick_mbi(), b = quick_mbi();
+  b.seed = a.seed + 1;
+  const auto da = generate_mbi(a), db = generate_mbi(b);
+  ASSERT_EQ(da.size(), db.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    differing += ir::to_string(*progmodel::lower(da.cases[i].program)) !=
+                 ir::to_string(*progmodel::lower(db.cases[i].program));
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+// Any single case can be rebuilt standalone from its (seed, ordinal)
+// key — the contract the fuzz repro corpora rely on. Ordinal o of an
+// MBI suite is: correct cases first (template cycled), then per error
+// label (in mpi::mbi_error_labels() order) the label's injection and
+// template cycles.
+TEST(Mbi, CaseRebuildableStandaloneFromSeedAndOrdinal) {
+  const auto cfg = quick_mbi();
+  const auto ds = generate_mbi(cfg);
+
+  // Case 0: first correct case.
+  {
+    Rng rng = case_rng(cfg.seed, 0);
+    BuildContext ctx;
+    ctx.rng = &rng;
+    ctx.inject = Inject::None;
+    ctx.size_class = rng.chance(0.15) ? 2 : 1;
+    const auto rebuilt = all_templates()[0].fn(ctx);
+    EXPECT_EQ(ir::to_string(*progmodel::lower(rebuilt)),
+              ir::to_string(*progmodel::lower(ds.cases[0].program)));
+  }
+
+  // First incorrect case: ordinal == number of correct cases.
+  std::uint64_t ordinal = 0;
+  while (ordinal < ds.size() && !ds.cases[ordinal].incorrect) ++ordinal;
+  ASSERT_LT(ordinal, ds.size());
+  {
+    const mpi::MbiLabel label = ds.cases[ordinal].mbi_label;
+    const Inject inj = injections_for(label)[0];
+    Rng rng = case_rng(cfg.seed, ordinal);
+    BuildContext ctx;
+    ctx.rng = &rng;
+    ctx.inject = inj;
+    ctx.size_class = rng.chance(0.15) ? 2 : 1;
+    const auto rebuilt = templates_for(inj)[0]->fn(ctx);
+    EXPECT_EQ(ir::to_string(*progmodel::lower(rebuilt)),
+              ir::to_string(*progmodel::lower(ds.cases[ordinal].program)));
   }
 }
 

@@ -43,16 +43,17 @@ void expect_equal(const ml::Confusion& a, const ml::Confusion& b) {
   EXPECT_EQ(a.re, b.re);
 }
 
-TEST(Registry, ContainsAllSixDetectors) {
+TEST(Registry, ContainsAllBuiltinDetectors) {
   auto& reg = DetectorRegistry::global();
   for (const char* name :
-       {"itac", "must", "parcoach", "mpi-checker", "ir2vec", "gnn"}) {
+       {"itac", "must", "parcoach", "mpi-checker", "ir2vec", "gnn",
+        "itac-sweep", "must-sweep"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
     auto det = reg.create(name);
     ASSERT_NE(det, nullptr) << name;
     EXPECT_FALSE(det->name().empty());
   }
-  EXPECT_EQ(reg.names().size(), 6u);
+  EXPECT_EQ(reg.names().size(), 8u);
 }
 
 TEST(Registry, KindsAndTrainability) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fuzzer.hpp"
 #include "core/detector.hpp"
 #include "core/eval_engine.hpp"
 #include "core/perf_bench.hpp"
@@ -45,6 +46,8 @@ usage:
   mpiguard bench   [--detectors A,B,...] --dataset SPEC [options]
   mpiguard bench   --json --dataset SPEC [--json-out FILE] [--reps N]
                    [--warmup N] [--batch N] [--infer-batch N]
+  mpiguard fuzz    [--seed S --runs N --schedules K] [--json] [--quick]
+                   [--corpus FILE] [--repro TUPLE] [options]
   mpiguard list
 
 dataset SPEC        mbi | corr | mix, with optional scale and generator
@@ -61,6 +64,23 @@ common options:
   --folds N         override k-fold count (eval kfold)
   --multiclass      train/evaluate on per-label classes (ir2vec kfold)
   --quiet           summary lines only (no per-case/per-label tables)
+
+fuzz options (differential fuzz harness, see docs/TESTING.md):
+  --seed S          campaign seed (default 1); a fixed (seed, runs,
+                    schedules) triple reproduces the campaign exactly
+  --runs N          programs to draw (default 200)
+  --schedules K     seeded schedules per program, incl. the
+                    deterministic round-robin one (default 4)
+  --detectors A,B   registry keys to cross-check (default
+                    itac,must,must-sweep,parcoach,mpi-checker)
+  --max-steps N     simulator budget per run, total across ranks
+  --corpus FILE     persist divergence repro tuples ("MPFZ" corpus)
+  --no-shrink       keep divergent tuples as drawn
+  --repro TUPLE     re-run one printed seed tuple instead of a campaign
+  --quick           CI smoke profile (120 runs x 3 schedules); exit
+                    status reflects divergences only, never speed
+  --json            emit the machine-readable report
+  exit status: 0 = no divergences, 2 = divergences or crashes.
 
 bench --json options (GNN perf harness, see docs/PERFORMANCE.md):
   --json            time GNN encode/train/infer, baseline vs batched
@@ -130,6 +150,15 @@ struct Args {
   int warmup = 1;
   std::size_t batch = 4;
   std::size_t infer_batch = 4;
+  // fuzz
+  std::uint64_t fuzz_seed = 1;
+  int fuzz_runs = 200;
+  int fuzz_schedules = 4;
+  std::optional<std::uint64_t> fuzz_max_steps;
+  std::string corpus_path;
+  std::string repro_tuple;
+  bool no_shrink = false;
+  bool quick = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -181,6 +210,21 @@ Args parse_args(int argc, char** argv) {
     else if (f == "--infer-batch")
       a.infer_batch = parse_u64(need_value(i, "--infer-batch"),
                                 "--infer-batch");
+    else if (f == "--seed")
+      a.fuzz_seed = parse_u64(need_value(i, "--seed"), "--seed");
+    else if (f == "--runs")
+      a.fuzz_runs = static_cast<int>(
+          parse_u64(need_value(i, "--runs"), "--runs"));
+    else if (f == "--schedules")
+      a.fuzz_schedules = static_cast<int>(
+          parse_u64(need_value(i, "--schedules"), "--schedules"));
+    else if (f == "--max-steps")
+      a.fuzz_max_steps = parse_u64(need_value(i, "--max-steps"),
+                                   "--max-steps");
+    else if (f == "--corpus") a.corpus_path = need_value(i, "--corpus");
+    else if (f == "--repro") a.repro_tuple = need_value(i, "--repro");
+    else if (f == "--no-shrink") a.no_shrink = true;
+    else if (f == "--quick") a.quick = true;
     else if (f == "--help" || f == "-h") throw CliError("");
     else throw CliError("unknown flag: " + std::string(f));
   }
@@ -458,6 +502,101 @@ int cmd_bench(const Args& a) {
   return 0;
 }
 
+void print_fuzz_divergences(const core::FuzzReport& report) {
+  for (const auto& d : report.divergences) {
+    std::cout << "DIVERGENCE [" << core::divergence_kind_name(d.kind) << "] "
+              << d.detector << ": " << d.detail << "\n"
+              << "  drawn:  " << d.tuple.to_string() << "\n"
+              << "  shrunk: " << d.shrunk.to_string();
+    if (!d.shrunk.dropped.empty()) {
+      std::cout << " (-" << d.shrunk.dropped.size() << " stmts)";
+    }
+    std::cout << "\n  reproduce: mpiguard fuzz --repro '"
+              << d.shrunk.to_string() << "' --schedules "
+              << report.config.schedules << "\n";
+  }
+}
+
+void print_fuzz_coverage(const core::FuzzReport& report, bool quiet) {
+  print_fuzz_divergences(report);
+  if (!quiet) {
+    std::vector<std::string> head{"Injection", "Runs", "Single", "Swept"};
+    for (const auto& key : report.config.detectors) head.push_back(key);
+    Table t(head);
+    for (const auto& [inject, stats] : report.per_inject) {
+      std::vector<std::string> row{inject, std::to_string(stats.runs),
+                                   std::to_string(stats.flagged_single),
+                                   std::to_string(stats.flagged_swept)};
+      for (const auto& key : report.config.detectors) {
+        const auto it = stats.detector_hits.find(key);
+        row.push_back(
+            std::to_string(it == stats.detector_hits.end() ? 0 : it->second));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+  std::cout << report.summary() << "\n";
+}
+
+/// `mpiguard fuzz`: the differential fuzz harness (core/fuzzer.hpp).
+/// Exit 0 when the campaign is divergence-free, 2 otherwise — CI runs
+/// `fuzz --quick` as a smoke step that fails on crashes/divergences but
+/// never on machine speed.
+int cmd_fuzz(const Args& a) {
+  core::FuzzConfig cfg;
+  cfg.seed = a.fuzz_seed;
+  cfg.runs = a.quick ? 120 : a.fuzz_runs;
+  cfg.schedules = a.quick ? 3 : a.fuzz_schedules;
+  cfg.shrink = !a.no_shrink;
+  cfg.corpus_path = a.corpus_path;
+  if (a.fuzz_max_steps) cfg.max_steps = *a.fuzz_max_steps;
+  if (!a.detectors.empty()) {
+    cfg.detectors.clear();
+    for (const auto& name : split(a.detectors, ',')) {
+      cfg.detectors.emplace_back(trim(name));
+    }
+  }
+  if (cfg.runs < 0 || cfg.schedules < 1) {
+    throw CliError("fuzz: --runs must be >= 0 and --schedules >= 1");
+  }
+
+  core::DifferentialFuzzer fuzzer(cfg);
+
+  if (!a.repro_tuple.empty()) {
+    const auto tuple = core::FuzzTuple::parse(a.repro_tuple);
+    if (!tuple) {
+      throw CliError("fuzz: malformed --repro tuple: '" + a.repro_tuple +
+                     "'");
+    }
+    core::FuzzReport report;
+    report.config = cfg;
+    fuzzer.check(*tuple, report);
+    report.runs = 1;
+    const auto swept = fuzzer.sweep(*tuple);
+    std::cout << "tuple: " << tuple->to_string() << "\n"
+              << "sweep: " << swept.summary() << "\n";
+    for (const auto& rep : swept.reports) {
+      std::cout << "  seed=" << rep.schedule_seed << ": " << rep.summary()
+                << "\n";
+    }
+    if (a.json) std::cout << report.to_json();
+    print_fuzz_divergences(report);
+    return report.ok() ? 0 : 2;
+  }
+
+  const auto report = fuzzer.run();
+  if (a.json) {
+    std::cout << report.to_json();
+  } else {
+    print_fuzz_coverage(report, a.quiet);
+  }
+  if (!a.corpus_path.empty() && !report.divergences.empty()) {
+    std::cout << "repro corpus written: " << a.corpus_path << "\n";
+  }
+  return report.ok() ? 0 : 2;
+}
+
 int cmd_list() {
   Table t({"Registry key", "Display name", "Kind", "Trainable"});
   const auto& registry = core::DetectorRegistry::global();
@@ -480,6 +619,7 @@ int main(int argc, char** argv) {
     if (args.subcommand == "predict") return cmd_predict(args);
     if (args.subcommand == "eval") return cmd_eval(args);
     if (args.subcommand == "bench") return cmd_bench(args);
+    if (args.subcommand == "fuzz") return cmd_fuzz(args);
     if (args.subcommand == "list") return cmd_list();
     if (args.subcommand == "--help" || args.subcommand == "-h" ||
         args.subcommand == "help") {
