@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
 """Schema check for BENCH_*.json perf records (see docs/PERFORMANCE.md).
 
-Usage: check_bench_json.py FILE [FILE ...]
+Usage: check_bench_json.py [--require-win] FILE [FILE ...]
 
-Validates structure only — a malformed record fails (exit 1), slow
-numbers do not. CI runs this on the artifact produced by
-`perf_gnn --quick --reps=1` so the perf-smoke job gates on "the harness
-still writes a well-formed record", never on machine speed.
+Each record self-identifies through its "benchmark" key — "gnn_perf"
+(written by perf_gnn) and "serve_throughput" (written by
+serve_throughput) are understood. Validates structure only — a
+malformed record fails (exit 1), slow numbers do not. CI runs this on
+artifacts produced by the --quick bench modes so the smoke jobs gate on
+"the harness still writes a well-formed record", never on machine
+speed. The one exception is --require-win: applied to a
+serve_throughput record it additionally requires
+batched_vs_single_speedup >= 1, which CI asserts for the committed
+BENCH_serve.json (the record exists to show batched admission beating
+one-at-a-time dispatch) but not for throwaway smoke artifacts.
+
+Correctness gates (prediction agreement, verdict mismatches) always
+apply: a record whose speedup changed answers is malformed, not fast.
 """
 import json
 import sys
@@ -29,7 +39,7 @@ def is_number(x):
     return isinstance(x, (int, float)) and not isinstance(x, bool)
 
 
-def check_file(path):
+def check_file(path, require_win=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -38,11 +48,17 @@ def check_file(path):
 
     if not isinstance(doc, dict):
         return fail(path, "top level is not an object")
-    if doc.get("benchmark") != "gnn_perf":
-        return fail(path, f"benchmark != 'gnn_perf': {doc.get('benchmark')!r}")
     if doc.get("schema_version") != 1:
         return fail(path, f"unknown schema_version {doc.get('schema_version')!r}")
+    kind = doc.get("benchmark")
+    if kind == "gnn_perf":
+        return check_gnn_perf(path, doc)
+    if kind == "serve_throughput":
+        return check_serve_throughput(path, doc, require_win)
+    return fail(path, f"unknown benchmark kind: {kind!r}")
 
+
+def check_gnn_perf(path, doc):
     dataset = doc.get("dataset")
     if not isinstance(dataset, dict) or not isinstance(dataset.get("name"), str):
         return fail(path, "dataset.name missing")
@@ -123,11 +139,104 @@ def check_file(path):
     return 0
 
 
+def check_serve_throughput(path, doc, require_win):
+    dataset = doc.get("dataset")
+    if not isinstance(dataset, dict) or not isinstance(dataset.get("spec"), str):
+        return fail(path, "dataset.spec missing")
+    if not (is_number(dataset.get("cases")) and dataset["cases"] >= 1):
+        return fail(path, "dataset.cases missing or < 1")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        return fail(path, "config missing")
+    for key in ("clients", "requests_per_client", "queue_capacity", "reps"):
+        if not (is_number(config.get(key)) and config[key] >= 1):
+            return fail(path, f"config.{key} missing or < 1")
+    if not isinstance(config.get("detector"), str) or not config["detector"]:
+        return fail(path, "config.detector missing")
+
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, list) or len(sweep) < 2:
+        return fail(path, "sweep missing or has fewer than 2 points")
+    expected = config["clients"] * config["requests_per_client"]
+    seen_windows = set()
+    single = None
+    for i, point in enumerate(sweep):
+        if not isinstance(point, dict):
+            return fail(path, f"sweep[{i}] is not an object")
+        for key in ("max_batch", "requests", "wall_ms", "throughput_rps",
+                    "batches", "max_coalesced", "busy_retries"):
+            if not (is_number(point.get(key)) and point[key] >= 0):
+                return fail(path, f"sweep[{i}].{key} missing or negative")
+        if point["max_batch"] < 1 or point["max_batch"] in seen_windows:
+            return fail(path, f"sweep[{i}].max_batch invalid or duplicated")
+        seen_windows.add(point["max_batch"])
+        if point["requests"] != expected:
+            return fail(
+                path,
+                f"sweep[{i}].requests {point['requests']} != "
+                f"clients*requests_per_client {expected}",
+            )
+        if point["wall_ms"] <= 0 or point["throughput_rps"] <= 0:
+            return fail(path, f"sweep[{i}]: wall_ms/throughput_rps not positive")
+        if point["max_coalesced"] > point["max_batch"]:
+            return fail(path, f"sweep[{i}]: max_coalesced exceeds max_batch")
+        lat = point.get("latency_ms")
+        if not isinstance(lat, dict):
+            return fail(path, f"sweep[{i}].latency_ms missing")
+        for q in ("p50", "p90", "p99"):
+            if not (is_number(lat.get(q)) and lat[q] >= 0):
+                return fail(path, f"sweep[{i}].latency_ms.{q} missing")
+        if not (lat["p50"] <= lat["p90"] + 1e-9 and
+                lat["p90"] <= lat["p99"] + 1e-9):
+            return fail(path, f"sweep[{i}]: percentiles not monotone")
+        if point["max_batch"] == 1:
+            single = point
+    if single is None:
+        return fail(path, "sweep has no max_batch=1 baseline point")
+
+    speedup = doc.get("batched_vs_single_speedup")
+    if not (is_number(speedup) and speedup > 0):
+        return fail(path, "batched_vs_single_speedup missing or not positive")
+    best = max(p["throughput_rps"] / single["throughput_rps"]
+               for p in sweep if p["max_batch"] > 1)
+    # The emitter prints 6 significant digits, so compare loosely.
+    if abs(speedup - best) > 1e-4 * max(speedup, best):
+        return fail(
+            path,
+            f"batched_vs_single_speedup {speedup} does not match sweep "
+            f"(best batched / single = {best})",
+        )
+
+    mismatches = doc.get("verdict_mismatches")
+    if not is_number(mismatches):
+        return fail(path, "verdict_mismatches missing")
+    # The invariant the record exists to prove: coalescing must not
+    # change answers. Correctness gate, not a speed gate.
+    if mismatches != 0:
+        return fail(path, f"verdict_mismatches {mismatches} != 0 — "
+                          "batched serving diverged from the local bundle")
+    if require_win and speedup < 1.0:
+        return fail(path, f"batched_vs_single_speedup {speedup} < 1 — "
+                          "the committed record must show batched admission "
+                          "beating one-at-a-time dispatch")
+
+    print(
+        f"{path}: OK ({config['detector']} on {dataset['spec']}, "
+        f"{len(sweep)} windows x {expected} requests, "
+        f"batched vs single {speedup:.2f}x, 0 mismatches)"
+    )
+    return 0
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    require_win = "--require-win" in args
+    files = [a for a in args if a != "--require-win"]
+    if not files:
         print(__doc__)
         return 2
-    return max(check_file(p) for p in argv[1:])
+    return max(check_file(p, require_win) for p in files)
 
 
 if __name__ == "__main__":

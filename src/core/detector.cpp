@@ -74,6 +74,17 @@ std::vector<Verdict> Detector::run(std::span<const datasets::Case> cases) {
   return out;
 }
 
+std::vector<Verdict> Detector::run_indexed(const datasets::Dataset& ds,
+                                           std::span<const std::size_t> idx) {
+  std::vector<Verdict> out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) {
+    MPIDETECT_EXPECTS(i < ds.size());
+    out.push_back(evaluate(ds, i));
+  }
+  return out;
+}
+
 // ---- ToolDetector -----------------------------------------------------------
 
 ToolDetector::ToolDetector(ToolFactory factory, DetectorKind kind)
@@ -289,6 +300,30 @@ std::vector<Verdict> GnnDetector::run(std::span<const datasets::Case> cases) {
   const GraphSet gs = extract_graphs(batch, cfg_.graph_opt);
   const auto probas = model_->predict_proba(
       std::span<const programl::ProgramGraph>(gs.graphs));
+  std::vector<Verdict> out;
+  out.reserve(probas.size());
+  for (const auto& proba : probas) out.push_back(gnn_verdict(proba));
+  return out;
+}
+
+std::vector<Verdict> GnnDetector::run_indexed(
+    const datasets::Dataset& ds, std::span<const std::size_t> idx) {
+  if (!model_) {
+    throw ContractViolation("GnnDetector: fit() before evaluate()/run()");
+  }
+  // The whole dataset is encoded once through the shared cache (warm
+  // after the first batch touching it; with a spill dir, warm across
+  // daemon restarts); per batch we only gather the selected graphs and
+  // push them through mini-batched inference.
+  const GraphSet& gs = graphs(ds, 0);
+  std::vector<programl::ProgramGraph> selected;
+  selected.reserve(idx.size());
+  for (const std::size_t i : idx) {
+    MPIDETECT_EXPECTS(i < gs.size());
+    selected.push_back(gs.graphs[i]);
+  }
+  const auto probas = model_->predict_proba(
+      std::span<const programl::ProgramGraph>(selected));
   std::vector<Verdict> out;
   out.reserve(probas.size());
   for (const auto& proba : probas) out.push_back(gnn_verdict(proba));

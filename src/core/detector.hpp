@@ -162,6 +162,17 @@ class Detector {
   /// batched path (the GNN packs the whole span into graph mini-batches)
   /// override it.
   virtual std::vector<Verdict> run(std::span<const datasets::Case> cases);
+
+  /// Batched verdicts for selected cases of a PREPARED dataset — the
+  /// serving hot path (serve::Server). Unlike run(), which re-encodes
+  /// its ad-hoc batch from scratch, this resolves encodings through the
+  /// shared EncodingCache (warm across requests and, with a spill dir,
+  /// across processes) and only ever gathers per-case views. The GNN
+  /// overrides it to push the selection through GraphBatch mini-batch
+  /// inference; verdicts are identical to per-case evaluate() calls,
+  /// which the base implementation performs.
+  virtual std::vector<Verdict> run_indexed(const datasets::Dataset& ds,
+                                           std::span<const std::size_t> idx);
 };
 
 /// Shared construction-time configuration for the registry factories.
@@ -269,6 +280,12 @@ class GnnDetector final : public Detector {
   /// per-case loop. Verdicts are identical to the base
   /// implementation's.
   std::vector<Verdict> run(std::span<const datasets::Case> cases) override;
+
+  /// Serving path: graphs come from the shared cache (computed once per
+  /// dataset, spillable to disk), the selection is packed into
+  /// GraphBatch mini-batches. No compile/embed work per request.
+  std::vector<Verdict> run_indexed(const datasets::Dataset& ds,
+                                   std::span<const std::size_t> idx) override;
 
   const DetectorConfig& config() const { return cfg_; }
 

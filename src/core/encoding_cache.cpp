@@ -186,7 +186,7 @@ const FeatureSet& EncodingCache::features(const datasets::Dataset& ds,
       if (auto loaded =
               try_load_spill<FeatureSet, io::load_feature_set>(path, skey)) {
         fs = std::make_unique<FeatureSet>(std::move(*loaded));
-        ++disk_hits_;
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (!fs) {
@@ -195,8 +195,10 @@ const FeatureSet& EncodingCache::features(const datasets::Dataset& ds,
       if (!spill_dir_.empty()) {
         const auto path =
             std::filesystem::path(spill_dir_) / io::feature_file_name(skey);
-        disk_writes_ +=
-            try_save_spill<FeatureSet, io::save_feature_set>(path, skey, *fs);
+        if (try_save_spill<FeatureSet, io::save_feature_set>(path, skey,
+                                                             *fs)) {
+          disk_writes_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
     it = features_.emplace(key, std::move(fs)).first;
@@ -219,7 +221,7 @@ const GraphSet& EncodingCache::graphs(const datasets::Dataset& ds,
       if (auto loaded =
               try_load_spill<GraphSet, io::load_graph_set>(path, skey)) {
         gs = std::make_unique<GraphSet>(std::move(*loaded));
-        ++disk_hits_;
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (!gs) {
@@ -227,8 +229,9 @@ const GraphSet& EncodingCache::graphs(const datasets::Dataset& ds,
       if (!spill_dir_.empty()) {
         const auto path =
             std::filesystem::path(spill_dir_) / io::graph_file_name(skey);
-        disk_writes_ +=
-            try_save_spill<GraphSet, io::save_graph_set>(path, skey, *gs);
+        if (try_save_spill<GraphSet, io::save_graph_set>(path, skey, *gs)) {
+          disk_writes_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
     it = graphs_.emplace(key, std::move(gs)).first;
@@ -301,13 +304,11 @@ void EncodingCache::set_spill_dir(std::string dir) {
 }
 
 std::size_t EncodingCache::disk_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return disk_hits_;
+  return disk_hits_.load(std::memory_order_relaxed);
 }
 
 std::size_t EncodingCache::disk_writes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return disk_writes_;
+  return disk_writes_.load(std::memory_order_relaxed);
 }
 
 namespace {

@@ -4,6 +4,7 @@
 // instead of once per detector or once per protocol.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -65,7 +66,11 @@ class EncodingCache {
   const std::string& spill_dir() const { return spill_dir_; }
 
   /// Spill traffic counters: encodings served from / written to disk
-  /// since construction (introspection for tests and the mpiguard CLI).
+  /// since construction (introspection for tests, the mpiguard CLI and
+  /// the daemon's STATS frames). Plain atomics, readable without the
+  /// cache lock: a stats probe must never block behind a multi-second
+  /// compute-on-miss holding the mutex (mpiguardd serves STATS from
+  /// connection threads while the batch worker encodes).
   std::size_t disk_hits() const;
   std::size_t disk_writes() const;
 
@@ -84,12 +89,20 @@ class EncodingCache {
                          ir2vec::Normalization norm, std::uint64_t vocab_seed);
   static Key graph_key(const datasets::Dataset& ds, passes::OptLevel opt);
 
+  /// Concurrency model (audited for the daemon, which shares one cache
+  /// across request threads): the maps, entry construction and
+  /// spill_dir_ are guarded by mu_; compute-on-miss runs WITH the lock
+  /// held, which makes every miss single-flight (two threads asking for
+  /// the same encoding never duplicate the work). Returned references
+  /// are stable because entries are unique_ptr-owned and never evicted
+  /// — only an explicit erase() invalidates them, and the serving path
+  /// never calls it. Counters are relaxed atomics, outside the lock.
   mutable std::mutex mu_;
   std::map<Key, std::unique_ptr<FeatureSet>> features_;
   std::map<Key, std::unique_ptr<GraphSet>> graphs_;
   std::string spill_dir_;
-  std::size_t disk_hits_ = 0;
-  std::size_t disk_writes_ = 0;
+  std::atomic<std::size_t> disk_hits_{0};
+  std::atomic<std::size_t> disk_writes_{0};
 };
 
 /// Builds a label/flag-only skeleton dataset around a pre-encoded set

@@ -1,0 +1,85 @@
+#include "datasets/spec.hpp"
+
+#include <optional>
+
+#include "datasets/corrbench.hpp"
+#include "datasets/mbi.hpp"
+
+namespace mpidetect::datasets {
+
+namespace {
+
+/// Strict numeric parsing: trailing junk and negative values are spec
+/// errors with the offending token named, never a stray
+/// std::invalid_argument escaping to the caller.
+double parse_scale(const std::string& s, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw SpecError("dataset spec '" + spec + "': scale is not a number: '" +
+                    s + "'");
+  }
+}
+
+std::uint64_t parse_seed(const std::string& s, const std::string& spec) {
+  try {
+    std::size_t pos = 0;
+    if (s.empty() || s.front() == '-') throw std::invalid_argument(s);
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw SpecError("dataset spec '" + spec +
+                    "': seed is not a non-negative integer: '" + s + "'");
+  }
+}
+
+}  // namespace
+
+Dataset make_dataset(const std::string& spec, double max_scale) {
+  std::string name = spec;
+  double scale = 1.0;
+  std::optional<std::uint64_t> seed;
+
+  if (const auto at = name.find('@'); at != std::string::npos) {
+    seed = parse_seed(name.substr(at + 1), spec);
+    name.resize(at);
+  }
+  if (const auto colon = name.find(':'); colon != std::string::npos) {
+    scale = parse_scale(name.substr(colon + 1), spec);
+    name.resize(colon);
+  }
+  if (scale <= 0.0) {
+    throw SpecError("dataset spec '" + spec + "': scale must be > 0");
+  }
+  if (max_scale > 0.0 && scale > max_scale) {
+    throw SpecError("dataset spec '" + spec + "': scale exceeds this "
+                    "server's limit of " + std::to_string(max_scale));
+  }
+
+  const auto mbi = [&](double s) {
+    MbiConfig cfg;
+    cfg.scale = s;
+    if (seed) cfg.seed = *seed;
+    return generate_mbi(cfg);
+  };
+  const auto corr = [&](double s, bool strip) {
+    CorrConfig cfg;
+    cfg.scale = s;
+    cfg.strip_header = strip;
+    if (seed) cfg.seed = *seed;
+    return generate_corrbench(cfg);
+  };
+
+  if (name == "mbi") return mbi(scale);
+  if (name == "corr" || name == "corrbench") return corr(scale, true);
+  if (name == "corr+header") return corr(scale, false);
+  if (name == "mix") return mix(mbi(scale), corr(scale, true));
+  throw SpecError("dataset spec '" + spec + "': unknown dataset '" + name +
+                  "' (expected mbi, corr, corr+header or mix)");
+}
+
+}  // namespace mpidetect::datasets

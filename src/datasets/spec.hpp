@@ -1,0 +1,35 @@
+// Textual dataset specs — "name[:scale][@seed]" — resolved to generated
+// corpora. One grammar shared by every front end that accepts datasets
+// from untrusted text: the mpiguard CLI, the mpiguardd daemon's SUBMIT
+// frames (serve/wire.hpp) and the serve bench drivers. Corpora are pure
+// functions of the spec, so a spec is also a compact wire encoding of a
+// whole dataset (the same idea as the MPFZ repro tuples).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "datasets/dataset.hpp"
+
+namespace mpidetect::datasets {
+
+/// Thrown by make_dataset on a malformed or unknown spec. Deliberately
+/// distinct from io::FormatError (corrupt bytes) and ContractViolation
+/// (caller bugs): a bad spec is bad *user input*, and every front end
+/// maps it to its own "bad request" channel (CLI usage error, ERROR
+/// frame) instead of crashing.
+class SpecError final : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses "name[:scale][@seed]" and generates the corpus. Names: "mbi",
+/// "corr" / "corrbench" (header stripped), "corr+header" (the Figure 2
+/// size bias), "mix". Examples: "mbi", "corr:0.5", "mix:0.2@42".
+/// Throws SpecError on unknown names, malformed numbers or scale <= 0.
+/// A positive `max_scale` caps the requested scale BEFORE anything is
+/// generated — the daemon's guard against a remote spec inflating
+/// memory (0 = unlimited, the CLI default).
+Dataset make_dataset(const std::string& spec, double max_scale = 0.0);
+
+}  // namespace mpidetect::datasets

@@ -1,0 +1,154 @@
+#include "serve/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mpidetect::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool Transport::read_exact(void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = read_some(p + got, n - got);
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw TransportError("connection closed mid-frame (" +
+                           std::to_string(got) + " of " + std::to_string(n) +
+                           " bytes)");
+    }
+    got += r;
+  }
+  return true;
+}
+
+// ---- FdTransport ------------------------------------------------------------
+
+FdTransport::FdTransport(int fd) : fd_(fd) {}
+
+FdTransport::~FdTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t FdTransport::read_some(void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    // A reset/aborted peer reads as EOF, not an error: the caller's
+    // frame loop treats both as "this client is gone".
+    if (errno == ECONNRESET) return 0;
+    throw_errno("recv");
+  }
+}
+
+void FdTransport::write_all(const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+void FdTransport::shutdown() { ::shutdown(fd_, SHUT_RDWR); }
+
+// ---- local pair -------------------------------------------------------------
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+local_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair");
+  }
+  return {std::make_unique<FdTransport>(fds[0]),
+          std::make_unique<FdTransport>(fds[1])};
+}
+
+// ---- Listener ---------------------------------------------------------------
+
+Listener::Listener(const std::string& path) : path_(path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    throw TransportError("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  ::unlink(path.c_str());  // replace a stale socket file from a dead daemon
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("bind '" + path + "': " + std::strerror(err));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("listen '" + path + "': " + std::strerror(err));
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+std::unique_ptr<Transport> Listener::accept(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return nullptr;  // signal → let the loop re-check
+    throw_errno("poll");
+  }
+  if (ready == 0) return nullptr;  // timeout → caller polls its stop flag
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return nullptr;
+    throw_errno("accept");
+  }
+  return std::make_unique<FdTransport>(fd);
+}
+
+std::unique_ptr<Transport> connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    throw TransportError("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw TransportError("connect '" + path + "': " + std::strerror(err));
+  }
+  return std::make_unique<FdTransport>(fd);
+}
+
+}  // namespace mpidetect::serve

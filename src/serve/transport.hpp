@@ -1,0 +1,99 @@
+// Byte transports for the detection-as-a-service daemon: a blocking
+// duplex channel abstraction plus the two concrete carriers the repo
+// uses — an in-process socketpair (tests, bench/serve_throughput) and
+// AF_UNIX listening sockets (mpiguardd / mpiguard-client). The wire
+// protocol (serve/wire.hpp) is transport-agnostic; everything here is
+// plain POSIX with no per-message allocation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mpidetect::serve {
+
+/// Thrown on carrier-level failures: the peer vanished mid-write, a
+/// socket could not be created/bound/connected. Distinct from
+/// io::FormatError, which is reserved for byte-level protocol damage.
+class TransportError final : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A blocking duplex byte channel. Implementations must allow one
+/// reader thread and one writer thread to operate concurrently
+/// (the daemon reads requests while the batch worker writes verdicts).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Reads up to `n` bytes; returns the number read, 0 on clean EOF.
+  /// Throws TransportError on carrier failure.
+  virtual std::size_t read_some(void* buf, std::size_t n) = 0;
+
+  /// Writes all `n` bytes or throws TransportError (a dead peer must
+  /// surface as an exception, never a silent partial frame).
+  virtual void write_all(const void* buf, std::size_t n) = 0;
+
+  /// Unblocks any reader/writer currently parked on this channel (both
+  /// directions are shut down). Idempotent; used for forced teardown of
+  /// lingering connections after a drain.
+  virtual void shutdown() = 0;
+
+  /// Reads exactly `n` bytes. Returns false when EOF arrives before the
+  /// FIRST byte (a clean close between frames); throws TransportError
+  /// when the stream ends mid-buffer (the peer died mid-frame).
+  bool read_exact(void* buf, std::size_t n);
+};
+
+/// Transport over a connected socket fd (owns and closes it). Writes
+/// use MSG_NOSIGNAL: a peer closing mid-reply must become a
+/// TransportError in the worker, never a process-killing SIGPIPE.
+class FdTransport final : public Transport {
+ public:
+  explicit FdTransport(int fd);
+  ~FdTransport() override;
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  std::size_t read_some(void* buf, std::size_t n) override;
+  void write_all(const void* buf, std::size_t n) override;
+  void shutdown() override;
+
+ private:
+  int fd_ = -1;
+};
+
+/// An in-process connected pair (AF_UNIX socketpair): element 0 and 1
+/// are the two ends. The test/bench harness runs Server::serve_connection
+/// on one end and a client on the other — same bytes, same code paths
+/// as the daemon, no network flakiness in CI.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+local_pair();
+
+/// AF_UNIX listening socket bound to `path` (an existing socket file is
+/// replaced). accept() blocks up to `timeout_ms` and returns nullptr on
+/// timeout so the daemon's accept loop can poll its stop flag.
+class Listener {
+ public:
+  explicit Listener(const std::string& path);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  std::unique_ptr<Transport> accept(int timeout_ms);
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a daemon's AF_UNIX socket; throws TransportError when
+/// nothing listens there.
+std::unique_ptr<Transport> connect_unix(const std::string& path);
+
+}  // namespace mpidetect::serve

@@ -1,0 +1,569 @@
+// Serving subsystem tests: every wire frame must round-trip
+// bit-exactly, every flavour of byte damage (truncation, corruption,
+// future versions, trailing bytes, implausible length prefixes) must be
+// rejected with io::FormatError — never a crash — and the Server must
+// hold its acceptance contract end to end over real socketpairs:
+// concurrent clients served from warm bundles, coalesced batches,
+// BUSY backpressure, ERROR replies for bad requests, and a SHUTDOWN
+// that drains everything admitted before the BYE.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
+#include "datasets/spec.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+#include "serve/wire.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Named scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+
+  explicit TempDir(const std::string& name) {
+    path = fs::temp_directory_path() / ("mpidetect_serve_" + name);
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string file(const char* name) const { return (path / name).string(); }
+};
+
+constexpr const char* kSpec = "mbi:0.02@7";
+
+core::DetectorConfig tiny_config() {
+  core::DetectorConfig cfg;
+  cfg.ir2vec.use_ga = false;
+  cfg.gnn.cfg.embed_dim = 8;
+  cfg.gnn.cfg.layers = {16, 8};
+  cfg.gnn.cfg.fc_hidden = 8;
+  cfg.gnn.cfg.epochs = 2;
+  return cfg;
+}
+
+/// Trained bundles shared by every server test (training once keeps the
+/// suite fast; each test still builds its own Server from the files).
+struct Bundles {
+  TempDir dir{"bundles"};
+  std::string gnn = dir.file("gnn.mpib");
+  std::string ir2vec = dir.file("ir2vec.mpib");
+
+  Bundles() {
+    const auto ds = datasets::make_dataset(kSpec);
+    auto& registry = core::DetectorRegistry::global();
+    core::EvalEngine engine(2);
+    for (const char* key : {"gnn", "ir2vec"}) {
+      auto det = registry.create(key, tiny_config());
+      engine.fit_full(*det, ds);
+      registry.save_bundle(key, *det, dir.file(key) + ".mpib");
+    }
+  }
+};
+
+const Bundles& bundles() {
+  static Bundles b;
+  return b;
+}
+
+serve::ServerOptions server_options() {
+  serve::ServerOptions opts;
+  opts.model_paths = {bundles().gnn, bundles().ir2vec};
+  opts.queue_capacity = 8;
+  opts.max_batch = 4;
+  opts.threads = 2;
+  return opts;
+}
+
+/// One in-process connection: a socketpair with serve_connection running
+/// on its far end, exactly as the daemon would.
+struct Conn {
+  std::unique_ptr<serve::Transport> client;
+  std::unique_ptr<serve::Transport> server_end;
+  std::thread th;
+
+  explicit Conn(serve::Server& s, const std::string& peer = "test-client") {
+    auto [a, b] = serve::local_pair();
+    client = std::move(a);
+    server_end = std::move(b);
+    th = std::thread([&s, this, peer] { s.serve_connection(*server_end, peer); });
+  }
+  ~Conn() { close(); }
+
+  /// Closes the client end and waits for serve_connection to return.
+  void close() {
+    if (client) client->shutdown();
+    if (th.joinable()) th.join();
+  }
+
+  serve::Frame read() {
+    auto f = serve::read_frame(*client, "server");
+    if (!f) throw std::runtime_error("unexpected EOF from server");
+    return *f;
+  }
+};
+
+// ---- wire format ------------------------------------------------------------
+
+std::vector<serve::Frame> every_frame() {
+  serve::WireVerdict v;
+  v.request_id = 9;
+  v.outcome = 1;
+  v.predicted_label = 3;
+  v.confidence = 0.875;
+  v.batch_size = 4;
+  serve::WireVerdict bare;
+  bare.request_id = 10;
+  serve::Caps caps;
+  caps.server = "testd";
+  caps.queue_capacity = 64;
+  caps.max_batch = 8;
+  caps.detectors = {"gnn", "ir2vec"};
+  serve::Stats stats;
+  stats.received = 1;
+  stats.served = 2;
+  stats.busy_rejected = 3;
+  stats.request_errors = 4;
+  stats.protocol_errors = 5;
+  stats.batches = 6;
+  stats.max_coalesced = 7;
+  stats.max_queue_depth = 8;
+  stats.datasets_materialized = 9;
+  stats.cache_disk_hits = 10;
+  stats.cache_disk_writes = 11;
+  return {serve::Hello{"cli"},
+          caps,
+          serve::Submit{42, "gnn", "mbi:0.05@7", 17},
+          v,
+          bare,
+          serve::Busy{7},
+          serve::Error{0, "lost framing"},
+          serve::StatsReq{},
+          stats,
+          serve::Shutdown{},
+          serve::Bye{}};
+}
+
+/// Strips the u32 length prefix off a full encoded frame.
+std::string payload_of(const serve::Frame& f) {
+  const std::string bytes = serve::encode_frame(f);
+  EXPECT_GE(bytes.size(), 4u + 9u);
+  return bytes.substr(4);
+}
+
+TEST(WireTest, EveryFrameRoundTrips) {
+  for (const auto& f : every_frame()) {
+    const serve::Frame back = serve::decode_payload(payload_of(f), "test");
+    ASSERT_EQ(serve::frame_type(back), serve::frame_type(f));
+    // Spot-check the payload-bearing frames field by field.
+    if (const auto* s = std::get_if<serve::Submit>(&f)) {
+      const auto& b = std::get<serve::Submit>(back);
+      EXPECT_EQ(b.request_id, s->request_id);
+      EXPECT_EQ(b.detector, s->detector);
+      EXPECT_EQ(b.dataset, s->dataset);
+      EXPECT_EQ(b.index, s->index);
+    } else if (const auto* v = std::get_if<serve::WireVerdict>(&f)) {
+      const auto& b = std::get<serve::WireVerdict>(back);
+      EXPECT_EQ(b.request_id, v->request_id);
+      EXPECT_EQ(b.outcome, v->outcome);
+      EXPECT_EQ(b.predicted_label, v->predicted_label);
+      EXPECT_EQ(b.confidence, v->confidence);
+      EXPECT_EQ(b.batch_size, v->batch_size);
+    } else if (const auto* c = std::get_if<serve::Caps>(&f)) {
+      const auto& b = std::get<serve::Caps>(back);
+      EXPECT_EQ(b.server, c->server);
+      EXPECT_EQ(b.queue_capacity, c->queue_capacity);
+      EXPECT_EQ(b.max_batch, c->max_batch);
+      EXPECT_EQ(b.detectors, c->detectors);
+    } else if (const auto* s = std::get_if<serve::Stats>(&f)) {
+      const auto& b = std::get<serve::Stats>(back);
+      EXPECT_EQ(b.received, s->received);
+      EXPECT_EQ(b.max_coalesced, s->max_coalesced);
+      EXPECT_EQ(b.cache_disk_writes, s->cache_disk_writes);
+    } else if (const auto* e = std::get_if<serve::Error>(&f)) {
+      EXPECT_EQ(std::get<serve::Error>(back).message, e->message);
+    }
+  }
+}
+
+TEST(WireTest, TruncationAtEveryLengthRejected) {
+  for (const auto& f : every_frame()) {
+    const std::string payload = payload_of(f);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_THROW(serve::decode_payload(payload.substr(0, len), "test"),
+                   io::FormatError)
+          << serve::frame_type_name(serve::frame_type(f)) << " truncated to "
+          << len << " bytes";
+    }
+  }
+}
+
+TEST(WireTest, CorruptionOfEveryByteNeverCrashes) {
+  for (const auto& f : every_frame()) {
+    const std::string payload = payload_of(f);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      std::string bad = payload;
+      bad[i] = static_cast<char>(bad[i] ^ 0xff);
+      // Damage to a value byte may still parse (a different string is a
+      // valid string); damage must never escape as anything but
+      // FormatError, and never crash.
+      try {
+        (void)serve::decode_payload(bad, "test");
+      } catch (const io::FormatError&) {
+      }
+      // The self-describing header (magic, version, frame type) must
+      // always catch its own corruption.
+      if (i < 9) {
+        EXPECT_THROW(serve::decode_payload(bad, "test"), io::FormatError)
+            << serve::frame_type_name(serve::frame_type(f)) << " header byte "
+            << i;
+      }
+    }
+  }
+}
+
+TEST(WireTest, FutureVersionRejected) {
+  std::string payload = payload_of(serve::Submit{1, "gnn", "mbi", 0});
+  // The u32 version sits right after the 4-byte magic.
+  payload[4] = static_cast<char>(serve::kWireVersion + 1);
+  try {
+    serve::decode_payload(payload, "test");
+    FAIL() << "expected FormatError";
+  } catch (const io::FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(WireTest, TrailingBytesRejected) {
+  for (const auto& f : every_frame()) {
+    const std::string payload = payload_of(f) + std::string(1, '\0');
+    EXPECT_THROW(serve::decode_payload(payload, "test"), io::FormatError)
+        << serve::frame_type_name(serve::frame_type(f));
+  }
+}
+
+TEST(WireTest, ImplausibleLengthPrefixRejectedBeforeAllocation) {
+  for (const std::uint32_t bad_len :
+       {std::uint32_t{0}, std::uint32_t{8},
+        static_cast<std::uint32_t>(serve::kMaxFrameBytes + 1),
+        std::uint32_t{0xffffffff}}) {
+    auto [a, b] = serve::local_pair();
+    unsigned char prefix[4];
+    for (int i = 0; i < 4; ++i) {
+      prefix[i] = static_cast<unsigned char>((bad_len >> (8 * i)) & 0xff);
+    }
+    a->write_all(prefix, 4);
+    EXPECT_THROW((void)serve::read_frame(*b, "test"), io::FormatError)
+        << "length " << bad_len;
+  }
+}
+
+TEST(WireTest, CleanEofIsNullopt) {
+  auto [a, b] = serve::local_pair();
+  a->shutdown();
+  EXPECT_EQ(serve::read_frame(*b, "test"), std::nullopt);
+}
+
+TEST(WireTest, MidFrameEofIsTransportError) {
+  auto [a, b] = serve::local_pair();
+  const std::string bytes = serve::encode_frame(serve::Hello{"half"});
+  a->write_all(bytes.data(), bytes.size() - 3);
+  a->shutdown();
+  EXPECT_THROW((void)serve::read_frame(*b, "test"),
+               std::runtime_error);  // FormatError or TransportError
+}
+
+// ---- server end to end ------------------------------------------------------
+
+TEST(ServerTest, HelloAnswersCapsWithLoadedDetectors) {
+  serve::Server server(server_options());
+  server.start();
+  Conn conn(server);
+  serve::write_frame(*conn.client, serve::Hello{"test"});
+  const auto caps = std::get<serve::Caps>(conn.read());
+  EXPECT_EQ(caps.server, "mpiguardd");
+  EXPECT_EQ(caps.queue_capacity, 8u);
+  EXPECT_EQ(caps.max_batch, 4u);
+  EXPECT_EQ(caps.detectors, (std::vector<std::string>{"gnn", "ir2vec"}));
+  conn.close();
+  server.stop();
+}
+
+TEST(ServerTest, BatchedAdmissionCoalescesAndMatchesReference) {
+  core::DetectorConfig cfg;
+  cfg.cache = std::make_shared<core::EncodingCache>();
+  auto ref = core::DetectorRegistry::global().load_bundle(bundles().gnn, cfg);
+  const auto ds = datasets::make_dataset(kSpec);
+  ref->prepare(ds, 2);
+  const std::vector<std::size_t> idx{0, 3, 5, 9};
+  const auto expected = ref->run_indexed(ds, idx);
+
+  // The worker is not started yet, so every submit is admitted into the
+  // queue first — coalescing is deterministic, not timing-dependent.
+  serve::Server server(server_options());
+  Conn conn(server);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    serve::write_frame(*conn.client,
+                       serve::Submit{i + 1, "gnn", kSpec, idx[i]});
+  }
+  // Admission is asynchronous from the test's point of view; the queue
+  // fills as the connection thread parses. Give it a moment, then start.
+  while (server.snapshot_stats().received < idx.size()) {
+    std::this_thread::yield();
+  }
+  server.start();
+
+  std::map<std::uint64_t, serve::WireVerdict> got;
+  while (got.size() < idx.size()) {
+    const auto v = std::get<serve::WireVerdict>(conn.read());
+    got.emplace(v.request_id, v);
+  }
+  conn.close();
+
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const auto& v = got.at(i + 1);
+    EXPECT_EQ(static_cast<core::Verdict::Outcome>(v.outcome),
+              expected[i].outcome)
+        << "case " << idx[i];
+    ASSERT_TRUE(v.confidence.has_value());
+    EXPECT_EQ(*v.confidence, *expected[i].confidence) << "case " << idx[i];
+    // All four fit one window: the whole burst must be one batch.
+    EXPECT_EQ(v.batch_size, 4u);
+  }
+  const auto stats = server.snapshot_stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_coalesced, 4u);
+  server.stop();
+}
+
+TEST(ServerTest, ConcurrentClientsAllServed) {
+  serve::Server server(server_options());
+  server.start();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::vector<std::unique_ptr<Conn>> conns;
+  for (int c = 0; c < kClients; ++c) {
+    conns.push_back(std::make_unique<Conn>(server));
+  }
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      serve::write_frame(*conns[c]->client,
+                         serve::Submit{static_cast<std::uint64_t>(i + 1),
+                                       c % 2 == 0 ? "gnn" : "ir2vec", kSpec,
+                                       static_cast<std::uint64_t>(c + i)});
+    }
+  }
+  for (int c = 0; c < kClients; ++c) {
+    std::map<std::uint64_t, serve::WireVerdict> got;
+    while (got.size() < kPerClient) {
+      const auto frame = conns[c]->read();
+      if (const auto* b = std::get_if<serve::Busy>(&frame)) {
+        // Backpressure is legal under a concurrent burst; resubmit.
+        const auto it = got.find(b->request_id);
+        ASSERT_EQ(it, got.end());
+        serve::write_frame(*conns[c]->client,
+                           serve::Submit{b->request_id,
+                                         c % 2 == 0 ? "gnn" : "ir2vec", kSpec,
+                                         b->request_id - 1 + c});
+        continue;
+      }
+      const auto v = std::get<serve::WireVerdict>(frame);
+      got.emplace(v.request_id, v);
+    }
+  }
+  for (auto& c : conns) c->close();
+  const auto stats = server.snapshot_stats();
+  EXPECT_EQ(stats.served,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.request_errors, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  server.stop();
+}
+
+TEST(ServerTest, FullQueueAnswersBusy) {
+  auto opts = server_options();
+  opts.queue_capacity = 2;
+  serve::Server server(opts);  // worker not started: the queue stays full
+  Conn conn(server);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    serve::write_frame(*conn.client, serve::Submit{i, "gnn", kSpec, i});
+  }
+  const auto busy = std::get<serve::Busy>(conn.read());
+  EXPECT_EQ(busy.request_id, 3u);
+  EXPECT_EQ(server.snapshot_stats().busy_rejected, 1u);
+
+  // Draining the queue frees the slots and the rejected request can be
+  // resubmitted successfully.
+  server.start();
+  serve::write_frame(*conn.client, serve::Submit{3, "gnn", kSpec, 3});
+  std::map<std::uint64_t, serve::WireVerdict> got;
+  while (got.size() < 3) {
+    const auto v = std::get<serve::WireVerdict>(conn.read());
+    got.emplace(v.request_id, v);
+  }
+  conn.close();
+  server.stop();
+}
+
+TEST(ServerTest, BadRequestsGetErrorsAndConnectionSurvives) {
+  serve::Server server(server_options());
+  server.start();
+  Conn conn(server);
+
+  serve::write_frame(*conn.client, serve::Submit{1, "nonesuch", kSpec, 0});
+  auto err = std::get<serve::Error>(conn.read());
+  EXPECT_EQ(err.request_id, 1u);
+  EXPECT_NE(err.message.find("unknown detector"), std::string::npos);
+
+  serve::write_frame(*conn.client, serve::Submit{2, "gnn", "bogus:1", 0});
+  err = std::get<serve::Error>(conn.read());
+  EXPECT_EQ(err.request_id, 2u);
+  EXPECT_NE(err.message.find("unknown dataset"), std::string::npos);
+
+  serve::write_frame(*conn.client, serve::Submit{3, "gnn", "mbi:banana", 0});
+  err = std::get<serve::Error>(conn.read());
+  EXPECT_NE(err.message.find("not a number"), std::string::npos);
+
+  serve::write_frame(*conn.client, serve::Submit{4, "gnn", "mbi:500", 0});
+  err = std::get<serve::Error>(conn.read());
+  EXPECT_NE(err.message.find("limit"), std::string::npos);
+
+  serve::write_frame(*conn.client, serve::Submit{5, "gnn", kSpec, 100000});
+  err = std::get<serve::Error>(conn.read());
+  EXPECT_NE(err.message.find("out of range"), std::string::npos);
+
+  // A server-bound frame type from a client is an error, but framing is
+  // intact so the connection keeps working...
+  serve::write_frame(*conn.client, serve::Bye{});
+  err = std::get<serve::Error>(conn.read());
+  EXPECT_EQ(err.request_id, 0u);
+  EXPECT_NE(err.message.find("BYE"), std::string::npos);
+
+  // ...and a well-formed request on the same connection still serves.
+  serve::write_frame(*conn.client, serve::Submit{6, "ir2vec", kSpec, 0});
+  const auto v = std::get<serve::WireVerdict>(conn.read());
+  EXPECT_EQ(v.request_id, 6u);
+  conn.close();
+
+  const auto stats = server.snapshot_stats();
+  EXPECT_EQ(stats.request_errors, 5u);
+  EXPECT_EQ(stats.protocol_errors, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  server.stop();
+}
+
+TEST(ServerTest, MalformedBytesGetErrorFrameAndDaemonSurvives) {
+  serve::Server server(server_options());
+  server.start();
+  {
+    Conn conn(server);
+    // A plausible length prefix followed by garbage: framing is lost.
+    const std::string junk = "XXXXXXXXXXXX";
+    unsigned char prefix[4] = {static_cast<unsigned char>(junk.size()), 0, 0,
+                               0};
+    conn.client->write_all(prefix, 4);
+    conn.client->write_all(junk.data(), junk.size());
+    const auto err = std::get<serve::Error>(conn.read());
+    EXPECT_EQ(err.request_id, 0u);
+    // The server dropped the connection after replying.
+    EXPECT_EQ(serve::read_frame(*conn.client, "server"), std::nullopt);
+    conn.close();
+  }
+  {
+    Conn conn(server);
+    // An implausible length prefix is rejected before allocation.
+    unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+    conn.client->write_all(prefix, 4);
+    const auto err = std::get<serve::Error>(conn.read());
+    EXPECT_EQ(err.request_id, 0u);
+    conn.close();
+  }
+  EXPECT_EQ(server.snapshot_stats().protocol_errors, 2u);
+
+  // The damage was contained to those connections: a fresh client is
+  // served normally.
+  Conn conn(server);
+  serve::write_frame(*conn.client, serve::Submit{1, "ir2vec", kSpec, 2});
+  const auto v = std::get<serve::WireVerdict>(conn.read());
+  EXPECT_EQ(v.request_id, 1u);
+  conn.close();
+  server.stop();
+}
+
+TEST(ServerTest, ShutdownDrainsAdmittedWorkThenByes) {
+  serve::Server server(server_options());
+  server.start();
+  Conn conn(server);
+  // Pipeline submits and the SHUTDOWN behind them on one connection:
+  // the daemon must answer every admitted request before the BYE.
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    serve::write_frame(*conn.client, serve::Submit{i, "gnn", kSpec, i});
+  }
+  serve::write_frame(*conn.client, serve::Shutdown{});
+
+  std::map<std::uint64_t, serve::WireVerdict> got;
+  bool bye = false;
+  while (!bye) {
+    const auto frame = conn.read();
+    if (std::holds_alternative<serve::Bye>(frame)) {
+      bye = true;
+    } else {
+      const auto v = std::get<serve::WireVerdict>(frame);
+      got.emplace(v.request_id, v);
+    }
+  }
+  EXPECT_EQ(got.size(), 3u);  // all verdicts arrived BEFORE the BYE
+  conn.close();
+  EXPECT_TRUE(server.stopped());
+  // stop() after a wire shutdown is a no-op, not a deadlock.
+  server.stop();
+}
+
+TEST(ServerTest, StatsOverTheWire) {
+  serve::Server server(server_options());
+  server.start();
+  Conn conn(server);
+  serve::write_frame(*conn.client, serve::Submit{1, "gnn", kSpec, 0});
+  (void)std::get<serve::WireVerdict>(conn.read());
+  serve::write_frame(*conn.client, serve::StatsReq{});
+  const auto stats = std::get<serve::Stats>(conn.read());
+  EXPECT_EQ(stats.received, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.datasets_materialized, 1u);
+  EXPECT_GE(stats.batches, 1u);
+  conn.close();
+  server.stop();
+}
+
+TEST(ServerTest, RejectsCorruptBundleAtStartup) {
+  TempDir dir("corrupt_bundle");
+  const std::string path = dir.file("bad.mpib");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a bundle at all";
+  }
+  serve::ServerOptions opts;
+  opts.model_paths = {path};
+  EXPECT_THROW(serve::Server{opts}, io::FormatError);
+}
+
+TEST(ServerTest, RejectsDuplicateBundleKeysAtStartup) {
+  serve::ServerOptions opts;
+  opts.model_paths = {bundles().gnn, bundles().gnn};
+  EXPECT_THROW(serve::Server{opts}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpidetect

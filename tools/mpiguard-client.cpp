@@ -1,0 +1,253 @@
+// mpiguard-client — wire-level client for mpiguardd: handshake, submit
+// detection requests (pipelined, so the daemon's admission window can
+// coalesce them into batches), fetch server counters, or drive a
+// graceful shutdown. Exit status is script-friendly: 0 every request
+// answered with a verdict, 1 usage error, 2 failure (transport loss,
+// protocol damage or an ERROR reply), 3 requests bounced BUSY and
+// --retry-busy was not given.
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "serve/transport.hpp"
+#include "serve/wire.hpp"
+
+using namespace mpidetect;
+
+namespace {
+
+constexpr const char* kUsage = R"(mpiguard-client — talk to an mpiguardd daemon
+
+usage:
+  mpiguard-client --socket PATH [requests] [--stats] [--shutdown]
+
+requests:
+  --dataset SPEC    dataset spec to submit against (e.g. "mbi:0.05@7")
+  --count N         submit case indices 0..N-1 of the dataset (default 1
+                    when --dataset is given)
+  --index I         submit exactly case index I (overrides --count)
+  --detector KEY    registry key of the bundle to use (default: the
+                    daemon's first loaded model)
+  --retry-busy      resubmit requests bounced with BUSY until served
+                    (simple backoff) instead of giving up
+
+other:
+  --stats           print the daemon's counters
+  --shutdown        ask the daemon to drain and stop (awaits BYE)
+  --quiet           verdict lines only (no CAPS banner)
+
+exit status: 0 all served, 1 usage, 2 failure, 3 unretried BUSY.
+)";
+
+struct CliError final : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    if (s.empty() || s.front() == '-') throw std::invalid_argument(s);
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw CliError(std::string(what) + ": not a non-negative integer: '" + s +
+                   "'");
+  }
+}
+
+struct Args {
+  std::string socket_path;
+  std::string dataset;
+  std::string detector;
+  std::uint64_t count = 1;
+  std::optional<std::uint64_t> index;
+  bool retry_busy = false;
+  bool stats = false;
+  bool do_shutdown = false;
+  bool quiet = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  const auto need_value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) throw CliError(std::string(flag) + " requires a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view f = argv[i];
+    if (f == "--socket") a.socket_path = need_value(i, "--socket");
+    else if (f == "--dataset") a.dataset = need_value(i, "--dataset");
+    else if (f == "--detector") a.detector = need_value(i, "--detector");
+    else if (f == "--count")
+      a.count = parse_u64(need_value(i, "--count"), "--count");
+    else if (f == "--index")
+      a.index = parse_u64(need_value(i, "--index"), "--index");
+    else if (f == "--retry-busy") a.retry_busy = true;
+    else if (f == "--stats") a.stats = true;
+    else if (f == "--shutdown") a.do_shutdown = true;
+    else if (f == "--quiet") a.quiet = true;
+    else if (f == "--help" || f == "-h") throw CliError("");
+    else throw CliError("unknown flag: " + std::string(f));
+  }
+  if (a.socket_path.empty()) throw CliError("--socket is required");
+  if (a.dataset.empty() && a.index) {
+    throw CliError("--index requires --dataset");
+  }
+  if (a.dataset.empty() && !a.stats && !a.do_shutdown) {
+    throw CliError("nothing to do: give --dataset, --stats or --shutdown");
+  }
+  return a;
+}
+
+/// Reads frames until `expected` arrives; anything else is protocol
+/// damage worth a hard failure.
+template <typename T>
+T expect_frame(serve::Transport& t, const char* what) {
+  const auto frame = serve::read_frame(t, "mpiguardd");
+  if (!frame) {
+    throw std::runtime_error(std::string("daemon closed the connection "
+                                         "while waiting for ") +
+                             what);
+  }
+  if (const T* f = std::get_if<T>(&*frame)) return *f;
+  if (const auto* err = std::get_if<serve::Error>(&*frame)) {
+    throw std::runtime_error("daemon error: " + err->message);
+  }
+  throw std::runtime_error(
+      std::string("expected ") + what + ", got " +
+      std::string(serve::frame_type_name(serve::frame_type(*frame))));
+}
+
+void print_verdict(const serve::Submit& req, const serve::WireVerdict& v) {
+  std::cout << req.dataset << "[" << req.index << "] -> "
+            << core::outcome_name(
+                   static_cast<core::Verdict::Outcome>(v.outcome));
+  if (v.predicted_label) std::cout << " label=" << *v.predicted_label;
+  if (v.confidence) std::cout << " confidence=" << *v.confidence;
+  std::cout << " (batch of " << v.batch_size << ")\n";
+}
+
+int run(const Args& a) {
+  const auto transport = serve::connect_unix(a.socket_path);
+  serve::Transport& t = *transport;
+
+  serve::write_frame(t, serve::Hello{"mpiguard-client"});
+  const auto caps = expect_frame<serve::Caps>(t, "CAPS");
+  if (!a.quiet) {
+    std::cout << "connected: " << caps.server << " (queue "
+              << caps.queue_capacity << ", batch " << caps.max_batch
+              << "), detectors:";
+    for (const auto& d : caps.detectors) std::cout << " " << d;
+    std::cout << "\n";
+  }
+
+  int status = 0;
+  if (!a.dataset.empty()) {
+    // Pipeline every SUBMIT before reading a single reply — queued
+    // requests are what the daemon's admission window coalesces.
+    std::map<std::uint64_t, serve::Submit> pending;
+    std::uint64_t next_id = 1;
+    const auto submit = [&](std::uint64_t index) {
+      serve::Submit req;
+      req.request_id = next_id++;
+      req.detector = a.detector;
+      req.dataset = a.dataset;
+      req.index = index;
+      serve::write_frame(t, req);
+      pending.emplace(req.request_id, req);
+    };
+    if (a.index) {
+      submit(*a.index);
+    } else {
+      for (std::uint64_t i = 0; i < a.count; ++i) submit(i);
+    }
+
+    int backoff_ms = 10;
+    while (!pending.empty()) {
+      const auto frame = serve::read_frame(t, "mpiguardd");
+      if (!frame) {
+        throw std::runtime_error("daemon closed the connection with " +
+                                 std::to_string(pending.size()) +
+                                 " request(s) unanswered");
+      }
+      if (const auto* v = std::get_if<serve::WireVerdict>(&*frame)) {
+        const auto it = pending.find(v->request_id);
+        if (it == pending.end()) {
+          throw std::runtime_error("verdict for unknown request id " +
+                                   std::to_string(v->request_id));
+        }
+        print_verdict(it->second, *v);
+        pending.erase(it);
+      } else if (const auto* busy = std::get_if<serve::Busy>(&*frame)) {
+        const auto it = pending.find(busy->request_id);
+        if (it == pending.end()) {
+          throw std::runtime_error("busy for unknown request id " +
+                                   std::to_string(busy->request_id));
+        }
+        if (a.retry_busy) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min(backoff_ms * 2, 500);
+          serve::write_frame(t, it->second);
+        } else {
+          std::cerr << "mpiguard-client: request " << busy->request_id
+                    << " rejected BUSY (queue full; --retry-busy to wait)\n";
+          pending.erase(it);
+          status = 3;
+        }
+      } else if (const auto* err = std::get_if<serve::Error>(&*frame)) {
+        throw std::runtime_error("request " +
+                                 std::to_string(err->request_id) +
+                                 " failed: " + err->message);
+      } else {
+        throw std::runtime_error(
+            "unexpected " +
+            std::string(serve::frame_type_name(serve::frame_type(*frame))) +
+            " frame");
+      }
+    }
+  }
+
+  if (a.stats) {
+    serve::write_frame(t, serve::StatsReq{});
+    const auto s = expect_frame<serve::Stats>(t, "STATS");
+    std::cout << "received " << s.received << ", served " << s.served
+              << ", busy " << s.busy_rejected << ", request errors "
+              << s.request_errors << ", protocol errors "
+              << s.protocol_errors << "\n"
+              << "batches " << s.batches << ", max coalesced "
+              << s.max_coalesced << ", max queue depth " << s.max_queue_depth
+              << "\n"
+              << "datasets " << s.datasets_materialized << ", cache disk hits "
+              << s.cache_disk_hits << ", disk writes " << s.cache_disk_writes
+              << "\n";
+  }
+
+  if (a.do_shutdown) {
+    serve::write_frame(t, serve::Shutdown{});
+    expect_frame<serve::Bye>(t, "BYE");
+    if (!a.quiet) std::cout << "daemon drained and stopped\n";
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const CliError& e) {
+    if (e.what()[0] != '\0') {
+      std::cerr << "mpiguard-client: " << e.what() << "\n\n";
+    }
+    std::cerr << kUsage;
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "mpiguard-client: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -25,8 +25,7 @@
 #include "core/detector.hpp"
 #include "core/eval_engine.hpp"
 #include "core/perf_bench.hpp"
-#include "datasets/corrbench.hpp"
-#include "datasets/mbi.hpp"
+#include "datasets/spec.hpp"
 #include "io/serialize.hpp"
 #include "support/check.hpp"
 #include "support/str.hpp"
@@ -101,17 +100,6 @@ struct CliError final : std::runtime_error {
 
 /// Strict numeric parsing: malformed input is a usage error (exit 1
 /// with the flag named), never a stray std::invalid_argument (exit 2).
-double parse_double(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw CliError(std::string(what) + ": not a number: '" + s + "'");
-  }
-}
-
 std::uint64_t parse_u64(const std::string& s, const char* what) {
   try {
     std::size_t pos = 0;
@@ -233,43 +221,16 @@ Args parse_args(int argc, char** argv) {
 
 // ---- dataset specs ----------------------------------------------------------
 
-/// "name[:scale][@seed]" -> generated corpus. Examples: "mbi",
-/// "corr:0.5", "mix:0.2@42", "corr+header".
+/// "name[:scale][@seed]" -> generated corpus via the shared spec
+/// grammar (datasets/spec.hpp — the same parser the daemon applies to
+/// SUBMIT frames). A malformed spec is a usage error (exit 1), never a
+/// stray runtime failure.
 datasets::Dataset make_dataset(const std::string& spec) {
-  std::string name = spec;
-  double scale = 1.0;
-  std::optional<std::uint64_t> seed;
-
-  if (const auto at = name.find('@'); at != std::string::npos) {
-    seed = parse_u64(name.substr(at + 1), "dataset seed");
-    name.resize(at);
+  try {
+    return datasets::make_dataset(spec);
+  } catch (const datasets::SpecError& e) {
+    throw CliError(e.what());
   }
-  if (const auto colon = name.find(':'); colon != std::string::npos) {
-    scale = parse_double(name.substr(colon + 1), "dataset scale");
-    name.resize(colon);
-  }
-  if (scale <= 0.0) throw CliError("dataset scale must be > 0: " + spec);
-
-  const auto mbi = [&](double s) {
-    datasets::MbiConfig cfg;
-    cfg.scale = s;
-    if (seed) cfg.seed = *seed;
-    return datasets::generate_mbi(cfg);
-  };
-  const auto corr = [&](double s, bool strip) {
-    datasets::CorrConfig cfg;
-    cfg.scale = s;
-    cfg.strip_header = strip;
-    if (seed) cfg.seed = *seed;
-    return datasets::generate_corrbench(cfg);
-  };
-
-  if (name == "mbi") return mbi(scale);
-  if (name == "corr" || name == "corrbench") return corr(scale, true);
-  if (name == "corr+header") return corr(scale, false);
-  if (name == "mix") return datasets::mix(mbi(scale), corr(scale, true));
-  throw CliError("unknown dataset '" + name +
-                 "' (expected mbi, corr, corr+header or mix)");
 }
 
 // ---- shared wiring ----------------------------------------------------------
