@@ -55,6 +55,8 @@ def check_file(path, require_win=False):
         return check_gnn_perf(path, doc)
     if kind == "serve_throughput":
         return check_serve_throughput(path, doc, require_win)
+    if kind == "corpus_stream":
+        return check_corpus_stream(path, doc, require_win)
     return fail(path, f"unknown benchmark kind: {kind!r}")
 
 
@@ -225,6 +227,78 @@ def check_serve_throughput(path, doc, require_win):
         f"{path}: OK ({config['detector']} on {dataset['spec']}, "
         f"{len(sweep)} windows x {expected} requests, "
         f"batched vs single {speedup:.2f}x, 0 mismatches)"
+    )
+    return 0
+
+
+def check_corpus_stream(path, doc, require_win):
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        return fail(path, "config missing")
+    for key in ("runs", "shard_mb", "window"):
+        if not (is_number(config.get(key)) and config[key] >= 1):
+            return fail(path, f"config.{key} missing or < 1")
+    if not isinstance(config.get("detector"), str) or not config["detector"]:
+        return fail(path, "config.detector missing")
+    if not isinstance(config.get("quick"), bool):
+        return fail(path, "config.quick missing or not a bool")
+
+    ingest = doc.get("ingest")
+    if not isinstance(ingest, dict):
+        return fail(path, "ingest missing")
+    for key in ("cases", "shards", "bytes", "wall_seconds",
+                "cases_per_second"):
+        if not (is_number(ingest.get(key)) and ingest[key] > 0):
+            return fail(path, f"ingest.{key} missing or not positive")
+    if ingest["cases"] < config["runs"]:
+        return fail(path, f"ingest.cases {ingest['cases']} < config.runs "
+                          f"{config['runs']}")
+
+    verify = doc.get("verify")
+    if not isinstance(verify, dict):
+        return fail(path, "verify missing")
+    for key in ("cases", "wall_seconds", "cases_per_second",
+                "peak_rss_bytes", "rss_over_corpus"):
+        if not (is_number(verify.get(key)) and verify[key] > 0):
+            return fail(path, f"verify.{key} missing or not positive")
+    if verify["cases"] != ingest["cases"]:
+        return fail(path, f"verify.cases {verify['cases']} != ingest.cases "
+                          f"{ingest['cases']} — the decode pass lost cases")
+
+    eval_ = doc.get("eval")
+    if not isinstance(eval_, dict):
+        return fail(path, "eval missing")
+    for key in ("cases", "in_memory_seconds", "streamed_seconds", "overhead"):
+        if not (is_number(eval_.get(key)) and eval_[key] > 0):
+            return fail(path, f"eval.{key} missing or not positive")
+    # The invariant the record exists to prove: streaming must not
+    # change a single verdict. Correctness gate, not a speed gate.
+    if eval_.get("verdicts_identical") is not True:
+        return fail(path, "eval.verdicts_identical != true — streamed sweep "
+                          "diverged from the in-memory baseline")
+
+    # The committed record's scale claim: the reader's peak residency is
+    # bounded by a shard, so a corpus several times larger than the
+    # window must not be matched by RSS. Meaningless for --quick runs,
+    # where the process floor dwarfs the tiny corpus.
+    if require_win:
+        if config["quick"]:
+            return fail(path, "--require-win on a --quick record (the RSS "
+                              "ceiling only means something at full scale)")
+        if ingest["cases"] < 50_000:
+            return fail(path, f"ingest.cases {ingest['cases']} < 50000 — the "
+                              "committed record must prove the 50k-case scale")
+        if verify["rss_over_corpus"] >= 0.5:
+            return fail(path, f"rss_over_corpus {verify['rss_over_corpus']} "
+                              ">= 0.5 — peak RSS is not well below the "
+                              "corpus size")
+
+    print(
+        f"{path}: OK ({ingest['cases']:.0f} cases / {ingest['shards']:.0f} "
+        f"shards, ingest {ingest['cases_per_second']:.0f}/s, verify "
+        f"{verify['cases_per_second']:.0f}/s, RSS "
+        f"{verify['rss_over_corpus']:.2f}x corpus, eval overhead "
+        f"{eval_['overhead']:.2f}x, verdicts identical)"
     )
     return 0
 

@@ -2,11 +2,27 @@
 
 #include <algorithm>
 
+#include "corpus/corpus.hpp"
 #include "ml/kernels.hpp"
 #include "support/check.hpp"
 #include "support/threads.hpp"
 
 namespace mpidetect::core {
+
+namespace {
+
+/// Materializes the cases at `idx` (in order) as an ad-hoc dataset —
+/// the unit of work of every streamed fit/eval path.
+datasets::Dataset load_window(const corpus::CaseSource& src,
+                              std::span<const std::size_t> idx) {
+  datasets::Dataset ds;
+  ds.name = src.name() + ":window";
+  ds.cases.reserve(idx.size());
+  for (const std::size_t i : idx) ds.cases.push_back(src.load(i));
+  return ds;
+}
+
+}  // namespace
 
 std::string_view detector_kind_name(DetectorKind k) {
   switch (k) {
@@ -27,6 +43,37 @@ std::string_view outcome_name(Verdict::Outcome o) {
   }
   MPIDETECT_UNREACHABLE("bad Verdict::Outcome");
 }
+
+namespace {
+
+/// ml::GraphSource over a streaming case source: each fetch materializes
+/// just the requested training rows and extracts their graphs — the
+/// whole corpus never becomes resident.
+class StreamGraphSource final : public ml::GraphSource {
+ public:
+  StreamGraphSource(const corpus::CaseSource& src,
+                    std::span<const std::size_t> train_idx,
+                    passes::OptLevel opt)
+      : src_(src), idx_(train_idx), opt_(opt) {}
+
+  std::size_t size() const override { return idx_.size(); }
+
+  void fetch(std::span<const std::size_t> pos,
+             std::vector<programl::ProgramGraph>& out) override {
+    sel_.clear();
+    for (const std::size_t p : pos) sel_.push_back(idx_[p]);
+    GraphSet gs = extract_graphs(load_window(src_, sel_), opt_);
+    out = std::move(gs.graphs);
+  }
+
+ private:
+  const corpus::CaseSource& src_;
+  std::span<const std::size_t> idx_;
+  passes::OptLevel opt_;
+  std::vector<std::size_t> sel_;
+};
+
+}  // namespace
 
 Verdict Verdict::from_diagnostic(verify::Diagnostic d) {
   Verdict v;
@@ -57,6 +104,22 @@ void Detector::prepare(const datasets::Dataset&, unsigned) {}
 
 void Detector::fit(const datasets::Dataset&, std::span<const std::size_t>,
                    std::span<const std::size_t>, const FitSpec&) {}
+
+void Detector::fit_stream(const corpus::CaseSource& src,
+                          std::span<const std::size_t> train_idx,
+                          std::span<const std::size_t> y, const FitSpec& spec,
+                          std::size_t window) {
+  (void)window;
+  MPIDETECT_EXPECTS(train_idx.size() == y.size());
+  if (!trainable()) return;
+  // Fallback: materialize the whole training selection. Correct for any
+  // detector; the learned detectors override with windowed paths.
+  const datasets::Dataset ds = load_window(src, train_idx);
+  std::vector<std::size_t> all_idx(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) all_idx[i] = i;
+  fit(ds, all_idx, y, spec);
+  discard(ds);  // ds dies here; drop encodings and dataset bindings
+}
 
 void Detector::discard(const datasets::Dataset&) {}
 
@@ -164,6 +227,48 @@ void Ir2vecDetector::fit(const datasets::Dataset& ds,
   }
   model_ = train_ir2vec(X, {y.begin(), y.end()}, o);
   multiclass_ = spec.multiclass;
+}
+
+void Ir2vecDetector::fit_stream(const corpus::CaseSource& src,
+                                std::span<const std::size_t> train_idx,
+                                std::span<const std::size_t> y,
+                                const FitSpec& spec, std::size_t window) {
+  MPIDETECT_EXPECTS(train_idx.size() == y.size());
+  MPIDETECT_EXPECTS(window > 0);
+  if (spec.multiclass) {
+    throw ContractViolation(
+        "Ir2vecDetector: streamed multi-class training unsupported");
+  }
+  if (cfg_.normalization == ir2vec::Normalization::Index) {
+    throw ContractViolation(
+        "Ir2vecDetector: Index normalization standardizes across the whole "
+        "dataset and cannot stream; use Vector or None");
+  }
+  // Window at a time: materialize, embed, keep only the feature rows.
+  // Rows are per-case deterministic under None/Vector normalization, so
+  // the matrix equals the in-memory fit()'s row gather bit for bit.
+  std::vector<std::vector<double>> X;
+  X.reserve(train_idx.size());
+  for (std::size_t b = 0; b < train_idx.size(); b += window) {
+    const std::size_t end = std::min(train_idx.size(), b + window);
+    const datasets::Dataset win =
+        load_window(src, train_idx.subspan(b, end - b));
+    FeatureSet fs = extract_features(win, cfg_.feature_opt,
+                                     cfg_.normalization, cfg_.vocab_seed,
+                                     spec.threads);
+    for (auto& row : fs.X) X.push_back(std::move(row));
+  }
+
+  Ir2vecOptions o = cfg_.ir2vec;
+  if (spec.fold.has_value()) o.seed = cfg_.ir2vec.seed + *spec.fold;
+  if (spec.threads != 0) {
+    o.threads = spec.threads;
+    o.ga.threads = spec.threads;
+  }
+  model_ = train_ir2vec(X, {y.begin(), y.end()}, o);
+  multiclass_ = false;
+  bound_ds_ = nullptr;
+  bound_fs_ = nullptr;
 }
 
 Verdict Ir2vecDetector::evaluate(const datasets::Dataset& ds,
@@ -276,6 +381,26 @@ void GnnDetector::fit(const datasets::Dataset& ds,
   ml::kernels::ScopedKernelThreads kernel_scope(
       spec.threads != 0 ? spec.threads : ml::kernels::kernel_threads());
   model_->fit(graphs, {y.begin(), y.end()});
+}
+
+void GnnDetector::fit_stream(const corpus::CaseSource& src,
+                             std::span<const std::size_t> train_idx,
+                             std::span<const std::size_t> y,
+                             const FitSpec& spec, std::size_t window) {
+  MPIDETECT_EXPECTS(train_idx.size() == y.size());
+  (void)window;  // the step size here is the model's own batch_size
+  if (spec.multiclass) {
+    throw ContractViolation("GnnDetector: multi-class training unsupported");
+  }
+  ml::GnnConfig cfg = cfg_.gnn.cfg;
+  cfg.classes = 2;
+  cfg.seed = spec.fold.has_value() ? cfg_.gnn.seed * 97 + *spec.fold
+                                   : cfg_.gnn.seed;
+  model_ = std::make_unique<ml::GnnModel>(cfg);
+  ml::kernels::ScopedKernelThreads kernel_scope(
+      spec.threads != 0 ? spec.threads : ml::kernels::kernel_threads());
+  StreamGraphSource graphs(src, train_idx, cfg_.graph_opt);
+  model_->fit(graphs, y);
 }
 
 Verdict GnnDetector::evaluate(const datasets::Dataset& ds, std::size_t idx) {

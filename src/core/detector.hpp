@@ -26,6 +26,10 @@ class Writer;
 class Reader;
 }  // namespace mpidetect::io
 
+namespace mpidetect::corpus {
+class CaseSource;
+}  // namespace mpidetect::corpus
+
 namespace mpidetect::core {
 
 enum class DetectorKind : std::uint8_t {
@@ -87,6 +91,13 @@ struct EvalOptions {
   std::uint64_t seed = 1;   // fold assignment (keep equal to the
                             // detector's own seed for the paper protocol)
   bool multiclass = false;  // per-label protocol (Figure 6)
+  /// Assign folds by hashed case id (corpus::fold_of) instead of the
+  /// stratified shuffle. This is what the streamed k-fold uses — the
+  /// fold of a case depends only on its name, never on the rest of the
+  /// corpus, so assignment needs no materialized set. Setting it here
+  /// makes the in-memory protocol use the identical assignment, which
+  /// is how the streamed path is checked for bit-identity.
+  bool hash_folds = false;
 };
 
 /// \brief The unified detector interface: expert verification tools and
@@ -129,6 +140,28 @@ class Detector {
   virtual void fit(const datasets::Dataset& ds,
                    std::span<const std::size_t> train_idx,
                    std::span<const std::size_t> y, const FitSpec& spec);
+
+  /// \brief Out-of-core training: like fit(), but the training rows
+  /// come from a streaming case source (an on-disk .mpcs corpus or a
+  /// wrapped dataset) materialized `window` cases at a time.
+  ///
+  /// `train_idx` / `y` are parallel, as in fit(). For a source yielding
+  /// the same cases as a dataset, verdicts after fit_stream are
+  /// bit-identical to verdicts after fit() (tests/corpus_eval_test.cpp);
+  /// what changes is residency — the learned detectors' overrides never
+  /// hold more than one window of programs/graphs (plus the trained
+  /// model and, for IR2vec, the O(cases × dims) feature matrix).
+  ///
+  /// The base implementation materializes the full training selection
+  /// and delegates to fit() — correct for any detector, out-of-core for
+  /// none; trainable detectors should override.
+  /// \throws ContractViolation for configurations that are inherently
+  ///         not streamable (multiclass training; IR2vec Index
+  ///         normalization, which standardizes across the whole set).
+  virtual void fit_stream(const corpus::CaseSource& src,
+                          std::span<const std::size_t> train_idx,
+                          std::span<const std::size_t> y, const FitSpec& spec,
+                          std::size_t window = 256);
 
   /// Verdict for one case of a prepared dataset.
   virtual Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) = 0;
@@ -227,6 +260,14 @@ class Ir2vecDetector final : public Detector {
   void fit(const datasets::Dataset& ds,
            std::span<const std::size_t> train_idx,
            std::span<const std::size_t> y, const FitSpec& spec) override;
+  /// Windowed feature extraction straight from the source (the shared
+  /// cache is bypassed — window encodings are used once): peak AST
+  /// residency is one window, only the feature matrix of the selection
+  /// is accumulated. Rejects Index normalization and multiclass.
+  void fit_stream(const corpus::CaseSource& src,
+                  std::span<const std::size_t> train_idx,
+                  std::span<const std::size_t> y, const FitSpec& spec,
+                  std::size_t window) override;
   Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) override;
   void discard(const datasets::Dataset& ds) override;
   void save_state(io::Writer& w) const override;
@@ -268,6 +309,15 @@ class GnnDetector final : public Detector {
   void fit(const datasets::Dataset& ds,
            std::span<const std::size_t> train_idx,
            std::span<const std::size_t> y, const FitSpec& spec) override;
+  /// Out-of-core GNN training via ml::GraphSource: each optimisation
+  /// step's graphs are re-extracted from the source on demand (graphs
+  /// for a training epoch are visited in shuffled order, so there is
+  /// nothing to batch up — the trade is recompute for residency). Peak
+  /// graph memory is one mini-batch. Rejects multiclass, like fit().
+  void fit_stream(const corpus::CaseSource& src,
+                  std::span<const std::size_t> train_idx,
+                  std::span<const std::size_t> y, const FitSpec& spec,
+                  std::size_t window) override;
   Verdict evaluate(const datasets::Dataset& ds, std::size_t idx) override;
   void discard(const datasets::Dataset& ds) override;
   void save_state(io::Writer& w) const override;

@@ -5,6 +5,7 @@
 #include "ml/kernels.hpp"
 #include "ml/kfold.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace mpidetect::core {
 
@@ -148,11 +149,25 @@ EvalReport EvalEngine::kfold(Detector& det, const datasets::Dataset& ds,
   const LabelTable labels = label_table(ds);
   const std::vector<std::size_t> y =
       opts.multiclass ? labels.index_per_case : binary_labels(ds);
-  const auto folds = ml::stratified_kfold(
-      y, static_cast<std::size_t>(opts.folds), opts.seed);
+  std::vector<std::vector<std::size_t>> folds;
+  if (opts.hash_folds) {
+    // Hashed assignment (corpus::fold_of): each case's fold depends only
+    // on its name — the assignment the streamed k-fold uses, made
+    // available here so the two paths are comparable bit for bit.
+    folds.assign(static_cast<std::size_t>(opts.folds), {});
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      folds[corpus::fold_of(fnv1a64(ds.cases[i].name), folds.size(),
+                            opts.seed)]
+          .push_back(i);
+    }
+  } else {
+    folds = ml::stratified_kfold(y, static_cast<std::size_t>(opts.folds),
+                                 opts.seed);
+  }
 
   std::vector<Verdict> verdicts(ds.size());
   const auto run_fold = [&](std::size_t f, const FitSpec& spec) {
+    if (folds[f].empty()) return;  // possible under hashed assignment
     // A forced per-fold thread budget also caps the dense-math kernels
     // (ml/kernels.hpp) for the whole fold — training AND validation —
     // so folds running in parallel on the pool don't oversubscribe
@@ -188,6 +203,135 @@ EvalReport EvalEngine::kfold(Detector& det, const datasets::Dataset& ds,
   return r;
 }
 
+EvalReport EvalEngine::make_report_stream(Detector& det, std::string protocol,
+                                          const corpus::CaseSource& src,
+                                          std::vector<Verdict> verdicts) {
+  EvalReport r;
+  r.detector = std::string(det.name());
+  r.protocol = std::move(protocol);
+  r.train_dataset = src.name();
+  r.valid_dataset = src.name();
+  r.cases = src.size();
+
+  // Same tallies as make_report, fed from index metadata: labels and
+  // ground truth never require decoding a case. per_label is an
+  // ordered map, so first-occurrence order of labels is irrelevant.
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Verdict& v = verdicts[i];
+    const bool truth = src.incorrect(i);
+    ++r.outcome_counts[static_cast<std::size_t>(v.outcome)];
+    switch (v.outcome) {
+      case Verdict::Outcome::Correct: r.confusion.add(truth, false); break;
+      case Verdict::Outcome::Incorrect: r.confusion.add(truth, true); break;
+      case Verdict::Outcome::Timeout: ++r.confusion.to; break;
+      case Verdict::Outcome::RuntimeErr: ++r.confusion.re; break;
+      case Verdict::Outcome::CompileErr: ++r.confusion.ce; break;
+    }
+    auto& [correct, total] = r.per_label[src.label_name(i)];
+    ++total;
+    correct += (v.conclusive() && v.flagged() == truth);
+  }
+  r.verdicts = std::move(verdicts);
+  return r;
+}
+
+void EvalEngine::evaluate_stream(Detector& det, const corpus::CaseSource& src,
+                                 std::span<const std::size_t> idx,
+                                 std::size_t window,
+                                 std::vector<Verdict>& verdicts) {
+  MPIDETECT_EXPECTS(window > 0);
+  MPIDETECT_EXPECTS(verdicts.size() >= src.size());
+  for (std::size_t b = 0; b < idx.size(); b += window) {
+    const std::size_t end = std::min(idx.size(), b + window);
+    datasets::Dataset win;
+    win.name = src.name() + ":window";
+    win.cases.reserve(end - b);
+    for (std::size_t k = b; k < end; ++k) win.cases.push_back(src.load(idx[k]));
+    det.prepare(win, pool_.size());
+    if (det.parallel_eval_safe()) {
+      pool_.parallel_for(win.size(), [&](std::size_t j) {
+        verdicts[idx[b + j]] = det.evaluate(win, j);
+      });
+    } else {
+      for (std::size_t j = 0; j < win.size(); ++j) {
+        verdicts[idx[b + j]] = det.evaluate(win, j);
+      }
+    }
+    det.discard(win);  // window encodings must not accumulate
+  }
+}
+
+EvalReport EvalEngine::sweep_stream(Detector& det,
+                                    const corpus::CaseSource& src,
+                                    const StreamOptions& sopts) {
+  const auto t0 = Clock::now();
+  det.use_cache(cache_);
+  std::vector<std::size_t> all_idx(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) all_idx[i] = i;
+  std::vector<Verdict> verdicts(src.size());
+  evaluate_stream(det, src, all_idx, sopts.window, verdicts);
+  EvalReport r = make_report_stream(det, "sweep", src, std::move(verdicts));
+  r.wall_seconds = seconds_since(t0);
+  return r;
+}
+
+EvalReport EvalEngine::kfold_stream(Detector& det,
+                                    const corpus::CaseSource& src,
+                                    const EvalOptions& opts,
+                                    const StreamOptions& sopts) {
+  const auto t0 = Clock::now();
+  if (opts.multiclass) {
+    throw ContractViolation(
+        "EvalEngine: streamed k-fold is binary-only (the per-label protocol "
+        "needs the global label table up front)");
+  }
+  det.use_cache(cache_);
+  const std::size_t n = src.size();
+
+  if (!det.trainable()) {
+    EvalReport r = sweep_stream(det, src, sopts);
+    r.protocol = "kfold";
+    r.wall_seconds = seconds_since(t0);
+    return r;
+  }
+
+  // Hashed fold assignment from index metadata only.
+  const std::size_t k = static_cast<std::size_t>(opts.folds);
+  std::vector<std::size_t> fold_of_case(n);
+  std::vector<std::size_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fold_of_case[i] = corpus::fold_of(src.case_id(i), k, opts.seed);
+    y[i] = src.incorrect(i) ? 1 : 0;
+  }
+
+  std::vector<Verdict> verdicts(n);
+  for (std::size_t f = 0; f < k; ++f) {
+    std::vector<std::size_t> train_idx, val_idx, train_y;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fold_of_case[i] == f) {
+        val_idx.push_back(i);
+      } else {
+        train_idx.push_back(i);
+        train_y.push_back(y[i]);
+      }
+    }
+    if (val_idx.empty()) continue;
+    // Same per-fold budget as the in-memory protocol (whose folds run
+    // in parallel at one training thread each); here folds run serially
+    // — out-of-core corpora trade wall-clock for bounded residency.
+    const FitSpec spec{f, 1, false};
+    ml::kernels::ScopedKernelThreads kernel_scope(1);
+    auto fold_det = det.clone();
+    fold_det->use_cache(cache_);
+    fold_det->fit_stream(src, train_idx, train_y, spec, sopts.window);
+    evaluate_stream(*fold_det, src, val_idx, sopts.window, verdicts);
+  }
+
+  EvalReport r = make_report_stream(det, "kfold", src, std::move(verdicts));
+  r.wall_seconds = seconds_since(t0);
+  return r;
+}
+
 EvalReport EvalEngine::cross(Detector& det, const datasets::Dataset& train,
                              const datasets::Dataset& valid) {
   return cross(det, train, valid, det.eval_defaults());
@@ -204,6 +348,33 @@ EvalReport EvalEngine::cross(Detector& det, const datasets::Dataset& train,
   evaluate_all(det, valid, verdicts);
   EvalReport r = make_report(det, "cross", train, valid, std::move(verdicts),
                              /*multiclass=*/false);
+  r.wall_seconds = seconds_since(t0);
+  return r;
+}
+
+EvalReport EvalEngine::cross_stream(Detector& det,
+                                    const corpus::CaseSource& train,
+                                    const corpus::CaseSource& valid,
+                                    const StreamOptions& sopts) {
+  const auto t0 = Clock::now();
+  det.use_cache(cache_);
+  if (det.trainable()) {
+    std::vector<std::size_t> all_idx(train.size());
+    std::vector<std::size_t> y(train.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      all_idx[i] = i;
+      y[i] = train.incorrect(i) ? 1 : 0;
+    }
+    // Same FitSpec as fit_full (no fold, default thread budget), so the
+    // trained model matches the in-memory cross() bit for bit.
+    det.fit_stream(train, all_idx, y, FitSpec{}, sopts.window);
+  }
+  std::vector<std::size_t> val_idx(valid.size());
+  for (std::size_t i = 0; i < valid.size(); ++i) val_idx[i] = i;
+  std::vector<Verdict> verdicts(valid.size());
+  evaluate_stream(det, valid, val_idx, sopts.window, verdicts);
+  EvalReport r = make_report_stream(det, "cross", valid, std::move(verdicts));
+  r.train_dataset = train.name();
   r.wall_seconds = seconds_since(t0);
   return r;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "corpus/corpus.hpp"
 #include "ml/metrics.hpp"
 #include "support/threads.hpp"
 
@@ -52,6 +53,14 @@ struct AblationReport {
   }
 };
 
+/// Knobs of the streamed (out-of-core) protocol variants.
+struct StreamOptions {
+  /// Cases materialized at a time during evaluation and windowed
+  /// feature extraction. Peak resident cases per protocol stage is one
+  /// window (plus one mmapped shard inside CorpusReader).
+  std::size_t window = 256;
+};
+
 class EvalEngine {
  public:
   /// \brief Builds the engine with its shared worker pool and cache.
@@ -87,6 +96,31 @@ class EvalEngine {
                    const EvalOptions& opts);
   EvalReport kfold(Detector& det, const datasets::Dataset& ds);
 
+  /// \brief Streamed dataset sweep: like sweep(), but cases come from a
+  /// CaseSource (typically an on-disk .mpcs corpus) and are materialized
+  /// StreamOptions::window at a time — evaluate, tally, discard. For a
+  /// source yielding the same cases in the same order, verdicts and
+  /// confusion matrices are bit-identical to sweep()'s
+  /// (tests/corpus_eval_test.cpp); peak case residency is one window
+  /// regardless of corpus size.
+  EvalReport sweep_stream(Detector& det, const corpus::CaseSource& src,
+                          const StreamOptions& sopts = {});
+
+  /// \brief Streamed stratified-free k-fold over a CaseSource: folds are
+  /// assigned by hashed case id (corpus::fold_of — the assignment reads
+  /// only per-case metadata, so no fold ever materializes the corpus),
+  /// trainable detectors are cloned per fold and trained through
+  /// Detector::fit_stream, and validation runs window at a time.
+  ///
+  /// Bit-identical to the in-memory kfold() with opts.hash_folds set,
+  /// over the same cases in the same order. Binary protocol only
+  /// (multiclass needs the global label table up front); folds run
+  /// serially — out-of-core corpora trade wall-clock for residency.
+  /// \throws ContractViolation when opts.multiclass is set.
+  EvalReport kfold_stream(Detector& det, const corpus::CaseSource& src,
+                          const EvalOptions& opts,
+                          const StreamOptions& sopts = {});
+
   /// \brief Suite transfer (the Cross protocol of §V-C): train on all
   /// of `train`, validate on all of `valid`.
   /// \post `det` is left fitted — follow with save_bundle to persist
@@ -95,6 +129,15 @@ class EvalEngine {
                    const datasets::Dataset& valid, const EvalOptions& opts);
   EvalReport cross(Detector& det, const datasets::Dataset& train,
                    const datasets::Dataset& valid);
+
+  /// \brief Streamed suite transfer: train on all of `train` through
+  /// Detector::fit_stream, validate over `valid` window at a time.
+  /// Bit-identical to cross() over the same cases in the same order;
+  /// binary labels only (like the in-memory protocol).
+  /// \post `det` is left fitted, as with cross().
+  EvalReport cross_stream(Detector& det, const corpus::CaseSource& train,
+                          const corpus::CaseSource& valid,
+                          const StreamOptions& sopts = {});
 
   /// \brief Trains `det` on the full dataset with binary labels (the
   /// front half of cross(); what `mpiguard train` runs before saving).
@@ -130,6 +173,18 @@ class EvalEngine {
                          const datasets::Dataset& train,
                          const datasets::Dataset& valid,
                          std::vector<Verdict> verdicts, bool multiclass);
+
+  /// make_report over source metadata (labels and ground truth read
+  /// from the index, never from decoded cases).
+  EvalReport make_report_stream(Detector& det, std::string protocol,
+                                const corpus::CaseSource& src,
+                                std::vector<Verdict> verdicts);
+
+  /// Evaluates `det` over the cases at `idx`, materialized `window` at
+  /// a time, into `verdicts` (indexed by position in `idx`).
+  void evaluate_stream(Detector& det, const corpus::CaseSource& src,
+                       std::span<const std::size_t> idx, std::size_t window,
+                       std::vector<Verdict>& verdicts);
 
   ThreadPool pool_;
   std::shared_ptr<EncodingCache> cache_;

@@ -15,6 +15,20 @@ namespace {
 
 constexpr int kMaxNprocs = 8;
 
+/// Ground-truth MBI category of an injection: inverse of
+/// datasets::injections_for. The few ordering-flavoured injections the
+/// MBI table does not own (WaitBeforeIsend, FenceAfterPut,
+/// MissingFinalizeCall) fall back to CallOrdering, matching their
+/// grouping in the Inject enum.
+mpi::MbiLabel mbi_label_of(datasets::Inject inject) {
+  if (inject == datasets::Inject::None) return mpi::MbiLabel::Correct;
+  for (const mpi::MbiLabel l : mpi::mbi_error_labels()) {
+    const auto& injs = datasets::injections_for(l);
+    if (std::find(injs.begin(), injs.end(), inject) != injs.end()) return l;
+  }
+  return mpi::MbiLabel::CallOrdering;
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -264,6 +278,7 @@ datasets::Case DifferentialFuzzer::build_case(const FuzzTuple& t) const {
   datasets::Case c;
   c.suite = datasets::Suite::Mbi;
   c.incorrect = t.inject != datasets::Inject::None;
+  c.mbi_label = mbi_label_of(t.inject);
   c.program = tpl->fn(ctx);
   if (t.nprocs > 0) c.program.nprocs = t.nprocs;
   // Shrinker drops reference pre-drop positions; erase back to front so
@@ -372,6 +387,10 @@ void DifferentialFuzzer::check(const FuzzTuple& t, FuzzReport& report) {
   ++stats.runs;
 
   const datasets::Case c = build_case(t);
+  // Distill every draw — not just divergent ones — so a fuzz campaign
+  // doubles as a labeled-corpus generator for the streamed train/eval
+  // paths.
+  if (distill_writer_) distill_writer_->add(c);
   // Two sweeps: one for stats and the signature, the second purely for
   // the byte-identical-replay check (the campaign's dominant cost, so
   // no third sweep).
@@ -397,7 +416,7 @@ void DifferentialFuzzer::check(const FuzzTuple& t, FuzzReport& report) {
     d.tuple = t;
     d.detail = sig;
     d.shrunk = cfg_.shrink ? shrink(t, sig) : t;
-    report.divergences.push_back(std::move(d));
+    record_divergence(std::move(d), report);
   }
 
   // Detector cross-check: agreement feeds the coverage matrix; an
@@ -419,8 +438,28 @@ void DifferentialFuzzer::check(const FuzzTuple& t, FuzzReport& report) {
       d.tuple = t;
       d.shrunk = t;
       d.detail = e.what();
-      report.divergences.push_back(std::move(d));
+      record_divergence(std::move(d), report);
     }
+  }
+}
+
+void DifferentialFuzzer::record_divergence(Divergence d, FuzzReport& report) {
+  ++report.divergence_count;
+  // Stream the repro record immediately — the writer is opened on the
+  // first divergence so a clean campaign still produces no file, and a
+  // divergence-heavy one never accumulates records in memory.
+  if (!cfg_.corpus_path.empty()) {
+    if (!repro_writer_) {
+      repro_writer_ = std::make_unique<io::FuzzCorpusWriter>(cfg_.corpus_path);
+    }
+    io::FuzzRecord r = d.shrunk.to_record();
+    r.detector = d.detector;
+    r.divergence_kind = static_cast<std::uint8_t>(d.kind);
+    r.detail = d.detail;
+    repro_writer_->add(r);
+  }
+  if (report.divergences.size() < cfg_.max_kept_divergences) {
+    report.divergences.push_back(std::move(d));
   }
 }
 
@@ -428,6 +467,9 @@ FuzzReport DifferentialFuzzer::run() {
   const auto t0 = std::chrono::steady_clock::now();
   FuzzReport report;
   report.config = cfg_;
+  if (!cfg_.corpus_dir.empty()) {
+    distill_writer_ = std::make_unique<corpus::CorpusWriter>(cfg_.corpus_dir);
+  }
   Rng master(cfg_.seed);
   for (int i = 0; i < cfg_.runs; ++i) {
     Rng rng = master.fork();
@@ -435,31 +477,44 @@ FuzzReport DifferentialFuzzer::run() {
     check(t, report);
     ++report.runs;
   }
+  if (distill_writer_) {
+    const corpus::WriteStats ws = distill_writer_->finish();
+    report.distilled_cases = ws.cases;
+    report.distilled_shards = ws.shards;
+    distill_writer_.reset();
+  }
+  if (repro_writer_) {
+    repro_writer_->close();  // atomic publish of cfg_.corpus_path
+    repro_writer_.reset();
+  }
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-
-  if (!cfg_.corpus_path.empty() && !report.divergences.empty()) {
-    std::vector<io::FuzzRecord> records;
-    records.reserve(report.divergences.size());
-    for (const Divergence& d : report.divergences) {
-      io::FuzzRecord r = d.shrunk.to_record();
-      r.detector = d.detector;
-      r.divergence_kind = static_cast<std::uint8_t>(d.kind);
-      r.detail = d.detail;
-      records.push_back(std::move(r));
-    }
-    io::save_fuzz_corpus(cfg_.corpus_path, records);
-  }
   return report;
+}
+
+corpus::WriteStats DifferentialFuzzer::distill(
+    const std::filesystem::path& dir, int runs,
+    const corpus::WriterOptions& wopts) const {
+  corpus::CorpusWriter w(dir, wopts);
+  Rng master(cfg_.seed);
+  for (int i = 0; i < runs; ++i) {
+    Rng rng = master.fork();
+    w.add(build_case(draw(rng)));
+  }
+  return w.finish();
 }
 
 // ---- FuzzReport -------------------------------------------------------------
 
 std::string FuzzReport::summary() const {
   std::ostringstream os;
-  os << runs << " run(s), " << divergences.size() << " divergence(s), "
+  os << runs << " run(s), " << divergence_count << " divergence(s), "
      << config.schedules << " schedule(s)/run, seed " << config.seed;
+  if (distilled_cases > 0) {
+    os << ", " << distilled_cases << " case(s) distilled into "
+       << distilled_shards << " shard(s)";
+  }
   return os.str();
 }
 
@@ -471,6 +526,10 @@ std::string FuzzReport::to_json() const {
   os << "  \"runs\": " << runs << ",\n";
   os << "  \"schedules\": " << config.schedules << ",\n";
   os << "  \"wall_seconds\": " << wall_seconds << ",\n";
+  os << "  \"divergence_count\": " << divergence_count << ",\n";
+  os << "  \"distilled_cases\": " << distilled_cases << ",\n";
+  os << "  \"distilled_shards\": " << distilled_shards << ",\n";
+  // Retained (possibly capped) list; divergence_count is the total.
   os << "  \"divergences\": [";
   for (std::size_t i = 0; i < divergences.size(); ++i) {
     const Divergence& d = divergences[i];

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "corpus/corpus.hpp"
 #include "datasets/templates.hpp"
 #include "io/fuzz_io.hpp"
 #include "mpisim/sweep.hpp"
@@ -114,18 +115,37 @@ struct FuzzConfig {
                                      "parcoach", "mpi-checker"};
   bool shrink = true;
   /// When nonempty, divergences are persisted here (io/fuzz_io.hpp).
+  /// Records stream to the file as they are found — a divergence-heavy
+  /// campaign holds at most max_kept_divergences of them in memory.
   std::string corpus_path;
+  /// When nonempty, EVERY draw's labeled case is distilled into .mpcs
+  /// shards under this directory (corpus/corpus.hpp) — the fuzz→train
+  /// flywheel: `mpiguard fuzz --corpus-dir` then streamed encode→train→
+  /// eval over the shards.
+  std::string corpus_dir;
+  /// Divergence objects retained in FuzzReport::divergences. The full
+  /// count is FuzzReport::divergence_count and every divergence still
+  /// reaches the corpus_path stream; only the in-memory list is capped,
+  /// so --runs 1000000 cannot grow the report without bound.
+  std::size_t max_kept_divergences = 256;
 };
 
 struct FuzzReport {
   FuzzConfig config;
   int runs = 0;
+  /// Retained divergences, capped at config.max_kept_divergences (the
+  /// stream to config.corpus_path always carries all of them).
   std::vector<Divergence> divergences;
+  /// Total divergences observed (>= divergences.size()).
+  std::size_t divergence_count = 0;
   /// inject_name(...) -> stats; "None" rows are the fault-free draws.
   std::map<std::string, InjectStats> per_inject;
+  /// Cases / shards distilled to config.corpus_dir (0 when unset).
+  std::uint64_t distilled_cases = 0;
+  std::uint64_t distilled_shards = 0;
   double wall_seconds = 0.0;
 
-  bool ok() const { return divergences.empty(); }
+  bool ok() const { return divergence_count == 0; }
   std::string summary() const;
   std::string to_json() const;
 };
@@ -171,12 +191,26 @@ class DifferentialFuzzer {
   /// corpus).
   FuzzTuple shrink(const FuzzTuple& t, const std::string& sig) const;
 
+  /// Distills `runs` draws (same deterministic draw sequence as run())
+  /// straight into .mpcs shards under `dir` — no sweeps, no detectors:
+  /// the cheap labeled-corpus generator behind `mpiguard corpus build
+  /// --fuzz` and the ≥50k-case scale benches. Memory stays O(one case).
+  corpus::WriteStats distill(const std::filesystem::path& dir, int runs,
+                             const corpus::WriterOptions& wopts = {}) const;
+
  private:
   std::string signature_of(const progmodel::Program& p,
                            const FuzzTuple& t) const;
+  /// Streams `d` to the open corpus writer (if any), counts it, and
+  /// retains it in the report up to cfg_.max_kept_divergences.
+  void record_divergence(Divergence d, FuzzReport& report);
 
   FuzzConfig cfg_;
   std::vector<std::pair<std::string, std::unique_ptr<Detector>>> detectors_;
+  /// Live only inside run(): the incremental divergence stream (opened
+  /// on the first divergence) and the draw-distillation shard writer.
+  std::unique_ptr<io::FuzzCorpusWriter> repro_writer_;
+  std::unique_ptr<corpus::CorpusWriter> distill_writer_;
 };
 
 }  // namespace mpidetect::core

@@ -16,26 +16,71 @@ constexpr std::size_t kMaxDropped = 4096;
 
 }  // namespace
 
+FuzzCorpusWriter::FuzzCorpusWriter(std::filesystem::path path)
+    : path_(std::move(path)), tmp_(path_.string() + ".tmp") {
+  out_.open(tmp_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw FormatError("cannot write fuzz corpus: " + tmp_.string());
+  }
+  Writer w(out_);
+  write_section(w, kMagic, kVersion);
+  w.u64(0);  // record-count placeholder, patched by close()
+  open_ = true;
+}
+
+FuzzCorpusWriter::~FuzzCorpusWriter() {
+  if (open_) {
+    out_.close();
+    std::error_code ec;
+    std::filesystem::remove(tmp_, ec);
+  }
+}
+
+void FuzzCorpusWriter::add(const FuzzRecord& r) {
+  Writer w(out_);
+  w.str(r.template_id);
+  w.u8(r.inject);
+  w.u8(r.size_class);
+  w.u32(static_cast<std::uint32_t>(r.nprocs));
+  w.u8(r.opt_level);
+  w.u64(r.program_seed);
+  w.u64(r.schedule_seed);
+  w.u64(r.dropped.size());
+  for (const std::uint32_t d : r.dropped) w.u32(d);
+  w.str(r.detector);
+  w.u8(r.divergence_kind);
+  w.str(r.detail);
+  if (!out_) {
+    throw FormatError("write failed on fuzz corpus: " + tmp_.string());
+  }
+  ++count_;
+}
+
+void FuzzCorpusWriter::close() {
+  if (!open_) return;
+  // The count lives right after the 4-byte magic + u32 version.
+  out_.seekp(8);
+  Writer w(out_);
+  w.u64(count_);
+  out_.flush();
+  out_.close();
+  if (out_.fail()) {
+    throw FormatError("close failed on fuzz corpus: " + tmp_.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_, path_, ec);
+  if (ec) {
+    throw FormatError("cannot publish fuzz corpus " + path_.string() + ": " +
+                      ec.message());
+  }
+  open_ = false;
+}
+
 void save_fuzz_corpus(const std::filesystem::path& path,
                       std::span<const FuzzRecord> records) {
-  save_file(path, [&](Writer& w) {
-    write_section(w, kMagic, kVersion);
-    w.u64(records.size());
-    for (const FuzzRecord& r : records) {
-      w.str(r.template_id);
-      w.u8(r.inject);
-      w.u8(r.size_class);
-      w.u32(static_cast<std::uint32_t>(r.nprocs));
-      w.u8(r.opt_level);
-      w.u64(r.program_seed);
-      w.u64(r.schedule_seed);
-      w.u64(r.dropped.size());
-      for (const std::uint32_t d : r.dropped) w.u32(d);
-      w.str(r.detector);
-      w.u8(r.divergence_kind);
-      w.str(r.detail);
-    }
-  });
+  FuzzCorpusWriter w(path);
+  for (const FuzzRecord& r : records) w.add(r);
+  w.close();
 }
 
 std::vector<FuzzRecord> load_fuzz_corpus(const std::filesystem::path& path) {

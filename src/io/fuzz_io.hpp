@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,8 +39,41 @@ struct FuzzRecord {
   bool operator==(const FuzzRecord&) const = default;
 };
 
-/// Writes the corpus atomically. Throws FormatError when the file
-/// cannot be written.
+/// Incremental "MPFZ" corpus writer: records stream to disk as they are
+/// added instead of accumulating in memory first — what lets a
+/// million-run fuzz campaign hold O(1) divergence state. Same on-disk
+/// bytes as save_fuzz_corpus (the record count in the section header is
+/// patched on close()). The file appears atomically: records go to a
+/// ".tmp" file renamed over `path` only by a successful close();
+/// destruction without close() removes the temp file.
+class FuzzCorpusWriter {
+ public:
+  explicit FuzzCorpusWriter(std::filesystem::path path);
+  ~FuzzCorpusWriter();
+
+  FuzzCorpusWriter(const FuzzCorpusWriter&) = delete;
+  FuzzCorpusWriter& operator=(const FuzzCorpusWriter&) = delete;
+
+  /// Appends one record to the stream. Throws FormatError on write
+  /// failure.
+  void add(const FuzzRecord& r);
+
+  std::size_t written() const { return count_; }
+
+  /// Patches the record count and publishes the file. Idempotent.
+  void close();
+
+ private:
+  std::filesystem::path path_;
+  std::filesystem::path tmp_;
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+  bool open_ = false;
+};
+
+/// Writes the corpus atomically (one-shot convenience over
+/// FuzzCorpusWriter). Throws FormatError when the file cannot be
+/// written.
 void save_fuzz_corpus(const std::filesystem::path& path,
                       std::span<const FuzzRecord> records);
 

@@ -229,6 +229,40 @@ void GnnModel::fit(std::span<const programl::ProgramGraph> graphs,
   }
 }
 
+void GnnModel::fit(GraphSource& src, std::span<const std::size_t> labels) {
+  MPIDETECT_EXPECTS(src.size() == labels.size());
+  std::vector<std::size_t> order(src.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t batch = std::max<std::size_t>(1, cfg_.batch_size);
+  std::vector<programl::ProgramGraph> fetched;
+  std::vector<const programl::ProgramGraph*> members;
+  std::vector<std::size_t> member_labels;
+  // Same draw sequence as the in-memory fit: one shuffle per epoch,
+  // steps in shuffled order — only graph residency differs.
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t b = 0; b < order.size(); b += batch) {
+      const std::size_t end = std::min(order.size(), b + batch);
+      src.fetch(std::span<const std::size_t>(order).subspan(b, end - b),
+                fetched);
+      MPIDETECT_EXPECTS(fetched.size() == end - b);
+      if (batch == 1) {
+        train_step(fetched[0], labels[order[b]]);
+        continue;
+      }
+      members.clear();
+      member_labels.clear();
+      for (std::size_t j = b; j < end; ++j) {
+        members.push_back(&fetched[j - b]);
+        member_labels.push_back(labels[order[j]]);
+      }
+      const programl::GraphBatch gb = programl::make_batch(
+          std::span<const programl::ProgramGraph* const>(members));
+      train_step(gb, member_labels);
+    }
+  }
+}
+
 std::size_t GnnModel::predict(const programl::ProgramGraph& g) {
   const auto p = predict_proba(g);
   return static_cast<std::size_t>(

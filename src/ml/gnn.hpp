@@ -53,6 +53,24 @@ struct GnnConfig {
   std::size_t infer_batch = 8;
 };
 
+/// Random-access provider of training graphs for the out-of-core fit
+/// overload: the model asks for exactly the graphs of the next
+/// optimisation step, so an implementation backed by an on-disk corpus
+/// (core::GnnDetector::fit_stream) holds at most one mini-batch of
+/// graphs in memory instead of the whole training set. Implementations
+/// re-derive graphs deterministically (fetch(i) must always yield the
+/// same graph); they are called from one thread.
+class GraphSource {
+ public:
+  virtual ~GraphSource() = default;
+
+  virtual std::size_t size() const = 0;
+
+  /// Replaces `out` with the graphs at positions `idx` (same order).
+  virtual void fetch(std::span<const std::size_t> idx,
+                     std::vector<programl::ProgramGraph>& out) = 0;
+};
+
 class GnnModel final {
  public:
   explicit GnnModel(const GnnConfig& cfg);
@@ -75,6 +93,13 @@ class GnnModel final {
   /// cfg.batch_size graphs per optimisation step.
   void fit(std::span<const programl::ProgramGraph> graphs,
            std::span<const std::size_t> labels);
+
+  /// Out-of-core training run: identical epoch/shuffle/step structure
+  /// (and, for a source yielding the same graphs, bit-identical
+  /// parameters — the RNG draw sequence is the same), but graphs are
+  /// fetched per optimisation step from `src` instead of resident
+  /// spans. Peak graph memory is one mini-batch.
+  void fit(GraphSource& src, std::span<const std::size_t> labels);
 
   std::size_t predict(const programl::ProgramGraph& g);
   std::vector<double> predict_proba(const programl::ProgramGraph& g);

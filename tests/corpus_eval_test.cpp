@@ -1,0 +1,218 @@
+// Streamed-vs-in-memory equivalence properties: every streaming
+// protocol (sweep_stream, kfold_stream, cross_stream) must reproduce
+// its in-memory counterpart BIT-IDENTICALLY — same verdict outcomes,
+// predicted labels, IEEE-754-identical confidences, same confusion
+// matrices and per-label tallies — whether the cases come from a
+// wrapped in-memory dataset or from .mpcs shards on disk. Out-of-core
+// is a residency optimization, never a results change.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/eval_engine.hpp"
+#include "corpus/corpus.hpp"
+#include "datasets/spec.hpp"
+#include "ir2vec/normalize.hpp"
+#include "support/check.hpp"
+
+namespace mpidetect {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique per-test scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+
+  TempDir() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path = fs::temp_directory_path() /
+           (std::string("mpidetect_ceval_") + info->name());
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// Shards `ds` with a small per-shard cap so streamed runs cross shard
+/// boundaries, and returns a validated reader over it.
+std::unique_ptr<corpus::CorpusReader> shard(const fs::path& dir,
+                                            const datasets::Dataset& ds) {
+  corpus::WriterOptions opts;
+  opts.max_cases_per_shard = 16;
+  corpus::CorpusWriter w(dir, opts);
+  for (const auto& c : ds.cases) w.add(c);
+  const auto stats = w.finish();
+  EXPECT_GT(stats.shards, 1u);
+  return std::make_unique<corpus::CorpusReader>(dir);
+}
+
+core::DetectorConfig tiny_config() {
+  core::DetectorConfig cfg;
+  cfg.ir2vec.use_ga = false;
+  cfg.gnn.cfg.embed_dim = 8;
+  cfg.gnn.cfg.layers = {16, 8};
+  cfg.gnn.cfg.fc_hidden = 8;
+  cfg.gnn.cfg.epochs = 2;
+  return cfg;
+}
+
+void expect_identical_reports(const core::EvalReport& a,
+                              const core::EvalReport& b,
+                              const char* what) {
+  EXPECT_EQ(a.confusion.tp, b.confusion.tp) << what;
+  EXPECT_EQ(a.confusion.tn, b.confusion.tn) << what;
+  EXPECT_EQ(a.confusion.fp, b.confusion.fp) << what;
+  EXPECT_EQ(a.confusion.fn, b.confusion.fn) << what;
+  EXPECT_EQ(a.confusion.ce, b.confusion.ce) << what;
+  EXPECT_EQ(a.confusion.to, b.confusion.to) << what;
+  EXPECT_EQ(a.confusion.re, b.confusion.re) << what;
+  EXPECT_EQ(a.per_label, b.per_label) << what;
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size()) << what;
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    EXPECT_EQ(a.verdicts[i].outcome, b.verdicts[i].outcome)
+        << what << " case " << i;
+    EXPECT_EQ(a.verdicts[i].predicted_label, b.verdicts[i].predicted_label)
+        << what << " case " << i;
+    // Bit-identical, not approximately equal: streaming must not change
+    // a single float anywhere in the pipeline.
+    EXPECT_EQ(a.verdicts[i].confidence, b.verdicts[i].confidence)
+        << what << " case " << i;
+  }
+}
+
+// ---- sweep ------------------------------------------------------------------
+
+TEST(CorpusEval, StreamedSweepMatchesInMemory) {
+  TempDir tmp;
+  const auto ds = datasets::make_dataset("mbi:0.05@17");
+  const auto reader = shard(tmp.path / "c", ds);
+  const corpus::DatasetSource wrapped(ds);
+
+  for (const char* key : {"parcoach", "mpi-checker", "itac"}) {
+    core::EvalEngine mem_engine(2), stream_engine(2);
+    auto det = core::DetectorRegistry::global().create(key);
+    const auto in_memory = mem_engine.sweep(*det, ds);
+    // Tiny window to force many refill cycles; from a wrapped dataset
+    // and from real shards alike.
+    core::StreamOptions sopts;
+    sopts.window = 5;
+    const auto via_wrap = stream_engine.sweep_stream(*det, wrapped, sopts);
+    const auto via_disk = stream_engine.sweep_stream(*det, *reader, sopts);
+    expect_identical_reports(in_memory, via_wrap, key);
+    expect_identical_reports(in_memory, via_disk, key);
+  }
+}
+
+// ---- k-fold -----------------------------------------------------------------
+
+void check_kfold_equivalence(const char* key, const core::DetectorConfig& cfg,
+                             int folds) {
+  TempDir tmp;
+  const auto ds = datasets::make_dataset("mbi:0.05@23");
+  const auto reader = shard(tmp.path / "c", ds);
+  const corpus::DatasetSource wrapped(ds);
+
+  auto& registry = core::DetectorRegistry::global();
+  core::EvalOptions opts = registry.create(key, cfg)->eval_defaults();
+  opts.folds = folds;
+  // The one knob that aligns the protocols: hashed fold assignment is
+  // available in-memory precisely so the streamed path is comparable.
+  opts.hash_folds = true;
+
+  core::EvalEngine mem_engine(2);
+  auto mem_det = registry.create(key, cfg);
+  const auto in_memory = mem_engine.kfold(*mem_det, ds, opts);
+
+  core::StreamOptions sopts;
+  sopts.window = 7;
+  core::EvalEngine stream_engine(2);
+  auto wrap_det = registry.create(key, cfg);
+  const auto via_wrap =
+      stream_engine.kfold_stream(*wrap_det, wrapped, opts, sopts);
+  auto disk_det = registry.create(key, cfg);
+  const auto via_disk =
+      stream_engine.kfold_stream(*disk_det, *reader, opts, sopts);
+
+  expect_identical_reports(in_memory, via_wrap, key);
+  expect_identical_reports(in_memory, via_disk, key);
+}
+
+TEST(CorpusEval, StreamedKfoldMatchesHashedKfoldIr2vec) {
+  check_kfold_equivalence("ir2vec", tiny_config(), 4);
+}
+
+TEST(CorpusEval, StreamedKfoldMatchesHashedKfoldGnn) {
+  check_kfold_equivalence("gnn", tiny_config(), 3);
+}
+
+TEST(CorpusEval, StreamedKfoldOfUntrainableDegeneratesToSweep) {
+  TempDir tmp;
+  const auto ds = datasets::make_dataset("mbi:0.05@29");
+  const corpus::DatasetSource wrapped(ds);
+  core::EvalEngine engine(2);
+  auto det = core::DetectorRegistry::global().create("parcoach");
+  const auto swept = engine.sweep_stream(*det, wrapped);
+  auto report = engine.kfold_stream(*det, wrapped, det->eval_defaults());
+  EXPECT_EQ(report.protocol, "kfold");
+  expect_identical_reports(swept, report, "parcoach kfold degenerate");
+}
+
+// ---- cross ------------------------------------------------------------------
+
+TEST(CorpusEval, StreamedCrossMatchesInMemory) {
+  TempDir tmp;
+  const auto train = datasets::make_dataset("mbi:0.05@31");
+  const auto valid = datasets::make_dataset("corr:0.05@37");
+  const auto train_reader = shard(tmp.path / "train", train);
+  const auto valid_reader = shard(tmp.path / "valid", valid);
+
+  auto& registry = core::DetectorRegistry::global();
+  core::EvalEngine mem_engine(2);
+  auto mem_det = registry.create("ir2vec", tiny_config());
+  const auto in_memory = mem_engine.cross(*mem_det, train, valid);
+
+  core::StreamOptions sopts;
+  sopts.window = 9;
+  core::EvalEngine stream_engine(2);
+  auto disk_det = registry.create("ir2vec", tiny_config());
+  const auto via_disk = stream_engine.cross_stream(*disk_det, *train_reader,
+                                                   *valid_reader, sopts);
+  expect_identical_reports(in_memory, via_disk, "ir2vec cross");
+}
+
+// ---- contract edges ---------------------------------------------------------
+
+TEST(CorpusEval, MulticlassStreamingIsRejected) {
+  const auto ds = datasets::make_dataset("mbi:0.02@41");
+  const corpus::DatasetSource wrapped(ds);
+  core::EvalEngine engine(2);
+  auto det = core::DetectorRegistry::global().create("ir2vec", tiny_config());
+  core::EvalOptions opts = det->eval_defaults();
+  opts.multiclass = true;
+  EXPECT_THROW(engine.kfold_stream(*det, wrapped, opts), ContractViolation);
+}
+
+TEST(CorpusEval, IndexNormalizationStreamingIsRejected) {
+  const auto ds = datasets::make_dataset("mbi:0.02@43");
+  const corpus::DatasetSource wrapped(ds);
+  core::DetectorConfig cfg = tiny_config();
+  // Index normalization standardizes over the WHOLE feature matrix —
+  // inherently not streamable, and it must say so instead of silently
+  // training a different model.
+  cfg.normalization = ir2vec::Normalization::Index;
+  core::EvalEngine engine(2);
+  auto det = core::DetectorRegistry::global().create("ir2vec", cfg);
+  EXPECT_THROW(engine.kfold_stream(*det, wrapped, det->eval_defaults()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpidetect

@@ -10,13 +10,17 @@
 // same corpus skip the compile+embed front half entirely (once per
 // machine, not once per process).
 //
-// Subcommands: train | predict | eval | bench | list. Run with --help
-// (or see docs/API.md) for the full flag reference.
+// Subcommands: train | predict | eval | bench | fuzz | corpus | list.
+// Run with --help (or see docs/API.md) for the full flag reference.
 #include <algorithm>
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +29,7 @@
 #include "core/detector.hpp"
 #include "core/eval_engine.hpp"
 #include "core/perf_bench.hpp"
+#include "corpus/corpus.hpp"
 #include "datasets/spec.hpp"
 #include "io/serialize.hpp"
 #include "support/check.hpp"
@@ -40,13 +45,20 @@ constexpr const char* kUsage = R"(mpiguard — train, persist and evaluate MPI e
 usage:
   mpiguard train   --detector NAME --dataset SPEC --out FILE [options]
   mpiguard predict --model FILE --dataset SPEC [--limit N] [options]
-  mpiguard eval    (--detector NAME | --model FILE) --dataset SPEC
+  mpiguard eval    (--detector NAME | --model FILE)
+                   (--dataset SPEC | --corpus DIR [--window N])
                    [--protocol sweep|kfold|cross] [--valid SPEC] [options]
   mpiguard bench   [--detectors A,B,...] --dataset SPEC [options]
   mpiguard bench   --json --dataset SPEC [--json-out FILE] [--reps N]
                    [--warmup N] [--batch N] [--infer-batch N]
   mpiguard fuzz    [--seed S --runs N --schedules K] [--json] [--quick]
-                   [--corpus FILE] [--repro TUPLE] [options]
+                   [--corpus FILE] [--corpus-dir DIR] [--repro TUPLE]
+                   [options]
+  mpiguard corpus  build  --out DIR (--dataset SPEC | --fuzz N [--seed S])
+                          [--shard-mb M]
+  mpiguard corpus  info   --dir DIR
+  mpiguard corpus  verify --dir DIR
+  mpiguard corpus  merge  --out DIR --inputs A,B,... [--shard-mb M]
   mpiguard list
 
 dataset SPEC        mbi | corr | mix, with optional scale and generator
@@ -64,6 +76,13 @@ common options:
   --multiclass      train/evaluate on per-label classes (ir2vec kfold)
   --quiet           summary lines only (no per-case/per-label tables)
 
+streamed eval (out-of-core .mpcs shards, see docs/CORPUS.md):
+  --corpus DIR      evaluate over a sharded corpus directory instead of
+                    a generated --dataset: sweep and kfold stream cases
+                    window-by-window with bounded memory; kfold assigns
+                    folds by hashed case id (binary detectors only)
+  --window N        cases materialized per streaming window (default 256)
+
 fuzz options (differential fuzz harness, see docs/TESTING.md):
   --seed S          campaign seed (default 1); a fixed (seed, runs,
                     schedules) triple reproduces the campaign exactly
@@ -73,13 +92,30 @@ fuzz options (differential fuzz harness, see docs/TESTING.md):
   --detectors A,B   registry keys to cross-check (default
                     itac,must,must-sweep,parcoach,mpi-checker)
   --max-steps N     simulator budget per run, total across ranks
-  --corpus FILE     persist divergence repro tuples ("MPFZ" corpus)
+  --corpus FILE     stream divergence repro tuples to FILE as they are
+                    found ("MPFZ" corpus; no file when none diverge)
+  --corpus-dir DIR  distill EVERY drawn case into .mpcs shards under
+                    DIR — turns a campaign into a labeled training
+                    corpus for `mpiguard eval --corpus`
   --no-shrink       keep divergent tuples as drawn
   --repro TUPLE     re-run one printed seed tuple instead of a campaign
   --quick           CI smoke profile (120 runs x 3 schedules); exit
                     status reflects divergences only, never speed
   --json            emit the machine-readable report
   exit status: 0 = no divergences, 2 = divergences or crashes.
+
+corpus options (sharded .mpcs corpora, see docs/CORPUS.md):
+  build             write a corpus: --dataset SPEC streams a generated
+                    corpus into shards; --fuzz N distills N fuzz draws
+                    (seeded by --seed) without running the simulator
+  info              validate and summarize a corpus (per-shard table)
+  verify            full integrity pass: header/index/fingerprint checks
+                    plus a decode + checksum of every record
+  merge             re-shard the union of --inputs corpora into --out
+  --out DIR         output directory (build, merge)
+  --dir DIR         corpus directory (info, verify)
+  --shard-mb M      max shard payload size in MiB (default 64)
+  --inputs A,B      comma-separated source directories (merge)
 
 bench --json options (GNN perf harness, see docs/PERFORMANCE.md):
   --json            time GNN encode/train/infer, baseline vs batched
@@ -143,10 +179,18 @@ struct Args {
   int fuzz_runs = 200;
   int fuzz_schedules = 4;
   std::optional<std::uint64_t> fuzz_max_steps;
-  std::string corpus_path;
+  std::string corpus_path;  // fuzz: MPFZ file; eval: .mpcs directory
   std::string repro_tuple;
   bool no_shrink = false;
   bool quick = false;
+  // corpus / streaming
+  std::string corpus_action;  // build | info | verify | merge
+  std::string corpus_dir;     // fuzz --corpus-dir
+  std::string dir;            // corpus info/verify --dir
+  std::string inputs;         // corpus merge, comma-separated
+  std::optional<int> fuzz_distill;  // corpus build --fuzz N
+  std::uint64_t shard_mb = 0;       // 0 = writer default
+  std::size_t window = 256;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -154,13 +198,19 @@ Args parse_args(int argc, char** argv) {
   if (argc < 2) throw CliError("missing subcommand");
   a.subcommand = argv[1];
 
+  int first_flag = 2;
+  if (a.subcommand == "corpus" && argc >= 3 && argv[2][0] != '-') {
+    a.corpus_action = argv[2];
+    first_flag = 3;
+  }
+
   const auto need_value = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc) {
       throw CliError(std::string(flag) + " requires a value");
     }
     return argv[++i];
   };
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first_flag; i < argc; ++i) {
     const std::string_view f = argv[i];
     if (f == "--detector") a.detector = need_value(i, "--detector");
     else if (f == "--detectors") a.detectors = need_value(i, "--detectors");
@@ -210,6 +260,16 @@ Args parse_args(int argc, char** argv) {
       a.fuzz_max_steps = parse_u64(need_value(i, "--max-steps"),
                                    "--max-steps");
     else if (f == "--corpus") a.corpus_path = need_value(i, "--corpus");
+    else if (f == "--corpus-dir") a.corpus_dir = need_value(i, "--corpus-dir");
+    else if (f == "--dir") a.dir = need_value(i, "--dir");
+    else if (f == "--inputs") a.inputs = need_value(i, "--inputs");
+    else if (f == "--fuzz")
+      a.fuzz_distill = static_cast<int>(
+          parse_u64(need_value(i, "--fuzz"), "--fuzz"));
+    else if (f == "--shard-mb")
+      a.shard_mb = parse_u64(need_value(i, "--shard-mb"), "--shard-mb");
+    else if (f == "--window")
+      a.window = parse_u64(need_value(i, "--window"), "--window");
     else if (f == "--repro") a.repro_tuple = need_value(i, "--repro");
     else if (f == "--no-shrink") a.no_shrink = true;
     else if (f == "--quick") a.quick = true;
@@ -353,11 +413,63 @@ int cmd_predict(const Args& a) {
   return 0;
 }
 
+/// eval --corpus DIR: the streamed protocols over .mpcs shards. Only
+/// sweep and (hash-fold, binary) kfold make sense out of core; cross
+/// needs a second corpus and stays in-memory for now.
+int cmd_eval_stream(const Args& a) {
+  Session session(a);
+  auto& registry = core::DetectorRegistry::global();
+  auto det = a.model_path.empty()
+                 ? registry.create(a.detector, session.config(a))
+                 : registry.load_bundle(a.model_path, session.config(a));
+
+  const corpus::CorpusReader src(a.corpus_path);
+  std::cout << "corpus " << a.corpus_path << ": " << src.size()
+            << " case(s) across " << src.shard_count() << " shard(s)\n";
+
+  std::string protocol = a.protocol;
+  if (protocol.empty()) {
+    protocol = (!a.model_path.empty() || !det->trainable()) ? "sweep" : "kfold";
+  }
+  core::StreamOptions sopts;
+  sopts.window = std::max<std::size_t>(1, a.window);
+
+  core::EvalReport report;
+  if (protocol == "sweep") {
+    if (det->trainable() && a.model_path.empty()) {
+      throw CliError("eval: a fresh " + std::string(det->name()) +
+                     " has no trained state to sweep; pass --model, or use "
+                     "--protocol kfold");
+    }
+    report = session.engine.sweep_stream(*det, src, sopts);
+  } else if (protocol == "kfold") {
+    if (a.multiclass) {
+      throw CliError("eval: --corpus streaming is binary-only (drop "
+                     "--multiclass or use --dataset)");
+    }
+    core::EvalOptions opts = det->eval_defaults();
+    if (a.folds) opts.folds = *a.folds;
+    report = session.engine.kfold_stream(*det, src, opts, sopts);
+  } else {
+    throw CliError("eval: protocol '" + protocol +
+                   "' is not streamable (use sweep or kfold with --corpus)");
+  }
+  print_report(report, a.quiet);
+  session.print_cache_stats();
+  return 0;
+}
+
 int cmd_eval(const Args& a) {
-  if (a.dataset_spec.empty()) throw CliError("eval: --dataset is required");
+  if (a.dataset_spec.empty() && a.corpus_path.empty()) {
+    throw CliError("eval: --dataset or --corpus is required");
+  }
+  if (!a.dataset_spec.empty() && !a.corpus_path.empty()) {
+    throw CliError("eval: --dataset and --corpus are mutually exclusive");
+  }
   if (a.model_path.empty() == a.detector.empty()) {
     throw CliError("eval: exactly one of --model / --detector is required");
   }
+  if (!a.corpus_path.empty()) return cmd_eval_stream(a);
 
   Session session(a);
   auto& registry = core::DetectorRegistry::global();
@@ -511,6 +623,7 @@ int cmd_fuzz(const Args& a) {
   cfg.schedules = a.quick ? 3 : a.fuzz_schedules;
   cfg.shrink = !a.no_shrink;
   cfg.corpus_path = a.corpus_path;
+  cfg.corpus_dir = a.corpus_dir;
   if (a.fuzz_max_steps) cfg.max_steps = *a.fuzz_max_steps;
   if (!a.detectors.empty()) {
     cfg.detectors.clear();
@@ -552,10 +665,116 @@ int cmd_fuzz(const Args& a) {
   } else {
     print_fuzz_coverage(report, a.quiet);
   }
-  if (!a.corpus_path.empty() && !report.divergences.empty()) {
+  if (!a.corpus_path.empty() && report.divergence_count > 0) {
     std::cout << "repro corpus written: " << a.corpus_path << "\n";
   }
+  if (!a.corpus_dir.empty()) {
+    std::cout << "distilled corpus written: " << a.corpus_dir << " ("
+              << report.distilled_cases << " cases, "
+              << report.distilled_shards << " shards)\n";
+  }
   return report.ok() ? 0 : 2;
+}
+
+// ---- corpus subcommand ------------------------------------------------------
+
+corpus::WriterOptions writer_options(const Args& a) {
+  corpus::WriterOptions w;
+  if (a.shard_mb > 0) w.max_shard_bytes = a.shard_mb << 20;
+  return w;
+}
+
+int cmd_corpus_build(const Args& a) {
+  if (a.out_path.empty()) throw CliError("corpus build: --out is required");
+  if (a.dataset_spec.empty() == !a.fuzz_distill) {
+    throw CliError(
+        "corpus build: exactly one of --dataset / --fuzz is required");
+  }
+  corpus::WriteStats stats;
+  if (a.fuzz_distill) {
+    core::FuzzConfig cfg;
+    cfg.seed = a.fuzz_seed;
+    const core::DifferentialFuzzer fuzzer(cfg);
+    stats = fuzzer.distill(a.out_path, *a.fuzz_distill, writer_options(a));
+  } else {
+    const auto ds = make_dataset(a.dataset_spec);
+    corpus::CorpusWriter w(a.out_path, writer_options(a));
+    for (const auto& c : ds.cases) w.add(c);
+    stats = w.finish();
+  }
+  std::cout << "corpus built: " << a.out_path << " (" << stats.cases
+            << " cases, " << stats.shards << " shards, " << stats.bytes
+            << " bytes)\n";
+  return 0;
+}
+
+int cmd_corpus_info(const Args& a, bool deep_verify) {
+  if (a.dir.empty()) {
+    throw CliError(std::string("corpus ") +
+                   (deep_verify ? "verify" : "info") + ": --dir is required");
+  }
+  // Construction already validates headers, geometry, index entries and
+  // whole-shard fingerprints; verify additionally decodes every record
+  // (per-record checksum + metadata cross-check).
+  const corpus::CorpusReader src(a.dir);
+  if (deep_verify) {
+    std::size_t n = 0;
+    src.for_each([&](std::size_t, const datasets::Case&) { ++n; });
+    std::cout << "corpus OK: " << a.dir << " (" << n << " cases decoded across "
+              << src.shard_count() << " shards)\n";
+    return 0;
+  }
+  Table t({"Shard", "Cases", "Bytes", "Fingerprint"});
+  for (const auto& s : src.shards()) {
+    std::ostringstream fp;
+    fp << std::hex << std::setw(16) << std::setfill('0') << s.fingerprint;
+    t.add_row({s.path.filename().string(), std::to_string(s.case_count),
+               std::to_string(s.file_bytes), fp.str()});
+  }
+  t.print(std::cout);
+  std::map<std::string, std::size_t> labels;
+  std::size_t bugs = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ++labels[src.label_name(i)];
+    bugs += src.incorrect(i);
+  }
+  std::cout << src.size() << " case(s) (" << bugs << " incorrect) across "
+            << src.shard_count() << " shard(s)\n";
+  if (!a.quiet) {
+    Table lt({"Label", "Cases"});
+    for (const auto& [label, n] : labels) {
+      lt.add_row({label, std::to_string(n)});
+    }
+    lt.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_corpus_merge(const Args& a) {
+  if (a.out_path.empty()) throw CliError("corpus merge: --out is required");
+  if (a.inputs.empty()) throw CliError("corpus merge: --inputs is required");
+  corpus::CorpusWriter w(a.out_path, writer_options(a));
+  std::uint64_t sources = 0;
+  for (const auto& in : split(a.inputs, ',')) {
+    const corpus::CorpusReader src(trim(in));
+    src.for_each(
+        [&](std::size_t, const datasets::Case& c) { w.add(c); });
+    ++sources;
+  }
+  const corpus::WriteStats stats = w.finish();
+  std::cout << "merged " << sources << " corpora into " << a.out_path << " ("
+            << stats.cases << " cases, " << stats.shards << " shards)\n";
+  return 0;
+}
+
+int cmd_corpus(const Args& a) {
+  if (a.corpus_action == "build") return cmd_corpus_build(a);
+  if (a.corpus_action == "info") return cmd_corpus_info(a, false);
+  if (a.corpus_action == "verify") return cmd_corpus_info(a, true);
+  if (a.corpus_action == "merge") return cmd_corpus_merge(a);
+  throw CliError(a.corpus_action.empty()
+                     ? "corpus: missing action (build|info|verify|merge)"
+                     : "corpus: unknown action '" + a.corpus_action + "'");
 }
 
 int cmd_list() {
@@ -581,6 +800,7 @@ int main(int argc, char** argv) {
     if (args.subcommand == "eval") return cmd_eval(args);
     if (args.subcommand == "bench") return cmd_bench(args);
     if (args.subcommand == "fuzz") return cmd_fuzz(args);
+    if (args.subcommand == "corpus") return cmd_corpus(args);
     if (args.subcommand == "list") return cmd_list();
     if (args.subcommand == "--help" || args.subcommand == "-h" ||
         args.subcommand == "help") {
