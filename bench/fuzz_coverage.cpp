@@ -42,8 +42,7 @@ int main(int argc, char** argv) {
 
   Table t({"Injection", "K=1", "K=2", "K=4", "K=8", "K=16", "first K"});
   Rng master(1);
-  for (int i = 1;
-       i <= static_cast<int>(datasets::Inject::MissingFinalizeCall); ++i) {
+  for (int i = 1; i <= static_cast<int>(datasets::kLastInject); ++i) {
     const auto inj = static_cast<datasets::Inject>(i);
     int detected[std::size(kBudgets)] = {};
     for (int d = 0; d < draws_per_class; ++d) {

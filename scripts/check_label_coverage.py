@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Label-coverage gate for the template registry (no external deps).
+
+Parses the source-of-truth tables in src/ and fails CI when coverage
+regresses:
+
+  * every MBI / CorrBench error label must have at least one injection
+    in its (widened) menu — a label with an empty menu silently
+    disappears from every generated suite;
+  * every injection named in a label menu must be supported by at
+    least one registry template, otherwise generate_* falls back to
+    a clean case and the label is never actually triggered;
+  * every Inject enumerator (except None) must be reachable: listed in
+    at least one label menu AND supported by at least one template;
+  * every simulator FindingKind must be exercised by at least one
+    injection class (via the FINDING_TRIGGERS map below, which names
+    the injection whose template provokes that kind — asserted
+    dynamically in tests/mpi_surface_test.cpp and tests/mpisim_test.cpp).
+
+Exit status: 0 when every check passes, 1 otherwise (each gap is
+reported as a single line).
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TEMPLATES_HPP = REPO / "src" / "datasets" / "templates.hpp"
+TEMPLATES_CPP = REPO / "src" / "datasets" / "templates.cpp"
+ERRORS_HPP = REPO / "src" / "mpi" / "errors.hpp"
+REPORT_HPP = REPO / "src" / "mpisim" / "report.hpp"
+
+# FindingKind -> an injection class whose template provokes it. The
+# dynamic proof lives in the test suites; this gate only guarantees the
+# named injection still exists and is wired to a template, so a
+# registry edit cannot orphan a finding kind unnoticed.
+FINDING_TRIGGERS = {
+    "InvalidParam": "BadCount",
+    "TypeMismatch": "MismatchDatatype",
+    "ParamMismatch": "NbcRootMismatch",
+    "CollectiveMismatch": "NbcMismatch",
+    "MessageRace": "ProbeWildcardRace",
+    "LocalConcurrency": "ThreadRace",
+    "GlobalConcurrency": "ConflictingPuts",
+    "EpochError": "PutOutsideEpoch",
+    "RequestError": "WaitanyInvalidRequest",
+    "ResourceLeak": "NbcMissingWait",
+    "MemoryFault": "NullBuf",
+    "DoubleInit": "FinalizeEarly",
+    "MissingFinalize": "MissingFinalizeCall",
+}
+
+
+def parse_enum(text: str, name: str) -> list[str]:
+    m = re.search(
+        rf"enum class {name}\s*:\s*std::uint8_t\s*{{(.*?)}};", text, re.S
+    )
+    if m is None:
+        sys.exit(f"cannot find enum {name}")
+    body = re.sub(r"//[^\n]*", "", m.group(1))
+    return [t.strip() for t in body.split(",") if t.strip()]
+
+
+def main() -> int:
+    hpp = TEMPLATES_HPP.read_text()
+    cpp = TEMPLATES_CPP.read_text()
+    errors = ERRORS_HPP.read_text()
+    report = REPORT_HPP.read_text()
+
+    injects = [i for i in parse_enum(hpp, "Inject") if i != "None"]
+    mbi_labels = [l for l in parse_enum(errors, "MbiLabel") if l != "Correct"]
+    corr_labels = [l for l in parse_enum(errors, "CorrLabel") if l != "Correct"]
+    findings = parse_enum(report, "FindingKind")
+
+    # Registry: every `I::X` inside the build_registry body supports X.
+    m = re.search(r"std::vector<Template> build_registry.*?\n}\n", cpp, re.S)
+    if m is None:
+        sys.exit("cannot find build_registry in templates.cpp")
+    supported = set(re.findall(r"I::(\w+)", m.group(0)))
+
+    # Label menus: legacy table entries `{mpi::MbiLabel::X, {I::A, ...}}`
+    # plus widened appends `t[mpi::MbiLabel::X].push_back(I::B)`.
+    menus: dict[str, set[str]] = {l: set() for l in mbi_labels + corr_labels}
+    for kind, label, items in re.findall(
+        r"mpi::(MbiLabel|CorrLabel)::(\w+),\s*{([^{}]*)}", cpp
+    ):
+        del kind
+        if label in menus:
+            menus[label].update(re.findall(r"I::(\w+)", items))
+    for kind, label, item in re.findall(
+        r"t\[mpi::(MbiLabel|CorrLabel)::(\w+)\]\.push_back\(I::(\w+)\)", cpp
+    ):
+        del kind
+        if label in menus:
+            menus[label].add(item)
+
+    problems: list[str] = []
+    for label, menu in menus.items():
+        if not menu:
+            problems.append(f"label {label}: empty injection menu")
+        for inj in sorted(menu):
+            if inj not in injects:
+                problems.append(f"label {label}: unknown injection {inj}")
+            if inj not in supported:
+                problems.append(
+                    f"label {label}: injection {inj} has no supporting template"
+                )
+
+    in_menus = set().union(*menus.values()) if menus else set()
+    for inj in injects:
+        if inj not in supported:
+            problems.append(f"injection {inj}: no registry template supports it")
+        if inj not in in_menus:
+            problems.append(f"injection {inj}: not reachable from any label menu")
+
+    for kind in findings:
+        trigger = FINDING_TRIGGERS.get(kind)
+        if trigger is None:
+            problems.append(
+                f"FindingKind {kind}: no trigger injection registered in "
+                "scripts/check_label_coverage.py"
+            )
+        elif trigger not in supported:
+            problems.append(
+                f"FindingKind {kind}: trigger injection {trigger} has no "
+                "supporting template"
+            )
+    for kind in FINDING_TRIGGERS:
+        if kind not in findings:
+            problems.append(
+                f"stale FINDING_TRIGGERS entry {kind}: not a FindingKind"
+            )
+
+    for p in problems:
+        print(p)
+    if not problems:
+        print(
+            f"label coverage OK: {len(mbi_labels)} MBI + {len(corr_labels)} "
+            f"CorrBench labels, {len(injects)} injection classes, "
+            f"{len(findings)} finding kinds all wired to templates"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

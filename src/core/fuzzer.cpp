@@ -23,7 +23,7 @@ constexpr int kMaxNprocs = 8;
 mpi::MbiLabel mbi_label_of(datasets::Inject inject) {
   if (inject == datasets::Inject::None) return mpi::MbiLabel::Correct;
   for (const mpi::MbiLabel l : mpi::mbi_error_labels()) {
-    const auto& injs = datasets::injections_for(l);
+    const auto& injs = datasets::injections_for(l, /*widened=*/true);
     if (std::find(injs.begin(), injs.end(), inject) != injs.end()) return l;
   }
   return mpi::MbiLabel::CallOrdering;
@@ -54,8 +54,7 @@ std::string json_escape(std::string_view s) {
 }
 
 std::optional<datasets::Inject> inject_by_name(std::string_view name) {
-  for (int i = 0;
-       i <= static_cast<int>(datasets::Inject::MissingFinalizeCall); ++i) {
+  for (int i = 0; i <= static_cast<int>(datasets::kLastInject); ++i) {
     const auto inj = static_cast<datasets::Inject>(i);
     if (datasets::inject_name(inj) == name) return inj;
   }
@@ -248,8 +247,8 @@ FuzzTuple DifferentialFuzzer::draw(
   } else if (rng.chance(cfg_.correct_ratio)) {
     t.inject = datasets::Inject::None;
   } else {
-    t.inject = static_cast<datasets::Inject>(rng.uniform_int(
-        1, static_cast<int>(datasets::Inject::MissingFinalizeCall)));
+    t.inject = static_cast<datasets::Inject>(
+        rng.uniform_int(1, static_cast<int>(datasets::kLastInject)));
   }
   const auto compatible = datasets::templates_for(t.inject);
   MPIDETECT_CHECK(!compatible.empty());

@@ -12,7 +12,12 @@ namespace mpidetect::corpus {
 namespace {
 
 constexpr std::string_view kMagic = "MPCR";
-constexpr std::uint32_t kVersion = 1;
+// v1: statement kinds up to Return, functions up to MPI_Accumulate.
+// v2: adds ThreadBlock statements and the widened MPI surface
+// (nonblocking collectives, Sendrecv/Probe, wait family). The layout is
+// unchanged — only the enum ranges grew — so v1 records decode as-is
+// under the v1 caps and writers always emit v2.
+constexpr std::uint32_t kVersion = 2;
 
 // Corruption guards: a record whose counts exceed these is rejected
 // before any allocation, and recursion is depth-bounded so a crafted
@@ -115,11 +120,17 @@ progmodel::Arg read_arg(io::Reader& r) {
   return a;
 }
 
-progmodel::Stmt read_stmt(io::Reader& r, std::size_t depth) {
+progmodel::Stmt read_stmt(io::Reader& r, std::uint32_t version,
+                          std::size_t depth) {
   if (depth > kMaxStmtDepth) r.fail("statement nesting too deep");
   progmodel::Stmt s;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(progmodel::Stmt::Kind::Return)) {
+  // The enum caps are pinned per format version: a v1 record carrying a
+  // v2-only value is corrupt, not forward-compatible.
+  const std::uint8_t max_kind =
+      version >= 2 ? static_cast<std::uint8_t>(progmodel::Stmt::Kind::ThreadBlock)
+                   : static_cast<std::uint8_t>(progmodel::Stmt::Kind::Return);
+  if (kind > max_kind) {
     r.fail("out-of-range statement kind");
   }
   s.kind = static_cast<progmodel::Stmt::Kind>(kind);
@@ -141,7 +152,10 @@ progmodel::Stmt read_stmt(io::Reader& r, std::size_t depth) {
   if (has_init > 1) r.fail("invalid has_init flag");
   s.has_init = has_init != 0;
   const std::uint8_t func = r.u8();
-  if (func >= mpi::kNumFuncs) r.fail("out-of-range MPI function");
+  const std::uint8_t max_func =
+      version >= 2 ? static_cast<std::uint8_t>(mpi::kNumFuncs - 1)
+                   : static_cast<std::uint8_t>(mpi::Func::Accumulate);
+  if (func > max_func) r.fail("out-of-range MPI function");
   s.func = static_cast<mpi::Func>(func);
   const std::size_t nargs = r.count(kMaxCallArgs);
   s.args.reserve(nargs);
@@ -149,12 +163,12 @@ progmodel::Stmt read_stmt(io::Reader& r, std::size_t depth) {
   const std::size_t nbody = r.count(kMaxBlockStmts);
   s.body.reserve(nbody);
   for (std::size_t i = 0; i < nbody; ++i) {
-    s.body.push_back(read_stmt(r, depth + 1));
+    s.body.push_back(read_stmt(r, version, depth + 1));
   }
   const std::size_t nelse = r.count(kMaxBlockStmts);
   s.otherwise.reserve(nelse);
   for (std::size_t i = 0; i < nelse; ++i) {
-    s.otherwise.push_back(read_stmt(r, depth + 1));
+    s.otherwise.push_back(read_stmt(r, version, depth + 1));
   }
   s.iters = r.i64();
   return s;
@@ -192,7 +206,8 @@ void write_case(io::Writer& w, const datasets::Case& c) {
 }
 
 datasets::Case read_case(io::Reader& r) {
-  io::read_section(r, kMagic, kVersion, "corpus case record");
+  const std::uint32_t version =
+      io::read_section(r, kMagic, kVersion, "corpus case record");
   datasets::Case c;
   c.name = r.str();
   const std::uint8_t suite = r.u8();
@@ -232,14 +247,14 @@ datasets::Case read_case(io::Reader& r) {
     const std::size_t nbody = r.count(kMaxBlockStmts);
     f.body.reserve(nbody);
     for (std::size_t k = 0; k < nbody; ++k) {
-      f.body.push_back(read_stmt(r, 0));
+      f.body.push_back(read_stmt(r, version, 0));
     }
     c.program.functions.push_back(std::move(f));
   }
   const std::size_t nmain = r.count(kMaxBlockStmts);
   c.program.main_body.reserve(nmain);
   for (std::size_t i = 0; i < nmain; ++i) {
-    c.program.main_body.push_back(read_stmt(r, 0));
+    c.program.main_body.push_back(read_stmt(r, version, 0));
   }
   return c;
 }

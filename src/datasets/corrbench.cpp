@@ -46,7 +46,7 @@ Dataset generate_corrbench(const CorrConfig& cfg) {
   // (name, scale, seed), cases rebuildable from their ordinal.
   std::uint64_t ordinal = 0;
 
-  const auto& tpls = all_templates();
+  const auto& tpls = all_templates(cfg.widened);
   const std::size_t n_correct = scaled(cfg.correct, cfg.scale);
   for (std::size_t i = 0; i < n_correct; ++i) {
     Rng rng = case_rng(cfg.seed, ordinal++);
@@ -74,7 +74,7 @@ Dataset generate_corrbench(const CorrConfig& cfg) {
     const auto it = cfg.counts.find(label);
     if (it == cfg.counts.end() || it->second == 0) continue;
     const std::size_t n = scaled(it->second, cfg.scale);
-    const auto& injections = injections_for(label);
+    const auto& injections = injections_for(label, cfg.widened);
     for (std::size_t i = 0; i < n; ++i) {
       Rng rng = case_rng(cfg.seed, ordinal++);
       const Inject inj = injections[i % injections.size()];

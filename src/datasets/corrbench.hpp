@@ -27,6 +27,9 @@ struct CorrConfig {
   /// their IR, reproducing the bias.
   bool strip_header = true;
   double scale = 1.0;
+  /// Include the widened-surface templates and injections; off by
+  /// default so legacy-settings suites stay bit-identical.
+  bool widened = false;
 };
 
 /// Extra source lines the mpitest.h preamble contributes before the

@@ -26,6 +26,10 @@ struct MbiConfig {
   };
   /// Scales every count (down) for quick smoke runs; minimum 1 per class.
   double scale = 1.0;
+  /// Include the widened-surface templates and injections (nonblocking
+  /// collectives, Sendrecv/Probe, wait family, threads). Off by default:
+  /// legacy-settings suites must stay bit-identical across versions.
+  bool widened = false;
 };
 
 Dataset generate_mbi(const MbiConfig& cfg = {});

@@ -692,12 +692,314 @@ Program tpl_dtype(const BuildContext& ctx) {
 }
 
 // ===========================================================================
+// 12. nbc_coll — nonblocking collective rounds completed by MPI_Waitall
+// ===========================================================================
+
+Program tpl_nbc_coll(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "nbc_coll";
+  p.nprocs = static_cast<int>(rng.uniform_int(2, 4));
+  const int count = static_cast<int>(rng.uniform_int(1, 32));
+  const std::int32_t dtype = rng.chance(0.5) ? kInt : kDouble;
+  const ir::Type elem = dtype == kInt ? ir::Type::I32 : ir::Type::F64;
+  // Per-round buffers: overlapping an in-flight NBC's buffer with the
+  // next post would itself be an error, so the correct code keeps them
+  // disjoint. Round 3 fans in/out across ranks, hence count * nprocs.
+  const int fan = count * p.nprocs;
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("b0", elem, E::lit(count)));
+  p.main_body.push_back(S::decl_buf("s1", elem, E::lit(count)));
+  p.main_body.push_back(S::decl_buf("r1", elem, E::lit(count)));
+  p.main_body.push_back(S::decl_buf("s2", elem, E::lit(fan)));
+  p.main_body.push_back(S::decl_buf("r2", elem, E::lit(fan)));
+  p.main_body.push_back(S::decl_req_array("reqs", 4));
+  p.main_body.push_back(S::buf_store("b0", E::lit(0), E::lit(1)));
+  p.main_body.push_back(S::buf_store("s1", E::lit(0), E::lit(2)));
+  p.main_body.push_back(S::buf_store("s2", E::lit(0), E::lit(3)));
+  add_filler(p, ctx, "s1");
+
+  p.main_body.push_back(S::decl_int("root", E::lit(0)));
+  if (is(ctx, Inject::NbcRootMismatch)) {
+    // rank 0 broadcasts from root 0, everyone else from root 1.
+    p.main_body.push_back(
+        S::assign("root", E::mod(E::ref("rank"), E::lit(2))));
+  }
+
+  Stmt ibcast = S::mpi(Func::Ibcast, {A::buf("b0"), A::val(count),
+                                      A::val(dtype), A::val(E::ref("root")),
+                                      A::val(kW),
+                                      A::buf_at("reqs", E::lit(0))});
+  if (is(ctx, Inject::NbcMismatch)) {
+    // Same round, different nonblocking collective on rank 0.
+    std::vector<Stmt> r0{std::move(ibcast)};
+    std::vector<Stmt> rx{S::mpi(Func::Ireduce,
+                                {A::buf("s1"), A::buf("r1"), A::val(count),
+                                 A::val(dtype), A::val(kSum), A::val(0),
+                                 A::val(kW), A::buf_at("reqs", E::lit(0))})};
+    p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                                 std::move(r0), std::move(rx)));
+  } else {
+    p.main_body.push_back(std::move(ibcast));
+  }
+  if (is(ctx, Inject::NbcWriteBeforeWait)) {
+    // b0 still belongs to the in-flight Ibcast.
+    p.main_body.push_back(S::buf_store("b0", E::lit(0), E::lit(9)));
+  }
+
+  if (rng.chance(0.5)) {
+    p.main_body.push_back(
+        S::mpi(Func::Ireduce, {A::buf("s1"), A::buf("r1"), A::val(count),
+                               A::val(dtype), A::val(kSum), A::val(0),
+                               A::val(kW), A::buf_at("reqs", E::lit(1))}));
+  } else {
+    p.main_body.push_back(
+        S::mpi(Func::Iallreduce, {A::buf("s1"), A::buf("r1"), A::val(count),
+                                  A::val(dtype), A::val(kMax), A::val(kW),
+                                  A::buf_at("reqs", E::lit(1))}));
+  }
+
+  const std::uint64_t third = rng.uniform_int(0, 2);
+  if (third == 0) {
+    p.main_body.push_back(
+        S::mpi(Func::Igather, {A::buf("s2"), A::val(count), A::val(dtype),
+                               A::buf("r2"), A::val(count), A::val(dtype),
+                               A::val(0), A::val(kW),
+                               A::buf_at("reqs", E::lit(2))}));
+  } else if (third == 1) {
+    p.main_body.push_back(
+        S::mpi(Func::Iscatter, {A::buf("s2"), A::val(count), A::val(dtype),
+                                A::buf("r2"), A::val(count), A::val(dtype),
+                                A::val(0), A::val(kW),
+                                A::buf_at("reqs", E::lit(2))}));
+  } else {
+    p.main_body.push_back(
+        S::mpi(Func::Ialltoall, {A::buf("s2"), A::val(count), A::val(dtype),
+                                 A::buf("r2"), A::val(count), A::val(dtype),
+                                 A::val(kW), A::buf_at("reqs", E::lit(2))}));
+  }
+  p.main_body.push_back(
+      S::mpi(Func::Ibarrier, {A::val(kW), A::buf_at("reqs", E::lit(3))}));
+
+  if (!is(ctx, Inject::NbcMissingWait)) {
+    p.main_body.push_back(
+        S::mpi(Func::Waitall, {A::val(4), A::buf("reqs"), A::null()}));
+  }
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 13. sendrecv_ring — combined send/receive ring shift
+// ===========================================================================
+
+Program tpl_sendrecv_ring(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "sendrecv_ring";
+  p.nprocs = static_cast<int>(rng.uniform_int(2, 4));
+  const int count = static_cast<int>(rng.uniform_int(1, 48));
+  const std::int32_t dtype = rng.chance(0.5) ? kInt : kDouble;
+  const ir::Type elem = dtype == kInt ? ir::Type::I32 : ir::Type::F64;
+  const int tag = static_cast<int>(rng.uniform_int(0, 9));
+  const int rounds = rng.chance(0.4) ? 2 : 1;
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("sb", elem, E::lit(count)));
+  p.main_body.push_back(S::decl_buf("rb", elem, E::lit(count)));
+  p.main_body.push_back(S::buf_store("sb", E::lit(0), E::ref("rank")));
+  p.main_body.push_back(S::decl_int(
+      "right", E::mod(E::add(E::ref("rank"), E::lit(1)), E::ref("size"))));
+  p.main_body.push_back(S::decl_int(
+      "left", E::mod(E::add(E::ref("rank"),
+                            E::sub(E::ref("size"), E::lit(1))),
+                     E::ref("size"))));
+  add_filler(p, ctx, "sb");
+
+  for (int r = 0; r < rounds; ++r) {
+    if (is(ctx, Inject::SendrecvCycleBlocking)) {
+      // The classic hand-rolled Sendrecv: every rank does the
+      // synchronous send first, so the ring holds a cyclic wait.
+      p.main_body.push_back(send(Func::Ssend, "sb", E::lit(count), dtype,
+                                 E::ref("right"), E::lit(tag)));
+      p.main_body.push_back(
+          recv("rb", E::lit(count), dtype, E::ref("left"), E::lit(tag)));
+    } else {
+      p.main_body.push_back(S::mpi(
+          Func::Sendrecv,
+          {A::buf("sb"), A::val(count), A::val(dtype), A::val(E::ref("right")),
+           A::val(tag), A::buf("rb"), A::val(count), A::val(dtype),
+           A::val(E::ref("left")), A::val(tag), A::val(kW), A::null()}));
+    }
+  }
+  p.main_body.push_back(S::mpi(Func::Barrier, {A::val(kW)}));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 14. probe_poll — probe-driven master/worker receive loop
+// ===========================================================================
+
+Program tpl_probe_poll(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  const bool race = is(ctx, Inject::ProbeWildcardRace);
+  Program p;
+  p.name = "probe_poll";
+  // The race needs at least two competing senders; the correct code
+  // probes each worker by explicit source, so any worker count is fine.
+  p.nprocs = race ? 3 : static_cast<int>(rng.uniform_int(2, 3));
+  const int count = static_cast<int>(rng.uniform_int(1, 16));
+  const int tag = static_cast<int>(rng.uniform_int(0, 5));
+  const bool use_iprobe = !race && rng.chance(0.4);
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(count)));
+  p.main_body.push_back(S::decl_int("flag"));
+  p.main_body.push_back(S::decl_int("w"));
+  add_filler(p, ctx, "buf");
+
+  const Expr src = race ? E::lit(mpi::kAnySource) : E::ref("w");
+  std::vector<Stmt> loop_body;
+  if (use_iprobe) {
+    loop_body.push_back(S::mpi(Func::Iprobe,
+                               {A::val(src), A::val(tag), A::val(kW),
+                                A::addr("flag"), A::null()}));
+  } else {
+    loop_body.push_back(S::mpi(
+        Func::Probe, {A::val(src), A::val(tag), A::val(kW), A::null()}));
+  }
+  loop_body.push_back(recv("buf", E::lit(count), kInt, src, E::lit(tag)));
+  std::vector<Stmt> master{
+      S::for_("w", E::lit(1), E::ref("size"), std::move(loop_body))};
+  std::vector<Stmt> worker{
+      S::buf_store("buf", E::lit(0), E::ref("rank")),
+      send(Func::Send, "buf", E::lit(count), kInt, E::lit(0), E::lit(tag))};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(master), std::move(worker)));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 15. waitany_pool — request pool drained by Waitany/Waitsome/Testall
+// ===========================================================================
+
+Program tpl_waitany_pool(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "waitany_pool";
+  p.nprocs = 2;
+  // Above the eager threshold so the sender really blocks until its
+  // message is drained — completion order is the scheduler's choice.
+  const int count = static_cast<int>(rng.uniform_int(1100, 1500));
+  const bool use_waitsome = rng.chance(0.5);
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("b0", ir::Type::I32, E::lit(count)));
+  p.main_body.push_back(S::decl_buf("b1", ir::Type::I32, E::lit(count)));
+  p.main_body.push_back(S::decl_req_array("reqs", 2));
+  p.main_body.push_back(S::decl_buf("inds", ir::Type::I32, E::lit(2)));
+  p.main_body.push_back(S::decl_int("idx"));
+  p.main_body.push_back(S::decl_int("done"));
+
+  std::vector<Stmt> pool;
+  pool.push_back(S::mpi(Func::Irecv,
+                        {A::buf("b0"), A::val(count), A::val(kInt), A::val(1),
+                         A::val(0), A::val(kW),
+                         A::buf_at("reqs", E::lit(0))}));
+  pool.push_back(S::mpi(Func::Irecv,
+                        {A::buf("b1"), A::val(count), A::val(kInt), A::val(1),
+                         A::val(1), A::val(kW),
+                         A::buf_at("reqs", E::lit(1))}));
+  if (is(ctx, Inject::WaitanyInvalidRequest)) {
+    // Clobber a live handle; the wait below sees a dangling request.
+    pool.push_back(S::buf_store("reqs", E::lit(0), E::lit(987654)));
+  }
+  if (use_waitsome) {
+    pool.push_back(S::mpi(Func::Waitsome,
+                          {A::val(2), A::buf("reqs"), A::addr("done"),
+                           A::buf("inds"), A::null()}));
+  } else {
+    pool.push_back(S::mpi(Func::Waitany, {A::val(2), A::buf("reqs"),
+                                          A::addr("idx"), A::null()}));
+  }
+  // Drains whatever the first wait left pending; on an already-empty
+  // pool Waitany returns immediately with MPI_UNDEFINED.
+  pool.push_back(S::mpi(Func::Waitany, {A::val(2), A::buf("reqs"),
+                                        A::addr("idx"), A::null()}));
+  pool.push_back(S::mpi(Func::Testall, {A::val(2), A::buf("reqs"),
+                                        A::addr("done"), A::null()}));
+
+  std::vector<Stmt> feeder{
+      S::buf_store("b0", E::lit(0), E::lit(1)),
+      S::buf_store("b1", E::lit(0), E::lit(2)),
+      send(Func::Send, "b0", E::lit(count), kInt, E::lit(0), E::lit(0)),
+      send(Func::Send, "b1", E::lit(count), kInt, E::lit(0), E::lit(1))};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(pool), std::move(feeder)));
+  p.main_body.push_back(S::mpi(Func::Barrier, {A::val(kW)}));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
+// 16. thread_pingpong — MPI_THREAD_MULTIPLE rank with two threads
+// ===========================================================================
+
+Program tpl_thread_pingpong(const BuildContext& ctx) {
+  Rng& rng = *ctx.rng;
+  Program p;
+  p.name = "thread_pingpong";
+  p.nprocs = 2;
+  const int count = static_cast<int>(rng.uniform_int(4, 16));
+
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("shared", ir::Type::I32, E::lit(count)));
+  p.main_body.push_back(S::buf_store("shared", E::lit(0), E::lit(1)));
+  add_filler(p, ctx, "shared");
+
+  // Thread 0 receives into the shared buffer; thread 1 works on its own
+  // buffer and sends it out. The race variant has thread 1 scribble on
+  // the shared buffer while thread 0's receive is still in flight.
+  std::vector<Stmt> t0;
+  t0.push_back(S::decl_handle("treq", HandleKind::Request));
+  t0.push_back(S::mpi(Func::Irecv,
+                      {A::buf("shared"), A::val(count), A::val(kInt),
+                       A::val(1), A::val(0), A::val(kW), A::addr("treq")}));
+  t0.push_back(S::mpi(Func::Wait, {A::addr("treq"), A::null()}));
+
+  std::vector<Stmt> t1;
+  t1.push_back(S::decl_buf("mine", ir::Type::I32, E::lit(count)));
+  t1.push_back(S::buf_store("mine", E::lit(0), E::lit(2)));
+  if (is(ctx, Inject::ThreadRace)) {
+    t1.push_back(S::buf_store("shared", E::lit(0), E::lit(9)));
+  }
+  t1.push_back(send(Func::Send, "mine", E::lit(count), kInt, E::lit(1),
+                    E::lit(1)));
+
+  std::vector<Stmt> r0{S::thread_block_shared("shared", std::move(t0),
+                                              std::move(t1))};
+  std::vector<Stmt> r1{
+      send(Func::Send, "shared", E::lit(count), kInt, E::lit(0), E::lit(0)),
+      recv("shared", E::lit(count), kInt, E::lit(0), E::lit(1))};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  add_finalize(p, ctx);
+  return p;
+}
+
+// ===========================================================================
 // Registry
 // ===========================================================================
 
-std::vector<Template> build_registry() {
+// Legacy templates first, widened-surface templates appended: the
+// registry order is load-bearing (suite generators index-cycle it), so
+// the legacy prefix must never be reordered.
+std::vector<Template> build_registry(bool widened) {
   using I = Inject;
-  return {
+  std::vector<Template> regs = {
       {"pingpong", &tpl_pingpong,
        {I::BadCount, I::BadTag, I::BadRank, I::NullBuf, I::BadDatatype,
         I::MismatchDatatype, I::MismatchCount, I::MismatchTag,
@@ -728,6 +1030,22 @@ std::vector<Template> build_registry() {
       {"dtype_usage", &tpl_dtype,
        {I::MissingCommit, I::LeakType, I::BadDatatype, I::BadCount}},
   };
+  if (widened) {
+    // Widened-surface templates support only widened injections:
+    // templates_for() on a legacy injection must return the same list
+    // it always has.
+    regs.push_back({"nbc_coll", &tpl_nbc_coll,
+                    {I::NbcMismatch, I::NbcRootMismatch, I::NbcMissingWait,
+                     I::NbcWriteBeforeWait}});
+    regs.push_back(
+        {"sendrecv_ring", &tpl_sendrecv_ring, {I::SendrecvCycleBlocking}});
+    regs.push_back({"probe_poll", &tpl_probe_poll, {I::ProbeWildcardRace}});
+    regs.push_back(
+        {"waitany_pool", &tpl_waitany_pool, {I::WaitanyInvalidRequest}});
+    regs.push_back(
+        {"thread_pingpong", &tpl_thread_pingpong, {I::ThreadRace}});
+  }
+  return regs;
 }
 
 }  // namespace
@@ -774,6 +1092,14 @@ std::string_view inject_name(Inject i) {
     case Inject::MissingRecv: return "MissingRecv";
     case Inject::MissingCommit: return "MissingCommit";
     case Inject::MissingFinalizeCall: return "MissingFinalizeCall";
+    case Inject::NbcMismatch: return "NbcMismatch";
+    case Inject::NbcRootMismatch: return "NbcRootMismatch";
+    case Inject::NbcMissingWait: return "NbcMissingWait";
+    case Inject::NbcWriteBeforeWait: return "NbcWriteBeforeWait";
+    case Inject::SendrecvCycleBlocking: return "SendrecvCycleBlocking";
+    case Inject::ProbeWildcardRace: return "ProbeWildcardRace";
+    case Inject::WaitanyInvalidRequest: return "WaitanyInvalidRequest";
+    case Inject::ThreadRace: return "ThreadRace";
   }
   MPIDETECT_UNREACHABLE("bad Inject");
 }
@@ -785,9 +1111,12 @@ Rng case_rng(std::uint64_t suite_seed, std::uint64_t ordinal) {
                    (ordinal + 1) * 0x9e3779b97f4a7c15ULL));
 }
 
-const std::vector<Template>& all_templates() {
-  static const std::vector<Template> registry = build_registry();
-  return registry;
+const std::vector<Template>& all_templates() { return all_templates(true); }
+
+const std::vector<Template>& all_templates(bool widened) {
+  static const std::vector<Template> legacy = build_registry(false);
+  static const std::vector<Template> full = build_registry(true);
+  return widened ? full : legacy;
 }
 
 const Template* find_template(std::string_view id) {
@@ -854,6 +1183,48 @@ const std::vector<Inject>& injections_for(mpi::CorrLabel l) {
        {I::MissingRecv, I::MissingWait, I::MissingFence, I::MissingCommit,
         I::MissingFinalizeCall, I::MissingCollOnOneRank}},
   };
+  return table.at(l);
+}
+
+// Widened menus: the legacy lists with the widened-surface injections
+// appended (appended, not interleaved, so a widened suite's first picks
+// match the legacy suite's).
+const std::vector<Inject>& injections_for(mpi::MbiLabel l, bool widened) {
+  if (!widened) return injections_for(l);
+  using I = Inject;
+  static const std::map<mpi::MbiLabel, std::vector<Inject>> table = [] {
+    std::map<mpi::MbiLabel, std::vector<Inject>> t;
+    for (const mpi::MbiLabel lab : mpi::mbi_error_labels()) {
+      t[lab] = injections_for(lab);
+    }
+    t[mpi::MbiLabel::CallOrdering].push_back(I::NbcMismatch);
+    t[mpi::MbiLabel::CallOrdering].push_back(I::SendrecvCycleBlocking);
+    t[mpi::MbiLabel::ParameterMatching].push_back(I::NbcRootMismatch);
+    t[mpi::MbiLabel::RequestLifecycle].push_back(I::NbcMissingWait);
+    t[mpi::MbiLabel::RequestLifecycle].push_back(I::WaitanyInvalidRequest);
+    t[mpi::MbiLabel::LocalConcurrency].push_back(I::NbcWriteBeforeWait);
+    t[mpi::MbiLabel::LocalConcurrency].push_back(I::ThreadRace);
+    t[mpi::MbiLabel::MessageRace].push_back(I::ProbeWildcardRace);
+    return t;
+  }();
+  return table.at(l);
+}
+
+const std::vector<Inject>& injections_for(mpi::CorrLabel l, bool widened) {
+  if (!widened) return injections_for(l);
+  using I = Inject;
+  static const std::map<mpi::CorrLabel, std::vector<Inject>> table = [] {
+    std::map<mpi::CorrLabel, std::vector<Inject>> t;
+    for (const mpi::CorrLabel lab : mpi::corr_error_labels()) {
+      t[lab] = injections_for(lab);
+    }
+    t[mpi::CorrLabel::ArgError].push_back(I::WaitanyInvalidRequest);
+    t[mpi::CorrLabel::ArgMismatch].push_back(I::NbcRootMismatch);
+    t[mpi::CorrLabel::MissplacedCall].push_back(I::NbcMismatch);
+    t[mpi::CorrLabel::MissplacedCall].push_back(I::SendrecvCycleBlocking);
+    t[mpi::CorrLabel::MissingCall].push_back(I::NbcMissingWait);
+    return t;
+  }();
   return table.at(l);
 }
 

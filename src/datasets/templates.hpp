@@ -71,7 +71,20 @@ enum class Inject : std::uint8_t {
   MissingRecv,
   MissingCommit,
   MissingFinalizeCall,
+  // ---- widened MPI surface (appended after v1 for enum stability;
+  // corpus records and fuzz tuples store the numeric value) ----------
+  NbcMismatch,            // ranks start different nonblocking collectives
+  NbcRootMismatch,        // Ibcast root differs across ranks
+  NbcMissingWait,         // nonblocking-collective requests never completed
+  NbcWriteBeforeWait,     // buffer written while an NBC still owns it
+  SendrecvCycleBlocking,  // Sendrecv hand-rolled as a deadlocking Ssend/Recv
+  ProbeWildcardRace,      // wildcard probe with multiple racing senders
+  WaitanyInvalidRequest,  // garbage handle inside a Waitany request array
+  ThreadRace,             // two threads of one rank race on a shared buffer
 };
+
+/// Last enumerator — the fuzzer draws injections from [1, kLastInject].
+inline constexpr Inject kLastInject = Inject::ThreadRace;
 
 std::string_view inject_name(Inject i);
 
@@ -102,8 +115,14 @@ struct Template {
 /// corpora rely on this; asserted in tests/datasets_test.cpp).
 Rng case_rng(std::uint64_t suite_seed, std::uint64_t ordinal);
 
-/// Full template registry.
+/// Full template registry (legacy templates first, widened-surface
+/// templates appended).
 const std::vector<Template>& all_templates();
+
+/// Registry view selected by suite configuration: `widened == false`
+/// returns only the legacy templates, so suites generated at legacy
+/// settings stay bit-identical; `true` returns the full registry.
+const std::vector<Template>& all_templates(bool widened);
 
 /// Template with the given id, or nullptr (ids are stable; repro
 /// corpora reference templates by id).
@@ -112,8 +131,13 @@ const Template* find_template(std::string_view id);
 /// Templates that can express a given injection.
 std::vector<const Template*> templates_for(Inject inj);
 
-/// Injection menus per suite label (error labels only).
+/// Injection menus per suite label (error labels only). The one-argument
+/// forms are the legacy menus (bit-identical suites at legacy settings);
+/// pass `widened == true` for the menus including the widened-surface
+/// injections.
 const std::vector<Inject>& injections_for(mpi::MbiLabel l);
 const std::vector<Inject>& injections_for(mpi::CorrLabel l);
+const std::vector<Inject>& injections_for(mpi::MbiLabel l, bool widened);
+const std::vector<Inject>& injections_for(mpi::CorrLabel l, bool widened);
 
 }  // namespace mpidetect::datasets

@@ -9,7 +9,9 @@ namespace mpidetect::io {
 namespace {
 
 constexpr std::string_view kMagic = "MPFZ";
-constexpr std::uint32_t kVersion = 1;
+// v1: injections up to MissingFinalizeCall. v2: the widened-surface
+// injections (same layout, larger enum range); writers always emit v2.
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kMaxRecords = 1u << 20;
 constexpr std::int32_t kMaxNprocs = 64;
 constexpr std::size_t kMaxDropped = 4096;
@@ -86,7 +88,8 @@ void save_fuzz_corpus(const std::filesystem::path& path,
 std::vector<FuzzRecord> load_fuzz_corpus(const std::filesystem::path& path) {
   std::vector<FuzzRecord> out;
   load_file(path, [&](Reader& r) {
-    read_section(r, kMagic, kVersion, "fuzz corpus");
+    const std::uint32_t version = read_section(r, kMagic, kVersion,
+                                               "fuzz corpus");
     const std::size_t n = r.count(kMaxRecords);
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -114,8 +117,12 @@ std::vector<FuzzRecord> load_fuzz_corpus(const std::filesystem::path& path) {
         r.fail("unknown template id in fuzz corpus: '" + rec.template_id +
                "'");
       }
-      if (rec.inject >
-          static_cast<std::uint8_t>(datasets::Inject::MissingFinalizeCall)) {
+      const std::uint8_t max_inject =
+          version >= 2
+              ? static_cast<std::uint8_t>(datasets::kLastInject)
+              : static_cast<std::uint8_t>(
+                    datasets::Inject::MissingFinalizeCall);
+      if (rec.inject > max_inject) {
         r.fail("out-of-range injection in fuzz corpus");
       }
       if (rec.size_class > 2) r.fail("out-of-range size class in fuzz corpus");

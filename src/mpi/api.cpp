@@ -136,6 +136,45 @@ std::vector<Signature> build_registry() {
       {{R::Buffer}, {R::Count}, {R::Datatype}, {R::TargetRank},
        {R::TargetDisp}, {R::TargetCount}, {R::TargetDatatype}, {R::Op},
        {R::Win}});
+
+  // Nonblocking collectives: the blocking signature + a trailing
+  // RequestOut, exactly as the MPI standard appends it.
+  set(Func::Ibarrier, "MPI_Ibarrier", {{R::Comm}, {R::RequestOut}});
+  set(Func::Ibcast, "MPI_Ibcast",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::Root}, {R::Comm},
+       {R::RequestOut}});
+  set(Func::Ireduce, "MPI_Ireduce",
+      {{R::Buffer}, {R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::Op},
+       {R::Root}, {R::Comm}, {R::RequestOut}});
+  set(Func::Iallreduce, "MPI_Iallreduce",
+      {{R::Buffer}, {R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::Op},
+       {R::Comm}, {R::RequestOut}});
+  set(Func::Igather, "MPI_Igather",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::RecvBuffer}, {R::Count},
+       {R::Datatype}, {R::Root}, {R::Comm}, {R::RequestOut}});
+  set(Func::Iscatter, "MPI_Iscatter",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::RecvBuffer}, {R::Count},
+       {R::Datatype}, {R::Root}, {R::Comm}, {R::RequestOut}});
+  set(Func::Ialltoall, "MPI_Ialltoall",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::RecvBuffer}, {R::Count},
+       {R::Datatype}, {R::Comm}, {R::RequestOut}});
+
+  set(Func::Sendrecv, "MPI_Sendrecv",
+      {{R::Buffer}, {R::Count}, {R::Datatype}, {R::DestRank}, {R::Tag},
+       {R::RecvBuffer}, {R::Count}, {R::Datatype}, {R::SrcRank}, {R::Tag},
+       {R::Comm}, {R::StatusOut}});
+  set(Func::Probe, "MPI_Probe",
+      {{R::SrcRank}, {R::Tag}, {R::Comm}, {R::StatusOut}});
+  set(Func::Iprobe, "MPI_Iprobe",
+      {{R::SrcRank}, {R::Tag}, {R::Comm}, {R::IntOut}, {R::StatusOut}});
+
+  set(Func::Waitany, "MPI_Waitany",
+      {{R::Count}, {R::RequestArray}, {R::IndexOut}, {R::StatusOut}});
+  set(Func::Waitsome, "MPI_Waitsome",
+      {{R::Count}, {R::RequestArray}, {R::IntOut}, {R::IndexArray},
+       {R::StatusOut}});
+  set(Func::Testall, "MPI_Testall",
+      {{R::Count}, {R::RequestArray}, {R::IntOut}, {R::StatusOut}});
   return regs;
 }
 
@@ -181,6 +220,8 @@ ir::Type arg_role_type(ArgRole role) {
     case ArgRole::WinBase:
     case ArgRole::WinOut:
     case ArgRole::WinInOut:
+    case ArgRole::IndexOut:
+    case ArgRole::IndexArray:
       return ir::Type::Ptr;
     case ArgRole::WinSize:
     case ArgRole::TargetDisp:
@@ -209,12 +250,41 @@ bool is_collective(Func f) {
     case Func::WinFence:
       return true;
     default:
+      return is_nonblocking_collective(f);
+  }
+}
+
+bool is_nonblocking_collective(Func f) {
+  switch (f) {
+    case Func::Ibarrier:
+    case Func::Ibcast:
+    case Func::Ireduce:
+    case Func::Iallreduce:
+    case Func::Igather:
+    case Func::Iscatter:
+    case Func::Ialltoall:
+      return true;
+    default:
       return false;
   }
 }
 
+std::optional<Func> blocking_equivalent(Func f) {
+  switch (f) {
+    case Func::Ibarrier: return Func::Barrier;
+    case Func::Ibcast: return Func::Bcast;
+    case Func::Ireduce: return Func::Reduce;
+    case Func::Iallreduce: return Func::Allreduce;
+    case Func::Igather: return Func::Gather;
+    case Func::Iscatter: return Func::Scatter;
+    case Func::Ialltoall: return Func::Alltoall;
+    default: return std::nullopt;
+  }
+}
+
 bool is_blocking_p2p(Func f) {
-  return f == Func::Send || f == Func::Ssend || f == Func::Recv;
+  return f == Func::Send || f == Func::Ssend || f == Func::Recv ||
+         f == Func::Sendrecv;
 }
 
 bool starts_request(Func f) {
@@ -226,7 +296,7 @@ bool starts_request(Func f) {
     case Func::Start:
       return true;
     default:
-      return false;
+      return is_nonblocking_collective(f);
   }
 }
 

@@ -30,6 +30,7 @@ inline constexpr std::int32_t kProcNull = -3;
 inline constexpr std::int32_t kTagUb = 32767;
 inline constexpr std::int32_t kSuccess = 0;
 inline constexpr std::int32_t kRequestNull = 0;
+inline constexpr std::int32_t kUndefined = -32766;  // MPI_UNDEFINED
 
 /// Built-in datatype handles; derived datatypes are assigned handles
 /// >= kFirstDerivedDatatype by MPI_Type_contiguous.
@@ -107,10 +108,26 @@ enum class Func : std::uint8_t {
   Put,
   Get,
   Accumulate,
+  // nonblocking collectives (appended after v1 for enum stability)
+  Ibarrier,
+  Ibcast,
+  Ireduce,
+  Iallreduce,
+  Igather,
+  Iscatter,
+  Ialltoall,
+  // combined / probing point-to-point
+  Sendrecv,
+  Probe,
+  Iprobe,
+  // wait-family extensions
+  Waitany,
+  Waitsome,
+  Testall,
 };
 
 inline constexpr std::size_t kNumFuncs =
-    static_cast<std::size_t>(Func::Accumulate) + 1;
+    static_cast<std::size_t>(Func::Testall) + 1;
 
 /// "MPI_Send", "MPI_Comm_rank", ... the exact extern name.
 std::string_view func_name(Func f);
@@ -153,6 +170,8 @@ enum class ArgRole : std::uint8_t {
   TargetDatatype,// i32 (RMA)
   Assert,        // i32 (fence/lock assertion)
   LockType,      // i32
+  IndexOut,      // ptr: plain int completion index (MPI_Waitany)
+  IndexArray,    // ptr: int[count] completion indices (MPI_Waitsome)
 };
 
 /// IR type naturally carried by each role.
@@ -172,7 +191,16 @@ struct Signature {
 const Signature& signature(Func f);
 
 /// True for the collective operations (all ranks of the comm must call).
+/// Includes the nonblocking collectives: they synchronize the same
+/// participant set, just with completion deferred to the wait family.
 bool is_collective(Func f);
+
+/// True for the request-returning collectives (MPI_Ibarrier ...).
+bool is_nonblocking_collective(Func f);
+
+/// The blocking collective a nonblocking collective mirrors
+/// (Ibcast -> Bcast, ...); nullopt for everything else.
+std::optional<Func> blocking_equivalent(Func f);
 
 /// True for blocking point-to-point operations.
 bool is_blocking_p2p(Func f);

@@ -63,9 +63,14 @@ enum class RankStatus : std::uint8_t {
   BlockedRecv,
   BlockedColl,
   BlockedWait,
+  BlockedProbe,
+  BlockedJoin,  // parent context waiting on forked thread contexts
   Finished,
   Crashed,
 };
+
+/// Which wait-family call a BlockedWait context is executing.
+enum class WaitMode : std::uint8_t { All, Any, Some };
 
 /// A posted (possibly in-flight) point-to-point send.
 struct PendingSend {
@@ -79,6 +84,7 @@ struct PendingSend {
   bool matched = false;
   std::int64_t request = 0;   // nonzero when started by Isend/Start
   std::uint64_t seq = 0;      // posting order (non-overtaking matching)
+  int ctx = 0;                // posting execution context within src
 };
 
 /// A posted receive waiting for a matching send.
@@ -91,11 +97,12 @@ struct PendingRecv {
   std::uint64_t buffer = 0;
   std::int64_t request = 0;   // nonzero when posted by Irecv/Start
   std::uint64_t seq = 0;
+  int ctx = 0;                // posting execution context within rank
 };
 
 /// Nonblocking / persistent operation state.
 struct Request {
-  enum class Kind : std::uint8_t { Send, Recv } kind = Kind::Send;
+  enum class Kind : std::uint8_t { Send, Recv, Coll } kind = Kind::Send;
   int rank = 0;
   bool persistent = false;
   bool active = false;     // started and not yet completed
@@ -121,6 +128,16 @@ struct CollArrival {
   std::uint64_t win_base = 0;          // Win_create
   std::int64_t win_size = 0;
   std::int32_t win = -1;               // Win_fence / Win_free
+  int ctx = 0;                         // arriving execution context
+};
+
+/// One in-flight nonblocking-collective "round" on a communicator:
+/// the n-th Ibarrier/Ibcast/... a rank posts on that comm joins the
+/// n-th round (MPI orders nonblocking collectives per communicator).
+struct NbcRound {
+  std::map<int, CollArrival> arr;    // world rank -> arrival
+  std::map<int, std::int64_t> reqs;  // world rank -> request handle
+  bool done = false;
 };
 
 struct Communicator {
@@ -159,18 +176,52 @@ struct OwnedRange {
   std::int64_t request = 0;
 };
 
-struct RankState {
+/// One schedulable execution context of a rank. Context 0 is the main
+/// thread; __mpidetect_thread_fork pushes two more per ThreadBlock
+/// (MPI_THREAD_MULTIPLE model: threads share the rank's arena, request
+/// table, and MPI state, but execute and block independently).
+struct ExecCtx {
   RankStatus status = RankStatus::Runnable;
   std::vector<Frame> frames;
+  // Blocked-on descriptors.
+  std::uint64_t wait_requests[64] = {};
+  int wait_slots[64] = {};  // original array indices (Waitany/Waitsome)
+  int wait_count = 0;
+  WaitMode wait_mode = WaitMode::All;
+  std::uint64_t wait_array = 0;         // request array base address
+  std::uint64_t wait_index_out = 0;     // Waitany: int* index
+  std::uint64_t wait_outcount_out = 0;  // Waitsome: int* outcount
+  std::uint64_t wait_indices_out = 0;   // Waitsome: int[] indices
+  std::uint64_t blocked_send_seq = 0;
+  std::int32_t probe_src = 0, probe_tag = 0, probe_comm = 0;
+  int parent = -1;  // forking context index; -1 for the main thread
+  std::vector<int> join_children;
+};
+
+struct RankState {
+  std::vector<ExecCtx> ctxs;  // ctx 0 = main thread
+  int active = 0;             // context currently executing
   std::vector<std::uint8_t> arena;
   std::size_t bump = 8;  // offset 0..7 reserved
   bool inited = false, finalized = false;
-  // Blocked-on descriptors.
-  std::uint64_t wait_requests[64];
-  int wait_count = 0;
-  std::uint64_t blocked_send_seq = 0;
-  std::vector<OwnedRange> owned;
+  std::vector<OwnedRange> owned;  // process memory: shared across ctxs
+
+  ExecCtx& cur() { return ctxs[static_cast<std::size_t>(active)]; }
+  const ExecCtx& cur() const {
+    return ctxs[static_cast<std::size_t>(active)];
+  }
 };
+
+/// A rank is dead only when every context has stopped for good.
+inline bool rank_dead(const RankState& r) {
+  for (const ExecCtx& c : r.ctxs) {
+    if (c.status != RankStatus::Finished &&
+        c.status != RankStatus::Crashed) {
+      return false;
+    }
+  }
+  return true;
+}
 
 class Machine {
  public:
@@ -186,7 +237,10 @@ class Machine {
         rng_(sched_seed_) {
     rep_.schedule_seed = sched_seed_;
     ranks_.resize(static_cast<std::size_t>(cfg.nprocs));
-    for (auto& r : ranks_) r.arena.assign(cfg.arena_bytes, 0);
+    for (auto& r : ranks_) {
+      r.arena.assign(cfg.arena_bytes, 0);
+      r.ctxs.resize(1);  // main thread
+    }
     Communicator world;
     world.builtin = true;
     for (int i = 0; i < cfg.nprocs; ++i) world.ranks.push_back(i);
@@ -252,7 +306,10 @@ class Machine {
   }
 
   void crash(int rank) {
-    ranks_[static_cast<std::size_t>(rank)].status = RankStatus::Crashed;
+    // A crash kills the whole process: every thread context stops.
+    for (ExecCtx& c : ranks_[static_cast<std::size_t>(rank)].ctxs) {
+      c.status = RankStatus::Crashed;
+    }
   }
 
   // --- value evaluation ----------------------------------------------------
@@ -265,7 +322,8 @@ class Machine {
       case ValueKind::Function:
         return RtVal{0, 0.0};
       default: {
-        Frame& fr = ranks_[static_cast<std::size_t>(rank)].frames.back();
+        Frame& fr =
+            ranks_[static_cast<std::size_t>(rank)].cur().frames.back();
         const auto it = fr.regs.find(v);
         return it != fr.regs.end() ? it->second : RtVal{};
       }
@@ -273,11 +331,12 @@ class Machine {
   }
 
   void set_reg(int rank, const Value* v, RtVal val) {
-    ranks_[static_cast<std::size_t>(rank)].frames.back().regs[v] = val;
+    ranks_[static_cast<std::size_t>(rank)].cur().frames.back().regs[v] =
+        val;
   }
 
   // --- execution -----------------------------------------------------------
-  void step(int rank);
+  void step(int rank, int ctx);
   void exec(int rank, const Instruction& inst);
   void enter_block(int rank, const BasicBlock* to);
   void do_return(int rank, std::optional<RtVal> value);
@@ -302,15 +361,33 @@ class Machine {
                  std::int64_t request);
   void post_recv(int rank, Func f, const Instruction& inst,
                  std::int64_t request);
+  /// Extracts and validates the operands of a synchronizing op into `a`;
+  /// false when the call is malformed (reported) and becomes a no-op.
+  bool parse_collective_args(int rank, Func f, const Instruction& inst,
+                             CollArrival& a, std::int32_t& comm);
   void arrive_collective(int rank, Func f, const Instruction& inst);
   void try_complete_collectives();
   void complete_collective(std::int32_t comm,
-                           std::vector<std::pair<int, CollArrival>>& arr);
+                           std::vector<std::pair<int, CollArrival>>& arr,
+                           bool release);
+  void nbc_post(int rank, Func f, const Instruction& inst,
+                std::int64_t handle);
+  void try_complete_nbc();
+  void exec_sendrecv(int rank, const Instruction& inst);
+  bool probe_match(int rank, std::int32_t src, std::int32_t tag,
+                   std::int32_t comm, int* sources);
+  void check_probes();
   void match_messages();
   void complete_request(std::int64_t handle);
   void finish_wait_if_ready(int rank);
+  void try_finish_wait(int rank, int ctx);
   void finalize_rank(int rank);
   void leak_check();
+  std::size_t quiet_dtype_bytes(std::int32_t handle) {
+    if (const auto sz = mpi::builtin_datatype_size(handle)) return *sz;
+    const auto it = derived_types_.find(handle);
+    return it != derived_types_.end() ? it->second.bytes : 0;
+  }
 
   RtVal arg(int rank, const Instruction& inst, std::size_t idx) {
     return eval(rank, inst.operand(idx));
@@ -342,6 +419,10 @@ class Machine {
   std::int32_t next_dtype_ = mpi::kFirstDerivedDatatype;
   // comm handle -> per-rank arrival slot for synchronizing operations
   std::map<std::int32_t, std::map<int, CollArrival>> arrivals_;
+  // comm handle -> ordered nonblocking-collective rounds
+  std::map<std::int32_t, std::vector<NbcRound>> nbc_rounds_;
+  // comm handle -> rank -> number of NBC operations posted so far
+  std::map<std::int32_t, std::map<int, int>> nbc_posted_;
   int finalize_arrivals_ = 0;
   bool matching_dirty_ = false;
 };
@@ -351,7 +432,7 @@ class Machine {
 // ===========================================================================
 
 void Machine::enter_block(int rank, const BasicBlock* to) {
-  Frame& fr = ranks_[static_cast<std::size_t>(rank)].frames.back();
+  Frame& fr = ranks_[static_cast<std::size_t>(rank)].cur().frames.back();
   fr.prev_block = fr.block;
   fr.block = to;
   fr.inst = 0;
@@ -374,26 +455,46 @@ void Machine::enter_block(int rank, const BasicBlock* to) {
 
 void Machine::do_return(int rank, std::optional<RtVal> value) {
   RankState& r = ranks_[static_cast<std::size_t>(rank)];
-  const Instruction* site = r.frames.back().call_site;
-  r.frames.pop_back();
-  if (r.frames.empty()) {
-    if (r.inited && !r.finalized) {
+  ExecCtx& c = r.cur();
+  const Instruction* site = c.frames.back().call_site;
+  c.frames.pop_back();
+  if (c.frames.empty()) {
+    // Only the main thread carries the MissingFinalize obligation.
+    if (r.active == 0 && r.inited && !r.finalized) {
       report(FindingKind::MissingFinalize, rank,
              "main returned without MPI_Finalize");
     }
-    r.status = RankStatus::Finished;
+    c.status = RankStatus::Finished;
+    // Wake a parent blocked joining this thread once all siblings end.
+    if (c.parent >= 0) {
+      ExecCtx& p = r.ctxs[static_cast<std::size_t>(c.parent)];
+      if (p.status == RankStatus::BlockedJoin) {
+        bool all = true;
+        for (const int ci : p.join_children) {
+          const RankStatus st =
+              r.ctxs[static_cast<std::size_t>(ci)].status;
+          if (st != RankStatus::Finished && st != RankStatus::Crashed) {
+            all = false;
+            break;
+          }
+        }
+        if (all) p.status = RankStatus::Runnable;
+      }
+    }
     return;
   }
   if (site != nullptr && value.has_value() &&
       site->type() != Type::Void) {
-    r.frames.back().regs[site] = *value;
+    c.frames.back().regs[site] = *value;
   }
 }
 
-void Machine::step(int rank) {
+void Machine::step(int rank, int ctx) {
   RankState& r = ranks_[static_cast<std::size_t>(rank)];
-  if (r.status != RankStatus::Runnable) return;
-  Frame& fr = r.frames.back();
+  r.active = ctx;
+  ExecCtx& c = r.ctxs[static_cast<std::size_t>(ctx)];
+  if (c.status != RankStatus::Runnable) return;
+  Frame& fr = c.frames.back();
   if (fr.inst >= fr.block->size()) {
     // Malformed block (no terminator) — treat as fault.
     report(FindingKind::MemoryFault, rank, "fell off block end");
@@ -407,7 +508,7 @@ void Machine::step(int rank) {
 
 void Machine::exec(int rank, const Instruction& inst) {
   RankState& r = ranks_[static_cast<std::size_t>(rank)];
-  Frame& fr = r.frames.back();
+  Frame& fr = r.cur().frames.back();
   const auto advance = [&] { ++fr.inst; };
 
   switch (inst.opcode()) {
@@ -417,7 +518,7 @@ void Machine::exec(int rank, const Instruction& inst) {
           static_cast<std::size_t>(std::max<std::int64_t>(count, 0)) *
           ir::type_size(inst.alloc_type());
       const std::uint64_t addr = alloc(rank, std::max<std::size_t>(bytes, 1));
-      if (r.status == RankStatus::Crashed) return;
+      if (r.cur().status == RankStatus::Crashed) return;
       set_reg(rank, &inst, RtVal{static_cast<std::int64_t>(addr), 0.0});
       advance();
       return;
@@ -621,11 +722,38 @@ void Machine::exec(int rank, const Instruction& inst) {
 
 void Machine::exec_call(int rank, const Instruction& inst) {
   RankState& r = ranks_[static_cast<std::size_t>(rank)];
-  Frame& fr = r.frames.back();
+  Frame& fr = r.cur().frames.back();
   const Function* callee = inst.callee();
 
   if (const auto f = mpi::classify_call(inst)) {
     exec_mpi(rank, *f, inst);
+    return;
+  }
+
+  // ThreadBlock lowering: fork two thread contexts, join the caller.
+  if (callee->name() == "__mpidetect_thread_fork" &&
+      inst.num_operands() == 3 &&
+      inst.operand(0)->kind() == ValueKind::Function &&
+      inst.operand(1)->kind() == ValueKind::Function) {
+    const RtVal shared = eval(rank, inst.operand(2));
+    ++fr.inst;  // the parent resumes after the implicit join
+    const int parent_idx = r.active;
+    const int base = static_cast<int>(r.ctxs.size());
+    for (int t = 0; t < 2; ++t) {
+      const Function* tf =
+          static_cast<const Function*>(inst.operand(t));
+      ExecCtx child;
+      child.parent = parent_idx;
+      Frame cf;
+      cf.func = tf;
+      cf.block = tf->entry();
+      if (tf->num_args() >= 1) cf.regs[tf->arg(0)] = shared;
+      child.frames.push_back(std::move(cf));
+      r.ctxs.push_back(std::move(child));  // invalidates fr
+    }
+    ExecCtx& p = r.ctxs[static_cast<std::size_t>(parent_idx)];
+    p.join_children = {base, base + 1};
+    p.status = RankStatus::BlockedJoin;
     return;
   }
 
@@ -645,7 +773,7 @@ void Machine::exec_call(int rank, const Instruction& inst) {
     next.regs[callee->arg(i)] = eval(rank, inst.operand(i));
   }
   ++fr.inst;  // resume after the call on return
-  r.frames.push_back(std::move(next));
+  r.cur().frames.push_back(std::move(next));
   // Entry block may start with phis only in malformed IR; enter normally.
 }
 
@@ -771,6 +899,7 @@ void Machine::post_send(int rank, Func f, const Instruction& inst,
   s.synchronous = (f == Func::Ssend) || bytes > cfg_.eager_threshold;
   s.request = request;
   s.seq = ++seq_;
+  s.ctx = ranks_[static_cast<std::size_t>(rank)].active;
   sends_.push_back(std::move(s));
   matching_dirty_ = true;
 
@@ -781,9 +910,9 @@ void Machine::post_send(int rank, Func f, const Instruction& inst,
     // Eager sends complete immediately even when nonblocking.
     if (!sends_.back().synchronous) complete_request(request);
   } else if (sends_.back().synchronous) {
-    RankState& r = ranks_[static_cast<std::size_t>(rank)];
-    r.status = RankStatus::BlockedSend;
-    r.blocked_send_seq = sends_.back().seq;
+    ExecCtx& c = ranks_[static_cast<std::size_t>(rank)].cur();
+    c.status = RankStatus::BlockedSend;
+    c.blocked_send_seq = sends_.back().seq;
   }
 }
 
@@ -830,6 +959,7 @@ void Machine::post_recv(int rank, Func f, const Instruction& inst,
   rv.buffer = buf;
   rv.request = request;
   rv.seq = ++seq_;
+  rv.ctx = ranks_[static_cast<std::size_t>(rank)].active;
   recvs_.push_back(rv);
   matching_dirty_ = true;
 
@@ -838,7 +968,8 @@ void Machine::post_recv(int rank, Func f, const Instruction& inst,
     requests_[request].byte_len = bytes;
     if (bytes > 0) add_owned(rank, buf, buf + bytes, /*write=*/true, request);
   } else {
-    ranks_[static_cast<std::size_t>(rank)].status = RankStatus::BlockedRecv;
+    ranks_[static_cast<std::size_t>(rank)].cur().status =
+        RankStatus::BlockedRecv;
   }
 }
 
@@ -916,9 +1047,10 @@ void Machine::match_messages() {
         complete_request(best->request);
       } else if (best->synchronous) {
         RankState& sr = ranks_[static_cast<std::size_t>(best->src)];
-        if (sr.status == RankStatus::BlockedSend &&
-            sr.blocked_send_seq == best->seq) {
-          sr.status = RankStatus::Runnable;
+        ExecCtx& sc = sr.ctxs[static_cast<std::size_t>(best->ctx)];
+        if (sc.status == RankStatus::BlockedSend &&
+            sc.blocked_send_seq == best->seq) {
+          sc.status = RankStatus::Runnable;
         }
       }
       // Complete the receive side.
@@ -926,8 +1058,9 @@ void Machine::match_messages() {
         complete_request(rit->request);
       } else {
         RankState& rr = ranks_[static_cast<std::size_t>(rit->rank)];
-        if (rr.status == RankStatus::BlockedRecv) {
-          rr.status = RankStatus::Runnable;
+        ExecCtx& rc = rr.ctxs[static_cast<std::size_t>(rit->ctx)];
+        if (rc.status == RankStatus::BlockedRecv) {
+          rc.status = RankStatus::Runnable;
         }
       }
       recvs_.erase(rit);
@@ -951,26 +1084,85 @@ void Machine::complete_request(std::int64_t handle) {
 
 void Machine::finish_wait_if_ready(int rank) {
   RankState& r = ranks_[static_cast<std::size_t>(rank)];
-  if (r.status != RankStatus::BlockedWait) return;
-  for (int i = 0; i < r.wait_count; ++i) {
+  for (std::size_t ci = 0; ci < r.ctxs.size(); ++ci) {
+    try_finish_wait(rank, static_cast<int>(ci));
+  }
+}
+
+void Machine::try_finish_wait(int rank, int ctx) {
+  ExecCtx& c =
+      ranks_[static_cast<std::size_t>(rank)].ctxs[static_cast<std::size_t>(
+          ctx)];
+  if (c.status != RankStatus::BlockedWait) return;
+
+  if (c.wait_mode == WaitMode::All) {
+    for (int i = 0; i < c.wait_count; ++i) {
+      const auto it = requests_.find(static_cast<std::int64_t>(
+          c.wait_requests[i]));
+      if (it != requests_.end() && !it->second.completed &&
+          it->second.active) {
+        return;  // still pending
+      }
+    }
+    c.status = RankStatus::Runnable;
+    return;
+  }
+
+  // Waitany / Waitsome: at least one registered request completed.
+  // These consume only the completed handles *at completion time* —
+  // unlike Wait/Waitall, which consume everything up front.
+  std::vector<int> ready;
+  for (int i = 0; i < c.wait_count; ++i) {
     const auto it = requests_.find(static_cast<std::int64_t>(
-        r.wait_requests[i]));
-    if (it != requests_.end() && !it->second.completed &&
-        it->second.active) {
-      return;  // still pending
+        c.wait_requests[i]));
+    if (it == requests_.end() || it->second.completed) ready.push_back(i);
+  }
+  if (ready.empty()) return;
+  if (c.wait_mode == WaitMode::Any) {
+    ready.resize(1);  // lowest original index wins, deterministically
+  }
+  for (const int i : ready) {
+    const std::int64_t h =
+        static_cast<std::int64_t>(c.wait_requests[i]);
+    const auto it = requests_.find(h);
+    if (it == requests_.end()) continue;
+    it->second.waited = true;
+    if (!it->second.persistent) {
+      const std::int64_t null_req = mpi::kRequestNull;
+      mem_write(rank,
+                c.wait_array +
+                    static_cast<std::uint64_t>(c.wait_slots[i]) * 8,
+                &null_req, 8);
     }
   }
-  r.status = RankStatus::Runnable;
+  if (c.wait_mode == WaitMode::Any) {
+    const std::int32_t idx = c.wait_slots[ready.front()];
+    if (c.wait_index_out != 0) mem_write(rank, c.wait_index_out, &idx, 4);
+  } else {
+    const std::int32_t outcount =
+        static_cast<std::int32_t>(ready.size());
+    if (c.wait_outcount_out != 0) {
+      mem_write(rank, c.wait_outcount_out, &outcount, 4);
+    }
+    if (c.wait_indices_out != 0) {
+      for (std::size_t j = 0; j < ready.size(); ++j) {
+        const std::int32_t idx = c.wait_slots[ready[j]];
+        mem_write(rank, c.wait_indices_out + j * 4, &idx, 4);
+      }
+    }
+  }
+  c.status = RankStatus::Runnable;
 }
 
 // ===========================================================================
 // Synchronizing operations (collectives, comm management, RMA sync)
 // ===========================================================================
 
-void Machine::arrive_collective(int rank, Func f, const Instruction& inst) {
-  CollArrival a;
+bool Machine::parse_collective_args(int rank, Func f,
+                                    const Instruction& inst, CollArrival& a,
+                                    std::int32_t& comm) {
   a.func = f;
-  std::int32_t comm = mpi::kCommWorld;
+  comm = mpi::kCommWorld;
 
   switch (f) {
     case Func::Barrier:
@@ -1042,7 +1234,7 @@ void Machine::arrive_collective(int rank, Func f, const Instruction& inst) {
       const auto it = windows_.find(win);
       if (it == windows_.end() || it->second.freed) {
         report(FindingKind::InvalidParam, rank, "fence on invalid window");
-        return;
+        return false;
       }
       comm = it->second.comm;
       break;
@@ -1051,13 +1243,13 @@ void Machine::arrive_collective(int rank, Func f, const Instruction& inst) {
       const std::uint64_t winp =
           static_cast<std::uint64_t>(arg(rank, inst, 0).i);
       std::int32_t win = 0;
-      if (!mem_read(rank, winp, &win, 4)) { crash(rank); return; }
+      if (!mem_read(rank, winp, &win, 4)) { crash(rank); return false; }
       a.win = win;
       a.out_ptr = winp;
       const auto it = windows_.find(win);
       if (it == windows_.end() || it->second.freed) {
         report(FindingKind::InvalidParam, rank, "free of invalid window");
-        return;
+        return false;
       }
       comm = it->second.comm;
       break;
@@ -1069,23 +1261,30 @@ void Machine::arrive_collective(int rank, Func f, const Instruction& inst) {
       MPIDETECT_UNREACHABLE("not a synchronizing op");
   }
 
-  if (f != Func::Finalize && !validate_comm(comm, rank)) return;
+  if (f != Func::Finalize && !validate_comm(comm, rank)) return false;
   if (a.count < 0 || a.count2 < 0) {
     report(FindingKind::InvalidParam, rank, "negative collective count");
-    return;
+    return false;
   }
   if ((f == Func::Reduce || f == Func::Allreduce ||
        f == Func::Accumulate) &&
       !mpi::is_valid_reduce_op(a.op)) {
     report(FindingKind::InvalidParam, rank, "invalid reduction op");
-    return;
+    return false;
   }
   if (f == Func::Bcast || f == Func::Reduce || f == Func::Gather ||
       f == Func::Scatter) {
     if (!validate_rank_arg(a.root, comm, rank, /*wildcard_ok=*/false)) {
-      return;
+      return false;
     }
   }
+  return true;
+}
+
+void Machine::arrive_collective(int rank, Func f, const Instruction& inst) {
+  CollArrival a;
+  std::int32_t comm = mpi::kCommWorld;
+  if (!parse_collective_args(rank, f, inst, a, comm)) return;
 
   auto& slot = arrivals_[comm];
   if (slot.count(rank) != 0) {
@@ -1093,8 +1292,10 @@ void Machine::arrive_collective(int rank, Func f, const Instruction& inst) {
     report(FindingKind::CollectiveMismatch, rank, "double arrival");
     return;
   }
+  RankState& r = ranks_[static_cast<std::size_t>(rank)];
+  a.ctx = r.active;
   slot[rank] = a;
-  ranks_[static_cast<std::size_t>(rank)].status = RankStatus::BlockedColl;
+  r.cur().status = RankStatus::BlockedColl;
 }
 
 void Machine::try_complete_collectives() {
@@ -1106,8 +1307,7 @@ void Machine::try_complete_collectives() {
     // never arrive: that is a deadlock, caught by the scheduler).
     bool all = true;
     for (const int rk : c->ranks) {
-      const RankStatus st = ranks_[static_cast<std::size_t>(rk)].status;
-      if (st == RankStatus::Finished || st == RankStatus::Crashed) {
+      if (rank_dead(ranks_[static_cast<std::size_t>(rk)])) {
         all = false;
         break;
       }
@@ -1122,12 +1322,13 @@ void Machine::try_complete_collectives() {
     std::vector<std::pair<int, CollArrival>> arr(
         arrivals_[comm].begin(), arrivals_[comm].end());
     arrivals_.erase(comm);
-    complete_collective(comm, arr);
+    complete_collective(comm, arr, /*release=*/true);
   }
 }
 
 void Machine::complete_collective(
-    std::int32_t comm, std::vector<std::pair<int, CollArrival>>& arr) {
+    std::int32_t comm, std::vector<std::pair<int, CollArrival>>& arr,
+    bool release) {
   // 1) All ranks must be in the same operation.
   const Func f0 = arr.front().second.func;
   for (const auto& [rk, a] : arr) {
@@ -1422,11 +1623,274 @@ void Machine::complete_collective(
     }
   }
 
-  // Release everyone.
-  for (const auto& [rk, a] : arr) {
-    (void)a;
+  // Release everyone (blocking collectives only: a nonblocking round
+  // completes requests instead, and must not wake a context that is
+  // blocked in a *different* blocking collective).
+  if (release) {
+    for (const auto& [rk, a] : arr) {
+      RankState& r = ranks_[static_cast<std::size_t>(rk)];
+      if (a.ctx < 0 || a.ctx >= static_cast<int>(r.ctxs.size())) continue;
+      ExecCtx& c = r.ctxs[static_cast<std::size_t>(a.ctx)];
+      if (c.status == RankStatus::BlockedColl) {
+        c.status = RankStatus::Runnable;
+      }
+    }
+  }
+}
+
+// ===========================================================================
+// Nonblocking collectives
+// ===========================================================================
+
+void Machine::nbc_post(int rank, Func f, const Instruction& inst,
+                       std::int64_t handle) {
+  CollArrival a;
+  std::int32_t comm = mpi::kCommWorld;
+  const Func bf = *mpi::blocking_equivalent(f);
+  // Operand layouts match the blocking collective; the trailing
+  // MPI_Request* is simply ignored by the blocking parser. A malformed
+  // call never joins a round, so its request never completes: waiters
+  // deadlock, exactly like the blocking operation would hang.
+  if (!parse_collective_args(rank, bf, inst, a, comm)) return;
+  RankState& r = ranks_[static_cast<std::size_t>(rank)];
+  a.func = f;  // agreement is checked on the *specific* NBC identity
+  a.ctx = r.active;
+
+  const int round_idx = nbc_posted_[comm][rank]++;
+  auto& rounds = nbc_rounds_[comm];
+  if (static_cast<int>(rounds.size()) <= round_idx) {
+    rounds.resize(static_cast<std::size_t>(round_idx) + 1);
+  }
+  rounds[static_cast<std::size_t>(round_idx)].arr[rank] = a;
+  rounds[static_cast<std::size_t>(round_idx)].reqs[rank] = handle;
+
+  // The library owns the buffers until the request completes.
+  const std::size_t bytes =
+      static_cast<std::size_t>(std::max<std::int64_t>(a.count, 0)) *
+      (a.dtype >= 0 ? quiet_dtype_bytes(a.dtype) : 0);
+  const std::size_t bytes2 =
+      static_cast<std::size_t>(std::max<std::int64_t>(a.count2, 0)) *
+      (a.dtype2 >= 0 ? quiet_dtype_bytes(a.dtype2) : 0);
+  switch (bf) {
+    case Func::Barrier:
+      break;
+    case Func::Bcast: {
+      // The root reads its buffer; every other rank gets it written.
+      const Communicator* c = comm_of(comm);
+      const bool is_root =
+          c != nullptr && a.root >= 0 &&
+          a.root < static_cast<std::int32_t>(c->ranks.size()) &&
+          c->ranks[static_cast<std::size_t>(a.root)] == rank;
+      if (bytes > 0 && a.sendbuf != 0) {
+        add_owned(rank, a.sendbuf, a.sendbuf + bytes, !is_root, handle);
+      }
+      break;
+    }
+    case Func::Reduce:
+    case Func::Allreduce:
+      if (bytes > 0 && a.sendbuf != 0) {
+        add_owned(rank, a.sendbuf, a.sendbuf + bytes, false, handle);
+      }
+      if (bytes > 0 && a.recvbuf != 0) {
+        add_owned(rank, a.recvbuf, a.recvbuf + bytes, true, handle);
+      }
+      break;
+    default:  // Gather / Scatter / Alltoall: per-chunk approximation
+      if (bytes > 0 && a.sendbuf != 0) {
+        add_owned(rank, a.sendbuf, a.sendbuf + bytes, false, handle);
+      }
+      if (bytes2 > 0 && a.recvbuf != 0) {
+        add_owned(rank, a.recvbuf, a.recvbuf + bytes2, true, handle);
+      }
+      break;
+  }
+  requests_[handle].byte_len = bytes;
+}
+
+void Machine::try_complete_nbc() {
+  for (auto& [comm, rounds] : nbc_rounds_) {
+    const Communicator* c = comm_of(comm);
+    if (c == nullptr) continue;
+    for (auto& round : rounds) {
+      if (round.done) continue;
+      bool all = true;
+      for (const int rk : c->ranks) {
+        if (round.arr.count(rk) == 0) {
+          all = false;
+          break;
+        }
+      }
+      // Rounds complete in posting order per communicator; a later
+      // round cannot overtake an incomplete earlier one.
+      if (!all) break;
+      round.done = true;
+
+      const Func f0 = round.arr.begin()->second.func;
+      bool mismatch = false;
+      for (const auto& [rk, a] : round.arr) {
+        (void)rk;
+        if (a.func != f0) {
+          report(FindingKind::CollectiveMismatch, -1,
+                 std::string("ranks disagree on nonblocking collective: ") +
+                     std::string(mpi::func_name(f0)) + " vs " +
+                     std::string(mpi::func_name(a.func)));
+          mismatch = true;
+          break;
+        }
+      }
+      // Mismatched rounds hang: the requests never complete, so every
+      // waiter stays blocked and the scheduler declares deadlock.
+      if (mismatch) continue;
+
+      std::vector<std::pair<int, CollArrival>> arr;
+      arr.reserve(round.arr.size());
+      for (const auto& [rk, a] : round.arr) {
+        CollArrival b = a;
+        b.func = *mpi::blocking_equivalent(a.func);
+        arr.emplace_back(rk, b);
+      }
+      complete_collective(comm, arr, /*release=*/false);
+      for (const auto& [rk, h] : round.reqs) {
+        (void)rk;
+        complete_request(h);
+      }
+    }
+  }
+}
+
+// ===========================================================================
+// Combined and probing point-to-point
+// ===========================================================================
+
+void Machine::exec_sendrecv(int rank, const Instruction& inst) {
+  const std::uint64_t sbuf =
+      static_cast<std::uint64_t>(arg(rank, inst, 0).i);
+  const std::int64_t scount = arg(rank, inst, 1).i;
+  const std::int32_t sdtype =
+      static_cast<std::int32_t>(arg(rank, inst, 2).i);
+  const std::int32_t dest = static_cast<std::int32_t>(arg(rank, inst, 3).i);
+  const std::int32_t stag = static_cast<std::int32_t>(arg(rank, inst, 4).i);
+  const std::uint64_t rbuf =
+      static_cast<std::uint64_t>(arg(rank, inst, 5).i);
+  const std::int64_t rcount = arg(rank, inst, 6).i;
+  const std::int32_t rdtype =
+      static_cast<std::int32_t>(arg(rank, inst, 7).i);
+  const std::int32_t src = static_cast<std::int32_t>(arg(rank, inst, 8).i);
+  const std::int32_t rtag = static_cast<std::int32_t>(arg(rank, inst, 9).i);
+  const std::int32_t comm =
+      static_cast<std::int32_t>(arg(rank, inst, 10).i);
+
+  bool ok = validate_comm(comm, rank);
+  if (scount < 0 || rcount < 0) {
+    report(FindingKind::InvalidParam, rank, "negative sendrecv count");
+    ok = false;
+  }
+  if (stag < 0 || stag > mpi::kTagUb) {
+    report(FindingKind::InvalidParam, rank,
+           "invalid tag on send: " + std::to_string(stag));
+    ok = false;
+  }
+  if (rtag != mpi::kAnyTag && (rtag < 0 || rtag > mpi::kTagUb)) {
+    report(FindingKind::InvalidParam, rank,
+           "invalid tag on recv: " + std::to_string(rtag));
+    ok = false;
+  }
+  if (!validate_rank_arg(dest, comm, rank, /*wildcard_ok=*/false)) ok = false;
+  if (!validate_rank_arg(src, comm, rank, /*wildcard_ok=*/true)) ok = false;
+  bool dt1 = true, dt2 = true;
+  const std::size_t selem = datatype_bytes(sdtype, rank, &dt1);
+  const std::size_t relem = datatype_bytes(rdtype, rank, &dt2);
+  ok = ok && dt1 && dt2;
+  if (sbuf == 0 && scount > 0) {
+    report(FindingKind::InvalidParam, rank, "null send buffer");
+    ok = false;
+  }
+  if (rbuf == 0 && rcount > 0) {
+    report(FindingKind::InvalidParam, rank, "null recv buffer");
+    ok = false;
+  }
+  if (!ok) return;
+
+  RankState& r = ranks_[static_cast<std::size_t>(rank)];
+  if (dest != mpi::kProcNull) {
+    const std::size_t bytes = static_cast<std::size_t>(scount) * selem;
+    PendingSend s;
+    s.src = rank;
+    s.dest = dest;
+    s.tag = stag;
+    s.comm = comm;
+    s.dtype = sdtype;
+    s.builtin_dtype = mpi::builtin_datatype_size(sdtype).has_value();
+    s.elem_bytes = selem;
+    s.count = scount;
+    s.payload.resize(bytes);
+    if (bytes > 0) {
+      const std::uint8_t* p = resolve(sbuf, bytes, rank);
+      if (p == nullptr) { crash(rank); return; }
+      std::memcpy(s.payload.data(), p, bytes);
+    }
+    // MPI_Sendrecv is deadlock-free: the send half buffers as if eager,
+    // regardless of size — the caller only blocks on the receive half.
+    s.synchronous = false;
+    s.request = 0;
+    s.seq = ++seq_;
+    s.ctx = r.active;
+    sends_.push_back(std::move(s));
+    matching_dirty_ = true;
+  }
+  if (src != mpi::kProcNull) {
+    PendingRecv rv;
+    rv.rank = rank;
+    rv.src = src;
+    rv.tag = rtag;
+    rv.comm = comm;
+    rv.dtype = rdtype;
+    rv.builtin_dtype = mpi::builtin_datatype_size(rdtype).has_value();
+    rv.elem_bytes = relem;
+    rv.count = rcount;
+    rv.buffer = rbuf;
+    rv.request = 0;
+    rv.seq = ++seq_;
+    rv.ctx = r.active;
+    recvs_.push_back(rv);
+    matching_dirty_ = true;
+    r.cur().status = RankStatus::BlockedRecv;
+  }
+}
+
+bool Machine::probe_match(int rank, std::int32_t src, std::int32_t tag,
+                          std::int32_t comm, int* sources) {
+  std::vector<int> seen;
+  bool found = false;
+  for (const auto& s : sends_) {
+    if (s.matched || s.comm != comm || s.dest != rank) continue;
+    if (src != mpi::kAnySource && s.src != src) continue;
+    if (tag != mpi::kAnyTag && s.tag != tag) continue;
+    found = true;
+    if (std::find(seen.begin(), seen.end(), s.src) == seen.end()) {
+      seen.push_back(s.src);
+    }
+  }
+  *sources = static_cast<int>(seen.size());
+  return found;
+}
+
+void Machine::check_probes() {
+  for (int rk = 0; rk < cfg_.nprocs; ++rk) {
     RankState& r = ranks_[static_cast<std::size_t>(rk)];
-    if (r.status == RankStatus::BlockedColl) r.status = RankStatus::Runnable;
+    for (ExecCtx& c : r.ctxs) {
+      if (c.status != RankStatus::BlockedProbe) continue;
+      int sources = 0;
+      if (!probe_match(rk, c.probe_src, c.probe_tag, c.probe_comm,
+                       &sources)) {
+        continue;
+      }
+      if (c.probe_src == mpi::kAnySource && sources > 1) {
+        report(FindingKind::MessageRace, rk,
+               "wildcard probe has multiple racing senders");
+      }
+      c.status = RankStatus::Runnable;
+    }
   }
 }
 
@@ -1477,7 +1941,8 @@ void Machine::leak_check() {
 
 void Machine::exec_mpi(int rank, Func f, const Instruction& inst) {
   RankState& r = ranks_[static_cast<std::size_t>(rank)];
-  Frame& fr = r.frames.back();
+  ExecCtx& ctx = r.cur();
+  Frame& fr = ctx.frames.back();
   const auto done = [&](std::int32_t rc = mpi::kSuccess) {
     if (inst.type() != Type::Void) {
       set_reg(rank, &inst, RtVal{rc, 0.0});
@@ -1679,7 +2144,8 @@ void Machine::exec_mpi(int rank, Func f, const Instruction& inst) {
     }
     case Func::Wait:
     case Func::Waitall: {
-      r.wait_count = 0;
+      ctx.wait_count = 0;
+      ctx.wait_mode = WaitMode::All;
       if (f == Func::Wait) {
         const std::uint64_t reqp =
             static_cast<std::uint64_t>(arg(rank, inst, 0).i);
@@ -1706,7 +2172,8 @@ void Machine::exec_mpi(int rank, Func f, const Instruction& inst) {
           done();
           return;
         }
-        r.wait_requests[r.wait_count++] =
+        ctx.wait_slots[ctx.wait_count] = 0;
+        ctx.wait_requests[ctx.wait_count++] =
             static_cast<std::uint64_t>(handle);
         it->second.waited = true;
         // Non-persistent handles are invalidated by a successful wait.
@@ -1737,7 +2204,8 @@ void Machine::exec_mpi(int rank, Func f, const Instruction& inst) {
                    "waitall on invalid request handle");
             continue;
           }
-          r.wait_requests[r.wait_count++] =
+          ctx.wait_slots[ctx.wait_count] = static_cast<int>(k);
+          ctx.wait_requests[ctx.wait_count++] =
               static_cast<std::uint64_t>(handle);
           it->second.waited = true;
           if (!it->second.persistent) {
@@ -1748,10 +2216,120 @@ void Machine::exec_mpi(int rank, Func f, const Instruction& inst) {
         }
       }
       done();
-      if (r.wait_count > 0) {
-        r.status = RankStatus::BlockedWait;
-        finish_wait_if_ready(rank);  // may already be satisfied
+      if (ctx.wait_count > 0) {
+        ctx.status = RankStatus::BlockedWait;
+        try_finish_wait(rank, r.active);  // may already be satisfied
       }
+      return;
+    }
+    case Func::Waitany:
+    case Func::Waitsome: {
+      ctx.wait_count = 0;
+      const std::int64_t n = arg(rank, inst, 0).i;
+      const std::uint64_t arrp =
+          static_cast<std::uint64_t>(arg(rank, inst, 1).i);
+      const std::uint64_t outp =
+          static_cast<std::uint64_t>(arg(rank, inst, 2).i);
+      const std::uint64_t idxp =
+          f == Func::Waitsome
+              ? static_cast<std::uint64_t>(arg(rank, inst, 3).i)
+              : 0;
+      if (n < 0 || n > 64) {
+        report(FindingKind::InvalidParam, rank,
+               f == Func::Waitany ? "bad waitany count"
+                                  : "bad waitsome count");
+        done();
+        return;
+      }
+      for (std::int64_t k = 0; k < n; ++k) {
+        std::int64_t handle = 0;
+        if (!mem_read(rank, arrp + static_cast<std::uint64_t>(k) * 8,
+                      &handle, 8)) {
+          crash(rank);
+          return;
+        }
+        if (handle == mpi::kRequestNull) continue;
+        const auto it = requests_.find(handle);
+        if (it == requests_.end() || it->second.freed) {
+          report(FindingKind::RequestError, rank,
+                 f == Func::Waitany
+                     ? "waitany on invalid request handle"
+                     : "waitsome on invalid request handle");
+          continue;
+        }
+        // Inactive (never-started persistent) requests don't count.
+        if (!it->second.active && !it->second.completed) continue;
+        ctx.wait_slots[ctx.wait_count] = static_cast<int>(k);
+        ctx.wait_requests[ctx.wait_count++] =
+            static_cast<std::uint64_t>(handle);
+      }
+      done();
+      if (ctx.wait_count == 0) {
+        // Nothing waitable: return MPI_UNDEFINED immediately.
+        const std::int32_t undef = mpi::kUndefined;
+        if (outp != 0) mem_write(rank, outp, &undef, 4);
+        return;
+      }
+      ctx.wait_mode = f == Func::Waitany ? WaitMode::Any : WaitMode::Some;
+      ctx.wait_array = arrp;
+      if (f == Func::Waitany) {
+        ctx.wait_index_out = outp;
+      } else {
+        ctx.wait_outcount_out = outp;
+        ctx.wait_indices_out = idxp;
+      }
+      ctx.status = RankStatus::BlockedWait;
+      try_finish_wait(rank, r.active);
+      return;
+    }
+    case Func::Testall: {
+      const std::int64_t n = arg(rank, inst, 0).i;
+      const std::uint64_t arrp =
+          static_cast<std::uint64_t>(arg(rank, inst, 1).i);
+      const std::uint64_t flagp =
+          static_cast<std::uint64_t>(arg(rank, inst, 2).i);
+      if (n < 0 || n > 64) {
+        report(FindingKind::InvalidParam, rank, "bad testall count");
+        done();
+        return;
+      }
+      std::int32_t flag = 1;
+      std::vector<std::pair<std::int64_t, std::uint64_t>> completed;
+      for (std::int64_t k = 0; k < n; ++k) {
+        std::int64_t handle = 0;
+        if (!mem_read(rank, arrp + static_cast<std::uint64_t>(k) * 8,
+                      &handle, 8)) {
+          crash(rank);
+          return;
+        }
+        if (handle == mpi::kRequestNull) continue;
+        const auto it = requests_.find(handle);
+        if (it == requests_.end() || it->second.freed) {
+          report(FindingKind::RequestError, rank,
+                 "testall on invalid request handle");
+          continue;
+        }
+        if (it->second.active && !it->second.completed) {
+          flag = 0;
+        } else if (it->second.completed) {
+          completed.emplace_back(
+              handle, arrp + static_cast<std::uint64_t>(k) * 8);
+        }
+      }
+      // All-or-nothing: only a flag=1 Testall consumes the requests.
+      if (flag == 1) {
+        for (const auto& [handle, slotp] : completed) {
+          const auto it = requests_.find(handle);
+          if (it == requests_.end()) continue;
+          it->second.waited = true;
+          if (!it->second.persistent) {
+            const std::int64_t null_req = mpi::kRequestNull;
+            mem_write(rank, slotp, &null_req, 8);
+          }
+        }
+      }
+      if (flagp != 0) mem_write(rank, flagp, &flag, 4);
+      done();
       return;
     }
     case Func::Test: {
@@ -1814,6 +2392,82 @@ void Machine::exec_mpi(int rank, Func f, const Instruction& inst) {
     case Func::WinFree: {
       done();
       arrive_collective(rank, f, inst);
+      return;
+    }
+
+    case Func::Ibarrier:
+    case Func::Ibcast:
+    case Func::Ireduce:
+    case Func::Iallreduce:
+    case Func::Igather:
+    case Func::Iscatter:
+    case Func::Ialltoall: {
+      // The request handle is the last operand in every NBC signature.
+      const auto& sig = mpi::signature(f);
+      const std::uint64_t reqp = static_cast<std::uint64_t>(
+          arg(rank, inst, sig.params.size() - 1).i);
+      const std::int64_t handle = next_request_++;
+      Request rq;
+      rq.kind = Request::Kind::Coll;
+      rq.rank = rank;
+      rq.active = true;
+      requests_[handle] = rq;
+      if (reqp != 0) {
+        mem_write(rank, reqp, &handle, 8);
+      } else {
+        report(FindingKind::InvalidParam, rank, "null request pointer");
+      }
+      done();
+      nbc_post(rank, f, inst, handle);
+      return;
+    }
+
+    case Func::Sendrecv: {
+      done();  // result visible immediately; the recv half may block
+      exec_sendrecv(rank, inst);
+      return;
+    }
+    case Func::Probe:
+    case Func::Iprobe: {
+      const std::int32_t src =
+          static_cast<std::int32_t>(arg(rank, inst, 0).i);
+      const std::int32_t tag =
+          static_cast<std::int32_t>(arg(rank, inst, 1).i);
+      const std::int32_t comm =
+          static_cast<std::int32_t>(arg(rank, inst, 2).i);
+      bool ok = validate_comm(comm, rank);
+      if (tag != mpi::kAnyTag && (tag < 0 || tag > mpi::kTagUb)) {
+        report(FindingKind::InvalidParam, rank,
+               "invalid tag on probe: " + std::to_string(tag));
+        ok = false;
+      }
+      if (!validate_rank_arg(src, comm, rank, /*wildcard_ok=*/true)) {
+        ok = false;
+      }
+      if (f == Func::Iprobe) {
+        const std::uint64_t flagp =
+            static_cast<std::uint64_t>(arg(rank, inst, 3).i);
+        std::int32_t flag = 0;
+        if (ok && src != mpi::kProcNull) {
+          int sources = 0;
+          if (probe_match(rank, src, tag, comm, &sources)) {
+            flag = 1;
+            if (src == mpi::kAnySource && sources > 1) {
+              report(FindingKind::MessageRace, rank,
+                     "wildcard probe has multiple racing senders");
+            }
+          }
+        }
+        if (flagp != 0) mem_write(rank, flagp, &flag, 4);
+        done();
+        return;
+      }
+      done();
+      if (!ok || src == mpi::kProcNull) return;
+      ctx.probe_src = src;
+      ctx.probe_tag = tag;
+      ctx.probe_comm = comm;
+      ctx.status = RankStatus::BlockedProbe;
       return;
     }
 
@@ -2058,7 +2712,8 @@ bool Machine::run_setup() {
     Frame fr;
     fr.func = main_fn;
     fr.block = main_fn->entry();
-    ranks_[static_cast<std::size_t>(rk)].frames.push_back(std::move(fr));
+    ranks_[static_cast<std::size_t>(rk)].ctxs[0].frames.push_back(
+        std::move(fr));
   }
   return true;
 }
@@ -2072,12 +2727,14 @@ bool Machine::run_setup() {
 bool Machine::check_end(bool executed) {
   bool any_runnable = false, any_alive = false, any_crashed = false;
   for (const RankState& r : ranks_) {
-    if (r.status == RankStatus::Runnable) any_runnable = true;
-    if (r.status != RankStatus::Finished &&
-        r.status != RankStatus::Crashed) {
-      any_alive = true;
+    for (const ExecCtx& c : r.ctxs) {
+      if (c.status == RankStatus::Runnable) any_runnable = true;
+      if (c.status != RankStatus::Finished &&
+          c.status != RankStatus::Crashed) {
+        any_alive = true;
+      }
+      if (c.status == RankStatus::Crashed) any_crashed = true;
     }
-    if (r.status == RankStatus::Crashed) any_crashed = true;
   }
   if (!any_alive) {
     rep_.outcome = any_crashed ? Outcome::Crashed : Outcome::Completed;
@@ -2100,10 +2757,16 @@ void Machine::run_round_robin() {
     bool executed = false;
     for (int rk = 0; rk < cfg_.nprocs; ++rk) {
       RankState& r = ranks_[static_cast<std::size_t>(rk)];
-      for (int k = 0; k < cfg_.slice && r.status == RankStatus::Runnable;
-           ++k) {
-        step(rk);
-        executed = true;
+      // ctxs.size() is re-read every iteration: contexts forked during
+      // this round get their slice in the same pass, deterministically.
+      for (std::size_t ci = 0; ci < r.ctxs.size(); ++ci) {
+        for (int k = 0;
+             k < cfg_.slice && r.ctxs[ci].status == RankStatus::Runnable;
+             ++k) {
+          step(rk, static_cast<int>(ci));
+          executed = true;
+          if (rep_.steps >= cfg_.max_steps) break;
+        }
         if (rep_.steps >= cfg_.max_steps) break;
       }
       if (rep_.steps >= cfg_.max_steps) break;
@@ -2115,6 +2778,8 @@ void Machine::run_round_robin() {
       match_messages();
     }
     try_complete_collectives();
+    try_complete_nbc();
+    check_probes();
 
     if (check_end(executed)) return;
   }
@@ -2127,25 +2792,31 @@ void Machine::run_random() {
     // One decision per iteration: a random runnable rank, a jittered
     // slice. Progress engines run after every slice, so the points at
     // which matching happens — not just the rank order — vary by seed.
-    std::vector<int> runnable;
+    // Schedulable unit = (rank, context): thread contexts compete for
+    // slices exactly like ranks do, so seeds explore interleavings.
+    std::vector<std::pair<int, int>> runnable;
     runnable.reserve(static_cast<std::size_t>(cfg_.nprocs));
     for (int rk = 0; rk < cfg_.nprocs; ++rk) {
-      if (ranks_[static_cast<std::size_t>(rk)].status ==
-          RankStatus::Runnable) {
-        runnable.push_back(rk);
+      const RankState& r = ranks_[static_cast<std::size_t>(rk)];
+      for (std::size_t ci = 0; ci < r.ctxs.size(); ++ci) {
+        if (r.ctxs[ci].status == RankStatus::Runnable) {
+          runnable.emplace_back(rk, static_cast<int>(ci));
+        }
       }
     }
     bool executed = false;
     if (!runnable.empty()) {
-      const int rk = runnable[rng_.index(runnable.size())];
+      const auto [rk, ci] = runnable[rng_.index(runnable.size())];
       const bool burst = rng_.chance(cfg_.schedule.burst_chance);
       const std::int64_t slice =
           burst ? std::numeric_limits<std::int64_t>::max()
                 : rng_.uniform_int(lo, hi);
       RankState& r = ranks_[static_cast<std::size_t>(rk)];
       for (std::int64_t k = 0;
-           k < slice && r.status == RankStatus::Runnable; ++k) {
-        step(rk);
+           k < slice && r.ctxs[static_cast<std::size_t>(ci)].status ==
+                            RankStatus::Runnable;
+           ++k) {
+        step(rk, ci);
         executed = true;
         if (rep_.steps >= cfg_.max_steps) break;
       }
@@ -2156,6 +2827,8 @@ void Machine::run_random() {
       match_messages();
     }
     try_complete_collectives();
+    try_complete_nbc();
+    check_probes();
 
     if (check_end(executed)) return;
   }

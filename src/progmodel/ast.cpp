@@ -201,6 +201,21 @@ Stmt Stmt::ret(Expr v) {
   return s;
 }
 
+Stmt Stmt::thread_block(std::vector<Stmt> t0, std::vector<Stmt> t1) {
+  Stmt s;
+  s.kind = Kind::ThreadBlock;
+  s.body = std::move(t0);
+  s.otherwise = std::move(t1);
+  return s;
+}
+
+Stmt Stmt::thread_block_shared(std::string shared_buf, std::vector<Stmt> t0,
+                               std::vector<Stmt> t1) {
+  Stmt s = thread_block(std::move(t0), std::move(t1));
+  s.name = std::move(shared_buf);
+  return s;
+}
+
 std::size_t count_lines(const std::vector<Stmt>& stmts) {
   std::size_t n = 0;
   for (const Stmt& s : stmts) {
@@ -214,6 +229,10 @@ std::size_t count_lines(const std::vector<Stmt>& stmts) {
         break;
       case Stmt::Kind::Compute:
         n += 3;  // loop head + body + close
+        break;
+      case Stmt::Kind::ThreadBlock:
+        // Two thread functions plus create/join boilerplate.
+        n += 6 + count_lines(s.body) + count_lines(s.otherwise);
         break;
       default:
         n += 1;

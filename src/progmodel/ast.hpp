@@ -99,6 +99,7 @@ struct Stmt {
     For,          // var from lo to hi (exclusive), body
     Compute,      // arithmetic loop over a buffer (code-size filler)
     Return,       // return expr from main
+    ThreadBlock,  // two concurrent per-rank threads (body / otherwise)
   };
 
   Kind kind = Kind::MpiCall;
@@ -130,6 +131,18 @@ struct Stmt {
   static Stmt for_(std::string var, Expr lo, Expr hi, std::vector<Stmt> body);
   static Stmt compute(std::string buf, std::int64_t iters);
   static Stmt ret(Expr v);
+  /// MPI_THREAD_MULTIPLE model: the two statement lists run as
+  /// interleavable sub-contexts of the calling rank (scheduled by the
+  /// simulator like extra ranks of the same process). Thread bodies are
+  /// fresh scopes — they cannot reference locals of the enclosing
+  /// function; declare what each thread needs inside its body.
+  static Stmt thread_block(std::vector<Stmt> t0, std::vector<Stmt> t1);
+  /// Like thread_block, but both threads additionally see one buffer of
+  /// the enclosing scope under its original name (`shared_buf` must name
+  /// a DeclBuf already in scope) — the handle through which thread-level
+  /// data races on MPI buffers are expressed.
+  static Stmt thread_block_shared(std::string shared_buf, std::vector<Stmt> t0,
+                                  std::vector<Stmt> t1);
 };
 
 /// A user-defined helper function (void, no parameters) — used by the

@@ -19,8 +19,9 @@ using ir::Type;
 using ir::Value;
 
 struct Sym {
-  Instruction* slot = nullptr;  // the alloca
-  Type elem = Type::I32;        // element / scalar type
+  Value* slot = nullptr;  // the alloca (or, in a thread scope, the
+                          // shared-buffer argument)
+  Type elem = Type::I32;  // element / scalar type
   bool is_buf = false;
   /// Element count when declared with a literal, -1 when dynamic.
   /// Compute filler loops clamp their stride to it so a small buffer is
@@ -310,8 +311,66 @@ class Lowerer {
         // the function stays structurally valid.
         b_.set_insert_point(new_block("post.ret"));
         return;
+      case Stmt::Kind::ThreadBlock: {
+        // Each thread body becomes its own void function taking one ptr
+        // argument (the optional shared buffer — a fresh scope otherwise,
+        // like a pthread start routine), and the block lowers to one call
+        //   __mpidetect_thread_fork(t0, t1, shared)
+        // that the simulator interprets as "run both bodies as
+        // interleavable sub-contexts of this rank, then join". The fork
+        // callee is an opaque extern with side effects, so no pass drops
+        // or reorders it; the thread functions are referenced as call
+        // operands, so they survive DCE.
+        Value* shared = module_->get_nullptr();
+        std::optional<Sym> shared_sym;
+        if (!s.name.empty()) {
+          const Sym& sm = sym(s.name);
+          MPIDETECT_CHECK(sm.is_buf);
+          shared = sm.slot;
+          shared_sym = sm;
+        }
+        ir::Function* t0 = lower_thread_fn(s.body, s.name, shared_sym);
+        ir::Function* t1 = lower_thread_fn(s.otherwise, s.name, shared_sym);
+        ir::Function* fork = module_->get_or_declare(
+            "__mpidetect_thread_fork", Type::Void,
+            {Type::Ptr, Type::Ptr, Type::Ptr});
+        b_.call(fork, {t0, t1, shared});
+        return;
+      }
     }
     MPIDETECT_UNREACHABLE("bad Stmt kind");
+  }
+
+  /// Lowers one ThreadBlock body into a synthesized void function
+  /// (one ptr parameter: the shared buffer, possibly unused), preserving
+  /// the enclosing function's lowering state around the nested lowering
+  /// (which clears scopes and moves the insert point).
+  ir::Function* lower_thread_fn(const std::vector<Stmt>& body,
+                                const std::string& shared_name,
+                                const std::optional<Sym>& shared_sym) {
+    const std::string name =
+        "__mpidetect_thread." + std::to_string(thread_counter_++);
+    ir::Function* fn =
+        module_->create_function(name, Type::Void, {Type::Ptr});
+    auto saved_syms = std::move(syms_);
+    const int saved_counter = block_counter_;
+    BasicBlock* saved_block = b_.insert_block();
+    syms_.clear();
+    block_counter_ = 0;
+    b_.set_insert_point(fn->create_block("entry"));
+    if (shared_sym.has_value()) {
+      // The shared buffer keeps its outer name, but resolves to the
+      // thread argument so the machine can hand each context the same
+      // address.
+      syms_[shared_name] = Sym{fn->arg(0), shared_sym->elem, true,
+                               shared_sym->static_count};
+    }
+    for (const Stmt& t : body) lower_stmt(t);
+    if (b_.insert_block()->terminator() == nullptr) b_.ret_void();
+    syms_ = std::move(saved_syms);
+    block_counter_ = saved_counter;
+    b_.set_insert_point(saved_block);
+    return fn;
   }
 
   void lower_mpi_call(const Stmt& s) {
@@ -358,6 +417,7 @@ class Lowerer {
   IRBuilder b_;
   std::unordered_map<std::string, Sym> syms_;
   int block_counter_ = 0;
+  int thread_counter_ = 0;
 };
 
 }  // namespace

@@ -88,7 +88,8 @@ class MpiCheckerLite final : public VerificationTool {
           const Value* slot = inst->operand(i);
           switch (sig.params[i].role) {
             case mpi::ArgRole::RequestOut:
-              if (*fn == mpi::Func::Isend || *fn == mpi::Func::Irecv) {
+              if (*fn == mpi::Func::Isend || *fn == mpi::Func::Irecv ||
+                  mpi::is_nonblocking_collective(*fn)) {
                 if (request_active[slot]) return true;  // overwrite
                 request_active[slot] = true;
               }
@@ -100,8 +101,11 @@ class MpiCheckerLite final : public VerificationTool {
               break;
           }
         }
-        if (*fn == mpi::Func::Waitall) {
-          request_active.clear();  // conservative: waitall covers arrays
+        if (*fn == mpi::Func::Waitall || *fn == mpi::Func::Waitany ||
+            *fn == mpi::Func::Waitsome || *fn == mpi::Func::Testall) {
+          // Conservative: the wait family operates on request arrays the
+          // path-insensitive scan cannot resolve slot-by-slot.
+          request_active.clear();
         }
       }
     }
@@ -121,11 +125,13 @@ class MpiCheckerLite final : public VerificationTool {
         return v.has_value() && *v < 0;
       case mpi::ArgRole::Tag:
         if (!v.has_value()) return false;
-        // ANY_TAG only on the receive side.
+        // ANY_TAG only on the receive side. MPI_Sendrecv carries both: the
+        // send-half tag is parameter 4, the receive-half tag parameter 9.
         if (*v == mpi::kAnyTag) {
-          return mpi::classify_call(inst) == mpi::Func::Send ||
-                 mpi::classify_call(inst) == mpi::Func::Ssend ||
-                 mpi::classify_call(inst) == mpi::Func::Isend;
+          const auto fn = mpi::classify_call(inst);
+          return fn == mpi::Func::Send || fn == mpi::Func::Ssend ||
+                 fn == mpi::Func::Isend ||
+                 (fn == mpi::Func::Sendrecv && i == 4);
         }
         return *v < 0 || *v > mpi::kTagUb;
       case mpi::ArgRole::DestRank:

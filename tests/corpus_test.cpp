@@ -534,5 +534,148 @@ TEST(FuzzStreaming, SequentialReadKeepsResidencyBelowCorpusSize) {
 }
 #endif  // MPIDETECT_RSS_TEST
 
+// ---- record format versioning ----------------------------------------------
+// MPCR v2 widened the statement/function enum ranges (ThreadBlock,
+// nonblocking collectives, Sendrecv/Probe, wait family) without touching
+// the layout. A v1 record must decode byte-identically under the v1
+// caps, and a v1 record carrying v2-only enum values is corrupt — it
+// must fail loudly, never crash or decode to garbage.
+
+using progmodel::Arg;
+using progmodel::Expr;
+using progmodel::Stmt;
+using mpi::Func;
+
+datasets::Case record_fixture(std::vector<Stmt> main_body) {
+  datasets::Case c;
+  c.name = "fixture";
+  c.suite = datasets::Suite::Mbi;
+  c.mbi_label = mpi::MbiLabel::Correct;
+  c.incorrect = false;
+  c.program.name = "fixture";
+  c.program.nprocs = 2;
+  c.program.main_body = std::move(main_body);
+  c.source_lines = c.program.line_count();
+  return c;
+}
+
+std::vector<Stmt> legacy_body() {
+  std::vector<Stmt> v;
+  v.push_back(Stmt::decl_int("rank"));
+  v.push_back(Stmt::decl_buf("buf", ir::Type::I32, Expr::lit(4)));
+  v.push_back(Stmt::mpi(Func::Init, {}));
+  v.push_back(Stmt::mpi(Func::CommRank,
+                        {Arg::val(mpi::kCommWorld), Arg::addr("rank")}));
+  v.push_back(Stmt::if_(
+      Expr::eq(Expr::ref("rank"), Expr::lit(0)),
+      {Stmt::mpi(Func::Send,
+                 {Arg::buf("buf"), Arg::val(4),
+                  Arg::val(static_cast<std::int64_t>(mpi::Datatype::Int)),
+                  Arg::val(1), Arg::val(0), Arg::val(mpi::kCommWorld)})},
+      {Stmt::mpi(Func::Recv,
+                 {Arg::buf("buf"), Arg::val(4),
+                  Arg::val(static_cast<std::int64_t>(mpi::Datatype::Int)),
+                  Arg::val(0), Arg::val(0), Arg::val(mpi::kCommWorld),
+                  Arg::null()})}));
+  v.push_back(Stmt::mpi(Func::Finalize, {}));
+  v.push_back(Stmt::ret(Expr::lit(0)));
+  return v;
+}
+
+/// Record layout: 4-byte magic "MPCR", then the u32 version
+/// little-endian at offset 4.
+void patch_record_version(std::vector<char>& bytes, std::uint32_t v) {
+  ASSERT_GE(bytes.size(), 8u);
+  for (int i = 0; i < 4; ++i) {
+    bytes[4 + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+TEST(RecordVersioning, WriterEmitsVersion2) {
+  const auto bytes = corpus::encode_case(record_fixture(legacy_body()));
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(std::string_view(bytes.data(), 4), "MPCR");
+  EXPECT_EQ(bytes[4], 2);
+  EXPECT_EQ(bytes[5], 0);
+  EXPECT_EQ(bytes[6], 0);
+  EXPECT_EQ(bytes[7], 0);
+}
+
+TEST(RecordVersioning, V1LegacyRecordDecodesByteIdentically) {
+  const auto c = record_fixture(legacy_body());
+  const auto v2 = corpus::encode_case(c);
+  auto v1 = v2;
+  patch_record_version(v1, 1);
+  // Only the header differs: a v1 record is the same layout.
+  const auto back = corpus::decode_case(v1.data(), v1.size(), "v1-fixture");
+  // Re-encoding the decoded case (writers always emit v2) must
+  // reproduce the original v2 bytes exactly.
+  EXPECT_EQ(corpus::encode_case(back), v2);
+}
+
+TEST(RecordVersioning, V1RejectsThreadBlockStatements) {
+  auto body = legacy_body();
+  body.insert(body.end() - 2,
+              Stmt::thread_block({Stmt::decl_int("a")},
+                                 {Stmt::decl_int("b")}));
+  auto bytes = corpus::encode_case(record_fixture(std::move(body)));
+  patch_record_version(bytes, 1);
+  EXPECT_THROW(corpus::decode_case(bytes.data(), bytes.size(), "v1-fixture"),
+               io::FormatError);
+}
+
+TEST(RecordVersioning, V1RejectsWidenedFuncs) {
+  auto body = legacy_body();
+  body.insert(body.end() - 2, Stmt::decl_handle("req",
+                                                progmodel::HandleKind::Request));
+  body.insert(body.end() - 2,
+              Stmt::mpi(Func::Ibarrier,
+                        {Arg::val(mpi::kCommWorld), Arg::addr("req")}));
+  body.insert(body.end() - 2,
+              Stmt::mpi(Func::Wait, {Arg::addr("req"), Arg::null()}));
+  auto bytes = corpus::encode_case(record_fixture(std::move(body)));
+  patch_record_version(bytes, 1);
+  EXPECT_THROW(corpus::decode_case(bytes.data(), bytes.size(), "v1-fixture"),
+               io::FormatError);
+}
+
+TEST(RecordVersioning, FutureRecordVersionIsRejected) {
+  auto bytes = corpus::encode_case(record_fixture(legacy_body()));
+  patch_record_version(bytes, 3);
+  EXPECT_THROW(corpus::decode_case(bytes.data(), bytes.size(), "v3-fixture"),
+               io::FormatError);
+}
+
+TEST(RecordVersioning, WidenedCaseRoundTripsBitIdentically) {
+  auto body = legacy_body();
+  body.insert(body.end() - 2,
+              Stmt::decl_buf("sb", ir::Type::I32, Expr::lit(4)));
+  body.insert(body.end() - 2, Stmt::decl_req_array("reqs", 2));
+  body.insert(body.end() - 2,
+              Stmt::mpi(Func::Ibarrier, {Arg::val(mpi::kCommWorld),
+                                         Arg::buf_at("reqs", Expr::lit(0))}));
+  body.insert(body.end() - 2,
+              Stmt::mpi(Func::Sendrecv,
+                        {Arg::buf("sb"), Arg::val(4),
+                         Arg::val(static_cast<std::int64_t>(mpi::Datatype::Int)),
+                         Arg::val(mpi::kProcNull), Arg::val(0), Arg::buf("buf"),
+                         Arg::val(4),
+                         Arg::val(static_cast<std::int64_t>(mpi::Datatype::Int)),
+                         Arg::val(mpi::kProcNull), Arg::val(0),
+                         Arg::val(mpi::kCommWorld), Arg::null()}));
+  body.insert(body.end() - 2,
+              Stmt::mpi(Func::Waitall, {Arg::val(1), Arg::buf("reqs"),
+                                        Arg::null()}));
+  body.insert(body.end() - 2,
+              Stmt::thread_block_shared("sb", {Stmt::decl_int("a")},
+                                        {Stmt::buf_store("sb", Expr::lit(0),
+                                                         Expr::lit(1))}));
+  const auto c = record_fixture(std::move(body));
+  const auto bytes = corpus::encode_case(c);
+  const auto back = corpus::decode_case(bytes.data(), bytes.size(), "v2");
+  EXPECT_EQ(corpus::encode_case(back), bytes);
+}
+
 }  // namespace
 }  // namespace mpidetect

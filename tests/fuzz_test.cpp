@@ -294,5 +294,92 @@ TEST(Fuzzer, DivergentCampaignPersistsACorpus) {
   EXPECT_EQ(fuzzer.signature(back), sig);
 }
 
+// ------------------------------------------------- widened MPI surface
+
+struct WidenedPick {
+  const char* tpl;
+  datasets::Inject inject;
+};
+
+constexpr WidenedPick kWidenedPicks[] = {
+    {"nbc_coll", datasets::Inject::NbcMismatch},
+    {"nbc_coll", datasets::Inject::NbcRootMismatch},
+    {"nbc_coll", datasets::Inject::NbcMissingWait},
+    {"nbc_coll", datasets::Inject::NbcWriteBeforeWait},
+    {"sendrecv_ring", datasets::Inject::SendrecvCycleBlocking},
+    {"probe_poll", datasets::Inject::ProbeWildcardRace},
+    {"waitany_pool", datasets::Inject::WaitanyInvalidRequest},
+    {"thread_pingpong", datasets::Inject::ThreadRace},
+};
+
+FuzzTuple widened_tuple(const WidenedPick& pick) {
+  FuzzTuple t;
+  t.template_id = pick.tpl;
+  t.inject = pick.inject;
+  t.size_class = 1;
+  t.program_seed = 3;
+  t.schedule_seed = 2;
+  return t;
+}
+
+TEST(FuzzTuple, WidenedInjectsRoundTripThroughStringAndRecord) {
+  for (const WidenedPick& pick : kWidenedPicks) {
+    const FuzzTuple t = widened_tuple(pick);
+    const auto parsed = FuzzTuple::parse(t.to_string());
+    ASSERT_TRUE(parsed.has_value()) << t.to_string();
+    EXPECT_TRUE(*parsed == t) << t.to_string();
+    EXPECT_TRUE(FuzzTuple::from_record(t.to_record()) == t) << t.to_string();
+  }
+}
+
+TEST(Fuzzer, ForcedDrawReachesEveryWidenedInject) {
+  // Every widened injection must be drawable: the fuzzer's inject range
+  // extends to kLastInject and at least one template supports each.
+  DifferentialFuzzer fuzzer(quick_config());
+  Rng rng(17);
+  for (const WidenedPick& pick : kWidenedPicks) {
+    const FuzzTuple t = fuzzer.draw(rng, pick.inject);
+    EXPECT_EQ(t.inject, pick.inject);
+    const auto* tpl = datasets::find_template(t.template_id);
+    ASSERT_NE(tpl, nullptr) << t.template_id;
+    EXPECT_NE(std::find(tpl->supported.begin(), tpl->supported.end(),
+                        t.inject),
+              tpl->supported.end())
+        << t.to_string();
+  }
+}
+
+TEST(Fuzzer, WidenedSignaturesAreNonEmptyAndReplayStable) {
+  // Each widened injection produces a simulator-visible divergence
+  // signature, and rebuilding the case from the printed tuple
+  // reproduces it exactly — the property every committed repro
+  // corpus relies on.
+  DifferentialFuzzer fuzzer(quick_config());
+  for (const WidenedPick& pick : kWidenedPicks) {
+    const FuzzTuple t = widened_tuple(pick);
+    const std::string sig = fuzzer.signature(t);
+    EXPECT_FALSE(sig.empty()) << t.to_string();
+    const auto reparsed = FuzzTuple::parse(t.to_string());
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(fuzzer.signature(*reparsed), sig) << t.to_string();
+  }
+}
+
+TEST(Fuzzer, WidenedCorrectVariantsHaveNoSignature) {
+  // The clean variant of every widened template is divergence-free:
+  // no finding kind, no bad outcome, under the sweeping detectors.
+  DifferentialFuzzer fuzzer(quick_config());
+  for (const char* tpl : {"nbc_coll", "sendrecv_ring", "probe_poll",
+                          "waitany_pool", "thread_pingpong"}) {
+    FuzzTuple t;
+    t.template_id = tpl;
+    t.inject = datasets::Inject::None;
+    t.size_class = 1;
+    t.program_seed = 3;
+    t.schedule_seed = 2;
+    EXPECT_EQ(fuzzer.signature(t), "") << tpl;
+  }
+}
+
 }  // namespace
 }  // namespace mpidetect::core

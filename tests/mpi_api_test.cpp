@@ -89,6 +89,91 @@ TEST(Api, BlockingAndRequestClassification) {
   EXPECT_FALSE(starts_request(Func::Wait));
 }
 
+TEST(Api, WidenedNamesMatchMpiSpelling) {
+  EXPECT_EQ(func_name(Func::Ibarrier), "MPI_Ibarrier");
+  EXPECT_EQ(func_name(Func::Ibcast), "MPI_Ibcast");
+  EXPECT_EQ(func_name(Func::Iallreduce), "MPI_Iallreduce");
+  EXPECT_EQ(func_name(Func::Ialltoall), "MPI_Ialltoall");
+  EXPECT_EQ(func_name(Func::Sendrecv), "MPI_Sendrecv");
+  EXPECT_EQ(func_name(Func::Probe), "MPI_Probe");
+  EXPECT_EQ(func_name(Func::Iprobe), "MPI_Iprobe");
+  EXPECT_EQ(func_name(Func::Waitany), "MPI_Waitany");
+  EXPECT_EQ(func_name(Func::Waitsome), "MPI_Waitsome");
+  EXPECT_EQ(func_name(Func::Testall), "MPI_Testall");
+}
+
+TEST(Api, WidenedSignatureShapes) {
+  EXPECT_EQ(signature(Func::Ibarrier).params.size(), 2u);
+  EXPECT_EQ(signature(Func::Ibcast).params.size(), 6u);
+  EXPECT_EQ(signature(Func::Ireduce).params.size(), 8u);
+  EXPECT_EQ(signature(Func::Iallreduce).params.size(), 7u);
+  EXPECT_EQ(signature(Func::Igather).params.size(), 9u);
+  EXPECT_EQ(signature(Func::Iscatter).params.size(), 9u);
+  EXPECT_EQ(signature(Func::Ialltoall).params.size(), 8u);
+  EXPECT_EQ(signature(Func::Sendrecv).params.size(), 12u);
+  EXPECT_EQ(signature(Func::Probe).params.size(), 4u);
+  EXPECT_EQ(signature(Func::Iprobe).params.size(), 5u);
+  EXPECT_EQ(signature(Func::Waitany).params.size(), 4u);
+  EXPECT_EQ(signature(Func::Waitsome).params.size(), 5u);
+  EXPECT_EQ(signature(Func::Testall).params.size(), 4u);
+}
+
+TEST(Api, WidenedSignatureRoles) {
+  // Every nonblocking collective ends in RequestOut.
+  for (const Func f : {Func::Ibarrier, Func::Ibcast, Func::Ireduce,
+                       Func::Iallreduce, Func::Igather, Func::Iscatter,
+                       Func::Ialltoall}) {
+    const auto& sig = signature(f);
+    ASSERT_FALSE(sig.params.empty());
+    EXPECT_EQ(sig.params.back().role, ArgRole::RequestOut) << func_name(f);
+  }
+  // Sendrecv carries both halves: send tag at 4, receive tag at 9.
+  const auto& sr = signature(Func::Sendrecv);
+  EXPECT_EQ(sr.params[0].role, ArgRole::Buffer);
+  EXPECT_EQ(sr.params[3].role, ArgRole::DestRank);
+  EXPECT_EQ(sr.params[4].role, ArgRole::Tag);
+  EXPECT_EQ(sr.params[5].role, ArgRole::RecvBuffer);
+  EXPECT_EQ(sr.params[8].role, ArgRole::SrcRank);
+  EXPECT_EQ(sr.params[9].role, ArgRole::Tag);
+  EXPECT_EQ(sr.params[11].role, ArgRole::StatusOut);
+  const auto& wa = signature(Func::Waitany);
+  EXPECT_EQ(wa.params[1].role, ArgRole::RequestArray);
+  EXPECT_EQ(wa.params[2].role, ArgRole::IndexOut);
+  const auto& ip = signature(Func::Iprobe);
+  EXPECT_EQ(ip.params[0].role, ArgRole::SrcRank);
+  EXPECT_EQ(ip.params[3].role, ArgRole::IntOut);
+}
+
+TEST(Api, NbcClassificationAndBlockingEquivalents) {
+  const std::pair<Func, Func> pairs[] = {
+      {Func::Ibarrier, Func::Barrier},   {Func::Ibcast, Func::Bcast},
+      {Func::Ireduce, Func::Reduce},     {Func::Iallreduce, Func::Allreduce},
+      {Func::Igather, Func::Gather},     {Func::Iscatter, Func::Scatter},
+      {Func::Ialltoall, Func::Alltoall},
+  };
+  for (const auto& [nbc, blocking] : pairs) {
+    EXPECT_TRUE(is_nonblocking_collective(nbc)) << func_name(nbc);
+    EXPECT_TRUE(is_collective(nbc)) << func_name(nbc);
+    EXPECT_TRUE(starts_request(nbc)) << func_name(nbc);
+    ASSERT_TRUE(blocking_equivalent(nbc).has_value()) << func_name(nbc);
+    EXPECT_EQ(*blocking_equivalent(nbc), blocking) << func_name(nbc);
+    EXPECT_FALSE(is_nonblocking_collective(blocking)) << func_name(blocking);
+  }
+  EXPECT_FALSE(is_nonblocking_collective(Func::Isend));
+  EXPECT_FALSE(is_nonblocking_collective(Func::Sendrecv));
+}
+
+TEST(Api, WidenedP2pClassification) {
+  EXPECT_TRUE(is_blocking_p2p(Func::Sendrecv));
+  // Probe blocks but moves no payload; the classifier covers payload-
+  // carrying p2p only.
+  EXPECT_FALSE(is_blocking_p2p(Func::Probe));
+  EXPECT_FALSE(is_blocking_p2p(Func::Iprobe));
+  EXPECT_FALSE(is_collective(Func::Sendrecv));
+  EXPECT_FALSE(starts_request(Func::Sendrecv));
+  EXPECT_FALSE(starts_request(Func::Waitany));
+}
+
 TEST(Api, DeclareCreatesMatchingExtern) {
   ir::Module m("t");
   ir::Function* f = declare(m, Func::Send);

@@ -1,0 +1,666 @@
+// Conformance wall for the widened simulated MPI surface: nonblocking
+// collectives, Sendrecv/Probe/Iprobe, the Waitany family, and per-rank
+// thread blocks. Each section pins the observable semantics (completion
+// ordering, deadlock freedom, reported finding kinds) under both the
+// deterministic round-robin schedule and 16-seed random sweeps, and the
+// replay section asserts byte-identical RunReports for every widened
+// template at fixed seeds.
+//
+// The "branch-poison" idiom used throughout: the program checks a
+// scalar the new primitive wrote (Waitany index, Iprobe flag, Waitsome
+// outcount) and, on the unexpected value, executes MPI_Barrier on an
+// invalid communicator — an InvalidParam finding. A clean report
+// therefore proves the primitive produced the expected value inside
+// the simulated program itself.
+#include <gtest/gtest.h>
+
+#include "datasets/dataset.hpp"
+#include "datasets/templates.hpp"
+#include "mpi/api.hpp"
+#include "mpisim/machine.hpp"
+#include "mpisim/sweep.hpp"
+#include "progmodel/ast.hpp"
+#include "progmodel/lower.hpp"
+
+namespace mpidetect::mpisim {
+namespace {
+
+using mpi::Func;
+using progmodel::Arg;
+using progmodel::Expr;
+using progmodel::HandleKind;
+using progmodel::Program;
+using progmodel::Stmt;
+using E = Expr;
+using S = Stmt;
+using A = Arg;
+
+constexpr std::int32_t kInt = static_cast<std::int32_t>(mpi::Datatype::Int);
+constexpr std::int32_t kSum = static_cast<std::int32_t>(mpi::ReduceOp::Sum);
+constexpr std::int32_t kW = mpi::kCommWorld;
+// i32 element count safely above the eager threshold (4096 bytes), so
+// sends block until matched and completion timing is schedule-driven.
+constexpr int kRendezvous = 1200;
+
+std::vector<Stmt> preamble() {
+  std::vector<Stmt> v;
+  v.push_back(S::decl_int("rank"));
+  v.push_back(S::decl_int("size"));
+  v.push_back(S::mpi(Func::Init, {}));
+  v.push_back(S::mpi(Func::CommRank, {A::val(kW), A::addr("rank")}));
+  v.push_back(S::mpi(Func::CommSize, {A::val(kW), A::addr("size")}));
+  return v;
+}
+
+RunReport run_program(Program p, int nprocs,
+                      std::uint64_t max_steps = 2'000'000) {
+  const auto m = progmodel::lower(p);
+  MachineConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.max_steps = max_steps;
+  return run(*m, cfg);
+}
+
+ScheduleSweepReport sweep_program(const Program& p, int nprocs,
+                                  std::uint64_t seed = 1,
+                                  int schedules = 16) {
+  const auto m = progmodel::lower(p);
+  MachineConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.max_steps = 2'000'000;
+  ScheduleSweepOptions opts;
+  opts.schedules = schedules;
+  opts.seed = seed;
+  return sweep_schedules(*m, cfg, opts);
+}
+
+/// Poison statement: a diagnosable InvalidParam the program executes
+/// only when a checked value is wrong (MPI_Barrier on MPI_COMM_NULL).
+Stmt poison() { return S::mpi(Func::Barrier, {A::val(mpi::kCommNull)}); }
+
+/// if (E != expect) poison;
+Stmt expect_eq(const char* var, std::int64_t expect) {
+  return S::if_(E::eq(E::ref(var), E::lit(expect)), {}, {poison()});
+}
+
+Stmt send_stmt(std::string buf, int count, Expr dest, int tag) {
+  return S::mpi(Func::Send, {A::buf(std::move(buf)), A::val(count),
+                             A::val(kInt), A::val(std::move(dest)),
+                             A::val(tag), A::val(kW)});
+}
+
+Stmt recv_stmt(std::string buf, int count, Expr src, int tag) {
+  return S::mpi(Func::Recv, {A::buf(std::move(buf)), A::val(count),
+                             A::val(kInt), A::val(std::move(src)),
+                             A::val(tag), A::val(kW), A::null()});
+}
+
+// ===========================================================================
+// Nonblocking collectives
+// ===========================================================================
+
+TEST(NbcSurface, IbarrierWaitCompletesCleanEverySchedule) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_handle("req", HandleKind::Request));
+  p.main_body.push_back(S::mpi(Func::Ibarrier, {A::val(kW), A::addr("req")}));
+  p.main_body.push_back(S::mpi(Func::Wait, {A::addr("req"), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 3);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+  EXPECT_EQ(sweep.count(Outcome::Completed), sweep.schedules);
+}
+
+TEST(NbcSurface, AllSevenNbcFuncsCompleteUnderWaitall) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("sb", ir::Type::I32, E::lit(32)));
+  p.main_body.push_back(S::decl_buf("rb", ir::Type::I32, E::lit(32)));
+  p.main_body.push_back(S::decl_req_array("reqs", 7));
+  p.main_body.push_back(S::buf_store("sb", E::lit(0), E::lit(5)));
+  p.main_body.push_back(
+      S::mpi(Func::Ibarrier, {A::val(kW), A::buf_at("reqs", E::lit(0))}));
+  p.main_body.push_back(S::mpi(Func::Ibcast,
+                               {A::buf("sb"), A::val(4), A::val(kInt),
+                                A::val(0), A::val(kW),
+                                A::buf_at("reqs", E::lit(1))}));
+  // Disjoint slices of sb/rb per round: an NBC owns its buffer until
+  // completion, and this program never waits in between.
+  p.main_body.push_back(
+      S::mpi(Func::Ireduce, {A::buf_at("sb", E::lit(4)),
+                             A::buf_at("rb", E::lit(0)), A::val(4),
+                             A::val(kInt), A::val(kSum), A::val(0),
+                             A::val(kW), A::buf_at("reqs", E::lit(2))}));
+  p.main_body.push_back(
+      S::mpi(Func::Iallreduce, {A::buf_at("sb", E::lit(8)),
+                                A::buf_at("rb", E::lit(4)), A::val(4),
+                                A::val(kInt), A::val(kSum), A::val(kW),
+                                A::buf_at("reqs", E::lit(3))}));
+  p.main_body.push_back(
+      S::mpi(Func::Igather, {A::buf_at("sb", E::lit(12)), A::val(2),
+                             A::val(kInt), A::buf_at("rb", E::lit(8)),
+                             A::val(2), A::val(kInt), A::val(0), A::val(kW),
+                             A::buf_at("reqs", E::lit(4))}));
+  p.main_body.push_back(
+      S::mpi(Func::Iscatter, {A::buf_at("sb", E::lit(16)), A::val(2),
+                              A::val(kInt), A::buf_at("rb", E::lit(14)),
+                              A::val(2), A::val(kInt), A::val(0), A::val(kW),
+                              A::buf_at("reqs", E::lit(5))}));
+  p.main_body.push_back(
+      S::mpi(Func::Ialltoall, {A::buf_at("sb", E::lit(20)), A::val(2),
+                               A::val(kInt), A::buf_at("rb", E::lit(18)),
+                               A::val(2), A::val(kInt), A::val(kW),
+                               A::buf_at("reqs", E::lit(6))}));
+  p.main_body.push_back(
+      S::mpi(Func::Waitall, {A::val(7), A::buf("reqs"), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 2);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+}
+
+TEST(NbcSurface, MismatchedNbcFuncsReportedAndDeadlock) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_buf("out", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_handle("req", HandleKind::Request));
+  std::vector<Stmt> r0{S::mpi(Func::Ibcast,
+                              {A::buf("buf"), A::val(8), A::val(kInt),
+                               A::val(0), A::val(kW), A::addr("req")})};
+  std::vector<Stmt> rx{S::mpi(Func::Ireduce,
+                              {A::buf("buf"), A::buf("out"), A::val(8),
+                               A::val(kInt), A::val(kSum), A::val(0),
+                               A::val(kW), A::addr("req")})};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(rx)));
+  p.main_body.push_back(S::mpi(Func::Wait, {A::addr("req"), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto rep = run_program(p, 2);
+  EXPECT_TRUE(rep.has(FindingKind::CollectiveMismatch)) << rep.summary();
+  EXPECT_EQ(rep.outcome, Outcome::Deadlock);
+}
+
+TEST(NbcSurface, NbcRootDisagreementReported) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_handle("req", HandleKind::Request));
+  p.main_body.push_back(
+      S::mpi(Func::Ibcast, {A::buf("buf"), A::val(8), A::val(kInt),
+                            A::val(E::mod(E::ref("rank"), E::lit(2))),
+                            A::val(kW), A::addr("req")}));
+  p.main_body.push_back(S::mpi(Func::Wait, {A::addr("req"), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto rep = run_program(p, 2);
+  EXPECT_TRUE(rep.has(FindingKind::ParamMismatch)) << rep.summary();
+}
+
+TEST(NbcSurface, UnwaitedNbcRequestIsReported) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_handle("req", HandleKind::Request));
+  p.main_body.push_back(S::mpi(Func::Ibarrier, {A::val(kW), A::addr("req")}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto rep = run_program(p, 2);
+  EXPECT_FALSE(rep.clean()) << rep.summary();
+  EXPECT_TRUE(rep.has(FindingKind::ResourceLeak) ||
+              rep.has(FindingKind::RequestError))
+      << rep.summary();
+}
+
+TEST(NbcSurface, BufferWriteDuringNbcReported) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_handle("req", HandleKind::Request));
+  p.main_body.push_back(
+      S::mpi(Func::Ibcast, {A::buf("buf"), A::val(8), A::val(kInt),
+                            A::val(0), A::val(kW), A::addr("req")}));
+  p.main_body.push_back(S::buf_store("buf", E::lit(0), E::lit(7)));
+  p.main_body.push_back(S::mpi(Func::Wait, {A::addr("req"), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto rep = run_program(p, 2);
+  EXPECT_TRUE(rep.has(FindingKind::LocalConcurrency)) << rep.summary();
+}
+
+TEST(NbcSurface, CompletionIsInPostingOrderPerComm) {
+  // Two NBC rounds on the same communicator; the program waits ONLY on
+  // the second request, then writes to the first round's buffer. The
+  // standard's in-order completion per communicator means round 1 must
+  // be complete by then — any schedule that completed round 2 first
+  // would flag LocalConcurrency on the write below.
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("b1", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_buf("b2", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_req_array("reqs", 2));
+  p.main_body.push_back(
+      S::mpi(Func::Ibcast, {A::buf("b1"), A::val(8), A::val(kInt), A::val(0),
+                            A::val(kW), A::buf_at("reqs", E::lit(0))}));
+  p.main_body.push_back(
+      S::mpi(Func::Ibcast, {A::buf("b2"), A::val(8), A::val(kInt), A::val(0),
+                            A::val(kW), A::buf_at("reqs", E::lit(1))}));
+  p.main_body.push_back(S::mpi(Func::Wait,
+                               {A::buf_at("reqs", E::lit(1)), A::null()}));
+  p.main_body.push_back(S::buf_store("b1", E::lit(0), E::lit(3)));
+  p.main_body.push_back(S::mpi(Func::Wait,
+                               {A::buf_at("reqs", E::lit(0)), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 3);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+}
+
+// ===========================================================================
+// Sendrecv / Probe / Iprobe
+// ===========================================================================
+
+TEST(SendrecvSurface, RingShiftIsDeadlockFreeEverySchedule) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("sb", ir::Type::I32, E::lit(kRendezvous)));
+  p.main_body.push_back(S::decl_buf("rb", ir::Type::I32, E::lit(kRendezvous)));
+  p.main_body.push_back(S::decl_int(
+      "right", E::mod(E::add(E::ref("rank"), E::lit(1)), E::ref("size"))));
+  p.main_body.push_back(S::decl_int(
+      "left", E::mod(E::add(E::ref("rank"),
+                            E::sub(E::ref("size"), E::lit(1))),
+                     E::ref("size"))));
+  // Rendezvous-sized payload: a blocking hand-rolled version of this
+  // exchange would deadlock, Sendrecv must not.
+  p.main_body.push_back(S::mpi(
+      Func::Sendrecv,
+      {A::buf("sb"), A::val(kRendezvous), A::val(kInt), A::val(E::ref("right")),
+       A::val(4), A::buf("rb"), A::val(kRendezvous), A::val(kInt),
+       A::val(E::ref("left")), A::val(4), A::val(kW), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 3);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+  EXPECT_EQ(sweep.count(Outcome::Completed), sweep.schedules);
+}
+
+TEST(SendrecvSurface, HandRolledPairDeadlocksEverySchedule) {
+  // The same ring with Ssend-then-Recv on every rank: cyclic wait.
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("sb", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_buf("rb", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::decl_int(
+      "right", E::mod(E::add(E::ref("rank"), E::lit(1)), E::ref("size"))));
+  p.main_body.push_back(S::decl_int(
+      "left", E::mod(E::add(E::ref("rank"),
+                            E::sub(E::ref("size"), E::lit(1))),
+                     E::ref("size"))));
+  p.main_body.push_back(S::mpi(Func::Ssend,
+                               {A::buf("sb"), A::val(8), A::val(kInt),
+                                A::val(E::ref("right")), A::val(4),
+                                A::val(kW)}));
+  p.main_body.push_back(recv_stmt("rb", 8, E::ref("left"), 4));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto sweep = sweep_program(p, 3);
+  EXPECT_EQ(sweep.count(Outcome::Deadlock), sweep.schedules)
+      << sweep.summary();
+}
+
+TEST(SendrecvSurface, ProcNullHalvesAreNoOps) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("sb", ir::Type::I32, E::lit(4)));
+  p.main_body.push_back(S::decl_buf("rb", ir::Type::I32, E::lit(4)));
+  p.main_body.push_back(S::mpi(
+      Func::Sendrecv,
+      {A::buf("sb"), A::val(4), A::val(kInt), A::val(mpi::kProcNull),
+       A::val(0), A::buf("rb"), A::val(4), A::val(kInt),
+       A::val(mpi::kProcNull), A::val(0), A::val(kW), A::null()}));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto rep = run_program(p, 2);
+  EXPECT_TRUE(rep.clean()) << rep.summary();
+}
+
+TEST(ProbeSurface, ProbeThenRecvCompletesClean) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(4)));
+  std::vector<Stmt> r0{
+      S::mpi(Func::Probe, {A::val(1), A::val(3), A::val(kW), A::null()}),
+      recv_stmt("buf", 4, E::lit(1), 3)};
+  std::vector<Stmt> r1{S::buf_store("buf", E::lit(0), E::lit(1)),
+                       send_stmt("buf", 4, E::lit(0), 3)};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 2);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+}
+
+TEST(ProbeSurface, WildcardProbeWithTwoSendersReportsRace) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(4)));
+  p.main_body.push_back(S::decl_int("w"));
+  std::vector<Stmt> r0{S::for_(
+      "w", E::lit(1), E::ref("size"),
+      {S::mpi(Func::Probe, {A::val(mpi::kAnySource), A::val(0), A::val(kW),
+                            A::null()}),
+       recv_stmt("buf", 4, E::lit(mpi::kAnySource), 0)})};
+  std::vector<Stmt> rx{S::buf_store("buf", E::lit(0), E::ref("rank")),
+                       send_stmt("buf", 4, E::lit(0), 0)};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(rx)));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 3);
+  EXPECT_TRUE(sweep.has(FindingKind::MessageRace)) << sweep.summary();
+  // Committed witness: the deterministic round-robin schedule (seed 0)
+  // already exhibits the race — both workers have sent by the time the
+  // master's probe is woken.
+  ASSERT_TRUE(sweep.first_witness_seed.has_value());
+  EXPECT_EQ(*sweep.first_witness_seed, 0u);
+}
+
+TEST(ProbeSurface, IprobeFlagReflectsMessageAvailability) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("buf", ir::Type::I32, E::lit(4)));
+  p.main_body.push_back(S::decl_int("flag", E::lit(7)));
+  std::vector<Stmt> r0;
+  // No message can exist yet: rank 1 sends only after our release.
+  r0.push_back(S::mpi(Func::Iprobe, {A::val(1), A::val(2), A::val(kW),
+                                     A::addr("flag"), A::null()}));
+  r0.push_back(expect_eq("flag", 0));
+  r0.push_back(send_stmt("buf", 4, E::lit(1), 9));  // release
+  // Blocking probe guarantees arrival; Iprobe must now say so.
+  r0.push_back(
+      S::mpi(Func::Probe, {A::val(1), A::val(2), A::val(kW), A::null()}));
+  r0.push_back(S::mpi(Func::Iprobe, {A::val(1), A::val(2), A::val(kW),
+                                     A::addr("flag"), A::null()}));
+  r0.push_back(expect_eq("flag", 1));
+  r0.push_back(recv_stmt("buf", 4, E::lit(1), 2));
+  std::vector<Stmt> r1{recv_stmt("buf", 4, E::lit(0), 9),
+                       send_stmt("buf", 4, E::lit(0), 2)};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 2);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+}
+
+// ===========================================================================
+// Waitany / Waitsome / Testall
+// ===========================================================================
+
+TEST(WaitFamily, WaitanyReportsTheCompletedIndex) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("b0", ir::Type::I32, E::lit(kRendezvous)));
+  p.main_body.push_back(S::decl_buf("b1", ir::Type::I32, E::lit(kRendezvous)));
+  p.main_body.push_back(S::decl_req_array("reqs", 2));
+  p.main_body.push_back(S::decl_int("idx", E::lit(-1)));
+  std::vector<Stmt> r0;
+  r0.push_back(S::mpi(Func::Irecv,
+                      {A::buf("b0"), A::val(kRendezvous), A::val(kInt),
+                       A::val(1), A::val(5), A::val(kW),
+                       A::buf_at("reqs", E::lit(0))}));
+  r0.push_back(S::mpi(Func::Irecv,
+                      {A::buf("b1"), A::val(kRendezvous), A::val(kInt),
+                       A::val(1), A::val(6), A::val(kW),
+                       A::buf_at("reqs", E::lit(1))}));
+  // Rank 1 releases only the tag-6 message before our first Waitany, so
+  // index 1 is the unique possible completion.
+  r0.push_back(S::mpi(Func::Waitany, {A::val(2), A::buf("reqs"),
+                                      A::addr("idx"), A::null()}));
+  r0.push_back(expect_eq("idx", 1));
+  r0.push_back(send_stmt("b1", 4, E::lit(1), 9));  // release tag-5 send
+  r0.push_back(S::mpi(Func::Waitany, {A::val(2), A::buf("reqs"),
+                                      A::addr("idx"), A::null()}));
+  r0.push_back(expect_eq("idx", 0));
+  // Pool empty: Waitany returns immediately with MPI_UNDEFINED.
+  r0.push_back(S::mpi(Func::Waitany, {A::val(2), A::buf("reqs"),
+                                      A::addr("idx"), A::null()}));
+  r0.push_back(expect_eq("idx", mpi::kUndefined));
+  std::vector<Stmt> r1;
+  r1.push_back(send_stmt("b1", kRendezvous, E::lit(0), 6));
+  r1.push_back(recv_stmt("b1", 4, E::lit(0), 9));
+  r1.push_back(send_stmt("b0", kRendezvous, E::lit(0), 5));
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 2);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+}
+
+TEST(WaitFamily, WaitsomeDrainsEverythingCompleted) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("b0", ir::Type::I32, E::lit(4)));
+  p.main_body.push_back(S::decl_buf("b1", ir::Type::I32, E::lit(4)));
+  p.main_body.push_back(S::decl_buf("inds", ir::Type::I32, E::lit(2)));
+  p.main_body.push_back(S::decl_req_array("reqs", 2));
+  p.main_body.push_back(S::decl_int("done", E::lit(0)));
+  std::vector<Stmt> r0;
+  r0.push_back(S::mpi(Func::Irecv,
+                      {A::buf("b0"), A::val(4), A::val(kInt), A::val(1),
+                       A::val(0), A::val(kW), A::buf_at("reqs", E::lit(0))}));
+  r0.push_back(S::mpi(Func::Irecv,
+                      {A::buf("b1"), A::val(4), A::val(kInt), A::val(1),
+                       A::val(1), A::val(kW), A::buf_at("reqs", E::lit(1))}));
+  r0.push_back(S::mpi(Func::Barrier, {A::val(kW)}));
+  // Both eager sends were posted before rank 1's barrier arrival, so
+  // both requests are complete here and Waitsome must drain both.
+  r0.push_back(S::mpi(Func::Waitsome,
+                      {A::val(2), A::buf("reqs"), A::addr("done"),
+                       A::buf("inds"), A::null()}));
+  r0.push_back(expect_eq("done", 2));
+  std::vector<Stmt> r1;
+  r1.push_back(S::buf_store("b0", E::lit(0), E::lit(1)));
+  r1.push_back(send_stmt("b0", 4, E::lit(0), 0));
+  r1.push_back(send_stmt("b0", 4, E::lit(0), 1));
+  r1.push_back(S::mpi(Func::Barrier, {A::val(kW)}));
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 2);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+}
+
+TEST(WaitFamily, TestallFlagTracksCompletion) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("b0", ir::Type::I32, E::lit(4)));
+  p.main_body.push_back(S::decl_req_array("reqs", 1));
+  p.main_body.push_back(S::decl_int("flag", E::lit(7)));
+  std::vector<Stmt> r0;
+  r0.push_back(S::mpi(Func::Irecv,
+                      {A::buf("b0"), A::val(4), A::val(kInt), A::val(1),
+                       A::val(0), A::val(kW), A::buf_at("reqs", E::lit(0))}));
+  // Rank 1 has not been released: the request cannot be complete.
+  r0.push_back(S::mpi(Func::Testall, {A::val(1), A::buf("reqs"),
+                                      A::addr("flag"), A::null()}));
+  r0.push_back(expect_eq("flag", 0));
+  r0.push_back(send_stmt("b0", 4, E::lit(1), 9));  // release
+  r0.push_back(S::mpi(Func::Wait,
+                      {A::buf_at("reqs", E::lit(0)), A::null()}));
+  // Everything consumed: Testall on an all-null array reports done.
+  r0.push_back(S::mpi(Func::Testall, {A::val(1), A::buf("reqs"),
+                                      A::addr("flag"), A::null()}));
+  r0.push_back(expect_eq("flag", 1));
+  std::vector<Stmt> r1{recv_stmt("b0", 4, E::lit(0), 9),
+                       send_stmt("b0", 4, E::lit(0), 0)};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  const auto sweep = sweep_program(p, 2);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+}
+
+TEST(WaitFamily, WaitanyOnGarbageHandleReportsRequestError) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("b0", ir::Type::I32, E::lit(4)));
+  p.main_body.push_back(S::decl_req_array("reqs", 2));
+  p.main_body.push_back(S::decl_int("idx"));
+  std::vector<Stmt> r0;
+  r0.push_back(S::mpi(Func::Irecv,
+                      {A::buf("b0"), A::val(4), A::val(kInt), A::val(1),
+                       A::val(0), A::val(kW), A::buf_at("reqs", E::lit(0))}));
+  r0.push_back(S::buf_store("reqs", E::lit(0), E::lit(987654)));
+  r0.push_back(S::mpi(Func::Waitany, {A::val(2), A::buf("reqs"),
+                                      A::addr("idx"), A::null()}));
+  std::vector<Stmt> r1{S::buf_store("b0", E::lit(0), E::lit(1)),
+                       send_stmt("b0", 4, E::lit(0), 0)};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  const auto rep = run_program(p, 2);
+  EXPECT_TRUE(rep.has(FindingKind::RequestError)) << rep.summary();
+}
+
+// ===========================================================================
+// Per-rank thread blocks
+// ===========================================================================
+
+Program thread_program(bool race) {
+  Program p;
+  p.main_body = preamble();
+  p.main_body.push_back(S::decl_buf("shared", ir::Type::I32, E::lit(8)));
+  p.main_body.push_back(S::buf_store("shared", E::lit(0), E::lit(1)));
+  std::vector<Stmt> t0;
+  t0.push_back(S::decl_handle("treq", HandleKind::Request));
+  t0.push_back(S::mpi(Func::Irecv,
+                      {A::buf("shared"), A::val(8), A::val(kInt), A::val(1),
+                       A::val(0), A::val(kW), A::addr("treq")}));
+  t0.push_back(S::mpi(Func::Wait, {A::addr("treq"), A::null()}));
+  std::vector<Stmt> t1;
+  t1.push_back(S::decl_buf("mine", ir::Type::I32, E::lit(8)));
+  t1.push_back(S::buf_store("mine", E::lit(0), E::lit(2)));
+  if (race) {
+    t1.push_back(S::buf_store("shared", E::lit(0), E::lit(9)));
+  }
+  t1.push_back(send_stmt("mine", 8, E::lit(1), 1));
+  std::vector<Stmt> r0{S::thread_block_shared("shared", std::move(t0),
+                                              std::move(t1))};
+  std::vector<Stmt> r1{send_stmt("shared", 8, E::lit(0), 0),
+                       recv_stmt("shared", 8, E::lit(0), 1)};
+  p.main_body.push_back(S::if_(E::eq(E::ref("rank"), E::lit(0)),
+                               std::move(r0), std::move(r1)));
+  p.main_body.push_back(S::mpi(Func::Finalize, {}));
+  p.main_body.push_back(S::ret(E::lit(0)));
+  return p;
+}
+
+TEST(Threads, ThreadBlockJoinsCleanEverySchedule) {
+  const auto sweep = sweep_program(thread_program(false), 2);
+  EXPECT_TRUE(sweep.clean()) << sweep.summary();
+  EXPECT_EQ(sweep.count(Outcome::Completed), sweep.schedules);
+}
+
+TEST(Threads, SharedBufferRaceReported) {
+  const auto rep = run_program(thread_program(true), 2);
+  EXPECT_TRUE(rep.has(FindingKind::LocalConcurrency)) << rep.summary();
+  const auto sweep = sweep_program(thread_program(true), 2);
+  EXPECT_TRUE(sweep.has(FindingKind::LocalConcurrency)) << sweep.summary();
+  // Committed witness: round-robin runs the forked contexts in fork
+  // order within one scheduling round, so seed 0 exhibits the race.
+  EXPECT_EQ(sweep.findings.at(FindingKind::LocalConcurrency).first_seed, 0u);
+}
+
+TEST(Threads, InterleavingIsDeterministicPerSeed) {
+  const auto m1 = progmodel::lower(thread_program(false));
+  const auto m2 = progmodel::lower(thread_program(false));
+  MachineConfig cfg;
+  cfg.nprocs = 2;
+  cfg.max_steps = 2'000'000;
+  ScheduleSweepOptions opts;
+  opts.schedules = 16;
+  opts.seed = 99;
+  const auto s1 = sweep_schedules(*m1, cfg, opts);
+  const auto s2 = sweep_schedules(*m2, cfg, opts);
+  ASSERT_EQ(s1.reports.size(), s2.reports.size());
+  for (std::size_t i = 0; i < s1.reports.size(); ++i) {
+    EXPECT_EQ(s1.reports[i], s2.reports[i]) << "schedule slot " << i;
+  }
+}
+
+// ===========================================================================
+// Widened templates: detection wall + byte-identical replay
+// ===========================================================================
+
+datasets::Case build_case(std::string_view tpl_id, datasets::Inject inj,
+                          std::uint64_t seed) {
+  const datasets::Template* tpl = datasets::find_template(tpl_id);
+  EXPECT_NE(tpl, nullptr) << tpl_id;
+  Rng rng(seed);
+  datasets::BuildContext ctx;
+  ctx.rng = &rng;
+  ctx.inject = inj;
+  ctx.size_class = 1;
+  datasets::Case c;
+  c.program = tpl->fn(ctx);
+  c.incorrect = inj != datasets::Inject::None;
+  return c;
+}
+
+struct InjectExpectation {
+  std::string_view tpl;
+  datasets::Inject inject;
+};
+
+const InjectExpectation kWidenedInjects[] = {
+    {"nbc_coll", datasets::Inject::NbcMismatch},
+    {"nbc_coll", datasets::Inject::NbcRootMismatch},
+    {"nbc_coll", datasets::Inject::NbcMissingWait},
+    {"nbc_coll", datasets::Inject::NbcWriteBeforeWait},
+    {"sendrecv_ring", datasets::Inject::SendrecvCycleBlocking},
+    {"probe_poll", datasets::Inject::ProbeWildcardRace},
+    {"waitany_pool", datasets::Inject::WaitanyInvalidRequest},
+    {"thread_pingpong", datasets::Inject::ThreadRace},
+};
+
+TEST(WidenedTemplates, EveryWidenedInjectIsFlaggedUnder16Seeds) {
+  for (const auto& [tpl, inject] : kWidenedInjects) {
+    const auto c = build_case(tpl, inject, 7);
+    const auto sweep = sweep_program(c.program, c.program.nprocs, 1, 16);
+    EXPECT_FALSE(sweep.clean())
+        << tpl << "/" << datasets::inject_name(inject) << ": "
+        << sweep.summary();
+  }
+}
+
+TEST(WidenedTemplates, CorrectVariantsRunCleanUnder16Seeds) {
+  for (const char* tpl : {"nbc_coll", "sendrecv_ring", "probe_poll",
+                          "waitany_pool", "thread_pingpong"}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      const auto c = build_case(tpl, datasets::Inject::None, seed);
+      const auto sweep = sweep_program(c.program, c.program.nprocs, 1, 16);
+      EXPECT_TRUE(sweep.clean()) << tpl << " seed " << seed << ": "
+                                 << sweep.summary();
+    }
+  }
+}
+
+TEST(WidenedTemplates, SameSeedReplayIsByteIdentical) {
+  for (const auto& [tpl, inject] : kWidenedInjects) {
+    const auto c1 = build_case(tpl, inject, 11);
+    const auto c2 = build_case(tpl, inject, 11);
+    const auto s1 = sweep_program(c1.program, c1.program.nprocs, 5, 8);
+    const auto s2 = sweep_program(c2.program, c2.program.nprocs, 5, 8);
+    ASSERT_EQ(s1.reports.size(), s2.reports.size());
+    for (std::size_t i = 0; i < s1.reports.size(); ++i) {
+      EXPECT_EQ(s1.reports[i], s2.reports[i])
+          << tpl << "/" << datasets::inject_name(inject) << " slot " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpidetect::mpisim
