@@ -17,6 +17,16 @@
 // a serial box (per-case forward cost dwarfs dispatch; model-side
 // mini-batching is measured separately in BENCH_gnn.json).
 //
+// --fault-sweep adds a second axis: the same burst pushed through
+// transports injecting RECOVERABLE faults (short reads, short writes,
+// spurious EINTR — support/faultpoint.hpp) at 0%/1%/5% rates, at the
+// fixed max_batch=4 window. It quantifies what the retry loops cost
+// under degraded I/O — p50/p99 and throughput per rate land in an
+// optional "fault_sweep" JSON section — and doubles as a correctness
+// gate: every request must still be served with a verdict identical
+// to the clean run's reference (a fault that changed an answer is a
+// bug, not latency).
+//
 // Writes the machine-readable BENCH_serve.json record
 // (schema-checked by scripts/check_bench_json.py; methodology in
 // docs/SERVING.md). --quick shrinks the burst for CI smoke runs.
@@ -37,6 +47,7 @@
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
 #include "serve/wire.hpp"
+#include "support/faultpoint.hpp"
 
 using namespace mpidetect;
 using Clock = std::chrono::steady_clock;
@@ -58,11 +69,16 @@ struct Args {
   /// regime (model-side batching economics are BENCH_gnn.json's story).
   std::string detector = "ir2vec";
   std::string out = "BENCH_serve.json";
+  /// Also sweep recoverable transport-fault rates (0%/1%/5%) at the
+  /// max_batch=4 window and record latency under degraded I/O.
+  bool fault_sweep = false;
 
   static Args parse(int argc, char** argv) {
     Args a;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--quick") == 0) {
+      if (std::strcmp(argv[i], "--fault-sweep") == 0) {
+        a.fault_sweep = true;
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
         a.quick = true;
         a.scale = 0.05;
         a.clients = 4;
@@ -87,7 +103,7 @@ struct Args {
         std::cerr << "serve_throughput: unknown flag " << argv[i] << "\n"
                   << "usage: serve_throughput [--quick] [--scale=X] "
                      "[--clients=N] [--requests=N] [--queue=N] [--reps=N] "
-                     "[--detector=KEY] [--out=FILE]\n";
+                     "[--detector=KEY] [--fault-sweep] [--out=FILE]\n";
         std::exit(1);
       }
     }
@@ -107,6 +123,8 @@ struct SweepPoint {
   std::uint64_t batches = 0;
   std::uint64_t max_coalesced = 0;
   std::uint64_t mismatches = 0;
+  double fault_rate = 0.0;        // --fault-sweep points only
+  std::uint64_t faults_fired = 0;
 };
 
 double percentile(std::vector<double> v, double q) {
@@ -174,11 +192,17 @@ ClientResult run_client(serve::Transport& t, std::size_t requests,
   return res;
 }
 
+/// A non-empty `fault_spec` arms support/faultpoint.hpp for the timed
+/// window (warm-up stays clean) with the server-end transports tagged
+/// "serve", exactly like the daemon — RECOVERABLE faults only, so every
+/// request is still answered and timed.
 SweepPoint run_sweep_point(const Args& args, const std::string& bundle,
                            const std::string& cache_dir,
                            const std::string& spec, std::size_t cases,
                            const std::vector<core::Verdict>& reference,
-                           std::size_t max_batch) {
+                           std::size_t max_batch,
+                           const std::string& fault_spec = "",
+                           double fault_rate = 0.0) {
   serve::ServerOptions opts;
   opts.model_paths = {bundle};
   opts.queue_capacity = args.queue;
@@ -198,6 +222,7 @@ SweepPoint run_sweep_point(const Args& args, const std::string& bundle,
     auto [a, b] = serve::local_pair();
     c.client = std::move(a);
     c.server_end = std::move(b);
+    if (!fault_spec.empty()) c.server_end->set_fault_tag("serve");
     c.th = std::thread([&server, &c] {
       server.serve_connection(*c.server_end, "bench-client");
     });
@@ -209,6 +234,7 @@ SweepPoint run_sweep_point(const Args& args, const std::string& bundle,
   serve::write_frame(*conns[0].client, serve::Submit{999999999, "", spec, 0});
   (void)serve::read_frame(*conns[0].client, "bench-server");
 
+  if (!fault_spec.empty()) fault::Registry::global().configure(fault_spec);
   const auto t0 = Clock::now();
   std::vector<ClientResult> results(args.clients);
   std::vector<std::thread> workers;
@@ -239,6 +265,9 @@ SweepPoint run_sweep_point(const Args& args, const std::string& bundle,
   const auto stats = server.snapshot_stats();
   p.batches = stats.batches;
   p.max_coalesced = stats.max_coalesced;
+  p.fault_rate = fault_rate;
+  p.faults_fired = stats.faults_fired;
+  if (!fault_spec.empty()) fault::Registry::global().disarm();
 
   for (auto& c : conns) {
     c.client->shutdown();
@@ -343,6 +372,32 @@ int main(int argc, char** argv) {
                 << json_num(sweep.back().rps) << " req/s\n";
     }
 
+    // Optional second axis: recoverable transport faults at the fixed
+    // max_batch=4 window. One rep per rate — the story is the latency
+    // DELTA between rates inside one artifact, and the 0% point makes
+    // the comparison internal to the same run conditions.
+    std::vector<SweepPoint> fault_sweep;
+    if (args.fault_sweep) {
+      std::cout << "sweeping recoverable fault rates at max_batch 4\n";
+      for (const double rate : {0.0, 0.01, 0.05}) {
+        std::string fspec;
+        if (rate > 0.0) {
+          const std::string r = json_num(rate);
+          fspec = "seed=7,serve.recv.short:p=" + r +
+                  ",serve.send.short:p=" + r + ",serve.recv.eintr:p=" + r;
+        }
+        const auto p = run_sweep_point(args, bundle, cache_dir, spec,
+                                       ds.size(), reference, 4, fspec, rate);
+        std::cout << "  fault rate " << json_num(rate) << ": "
+                  << json_num(p.rps) << " req/s, p50 " << json_num(p.p50_ms)
+                  << " ms, p99 " << json_num(p.p99_ms) << " ms, "
+                  << p.faults_fired << " faults fired, " << p.mismatches
+                  << " mismatches\n";
+        mismatches += p.mismatches;
+        fault_sweep.push_back(p);
+      }
+    }
+
     // Headline: the best coalescing window against one-at-a-time
     // dispatch. (Wider is not monotonically better — past the model's
     // infer-batch sweet spot the working set outgrows the cache, which
@@ -382,8 +437,23 @@ int main(int argc, char** argv) {
          << ", \"busy_retries\": " << p.busy_retries << "}"
          << (i + 1 < sweep.size() ? "," : "") << "\n";
     }
-    js << "  ],\n"
-       << "  \"batched_vs_single_speedup\": " << json_num(speedup) << ",\n"
+    js << "  ],\n";
+    if (!fault_sweep.empty()) {
+      js << "  \"fault_sweep\": [\n";
+      for (std::size_t i = 0; i < fault_sweep.size(); ++i) {
+        const auto& p = fault_sweep[i];
+        js << "    {\"fault_rate\": " << json_num(p.fault_rate)
+           << ", \"requests\": " << p.requests << ", \"wall_ms\": "
+           << json_num(p.wall_ms) << ", \"throughput_rps\": "
+           << json_num(p.rps) << ", \"latency_ms\": {\"p50\": "
+           << json_num(p.p50_ms) << ", \"p90\": " << json_num(p.p90_ms)
+           << ", \"p99\": " << json_num(p.p99_ms) << "}, \"faults_fired\": "
+           << p.faults_fired << ", \"busy_retries\": " << p.busy_retries
+           << "}" << (i + 1 < fault_sweep.size() ? "," : "") << "\n";
+      }
+      js << "  ],\n";
+    }
+    js << "  \"batched_vs_single_speedup\": " << json_num(speedup) << ",\n"
        << "  \"verdict_mismatches\": " << mismatches << "\n"
        << "}\n";
     std::ofstream os(args.out);

@@ -210,6 +210,56 @@ def check_serve_throughput(path, doc, require_win):
             f"(best batched / single = {best})",
         )
 
+    # Optional --fault-sweep axis: latency under injected recoverable
+    # transport faults. Rates must ascend from a clean 0% baseline, and
+    # a non-zero rate that fired no faults means the injection never
+    # actually ran — a malformed record, not a resilient server.
+    fault_sweep = doc.get("fault_sweep")
+    if fault_sweep is not None:
+        if not isinstance(fault_sweep, list) or len(fault_sweep) < 2:
+            return fail(path, "fault_sweep present but has fewer than 2 points")
+        prev_rate = -1.0
+        for i, point in enumerate(fault_sweep):
+            if not isinstance(point, dict):
+                return fail(path, f"fault_sweep[{i}] is not an object")
+            rate = point.get("fault_rate")
+            if not (is_number(rate) and 0.0 <= rate <= 1.0):
+                return fail(path, f"fault_sweep[{i}].fault_rate outside [0, 1]")
+            if rate <= prev_rate:
+                return fail(path, f"fault_sweep[{i}]: rates not ascending")
+            prev_rate = rate
+            for key in ("requests", "wall_ms", "throughput_rps",
+                        "faults_fired", "busy_retries"):
+                if not (is_number(point.get(key)) and point[key] >= 0):
+                    return fail(path,
+                                f"fault_sweep[{i}].{key} missing or negative")
+            if point["requests"] != expected:
+                return fail(
+                    path,
+                    f"fault_sweep[{i}].requests {point['requests']} != "
+                    f"clients*requests_per_client {expected}",
+                )
+            if point["wall_ms"] <= 0 or point["throughput_rps"] <= 0:
+                return fail(path, f"fault_sweep[{i}]: wall_ms/throughput_rps "
+                                  "not positive")
+            lat = point.get("latency_ms")
+            if not isinstance(lat, dict):
+                return fail(path, f"fault_sweep[{i}].latency_ms missing")
+            for q in ("p50", "p90", "p99"):
+                if not (is_number(lat.get(q)) and lat[q] >= 0):
+                    return fail(path, f"fault_sweep[{i}].latency_ms.{q} missing")
+            if not (lat["p50"] <= lat["p90"] + 1e-9 and
+                    lat["p90"] <= lat["p99"] + 1e-9):
+                return fail(path, f"fault_sweep[{i}]: percentiles not monotone")
+            if rate == 0.0 and point["faults_fired"] != 0:
+                return fail(path, f"fault_sweep[{i}]: clean baseline fired "
+                                  f"{point['faults_fired']} faults")
+            if rate > 0.0 and point["faults_fired"] == 0:
+                return fail(path, f"fault_sweep[{i}]: rate {rate} fired no "
+                                  "faults — injection never ran")
+        if fault_sweep[0]["fault_rate"] != 0.0:
+            return fail(path, "fault_sweep has no 0% baseline point")
+
     mismatches = doc.get("verdict_mismatches")
     if not is_number(mismatches):
         return fail(path, "verdict_mismatches missing")
@@ -223,10 +273,13 @@ def check_serve_throughput(path, doc, require_win):
                           "the committed record must show batched admission "
                           "beating one-at-a-time dispatch")
 
+    fault_note = (
+        f", fault sweep {len(fault_sweep)} rates" if fault_sweep else ""
+    )
     print(
         f"{path}: OK ({config['detector']} on {dataset['spec']}, "
         f"{len(sweep)} windows x {expected} requests, "
-        f"batched vs single {speedup:.2f}x, 0 mismatches)"
+        f"batched vs single {speedup:.2f}x, 0 mismatches{fault_note})"
     )
     return 0
 

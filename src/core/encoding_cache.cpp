@@ -6,6 +6,7 @@
 
 #include "io/encoding_io.hpp"
 #include "support/check.hpp"
+#include "support/faultpoint.hpp"
 
 namespace mpidetect::core {
 
@@ -124,6 +125,9 @@ template <typename Set, void (*save)(io::Writer&, const io::EncodingKey&,
                                      const Set&)>
 bool try_save_spill(const std::filesystem::path& path,
                     const io::EncodingKey& key, const Set& value) {
+  // The injected ENOSPC proves the degrade-to-memory claim: the cache
+  // keeps serving, it just stops spilling.
+  if (MPIDETECT_FAULTPOINT("cache.spill.enospc")) return false;
   try {
     io::save_file(path, [&](io::Writer& w) { save(w, key, value); });
     return true;

@@ -33,6 +33,12 @@ FeatureSet extract_features(const datasets::Dataset& ds,
     if (!found) fs.label_names.push_back(name);
   }
 
+  // Workers write one byte each, not one bit: vector<bool> packs
+  // neighbouring elements into a shared word, so concurrent writes to
+  // DIFFERENT indices still race (TSan, tests under MPIDETECT_SANITIZE
+  // =thread). Copied into the bit-packed member after the join.
+  std::vector<unsigned char> incorrect(n, 0);
+
   // Vocabulary caches are populated lazily and are not thread-safe, so
   // each worker owns a replica; seed vectors are hash-derived and thus
   // identical across replicas.
@@ -50,12 +56,13 @@ FeatureSet extract_features(const datasets::Dataset& ds,
     ir2vec::normalize_vector(fs.X[i], norm == ir2vec::Normalization::Vector
                                           ? norm
                                           : ir2vec::Normalization::None);
-    fs.incorrect[i] = c.incorrect;
+    incorrect[i] = c.incorrect ? 1 : 0;
     fs.y_binary[i] = c.incorrect ? 1 : 0;
     fs.case_names[i] = c.name;
   });
 
   for (std::size_t i = 0; i < n; ++i) {
+    fs.incorrect[i] = incorrect[i] != 0;
     fs.y_label[i] = fs.label_index(ds.cases[i].label_name());
   }
 
@@ -73,15 +80,19 @@ GraphSet extract_graphs(const datasets::Dataset& ds, passes::OptLevel opt,
   gs.y_binary.resize(n);
   gs.incorrect.resize(n);
   gs.case_names.resize(n);
+  // Byte-wide staging for the same vector<bool> word-sharing race as in
+  // extract_features above.
+  std::vector<unsigned char> incorrect(n, 0);
   parallel_for(n, threads, [&](std::size_t i) {
     const datasets::Case& c = ds.cases[i];
     auto m = progmodel::lower(c.program);
     passes::run_pipeline(*m, opt);
     gs.graphs[i] = programl::build_graph(*m);
-    gs.incorrect[i] = c.incorrect;
+    incorrect[i] = c.incorrect ? 1 : 0;
     gs.y_binary[i] = c.incorrect ? 1 : 0;
     gs.case_names[i] = c.name;
   });
+  for (std::size_t i = 0; i < n; ++i) gs.incorrect[i] = incorrect[i] != 0;
   return gs;
 }
 

@@ -12,6 +12,7 @@
 #include "corpus/record.hpp"
 #include "io/serialize.hpp"
 #include "support/check.hpp"
+#include "support/faultpoint.hpp"
 #include "support/rng.hpp"
 
 namespace mpidetect::corpus {
@@ -169,7 +170,9 @@ void CorpusWriter::add(const datasets::Case& c) {
     out_.write(kZeros.data(), static_cast<std::streamsize>(pad));
     content_fp_ = fnv1a64_bytes(content_fp_, kZeros.data(), pad);
   }
-  if (!out_) fail(tmp_path_, "shard write failed");
+  if (!out_ || MPIDETECT_FAULTPOINT("corpus.write.enospc")) {
+    fail(tmp_path_, "shard write failed");
+  }
   payload_bytes_ += padded;
   ++stats_.cases;
 }

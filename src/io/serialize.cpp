@@ -1,5 +1,7 @@
 #include "io/serialize.hpp"
 
+#include "support/faultpoint.hpp"
+
 #include <bit>
 #include <fstream>
 #include <istream>
@@ -166,6 +168,19 @@ void save_file(const std::filesystem::path& path,
       if (!os) {
         throw FormatError(tmp.string() + ": write failed (disk full?)");
       }
+    }
+    if (MPIDETECT_FAULTPOINT("io.save.enospc")) {
+      throw FormatError(tmp.string() +
+                        ": write failed (injected ENOSPC, io.save.enospc)");
+    }
+    if (MPIDETECT_FAULTPOINT("io.save.torn")) {
+      // A torn write: half the bytes land, then the rename happens
+      // anyway — the crash-mid-write case atomic replacement is
+      // supposed to make impossible without the tmp file. Loaders must
+      // treat the result as corrupt, never as data.
+      std::error_code tec;
+      const auto size = std::filesystem::file_size(tmp, tec);
+      if (!tec) std::filesystem::resize_file(tmp, size / 2, tec);
     }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);

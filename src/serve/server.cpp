@@ -1,10 +1,12 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "datasets/spec.hpp"
 #include "serve/transport.hpp"
 #include "support/check.hpp"
+#include "support/faultpoint.hpp"
 
 namespace mpidetect::serve {
 
@@ -34,10 +36,21 @@ struct Server::ConnectionCtx {
   std::mutex write_mu;
   bool dead = false;
   std::size_t in_flight = 0;
+  /// Wire version of the frame currently being handled (connection
+  /// thread only); replies from *_impl handlers speak it back.
+  std::uint32_t frame_version = kWireVersion;
+  /// Request ids this connection was told BUSY for, bounded ring
+  /// (connection thread only). A resubmit of one counts as a retry.
+  std::vector<std::uint64_t> busy_ids;
 
   ConnectionCtx(Transport& transport, std::string peer)
       : t(transport), origin(std::move(peer)) {}
 };
+
+namespace {
+/// Bound on the per-connection BUSY-id memory of the retry counter.
+constexpr std::size_t kBusyIdCap = 128;
+}  // namespace
 
 Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
   MPIDETECT_EXPECTS(!opts_.model_paths.empty());
@@ -79,6 +92,9 @@ Server::~Server() { stop(); }
 void Server::start() {
   MPIDETECT_EXPECTS(!worker_.joinable());
   worker_ = std::thread([this] { worker_loop(); });
+  if (opts_.watchdog_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 void Server::drain() {
@@ -98,6 +114,12 @@ void Server::stop() {
     work_cv_.notify_all();
   }
   if (worker_.joinable()) worker_.join();
+  {
+    std::lock_guard<std::mutex> lk(watchdog_mu_);
+    watchdog_stop_ = true;
+    watchdog_cv_.notify_all();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
   stopped_.store(true, std::memory_order_release);
   // Unblock connection threads parked in read_frame; their loops end on
   // the EOF this produces.
@@ -125,6 +147,12 @@ Stats Server::snapshot_stats() const {
   s.datasets_materialized = datasets_materialized_.load();
   s.cache_disk_hits = cache_->disk_hits();
   s.cache_disk_writes = cache_->disk_writes();
+  s.deadline_sheds = deadline_sheds_.load();
+  s.io_timeouts = io_timeouts_.load();
+  s.reaped_connections = reaped_connections_.load();
+  s.retries = retries_.load();
+  s.watchdog_trips = watchdog_trips_.load();
+  s.faults_fired = fault::Registry::global().fired_total();
   return s;
 }
 
@@ -137,11 +165,19 @@ void Server::bump_max(std::atomic<std::uint64_t>& target,
   }
 }
 
-void Server::send(ConnectionCtx& conn, const Frame& f) {
+void Server::send(ConnectionCtx& conn, const Frame& f,
+                  std::uint32_t version) {
   std::lock_guard<std::mutex> lk(conn.write_mu);
   if (conn.dead) return;
   try {
-    write_frame(conn.t, f);
+    write_frame(conn.t, f, version);
+  } catch (const TransportTimeout&) {
+    // The peer stopped draining its socket; a reply deadline fired so
+    // the worker is NOT wedged behind this connection. Latch it dead —
+    // half a frame went out, the stream is unrecoverable.
+    io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    conn.dead = true;
+    conn.t.shutdown();
   } catch (const std::exception&) {
     // The peer vanished; nothing left to tell it. Latch so queued
     // replies for this connection are dropped silently.
@@ -182,11 +218,21 @@ void Server::hello_impl(ConnectionCtx& conn, const Hello&) {
   caps.queue_capacity = static_cast<std::uint32_t>(opts_.queue_capacity);
   caps.max_batch = static_cast<std::uint32_t>(opts_.max_batch);
   caps.detectors = detector_keys();
-  send(conn, caps);
+  send(conn, caps, conn.frame_version);
 }
 
 void Server::submit_impl(ConnectionCtx& conn, const Submit& f) {
   received_.fetch_add(1, std::memory_order_relaxed);
+
+  // A resubmit of a request id this connection was BUSY-bounced for is
+  // a retry: the backoff loop on the other end is working as designed,
+  // and the operator can see it happening (Stats::retries).
+  if (const auto it =
+          std::find(conn.busy_ids.begin(), conn.busy_ids.end(), f.request_id);
+      it != conn.busy_ids.end()) {
+    conn.busy_ids.erase(it);
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Resolve every string BEFORE admission: a slot holds only an index
   // and two pointers, and a bad request never occupies a slot.
@@ -197,8 +243,10 @@ void Server::submit_impl(ConnectionCtx& conn, const Submit& f) {
         [&](const LoadedModel& m) { return m.key == f.detector; });
     if (it == models_.end()) {
       request_errors_.fetch_add(1, std::memory_order_relaxed);
-      send(conn, Error{f.request_id, "unknown detector '" + f.detector +
-                                         "' (not among the loaded bundles)"});
+      send(conn,
+           Error{f.request_id, "unknown detector '" + f.detector +
+                                   "' (not among the loaded bundles)"},
+           conn.frame_version);
       return;
     }
     model = static_cast<std::uint32_t>(it - models_.begin());
@@ -209,15 +257,16 @@ void Server::submit_impl(ConnectionCtx& conn, const Submit& f) {
     ds = dataset_for(f.dataset);
   } catch (const datasets::SpecError& e) {
     request_errors_.fetch_add(1, std::memory_order_relaxed);
-    send(conn, Error{f.request_id, e.what()});
+    send(conn, Error{f.request_id, e.what()}, conn.frame_version);
     return;
   }
   if (f.index >= ds->size()) {
     request_errors_.fetch_add(1, std::memory_order_relaxed);
-    send(conn, Error{f.request_id,
-                     "case index " + std::to_string(f.index) +
-                         " out of range for '" + f.dataset + "' (" +
-                         std::to_string(ds->size()) + " cases)"});
+    send(conn,
+         Error{f.request_id, "case index " + std::to_string(f.index) +
+                                 " out of range for '" + f.dataset + "' (" +
+                                 std::to_string(ds->size()) + " cases)"},
+         conn.frame_version);
     return;
   }
 
@@ -226,7 +275,11 @@ void Server::submit_impl(ConnectionCtx& conn, const Submit& f) {
     if (draining_ || free_.empty()) {
       lk.unlock();
       busy_rejected_.fetch_add(1, std::memory_order_relaxed);
-      send(conn, Busy{f.request_id});
+      if (conn.busy_ids.size() >= kBusyIdCap) {
+        conn.busy_ids.erase(conn.busy_ids.begin());
+      }
+      conn.busy_ids.push_back(f.request_id);
+      send(conn, Busy{f.request_id}, conn.frame_version);
       return;
     }
     const std::uint32_t idx = free_.back();
@@ -237,6 +290,13 @@ void Server::submit_impl(ConnectionCtx& conn, const Submit& f) {
     s.ds = ds;
     s.index = static_cast<std::size_t>(f.index);
     s.conn = &conn;
+    s.wire_version = conn.frame_version;
+    // The deadline clock starts at admission: time spent queued counts
+    // against the client's budget, which is what makes shedding honest.
+    s.deadline = f.deadline_ms > 0
+                     ? std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(f.deadline_ms)
+                     : std::chrono::steady_clock::time_point{};
     pending_.push_back(idx);
     bump_max(max_queue_depth_, pending_.size());
     {
@@ -248,12 +308,12 @@ void Server::submit_impl(ConnectionCtx& conn, const Submit& f) {
 }
 
 void Server::stats_impl(ConnectionCtx& conn, const StatsReq&) {
-  send(conn, snapshot_stats());
+  send(conn, snapshot_stats(), conn.frame_version);
 }
 
 void Server::shutdown_impl(ConnectionCtx& conn) {
   drain();  // every admitted request is answered before the BYE
-  send(conn, Bye{});
+  send(conn, Bye{}, conn.frame_version);
   stop();
 }
 
@@ -264,6 +324,7 @@ void Server::worker_loop() {
   batch.reserve(opts_.max_batch);
   while (true) {
     batch.clear();
+    std::vector<Slot> shed;
     {
       std::unique_lock<std::mutex> lk(queue_mu_);
       work_cv_.wait(lk, [&] { return stop_worker_ || !pending_.empty(); });
@@ -272,29 +333,63 @@ void Server::worker_loop() {
         drained_cv_.notify_all();
         return;
       }
-      // Coalesce: the oldest entry picks the (model, dataset) target;
-      // every queued request for the same target joins, FIFO order,
-      // up to the window.
-      const Slot& head = slots_[pending_.front()];
-      const std::uint32_t model = head.model;
-      const datasets::Dataset* ds = head.ds;
-      std::size_t kept = 0;
-      for (std::size_t i = 0; i < pending_.size(); ++i) {
-        const std::uint32_t idx = pending_[i];
-        const Slot& s = slots_[idx];
-        if (batch.size() < opts_.max_batch && s.model == model &&
-            s.ds == ds) {
-          batch.push_back(s);      // copy out, then recycle the slot
-          free_.push_back(idx);
-        } else {
-          pending_[kept++] = idx;
+      // Shed before scheduling: a request whose deadline already passed
+      // gets EXPIRED instead of burning a batch slot on an answer the
+      // client has stopped waiting for.
+      shed = shed_expired_locked();
+      if (!pending_.empty()) {
+        // Coalesce: the oldest entry picks the (model, dataset) target;
+        // every queued request for the same target joins, FIFO order,
+        // up to the window.
+        const Slot& head = slots_[pending_.front()];
+        const std::uint32_t model = head.model;
+        const datasets::Dataset* ds = head.ds;
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+          const std::uint32_t idx = pending_[i];
+          const Slot& s = slots_[idx];
+          if (batch.size() < opts_.max_batch && s.model == model &&
+              s.ds == ds) {
+            batch.push_back(s);      // copy out, then recycle the slot
+            free_.push_back(idx);
+          } else {
+            pending_[kept++] = idx;
+          }
         }
+        pending_.resize(kept);
       }
-      pending_.resize(kept);
+      // worker_busy_ covers the EXPIRED replies below too: drain() must
+      // not conclude "all answered" while they are still unsent.
       worker_busy_ = true;
     }
 
-    run_batch(batch);
+    if (!shed.empty()) {
+      for (const Slot& s : shed) {
+        deadline_sheds_.fetch_add(1, std::memory_order_relaxed);
+        send(*s.conn, Expired{s.request_id}, s.wire_version);
+      }
+      {
+        std::lock_guard<std::mutex> lk(flight_mu_);
+        for (const Slot& s : shed) --s.conn->in_flight;
+      }
+      flight_cv_.notify_all();
+    }
+
+    if (!batch.empty()) {
+      {
+        std::lock_guard<std::mutex> lk(watchdog_mu_);
+        ++batch_seq_;
+        batch_start_ = std::chrono::steady_clock::now();
+        batch_running_ = true;
+        watchdog_cv_.notify_all();
+      }
+      run_batch(batch);
+      {
+        std::lock_guard<std::mutex> lk(watchdog_mu_);
+        batch_running_ = false;
+        watchdog_cv_.notify_all();
+      }
+    }
 
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
@@ -304,10 +399,32 @@ void Server::worker_loop() {
   }
 }
 
+std::vector<Server::Slot> Server::shed_expired_locked() {
+  std::vector<Slot> shed;
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const std::uint32_t idx = pending_[i];
+    const Slot& s = slots_[idx];
+    const bool expired =
+        s.deadline != std::chrono::steady_clock::time_point{} &&
+        s.deadline <= now;
+    if (expired) {
+      shed.push_back(s);       // copy out, then recycle the slot
+      free_.push_back(idx);
+    } else {
+      pending_[kept++] = idx;
+    }
+  }
+  pending_.resize(kept);
+  return shed;
+}
+
 void Server::run_batch(const std::vector<Slot>& batch) {
   LoadedModel& m = models_[batch.front().model];
   const datasets::Dataset& ds = *batch.front().ds;
-  try {
+
+  const auto ensure_prepared = [&] {
     if (std::find(m.prepared.begin(), m.prepared.end(), &ds) ==
         m.prepared.end()) {
       // First batch against this corpus encodes it once through the
@@ -316,6 +433,32 @@ void Server::run_batch(const std::vector<Slot>& batch) {
       m.detector->prepare(ds, opts_.threads);
       m.prepared.push_back(&ds);
     }
+  };
+  const auto reply = [&](const Slot& s, const core::Verdict& verdict,
+                         std::uint32_t batch_size) {
+    WireVerdict v;
+    v.request_id = s.request_id;
+    v.outcome = static_cast<std::uint8_t>(verdict.outcome);
+    if (verdict.predicted_label) {
+      v.predicted_label = static_cast<std::uint64_t>(*verdict.predicted_label);
+    }
+    v.confidence = verdict.confidence;
+    v.batch_size = batch_size;
+    // Count before sending: a stats probe racing the reply must never
+    // observe a verdict the counters do not yet admit to.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    send(*s.conn, v, s.wire_version);
+  };
+
+  try {
+    std::uint32_t ms = 0;
+    if (MPIDETECT_FAULTPOINT_MS("serve.batch.slow", &ms)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    if (MPIDETECT_FAULTPOINT("serve.batch.throw")) {
+      throw std::runtime_error("injected detector failure (serve.batch.throw)");
+    }
+    ensure_prepared();
     std::vector<std::size_t> idx;
     idx.reserve(batch.size());
     for (const Slot& s : batch) idx.push_back(s.index);
@@ -326,27 +469,28 @@ void Server::run_batch(const std::vector<Slot>& batch) {
     batches_.fetch_add(1, std::memory_order_relaxed);
     bump_max(max_coalesced_, batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      WireVerdict v;
-      v.request_id = batch[i].request_id;
-      v.outcome = static_cast<std::uint8_t>(verdicts[i].outcome);
-      if (verdicts[i].predicted_label) {
-        v.predicted_label =
-            static_cast<std::uint64_t>(*verdicts[i].predicted_label);
-      }
-      v.confidence = verdicts[i].confidence;
-      v.batch_size = static_cast<std::uint32_t>(batch.size());
-      // Count before sending: a stats probe racing the reply must never
-      // observe a verdict the counters do not yet admit to.
-      served_.fetch_add(1, std::memory_order_relaxed);
-      send(*batch[i].conn, v);
+      reply(batch[i], verdicts[i], static_cast<std::uint32_t>(batch.size()));
     }
-  } catch (const std::exception& e) {
-    // A detector failure answers every coalesced request and never
-    // takes the worker down with it.
-    request_errors_.fetch_add(batch.size(), std::memory_order_relaxed);
+  } catch (const std::exception&) {
+    // Whole-batch failure → singleton degradation: rerun each request
+    // alone so one poisonous case cannot take its batchmates down with
+    // it. Requests that still fail get a per-request ERROR; the others
+    // get their verdict, and the worker survives regardless.
     for (const Slot& s : batch) {
-      send(*s.conn, Error{s.request_id,
-                          std::string("detector failure: ") + e.what()});
+      try {
+        ensure_prepared();  // prepare itself may have been what threw
+        const std::size_t lone[] = {s.index};
+        const std::vector<core::Verdict> one =
+            m.detector->run_indexed(ds, lone);
+        MPIDETECT_CHECK(one.size() == 1);
+        reply(s, one.front(), 1);
+      } catch (const std::exception& e) {
+        request_errors_.fetch_add(1, std::memory_order_relaxed);
+        send(*s.conn,
+             Error{s.request_id,
+                   std::string("detector failure: ") + e.what()},
+             s.wire_version);
+      }
     }
   }
   {
@@ -354,6 +498,33 @@ void Server::run_batch(const std::vector<Slot>& batch) {
     for (const Slot& s : batch) --s.conn->in_flight;
   }
   flight_cv_.notify_all();
+}
+
+void Server::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(watchdog_mu_);
+  std::uint64_t last_tripped = 0;
+  while (!watchdog_stop_) {
+    if (!batch_running_ || batch_seq_ == last_tripped) {
+      watchdog_cv_.wait(lk, [&] {
+        return watchdog_stop_ ||
+               (batch_running_ && batch_seq_ != last_tripped);
+      });
+      continue;
+    }
+    const std::uint64_t seq = batch_seq_;
+    const auto trip_at =
+        batch_start_ + std::chrono::milliseconds(opts_.watchdog_ms);
+    if (watchdog_cv_.wait_until(lk, trip_at, [&] {
+          return watchdog_stop_ || !batch_running_ || batch_seq_ != seq;
+        })) {
+      continue;  // the batch finished (or a new one began) in budget
+    }
+    // The same batch is still running past its budget: one trip —
+    // detection, not termination. Killing a detector mid-forward would
+    // corrupt the shared cache; the operator reads the counter instead.
+    last_tripped = seq;
+    watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 // ---- the connection frame loop ----------------------------------------------
@@ -365,17 +536,34 @@ void Server::serve_connection(Transport& t, const std::string& peer) {
     conns_.push_back(&ctx);
   }
 
+  // Replies respect the io deadline too: a peer that stops draining its
+  // socket cannot wedge the batch worker behind a full send buffer.
+  t.set_write_timeout(opts_.io_timeout_ms);
+  const ReadTimeouts deadlines{opts_.idle_timeout_ms, opts_.io_timeout_ms};
+
   while (true) {
     std::optional<Frame> frame;
+    std::uint32_t version = kWireVersion;
     try {
-      frame = read_frame(t, peer);
+      frame = read_frame(t, peer, deadlines, &version);
+    } catch (const TransportTimeout&) {
+      // Idle past the reaper deadline, or trickling a frame slower than
+      // the io deadline (slow loris): reap the connection. Any admitted
+      // requests still drain normally — in_flight below holds the ctx
+      // alive until their replies have landed or been dropped.
+      io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      reaped_connections_.fetch_add(1, std::memory_order_relaxed);
+      t.shutdown();
+      break;
     } catch (const io::FormatError& e) {
       // Corrupt bytes: framing is gone, so after the ERROR reply the
       // connection is useless — but the daemon is untouched. The
       // half-close delivers the queued ERROR and then EOF, whoever
       // owns the transport.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      send(ctx, Error{0, e.what()});
+      // Spoken at the last version this peer demonstrably parses (the
+      // corrupt frame's own version may not have survived decoding).
+      send(ctx, Error{0, e.what()}, ctx.frame_version);
       t.shutdown();
       break;
     } catch (const TransportError&) {
@@ -383,6 +571,7 @@ void Server::serve_connection(Transport& t, const std::string& peer) {
     }
     if (!frame) break;  // clean EOF
 
+    ctx.frame_version = version;  // replies speak the sender's version
     const FrameType type = frame_type(*frame);
     if (type == FrameType::Hello) {
       hello_impl(ctx, std::get<Hello>(*frame));
@@ -397,9 +586,10 @@ void Server::serve_connection(Transport& t, const std::string& peer) {
       // Well-formed but server-bound only (CAPS, VERDICT, ...): answer
       // and keep the connection — framing is intact.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      send(ctx, Error{0, "unexpected " +
-                             std::string(frame_type_name(type)) +
-                             " frame from a client"});
+      send(ctx,
+           Error{0, "unexpected " + std::string(frame_type_name(type)) +
+                        " frame from a client"},
+           ctx.frame_version);
     }
   }
 

@@ -16,9 +16,21 @@
 // Transport-agnostic: serve_connection runs one blocking frame loop per
 // Transport (the daemon spawns a thread per accepted AF_UNIX
 // connection; tests and bench drive socketpairs in-process).
+//
+// Robustness layer (docs/SERVING.md, "Failure model"): per-connection
+// read/write deadlines reap slow-loris peers (TransportTimeout → the
+// connection is closed and counted, never a wedged thread); a SUBMIT
+// may carry a deadline_ms, and the batch worker sheds work whose
+// deadline passed BEFORE running it (an EXPIRED reply instead of a
+// stale verdict); a detector exception degrades to per-request
+// singleton retries so one poisonous case cannot take its batchmates
+// down; a watchdog thread counts (never kills) batches that outlive
+// their budget. All of it is observable through six v2 STATS counters
+// and drivable through support/faultpoint.hpp.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -57,6 +69,19 @@ struct ServerOptions {
   double max_scale = 2.0;
   std::size_t max_cases = 8192;
   std::string name = "mpiguardd";
+  /// Reap a connection that sends no frame for this long (0 = never;
+  /// the default, because an idle client holding a connection open is
+  /// legitimate unless the operator says otherwise).
+  int idle_timeout_ms = 0;
+  /// Per-read/write inactivity deadline once a frame has started (or a
+  /// reply is being written). A peer that trickles half a frame or
+  /// stops draining its socket hits this; 0 disables.
+  int io_timeout_ms = 10000;
+  /// A batch running longer than this trips the watchdog counter —
+  /// detection, not termination: killing a detector mid-forward would
+  /// corrupt shared state, so the daemon surfaces the stall in STATS
+  /// and lets the operator decide. 0 disables the watchdog thread.
+  int watchdog_ms = 30000;
 };
 
 class Server {
@@ -107,6 +132,11 @@ class Server {
     const datasets::Dataset* ds = nullptr;
     std::size_t index = 0;
     ConnectionCtx* conn = nullptr;
+    /// Version the SUBMIT arrived in; its reply goes out the same way.
+    std::uint32_t wire_version = kWireVersion;
+    /// Absolute shed deadline (epoch default = none). Computed once at
+    /// admission so queue time counts against the client's budget.
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   struct LoadedModel {
@@ -125,14 +155,21 @@ class Server {
   void shutdown_impl(ConnectionCtx& conn);
 
   void worker_loop();
+  /// Removes expired slots from pending_ (queue lock held by the
+  /// caller), then answers each with EXPIRED outside the lock. Called
+  /// by the worker before forming every batch.
+  std::vector<Slot> shed_expired_locked();
   void run_batch(const std::vector<Slot>& batch);
+  void watchdog_loop();
   /// Refuses new admissions and blocks until the queue is empty and the
   /// worker is idle.
   void drain();
 
-  /// Serializes + writes under the connection's write lock; a dead peer
-  /// marks the connection instead of throwing into the caller.
-  void send(ConnectionCtx& conn, const Frame& f);
+  /// Serializes + writes (at the slot's negotiated wire version) under
+  /// the connection's write lock; a dead or timed-out peer marks the
+  /// connection instead of throwing into the caller.
+  void send(ConnectionCtx& conn, const Frame& f,
+            std::uint32_t version = kWireVersion);
 
   /// Resolves a dataset spec to a warm corpus (generating + counting it
   /// on first use). Throws datasets::SpecError on bad specs or corpora
@@ -173,6 +210,17 @@ class Server {
   std::thread worker_;
   std::atomic<bool> stopped_{false};
 
+  // Watchdog: the worker publishes batch start/end under watchdog_mu_;
+  // the watchdog thread counts any batch still running past its budget
+  // (once per batch — a stuck batch is one trip, not one per poll).
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_;
+  bool watchdog_stop_ = false;
+  bool batch_running_ = false;
+  std::uint64_t batch_seq_ = 0;
+  std::chrono::steady_clock::time_point batch_start_{};
+
   std::atomic<std::uint64_t> received_{0};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> busy_rejected_{0};
@@ -182,6 +230,11 @@ class Server {
   std::atomic<std::uint64_t> max_coalesced_{0};
   std::atomic<std::uint64_t> max_queue_depth_{0};
   std::atomic<std::uint64_t> datasets_materialized_{0};
+  std::atomic<std::uint64_t> deadline_sheds_{0};
+  std::atomic<std::uint64_t> io_timeouts_{0};
+  std::atomic<std::uint64_t> reaped_connections_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> watchdog_trips_{0};
 };
 
 }  // namespace mpidetect::serve

@@ -6,7 +6,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "support/faultpoint.hpp"
 
 namespace mpidetect::serve {
 
@@ -14,6 +18,38 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw TransportError(what + ": " + std::strerror(errno));
+}
+
+/// Blocks until `fd` is ready for `events` or `timeout_ms` elapses with
+/// no readiness. 0 = no deadline. Throws TransportTimeout on expiry.
+void wait_ready(int fd, short events, int timeout_ms, const char* dir) {
+  if (timeout_ms <= 0) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) {
+      throw TransportTimeout(std::string(dir) + " deadline of " +
+                             std::to_string(timeout_ms) +
+                             " ms expired with no progress");
+    }
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left));
+    if (ready > 0) return;  // readable/writable — or HUP/ERR, which the
+                            // following recv/send will surface properly
+    if (ready < 0 && errno != EINTR) throw_errno("poll");
+  }
+}
+
+void fill_sockaddr(sockaddr_un& addr, const std::string& path) {
+  addr = sockaddr_un{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    throw TransportError("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 }
 
 }  // namespace
@@ -42,9 +78,45 @@ FdTransport::~FdTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void FdTransport::set_fault_tag(const std::string& tag) {
+  faults_on_ = !tag.empty();
+  if (!faults_on_) return;
+  pt_recv_short_ = tag + ".recv.short";
+  pt_recv_eintr_ = tag + ".recv.eintr";
+  pt_recv_reset_ = tag + ".recv.reset";
+  pt_recv_stall_ = tag + ".recv.stall";
+  pt_send_short_ = tag + ".send.short";
+  pt_send_reset_ = tag + ".send.reset";
+  pt_send_stall_ = tag + ".send.stall";
+}
+
+std::size_t FdTransport::faults_before_io(bool reading, std::size_t n) {
+  if (!faults_on_ || !fault::Registry::global().armed()) return n;
+  auto& reg = fault::Registry::global();
+  std::uint32_t ms = 0;
+  if (reg.should_fire(reading ? pt_recv_stall_ : pt_send_stall_, &ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+  if (reg.should_fire(reading ? pt_recv_reset_ : pt_send_reset_)) {
+    // A peer reset kills both directions: the syscall below observes
+    // EOF / EPIPE exactly as it would for a real ECONNRESET.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (reg.should_fire(reading ? pt_recv_short_ : pt_send_short_)) {
+    return 1;  // force the caller's short-transfer loop to do its job
+  }
+  return n;
+}
+
 std::size_t FdTransport::read_some(void* buf, std::size_t n) {
   while (true) {
-    const ssize_t r = ::recv(fd_, buf, n, 0);
+    const std::size_t ask = faults_before_io(/*reading=*/true, n);
+    if (faults_on_ && fault::Registry::global().armed() &&
+        fault::Registry::global().should_fire(pt_recv_eintr_)) {
+      continue;  // a signal interrupted us; retry exactly like EINTR
+    }
+    wait_ready(fd_, POLLIN, read_timeout_ms_, "read");
+    const ssize_t r = ::recv(fd_, buf, ask, 0);
     if (r >= 0) return static_cast<std::size_t>(r);
     if (errno == EINTR) continue;
     // A reset/aborted peer reads as EOF, not an error: the caller's
@@ -58,9 +130,22 @@ void FdTransport::write_all(const void* buf, std::size_t n) {
   const auto* p = static_cast<const unsigned char*>(buf);
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    const std::size_t chunk = faults_before_io(/*reading=*/false, n - sent);
+    wait_ready(fd_, POLLOUT, write_timeout_ms_, "write");
+    // With a write deadline, never let a blocking send park us past the
+    // poll: MSG_DONTWAIT + the EAGAIN retry below keep the deadline
+    // honest even if another thread consumed the readiness.
+    const int extra = write_timeout_ms_ > 0 ? MSG_DONTWAIT : 0;
+    const ssize_t r = ::send(fd_, p + sent, chunk, MSG_NOSIGNAL | extra);
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        // The peer is gone. A clean connection-level failure for the
+        // caller to latch — never a SIGPIPE, never a partial frame
+        // passed off as success.
+        throw TransportError("peer closed the connection (" +
+                             std::string(std::strerror(errno)) + ")");
+      }
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(r);
@@ -81,19 +166,50 @@ local_pair() {
           std::make_unique<FdTransport>(fds[1])};
 }
 
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+local_pair_small_buffers() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair");
+  }
+  // The kernel clamps to its floor (a few KiB); exact size is
+  // irrelevant, only that a misbehaving peer fills it quickly.
+  const int tiny = 1;
+  for (const int fd : fds) {
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof tiny);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny);
+  }
+  return {std::make_unique<FdTransport>(fds[0]),
+          std::make_unique<FdTransport>(fds[1])};
+}
+
 // ---- Listener ---------------------------------------------------------------
 
 Listener::Listener(const std::string& path) : path_(path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() + 1 > sizeof addr.sun_path) {
-    throw TransportError("socket path too long: " + path);
+  sockaddr_un addr;
+  fill_sockaddr(addr, path);
+
+  // Stale-socket probe: a socket file may be left behind by a daemon
+  // that crashed (nothing unlinked it) — or may belong to a daemon that
+  // is alive right now. Only a connect() can tell the difference, and
+  // only the dead case may be unlinked: silently stealing a live
+  // daemon's address would strand its clients.
+  if (::access(path.c_str(), F_OK) == 0) {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) throw_errno("socket");
+    const int rc =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    ::close(probe);
+    if (rc == 0) {
+      throw TransportError("socket '" + path +
+                           "': another daemon is alive and serving here "
+                           "(HELLO probe connected); refusing to replace it");
+    }
+    ::unlink(path.c_str());  // stale: nothing answered the probe
   }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
-  ::unlink(path.c_str());  // replace a stale socket file from a dead daemon
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     const int err = errno;
@@ -133,12 +249,8 @@ std::unique_ptr<Transport> Listener::accept(int timeout_ms) {
 }
 
 std::unique_ptr<Transport> connect_unix(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() + 1 > sizeof addr.sun_path) {
-    throw TransportError("socket path too long: " + path);
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  sockaddr_un addr;
+  fill_sockaddr(addr, path);
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");

@@ -21,9 +21,11 @@ constexpr std::size_t kMaxDetectors = 256;  // loaded models per daemon
 /// Smallest well-formed payload: magic + version + frame type.
 constexpr std::size_t kMinPayload = 4 + 4 + 1;
 
-void write_body(io::Writer& w, const Hello& f) { w.str(f.client); }
+void write_body(io::Writer& w, const Hello& f, std::uint32_t) {
+  w.str(f.client);
+}
 
-void write_body(io::Writer& w, const Caps& f) {
+void write_body(io::Writer& w, const Caps& f, std::uint32_t) {
   w.str(f.server);
   w.u32(f.queue_capacity);
   w.u32(f.max_batch);
@@ -31,14 +33,21 @@ void write_body(io::Writer& w, const Caps& f) {
   for (const auto& d : f.detectors) w.str(d);
 }
 
-void write_body(io::Writer& w, const Submit& f) {
+void write_body(io::Writer& w, const Submit& f, std::uint32_t version) {
   w.u64(f.request_id);
   w.str(f.detector);
   w.str(f.dataset);
   w.u64(f.index);
+  if (version >= 2) {
+    w.u32(f.deadline_ms);
+  } else {
+    // v1 bytes cannot say "deadline": refusing here beats silently
+    // dropping a deadline the caller believes is in force.
+    MPIDETECT_CHECK(f.deadline_ms == 0);
+  }
 }
 
-void write_body(io::Writer& w, const WireVerdict& f) {
+void write_body(io::Writer& w, const WireVerdict& f, std::uint32_t) {
   w.u64(f.request_id);
   w.u8(f.outcome);
   w.u8(f.predicted_label.has_value() ? 1 : 0);
@@ -48,16 +57,18 @@ void write_body(io::Writer& w, const WireVerdict& f) {
   w.u32(f.batch_size);
 }
 
-void write_body(io::Writer& w, const Busy& f) { w.u64(f.request_id); }
+void write_body(io::Writer& w, const Busy& f, std::uint32_t) {
+  w.u64(f.request_id);
+}
 
-void write_body(io::Writer& w, const Error& f) {
+void write_body(io::Writer& w, const Error& f, std::uint32_t) {
   w.u64(f.request_id);
   w.str(f.message);
 }
 
-void write_body(io::Writer&, const StatsReq&) {}
+void write_body(io::Writer&, const StatsReq&, std::uint32_t) {}
 
-void write_body(io::Writer& w, const Stats& f) {
+void write_body(io::Writer& w, const Stats& f, std::uint32_t version) {
   w.u64(f.received);
   w.u64(f.served);
   w.u64(f.busy_rejected);
@@ -69,11 +80,24 @@ void write_body(io::Writer& w, const Stats& f) {
   w.u64(f.datasets_materialized);
   w.u64(f.cache_disk_hits);
   w.u64(f.cache_disk_writes);
+  if (version >= 2) {
+    w.u64(f.deadline_sheds);
+    w.u64(f.io_timeouts);
+    w.u64(f.reaped_connections);
+    w.u64(f.retries);
+    w.u64(f.watchdog_trips);
+    w.u64(f.faults_fired);
+  }
 }
 
-void write_body(io::Writer&, const Shutdown&) {}
+void write_body(io::Writer&, const Shutdown&, std::uint32_t) {}
 
-void write_body(io::Writer&, const Bye&) {}
+void write_body(io::Writer&, const Bye&, std::uint32_t) {}
+
+void write_body(io::Writer& w, const Expired& f, std::uint32_t version) {
+  MPIDETECT_CHECK(version >= 2);  // the frame type does not exist at v1
+  w.u64(f.request_id);
+}
 
 std::uint8_t read_flag(io::Reader& r) {
   const std::uint8_t v = r.u8();
@@ -81,7 +105,7 @@ std::uint8_t read_flag(io::Reader& r) {
   return v;
 }
 
-Frame read_body(io::Reader& r, FrameType type) {
+Frame read_body(io::Reader& r, FrameType type, std::uint32_t version) {
   switch (type) {
     case FrameType::Hello: {
       Hello f;
@@ -104,6 +128,7 @@ Frame read_body(io::Reader& r, FrameType type) {
       f.detector = r.str(kMaxKey);
       f.dataset = r.str(kMaxName);
       f.index = r.u64();
+      if (version >= 2) f.deadline_ms = r.u32();
       return f;
     }
     case FrameType::Verdict: {
@@ -145,12 +170,29 @@ Frame read_body(io::Reader& r, FrameType type) {
       f.datasets_materialized = r.u64();
       f.cache_disk_hits = r.u64();
       f.cache_disk_writes = r.u64();
+      if (version >= 2) {
+        f.deadline_sheds = r.u64();
+        f.io_timeouts = r.u64();
+        f.reaped_connections = r.u64();
+        f.retries = r.u64();
+        f.watchdog_trips = r.u64();
+        f.faults_fired = r.u64();
+      }
       return f;
     }
     case FrameType::Shutdown:
       return Shutdown{};
     case FrameType::Bye:
       return Bye{};
+    case FrameType::Expired: {
+      if (version < 2) {
+        // A v1 sender cannot know this type: it is smuggled corruption.
+        r.fail("EXPIRED frame at wire version 1");
+      }
+      Expired f;
+      f.request_id = r.u64();
+      return f;
+    }
   }
   r.fail("unknown frame type " +
          std::to_string(static_cast<unsigned>(type)));
@@ -170,6 +212,7 @@ std::string_view frame_type_name(FrameType t) {
     case FrameType::Stats: return "STATS";
     case FrameType::Shutdown: return "SHUTDOWN";
     case FrameType::Bye: return "BYE";
+    case FrameType::Expired: return "EXPIRED";
   }
   MPIDETECT_UNREACHABLE("bad FrameType");
 }
@@ -190,17 +233,20 @@ FrameType frame_type(const Frame& f) {
         else if constexpr (std::is_same_v<T, Stats>) return FrameType::Stats;
         else if constexpr (std::is_same_v<T, Shutdown>)
           return FrameType::Shutdown;
+        else if constexpr (std::is_same_v<T, Expired>)
+          return FrameType::Expired;
         else return FrameType::Bye;
       },
       f);
 }
 
-std::string encode_frame(const Frame& f) {
+std::string encode_frame(const Frame& f, std::uint32_t version) {
+  MPIDETECT_EXPECTS(version >= 1 && version <= kWireVersion);
   std::ostringstream payload(std::ios::binary);
   io::Writer w(payload);
-  io::write_section(w, kMagic, kWireVersion);
+  io::write_section(w, kMagic, version);
   w.u8(static_cast<std::uint8_t>(frame_type(f)));
-  std::visit([&](const auto& v) { write_body(w, v); }, f);
+  std::visit([&](const auto& v) { write_body(w, v, version); }, f);
   const std::string body = payload.str();
   MPIDETECT_CHECK(body.size() <= kMaxFrameBytes);
 
@@ -214,32 +260,52 @@ std::string encode_frame(const Frame& f) {
   return out;
 }
 
-Frame decode_payload(std::string_view payload, const std::string& origin) {
+Frame decode_payload(std::string_view payload, const std::string& origin,
+                     std::uint32_t* version_out) {
   std::istringstream is(std::string(payload), std::ios::binary);
   io::Reader r(is, origin);
-  io::read_section(r, kMagic, kWireVersion, kWhat);
+  const std::uint32_t version =
+      io::read_section(r, kMagic, kWireVersion, kWhat);
   const std::uint8_t raw_type = r.u8();
   if (raw_type < static_cast<std::uint8_t>(FrameType::Hello) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::Bye)) {
+      raw_type > static_cast<std::uint8_t>(FrameType::Expired)) {
     r.fail("unknown frame type " + std::to_string(raw_type));
   }
-  Frame f = read_body(r, static_cast<FrameType>(raw_type));
+  Frame f = read_body(r, static_cast<FrameType>(raw_type), version);
   if (!r.at_end()) {
     r.fail("trailing bytes after " +
            std::string(frame_type_name(static_cast<FrameType>(raw_type))) +
            " frame (corrupt stream)");
   }
+  if (version_out != nullptr) *version_out = version;
   return f;
 }
 
-void write_frame(Transport& t, const Frame& f) {
-  const std::string bytes = encode_frame(f);
+void write_frame(Transport& t, const Frame& f, std::uint32_t version) {
+  const std::string bytes = encode_frame(f, version);
   t.write_all(bytes.data(), bytes.size());
 }
 
-std::optional<Frame> read_frame(Transport& t, const std::string& origin) {
+std::optional<Frame> read_frame(Transport& t, const std::string& origin,
+                                const ReadTimeouts& timeouts,
+                                std::uint32_t* version_out) {
+  // The wait for a frame to START is the idle deadline (reaper); once
+  // the length prefix begins arriving, every subsequent wait is bounded
+  // by the (typically much shorter) per-read io deadline, so a peer
+  // trickling half a frame — a slow loris — cannot park this thread.
+  t.set_read_timeout(timeouts.idle_ms);
   unsigned char len_bytes[4];
-  if (!t.read_exact(len_bytes, 4)) return std::nullopt;  // clean EOF
+  std::size_t got = 0;
+  while (got < 4) {
+    const std::size_t r = t.read_some(len_bytes + got, 4 - got);
+    if (r == 0) {
+      if (got == 0) return std::nullopt;  // clean EOF
+      throw TransportError("connection closed mid-frame (" +
+                           std::to_string(got) + " of 4 prefix bytes)");
+    }
+    got += r;
+    t.set_read_timeout(timeouts.io_ms);  // the frame has started
+  }
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
     len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
@@ -253,7 +319,7 @@ std::optional<Frame> read_frame(Transport& t, const std::string& origin) {
   if (!t.read_exact(payload.data(), payload.size())) {
     throw io::FormatError(origin + ": unexpected end of stream inside frame");
   }
-  return decode_payload(payload, origin);
+  return decode_payload(payload, origin, version_out);
 }
 
 }  // namespace mpidetect::serve

@@ -28,6 +28,17 @@
 // the daemon keep one warm, shared encoding of each corpus instead of
 // re-embedding per request (the same seeds-not-bodies idea as the MPFZ
 // repro corpora). Byte-level layout tables: docs/SERVING.md.
+//
+// Versioning: every frame's section header carries the version its
+// sender speaks, and both sides parse/emit per that version. v1 is the
+// PR-6 protocol, frozen byte for byte. v2 (this build's default) adds
+// the robustness surface: SUBMIT grows an optional deadline_ms tail
+// field, STATS grows six robustness counters, and the EXPIRED frame
+// type answers a SUBMIT whose deadline passed before its batch ran. A
+// v1 client talking to a v2 daemon round-trips byte-identically — the
+// daemon answers each frame at the version the frame arrived in, and
+// the v2-only failure machinery (deadlines) cannot trigger for
+// requests that cannot carry a deadline.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +53,7 @@ namespace mpidetect::serve {
 
 class Transport;
 
-inline constexpr std::uint32_t kWireVersion = 1;
+inline constexpr std::uint32_t kWireVersion = 2;
 /// Hard ceiling on one frame's payload (magic + version + type + body).
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
@@ -57,6 +68,7 @@ enum class FrameType : std::uint8_t {
   Stats = 8,     // server → client: the counters
   Shutdown = 9,  // client → server: drain in-flight work and stop
   Bye = 10,      // server → client: drain complete, daemon stopping
+  Expired = 11,  // server → client (v2+): deadline passed, work shed
 };
 
 std::string_view frame_type_name(FrameType t);
@@ -78,6 +90,10 @@ struct Submit {
                                  // empty = the daemon's first model
   std::string dataset;           // spec, e.g. "mbi:0.05@7" (datasets/spec.hpp)
   std::uint64_t index = 0;       // case index within the generated corpus
+  /// v2+: answer within this many ms of admission or shed the work with
+  /// an EXPIRED frame instead of running it. 0 = no deadline (and the
+  /// only encodable value at v1, where the field does not exist).
+  std::uint32_t deadline_ms = 0;
 };
 
 struct WireVerdict {
@@ -114,35 +130,64 @@ struct Stats {
   std::uint64_t datasets_materialized = 0;  // distinct specs generated
   std::uint64_t cache_disk_hits = 0;        // shared EncodingCache spill
   std::uint64_t cache_disk_writes = 0;
+  // ---- v2+ robustness counters (absent from the v1 encoding) ----
+  std::uint64_t deadline_sheds = 0;   // EXPIRED replies (shed before run)
+  std::uint64_t io_timeouts = 0;      // read/write deadlines that fired
+  std::uint64_t reaped_connections = 0;  // connections closed by deadline
+  std::uint64_t retries = 0;          // resubmits of a BUSY-bounced id
+  std::uint64_t watchdog_trips = 0;   // batches outliving the watchdog
+  std::uint64_t faults_fired = 0;     // injected faults (faultpoint.hpp)
 };
 
 struct Shutdown {};
 
 struct Bye {};
 
+struct Expired {
+  std::uint64_t request_id = 0;
+};
+
 using Frame = std::variant<Hello, Caps, Submit, WireVerdict, Busy, Error,
-                           StatsReq, Stats, Shutdown, Bye>;
+                           StatsReq, Stats, Shutdown, Bye, Expired>;
 
 FrameType frame_type(const Frame& f);
 
 /// Serializes a frame to its full wire form: u32 length prefix followed
-/// by the payload.
-std::string encode_frame(const Frame& f);
+/// by the payload, speaking `version` (a v2 daemon answers a v1 client
+/// with v1 bytes). Encoding v2-only content at version 1 — an EXPIRED
+/// frame, a SUBMIT with a deadline — is a contract violation: v1 bytes
+/// for it do not exist.
+std::string encode_frame(const Frame& f, std::uint32_t version = kWireVersion);
 
 /// Parses one payload (the bytes AFTER the length prefix). Throws
 /// io::FormatError — naming `origin` — on bad magic, future version,
 /// unknown type, out-of-range values, truncation or trailing bytes.
-Frame decode_payload(std::string_view payload, const std::string& origin);
+/// When `version_out` is non-null it receives the version the frame was
+/// encoded at, so a server can answer in kind.
+Frame decode_payload(std::string_view payload, const std::string& origin,
+                     std::uint32_t* version_out = nullptr);
 
 /// Writes one frame to the transport (one write_all call: frames from
 /// concurrent writers holding the connection's write lock never
 /// interleave).
-void write_frame(Transport& t, const Frame& f);
+void write_frame(Transport& t, const Frame& f,
+                 std::uint32_t version = kWireVersion);
+
+/// Per-frame read deadlines (0 = wait forever): `idle_ms` bounds the
+/// wait for the first byte of the next frame (the idle-connection
+/// reaper), `io_ms` bounds each subsequent read once a frame has
+/// started (a slow-loris trickling half a frame hits this one).
+struct ReadTimeouts {
+  int idle_ms = 0;
+  int io_ms = 0;
+};
 
 /// Reads one frame off the transport. Returns nullopt on clean EOF at a
 /// frame boundary; throws io::FormatError on an implausible length
 /// prefix or a malformed payload, TransportError when the peer dies
-/// mid-frame.
-std::optional<Frame> read_frame(Transport& t, const std::string& origin);
+/// mid-frame, TransportTimeout when a ReadTimeouts deadline fires.
+std::optional<Frame> read_frame(Transport& t, const std::string& origin,
+                                const ReadTimeouts& timeouts = {},
+                                std::uint32_t* version_out = nullptr);
 
 }  // namespace mpidetect::serve

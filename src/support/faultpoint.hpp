@@ -1,0 +1,134 @@
+// Named, seeded, deterministic fault injection for robustness testing.
+//
+// A *fault point* is a named site in production code where a failure can
+// be provoked on demand: a short read in the serving transport, an
+// ENOSPC in the encoding-spill writer, a detector throwing mid-batch.
+// The sites are compiled in permanently but cost one relaxed atomic
+// load while the registry is disarmed — there is no build flavour that
+// "has" fault injection; every binary can be driven into its failure
+// paths, which is what lets CI prove degradation claims instead of
+// folklore (docs/SERVING.md, "Failure model").
+//
+// Configuration is a comma-separated spec, from `mpiguardd --faults`
+// or the MPIGUARD_FAULTS environment variable:
+//
+//   seed=42,serve.recv.short:p=0.2,serve.batch.throw:nth=3,
+//   serve.recv.stall:p=0.05:ms=25,io.save.enospc:count=1
+//
+// Each entry names a point (or a prefix wildcard like `serve.*`)
+// followed by `:key=value` modifiers:
+//
+//   p=F      fire with probability F in [0, 1]      (default 1)
+//   nth=N    fire on every Nth hit of the point     (combined with p,
+//            both must agree; nth=0 means "no nth gate")
+//   count=K  stop after K fires of this rule        (default unbounded)
+//   ms=M     stall parameter for sleep-style points (default 20)
+//
+// Decisions are deterministic: the fire decision for hit number H of
+// point P under seed S is a pure function of (S, P, H), so a chaos
+// campaign replays exactly given the same spec and the same per-point
+// hit order. Counters (hits and fires per point, plus a global fired
+// total) are exported into the daemon's STATS frame as faults_fired.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpidetect::fault {
+
+/// One parsed entry of a fault spec.
+struct Rule {
+  std::string point;   // exact name, or a prefix wildcard ending in '*'
+  double probability = 1.0;
+  std::uint64_t nth = 0;        // 0 = no every-nth gate
+  std::uint64_t max_fires = 0;  // 0 = unbounded
+  std::uint32_t stall_ms = 20;  // parameter for *.stall / *.slow points
+};
+
+/// Per-point observability, snapshotted for tests and STATS.
+struct PointStats {
+  std::string point;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// A fault-point registry. Production code talks to Registry::global()
+/// through the MPIDETECT_FAULTPOINT macros; tests may also construct
+/// private registries to exercise the grammar without global state.
+class Registry {
+ public:
+  Registry() = default;
+
+  static Registry& global();
+
+  /// Parses and installs a spec, replacing any previous configuration
+  /// and resetting all counters. An empty spec disarms. Throws
+  /// ContractViolation naming the offending token on bad grammar.
+  void configure(const std::string& spec);
+
+  /// Removes every rule and resets counters; armed() becomes false.
+  void disarm();
+
+  /// True when at least one rule is installed. The only cost a fault
+  /// point pays in production (one relaxed atomic load).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Records a hit on `point` and decides whether the matching rule (if
+  /// any) fires. When it fires and `stall_ms` is non-null, the rule's
+  /// ms parameter is written through. Thread-safe; per-point hit
+  /// numbering is the determinism domain.
+  bool should_fire(std::string_view point, std::uint32_t* stall_ms = nullptr);
+
+  /// Total fires across all points since the last configure().
+  std::uint64_t fired_total() const {
+    return fired_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Fires recorded for one exact point name.
+  std::uint64_t fires(std::string_view point) const;
+  /// Hits recorded for one exact point name (fired or not).
+  std::uint64_t hits(std::string_view point) const;
+
+  std::vector<PointStats> snapshot() const;
+
+  /// One-line grammar reminder for --help texts and error messages.
+  static const char* grammar();
+
+ private:
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  const Rule* match_locked(std::string_view point) const;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> fired_total_{0};
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 0;
+  std::vector<Rule> rules_;
+  std::vector<std::pair<std::string, Counters>> counters_;
+};
+
+/// Deterministic fire decision: a pure function of (seed, point, hit).
+/// Exposed so tests can predict a campaign's exact fault pattern.
+double fire_draw(std::uint64_t seed, std::string_view point,
+                 std::uint64_t hit);
+
+}  // namespace mpidetect::fault
+
+/// True when the named fault point fires this hit. Zero-cost while the
+/// registry is disarmed (a single relaxed atomic load, no call).
+#define MPIDETECT_FAULTPOINT(name)                  \
+  (::mpidetect::fault::Registry::global().armed() && \
+   ::mpidetect::fault::Registry::global().should_fire(name))
+
+/// As MPIDETECT_FAULTPOINT, but also receives the rule's ms parameter
+/// (for stall/slow points) through `ms_out` (a std::uint32_t*).
+#define MPIDETECT_FAULTPOINT_MS(name, ms_out)        \
+  (::mpidetect::fault::Registry::global().armed() && \
+   ::mpidetect::fault::Registry::global().should_fire(name, ms_out))

@@ -8,6 +8,12 @@
 // that drains everything admitted before the BYE.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -16,6 +22,7 @@
 #include "core/detector.hpp"
 #include "core/eval_engine.hpp"
 #include "datasets/spec.hpp"
+#include "serve/backoff.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
 #include "serve/wire.hpp"
@@ -143,9 +150,18 @@ std::vector<serve::Frame> every_frame() {
   stats.datasets_materialized = 9;
   stats.cache_disk_hits = 10;
   stats.cache_disk_writes = 11;
+  stats.deadline_sheds = 12;
+  stats.io_timeouts = 13;
+  stats.reaped_connections = 14;
+  stats.retries = 15;
+  stats.watchdog_trips = 16;
+  stats.faults_fired = 17;
+  serve::Submit with_deadline{43, "gnn", "mbi:0.05@7", 18};
+  with_deadline.deadline_ms = 250;
   return {serve::Hello{"cli"},
           caps,
           serve::Submit{42, "gnn", "mbi:0.05@7", 17},
+          with_deadline,
           v,
           bare,
           serve::Busy{7},
@@ -153,7 +169,8 @@ std::vector<serve::Frame> every_frame() {
           serve::StatsReq{},
           stats,
           serve::Shutdown{},
-          serve::Bye{}};
+          serve::Bye{},
+          serve::Expired{13}};
 }
 
 /// Strips the u32 length prefix off a full encoded frame.
@@ -174,6 +191,7 @@ TEST(WireTest, EveryFrameRoundTrips) {
       EXPECT_EQ(b.detector, s->detector);
       EXPECT_EQ(b.dataset, s->dataset);
       EXPECT_EQ(b.index, s->index);
+      EXPECT_EQ(b.deadline_ms, s->deadline_ms);
     } else if (const auto* v = std::get_if<serve::WireVerdict>(&f)) {
       const auto& b = std::get<serve::WireVerdict>(back);
       EXPECT_EQ(b.request_id, v->request_id);
@@ -192,10 +210,91 @@ TEST(WireTest, EveryFrameRoundTrips) {
       EXPECT_EQ(b.received, s->received);
       EXPECT_EQ(b.max_coalesced, s->max_coalesced);
       EXPECT_EQ(b.cache_disk_writes, s->cache_disk_writes);
+      EXPECT_EQ(b.deadline_sheds, s->deadline_sheds);
+      EXPECT_EQ(b.io_timeouts, s->io_timeouts);
+      EXPECT_EQ(b.reaped_connections, s->reaped_connections);
+      EXPECT_EQ(b.retries, s->retries);
+      EXPECT_EQ(b.watchdog_trips, s->watchdog_trips);
+      EXPECT_EQ(b.faults_fired, s->faults_fired);
     } else if (const auto* e = std::get_if<serve::Error>(&f)) {
       EXPECT_EQ(std::get<serve::Error>(back).message, e->message);
+    } else if (const auto* x = std::get_if<serve::Expired>(&f)) {
+      EXPECT_EQ(std::get<serve::Expired>(back).request_id, x->request_id);
     }
   }
+}
+
+// ---- protocol versioning ----------------------------------------------------
+
+/// Builds the exact v1 bytes of a frame by hand (magic, version, type,
+/// little-endian fields) — frozen independently of the encoder, so an
+/// accidental change to the v1 encoding cannot hide behind a matching
+/// change to the decoder.
+std::string v1_golden(std::uint8_t type, const std::string& body) {
+  std::string p = "MGWP";
+  p += std::string("\x01\x00\x00\x00", 4);  // u32 version = 1
+  p += static_cast<char>(type);
+  p += body;
+  return p;
+}
+
+std::string le64(std::uint64_t v) {
+  std::string s(8, '\0');
+  for (int i = 0; i < 8; ++i) s[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  return s;
+}
+
+std::string wire_str(const std::string& s) { return le64(s.size()) + s; }
+
+TEST(WireVersionTest, V1EncodingIsByteIdenticalToGolden) {
+  // HELLO: str client.
+  EXPECT_EQ(serve::encode_frame(serve::Hello{"cli"}, 1).substr(4),
+            v1_golden(1, wire_str("cli")));
+  // SUBMIT at v1 has NO deadline field.
+  EXPECT_EQ(
+      serve::encode_frame(serve::Submit{42, "gnn", "mbi", 17}, 1).substr(4),
+      v1_golden(3, le64(42) + wire_str("gnn") + wire_str("mbi") + le64(17)));
+  // STATS at v1 is exactly the 11 original counters.
+  serve::Stats s;
+  s.received = 1;
+  s.served = 2;
+  s.busy_rejected = 3;
+  s.request_errors = 4;
+  s.protocol_errors = 5;
+  s.batches = 6;
+  s.max_coalesced = 7;
+  s.max_queue_depth = 8;
+  s.datasets_materialized = 9;
+  s.cache_disk_hits = 10;
+  s.cache_disk_writes = 11;
+  s.deadline_sheds = 99;  // v2-only: must NOT appear in the v1 bytes
+  std::string body;
+  for (std::uint64_t v = 1; v <= 11; ++v) body += le64(v);
+  EXPECT_EQ(serve::encode_frame(s, 1).substr(4), v1_golden(8, body));
+}
+
+TEST(WireVersionTest, V1FramesDecodeAndReportTheirVersion) {
+  const std::string payload =
+      v1_golden(3, le64(7) + wire_str("") + wire_str("mbi:0.02@7") + le64(3));
+  std::uint32_t version = 0;
+  const auto f = serve::decode_payload(payload, "test", &version);
+  EXPECT_EQ(version, 1u);
+  const auto& sub = std::get<serve::Submit>(f);
+  EXPECT_EQ(sub.request_id, 7u);
+  EXPECT_EQ(sub.deadline_ms, 0u);  // the field does not exist at v1
+}
+
+TEST(WireVersionTest, V2OnlyContentRefusesV1Encoding) {
+  EXPECT_THROW((void)serve::encode_frame(serve::Expired{1}, 1),
+               ContractViolation);
+  serve::Submit s{1, "gnn", "mbi", 0};
+  s.deadline_ms = 5;
+  EXPECT_THROW((void)serve::encode_frame(s, 1), ContractViolation);
+}
+
+TEST(WireVersionTest, ExpiredFrameSmuggledIntoV1Rejected) {
+  const std::string payload = v1_golden(11, le64(13));
+  EXPECT_THROW((void)serve::decode_payload(payload, "test"), io::FormatError);
 }
 
 TEST(WireTest, TruncationAtEveryLengthRejected) {
@@ -563,6 +662,284 @@ TEST(ServerTest, RejectsDuplicateBundleKeysAtStartup) {
   serve::ServerOptions opts;
   opts.model_paths = {bundles().gnn, bundles().gnn};
   EXPECT_THROW(serve::Server{opts}, ContractViolation);
+}
+
+// ---- robustness: versioned conversations ------------------------------------
+
+TEST(ServerTest, V1ClientIsAnsweredInV1Bytes) {
+  serve::Server server(server_options());
+  server.start();
+  Conn conn(server);
+
+  // Every frame this "old" client sends is v1; every reply must come
+  // back v1 too (an old binary rejects versions above its own).
+  serve::write_frame(*conn.client, serve::Hello{"v1-client"}, 1);
+  std::uint32_t version = 0;
+  auto f = serve::read_frame(*conn.client, "server", {}, &version);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(version, 1u);
+  EXPECT_TRUE(std::holds_alternative<serve::Caps>(*f));
+
+  serve::write_frame(*conn.client, serve::Submit{1, "gnn", kSpec, 0}, 1);
+  f = serve::read_frame(*conn.client, "server", {}, &version);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(version, 1u);
+  EXPECT_TRUE(std::holds_alternative<serve::WireVerdict>(*f));
+
+  serve::write_frame(*conn.client, serve::StatsReq{}, 1);
+  f = serve::read_frame(*conn.client, "server", {}, &version);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(version, 1u);
+  const auto& stats = std::get<serve::Stats>(*f);
+  EXPECT_EQ(stats.served, 1u);
+  // The v1 encoding cannot carry the robustness counters; they decode
+  // as their zero defaults.
+  EXPECT_EQ(stats.deadline_sheds, 0u);
+  conn.close();
+  server.stop();
+}
+
+// ---- robustness: deadlines, reaping, slot reclamation -----------------------
+
+TEST(ServerTest, ExpiredDeadlineIsShedBeforeRunning) {
+  serve::Server server(server_options());  // worker NOT started yet
+  Conn conn(server);
+  serve::Submit doomed{1, "gnn", kSpec, 0};
+  doomed.deadline_ms = 1;
+  serve::write_frame(*conn.client, doomed);
+  serve::write_frame(*conn.client, serve::Submit{2, "gnn", kSpec, 1});
+  while (server.snapshot_stats().received < 2) std::this_thread::yield();
+  // Let request 1's deadline pass while both sit in the queue, then
+  // start the worker: 1 must be shed, 2 must be served.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.start();
+
+  bool expired = false, served = false;
+  while (!expired || !served) {
+    const auto frame = conn.read();
+    if (const auto* x = std::get_if<serve::Expired>(&frame)) {
+      EXPECT_EQ(x->request_id, 1u);
+      expired = true;
+    } else {
+      const auto& v = std::get<serve::WireVerdict>(frame);
+      EXPECT_EQ(v.request_id, 2u);
+      served = true;
+    }
+  }
+  conn.close();
+  const auto stats = server.snapshot_stats();
+  EXPECT_EQ(stats.deadline_sheds, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  server.stop();
+}
+
+TEST(ServerTest, GenerousDeadlineIsServedNormally) {
+  serve::Server server(server_options());
+  server.start();
+  Conn conn(server);
+  serve::Submit req{1, "gnn", kSpec, 0};
+  req.deadline_ms = 60000;
+  serve::write_frame(*conn.client, req);
+  const auto v = std::get<serve::WireVerdict>(conn.read());
+  EXPECT_EQ(v.request_id, 1u);
+  conn.close();
+  EXPECT_EQ(server.snapshot_stats().deadline_sheds, 0u);
+  server.stop();
+}
+
+TEST(ServerTest, IdleConnectionIsReaped) {
+  auto opts = server_options();
+  opts.idle_timeout_ms = 50;
+  serve::Server server(opts);
+  server.start();
+  Conn conn(server);
+  serve::write_frame(*conn.client, serve::Hello{"idler"});
+  (void)std::get<serve::Caps>(conn.read());
+  // Send nothing more: the reaper must close the connection, visible to
+  // the client as EOF — a slot/thread cannot be parked forever.
+  EXPECT_EQ(serve::read_frame(*conn.client, "server"), std::nullopt);
+  conn.close();
+  const auto stats = server.snapshot_stats();
+  EXPECT_EQ(stats.reaped_connections, 1u);
+  EXPECT_GE(stats.io_timeouts, 1u);
+  server.stop();
+}
+
+TEST(ServerTest, SlowLorisTricklingAFrameIsReaped) {
+  auto opts = server_options();
+  opts.io_timeout_ms = 50;  // idle stays 0: only mid-frame reads race
+  serve::Server server(opts);
+  server.start();
+  Conn conn(server);
+  // Two bytes of a length prefix, then silence: the frame has started,
+  // so the io deadline (not the infinite idle one) governs.
+  const unsigned char half[2] = {0x20, 0x00};
+  conn.client->write_all(half, 2);
+  EXPECT_EQ(serve::read_frame(*conn.client, "server"), std::nullopt);
+  conn.close();
+  EXPECT_EQ(server.snapshot_stats().reaped_connections, 1u);
+  server.stop();
+}
+
+TEST(ServerTest, HalfFrameCloseReclaimsSlotsAndServesAdmittedWork) {
+  auto opts = server_options();
+  opts.queue_capacity = 2;
+  serve::Server server(opts);  // worker not started: admissions sit
+  auto conn = std::make_unique<Conn>(server);
+  serve::write_frame(*conn->client, serve::Submit{1, "gnn", kSpec, 0});
+  while (server.snapshot_stats().received < 1) std::this_thread::yield();
+  // Die mid-frame: a length prefix promising more than ever arrives.
+  const unsigned char prefix[4] = {0x40, 0, 0, 0};
+  conn->client->write_all(prefix, 4);
+  conn->client->shutdown();
+
+  // Starting the worker serves the admitted request into the dead
+  // connection (dropped, but counted) and frees its slot.
+  server.start();
+  conn->close();  // serve_connection returns once in_flight drains
+
+  // Both slots must be reusable by a fresh client.
+  Conn fresh(server);
+  serve::write_frame(*fresh.client, serve::Submit{1, "gnn", kSpec, 1});
+  serve::write_frame(*fresh.client, serve::Submit{2, "gnn", kSpec, 2});
+  std::map<std::uint64_t, serve::WireVerdict> got;
+  while (got.size() < 2) {
+    const auto frame = fresh.read();
+    if (const auto* v = std::get_if<serve::WireVerdict>(&frame)) {
+      got.emplace(v->request_id, *v);
+    } else {
+      ASSERT_TRUE(std::holds_alternative<serve::Busy>(frame))
+          << "unexpected frame";
+      const auto id = std::get<serve::Busy>(frame).request_id;
+      serve::write_frame(*fresh.client,
+                         serve::Submit{id, "gnn", kSpec, id});
+    }
+  }
+  fresh.close();
+  const auto stats = server.snapshot_stats();
+  EXPECT_EQ(stats.served, 3u);  // incl. the one sent to the dead peer
+  server.stop();
+}
+
+TEST(ServerTest, BusyResubmitsAreCountedAsRetries) {
+  auto opts = server_options();
+  opts.queue_capacity = 1;
+  serve::Server server(opts);  // worker not started: the queue stays full
+  Conn conn(server);
+  serve::write_frame(*conn.client, serve::Submit{1, "gnn", kSpec, 0});
+  serve::write_frame(*conn.client, serve::Submit{2, "gnn", kSpec, 1});
+  const auto busy = std::get<serve::Busy>(conn.read());
+  EXPECT_EQ(busy.request_id, 2u);
+
+  server.start();  // free the slot
+  (void)std::get<serve::WireVerdict>(conn.read());  // request 1 served
+  serve::write_frame(*conn.client, serve::Submit{2, "gnn", kSpec, 1});
+  const auto v = std::get<serve::WireVerdict>(conn.read());
+  EXPECT_EQ(v.request_id, 2u);
+  conn.close();
+  EXPECT_EQ(server.snapshot_stats().retries, 1u);
+  server.stop();
+}
+
+// ---- robustness: transport deadlines and backoff ----------------------------
+
+TEST(TransportTest, WriteDeadlineFiresWhenPeerStopsDraining) {
+  auto [a, b] = serve::local_pair_small_buffers();
+  a->set_write_timeout(50);
+  // Nobody reads b: the tiny socket buffers fill and the write deadline
+  // must fire instead of parking the writer forever.
+  const std::string block(1 << 20, 'x');
+  EXPECT_THROW(a->write_all(block.data(), block.size()),
+               serve::TransportTimeout);
+}
+
+TEST(TransportTest, ReadDeadlineFiresOnSilence) {
+  auto [a, b] = serve::local_pair();
+  b->set_read_timeout(50);
+  char byte;
+  EXPECT_THROW((void)b->read_some(&byte, 1), serve::TransportTimeout);
+  // A deadline is inactivity, not total time: bytes that arrive in time
+  // are delivered normally.
+  a->write_all("z", 1);
+  EXPECT_EQ(b->read_some(&byte, 1), 1u);
+  EXPECT_EQ(byte, 'z');
+}
+
+TEST(BackoffTest, DeterministicBoundedAndGrowing) {
+  serve::Backoff x(5, 500, 42);
+  serve::Backoff y(5, 500, 42);
+  std::vector<std::uint32_t> xs, ys;
+  for (int i = 0; i < 12; ++i) {
+    xs.push_back(x.next_delay_ms());
+    ys.push_back(y.next_delay_ms());
+  }
+  EXPECT_EQ(xs, ys);  // same seed, same schedule — replayable campaigns
+  for (const auto d : xs) {
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 500u);
+  }
+  // The cap is reached: late delays sit in the top (jittered) band.
+  EXPECT_GE(xs.back(), 250u);
+  // A different seed jitters differently.
+  serve::Backoff z(5, 500, 43);
+  std::vector<std::uint32_t> zs;
+  for (int i = 0; i < 12; ++i) zs.push_back(z.next_delay_ms());
+  EXPECT_NE(xs, zs);
+
+  x.reset();
+  EXPECT_EQ(x.attempts(), 0u);
+  EXPECT_EQ(x.next_delay_ms(), xs[0]);  // reset restarts the schedule
+}
+
+TEST(BackoffTest, ZeroJitterIsPureExponential) {
+  serve::Backoff b(10, 400, 7, /*jitter=*/0.0);
+  EXPECT_EQ(b.next_delay_ms(), 10u);
+  EXPECT_EQ(b.next_delay_ms(), 20u);
+  EXPECT_EQ(b.next_delay_ms(), 40u);
+  EXPECT_EQ(b.next_delay_ms(), 80u);
+  EXPECT_EQ(b.next_delay_ms(), 160u);
+  EXPECT_EQ(b.next_delay_ms(), 320u);
+  EXPECT_EQ(b.next_delay_ms(), 400u);  // capped
+  EXPECT_EQ(b.next_delay_ms(), 400u);
+}
+
+// ---- robustness: stale-socket startup ---------------------------------------
+
+TEST(ListenerTest, ReplacesStaleSocketFileFromACrashedDaemon) {
+  TempDir dir("stale_socket");
+  const std::string path = dir.file("d.sock");
+  // Simulate a crash: bind a socket (creating the file), then close the
+  // fd WITHOUT unlinking — exactly what a SIGKILLed daemon leaves.
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    ::close(fd);
+  }
+  ASSERT_TRUE(fs::exists(path));
+  // The probe finds nothing alive, unlinks, and binds: unattended
+  // restart after a crash needs no manual rm.
+  serve::Listener listener(path);
+  EXPECT_TRUE(fs::exists(path));
+}
+
+TEST(ListenerTest, RefusesToDisplaceALiveDaemon) {
+  TempDir dir("live_socket");
+  const std::string path = dir.file("d.sock");
+  serve::Listener alive(path);
+  try {
+    serve::Listener usurper(path);
+    FAIL() << "expected TransportError";
+  } catch (const serve::TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("alive"), std::string::npos);
+  }
+  // The live listener still works after the failed takeover.
+  auto client = serve::connect_unix(path);
+  auto served = alive.accept(1000);
+  ASSERT_NE(served, nullptr);
 }
 
 }  // namespace

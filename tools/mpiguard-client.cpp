@@ -4,7 +4,14 @@
 // graceful shutdown. Exit status is script-friendly: 0 every request
 // answered with a verdict, 1 usage error, 2 failure (transport loss,
 // protocol damage or an ERROR reply), 3 requests bounced BUSY and
-// --retry-busy was not given.
+// --retry-busy was not given, 4 requests shed EXPIRED by the daemon.
+//
+// Resilience (docs/SERVING.md, "Failure model"): BUSY rejections and
+// failed connects retry under bounded exponential backoff with jitter
+// (serve/backoff.hpp); --deadline-ms attaches a shed deadline to each
+// request (v2 wire); --reconnect N survives a dropped connection by
+// reconnecting and resubmitting everything unanswered — sound because
+// requests are idempotent (a verdict is a pure function of spec+index).
 #include <chrono>
 #include <iostream>
 #include <map>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "serve/backoff.hpp"
 #include "serve/transport.hpp"
 #include "serve/wire.hpp"
 
@@ -32,15 +40,26 @@ requests:
   --index I         submit exactly case index I (overrides --count)
   --detector KEY    registry key of the bundle to use (default: the
                     daemon's first loaded model)
+  --deadline-ms D   per-request shed deadline: the daemon answers
+                    EXPIRED instead of a verdict it cannot produce in
+                    time (0 = none, the default)
   --retry-busy      resubmit requests bounced with BUSY until served
-                    (simple backoff) instead of giving up
+                    (bounded exponential backoff with jitter)
+  --max-retries N   per-request cap on BUSY resubmits (default 64)
+  --connect-retries N
+                    retry a failed connect N times under the same
+                    backoff (daemon still starting up; default 0)
+  --reconnect N     on a dropped connection, reconnect and resubmit
+                    everything unanswered, up to N times (default 0)
+  --backoff-seed S  jitter seed, for reproducible retry schedules
 
 other:
   --stats           print the daemon's counters
   --shutdown        ask the daemon to drain and stop (awaits BYE)
   --quiet           verdict lines only (no CAPS banner)
 
-exit status: 0 all served, 1 usage, 2 failure, 3 unretried BUSY.
+exit status: 0 all served, 1 usage, 2 failure, 3 unretried BUSY,
+             4 deadline expired (EXPIRED reply).
 )";
 
 struct CliError final : std::runtime_error {
@@ -66,7 +85,12 @@ struct Args {
   std::string detector;
   std::uint64_t count = 1;
   std::optional<std::uint64_t> index;
+  std::uint32_t deadline_ms = 0;
   bool retry_busy = false;
+  std::uint64_t max_retries = 64;
+  std::uint64_t connect_retries = 0;
+  std::uint64_t reconnect = 0;
+  std::uint64_t backoff_seed = 1;
   bool stats = false;
   bool do_shutdown = false;
   bool quiet = false;
@@ -87,7 +111,20 @@ Args parse_args(int argc, char** argv) {
       a.count = parse_u64(need_value(i, "--count"), "--count");
     else if (f == "--index")
       a.index = parse_u64(need_value(i, "--index"), "--index");
+    else if (f == "--deadline-ms")
+      a.deadline_ms = static_cast<std::uint32_t>(
+          parse_u64(need_value(i, "--deadline-ms"), "--deadline-ms"));
     else if (f == "--retry-busy") a.retry_busy = true;
+    else if (f == "--max-retries")
+      a.max_retries = parse_u64(need_value(i, "--max-retries"), "--max-retries");
+    else if (f == "--connect-retries")
+      a.connect_retries =
+          parse_u64(need_value(i, "--connect-retries"), "--connect-retries");
+    else if (f == "--reconnect")
+      a.reconnect = parse_u64(need_value(i, "--reconnect"), "--reconnect");
+    else if (f == "--backoff-seed")
+      a.backoff_seed =
+          parse_u64(need_value(i, "--backoff-seed"), "--backoff-seed");
     else if (f == "--stats") a.stats = true;
     else if (f == "--shutdown") a.do_shutdown = true;
     else if (f == "--quiet") a.quiet = true;
@@ -102,6 +139,23 @@ Args parse_args(int argc, char** argv) {
     throw CliError("nothing to do: give --dataset, --stats or --shutdown");
   }
   return a;
+}
+
+/// connect_unix under backoff: a daemon that is still binding its
+/// socket (or being restarted by a supervisor) is a transient, not a
+/// failure, when the caller allows retries.
+std::unique_ptr<serve::Transport> connect_with_retry(const Args& a) {
+  serve::Backoff backoff(5, 500, a.backoff_seed ^ 0x636f6e6e);  // "conn"
+  std::uint64_t attempts = 0;
+  while (true) {
+    try {
+      return serve::connect_unix(a.socket_path);
+    } catch (const serve::TransportError&) {
+      if (attempts++ >= a.connect_retries) throw;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff.next_delay_ms()));
+    }
+  }
 }
 
 /// Reads frames until `expected` arrives; anything else is protocol
@@ -133,11 +187,13 @@ void print_verdict(const serve::Submit& req, const serve::WireVerdict& v) {
 }
 
 int run(const Args& a) {
-  const auto transport = serve::connect_unix(a.socket_path);
-  serve::Transport& t = *transport;
+  auto transport = connect_with_retry(a);
 
-  serve::write_frame(t, serve::Hello{"mpiguard-client"});
-  const auto caps = expect_frame<serve::Caps>(t, "CAPS");
+  const auto handshake = [&](serve::Transport& t) {
+    serve::write_frame(t, serve::Hello{"mpiguard-client"});
+    return expect_frame<serve::Caps>(t, "CAPS");
+  };
+  const auto caps = handshake(*transport);
   if (!a.quiet) {
     std::cout << "connected: " << caps.server << " (queue "
               << caps.queue_capacity << ", batch " << caps.max_batch
@@ -151,6 +207,7 @@ int run(const Args& a) {
     // Pipeline every SUBMIT before reading a single reply — queued
     // requests are what the daemon's admission window coalesces.
     std::map<std::uint64_t, serve::Submit> pending;
+    std::map<std::uint64_t, std::uint64_t> busy_retries;
     std::uint64_t next_id = 1;
     const auto submit = [&](std::uint64_t index) {
       serve::Submit req;
@@ -158,7 +215,8 @@ int run(const Args& a) {
       req.detector = a.detector;
       req.dataset = a.dataset;
       req.index = index;
-      serve::write_frame(t, req);
+      req.deadline_ms = a.deadline_ms;
+      serve::write_frame(*transport, req);
       pending.emplace(req.request_id, req);
     };
     if (a.index) {
@@ -167,42 +225,86 @@ int run(const Args& a) {
       for (std::uint64_t i = 0; i < a.count; ++i) submit(i);
     }
 
-    int backoff_ms = 10;
+    serve::Backoff busy_backoff(5, 500, a.backoff_seed);
+    std::uint64_t reconnects_used = 0;
     while (!pending.empty()) {
-      const auto frame = serve::read_frame(t, "mpiguardd");
-      if (!frame) {
-        throw std::runtime_error("daemon closed the connection with " +
-                                 std::to_string(pending.size()) +
-                                 " request(s) unanswered");
-      }
-      if (const auto* v = std::get_if<serve::WireVerdict>(&*frame)) {
-        const auto it = pending.find(v->request_id);
-        if (it == pending.end()) {
-          throw std::runtime_error("verdict for unknown request id " +
-                                   std::to_string(v->request_id));
+      std::optional<serve::Frame> frame;
+      try {
+        frame = serve::read_frame(*transport, "mpiguardd");
+        if (!frame) {
+          throw serve::TransportError("daemon closed the connection");
         }
+      } catch (const serve::TransportError& e) {
+        // The connection is gone with requests unanswered. Requests are
+        // idempotent — a verdict is a pure function of (spec, index) —
+        // so reconnect-and-resubmit cannot double-count anything.
+        if (reconnects_used >= a.reconnect) {
+          throw std::runtime_error(std::string(e.what()) + " with " +
+                                   std::to_string(pending.size()) +
+                                   " request(s) unanswered");
+        }
+        ++reconnects_used;
+        transport = connect_with_retry(a);
+        handshake(*transport);
+        if (!a.quiet) {
+          std::cerr << "mpiguard-client: reconnected (" << reconnects_used
+                    << "/" << a.reconnect << "), resubmitting "
+                    << pending.size() << " request(s)\n";
+        }
+        for (const auto& [id, req] : pending) {
+          serve::write_frame(*transport, req);
+        }
+        continue;
+      }
+      const auto known = [&](std::uint64_t id, const char* what) {
+        const auto it = pending.find(id);
+        if (it == pending.end()) {
+          throw std::runtime_error(std::string(what) +
+                                   " for unknown request id " +
+                                   std::to_string(id));
+        }
+        return it;
+      };
+      if (const auto* v = std::get_if<serve::WireVerdict>(&*frame)) {
+        const auto it = known(v->request_id, "verdict");
         print_verdict(it->second, *v);
         pending.erase(it);
       } else if (const auto* busy = std::get_if<serve::Busy>(&*frame)) {
-        const auto it = pending.find(busy->request_id);
-        if (it == pending.end()) {
-          throw std::runtime_error("busy for unknown request id " +
-                                   std::to_string(busy->request_id));
-        }
-        if (a.retry_busy) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-          backoff_ms = std::min(backoff_ms * 2, 500);
-          serve::write_frame(t, it->second);
+        const auto it = known(busy->request_id, "busy");
+        if (a.retry_busy && busy_retries[busy->request_id] < a.max_retries) {
+          ++busy_retries[busy->request_id];
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(busy_backoff.next_delay_ms()));
+          serve::write_frame(*transport, it->second);
+        } else if (a.retry_busy) {
+          std::cerr << "mpiguard-client: request " << busy->request_id
+                    << " still BUSY after " << a.max_retries
+                    << " retries; giving up\n";
+          pending.erase(it);
+          status = 3;
         } else {
           std::cerr << "mpiguard-client: request " << busy->request_id
                     << " rejected BUSY (queue full; --retry-busy to wait)\n";
           pending.erase(it);
           status = 3;
         }
+      } else if (const auto* exp = std::get_if<serve::Expired>(&*frame)) {
+        const auto it = known(exp->request_id, "expired");
+        std::cerr << "mpiguard-client: request " << exp->request_id
+                  << " shed EXPIRED (deadline " << a.deadline_ms
+                  << " ms passed before it ran)\n";
+        pending.erase(it);
+        if (status == 0) status = 4;
       } else if (const auto* err = std::get_if<serve::Error>(&*frame)) {
-        throw std::runtime_error("request " +
-                                 std::to_string(err->request_id) +
-                                 " failed: " + err->message);
+        if (err->request_id == 0) {
+          // Connection-level: framing is gone, nothing else will arrive.
+          throw std::runtime_error("daemon error: " + err->message);
+        }
+        const auto it = known(err->request_id, "error");
+        std::cerr << "mpiguard-client: request " << err->request_id
+                  << " failed: " << err->message << "\n";
+        pending.erase(it);
+        status = 2;
       } else {
         throw std::runtime_error(
             "unexpected " +
@@ -213,8 +315,8 @@ int run(const Args& a) {
   }
 
   if (a.stats) {
-    serve::write_frame(t, serve::StatsReq{});
-    const auto s = expect_frame<serve::Stats>(t, "STATS");
+    serve::write_frame(*transport, serve::StatsReq{});
+    const auto s = expect_frame<serve::Stats>(*transport, "STATS");
     std::cout << "received " << s.received << ", served " << s.served
               << ", busy " << s.busy_rejected << ", request errors "
               << s.request_errors << ", protocol errors "
@@ -224,12 +326,17 @@ int run(const Args& a) {
               << "\n"
               << "datasets " << s.datasets_materialized << ", cache disk hits "
               << s.cache_disk_hits << ", disk writes " << s.cache_disk_writes
+              << "\n"
+              << "deadline sheds " << s.deadline_sheds << ", io timeouts "
+              << s.io_timeouts << ", reaped " << s.reaped_connections
+              << ", retries " << s.retries << ", watchdog trips "
+              << s.watchdog_trips << ", faults fired " << s.faults_fired
               << "\n";
   }
 
   if (a.do_shutdown) {
-    serve::write_frame(t, serve::Shutdown{});
-    expect_frame<serve::Bye>(t, "BYE");
+    serve::write_frame(*transport, serve::Shutdown{});
+    expect_frame<serve::Bye>(*transport, "BYE");
     if (!a.quiet) std::cout << "daemon drained and stopped\n";
   }
   return status;

@@ -10,6 +10,7 @@
 //
 // Wire protocol and byte layout: docs/SERVING.md.
 #include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
 #include "support/check.hpp"
+#include "support/faultpoint.hpp"
 
 using namespace mpidetect;
 
@@ -44,8 +46,23 @@ options:
                     (default 2.0)
   --max-cases N     largest generated corpus held warm (default 8192)
 
+robustness (docs/SERVING.md, "Failure model"):
+  --io-timeout MS   per-read/write inactivity deadline once a frame has
+                    started; a slow-loris peer is reaped instead of
+                    pinning a connection thread (default 10000, 0 = off)
+  --idle-timeout MS reap a connection sending no frame for this long
+                    (default 0 = never)
+  --watchdog-ms MS  count batches running longer than this in STATS
+                    (watchdog_trips; default 30000, 0 = off)
+  --faults SPEC     arm the fault-injection registry; also read from
+                    the MPIGUARD_FAULTS environment variable (the flag
+                    wins). Grammar:
+                    seed=N,point[:p=F][:nth=N][:count=K][:ms=M],...
+
 The daemon drains every admitted request before exiting, whether
-stopped by a SHUTDOWN frame or by SIGINT/SIGTERM.
+stopped by a SHUTDOWN frame or by SIGINT/SIGTERM. A stale socket file
+left by a crashed daemon is probed and replaced automatically; a LIVE
+daemon on the same path is never displaced (startup fails instead).
 
 exit status: 0 clean shutdown, 1 usage error, 2 startup/runtime failure.
 )";
@@ -85,6 +102,8 @@ void on_signal(int) { g_signal = 1; }
 int run(int argc, char** argv) {
   serve::ServerOptions opts;
   std::string socket_path;
+  std::string fault_spec;
+  if (const char* env = std::getenv("MPIGUARD_FAULTS")) fault_spec = env;
 
   const auto need_value = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc) throw CliError(std::string(flag) + " requires a value");
@@ -107,6 +126,16 @@ int run(int argc, char** argv) {
                                     "--max-scale");
     else if (f == "--max-cases")
       opts.max_cases = parse_u64(need_value(i, "--max-cases"), "--max-cases");
+    else if (f == "--io-timeout")
+      opts.io_timeout_ms = static_cast<int>(
+          parse_u64(need_value(i, "--io-timeout"), "--io-timeout"));
+    else if (f == "--idle-timeout")
+      opts.idle_timeout_ms = static_cast<int>(
+          parse_u64(need_value(i, "--idle-timeout"), "--idle-timeout"));
+    else if (f == "--watchdog-ms")
+      opts.watchdog_ms = static_cast<int>(
+          parse_u64(need_value(i, "--watchdog-ms"), "--watchdog-ms"));
+    else if (f == "--faults") fault_spec = need_value(i, "--faults");
     else if (f == "--help" || f == "-h") throw CliError("");
     else throw CliError("unknown flag: " + std::string(f));
   }
@@ -116,6 +145,17 @@ int run(int argc, char** argv) {
   if (opts.max_batch < 1) throw CliError("--batch must be >= 1");
   if (opts.max_scale <= 0.0) throw CliError("--max-scale must be > 0");
   if (opts.max_cases < 1) throw CliError("--max-cases must be >= 1");
+
+  // SIGPIPE must never kill the daemon: every send already uses
+  // MSG_NOSIGNAL, but belt-and-braces against any stray write to a
+  // closed pipe (e.g. stdout under a dead pager).
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!fault_spec.empty()) {
+    fault::Registry::global().configure(fault_spec);  // throws on bad grammar
+    std::cout << "mpiguardd: fault injection ARMED: " << fault_spec
+              << std::endl;
+  }
 
   serve::Server server(std::move(opts));
   serve::Listener listener(socket_path);
@@ -138,6 +178,9 @@ int run(int argc, char** argv) {
     std::unique_ptr<serve::Transport> t = listener.accept(100);
     if (!t) continue;
     const std::string peer = "client#" + std::to_string(next_conn++);
+    // Daemon-side transports carry the "serve" fault tag: an armed
+    // registry shakes the server's read/write paths, never a client's.
+    t->set_fault_tag("serve");
     connections.emplace_back(
         [&server, peer, tr = std::move(t)]() mutable {
           server.serve_connection(*tr, peer);
@@ -154,6 +197,15 @@ int run(int argc, char** argv) {
             << s.busy_rejected << " busy, " << s.request_errors
             << " request error(s), " << s.protocol_errors
             << " protocol error(s)" << std::endl;
+  if (s.deadline_sheds + s.io_timeouts + s.reaped_connections + s.retries +
+          s.watchdog_trips + s.faults_fired >
+      0) {
+    std::cout << "mpiguardd: robustness: " << s.deadline_sheds
+              << " shed, " << s.io_timeouts << " io timeout(s), "
+              << s.reaped_connections << " reaped, " << s.retries
+              << " retried, " << s.watchdog_trips << " watchdog trip(s), "
+              << s.faults_fired << " fault(s) fired" << std::endl;
+  }
   return 0;
 }
 
