@@ -44,6 +44,7 @@
 #include "core/detector.hpp"
 #include "core/eval_engine.hpp"
 #include "datasets/spec.hpp"
+#include "ml/kernels.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
 #include "serve/wire.hpp"
@@ -423,7 +424,13 @@ int main(int argc, char** argv) {
        << ", \"reps\": " << args.reps << ", \"detector\": \""
        << args.detector << "\", "
        << "\"hardware_concurrency\": "
-       << std::thread::hardware_concurrency() << "},\n"
+       << std::thread::hardware_concurrency()
+       // The kernel pool width inference actually ran at (the server
+       // never overrides the auto budget here) — the honest thread
+       // count for the record, not a requested knob.
+       << ", \"effective_threads\": " << ml::kernels::effective_threads(0)
+       << ", \"simd\": \""
+       << ml::kernels::isa_name(ml::kernels::active_isa()) << "\"},\n"
        << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
       const auto& p = sweep[i];

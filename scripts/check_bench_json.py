@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Schema check for BENCH_*.json perf records (see docs/PERFORMANCE.md).
 
-Usage: check_bench_json.py [--require-win] FILE [FILE ...]
+Usage: check_bench_json.py [--require-win] [--require-multithread] \\
+           FILE [FILE ...]
 
 Each record self-identifies through its "benchmark" key — "gnn_perf"
 (written by perf_gnn) and "serve_throughput" (written by
@@ -14,9 +15,19 @@ serve_throughput record it additionally requires
 batched_vs_single_speedup >= 1, which CI asserts for the committed
 BENCH_serve.json (the record exists to show batched admission beating
 one-at-a-time dispatch) but not for throwaway smoke artifacts.
+--require-multithread, applied to a gnn_perf record, requires
+config.effective_threads >= 2 — the committed BENCH_gnn.json must be
+recorded with a real multi-thread pool, never a requested-but-unused
+--threads knob.
 
-Correctness gates (prediction agreement, verdict mismatches) always
-apply: a record whose speedup changed answers is malformed, not fast.
+Every bench record must report config.effective_threads — the pool
+width the run ACTUALLY used (ml::kernels::effective_threads), not the
+requested --threads value; a record claiming threads it did not have is
+malformed.
+
+Correctness gates (prediction agreement, quantized agreement, verdict
+mismatches) always apply: a record whose speedup changed answers is
+malformed, not fast.
 """
 import json
 import sys
@@ -27,6 +38,18 @@ REQUIRED_PHASES = (
     "train_batched",
     "infer_baseline",
     "infer_batched",
+    "infer_quantized",
+)
+
+# The quantized serving path's tolerance contract (docs/PERFORMANCE.md):
+# int8 weights + bf16 activations may move probabilities this far from
+# full precision, never further — and never across the argmax.
+QUANT_PROBA_TOLERANCE = 0.05
+
+# The per-op profiling counter names perf_gnn emits (ml/kernels.hpp).
+OP_NAMES = (
+    "matmul", "matmul_nt", "matmul_tn", "bias_elu", "gatv2_scores",
+    "scatter_add_scaled", "gather_rows", "segment_softmax", "qmatmul",
 )
 
 
@@ -39,7 +62,7 @@ def is_number(x):
     return isinstance(x, (int, float)) and not isinstance(x, bool)
 
 
-def check_file(path, require_win=False):
+def check_file(path, require_win=False, require_multithread=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -48,11 +71,16 @@ def check_file(path, require_win=False):
 
     if not isinstance(doc, dict):
         return fail(path, "top level is not an object")
-    if doc.get("schema_version") != 1:
-        return fail(path, f"unknown schema_version {doc.get('schema_version')!r}")
     kind = doc.get("benchmark")
+    # gnn_perf moved to schema 2 when it grew the quantized phase,
+    # effective-thread honesty and op counters; the other records are
+    # still at 1.
+    expected_schema = 2 if kind == "gnn_perf" else 1
+    if doc.get("schema_version") != expected_schema:
+        return fail(path, f"unknown schema_version {doc.get('schema_version')!r}"
+                          f" for {kind!r} (expected {expected_schema})")
     if kind == "gnn_perf":
-        return check_gnn_perf(path, doc)
+        return check_gnn_perf(path, doc, require_multithread)
     if kind == "serve_throughput":
         return check_serve_throughput(path, doc, require_win)
     if kind == "corpus_stream":
@@ -60,7 +88,7 @@ def check_file(path, require_win=False):
     return fail(path, f"unknown benchmark kind: {kind!r}")
 
 
-def check_gnn_perf(path, doc):
+def check_gnn_perf(path, doc, require_multithread):
     dataset = doc.get("dataset")
     if not isinstance(dataset, dict) or not isinstance(dataset.get("name"), str):
         return fail(path, "dataset.name missing")
@@ -73,6 +101,16 @@ def check_gnn_perf(path, doc):
     for key in ("warmup", "reps", "train_batch", "infer_batch", "epochs"):
         if not is_number(config.get(key)):
             return fail(path, f"config.{key} missing or not a number")
+    # Bench honesty: the record must report the pool width actually used.
+    eff = config.get("effective_threads")
+    if not (is_number(eff) and eff >= 1):
+        return fail(path, "config.effective_threads missing or < 1")
+    if not isinstance(config.get("simd"), str) or not config["simd"]:
+        return fail(path, "config.simd missing")
+    if require_multithread and eff < 2:
+        return fail(path, f"config.effective_threads {eff} < 2 — the "
+                          "committed record must be recorded on a "
+                          "multi-thread pool (--require-multithread)")
 
     phases = doc.get("phases")
     if not isinstance(phases, list) or not phases:
@@ -133,10 +171,50 @@ def check_gnn_perf(path, doc):
     if diff > 1e-6:
         return fail(path, f"max_abs_proba_diff {diff} > 1e-6")
 
+    # Quantized serving path: probabilities agree within tolerance,
+    # predictions agree exactly. Same correctness-not-speed discipline.
+    quantized = doc.get("quantized")
+    if not isinstance(quantized, dict):
+        return fail(path, "quantized missing")
+    qdiff = quantized.get("max_abs_proba_diff")
+    if not is_number(qdiff):
+        return fail(path, "quantized.max_abs_proba_diff missing")
+    qagree = quantized.get("prediction_agreement")
+    if not (is_number(qagree) and 0.0 <= qagree <= 1.0):
+        return fail(path, "quantized.prediction_agreement outside [0, 1]")
+    if qagree < 1.0:
+        return fail(path, f"quantized.prediction_agreement {qagree} < 1.0 — "
+                          "int8/bf16 inference changed predictions")
+    if qdiff > QUANT_PROBA_TOLERANCE:
+        return fail(path, f"quantized.max_abs_proba_diff {qdiff} > "
+                          f"{QUANT_PROBA_TOLERANCE} (tolerance contract)")
+
+    counters = doc.get("op_counters")
+    if not isinstance(counters, list) or not counters:
+        return fail(path, "op_counters missing or empty")
+    seen_ops = set()
+    for i, c in enumerate(counters):
+        if not isinstance(c, dict) or not isinstance(c.get("op"), str):
+            return fail(path, f"op_counters[{i}].op missing")
+        for key in ("calls", "flops", "ns"):
+            if not (is_number(c.get(key)) and c[key] >= 0):
+                return fail(path, f"op_counters[{i}].{key} missing or negative")
+        seen_ops.add(c["op"])
+    for name in OP_NAMES:
+        if name not in seen_ops:
+            return fail(path, f"op_counters missing op '{name}'")
+    # A record with a quantized phase but zero qmatmul calls timed a
+    # path that never ran.
+    qmatmul = next(c for c in counters if c["op"] == "qmatmul")
+    if qmatmul["calls"] == 0:
+        return fail(path, "op_counters: qmatmul.calls == 0 but the "
+                          "infer_quantized phase was timed")
+
     print(
         f"{path}: OK ({dataset['name']}, {dataset['cases']} cases, "
         f"train {speedup['train']:.2f}x, infer {speedup['infer']:.2f}x, "
-        f"agreement {agreement:.3f})"
+        f"agreement {agreement:.3f}, quantized |dp| {qdiff:.4f}, "
+        f"{eff:.0f} effective thread(s), simd {config['simd']})"
     )
     return 0
 
@@ -156,6 +234,9 @@ def check_serve_throughput(path, doc, require_win):
             return fail(path, f"config.{key} missing or < 1")
     if not isinstance(config.get("detector"), str) or not config["detector"]:
         return fail(path, "config.detector missing")
+    if not (is_number(config.get("effective_threads"))
+            and config["effective_threads"] >= 1):
+        return fail(path, "config.effective_threads missing or < 1")
 
     sweep = doc.get("sweep")
     if not isinstance(sweep, list) or len(sweep) < 2:
@@ -359,11 +440,13 @@ def check_corpus_stream(path, doc, require_win):
 def main(argv):
     args = argv[1:]
     require_win = "--require-win" in args
-    files = [a for a in args if a != "--require-win"]
+    require_multithread = "--require-multithread" in args
+    flags = ("--require-win", "--require-multithread")
+    files = [a for a in args if a not in flags]
     if not files:
         print(__doc__)
         return 2
-    return max(check_file(p, require_win) for p in files)
+    return max(check_file(p, require_win, require_multithread) for p in files)
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@
 
 #include "corpus/corpus.hpp"
 #include "ml/kernels.hpp"
+#include "ml/quant.hpp"
 #include "support/check.hpp"
 #include "support/threads.hpp"
 
@@ -321,7 +322,20 @@ GnnDetector::GnnDetector(DetectorConfig cfg) : cfg_(std::move(cfg)) {
 GnnDetector::~GnnDetector() = default;
 
 std::unique_ptr<Detector> GnnDetector::clone() const {
-  return std::make_unique<GnnDetector>(cfg_);
+  auto det = std::make_unique<GnnDetector>(cfg_);
+  det->quantized_ = quantized_;
+  return det;
+}
+
+void GnnDetector::set_quantized_inference(bool on) {
+  quantized_ = on;
+  if (!on) qmodel_.reset();
+}
+
+const ml::QuantizedGnnModel& GnnDetector::qmodel() {
+  MPIDETECT_EXPECTS(model_ != nullptr);
+  if (!qmodel_) qmodel_ = std::make_unique<ml::QuantizedGnnModel>(*model_);
+  return *qmodel_;
 }
 
 EvalOptions GnnDetector::eval_defaults() const {
@@ -376,6 +390,7 @@ void GnnDetector::fit(const datasets::Dataset& ds,
   cfg.seed = spec.fold.has_value() ? cfg_.gnn.seed * 97 + *spec.fold
                                    : cfg_.gnn.seed;
   model_ = std::make_unique<ml::GnnModel>(cfg);
+  qmodel_.reset();
   // A forced thread budget (EvalEngine pins folds that train in
   // parallel to one thread each) also caps the matmul/scatter kernels.
   ml::kernels::ScopedKernelThreads kernel_scope(
@@ -397,6 +412,7 @@ void GnnDetector::fit_stream(const corpus::CaseSource& src,
   cfg.seed = spec.fold.has_value() ? cfg_.gnn.seed * 97 + *spec.fold
                                    : cfg_.gnn.seed;
   model_ = std::make_unique<ml::GnnModel>(cfg);
+  qmodel_.reset();
   ml::kernels::ScopedKernelThreads kernel_scope(
       spec.threads != 0 ? spec.threads : ml::kernels::kernel_threads());
   StreamGraphSource graphs(src, train_idx, cfg_.graph_opt);
@@ -423,8 +439,10 @@ std::vector<Verdict> GnnDetector::run(std::span<const datasets::Case> cases) {
   batch.name = "batch";
   batch.cases.assign(cases.begin(), cases.end());
   const GraphSet gs = extract_graphs(batch, cfg_.graph_opt);
-  const auto probas = model_->predict_proba(
-      std::span<const programl::ProgramGraph>(gs.graphs));
+  const std::span<const programl::ProgramGraph> span(gs.graphs);
+  const auto probas = quantized_
+                          ? ml::predict_proba_guarded(qmodel(), *model_, span)
+                          : model_->predict_proba(span);
   std::vector<Verdict> out;
   out.reserve(probas.size());
   for (const auto& proba : probas) out.push_back(gnn_verdict(proba));
@@ -447,8 +465,10 @@ std::vector<Verdict> GnnDetector::run_indexed(
     MPIDETECT_EXPECTS(i < gs.size());
     selected.push_back(gs.graphs[i]);
   }
-  const auto probas = model_->predict_proba(
-      std::span<const programl::ProgramGraph>(selected));
+  const std::span<const programl::ProgramGraph> span(selected);
+  const auto probas = quantized_
+                          ? ml::predict_proba_guarded(qmodel(), *model_, span)
+                          : model_->predict_proba(span);
   std::vector<Verdict> out;
   out.reserve(probas.size());
   for (const auto& proba : probas) out.push_back(gnn_verdict(proba));

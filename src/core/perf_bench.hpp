@@ -13,12 +13,14 @@
 // and documented in docs/PERFORMANCE.md.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "datasets/dataset.hpp"
 #include "ml/gnn.hpp"
+#include "ml/kernels.hpp"
 #include "passes/pipelines.hpp"
 
 namespace mpidetect::core {
@@ -53,8 +55,16 @@ struct GnnPerfReport {
   std::size_t edges = 0;
   GnnPerfOptions options;
 
+  /// The pool width the batched phases actually ran at
+  /// (ml::kernels::effective_threads of options.threads) — what the
+  /// record must report, never the requested knob: the two differ when
+  /// the requested budget exceeds what the pool provided.
+  unsigned effective_threads = 1;
+  /// The SIMD dispatch target the run used (ml::kernels::isa_name).
+  std::string simd;
+
   /// encode, train_baseline, train_batched, infer_baseline,
-  /// infer_batched — in that order.
+  /// infer_batched, infer_quantized — in that order.
   std::vector<PerfPhase> phases;
 
   double train_speedup = 0.0;  // baseline median / batched median
@@ -65,6 +75,16 @@ struct GnnPerfReport {
   /// argmax predictions (must be 1.0 — batching never changes logits).
   double max_abs_proba_diff = 0.0;
   double prediction_agreement = 0.0;
+
+  /// Quantized (int8/bf16, ml/quant.hpp) vs full-precision batched
+  /// inference on the same model: probabilities agree within tolerance,
+  /// argmax predictions must agree exactly (1.0) on the corpus.
+  double quant_max_abs_proba_diff = 0.0;
+  double quant_prediction_agreement = 0.0;
+
+  /// Per-op profiling counters accumulated across the whole run
+  /// (ml/kernels.hpp; reset at harness entry).
+  std::array<ml::kernels::OpStats, ml::kernels::kNumOps> op_counters{};
 
   const PerfPhase& phase(const std::string& name) const;
   std::string to_json() const;
@@ -81,8 +101,9 @@ GnnPerfReport run_gnn_perf(const datasets::Dataset& ds,
 /// speedup/equivalence summary to `os`, writes the JSON record to
 /// `json_path`.
 /// \return the process exit code — 0, or 2 when batched inference
-/// disagreed with the baseline (the record is still written first so
-/// the disagreement can be inspected).
+/// disagreed with the baseline or quantized inference disagreed with
+/// full precision (the record is still written first so the
+/// disagreement can be inspected).
 int report_and_write(const GnnPerfReport& report, const std::string& json_path,
                      std::ostream& os);
 

@@ -87,12 +87,13 @@ void scatter_add_into(Matrix& dst, const Matrix& src,
                       const std::vector<std::uint32_t>& idx) {
   const std::size_t cols = dst.cols();
   const bool parallel = idx.size() * cols >= kernels::kParallelMinElems;
+  const kernels::KernelFns& fns = kernels::fns();
   kernels::parallel_ranges(cols, parallel, [&](std::size_t c0,
                                                std::size_t c1) {
     for (std::size_t e = 0; e < idx.size(); ++e) {
       double* d = dst.row(idx[e]);
       const double* s = src.row(e);
-      for (std::size_t j = c0; j < c1; ++j) d[j] += s[j];
+      fns.add1(d + c0, s + c0, c1 - c0);
     }
   });
 }
@@ -103,12 +104,11 @@ void gather_add_into(Matrix& dst, const Matrix& src,
                      const std::vector<std::uint32_t>& idx) {
   const std::size_t cols = dst.cols();
   const bool parallel = idx.size() * cols >= kernels::kParallelMinElems;
+  const kernels::KernelFns& fns = kernels::fns();
   kernels::parallel_ranges(idx.size(), parallel, [&](std::size_t e0,
                                                      std::size_t e1) {
     for (std::size_t e = e0; e < e1; ++e) {
-      double* d = dst.row(e);
-      const double* s = src.row(idx[e]);
-      for (std::size_t j = 0; j < cols; ++j) d[j] += s[j];
+      fns.add1(dst.row(e), src.row(idx[e]), cols);
     }
   });
 }
@@ -241,12 +241,11 @@ Var bias_elu(const Var& a, const Var& bias) {
   const std::size_t cols = a->value.cols();
   const double* b = bias->value.row(0);
   Matrix out(rows, cols);
-  for (std::size_t i = 0; i < rows; ++i) {
-    const double* src = a->value.row(i);
-    double* dst = out.row(i);
-    for (std::size_t j = 0; j < cols; ++j) {
-      const double t = src[j] + b[j];
-      dst[j] = t > 0 ? t : std::expm1(t);
+  {
+    kernels::OpTimer timer(kernels::Op::BiasElu, 2 * rows * cols);
+    const kernels::KernelFns& fns = kernels::fns();
+    for (std::size_t i = 0; i < rows; ++i) {
+      fns.bias_elu_row(out.row(i), a->value.row(i), b, cols);
     }
   }
   return make_result(
@@ -277,6 +276,7 @@ Var gather_rows(const Var& a, std::vector<std::uint32_t> idx) {
   const std::size_t cols = a->value.cols();
   for (const std::uint32_t i : idx) MPIDETECT_EXPECTS(i < a->value.rows());
   Matrix out(idx.size(), cols);
+  kernels::OpTimer timer(kernels::Op::GatherRows, 0);
   const bool parallel = idx.size() * cols >= kernels::kParallelMinElems;
   kernels::parallel_ranges(idx.size(), parallel, [&](std::size_t e0,
                                                      std::size_t e1) {
@@ -310,6 +310,7 @@ Var segment_softmax(const Var& scores, std::vector<std::uint32_t> seg,
   MPIDETECT_EXPECTS(scores->value.cols() == 1);
   MPIDETECT_EXPECTS(seg.size() == scores->value.rows());
   const std::size_t n = seg.size();
+  kernels::OpTimer timer(kernels::Op::SegmentSoftmax, 3 * n);
   // Numerically stable per-segment softmax.
   std::vector<double> seg_max(n_segments,
                               -std::numeric_limits<double>::infinity());
@@ -392,10 +393,24 @@ Matrix gatv2_scores_value(const Var& hl, LeftIx li, const Var& hr, RightIx ri,
   const std::size_t d = hl->value.cols();
   const double* av = attn->value.data().data();
   Matrix out(e_rows, 1);
+  kernels::OpTimer timer(kernels::Op::Gatv2Scores, 4 * e_rows * d);
   const bool parallel = e_rows * d >= kernels::kParallelMinElems;
+  const kernels::KernelFns& fns = kernels::fns();
   kernels::parallel_ranges(e_rows, parallel, [&](std::size_t e0,
                                                  std::size_t e1) {
-    for (std::size_t e = e0; e < e1; ++e) {
+    std::size_t e = e0;
+    // Four edges per pass: each SIMD lane is one edge's k-ascending
+    // score accumulation (bit-identical to the per-edge loop below).
+    for (; e + 4 <= e1; e += 4) {
+      const double* l[4] = {hl->value.row(li(e)), hl->value.row(li(e + 1)),
+                            hl->value.row(li(e + 2)),
+                            hl->value.row(li(e + 3))};
+      const double* r[4] = {hr->value.row(ri(e)), hr->value.row(ri(e + 1)),
+                            hr->value.row(ri(e + 2)),
+                            hr->value.row(ri(e + 3))};
+      fns.gatv2_scores4(l, r, av, negative_slope, d, &out.at(e, 0));
+    }
+    for (; e < e1; ++e) {
       const double* l = hl->value.row(li(e));
       const double* r = hr->value.row(ri(e));
       double acc = 0.0;
@@ -447,14 +462,17 @@ Matrix scatter_add_scaled_value(const Var& alpha, const Var& h, SrcIx si,
                                 std::size_t n_rows) {
   const std::size_t cols = h->value.cols();
   Matrix out(n_rows, cols);
+  kernels::OpTimer timer(kernels::Op::ScatterAddScaled,
+                         2 * dst.size() * cols);
   const bool parallel = dst.size() * cols >= kernels::kParallelMinElems;
+  const kernels::KernelFns& fns = kernels::fns();
   kernels::parallel_ranges(cols, parallel, [&](std::size_t c0,
                                                std::size_t c1) {
     for (std::size_t e = 0; e < dst.size(); ++e) {
       const double a = alpha->value.at(e, 0);
       const double* s = h->value.row(si(e));
       double* o = out.row(dst[e]);
-      for (std::size_t j = c0; j < c1; ++j) o[j] += a * s[j];
+      fns.axpy1(o + c0, s + c0, a, c1 - c0);
     }
   });
   return out;

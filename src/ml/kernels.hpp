@@ -2,17 +2,27 @@
 // and the autograd gather/scatter ops: tuning constants for the blocked
 // kernels, a thread-local thread-count override so callers (EvalEngine
 // fold training, benchmarks) can pin kernels to one thread, a
-// process-shared worker pool the big kernels parallelize over, and the
+// process-shared worker pool the big kernels parallelize over, the
 // baseline switch that routes Matrix::matmul through the seed's naive
-// triple loop for before/after measurements (bench/perf_gnn).
+// triple loop for before/after measurements (bench/perf_gnn), the
+// runtime SIMD dispatch table (AVX2 / NEON inner kernels with a scalar
+// fallback), and the per-op profiling counters surfaced by
+// `mpiguard bench --json` and the daemon's STATS frame.
 //
 // All parallel kernels split work so that the floating-point
 // accumulation order of every output element is identical to the serial
 // kernel: results are bit-identical regardless of thread count (see
-// tests/batched_gnn_test.cpp).
+// tests/batched_gnn_test.cpp). The SIMD kernels keep the same
+// discipline — they vectorize only across independent output elements
+// (never across a reduction) and use separate multiply and add
+// instructions (never FMA), so every dispatch target is bit-identical
+// to the scalar reference on the fp path.
 #pragma once
 
+#include <array>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace mpidetect::ml::kernels {
@@ -42,6 +52,152 @@ inline constexpr std::size_t kSmallFlops = 2048;
 /// serial.
 inline constexpr std::size_t kParallelMinElems = std::size_t{1} << 16;
 
+// ---- runtime SIMD dispatch --------------------------------------------------
+
+/// The instruction-set target a kernel call runs on. Detected once per
+/// process; Scalar is always available and is what every other target
+/// is tested against for bit-identity.
+enum class Isa : std::uint8_t { Scalar = 0, Avx2 = 1, Neon = 2, Avx512 = 3 };
+
+const char* isa_name(Isa isa);
+
+/// The CPU's best supported target, probed once (cached). The
+/// MPIDETECT_FORCE_SCALAR=1 environment variable pins this to Scalar
+/// for the whole process (the CI fallback job).
+Isa detected_isa();
+
+/// The target kernel calls on THIS thread dispatch to right now:
+/// detected_isa() unless a ScopedForceScalar override is active.
+Isa active_isa();
+
+/// Thread-local programmatic scalar override (tests compare dispatch
+/// targets inside one process with this).
+bool force_scalar();
+void set_force_scalar(bool on);
+
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool on);
+  ~ScopedForceScalar();
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// \brief The dispatched inner-kernel table. Every function preserves
+/// the scalar reference's per-output-element accumulation order and
+/// uses unaligned loads/stores — Matrix buffers are std::vector<double>
+/// storage with no 32-byte alignment guarantee (see docs/PERFORMANCE.md,
+/// "Alignment").
+///
+/// axpyN: o[j] += a[0]*b[0][j] + ... + a[N-1]*b[N-1][j], the terms
+/// added k-ascending per element (the blocked matmul's micro-kernel).
+/// axpy4x2: the axpy4 update applied to TWO independent output rows
+/// sharing the same four b streams — each b element is loaded once and
+/// feeds both rows, cutting the kernel's load traffic by ~25% (it is
+/// load-bound, not ALU-bound). Per-row accumulation order is exactly
+/// axpy4's, so bits cannot differ from two axpy4 calls.
+/// add1: o[j] += b[j]. dot4: out[c] = sum_k a[k]*b[c][k] as four
+/// independent k-ascending chains (the matmul_nt micro-kernel).
+/// bias_elu_row: dst[j] = elu(src[j] + bias[j]) with the scalar
+/// std::expm1 on negative lanes. gatv2_scores4: four edges' attention
+/// scores, lanes independent, k-ascending. qmatmul_row: one activation
+/// row times an int8 weight panel, float accumulation, j-independent —
+/// the quantized serving path (ml/quant.hpp).
+struct KernelFns {
+  void (*axpy8)(double* o, const double* const* b, const double* a,
+                std::size_t n);
+  void (*axpy4)(double* o, const double* const* b, const double* a,
+                std::size_t n);
+  void (*axpy4x2)(double* o0, double* o1, const double* const* b,
+                  const double* a0, const double* a1, std::size_t n);
+  void (*axpy1)(double* o, const double* b, double a, std::size_t n);
+  void (*add1)(double* o, const double* b, std::size_t n);
+  void (*dot4)(const double* a, const double* const* b, std::size_t K,
+               double* out);
+  void (*bias_elu_row)(double* dst, const double* src, const double* bias,
+                       std::size_t n);
+  void (*gatv2_scores4)(const double* const* l, const double* const* r,
+                        const double* av, double slope, std::size_t d,
+                        double* out);
+  void (*qmatmul_row)(float* o, const float* a, const std::int8_t* w,
+                      std::size_t K, std::size_t M);
+};
+
+/// The kernel table for active_isa() (honors force-scalar overrides).
+const KernelFns& fns();
+
+/// The table for a specific target; a target this build/CPU cannot run
+/// falls back to the scalar table (tests iterate targets explicitly).
+const KernelFns& fns_for(Isa isa);
+
+namespace detail {
+/// The best SIMD table this build carries for the running CPU (AVX2 on
+/// x86-64 with CPU support — deliberately ahead of AVX-512, see the
+/// comment in kernels_simd.cpp — NEON on aarch64), or nullptr when only
+/// the scalar path is available. Implemented in kernels_simd.cpp.
+const KernelFns* simd_table(Isa* isa);
+/// The table for one specific SIMD target, or nullptr when this
+/// build/CPU cannot run it (fns_for's lookup: on an AVX-512 machine the
+/// AVX2 table is still individually addressable for the equivalence
+/// tests).
+const KernelFns* simd_table_for(Isa isa);
+}  // namespace detail
+
+// ---- per-op profiling counters ----------------------------------------------
+
+/// The profiled operation classes of the autograd tape + serving path.
+/// Nested ops (matmul_tn packs through matmul; backward fused ops call
+/// matmul) are attributed to the OUTERMOST op only.
+enum class Op : std::uint8_t {
+  Matmul = 0,
+  MatmulNt,
+  MatmulTn,
+  BiasElu,
+  Gatv2Scores,
+  ScatterAddScaled,
+  GatherRows,
+  SegmentSoftmax,
+  QMatmul,
+};
+inline constexpr std::size_t kNumOps = 9;
+
+const char* op_name(Op op);
+
+struct OpStats {
+  std::uint64_t calls = 0;
+  std::uint64_t flops = 0;  // multiply-add count x2 (0 for pure movement)
+  std::uint64_t ns = 0;     // wall time inside the op, calling thread
+};
+
+/// Snapshot of the process-wide counters (relaxed atomics: cheap on the
+/// hot path, eventually-consistent under concurrency — fine for
+/// profiling).
+std::array<OpStats, kNumOps> op_counters();
+
+void reset_op_counters();
+
+/// RAII op scope: counts one call + flops and accumulates wall ns at
+/// destruction. Nested timers (an op implemented via another op) are
+/// inert, so each kernel invocation is counted exactly once.
+class OpTimer {
+ public:
+  OpTimer(Op op, std::uint64_t flops);
+  ~OpTimer();
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  Op op_;
+  std::uint64_t flops_;
+  bool active_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+// ---- thread budget ----------------------------------------------------------
+
 /// \brief Thread budget the kernels may use on the calling thread.
 /// \return 0 = auto (hardware concurrency); 1 = serial; n = at most n.
 ///
@@ -52,6 +208,21 @@ unsigned kernel_threads();
 
 /// Sets the calling thread's kernel thread budget (see kernel_threads).
 void set_kernel_threads(unsigned n);
+
+/// The raw hardware-concurrency probe (resolve_threads(0)), cached once
+/// per process. This is the ONLY cached input to the thread budget: the
+/// effective budget itself is recomputed at every dispatch, so a pin
+/// active during the first kernel call never freezes the process-wide
+/// answer.
+unsigned hardware_probe();
+
+/// \brief The pool width a kernel dispatched under `requested` threads
+/// actually uses: the hardware probe for 0 (auto), otherwise exactly
+/// `requested` — the shared pool grows on demand to honor an explicit
+/// budget above its current size. Bench records report THIS value
+/// (scripts/check_bench_json.py requires it), so a record can never
+/// claim a thread count the pool did not have.
+unsigned effective_threads(unsigned requested);
 
 /// RAII override of the calling thread's kernel thread budget.
 class ScopedKernelThreads {

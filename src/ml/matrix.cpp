@@ -58,6 +58,8 @@ Matrix Matrix::matmul_naive(const Matrix& o) const {
 
 Matrix Matrix::matmul(const Matrix& o) const {
   MPIDETECT_EXPECTS(cols_ == o.rows_);
+  kernels::OpTimer timer(kernels::Op::Matmul,
+                         2 * rows_ * cols_ * o.cols_);
   if (kernels::naive_matmul()) return matmul_naive(o);
   // Tiny products (the 1-row FC matmuls): the reference loop is already
   // optimal and bit-identical.
@@ -66,6 +68,7 @@ Matrix Matrix::matmul(const Matrix& o) const {
   const std::size_t K = cols_;
   const std::size_t N = o.cols_;
   const bool parallel = rows_ * K * N >= kernels::kParallelMinFlops;
+  const kernels::KernelFns& fns = kernels::fns();
   if (N == 1) {
     // Matrix-vector product (the GATv2 attention scores): one register
     // accumulator per output element, k-ascending — bit-identical to the
@@ -88,14 +91,44 @@ Matrix Matrix::matmul(const Matrix& o) const {
   kernels::parallel_ranges(rows_, parallel, [&](std::size_t i0,
                                                 std::size_t i1) {
     // One k-panel of the RHS is streamed over the whole row stripe
-    // before moving to the next, keeping the panel hot in cache. The
-    // micro-kernel fuses 2*kUnroll (then kUnroll) k-steps per pass: the
-    // output row is loaded and stored once per pass instead of once per
-    // k, while each out[i][j] still accumulates in k-ascending order
-    // (bit-identical to matmul_naive).
+    // before moving to the next, keeping the panel hot in cache. Rows
+    // advance in PAIRS through the axpy4x2 kernel so each b element
+    // loaded from the panel feeds two output rows — the kernels are
+    // bound by load traffic, and pairing cuts it by ~20%. Each
+    // out[i][j] still accumulates in k-ascending order (bit-identical
+    // to matmul_naive); a k-block enters a row's chain only when that
+    // row has a nonzero coefficient in it, same as the single-row path.
     for (std::size_t kk = 0; kk < K; kk += kernels::kKPanel) {
       const std::size_t kend = std::min(K, kk + kernels::kKPanel);
-      for (std::size_t i = i0; i < i1; ++i) {
+      std::size_t i = i0;
+      for (; i + 2 <= i1; i += 2) {
+        const double* arow0 = row(i);
+        const double* arow1 = row(i + 1);
+        double* orow0 = out.row(i);
+        double* orow1 = out.row(i + 1);
+        std::size_t k = kk;
+        for (; k + kernels::kUnroll <= kend; k += kernels::kUnroll) {
+          const bool z0 = arow0[k] == 0.0 && arow0[k + 1] == 0.0 &&
+                          arow0[k + 2] == 0.0 && arow0[k + 3] == 0.0;
+          const bool z1 = arow1[k] == 0.0 && arow1[k + 1] == 0.0 &&
+                          arow1[k + 2] == 0.0 && arow1[k + 3] == 0.0;
+          if (z0 && z1) continue;
+          const double* b[4] = {o.row(k), o.row(k + 1), o.row(k + 2),
+                                o.row(k + 3)};
+          if (!z0 && !z1) {
+            fns.axpy4x2(orow0, orow1, b, arow0 + k, arow1 + k, N);
+          } else if (!z0) {
+            fns.axpy4(orow0, b, arow0 + k, N);
+          } else {
+            fns.axpy4(orow1, b, arow1 + k, N);
+          }
+        }
+        for (; k < kend; ++k) {
+          if (arow0[k] != 0.0) fns.axpy1(orow0, o.row(k), arow0[k], N);
+          if (arow1[k] != 0.0) fns.axpy1(orow1, o.row(k), arow1[k], N);
+        }
+      }
+      for (; i < i1; ++i) {
         const double* arow = row(i);
         double* orow = out.row(i);
         std::size_t k = kk;
@@ -117,26 +150,10 @@ Matrix Matrix::matmul(const Matrix& o) const {
               a4 == 0.0 && a5 == 0.0 && a6 == 0.0 && a7 == 0.0) {
             continue;
           }
-          const double* b0 = o.row(k);
-          const double* b1 = o.row(k + 1);
-          const double* b2 = o.row(k + 2);
-          const double* b3 = o.row(k + 3);
-          const double* b4 = o.row(k + 4);
-          const double* b5 = o.row(k + 5);
-          const double* b6 = o.row(k + 6);
-          const double* b7 = o.row(k + 7);
-          for (std::size_t j = 0; j < N; ++j) {
-            double acc = orow[j];
-            acc += a0 * b0[j];
-            acc += a1 * b1[j];
-            acc += a2 * b2[j];
-            acc += a3 * b3[j];
-            acc += a4 * b4[j];
-            acc += a5 * b5[j];
-            acc += a6 * b6[j];
-            acc += a7 * b7[j];
-            orow[j] = acc;
-          }
+          const double* b[8] = {o.row(k),     o.row(k + 1), o.row(k + 2),
+                                o.row(k + 3), o.row(k + 4), o.row(k + 5),
+                                o.row(k + 6), o.row(k + 7)};
+          fns.axpy8(orow, b, arow + k, N);
         }
         for (; k + kernels::kUnroll <= kend; k += kernels::kUnroll) {
           const double a0 = arow[k];
@@ -144,24 +161,14 @@ Matrix Matrix::matmul(const Matrix& o) const {
           const double a2 = arow[k + 2];
           const double a3 = arow[k + 3];
           if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
-          const double* b0 = o.row(k);
-          const double* b1 = o.row(k + 1);
-          const double* b2 = o.row(k + 2);
-          const double* b3 = o.row(k + 3);
-          for (std::size_t j = 0; j < N; ++j) {
-            double acc = orow[j];
-            acc += a0 * b0[j];
-            acc += a1 * b1[j];
-            acc += a2 * b2[j];
-            acc += a3 * b3[j];
-            orow[j] = acc;
-          }
+          const double* b[4] = {o.row(k), o.row(k + 1), o.row(k + 2),
+                                o.row(k + 3)};
+          fns.axpy4(orow, b, arow + k, N);
         }
         for (; k < kend; ++k) {
           const double a = arow[k];
           if (a == 0.0) continue;
-          const double* brow = o.row(k);
-          for (std::size_t j = 0; j < N; ++j) orow[j] += a * brow[j];
+          fns.axpy1(orow, o.row(k), a, N);
         }
       }
     }
@@ -171,6 +178,8 @@ Matrix Matrix::matmul(const Matrix& o) const {
 
 Matrix Matrix::matmul_nt(const Matrix& o) const {
   MPIDETECT_EXPECTS(cols_ == o.cols_);
+  kernels::OpTimer timer(kernels::Op::MatmulNt,
+                         2 * rows_ * cols_ * o.rows_);
   // Baseline mode reproduces the seed's backward exactly: materialized
   // transpose + naive kernel.
   if (kernels::naive_matmul()) return matmul_naive(o.transpose());
@@ -192,6 +201,7 @@ Matrix Matrix::matmul_nt(const Matrix& o) const {
   const std::size_t K = cols_;
   const std::size_t N = o.rows_;
   const bool parallel = rows_ * K * N >= kernels::kParallelMinFlops;
+  const kernels::KernelFns& fns = kernels::fns();
   kernels::parallel_ranges(rows_, parallel, [&](std::size_t i0,
                                                 std::size_t i1) {
     // Dot-product kernel over rows of both operands. kUnroll output
@@ -203,22 +213,9 @@ Matrix Matrix::matmul_nt(const Matrix& o) const {
       double* orow = out.row(i);
       std::size_t j = 0;
       for (; j + kernels::kUnroll <= N; j += kernels::kUnroll) {
-        const double* b0 = o.row(j);
-        const double* b1 = o.row(j + 1);
-        const double* b2 = o.row(j + 2);
-        const double* b3 = o.row(j + 3);
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        for (std::size_t k = 0; k < K; ++k) {
-          const double a = arow[k];
-          s0 += a * b0[k];
-          s1 += a * b1[k];
-          s2 += a * b2[k];
-          s3 += a * b3[k];
-        }
-        orow[j] = s0;
-        orow[j + 1] = s1;
-        orow[j + 2] = s2;
-        orow[j + 3] = s3;
+        const double* b[4] = {o.row(j), o.row(j + 1), o.row(j + 2),
+                              o.row(j + 3)};
+        fns.dot4(arow, b, K, orow + j);
       }
       for (; j < N; ++j) {
         const double* brow = o.row(j);
@@ -233,6 +230,8 @@ Matrix Matrix::matmul_nt(const Matrix& o) const {
 
 Matrix Matrix::matmul_tn(const Matrix& o) const {
   MPIDETECT_EXPECTS(rows_ == o.rows_);
+  kernels::OpTimer timer(kernels::Op::MatmulTn,
+                         2 * rows_ * cols_ * o.cols_);
   if (kernels::naive_matmul() ||
       rows_ * cols_ * o.cols_ < kernels::kSmallFlops) {
     return transpose().matmul_naive(o);

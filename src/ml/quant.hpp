@@ -1,0 +1,123 @@
+// Quantized inference for the serving path: an immutable int8/bf16
+// image of a trained GnnModel. Weights are quantized to int8 with one
+// symmetric scale per output column (scale = max|W[:,j]| / 127);
+// activations are float32 buffers rounded to bfloat16 precision
+// (round-to-nearest-even on the top 16 bits) between ops; every matmul
+// accumulates in float32 through the dispatched qmatmul kernel
+// (ml/kernels.hpp). Attention vectors and biases stay float32 — they
+// are O(d) per layer, and int8 attention would dominate the error
+// budget for no measurable speed.
+//
+// Training stays full-precision: this type is built FROM a fitted
+// GnnModel and never mutates. The equivalence contract is
+// agreement-within-tolerance, not bit-identity — quantized and fp
+// probabilities may differ by up to kQuantProbaTolerance
+// (docs/PERFORMANCE.md, "Quantized serving inference"), and argmax
+// predictions must agree exactly. Agreement is made structural by
+// predict_proba_guarded (below), which recomputes borderline verdicts
+// in full precision; bench/perf_gnn's record gate and
+// tests/batched_gnn_test.cpp enforce it.
+// Within the quantized path itself, scalar and SIMD dispatch targets
+// are bit-identical: the int8 kernels keep the same per-output
+// k-ascending float accumulation order on every target.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/gnn.hpp"
+
+namespace mpidetect::ml {
+
+/// The quantized serving contract's probability tolerance: quantized
+/// probabilities stay within this of full precision (enforced by
+/// tests/batched_gnn_test.cpp and bench/perf_gnn's record gate).
+inline constexpr double kQuantProbaTolerance = 0.05;
+
+/// Rounds a float to bfloat16 precision (round-to-nearest-even),
+/// returned as the nearest representable float.
+float bf16_round(float x);
+
+/// One weight matrix quantized to int8, row-major, one symmetric scale
+/// per column: W[k][j] ~= data[k*cols + j] * scale[j].
+struct QuantizedMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int8_t> data;
+  std::vector<float> scale;
+
+  static QuantizedMatrix quantize(const Matrix& w);
+};
+
+/// \brief The int8/bf16 serving image of a fitted GnnModel.
+///
+/// predict_proba mirrors the fp batched entry points (chunked by
+/// cfg.infer_batch, tape-free) and honors the same kernel thread
+/// budget; probabilities come back in double for drop-in use by
+/// GnnDetector's verdict mapping.
+class QuantizedGnnModel {
+ public:
+  /// Snapshots `model`'s parameters (which must be fitted weights; the
+  /// constructor only reads). The source model is not referenced after
+  /// construction.
+  explicit QuantizedGnnModel(const GnnModel& model);
+
+  std::vector<double> predict_proba(const programl::ProgramGraph& g) const;
+
+  std::vector<std::vector<double>> predict_proba(
+      std::span<const programl::ProgramGraph> graphs) const;
+
+  const GnnConfig& config() const { return cfg_; }
+
+ private:
+  struct Rel {
+    QuantizedMatrix w_left;
+    QuantizedMatrix w_right;
+    std::vector<float> attn;  // d_out, float32
+  };
+  struct Layer {
+    std::vector<Rel> rel;  // one per edge relation
+    QuantizedMatrix w_self;
+    std::vector<float> bias;  // d_out, float32
+  };
+
+  /// Logits for one packed batch: n_segments x classes, row-major.
+  std::vector<float> forward_batch(
+      std::span<const std::uint32_t> tokens,
+      const std::array<std::vector<programl::Edge>,
+                       programl::kNumEdgeTypes>& edges,
+      std::span<const std::uint32_t> segments, std::size_t n_segments) const;
+
+  GnnConfig cfg_;
+  std::vector<float> embedding_;  // vocab x embed_dim, bf16-rounded
+  std::vector<Layer> layers_;
+  QuantizedMatrix fc1_w_;
+  std::vector<float> fc1_b_;
+  QuantizedMatrix fc2_w_;
+  std::vector<float> fc2_b_;
+};
+
+/// \brief Quantized batch predict with a full-precision fallback on
+/// borderline verdicts.
+///
+/// Runs the whole batch through `q`, then recomputes in full precision
+/// (through `fp`, which must be the model `q` was built from) every
+/// graph whose quantized argmax gap — top probability minus runner-up —
+/// is at most 2 x kQuantProbaTolerance. If a quantized argmax disagrees
+/// with full precision, each of the two contending probabilities is off
+/// by at most the tolerance, so the quantized gap cannot exceed twice
+/// the tolerance: as long as the tolerance contract holds, every
+/// possible disagreement is inside the recomputed set and prediction
+/// agreement is structurally 1.0 rather than corpus-dependent. Wide-
+/// margin graphs (the overwhelming majority) never touch the fp path,
+/// so the quantized speedup survives.
+///
+/// This is the serving entry point (GnnDetector's quantized run/
+/// run_indexed) and what bench/perf_gnn times as infer_quantized — the
+/// fallback recomputes are inside the timed region.
+std::vector<std::vector<double>> predict_proba_guarded(
+    const QuantizedGnnModel& q, GnnModel& fp,
+    std::span<const programl::ProgramGraph> graphs);
+
+}  // namespace mpidetect::ml

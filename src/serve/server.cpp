@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/detector.hpp"
 #include "datasets/spec.hpp"
+#include "ml/kernels.hpp"
 #include "serve/transport.hpp"
 #include "support/check.hpp"
 #include "support/faultpoint.hpp"
@@ -74,6 +76,13 @@ Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
       }
     }
     m.detector = registry.load_bundle(path, cfg);
+    if (opts_.quantized) {
+      // Only GNN detectors have a quantized image; others serve fp as
+      // before (the flag asks for quantized *where it exists*).
+      if (auto* gnn = dynamic_cast<core::GnnDetector*>(m.detector.get())) {
+        gnn->set_quantized_inference(true);
+      }
+    }
     models_.push_back(std::move(m));
   }
 
@@ -153,6 +162,19 @@ Stats Server::snapshot_stats() const {
   s.retries = retries_.load();
   s.watchdog_trips = watchdog_trips_.load();
   s.faults_fired = fault::Registry::global().fired_total();
+  // v3+ kernel profiling rows: process-lifetime totals, one row per op
+  // class even when calls == 0 so clients see a stable table. A v1/v2
+  // peer never receives these (write_body drops them by version).
+  const auto ops = ml::kernels::op_counters();
+  s.op_counters.reserve(ml::kernels::kNumOps);
+  for (std::size_t i = 0; i < ml::kernels::kNumOps; ++i) {
+    OpCounter c;
+    c.name = ml::kernels::op_name(static_cast<ml::kernels::Op>(i));
+    c.calls = ops[i].calls;
+    c.flops = ops[i].flops;
+    c.ns = ops[i].ns;
+    s.op_counters.push_back(std::move(c));
+  }
   return s;
 }
 

@@ -17,6 +17,7 @@ constexpr const char* kWhat = "mpiguardd wire frame";
 constexpr std::size_t kMaxName = 4096;      // client/server/spec/message
 constexpr std::size_t kMaxKey = 256;        // detector registry keys
 constexpr std::size_t kMaxDetectors = 256;  // loaded models per daemon
+constexpr std::size_t kMaxOpCounters = 64;  // profiled op classes (v3 STATS)
 
 /// Smallest well-formed payload: magic + version + frame type.
 constexpr std::size_t kMinPayload = 4 + 4 + 1;
@@ -88,6 +89,19 @@ void write_body(io::Writer& w, const Stats& f, std::uint32_t version) {
     w.u64(f.watchdog_trips);
     w.u64(f.faults_fired);
   }
+  if (version >= 3) {
+    MPIDETECT_CHECK(f.op_counters.size() <= kMaxOpCounters);
+    w.u64(f.op_counters.size());
+    for (const OpCounter& c : f.op_counters) {
+      w.str(c.name);
+      w.u64(c.calls);
+      w.u64(c.flops);
+      w.u64(c.ns);
+    }
+  }
+  // At v1/v2 any op-counter rows are silently dropped: they are pure
+  // observability, so (unlike a SUBMIT deadline) nothing the sender
+  // relies on is lost.
 }
 
 void write_body(io::Writer&, const Shutdown&, std::uint32_t) {}
@@ -177,6 +191,18 @@ Frame read_body(io::Reader& r, FrameType type, std::uint32_t version) {
         f.retries = r.u64();
         f.watchdog_trips = r.u64();
         f.faults_fired = r.u64();
+      }
+      if (version >= 3) {
+        const std::size_t n = r.count(kMaxOpCounters);
+        f.op_counters.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          OpCounter c;
+          c.name = r.str(kMaxKey);
+          c.calls = r.u64();
+          c.flops = r.u64();
+          c.ns = r.u64();
+          f.op_counters.push_back(std::move(c));
+        }
       }
       return f;
     }

@@ -38,7 +38,13 @@
 // v1 client talking to a v2 daemon round-trips byte-identically — the
 // daemon answers each frame at the version the frame arrived in, and
 // the v2-only failure machinery (deadlines) cannot trigger for
-// requests that cannot carry a deadline.
+// requests that cannot carry a deadline. v3 (this build's default)
+// appends a per-op kernel profiling section to STATS — a counted list
+// of {op name, calls, flops, ns} rows mirroring ml/kernels.hpp — so a
+// client can see where the daemon's inference time goes without
+// attaching a profiler. The section is pure observability: a daemon
+// answering a v1/v2 STATS_REQ silently omits it (unlike a SUBMIT
+// deadline, dropping it loses no contract).
 #pragma once
 
 #include <cstdint>
@@ -53,7 +59,7 @@ namespace mpidetect::serve {
 
 class Transport;
 
-inline constexpr std::uint32_t kWireVersion = 2;
+inline constexpr std::uint32_t kWireVersion = 3;
 /// Hard ceiling on one frame's payload (magic + version + type + body).
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
@@ -118,6 +124,15 @@ struct Error {
 
 struct StatsReq {};
 
+/// One per-op kernel profiling row (v3+ STATS): the daemon-lifetime
+/// totals of ml::kernels::op_counters() for one op class.
+struct OpCounter {
+  std::string name;           // ml::kernels::op_name
+  std::uint64_t calls = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t ns = 0;
+};
+
 struct Stats {
   std::uint64_t received = 0;         // SUBMIT frames parsed
   std::uint64_t served = 0;           // VERDICT frames sent
@@ -137,6 +152,9 @@ struct Stats {
   std::uint64_t retries = 0;          // resubmits of a BUSY-bounced id
   std::uint64_t watchdog_trips = 0;   // batches outliving the watchdog
   std::uint64_t faults_fired = 0;     // injected faults (faultpoint.hpp)
+  // ---- v3+ kernel profiling (absent from v1/v2 encodings; a daemon
+  // answering an older client drops the rows — observability only) ----
+  std::vector<OpCounter> op_counters;
 };
 
 struct Shutdown {};

@@ -6,9 +6,13 @@
 
 #include <unistd.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <functional>
+#include <limits>
 
 #include "core/detector.hpp"
 #include "core/eval_engine.hpp"
@@ -16,6 +20,7 @@
 #include "datasets/mbi.hpp"
 #include "ml/gnn.hpp"
 #include "ml/kernels.hpp"
+#include "ml/quant.hpp"
 #include "progmodel/lower.hpp"
 #include "programl/graph.hpp"
 
@@ -490,6 +495,432 @@ TEST(GraphBatchEdge, MixedSingleNodeAndRealGraphsAgreeWithPerGraph) {
           << "graph " << i;
     }
   }
+}
+
+// ---- SIMD dispatch: every target bit-identical to scalar --------------------
+
+// The wall the kernel-dispatch contract leans on (ml/kernels.hpp):
+// every fp inner kernel, on every dispatch target this build carries,
+// produces bit-identical results to the scalar reference — including on
+// misaligned buffers (Matrix storage guarantees 8-byte alignment only),
+// denormal inputs, and magnitudes near overflow.
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+std::uint32_t float_bits(float x) {
+  std::uint32_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+/// The targets worth comparing on this machine: scalar plus whatever
+/// fns_for resolves the others to (unsupported targets fall back to the
+/// scalar table, which makes the comparison trivially true, not wrong).
+const std::array<kernels::Isa, 4> kAllTargets = {
+    kernels::Isa::Scalar, kernels::Isa::Avx2, kernels::Isa::Neon,
+    kernels::Isa::Avx512};
+
+/// Fills `n` doubles with a mix of ordinary, denormal, tiny and huge
+/// magnitudes — the inputs where a reassociated or FMA-contracted
+/// kernel would diverge from the scalar reference first.
+void fill_adversarial(double* p, std::size_t n, Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 5) {
+      case 0: p[i] = rng.normal(); break;
+      case 1: p[i] = rng.normal() * 4.9e-324; break;  // denormal range
+      case 2: p[i] = rng.normal() * 1e300; break;     // near overflow
+      case 3: p[i] = rng.normal() * 1e-160; break;
+      default: p[i] = -rng.normal(); break;
+    }
+  }
+}
+
+TEST(SimdDispatch, RowKernelsBitIdenticalAcrossTargetsMisaligned) {
+  Rng rng(11);
+  const kernels::KernelFns& ref = kernels::fns_for(kernels::Isa::Scalar);
+  // +1 element, then use data()+1: 8-byte aligned but guaranteed NOT
+  // 16/32-byte aligned — a kernel using aligned loads would fault or
+  // (worse) silently read the wrong lanes.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{7}, std::size_t{8}, std::size_t{9},
+                              std::size_t{31}, std::size_t{64},
+                              std::size_t{65}}) {
+    std::vector<double> src_buf(8 * (n + 1)), coef(8), out_ref(n + 1),
+        out_tgt(n + 1), out2_ref(n + 1), out2_tgt(n + 1), bias_buf(n + 1);
+    std::array<const double*, 8> rows{};
+    for (std::size_t r = 0; r < 8; ++r) {
+      double* row = src_buf.data() + r * (n + 1) + 1;
+      fill_adversarial(row, n, rng);
+      rows[r] = row;
+    }
+    fill_adversarial(coef.data(), coef.size(), rng);
+    fill_adversarial(bias_buf.data() + 1, n, rng);
+    for (const kernels::Isa isa : kAllTargets) {
+      const kernels::KernelFns& fns = kernels::fns_for(isa);
+
+      const auto reset = [&] {
+        Rng r2(23);
+        fill_adversarial(out_ref.data() + 1, n, r2);
+        std::copy(out_ref.begin(), out_ref.end(), out_tgt.begin());
+      };
+      const auto compare = [&](const char* what) {
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(double_bits(out_ref[j + 1]), double_bits(out_tgt[j + 1]))
+              << what << " isa=" << kernels::isa_name(isa) << " n=" << n
+              << " j=" << j;
+        }
+      };
+
+      reset();
+      ref.axpy8(out_ref.data() + 1, rows.data(), coef.data(), n);
+      fns.axpy8(out_tgt.data() + 1, rows.data(), coef.data(), n);
+      compare("axpy8");
+
+      reset();
+      ref.axpy4(out_ref.data() + 1, rows.data(), coef.data(), n);
+      fns.axpy4(out_tgt.data() + 1, rows.data(), coef.data(), n);
+      compare("axpy4");
+
+      reset();
+      {
+        Rng r3(29);
+        fill_adversarial(out2_ref.data() + 1, n, r3);
+        std::copy(out2_ref.begin(), out2_ref.end(), out2_tgt.begin());
+        ref.axpy4x2(out_ref.data() + 1, out2_ref.data() + 1, rows.data(),
+                    coef.data(), coef.data() + 4, n);
+        fns.axpy4x2(out_tgt.data() + 1, out2_tgt.data() + 1, rows.data(),
+                    coef.data(), coef.data() + 4, n);
+        compare("axpy4x2 row0");
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(double_bits(out2_ref[j + 1]), double_bits(out2_tgt[j + 1]))
+              << "axpy4x2 row1 isa=" << kernels::isa_name(isa) << " n=" << n
+              << " j=" << j;
+        }
+      }
+
+      reset();
+      ref.axpy1(out_ref.data() + 1, rows[0], coef[0], n);
+      fns.axpy1(out_tgt.data() + 1, rows[0], coef[0], n);
+      compare("axpy1");
+
+      reset();
+      ref.add1(out_ref.data() + 1, rows[1], n);
+      fns.add1(out_tgt.data() + 1, rows[1], n);
+      compare("add1");
+
+      reset();
+      ref.bias_elu_row(out_ref.data() + 1, rows[2], bias_buf.data() + 1, n);
+      fns.bias_elu_row(out_tgt.data() + 1, rows[2], bias_buf.data() + 1, n);
+      compare("bias_elu_row");
+
+      // dot4 / gatv2_scores4: reductions over misaligned K-length rows.
+      std::array<const double*, 4> quad{rows[0], rows[1], rows[2], rows[3]};
+      std::array<const double*, 4> quad_r{rows[4], rows[5], rows[6], rows[7]};
+      std::array<double, 4> dr{}, dt{};
+      ref.dot4(rows[4], quad.data(), n, dr.data());
+      fns.dot4(rows[4], quad.data(), n, dt.data());
+      for (std::size_t c = 0; c < 4; ++c) {
+        ASSERT_EQ(double_bits(dr[c]), double_bits(dt[c]))
+            << "dot4 isa=" << kernels::isa_name(isa) << " n=" << n;
+      }
+
+      dr.fill(0.0);
+      dt.fill(0.0);
+      ref.gatv2_scores4(quad.data(), quad_r.data(), bias_buf.data() + 1, 0.2,
+                        n, dr.data());
+      fns.gatv2_scores4(quad.data(), quad_r.data(), bias_buf.data() + 1, 0.2,
+                        n, dt.data());
+      for (std::size_t c = 0; c < 4; ++c) {
+        ASSERT_EQ(double_bits(dr[c]), double_bits(dt[c]))
+            << "gatv2_scores4 isa=" << kernels::isa_name(isa) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, QmatmulRowBitIdenticalAcrossTargetsMisaligned) {
+  Rng rng(13);
+  for (const std::size_t K : {std::size_t{1}, std::size_t{5}, std::size_t{16},
+                              std::size_t{33}}) {
+    for (const std::size_t M : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                                std::size_t{9}, std::size_t{24},
+                                std::size_t{65}}) {
+      // Misaligned float buffers (data()+1: 4-byte aligned only) and an
+      // activation row mixing denormals and large magnitudes.
+      std::vector<float> a(K + 1), out_ref(M + 1), out_tgt(M + 1);
+      std::vector<std::int8_t> w(K * M);
+      for (std::size_t k = 0; k < K; ++k) {
+        const double v = rng.normal();
+        a[k + 1] = static_cast<float>(k % 4 == 0   ? v * 1e30
+                                      : k % 4 == 1 ? v * 1e-42
+                                                   : v);
+      }
+      for (auto& x : w) {
+        x = static_cast<std::int8_t>(
+            static_cast<int>(rng.uniform() * 255.0) - 127);
+      }
+      const kernels::KernelFns& ref = kernels::fns_for(kernels::Isa::Scalar);
+      for (const kernels::Isa isa : kAllTargets) {
+        kernels::fns_for(isa).qmatmul_row(out_tgt.data() + 1, a.data() + 1,
+                                          w.data(), K, M);
+        ref.qmatmul_row(out_ref.data() + 1, a.data() + 1, w.data(), K, M);
+        for (std::size_t j = 0; j < M; ++j) {
+          ASSERT_EQ(float_bits(out_ref[j + 1]), float_bits(out_tgt[j + 1]))
+              << "qmatmul_row isa=" << kernels::isa_name(isa) << " K=" << K
+              << " M=" << M << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, ForcedScalarFullModelBitIdentical) {
+  // The whole-model wall: predict_proba under the live dispatch target
+  // must equal the forced-scalar run bit for bit (not NEAR — the SIMD
+  // kernels preserve accumulation order exactly).
+  GnnModel model(tiny_config());
+  std::vector<programl::ProgramGraph> graphs;
+  for (int i = 0; i < 6; ++i) {
+    graphs.push_back(tiny_graph(static_cast<std::uint32_t>(3 * i),
+                                static_cast<std::uint32_t>(3 * i + 1),
+                                i % 2 == 0));
+  }
+  const auto live =
+      model.predict_proba(std::span<const programl::ProgramGraph>(graphs));
+  kernels::ScopedForceScalar scalar(true);
+  ASSERT_EQ(kernels::active_isa(), kernels::Isa::Scalar);
+  const auto forced =
+      model.predict_proba(std::span<const programl::ProgramGraph>(graphs));
+  ASSERT_EQ(live.size(), forced.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (std::size_t j = 0; j < live[i].size(); ++j) {
+      ASSERT_EQ(double_bits(live[i][j]), double_bits(forced[i][j]))
+          << "graph " << i << " class " << j;
+    }
+  }
+}
+
+TEST(SimdDispatch, ThreadCountInvariantFullModel) {
+  GnnModel model(tiny_config());
+  std::vector<programl::ProgramGraph> graphs;
+  for (int i = 0; i < 5; ++i) {
+    graphs.push_back(tiny_graph(static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(i + 40)));
+  }
+  std::vector<std::vector<double>> serial;
+  {
+    kernels::ScopedKernelThreads one(1);
+    serial = model.predict_proba(std::span<const programl::ProgramGraph>(graphs));
+  }
+  kernels::ScopedKernelThreads four(4);
+  const auto wide =
+      model.predict_proba(std::span<const programl::ProgramGraph>(graphs));
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (std::size_t j = 0; j < serial[i].size(); ++j) {
+      ASSERT_EQ(double_bits(serial[i][j]), double_bits(wide[i][j]));
+    }
+  }
+}
+
+// ---- quantized serving image (ml/quant.hpp) --------------------------------
+
+TEST(QuantizedInference, Bf16RoundIsRoundToNearestEven) {
+  EXPECT_EQ(bf16_round(0.0f), 0.0f);
+  EXPECT_EQ(bf16_round(1.0f), 1.0f);
+  // 1 + 2^-7 is exactly representable in bf16 (7 mantissa bits).
+  EXPECT_EQ(bf16_round(1.0078125f), 1.0078125f);
+  // 1 + 2^-8 is the exact halfway point: ties-to-even keeps 1.0.
+  EXPECT_EQ(bf16_round(1.00390625f), 1.0f);
+  // Just above halfway rounds up to the next representable step.
+  EXPECT_EQ(bf16_round(1.004f), 1.0078125f);
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(bf16_round(inf), inf);
+  EXPECT_EQ(bf16_round(-inf), -inf);
+  EXPECT_TRUE(std::isnan(bf16_round(std::numeric_limits<float>::quiet_NaN())));
+  // Denormal floats survive (flushed toward bf16's coarser grid, never
+  // to garbage).
+  const float denorm = 1e-42f;
+  const float r = bf16_round(denorm);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_GE(r, 0.0f);
+}
+
+TEST(QuantizedInference, QuantizeMatrixPerColumnSymmetric) {
+  Matrix w(3, 2);
+  w.at(0, 0) = 2.54;
+  w.at(1, 0) = -1.27;
+  w.at(2, 0) = 0.0;
+  // Column 1 all zeros: scale must be the safe 1.0, codes all 0.
+  const QuantizedMatrix q = QuantizedMatrix::quantize(w);
+  ASSERT_EQ(q.rows, 3u);
+  ASSERT_EQ(q.cols, 2u);
+  EXPECT_FLOAT_EQ(q.scale[0], static_cast<float>(2.54 / 127.0));
+  EXPECT_EQ(q.data[0 * 2 + 0], 127);  // the column max hits +127
+  EXPECT_EQ(q.data[1 * 2 + 0], -64);  // -1.27 / (2.54/127) = -63.5 -> -64
+  EXPECT_EQ(q.data[2 * 2 + 0], 0);
+  EXPECT_EQ(q.scale[1], 1.0f);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_EQ(q.data[k * 2 + 1], 0);
+}
+
+TEST(QuantizedInference, TrainedModelToleranceAndAgreement) {
+  GnnConfig cfg = tiny_config();
+  cfg.batch_size = 4;
+  cfg.epochs = 30;
+  GnnModel model(cfg);
+  std::vector<programl::ProgramGraph> graphs;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 8; ++i) {
+    graphs.push_back(tiny_graph(10, 11));
+    labels.push_back(0);
+    graphs.push_back(tiny_graph(20, 21));
+    labels.push_back(1);
+  }
+  model.fit(graphs, labels);
+
+  const QuantizedGnnModel qmodel(model);
+  const auto fp =
+      model.predict_proba(std::span<const programl::ProgramGraph>(graphs));
+  const auto quant =
+      qmodel.predict_proba(std::span<const programl::ProgramGraph>(graphs));
+  ASSERT_EQ(fp.size(), quant.size());
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    ASSERT_EQ(fp[i].size(), quant[i].size());
+    double sum = 0.0;
+    std::size_t fp_arg = 0, q_arg = 0;
+    for (std::size_t j = 0; j < fp[i].size(); ++j) {
+      // The documented tolerance contract (docs/PERFORMANCE.md):
+      // probabilities within 0.05, argmax identical.
+      EXPECT_NEAR(fp[i][j], quant[i][j], 0.05) << "graph " << i;
+      sum += quant[i][j];
+      if (fp[i][j] > fp[i][fp_arg]) fp_arg = j;
+      if (quant[i][j] > quant[i][q_arg]) q_arg = j;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(fp_arg, q_arg) << "prediction disagreement on graph " << i;
+    EXPECT_EQ(q_arg, labels[i]);
+  }
+}
+
+TEST(QuantizedInference, GuardedFallbackIsExactPartition) {
+  // predict_proba_guarded's contract, characterized exactly: a graph
+  // whose quantized argmax gap (top minus runner-up) is at most
+  // 2 x kQuantProbaTolerance comes back bit-equal to the fp path (the
+  // fallback fired); every other graph comes back bit-equal to the raw
+  // quantized path (no needless fp work). Because any fp/quantized
+  // argmax disagreement forces the quantized gap under that threshold,
+  // agreement with fp is structural — assert it for every graph too.
+  GnnConfig cfg = tiny_config();
+  cfg.batch_size = 4;
+  cfg.epochs = 30;
+  GnnModel model(cfg);
+  std::vector<programl::ProgramGraph> graphs;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 8; ++i) {
+    graphs.push_back(tiny_graph(10, 11));
+    labels.push_back(0);
+    graphs.push_back(tiny_graph(20, 21));
+    labels.push_back(1);
+  }
+  const std::span<const programl::ProgramGraph> span(graphs);
+
+  // Both an untrained model (weak, possibly borderline margins) and a
+  // trained one (wide margins) must satisfy the partition.
+  for (const bool trained : {false, true}) {
+    if (trained) model.fit(graphs, labels);
+    const QuantizedGnnModel qmodel(model);
+    const auto fp = model.predict_proba(span);
+    const auto raw = qmodel.predict_proba(span);
+    const auto guarded = predict_proba_guarded(qmodel, model, span);
+    ASSERT_EQ(guarded.size(), graphs.size());
+    for (std::size_t i = 0; i < guarded.size(); ++i) {
+      double top = -1.0, second = -1.0;
+      std::size_t raw_arg = 0, fp_arg = 0, g_arg = 0;
+      for (std::size_t j = 0; j < raw[i].size(); ++j) {
+        if (raw[i][j] > top) {
+          second = top;
+          top = raw[i][j];
+          raw_arg = j;
+        } else if (raw[i][j] > second) {
+          second = raw[i][j];
+        }
+        if (fp[i][j] > fp[i][fp_arg]) fp_arg = j;
+        if (guarded[i][j] > guarded[i][g_arg]) g_arg = j;
+      }
+      const bool fell_back = top - second <= 2.0 * kQuantProbaTolerance;
+      const auto& expected = fell_back ? fp[i] : raw[i];
+      for (std::size_t j = 0; j < expected.size(); ++j) {
+        ASSERT_EQ(double_bits(guarded[i][j]), double_bits(expected[j]))
+            << (trained ? "trained" : "untrained") << " graph " << i;
+      }
+      EXPECT_EQ(g_arg, fp_arg)
+          << (trained ? "trained" : "untrained") << " graph " << i;
+      (void)raw_arg;
+    }
+  }
+}
+
+TEST(QuantizedInference, CrossDispatchBitIdentical) {
+  // Within the quantized path, scalar and SIMD targets are ALSO
+  // bit-identical (same k-ascending float accumulation): the tolerance
+  // contract is fp-vs-quantized only, never target-vs-target.
+  GnnModel model(tiny_config());
+  std::vector<programl::ProgramGraph> graphs{
+      tiny_graph(1, 2), tiny_graph(9, 10, true), tiny_graph(20, 21)};
+  const QuantizedGnnModel qmodel(model);
+  const auto live =
+      qmodel.predict_proba(std::span<const programl::ProgramGraph>(graphs));
+  kernels::ScopedForceScalar scalar(true);
+  const auto forced =
+      qmodel.predict_proba(std::span<const programl::ProgramGraph>(graphs));
+  ASSERT_EQ(live.size(), forced.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (std::size_t j = 0; j < live[i].size(); ++j) {
+      ASSERT_EQ(double_bits(live[i][j]), double_bits(forced[i][j]))
+          << "graph " << i << " class " << j;
+    }
+  }
+}
+
+TEST(QuantizedInference, SingleGraphMatchesBatchedEntryPoint) {
+  GnnModel model(tiny_config());
+  const programl::ProgramGraph g = tiny_graph(6, 7, true);
+  const QuantizedGnnModel qmodel(model);
+  const auto single = qmodel.predict_proba(g);
+  const auto batched =
+      qmodel.predict_proba(std::span<const programl::ProgramGraph>(&g, 1));
+  ASSERT_EQ(batched.size(), 1u);
+  ASSERT_EQ(single.size(), batched[0].size());
+  for (std::size_t j = 0; j < single.size(); ++j) {
+    EXPECT_EQ(double_bits(single[j]), double_bits(batched[0][j]));
+  }
+}
+
+TEST(QuantizedInference, ExtremeLogitSoftmaxIsFinite) {
+  // A model whose weights are scaled far up produces extreme logits;
+  // the quantized softmax (double, max-subtracted) must stay finite,
+  // normalized, and argmax-stable.
+  GnnModel model(tiny_config());
+  std::vector<Matrix> scaled;
+  for (const Matrix* p : model.parameters()) {
+    Matrix m = *p;
+    for (double& x : m.data()) x *= 200.0;
+    scaled.push_back(std::move(m));
+  }
+  model.set_parameters(std::move(scaled));
+  const QuantizedGnnModel qmodel(model);
+  const auto proba = qmodel.predict_proba(tiny_graph(2, 3));
+  double sum = 0.0;
+  for (const double p : proba) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
 }  // namespace

@@ -332,6 +332,11 @@ int run(const Args& a) {
               << ", retries " << s.retries << ", watchdog trips "
               << s.watchdog_trips << ", faults fired " << s.faults_fired
               << "\n";
+    for (const auto& c : s.op_counters) {
+      if (c.calls == 0) continue;  // stable 9-row table, print live ops only
+      std::cout << "op " << c.name << ": calls " << c.calls << ", flops "
+                << c.flops << ", ns " << c.ns << "\n";
+    }
   }
 
   if (a.do_shutdown) {
